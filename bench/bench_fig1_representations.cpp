@@ -1,0 +1,68 @@
+// Experiment fig1 — "Different representations of the Bell state" (paper
+// Fig. 1), generalized into a sweep: the same quantum state stored as a
+// dense amplitude array (2^n entries) versus a decision diagram (node
+// count). Regenerates the figure's message as a series: for structured
+// states the DD is exponentially more compact.
+//
+// Series reported (counters):
+//   array_amplitudes — 2^n dense entries
+//   dd_nodes         — decision-diagram nodes for the same state
+//   compression     — array_amplitudes / dd_nodes
+#include <benchmark/benchmark.h>
+
+#include "dd/simulator.hpp"
+#include "ir/library.hpp"
+
+namespace {
+
+void run_state_family(benchmark::State& state, const qdt::ir::Circuit& c) {
+  const std::size_t n = c.num_qubits();
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    qdt::dd::DDSimulator sim(n);
+    sim.run(c);
+    nodes = sim.state_node_count();
+    benchmark::DoNotOptimize(nodes);
+  }
+  const double dense = std::pow(2.0, static_cast<double>(n));
+  state.counters["array_amplitudes"] = dense;
+  state.counters["dd_nodes"] = static_cast<double>(nodes);
+  state.counters["compression"] = dense / static_cast<double>(nodes);
+}
+
+void BM_Bell(benchmark::State& state) {
+  run_state_family(state, qdt::ir::bell());
+}
+BENCHMARK(BM_Bell);
+
+void BM_Ghz(benchmark::State& state) {
+  run_state_family(state, qdt::ir::ghz(state.range(0)));
+}
+BENCHMARK(BM_Ghz)->DenseRange(4, 24, 4);
+
+void BM_WState(benchmark::State& state) {
+  run_state_family(state, qdt::ir::w_state(state.range(0)));
+}
+BENCHMARK(BM_WState)->DenseRange(4, 20, 4);
+
+void BM_UniformSuperposition(benchmark::State& state) {
+  qdt::ir::Circuit c(state.range(0), "uniform");
+  for (qdt::ir::Qubit q = 0; q < c.num_qubits(); ++q) {
+    c.h(q);
+  }
+  run_state_family(state, c);
+}
+BENCHMARK(BM_UniformSuperposition)->DenseRange(4, 24, 4);
+
+// Unstructured states are the DD worst case: no redundancy to exploit, so
+// the node count approaches 2^n and the array representation wins.
+void BM_RandomState(benchmark::State& state) {
+  run_state_family(state,
+                   qdt::ir::random_circuit(state.range(0), 6,
+                                           /*seed=*/17));
+}
+BENCHMARK(BM_RandomState)->DenseRange(4, 10, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

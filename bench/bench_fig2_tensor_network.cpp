@@ -1,0 +1,113 @@
+// Experiment fig2 — "Tensor network representation of the quantum circuit"
+// (paper Fig. 2). Regenerates the section's quantitative claims:
+//  * the network itself needs memory linear in qubits + gates
+//    (network_elements counter), even when the state is exponential;
+//  * computing a single amplitude ("capping" the outputs) contracts to a
+//    rank-0 tensor and can stay cheap (peak_tensor counter);
+//  * extracting the full state vector is inherently 2^n.
+#include <benchmark/benchmark.h>
+
+#include "ir/library.hpp"
+#include "tn/network.hpp"
+
+namespace {
+
+using qdt::ir::Circuit;
+
+void BM_BellNetworkConstruction(benchmark::State& state) {
+  const Circuit c = qdt::ir::bell();
+  std::size_t elements = 0;
+  for (auto _ : state) {
+    std::vector<qdt::tn::Label> outs;
+    auto net = qdt::tn::circuit_network(c, outs);
+    elements = net.total_elements();
+    benchmark::DoNotOptimize(net);
+  }
+  state.counters["network_elements"] = static_cast<double>(elements);
+}
+BENCHMARK(BM_BellNetworkConstruction);
+
+void network_size(benchmark::State& state, const Circuit& c) {
+  std::size_t elements = 0;
+  std::size_t tensors = 0;
+  for (auto _ : state) {
+    std::vector<qdt::tn::Label> outs;
+    auto net = qdt::tn::circuit_network(c, outs);
+    elements = net.total_elements();
+    tensors = net.num_nodes();
+    benchmark::DoNotOptimize(net);
+  }
+  state.counters["network_elements"] = static_cast<double>(elements);
+  state.counters["tensors"] = static_cast<double>(tensors);
+  state.counters["gates"] = static_cast<double>(c.stats().total_gates);
+  state.counters["dense_state"] =
+      std::pow(2.0, static_cast<double>(c.num_qubits()));
+}
+
+// Memory linear in gates: qft(n) has O(n^2) gates, so the network grows
+// polynomially while the represented operator is 4^n dense.
+void BM_QftNetworkSize(benchmark::State& state) {
+  network_size(state, qdt::ir::qft(state.range(0)));
+}
+BENCHMARK(BM_QftNetworkSize)->DenseRange(4, 24, 4);
+
+void BM_GhzNetworkSize(benchmark::State& state) {
+  network_size(state, qdt::ir::ghz(state.range(0)));
+}
+BENCHMARK(BM_GhzNetworkSize)->DenseRange(8, 48, 8);
+
+// Single-amplitude contraction: output wires capped, rank-0 result.
+void BM_GhzAmplitude(benchmark::State& state) {
+  const Circuit c = qdt::ir::ghz(state.range(0));
+  qdt::tn::ContractionStats stats;
+  qdt::Complex amp;
+  for (auto _ : state) {
+    amp = qdt::tn::amplitude(c, 0, /*greedy=*/true, &stats);
+    benchmark::DoNotOptimize(amp);
+  }
+  state.counters["peak_tensor"] = static_cast<double>(stats.peak_tensor_size);
+  state.counters["flops"] = stats.flops;
+}
+BENCHMARK(BM_GhzAmplitude)->DenseRange(4, 20, 4);
+
+void BM_QftAmplitude(benchmark::State& state) {
+  const Circuit c = qdt::ir::qft(state.range(0));
+  qdt::tn::ContractionStats stats;
+  qdt::Complex amp;
+  for (auto _ : state) {
+    amp = qdt::tn::amplitude(c, 1, /*greedy=*/true, &stats);
+    benchmark::DoNotOptimize(amp);
+  }
+  state.counters["peak_tensor"] = static_cast<double>(stats.peak_tensor_size);
+  state.counters["flops"] = stats.flops;
+}
+BENCHMARK(BM_QftAmplitude)->DenseRange(4, 12, 2);
+
+// Full-state contraction: the inherent 2^n barrier of Section IV.
+void BM_QftFullState(benchmark::State& state) {
+  const Circuit c = qdt::ir::qft(state.range(0));
+  qdt::tn::ContractionStats stats;
+  for (auto _ : state) {
+    auto sv = qdt::tn::statevector(c, /*greedy=*/true, &stats);
+    benchmark::DoNotOptimize(sv);
+  }
+  state.counters["peak_tensor"] = static_cast<double>(stats.peak_tensor_size);
+}
+BENCHMARK(BM_QftFullState)->DenseRange(4, 12, 2);
+
+// Expectation values: closed bra-ket network, rank-0 output.
+void BM_GhzExpectation(benchmark::State& state) {
+  const Circuit c = qdt::ir::ghz(state.range(0));
+  const std::string paulis(state.range(0), 'Z');
+  qdt::tn::ContractionStats stats;
+  for (auto _ : state) {
+    auto e = qdt::tn::expectation(c, paulis, /*greedy=*/true, &stats);
+    benchmark::DoNotOptimize(e);
+  }
+  state.counters["peak_tensor"] = static_cast<double>(stats.peak_tensor_size);
+}
+BENCHMARK(BM_GhzExpectation)->DenseRange(4, 12, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Experiment fig3 — "ZX-diagrams for the Bell state" (paper Fig. 3) plus
+// the Section V rewriting story: translate circuits to ZX-diagrams, convert
+// to graph-like form, and run the terminating simplification procedure.
+//
+// Series reported:
+//   spiders_before / spiders_after — diagram size around clifford_simp
+//   rewrites                      — rule applications until the fixpoint
+#include <benchmark/benchmark.h>
+
+#include "ir/library.hpp"
+#include "zx/circuit_to_zx.hpp"
+#include "zx/simplify.hpp"
+
+namespace {
+
+void reduce(benchmark::State& state, const qdt::ir::Circuit& c) {
+  std::size_t before = 0;
+  std::size_t after = 0;
+  std::size_t rewrites = 0;
+  for (auto _ : state) {
+    qdt::zx::ZXDiagram d = qdt::zx::to_diagram(c);
+    before = d.num_spiders();
+    const auto stats = qdt::zx::clifford_simp(d);
+    after = d.num_spiders();
+    rewrites = stats.total();
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["spiders_before"] = static_cast<double>(before);
+  state.counters["spiders_after"] = static_cast<double>(after);
+  state.counters["rewrites"] = static_cast<double>(rewrites);
+}
+
+void BM_Bell(benchmark::State& state) { reduce(state, qdt::ir::bell()); }
+BENCHMARK(BM_Bell);
+
+void BM_Ghz(benchmark::State& state) {
+  reduce(state, qdt::ir::ghz(state.range(0)));
+}
+BENCHMARK(BM_Ghz)->DenseRange(4, 16, 4);
+
+// Clifford circuits collapse to a depth-independent boundary core — the
+// headline of graph-theoretic simplification [38].
+void BM_RandomClifford(benchmark::State& state) {
+  reduce(state,
+         qdt::ir::random_clifford(8, state.range(0), /*seed=*/5));
+}
+BENCHMARK(BM_RandomClifford)->RangeMultiplier(2)->Range(64, 1024);
+
+// With T gates the non-Clifford spiders survive, but the Clifford bulk
+// still evaporates.
+void BM_RandomCliffordT(benchmark::State& state) {
+  reduce(state, qdt::ir::random_clifford_t(8, state.range(0), 0.2,
+                                           /*seed=*/6));
+}
+BENCHMARK(BM_RandomCliffordT)->RangeMultiplier(2)->Range(64, 512);
+
+void BM_Qft(benchmark::State& state) {
+  reduce(state, qdt::ir::qft(state.range(0)));
+}
+BENCHMARK(BM_Qft)->DenseRange(4, 10, 2);
+
+void BM_HiddenShift(benchmark::State& state) {
+  reduce(state, qdt::ir::hidden_shift(state.range(0), 0b1011));
+}
+BENCHMARK(BM_HiddenShift)->DenseRange(4, 12, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// Experiment task-comp — the Section I "compilation" design task: mapping
+// circuits to constrained devices ([15], [18]). Sweeps topologies and
+// router heuristics, reporting swap overhead and gate growth, plus the
+// peephole-optimizer ablation.
+//
+// Expected shape: richer connectivity (grid, heavy-hex) needs fewer swaps
+// than a line; the lookahead router beats plain shortest-path; the peephole
+// pass claws back a chunk of the decomposition overhead.
+#include <benchmark/benchmark.h>
+
+#include "ir/library.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace {
+
+using qdt::transpile::CouplingMap;
+using qdt::transpile::NativeGateSet;
+using qdt::transpile::RouterKind;
+using qdt::transpile::Target;
+using qdt::transpile::TranspileOptions;
+
+void compile(benchmark::State& state, const qdt::ir::Circuit& c,
+             const Target& target, RouterKind router, bool optimize) {
+  TranspileOptions opts;
+  opts.router = router;
+  opts.optimize = optimize;
+  std::size_t swaps = 0;
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t depth_after = 0;
+  for (auto _ : state) {
+    const auto res = qdt::transpile::transpile(c, target, opts);
+    swaps = res.swaps_inserted;
+    gates_before = res.before.total_gates;
+    gates_after = res.after.total_gates;
+    depth_after = res.after.depth;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["swaps"] = static_cast<double>(swaps);
+  state.counters["gates_before"] = static_cast<double>(gates_before);
+  state.counters["gates_after"] = static_cast<double>(gates_after);
+  state.counters["growth"] = gates_before == 0
+                                 ? 0.0
+                                 : static_cast<double>(gates_after) /
+                                       static_cast<double>(gates_before);
+  state.counters["depth_after"] = static_cast<double>(depth_after);
+}
+
+Target make_target(int which, std::size_t n) {
+  switch (which) {
+    case 0:
+      return {CouplingMap::full(n), NativeGateSet::CxRzSxX, "full"};
+    case 1:
+      return {CouplingMap::line(n), NativeGateSet::CxRzSxX, "line"};
+    case 2:
+      return {CouplingMap::ring(n), NativeGateSet::CxRzSxX, "ring"};
+    case 3: {
+      // Smallest grid with >= n qubits, roughly square.
+      std::size_t rows = 1;
+      while (rows * rows < n) {
+        ++rows;
+      }
+      const std::size_t cols = (n + rows - 1) / rows;
+      return {CouplingMap::grid(rows, cols), NativeGateSet::CxRzSxX,
+              "grid"};
+    }
+    default:
+      return {CouplingMap::heavy_hex_falcon(), NativeGateSet::CxRzSxX,
+              "heavy-hex"};
+  }
+}
+
+// Topology sweep: QFT-8 onto full / line / ring / grid / heavy-hex.
+void BM_TopologySweepQft8(benchmark::State& state) {
+  const auto c = qdt::ir::qft(8);
+  compile(state, c, make_target(static_cast<int>(state.range(0)), 8),
+          RouterKind::Lookahead, /*optimize=*/true);
+}
+BENCHMARK(BM_TopologySweepQft8)->DenseRange(0, 4, 1);
+
+// Router ablation: shortest-path vs lookahead on the line (worst case).
+void BM_RouterShortestPath(benchmark::State& state) {
+  const auto c = qdt::ir::qft(state.range(0));
+  compile(state, c, make_target(1, state.range(0)),
+          RouterKind::ShortestPath, true);
+}
+BENCHMARK(BM_RouterShortestPath)->DenseRange(4, 12, 2);
+
+void BM_RouterLookahead(benchmark::State& state) {
+  const auto c = qdt::ir::qft(state.range(0));
+  compile(state, c, make_target(1, state.range(0)), RouterKind::Lookahead,
+          true);
+}
+BENCHMARK(BM_RouterLookahead)->DenseRange(4, 12, 2);
+
+// Optimizer ablation.
+void BM_WithPeephole(benchmark::State& state) {
+  compile(state, qdt::ir::grover(state.range(0), 1),
+          make_target(1, state.range(0)), RouterKind::Lookahead, true);
+}
+BENCHMARK(BM_WithPeephole)->DenseRange(3, 6, 1);
+
+void BM_WithoutPeephole(benchmark::State& state) {
+  compile(state, qdt::ir::grover(state.range(0), 1),
+          make_target(1, state.range(0)), RouterKind::Lookahead, false);
+}
+BENCHMARK(BM_WithoutPeephole)->DenseRange(3, 6, 1);
+
+// Workload sweep on the heavy-hex device (the realistic setting).
+void BM_HeavyHexWorkloads(benchmark::State& state) {
+  qdt::ir::Circuit c;
+  switch (state.range(0)) {
+    case 0:
+      c = qdt::ir::ghz(12);
+      break;
+    case 1:
+      c = qdt::ir::qft(10);
+      break;
+    case 2:
+      c = qdt::ir::ripple_carry_adder(4);
+      break;
+    default:
+      c = qdt::ir::random_clifford_t(12, 200, 0.2, 9);
+      break;
+  }
+  compile(state, c, make_target(4, 27), RouterKind::Lookahead, true);
+}
+BENCHMARK(BM_HeavyHexWorkloads)->DenseRange(0, 3, 1);
+
+// CZ-native gate set (tunable couplers) vs CX-native.
+void BM_CzNativeTarget(benchmark::State& state) {
+  Target t{CouplingMap::line(8), NativeGateSet::CzRzSxX, "line-cz"};
+  compile(state, qdt::ir::qft(8), t, RouterKind::Lookahead, true);
+}
+BENCHMARK(BM_CzNativeTarget);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Experiment task-sim — the Section I "classical simulation" design task
+// across all four data structures: the same workloads on the array, DD,
+// tensor-network, and MPS backends. Wall-clock time is the benchmark value;
+// repr_size shows each backend's memory story.
+//
+// Expected shape: arrays win small dense problems; DDs win structured
+// circuits; MPS wins low-entanglement nearest-neighbor circuits; the TN
+// amplitude path wins single-amplitude queries.
+#include <benchmark/benchmark.h>
+
+#include "arrays/density_matrix.hpp"
+#include "core/tasks.hpp"
+#include "ir/library.hpp"
+
+namespace {
+
+using qdt::core::SimBackend;
+
+void sim(benchmark::State& state, const qdt::ir::Circuit& c, SimBackend b) {
+  qdt::core::SimulateOptions opts;
+  opts.want_state = false;
+  opts.shots = 16;
+  opts.seed = 3;
+  std::size_t repr = 0;
+  for (auto _ : state) {
+    const auto res = qdt::core::simulate(c, b, opts);
+    repr = res.representation_size;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["repr_size"] = static_cast<double>(repr);
+  state.counters["qubits"] = static_cast<double>(c.num_qubits());
+}
+
+#define QDT_SIM_BENCH(name, circuit)                                 \
+  void BM_##name##_Array(benchmark::State& state) {                  \
+    sim(state, circuit, SimBackend::Array);                          \
+  }                                                                  \
+  BENCHMARK(BM_##name##_Array);                                      \
+  void BM_##name##_DD(benchmark::State& state) {                     \
+    sim(state, circuit, SimBackend::DecisionDiagram);                \
+  }                                                                  \
+  BENCHMARK(BM_##name##_DD);                                         \
+  void BM_##name##_TN(benchmark::State& state) {                     \
+    sim(state, circuit, SimBackend::TensorNetwork);                  \
+  }                                                                  \
+  BENCHMARK(BM_##name##_TN);                                         \
+  void BM_##name##_MPS(benchmark::State& state) {                    \
+    sim(state, circuit, SimBackend::Mps);                            \
+  }                                                                  \
+  BENCHMARK(BM_##name##_MPS)
+
+QDT_SIM_BENCH(Ghz16, qdt::ir::ghz(16));
+QDT_SIM_BENCH(WState12, qdt::ir::w_state(12));
+QDT_SIM_BENCH(Qft12, qdt::ir::qft(12));
+QDT_SIM_BENCH(Grover8, qdt::ir::grover(8, 5));
+QDT_SIM_BENCH(HiddenShift12, qdt::ir::hidden_shift(12, 0b101010101010));
+QDT_SIM_BENCH(Random10, qdt::ir::random_circuit(10, 8, 7));
+
+#undef QDT_SIM_BENCH
+
+// Single-amplitude queries: the tensor-network specialty.
+void BM_AmplitudeQuery(benchmark::State& state) {
+  const auto c = qdt::ir::hidden_shift(16, 0xAAAA);
+  const auto backend = static_cast<SimBackend>(state.range(0));
+  qdt::Complex a;
+  for (auto _ : state) {
+    a = qdt::core::amplitude(c, 0xAAAA, backend);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_AmplitudeQuery)
+    ->Arg(static_cast<int>(SimBackend::Array))
+    ->Arg(static_cast<int>(SimBackend::DecisionDiagram))
+    ->Arg(static_cast<int>(SimBackend::TensorNetwork))
+    ->Arg(static_cast<int>(SimBackend::Mps));
+
+// Noise-aware simulation (arrays vs DD trajectories) [13].
+void BM_NoisyGhzDensityMatrix(benchmark::State& state) {
+  const auto c = qdt::ir::ghz(state.range(0));
+  const auto nm = qdt::arrays::NoiseModel::depolarizing_model(0.02);
+  for (auto _ : state) {
+    qdt::arrays::DensityMatrix rho(c.num_qubits());
+    rho.run(c, nm);
+    benchmark::DoNotOptimize(rho);
+  }
+}
+BENCHMARK(BM_NoisyGhzDensityMatrix)->DenseRange(2, 8, 2);
+
+void BM_NoisyGhzDdTrajectories(benchmark::State& state) {
+  const auto c = qdt::ir::ghz(state.range(0));
+  const auto nm = qdt::arrays::NoiseModel::depolarizing_model(0.02);
+  qdt::core::SimulateOptions opts;
+  opts.noise = nm;
+  opts.want_state = false;
+  opts.shots = 8;
+  for (auto _ : state) {
+    const auto res =
+        qdt::core::simulate(c, SimBackend::DecisionDiagram, opts);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_NoisyGhzDdTrajectories)->DenseRange(2, 8, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

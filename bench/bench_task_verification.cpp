@@ -1,0 +1,107 @@
+// Experiment task-ver — the Section I "verification" design task: DD-based
+// equivalence checking [20] (sequential vs alternating miter, plus the
+// simulative check) against ZX-based checking [38], on equivalent pairs
+// (original vs compiled) and on fault-injected pairs.
+//
+// Expected shape: the alternating DD scheme keeps the miter near the
+// identity for equivalent pairs (peak_nodes counter); ZX decides Clifford-
+// dominated pairs by rewriting alone; fault detection is fast everywhere.
+#include <benchmark/benchmark.h>
+
+#include "core/tasks.hpp"
+#include "dd/equivalence.hpp"
+#include "ir/library.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace {
+
+using qdt::core::EcMethod;
+
+/// Equivalent pair: circuit vs its compiled + layout-restored version.
+std::pair<qdt::ir::Circuit, qdt::ir::Circuit> compiled_pair(
+    const qdt::ir::Circuit& c) {
+  qdt::transpile::Target target{
+      qdt::transpile::CouplingMap::line(c.num_qubits()),
+      qdt::transpile::NativeGateSet::CxRzSxX, "line"};
+  const auto res = qdt::transpile::transpile(c, target);
+  return {qdt::transpile::padded_original(c, target),
+          qdt::transpile::restored_for_verification(res)};
+}
+
+void verify_pair(benchmark::State& state, const qdt::ir::Circuit& a,
+                 const qdt::ir::Circuit& b, EcMethod m,
+                 bool expect_equivalent) {
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res = qdt::core::verify(a, b, m);
+    ok = ok && (res.equivalent == expect_equivalent);
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["verdict_correct"] = ok ? 1.0 : 0.0;
+}
+
+#define QDT_VER_BENCH(name, maker, method)                                  \
+  void BM_##name##_##method(benchmark::State& state) {                      \
+    const auto pair = maker(state.range(0));                                \
+    verify_pair(state, pair.first, pair.second, EcMethod::method,           \
+                true);                                                      \
+  }                                                                         \
+  BENCHMARK(BM_##name##_##method)->DenseRange(4, 8, 2)
+
+std::pair<qdt::ir::Circuit, qdt::ir::Circuit> qft_pair(std::size_t n) {
+  return compiled_pair(qdt::ir::qft(n));
+}
+std::pair<qdt::ir::Circuit, qdt::ir::Circuit> clifford_pair(std::size_t n) {
+  return compiled_pair(qdt::ir::random_clifford(n, 20 * n, 3));
+}
+
+QDT_VER_BENCH(QftCompiled, qft_pair, DdAlternating);
+QDT_VER_BENCH(QftCompiled, qft_pair, DdSequential);
+QDT_VER_BENCH(QftCompiled, qft_pair, DdSimulative);
+QDT_VER_BENCH(QftCompiled, qft_pair, Zx);
+QDT_VER_BENCH(CliffordCompiled, clifford_pair, DdAlternating);
+QDT_VER_BENCH(CliffordCompiled, clifford_pair, Zx);
+
+#undef QDT_VER_BENCH
+
+// Alternating vs sequential on an equivalent pair: the alternating scheme's
+// peak miter size is the whole point of [20].
+void BM_MiterPeakNodes(benchmark::State& state) {
+  const auto pair = qft_pair(state.range(0));
+  const bool alternating = state.range(1) != 0;
+  std::size_t peak = 0;
+  for (auto _ : state) {
+    const auto res = qdt::dd::check_equivalence_dd(
+        pair.first, pair.second,
+        alternating ? qdt::dd::EcStrategy::Alternating
+                    : qdt::dd::EcStrategy::Sequential);
+    peak = res.peak_nodes;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["peak_nodes"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_MiterPeakNodes)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({6, 0})
+    ->Args({6, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
+
+// Fault detection: a single injected gate must be caught by every method.
+void BM_FaultDetection(benchmark::State& state) {
+  const auto method = static_cast<EcMethod>(state.range(0));
+  const auto good = qdt::ir::random_clifford_t(6, 80, 0.2, 5);
+  auto bad = good;
+  bad.t(3);
+  verify_pair(state, good, bad, method, false);
+}
+BENCHMARK(BM_FaultDetection)
+    ->Arg(static_cast<int>(EcMethod::DdAlternating))
+    ->Arg(static_cast<int>(EcMethod::DdSequential))
+    ->Arg(static_cast<int>(EcMethod::DdSimulative))
+    ->Arg(static_cast<int>(EcMethod::Zx));
+
+}  // namespace
+
+BENCHMARK_MAIN();

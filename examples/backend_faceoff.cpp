@@ -1,0 +1,48 @@
+// The paper's conclusion in one program: "each data structure provides a
+// certain trade-off — picking the most suitable one is crucial." Runs the
+// same workloads on all four backends, printing runtime and representation
+// size so the trade-offs are visible, plus the library's own backend
+// recommendation.
+//
+//   $ ./backend_faceoff
+#include <cstdio>
+
+#include "core/qdt.hpp"
+
+int main() {
+  using namespace qdt;
+
+  const ir::Circuit workloads[] = {
+      ir::ghz(14),
+      ir::w_state(10),
+      ir::qft(10),
+      ir::grover(8, 77),
+      ir::random_circuit(10, 8, 5),
+  };
+  const core::SimBackend backends[] = {
+      core::SimBackend::Array, core::SimBackend::DecisionDiagram,
+      core::SimBackend::TensorNetwork, core::SimBackend::Mps};
+
+  std::printf("%-14s | %-17s | %12s | %12s\n", "workload", "backend",
+              "time [ms]", "repr. size");
+  std::printf("%s\n", std::string(66, '-').c_str());
+  for (const auto& c : workloads) {
+    for (const auto b : backends) {
+      core::SimulateOptions opts;
+      opts.want_state = false;
+      opts.shots = 64;
+      try {
+        const auto res = core::simulate(c, b, opts);
+        std::printf("%-14s | %-17s | %12.2f | %12zu\n", c.name().c_str(),
+                    core::backend_name(b), res.seconds * 1e3,
+                    res.representation_size);
+      } catch (const std::exception& e) {
+        std::printf("%-14s | %-17s | %12s | %12s\n", c.name().c_str(),
+                    core::backend_name(b), "-", "unsupported");
+      }
+    }
+    std::printf("recommendation for %s: %s\n\n", c.name().c_str(),
+                core::backend_name(core::recommend_backend(c)));
+  }
+  return 0;
+}

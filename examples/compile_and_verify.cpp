@@ -1,0 +1,64 @@
+// The compilation design task end-to-end (Section I): map a QFT onto an
+// IBM-Falcon-style heavy-hex device, then *prove* the compiled circuit
+// still implements the original — once with decision diagrams, once with
+// the ZX-calculus.
+//
+//   $ ./compile_and_verify [n_qubits]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/qdt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qdt;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+  const ir::Circuit circuit = ir::qft(n);
+  transpile::Target target{transpile::CouplingMap::heavy_hex_falcon(),
+                           transpile::NativeGateSet::CxRzSxX,
+                           "ibm-falcon-27"};
+
+  std::printf("compiling %s to %s (native {CX, RZ, SX, X})\n",
+              circuit.name().c_str(), target.coupling.name().c_str());
+
+  const auto res = core::compile_and_verify(circuit, target,
+                                            core::EcMethod::DdAlternating);
+  const auto& t = res.transpiled;
+  std::printf("\nbefore: %zu gates (%zu two-qubit), depth %zu\n",
+              t.before.total_gates, t.before.two_qubit, t.before.depth);
+  std::printf("after:  %zu gates (%zu two-qubit), depth %zu\n",
+              t.after.total_gates, t.after.two_qubit, t.after.depth);
+  std::printf("swaps inserted by the router: %zu\n", t.swaps_inserted);
+  std::printf("peephole: %zu pairs cancelled, %zu rotations merged\n",
+              t.optimize_stats.cancelled_pairs,
+              t.optimize_stats.merged_rotations);
+
+  std::printf("\nfinal layout (logical -> physical): ");
+  for (std::size_t l = 0; l < t.final_layout.size(); ++l) {
+    std::printf("%zu->%u ", l, t.final_layout[l]);
+  }
+  std::printf("\n");
+
+  std::printf("\n[verification: decision diagrams] %s (%s, %.3fs)\n",
+              res.verification.equivalent ? "EQUIVALENT" : "NOT EQUIVALENT",
+              res.verification.detail.c_str(), res.verification.seconds);
+
+  const auto zx_res =
+      core::verify(transpile::padded_original(circuit, target),
+                   transpile::restored_for_verification(t),
+                   core::EcMethod::Zx);
+  std::printf("[verification: zx-calculus]     %s (%s, %.3fs)\n",
+              zx_res.equivalent ? "EQUIVALENT" : "NOT EQUIVALENT",
+              zx_res.detail.c_str(), zx_res.seconds);
+
+  // Sanity: injecting a fault must be caught.
+  auto broken = t;
+  broken.circuit.x(0);
+  const auto bad =
+      core::verify(transpile::padded_original(circuit, target),
+                   transpile::restored_for_verification(broken),
+                   core::EcMethod::DdAlternating);
+  std::printf("\ninjected-fault check: %s (expected NOT EQUIVALENT)\n",
+              bad.equivalent ? "EQUIVALENT" : "NOT EQUIVALENT");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Grover search, simulated on every backend that can handle it, with the
+// decision-diagram backend scaling past the point where dense arrays get
+// uncomfortable — the Section II vs Section III story on a real algorithm.
+//
+//   $ ./grover_search [n_qubits] [marked_item]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/qdt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qdt;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
+  const std::uint64_t marked =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : (1ULL << n) - 3;
+
+  std::printf("Grover search: %zu qubits, marked item %llu\n", n,
+              static_cast<unsigned long long>(marked));
+  const ir::Circuit circuit = ir::grover(n, marked);
+  const auto stats = circuit.stats();
+  std::printf("circuit: %zu gates (%zu multi-qubit), depth %zu\n\n",
+              stats.total_gates, stats.multi_qubit, stats.depth);
+
+  // Strong simulation on the DD backend; sample to find the marked item.
+  core::SimulateOptions opts;
+  opts.shots = 256;
+  opts.want_state = false;
+  opts.seed = 99;
+  const auto res =
+      core::simulate(circuit, core::SimBackend::DecisionDiagram, opts);
+  std::printf("[decision diagram] final state uses %zu DD nodes vs %llu "
+              "dense amplitudes\n",
+              res.representation_size,
+              static_cast<unsigned long long>(1ULL << n));
+
+  std::uint64_t best_word = 0;
+  std::size_t best_count = 0;
+  for (const auto& [word, count] : res.counts) {
+    if (count > best_count) {
+      best_count = count;
+      best_word = word;
+    }
+  }
+  std::printf("most frequent readout: %llu (%zu / 256 shots) — %s\n",
+              static_cast<unsigned long long>(best_word), best_count,
+              best_word == marked ? "found the marked item"
+                                  : "WRONG item");
+
+  // Amplitude of the marked state directly (weak simulation query).
+  const Complex amp =
+      core::amplitude(circuit, marked, core::SimBackend::DecisionDiagram);
+  std::printf("amplitude of |marked>: %.4f (success probability %.4f)\n",
+              std::abs(amp), std::norm(amp));
+
+  // Cross-check against the array backend while it is still feasible.
+  if (n <= 14) {
+    const Complex ref =
+        core::amplitude(circuit, marked, core::SimBackend::Array);
+    std::printf("array backend agrees: %s\n",
+                std::abs(amp - ref) < 1e-8 ? "yes" : "NO");
+  } else {
+    std::printf("(array cross-check skipped: 2^%zu amplitudes is past the "
+                "comfortable dense limit)\n",
+                n);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Noise-aware simulation [13]: GHZ-state fidelity under depolarizing noise,
+// computed three ways — exactly with the dense density matrix, exactly with
+// the decision-diagram density matrix (the [13] method itself), and
+// stochastically with decision-diagram quantum trajectories. All three must
+// agree on the ensemble average.
+//
+//   $ ./noisy_ghz [n_qubits]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/qdt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qdt;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  const ir::Circuit circuit = ir::ghz(n);
+  const arrays::Statevector ideal = [&] {
+    arrays::StatevectorSimulator sim;
+    return sim.run(circuit).state;
+  }();
+
+  std::printf("GHZ-%zu fidelity under depolarizing noise\n", n);
+  std::printf("%-10s %-16s %-20s %-22s\n", "noise p", "dense rho",
+              "DD rho [13] (nodes)", "DD trajectories (500x)");
+  for (const double p : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+    const auto noise = arrays::NoiseModel::depolarizing_model(p);
+
+    // Exact: dense density matrix.
+    arrays::DensityMatrix rho(n);
+    rho.run(circuit, noise);
+    const double exact = rho.fidelity(ideal);
+
+    // Exact: density matrix as a decision diagram [13].
+    dd::DDDensitySimulator ddrho(n);
+    ddrho.run(circuit, noise);
+    dd::VecEdge psi_dd = ddrho.package().zero_state();
+    for (const auto& op : circuit.ops()) {
+      psi_dd = ddrho.package().multiply(ddrho.package().gate_dd(op), psi_dd);
+    }
+    const double dd_exact = ddrho.fidelity(psi_dd);
+
+    // Stochastic: average fidelity over decision-diagram trajectories.
+    dd::DDSimulator sim(n, /*seed=*/2024);
+    sim.set_noise(noise);
+    const std::size_t trajectories = 500;
+    double avg = 0.0;
+    for (std::size_t t = 0; t < trajectories; ++t) {
+      sim.reset_state();
+      sim.run(circuit);
+      Complex overlap{};
+      for (std::uint64_t i = 0; i < ideal.dim(); ++i) {
+        overlap += std::conj(ideal.amplitude(i)) * sim.amplitude(i);
+      }
+      avg += std::norm(overlap);
+    }
+    avg /= static_cast<double>(trajectories);
+
+    std::printf("%-10.2f %-16.4f %-9.4f (%5zu) %-22.4f\n", p, exact,
+                dd_exact, ddrho.node_count(), avg);
+  }
+  std::printf("\n(The trajectory column converges to the density-matrix "
+              "column as the trajectory count grows.)\n");
+  return 0;
+}

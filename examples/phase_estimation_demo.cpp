@@ -1,0 +1,55 @@
+// Quantum phase estimation with increasing precision, run on the decision-
+// diagram backend: estimate the eigenphase of P(theta) and watch the
+// counting register converge to theta / 2pi as bits are added.
+//
+//   $ ./phase_estimation_demo [max_precision_bits]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numbers>
+
+#include "core/qdt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qdt;
+
+  const std::size_t max_bits =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  const Phase theta{2, 5};  // eigenphase 2*pi * (1/5): NOT dyadic
+  const double target = theta.radians() / (2 * std::numbers::pi);
+
+  std::printf("estimating phase %.6f (of P(%s)) with quantum phase "
+              "estimation\n\n",
+              target, theta.str().c_str());
+  std::printf("%-6s %-12s %-12s %-10s %-12s\n", "bits", "estimate",
+              "error", "P(best)", "dd nodes");
+
+  for (std::size_t bits = 2; bits <= max_bits; ++bits) {
+    const ir::Circuit c = ir::phase_estimation(bits, theta);
+    core::SimulateOptions opts;
+    opts.want_state = false;
+    opts.shots = 512;
+    opts.seed = 11;
+    const auto res =
+        core::simulate(c, core::SimBackend::DecisionDiagram, opts);
+
+    // Most frequent counting-register value (strip the eigenstate qubit).
+    std::uint64_t best = 0;
+    std::size_t best_count = 0;
+    for (const auto& [word, count] : res.counts) {
+      if (count > best_count) {
+        best_count = count;
+        best = word & ((1ULL << bits) - 1);
+      }
+    }
+    const double estimate =
+        static_cast<double>(best) / static_cast<double>(1ULL << bits);
+    std::printf("%-6zu %-12.6f %-12.6f %-10.3f %-12zu\n", bits, estimate,
+                std::abs(estimate - target),
+                static_cast<double>(best_count) / 512.0,
+                res.representation_size);
+  }
+  std::printf("\nEach extra counting bit halves the grid spacing; the "
+              "estimate converges to the true phase.\n");
+  return 0;
+}

@@ -1,0 +1,173 @@
+#include "arrays/dense_unitary.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "arrays/statevector.hpp"
+
+namespace qdt::arrays {
+
+DenseUnitary::DenseUnitary(std::size_t num_qubits)
+    : num_qubits_(num_qubits), dim_(std::size_t{1} << num_qubits) {
+  if (num_qubits > 14) {
+    throw std::invalid_argument(
+        "DenseUnitary: 4^" + std::to_string(num_qubits) +
+        " entries exceed the array-backend budget");
+  }
+  data_.assign(dim_ * dim_, Complex{});
+  for (std::size_t i = 0; i < dim_; ++i) {
+    at(i, i) = 1.0;
+  }
+}
+
+DenseUnitary DenseUnitary::from_circuit(const ir::Circuit& circuit) {
+  DenseUnitary u(circuit.num_qubits());
+  for (const auto& op : circuit.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    u.apply(op);
+  }
+  return u;
+}
+
+void DenseUnitary::apply(const ir::Operation& op) {
+  if (!op.is_unitary()) {
+    throw std::logic_error("DenseUnitary::apply: non-unitary op " + op.str());
+  }
+  // G * U: apply the gate kernel to each column of U. Columns of a row-major
+  // matrix are strided; reuse the statevector kernel on copied columns for
+  // clarity (oracle code — correctness over speed).
+  std::vector<Complex> column(dim_);
+  for (std::size_t c = 0; c < dim_; ++c) {
+    for (std::size_t r = 0; r < dim_; ++r) {
+      column[r] = at(r, c);
+    }
+    Statevector sv(column);
+    sv.apply(op);
+    for (std::size_t r = 0; r < dim_; ++r) {
+      at(r, c) = sv.amplitudes()[r];
+    }
+  }
+}
+
+DenseUnitary DenseUnitary::operator*(const DenseUnitary& rhs) const {
+  if (rhs.dim_ != dim_) {
+    throw std::invalid_argument("DenseUnitary: dimension mismatch");
+  }
+  DenseUnitary r(num_qubits_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      Complex s = 0.0;
+      for (std::size_t k = 0; k < dim_; ++k) {
+        s += at(i, k) * rhs.at(k, j);
+      }
+      r.at(i, j) = s;
+    }
+  }
+  return r;
+}
+
+DenseUnitary DenseUnitary::adjoint() const {
+  DenseUnitary r(num_qubits_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      r.at(i, j) = std::conj(at(j, i));
+    }
+  }
+  return r;
+}
+
+std::vector<Complex> DenseUnitary::apply_to(
+    const std::vector<Complex>& vec) const {
+  if (vec.size() != dim_) {
+    throw std::invalid_argument("DenseUnitary::apply_to: size mismatch");
+  }
+  std::vector<Complex> out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    Complex s = 0.0;
+    for (std::size_t k = 0; k < dim_; ++k) {
+      s += at(i, k) * vec[k];
+    }
+    out[i] = s;
+  }
+  return out;
+}
+
+bool DenseUnitary::approx_equal(const DenseUnitary& other, double eps) const {
+  if (other.dim_ != dim_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (!qdt::approx_equal(data_[i], other.data_[i], eps)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DenseUnitary::is_identity(double eps) const {
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const Complex expect = i == j ? Complex{1.0} : Complex{};
+      if (!qdt::approx_equal(at(i, j), expect, eps)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool DenseUnitary::is_identity_up_to_global_phase(double eps) const {
+  const Complex phase = at(0, 0);
+  if (std::abs(std::abs(phase) - 1.0) > eps) {
+    return false;
+  }
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const Complex expect = i == j ? phase : Complex{};
+      if (!qdt::approx_equal(at(i, j), expect, eps)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool DenseUnitary::equal_up_to_global_phase(const DenseUnitary& other,
+                                            double eps) const {
+  if (other.dim_ != dim_) {
+    return false;
+  }
+  std::size_t k = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(other.data_[i]) > best) {
+      best = std::abs(other.data_[i]);
+      k = i;
+    }
+  }
+  if (best <= eps) {
+    return approx_equal(other, eps);
+  }
+  const Complex ratio = data_[k] / other.data_[k];
+  if (std::abs(std::abs(ratio) - 1.0) > eps) {
+    return false;
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (!qdt::approx_equal(data_[i], other.data_[i] * ratio, eps)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double DenseUnitary::max_entry_distance(const DenseUnitary& other) const {
+  double d = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    d = std::max(d, std::abs(data_[i] - other.data_[i]));
+  }
+  return d;
+}
+
+}  // namespace qdt::arrays

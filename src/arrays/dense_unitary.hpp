@@ -1,0 +1,57 @@
+// Full 2^n x 2^n operator representation — the matrix half of Section II.
+//
+// Quadratically worse than the statevector (4^n entries), so only usable for
+// small n; that makes it the perfect *oracle*: every other backend's result
+// is checked against this one in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/eps.hpp"
+#include "ir/circuit.hpp"
+
+namespace qdt::arrays {
+
+class DenseUnitary {
+ public:
+  /// Identity on n qubits.
+  explicit DenseUnitary(std::size_t num_qubits);
+
+  /// The full unitary of a circuit (must contain only unitary ops/barriers).
+  static DenseUnitary from_circuit(const ir::Circuit& circuit);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::size_t dim() const { return dim_; }
+
+  Complex& at(std::size_t row, std::size_t col) {
+    return data_[row * dim_ + col];
+  }
+  const Complex& at(std::size_t row, std::size_t col) const {
+    return data_[row * dim_ + col];
+  }
+
+  /// Left-multiply by a gate: U := G * U.
+  void apply(const ir::Operation& op);
+
+  DenseUnitary operator*(const DenseUnitary& rhs) const;
+  DenseUnitary adjoint() const;
+
+  std::vector<Complex> apply_to(const std::vector<Complex>& vec) const;
+
+  bool approx_equal(const DenseUnitary& other, double eps = 1e-9) const;
+  bool is_identity(double eps = 1e-9) const;
+  bool is_identity_up_to_global_phase(double eps = 1e-9) const;
+  bool equal_up_to_global_phase(const DenseUnitary& other,
+                                double eps = 1e-9) const;
+
+  /// max_ij |a_ij - b_ij| — the operator-entry distance used in tests.
+  double max_entry_distance(const DenseUnitary& other) const;
+
+ private:
+  std::size_t num_qubits_;
+  std::size_t dim_;
+  std::vector<Complex> data_;  // row-major
+};
+
+}  // namespace qdt::arrays

@@ -1,0 +1,192 @@
+#include "arrays/density_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qdt::arrays {
+
+DensityMatrix::DensityMatrix(std::size_t num_qubits)
+    : num_qubits_(num_qubits), dim_(std::size_t{1} << num_qubits) {
+  if (num_qubits > 13) {
+    throw std::invalid_argument(
+        "DensityMatrix: 4^" + std::to_string(num_qubits) +
+        " entries exceed the array-backend budget");
+  }
+  data_.assign(dim_ * dim_, Complex{});
+  at(0, 0) = 1.0;
+}
+
+DensityMatrix::DensityMatrix(const Statevector& psi)
+    : num_qubits_(psi.num_qubits()), dim_(psi.dim()) {
+  data_.assign(dim_ * dim_, Complex{});
+  const auto& a = psi.amplitudes();
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      at(r, c) = a[r] * std::conj(a[c]);
+    }
+  }
+}
+
+void DensityMatrix::apply_left(const ir::Operation& op) {
+  std::vector<Complex> column(dim_);
+  for (std::size_t c = 0; c < dim_; ++c) {
+    for (std::size_t r = 0; r < dim_; ++r) {
+      column[r] = at(r, c);
+    }
+    Statevector sv(column);
+    sv.apply(op);
+    for (std::size_t r = 0; r < dim_; ++r) {
+      at(r, c) = sv.amplitudes()[r];
+    }
+  }
+}
+
+void DensityMatrix::apply_right_dagger(const ir::Operation& op) {
+  // rho U^dagger: conjugate each row, apply U as a kernel, conjugate back.
+  std::vector<Complex> row(dim_);
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      row[c] = std::conj(at(r, c));
+    }
+    Statevector sv(row);
+    sv.apply(op);
+    for (std::size_t c = 0; c < dim_; ++c) {
+      at(r, c) = std::conj(sv.amplitudes()[c]);
+    }
+  }
+}
+
+void DensityMatrix::apply(const ir::Operation& op) {
+  if (!op.is_unitary()) {
+    throw std::logic_error("DensityMatrix::apply: non-unitary op " +
+                           op.str());
+  }
+  apply_left(op);
+  apply_right_dagger(op);
+}
+
+void DensityMatrix::apply_channel(const KrausChannel& channel, ir::Qubit q) {
+  std::vector<Complex> acc(dim_ * dim_, Complex{});
+  std::vector<Complex> work(dim_);
+  for (const auto& k : channel.ops) {
+    // term = K rho K^dagger, built with the raw-matrix statevector kernels.
+    std::vector<Complex> term = data_;
+    // Left: per column.
+    for (std::size_t c = 0; c < dim_; ++c) {
+      for (std::size_t r = 0; r < dim_; ++r) {
+        work[r] = term[r * dim_ + c];
+      }
+      Statevector sv(work);
+      sv.apply_matrix2(q, k);
+      for (std::size_t r = 0; r < dim_; ++r) {
+        term[r * dim_ + c] = sv.amplitudes()[r];
+      }
+    }
+    // Right-dagger: per conjugated row.
+    for (std::size_t r = 0; r < dim_; ++r) {
+      for (std::size_t c = 0; c < dim_; ++c) {
+        work[c] = std::conj(term[r * dim_ + c]);
+      }
+      Statevector sv(work);
+      sv.apply_matrix2(q, k);
+      for (std::size_t c = 0; c < dim_; ++c) {
+        term[r * dim_ + c] = std::conj(sv.amplitudes()[c]);
+      }
+    }
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      acc[i] += term[i];
+    }
+  }
+  data_ = std::move(acc);
+}
+
+void DensityMatrix::run(const ir::Circuit& circuit, const NoiseModel& noise) {
+  if (circuit.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("DensityMatrix::run: width mismatch");
+  }
+  for (const auto& op : circuit.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    if (op.is_measurement() || op.is_reset()) {
+      // Non-selective measurement: rho -> P0 rho P0 + P1 rho P1; a reset
+      // additionally maps the 1-branch back to 0 with an X.
+      for (const auto q : op.targets()) {
+        Mat2 p0;
+        p0(0, 0) = 1.0;
+        Mat2 p1;
+        p1(1, 1) = 1.0;
+        KrausChannel collapse;
+        if (op.is_reset()) {
+          Mat2 x_p1;  // X * P1: maps |1> to |0>
+          x_p1(0, 1) = 1.0;
+          collapse = {"reset", {p0, x_p1}};
+        } else {
+          collapse = {"measure", {p0, p1}};
+        }
+        apply_channel(collapse, q);
+      }
+      continue;
+    }
+    apply(op);
+    for (const auto& ch : noise.gate_noise) {
+      for (const auto q : op.qubits()) {
+        apply_channel(ch, q);
+      }
+    }
+  }
+}
+
+std::vector<double> DensityMatrix::probabilities() const {
+  std::vector<double> p(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    p[i] = at(i, i).real();
+  }
+  return p;
+}
+
+double DensityMatrix::trace_real() const {
+  double t = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    t += at(i, i).real();
+  }
+  return t;
+}
+
+double DensityMatrix::purity() const {
+  // Tr(rho^2) = sum_ij rho_ij * rho_ji = sum_ij |rho_ij|^2 (rho Hermitian).
+  double s = 0.0;
+  for (const auto& v : data_) {
+    s += std::norm(v);
+  }
+  return s;
+}
+
+double DensityMatrix::fidelity(const Statevector& psi) const {
+  if (psi.dim() != dim_) {
+    throw std::invalid_argument("fidelity: dimension mismatch");
+  }
+  const auto& a = psi.amplitudes();
+  Complex s = 0.0;
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      s += std::conj(a[r]) * at(r, c) * a[c];
+    }
+  }
+  return s.real();
+}
+
+bool DensityMatrix::approx_equal(const DensityMatrix& other,
+                                 double eps) const {
+  if (other.dim_ != dim_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (!qdt::approx_equal(data_[i], other.data_[i], eps)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qdt::arrays

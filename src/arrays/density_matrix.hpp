@@ -1,0 +1,70 @@
+// Mixed-state simulation with a full 2^n x 2^n density matrix.
+//
+// The arrays backend is the only one in this library that represents mixed
+// states exactly, which is why noise-aware simulation [13] is its flagship
+// capability (decision diagrams can too — see the DD package notes — but the
+// dense form is the oracle).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arrays/noise.hpp"
+#include "arrays/statevector.hpp"
+#include "common/eps.hpp"
+#include "ir/circuit.hpp"
+
+namespace qdt::arrays {
+
+class DensityMatrix {
+ public:
+  /// |0..0><0..0| on n qubits.
+  explicit DensityMatrix(std::size_t num_qubits);
+
+  /// Pure-state density matrix |psi><psi|.
+  explicit DensityMatrix(const Statevector& psi);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::size_t dim() const { return dim_; }
+
+  Complex& at(std::size_t row, std::size_t col) {
+    return data_[row * dim_ + col];
+  }
+  const Complex& at(std::size_t row, std::size_t col) const {
+    return data_[row * dim_ + col];
+  }
+
+  /// rho -> U rho U^dagger for a unitary catalogue operation.
+  void apply(const ir::Operation& op);
+
+  /// Apply a single-qubit Kraus channel to qubit q.
+  void apply_channel(const KrausChannel& channel, ir::Qubit q);
+
+  /// Run a full circuit under a noise model (channels after each gate).
+  void run(const ir::Circuit& circuit, const NoiseModel& noise);
+
+  /// Measurement probability distribution (the diagonal).
+  std::vector<double> probabilities() const;
+
+  double trace_real() const;
+
+  /// Tr(rho^2): 1 for pure states, 1/2^n for the maximally mixed state.
+  double purity() const;
+
+  /// <psi| rho |psi>.
+  double fidelity(const Statevector& psi) const;
+
+  bool approx_equal(const DensityMatrix& other, double eps = 1e-9) const;
+
+ private:
+  /// rho -> G rho (gate kernel applied to the row index, each column).
+  void apply_left(const ir::Operation& op);
+  /// rho -> rho G^dagger (conjugated kernel applied to the column index).
+  void apply_right_dagger(const ir::Operation& op);
+
+  std::size_t num_qubits_;
+  std::size_t dim_;
+  std::vector<Complex> data_;  // row-major
+};
+
+}  // namespace qdt::arrays

@@ -1,0 +1,114 @@
+#include "arrays/noise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qdt::arrays {
+
+bool KrausChannel::is_trace_preserving(double eps) const {
+  Mat2 sum = Mat2::zero();
+  for (const auto& k : ops) {
+    sum = sum + k.adjoint() * k;
+  }
+  return approx_equal(sum, Mat2::identity(), eps);
+}
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string(what) +
+                                ": probability out of [0, 1]");
+  }
+}
+
+Mat2 scaled_pauli(char which, double scale) {
+  Mat2 m;
+  switch (which) {
+    case 'I':
+      m(0, 0) = scale;
+      m(1, 1) = scale;
+      break;
+    case 'X':
+      m(0, 1) = scale;
+      m(1, 0) = scale;
+      break;
+    case 'Y':
+      m(0, 1) = Complex{0.0, -scale};
+      m(1, 0) = Complex{0.0, scale};
+      break;
+    case 'Z':
+      m(0, 0) = scale;
+      m(1, 1) = -scale;
+      break;
+    default:
+      throw std::logic_error("scaled_pauli: bad label");
+  }
+  return m;
+}
+
+}  // namespace
+
+KrausChannel depolarizing(double p) {
+  check_probability(p, "depolarizing");
+  KrausChannel ch;
+  ch.name = "depolarizing(" + std::to_string(p) + ")";
+  ch.ops = {scaled_pauli('I', std::sqrt(1.0 - 3.0 * p / 4.0)),
+            scaled_pauli('X', std::sqrt(p / 4.0)),
+            scaled_pauli('Y', std::sqrt(p / 4.0)),
+            scaled_pauli('Z', std::sqrt(p / 4.0))};
+  return ch;
+}
+
+KrausChannel amplitude_damping(double gamma) {
+  check_probability(gamma, "amplitude_damping");
+  KrausChannel ch;
+  ch.name = "amplitude_damping(" + std::to_string(gamma) + ")";
+  Mat2 k0;
+  k0(0, 0) = 1.0;
+  k0(1, 1) = std::sqrt(1.0 - gamma);
+  Mat2 k1;
+  k1(0, 1) = std::sqrt(gamma);
+  ch.ops = {k0, k1};
+  return ch;
+}
+
+KrausChannel phase_damping(double lambda) {
+  check_probability(lambda, "phase_damping");
+  KrausChannel ch;
+  ch.name = "phase_damping(" + std::to_string(lambda) + ")";
+  Mat2 k0;
+  k0(0, 0) = 1.0;
+  k0(1, 1) = std::sqrt(1.0 - lambda);
+  Mat2 k1;
+  k1(1, 1) = std::sqrt(lambda);
+  ch.ops = {k0, k1};
+  return ch;
+}
+
+KrausChannel bit_flip(double p) {
+  check_probability(p, "bit_flip");
+  KrausChannel ch;
+  ch.name = "bit_flip(" + std::to_string(p) + ")";
+  ch.ops = {scaled_pauli('I', std::sqrt(1.0 - p)),
+            scaled_pauli('X', std::sqrt(p))};
+  return ch;
+}
+
+KrausChannel phase_flip(double p) {
+  check_probability(p, "phase_flip");
+  KrausChannel ch;
+  ch.name = "phase_flip(" + std::to_string(p) + ")";
+  ch.ops = {scaled_pauli('I', std::sqrt(1.0 - p)),
+            scaled_pauli('Z', std::sqrt(p))};
+  return ch;
+}
+
+NoiseModel NoiseModel::depolarizing_model(double p, double readout) {
+  NoiseModel nm;
+  nm.gate_noise.push_back(depolarizing(p));
+  nm.readout_error = readout;
+  return nm;
+}
+
+}  // namespace qdt::arrays

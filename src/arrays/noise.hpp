@@ -1,0 +1,55 @@
+// Quantum noise channels in Kraus form, and a simple noise model that
+// attaches channels to gate applications.
+//
+// Covers the survey's pointer to noise-aware simulation [13]: arrays can
+// represent mixed states directly (density matrices), and pure-state
+// backends can realize the same channels stochastically (trajectories).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace qdt::arrays {
+
+/// A completely-positive trace-preserving map on one qubit, as Kraus
+/// operators: rho -> sum_i K_i rho K_i^dagger.
+struct KrausChannel {
+  std::string name;
+  std::vector<Mat2> ops;
+
+  /// Verifies sum_i K_i^dagger K_i == I.
+  bool is_trace_preserving(double eps = 1e-9) const;
+};
+
+/// Depolarizing channel: with probability p the qubit is replaced by the
+/// maximally mixed state (Kraus: sqrt(1-3p/4) I, sqrt(p/4) {X, Y, Z}).
+KrausChannel depolarizing(double p);
+
+/// Amplitude damping with decay probability gamma (|1> relaxes to |0>).
+KrausChannel amplitude_damping(double gamma);
+
+/// Phase damping with scrambling probability lambda.
+KrausChannel phase_damping(double lambda);
+
+/// Bit flip (X with probability p).
+KrausChannel bit_flip(double p);
+
+/// Phase flip (Z with probability p).
+KrausChannel phase_flip(double p);
+
+/// Gate-attached noise: after every unitary gate, apply `gate_noise` to each
+/// touched qubit; measurement outcomes flip with probability
+/// `readout_error`.
+struct NoiseModel {
+  std::vector<KrausChannel> gate_noise;
+  double readout_error = 0.0;
+
+  bool empty() const { return gate_noise.empty() && readout_error == 0.0; }
+
+  /// Uniform depolarizing-noise model, the standard benchmark setting.
+  static NoiseModel depolarizing_model(double p, double readout = 0.0);
+};
+
+}  // namespace qdt::arrays

@@ -1,0 +1,244 @@
+#include "arrays/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace qdt::arrays {
+
+namespace {
+
+bool is_power_of_two(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::size_t log2_exact(std::size_t v) {
+  std::size_t n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t control_mask_of(const ir::Operation& op) {
+  std::uint64_t mask = 0;
+  for (const auto c : op.controls()) {
+    mask |= 1ULL << c;
+  }
+  return mask;
+}
+
+}  // namespace
+
+Statevector::Statevector(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits >= 30) {
+    throw std::invalid_argument(
+        "Statevector: refusing to allocate 2^" + std::to_string(num_qubits) +
+        " amplitudes — this is the Section II memory wall");
+  }
+  data_.assign(std::size_t{1} << num_qubits, Complex{});
+  data_[0] = 1.0;
+}
+
+Statevector::Statevector(std::vector<Complex> amplitudes)
+    : data_(std::move(amplitudes)) {
+  if (!is_power_of_two(data_.size())) {
+    throw std::invalid_argument("Statevector: size must be a power of two");
+  }
+  num_qubits_ = log2_exact(data_.size());
+}
+
+void Statevector::apply(const ir::Operation& op) {
+  if (!op.is_unitary()) {
+    throw std::logic_error("Statevector::apply: non-unitary op " + op.str());
+  }
+  const std::uint64_t cmask = control_mask_of(op);
+  if (op.targets().size() == 1) {
+    apply_matrix2(op.targets()[0], op.matrix2(), cmask);
+  } else {
+    apply_matrix4(op.targets()[0], op.targets()[1], op.matrix4(), cmask);
+  }
+}
+
+void Statevector::apply_matrix2(ir::Qubit target, const Mat2& m,
+                                std::uint64_t control_mask) {
+  const std::size_t half = data_.size() >> 1;
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::uint64_t i0 = insert_zero_bit(i, target);
+    if ((i0 & control_mask) != control_mask) {
+      continue;
+    }
+    const std::uint64_t i1 = i0 | (1ULL << target);
+    const Complex a0 = data_[i0];
+    const Complex a1 = data_[i1];
+    data_[i0] = m(0, 0) * a0 + m(0, 1) * a1;
+    data_[i1] = m(1, 0) * a0 + m(1, 1) * a1;
+  }
+}
+
+void Statevector::apply_matrix4(ir::Qubit t0, ir::Qubit t1, const Mat4& m,
+                                std::uint64_t control_mask) {
+  const std::size_t quarter = data_.size() >> 2;
+  const ir::Qubit lo = std::min(t0, t1);
+  const ir::Qubit hi = std::max(t0, t1);
+  for (std::size_t i = 0; i < quarter; ++i) {
+    const std::uint64_t base = insert_two_zero_bits(i, lo, hi);
+    if ((base & control_mask) != control_mask) {
+      continue;
+    }
+    // Matrix index bit 0 corresponds to t0, bit 1 to t1.
+    std::uint64_t idx[4];
+    for (std::uint64_t r = 0; r < 4; ++r) {
+      std::uint64_t v = base;
+      v = set_bit(v, t0, (r & 1) != 0);
+      v = set_bit(v, t1, (r & 2) != 0);
+      idx[r] = v;
+    }
+    const Complex a[4] = {data_[idx[0]], data_[idx[1]], data_[idx[2]],
+                          data_[idx[3]]};
+    for (std::uint64_t r = 0; r < 4; ++r) {
+      Complex s = 0.0;
+      for (std::uint64_t c = 0; c < 4; ++c) {
+        s += m(r, c) * a[c];
+      }
+      data_[idx[r]] = s;
+    }
+  }
+}
+
+double Statevector::prob_one(ir::Qubit q) const {
+  double p = 0.0;
+  const std::size_t half = data_.size() >> 1;
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::uint64_t i1 = insert_zero_bit(i, q) | (1ULL << q);
+    p += std::norm(data_[i1]);
+  }
+  return p;
+}
+
+bool Statevector::measure(ir::Qubit q, Rng& rng) {
+  const double p1 = prob_one(q);
+  const bool outcome = rng.uniform() < p1;
+  const double keep_prob = outcome ? p1 : 1.0 - p1;
+  const double scale =
+      keep_prob > 0.0 ? 1.0 / std::sqrt(keep_prob) : 0.0;
+  const std::size_t half = data_.size() >> 1;
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::uint64_t i0 = insert_zero_bit(i, q);
+    const std::uint64_t i1 = i0 | (1ULL << q);
+    if (outcome) {
+      data_[i0] = 0.0;
+      data_[i1] *= scale;
+    } else {
+      data_[i0] *= scale;
+      data_[i1] = 0.0;
+    }
+  }
+  return outcome;
+}
+
+std::uint64_t Statevector::sample(Rng& rng) const {
+  double r = rng.uniform();
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    r -= std::norm(data_[i]);
+    if (r <= 0.0) {
+      return i;
+    }
+  }
+  return data_.size() - 1;  // numerical remainder lands on the last state
+}
+
+void Statevector::reset(ir::Qubit q, Rng& rng) {
+  if (measure(q, rng)) {
+    Mat2 x;
+    x(0, 1) = 1.0;
+    x(1, 0) = 1.0;
+    apply_matrix2(q, x);
+  }
+}
+
+Complex Statevector::inner_product(const Statevector& other) const {
+  if (other.dim() != dim()) {
+    throw std::invalid_argument("inner_product: dimension mismatch");
+  }
+  Complex s = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    s += std::conj(data_[i]) * other.data_[i];
+  }
+  return s;
+}
+
+double Statevector::fidelity(const Statevector& other) const {
+  return std::norm(inner_product(other));
+}
+
+double Statevector::norm() const {
+  double s = 0.0;
+  for (const auto& a : data_) {
+    s += std::norm(a);
+  }
+  return std::sqrt(s);
+}
+
+void Statevector::normalize() {
+  const double n = norm();
+  if (n <= 0.0) {
+    throw std::logic_error("normalize: zero state");
+  }
+  const double inv = 1.0 / n;
+  for (auto& a : data_) {
+    a *= inv;
+  }
+}
+
+std::vector<double> Statevector::probabilities() const {
+  std::vector<double> p(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    p[i] = std::norm(data_[i]);
+  }
+  return p;
+}
+
+bool Statevector::approx_equal(const Statevector& other, double eps) const {
+  if (other.dim() != dim()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (!qdt::approx_equal(data_[i], other.data_[i], eps)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Statevector::equal_up_to_global_phase(const Statevector& other,
+                                           double eps) const {
+  if (other.dim() != dim()) {
+    return false;
+  }
+  // Phase-align on the largest amplitude of `other`.
+  std::size_t k = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(other.data_[i]) > best) {
+      best = std::abs(other.data_[i]);
+      k = i;
+    }
+  }
+  if (best <= eps) {
+    return approx_equal(other, eps);
+  }
+  const Complex ratio = data_[k] / other.data_[k];
+  if (std::abs(std::abs(ratio) - 1.0) > eps) {
+    return false;
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (!qdt::approx_equal(data_[i], other.data_[i] * ratio, eps)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qdt::arrays

@@ -1,0 +1,81 @@
+// The Section II data structure: a quantum state as a flat array of 2^n
+// complex amplitudes, with in-place stride kernels for gate application.
+//
+// This is the simplest and most general backend — and the memory wall it
+// hits (2^n growth, "today's practical limit is less than 50 qubits") is
+// exactly the motivation the paper gives for the other three structures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/eps.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "ir/operation.hpp"
+
+namespace qdt::arrays {
+
+class Statevector {
+ public:
+  /// |0...0> on n qubits. n must be small enough that 2^n fits in memory.
+  explicit Statevector(std::size_t num_qubits);
+
+  /// State with explicit amplitudes; size must be a power of two.
+  explicit Statevector(std::vector<Complex> amplitudes);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::size_t dim() const { return data_.size(); }
+  const std::vector<Complex>& amplitudes() const { return data_; }
+  Complex amplitude(std::uint64_t basis_state) const {
+    return data_[basis_state];
+  }
+
+  /// Apply a unitary operation (any catalogue gate, any number of controls).
+  void apply(const ir::Operation& op);
+
+  /// Apply a raw 2x2 matrix to `target`, restricted to basis states where
+  /// every bit of `control_mask` is 1.
+  void apply_matrix2(ir::Qubit target, const Mat2& m,
+                     std::uint64_t control_mask = 0);
+
+  /// Apply a raw 4x4 matrix to (t0, t1) where t0 indexes matrix bit 0.
+  void apply_matrix4(ir::Qubit t0, ir::Qubit t1, const Mat4& m,
+                     std::uint64_t control_mask = 0);
+
+  /// Probability of measuring qubit q as 1.
+  double prob_one(ir::Qubit q) const;
+
+  /// Measure a single qubit: collapses the state, returns the outcome.
+  bool measure(ir::Qubit q, Rng& rng);
+
+  /// Non-destructive sampling of a full basis-state readout.
+  std::uint64_t sample(Rng& rng) const;
+
+  /// Force qubit q to |0> (measure and, on outcome 1, apply X).
+  void reset(ir::Qubit q, Rng& rng);
+
+  /// <this|other>.
+  Complex inner_product(const Statevector& other) const;
+
+  /// |<this|other>|^2.
+  double fidelity(const Statevector& other) const;
+
+  double norm() const;
+  void normalize();
+
+  /// Probability vector |a_i|^2.
+  std::vector<double> probabilities() const;
+
+  bool approx_equal(const Statevector& other, double eps = 1e-9) const;
+
+  /// Equality up to a global phase factor.
+  bool equal_up_to_global_phase(const Statevector& other,
+                                double eps = 1e-9) const;
+
+ private:
+  std::size_t num_qubits_;
+  std::vector<Complex> data_;
+};
+
+}  // namespace qdt::arrays

@@ -1,0 +1,96 @@
+#include "arrays/svsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hpp"
+
+namespace qdt::arrays {
+
+SvResult StatevectorSimulator::run(const ir::Circuit& circuit) {
+  SvResult res{Statevector(circuit.num_qubits()), {}};
+  for (const auto& op : circuit.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    if (op.is_measurement()) {
+      for (const auto q : op.targets()) {
+        bool outcome = res.state.measure(q, rng_);
+        if (noise_.readout_error > 0.0 &&
+            rng_.uniform() < noise_.readout_error) {
+          outcome = !outcome;  // classical readout flip (state unchanged)
+        }
+        res.measurements.emplace_back(q, outcome);
+      }
+      continue;
+    }
+    if (op.is_reset()) {
+      for (const auto q : op.targets()) {
+        res.state.reset(q, rng_);
+      }
+      continue;
+    }
+    res.state.apply(op);
+    for (const auto& ch : noise_.gate_noise) {
+      for (const auto q : op.qubits()) {
+        apply_channel_trajectory(res.state, ch, q);
+      }
+    }
+  }
+  return res;
+}
+
+std::map<std::uint64_t, std::size_t> StatevectorSimulator::sample_counts(
+    const ir::Circuit& circuit, std::size_t shots) {
+  std::map<std::uint64_t, std::size_t> counts;
+  const bool single_pass = circuit.is_unitary() && noise_.empty();
+  if (single_pass) {
+    const SvResult res = run(circuit);
+    for (std::size_t s = 0; s < shots; ++s) {
+      ++counts[res.state.sample(rng_)];
+    }
+    return counts;
+  }
+  for (std::size_t s = 0; s < shots; ++s) {
+    const SvResult res = run(circuit);
+    std::uint64_t word = res.state.sample(rng_);
+    // Mid-circuit measurement records overwrite the sampled bits so that
+    // recorded readout errors are reflected.
+    for (const auto& [q, bit] : res.measurements) {
+      word = set_bit(word, q, bit);
+    }
+    ++counts[word];
+  }
+  return counts;
+}
+
+void StatevectorSimulator::apply_channel_trajectory(Statevector& sv,
+                                                    const KrausChannel& ch,
+                                                    ir::Qubit q) {
+  // Compute the branch weights || K_i |psi> ||^2 and pick one.
+  std::vector<Statevector> branches;
+  std::vector<double> weights;
+  branches.reserve(ch.ops.size());
+  for (const auto& k : ch.ops) {
+    Statevector branch = sv;
+    branch.apply_matrix2(q, k);
+    const double w = branch.norm();
+    branches.push_back(std::move(branch));
+    weights.push_back(w * w);
+  }
+  double r = rng_.uniform();
+  std::size_t pick = weights.size() - 1;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) {
+      pick = i;
+      break;
+    }
+  }
+  sv = std::move(branches[pick]);
+  if (weights[pick] > 0.0) {
+    sv.normalize();
+  }
+}
+
+}  // namespace qdt::arrays

@@ -1,0 +1,51 @@
+// Circuit-level driver for the array (statevector) backend: strong
+// simulation, sampling, and stochastic noise via quantum trajectories.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arrays/noise.hpp"
+#include "arrays/statevector.hpp"
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+
+namespace qdt::arrays {
+
+/// Outcome of one strong-simulation run.
+struct SvResult {
+  Statevector state;
+  /// Mid-circuit and final measurement records, in program order.
+  std::vector<std::pair<ir::Qubit, bool>> measurements;
+};
+
+class StatevectorSimulator {
+ public:
+  explicit StatevectorSimulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  /// Optional noise: each Kraus channel is realized stochastically (a
+  /// quantum trajectory), so repeated runs average to the density-matrix
+  /// result.
+  void set_noise(NoiseModel noise) { noise_ = std::move(noise); }
+
+  /// Execute the full circuit once (measurements collapse the state).
+  SvResult run(const ir::Circuit& circuit);
+
+  /// Sampled readout of all qubits over `shots` executions. For purely
+  /// unitary, noise-free circuits the state is computed once and sampled
+  /// `shots` times; otherwise each shot is an independent trajectory.
+  std::map<std::uint64_t, std::size_t> sample_counts(
+      const ir::Circuit& circuit, std::size_t shots);
+
+ private:
+  /// Apply one Kraus channel stochastically: pick branch i with probability
+  /// ||K_i |psi>||^2 and renormalize.
+  void apply_channel_trajectory(Statevector& sv, const KrausChannel& ch,
+                                ir::Qubit q);
+
+  Rng rng_;
+  NoiseModel noise_;
+};
+
+}  // namespace qdt::arrays

@@ -1,0 +1,52 @@
+// Bit-twiddling helpers shared by the array, DD, and TN backends.
+//
+// Convention used throughout the library: qubit q corresponds to bit q of a
+// basis-state index, so qubit 0 is the *least* significant bit. This matches
+// the paper's Section III decomposition where q_{n-1} (the top decision-
+// diagram level) is the most significant qubit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qdt {
+
+/// Value of bit `bit` of `index`.
+inline bool get_bit(std::uint64_t index, std::size_t bit) {
+  return (index >> bit) & 1ULL;
+}
+
+/// `index` with bit `bit` set to `value`.
+inline std::uint64_t set_bit(std::uint64_t index, std::size_t bit,
+                             bool value) {
+  const std::uint64_t mask = 1ULL << bit;
+  return value ? (index | mask) : (index & ~mask);
+}
+
+/// `index` with bit `bit` flipped.
+inline std::uint64_t flip_bit(std::uint64_t index, std::size_t bit) {
+  return index ^ (1ULL << bit);
+}
+
+/// Insert a zero bit at position `bit`, shifting higher bits up:
+/// bits [0, bit) stay, bits [bit, 63) move to [bit+1, 64).
+/// Enumerating i in [0, 2^{n-1}) and inserting at `bit` visits exactly the
+/// indices whose `bit` is 0 — the standard stride trick for 1-qubit kernels.
+inline std::uint64_t insert_zero_bit(std::uint64_t index, std::size_t bit) {
+  const std::uint64_t low = index & ((1ULL << bit) - 1);
+  const std::uint64_t high = index >> bit;
+  return (high << (bit + 1)) | low;
+}
+
+/// Insert two zero bits at positions b_low < b_high (positions refer to the
+/// *result*). Used by 2-qubit gate kernels.
+inline std::uint64_t insert_two_zero_bits(std::uint64_t index,
+                                          std::size_t b_low,
+                                          std::size_t b_high) {
+  return insert_zero_bit(insert_zero_bit(index, b_low), b_high);
+}
+
+/// Population count.
+inline int popcount64(std::uint64_t v) { return __builtin_popcountll(v); }
+
+}  // namespace qdt

@@ -1,0 +1,51 @@
+// Tolerance policy for approximate floating-point comparison.
+//
+// All four backends (arrays, decision diagrams, tensor networks, ZX scalars)
+// accumulate rounding error through long chains of complex multiplications.
+// A single shared tolerance keeps "equal" meaning the same thing everywhere:
+// two values within kEps of each other are treated as one value.
+#pragma once
+
+#include <cmath>
+#include <complex>
+
+namespace qdt {
+
+using Complex = std::complex<double>;
+
+/// Global comparison tolerance. Chosen so that ~10^6 chained multiplications
+/// of unit-magnitude complex numbers still compare correctly, while values
+/// that differ by a physical amount (any amplitude of a <64-qubit basis
+/// state) never unify.
+inline constexpr double kEps = 1e-10;
+
+/// True if |a - b| <= eps.
+inline bool approx_equal(double a, double b, double eps = kEps) {
+  return std::abs(a - b) <= eps;
+}
+
+/// True if both components are within eps.
+inline bool approx_equal(const Complex& a, const Complex& b,
+                         double eps = kEps) {
+  return approx_equal(a.real(), b.real(), eps) &&
+         approx_equal(a.imag(), b.imag(), eps);
+}
+
+/// True if the value is indistinguishable from zero.
+inline bool approx_zero(double a, double eps = kEps) {
+  return std::abs(a) <= eps;
+}
+
+inline bool approx_zero(const Complex& a, double eps = kEps) {
+  return approx_zero(a.real(), eps) && approx_zero(a.imag(), eps);
+}
+
+/// True if the value is indistinguishable from one.
+inline bool approx_one(const Complex& a, double eps = kEps) {
+  return approx_equal(a, Complex{1.0, 0.0}, eps);
+}
+
+/// 1/sqrt(2), the most common amplitude in the whole code base.
+inline const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+
+}  // namespace qdt

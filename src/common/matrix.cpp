@@ -1,0 +1,146 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+
+namespace qdt {
+
+Mat2 Mat2::identity() {
+  Mat2 m;
+  m(0, 0) = 1.0;
+  m(1, 1) = 1.0;
+  return m;
+}
+
+Mat2 Mat2::zero() { return Mat2{}; }
+
+Mat2 Mat2::operator*(const Mat2& o) const {
+  Mat2 r;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      r(i, j) = (*this)(i, 0) * o(0, j) + (*this)(i, 1) * o(1, j);
+    }
+  }
+  return r;
+}
+
+Mat2 Mat2::operator*(const Complex& s) const {
+  Mat2 r = *this;
+  for (auto& v : r.e) {
+    v *= s;
+  }
+  return r;
+}
+
+Mat2 Mat2::operator+(const Mat2& o) const {
+  Mat2 r = *this;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.e[i] += o.e[i];
+  }
+  return r;
+}
+
+Mat2 Mat2::adjoint() const {
+  Mat2 r;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      r(i, j) = std::conj((*this)(j, i));
+    }
+  }
+  return r;
+}
+
+bool Mat2::is_unitary(double eps) const {
+  const Mat2 p = *this * adjoint();
+  return approx_equal(p, identity(), eps);
+}
+
+Mat4 Mat4::identity() {
+  Mat4 m;
+  for (std::size_t i = 0; i < 4; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+Mat4 Mat4::operator*(const Mat4& o) const {
+  Mat4 r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      Complex s = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) {
+        s += (*this)(i, k) * o(k, j);
+      }
+      r(i, j) = s;
+    }
+  }
+  return r;
+}
+
+Mat4 Mat4::adjoint() const {
+  Mat4 r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      r(i, j) = std::conj((*this)(j, i));
+    }
+  }
+  return r;
+}
+
+bool Mat4::is_unitary(double eps) const {
+  const Mat4 p = *this * adjoint();
+  return approx_equal(p, identity(), eps);
+}
+
+Mat4 kron(const Mat2& a, const Mat2& b) {
+  Mat4 r;
+  for (std::size_t ar = 0; ar < 2; ++ar) {
+    for (std::size_t ac = 0; ac < 2; ++ac) {
+      for (std::size_t br = 0; br < 2; ++br) {
+        for (std::size_t bc = 0; bc < 2; ++bc) {
+          r((ar << 1) | br, (ac << 1) | bc) = a(ar, ac) * b(br, bc);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+bool approx_equal(const Mat2& a, const Mat2& b, double eps) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (!approx_equal(a.e[i], b.e[i], eps)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool approx_equal(const Mat4& a, const Mat4& b, double eps) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (!approx_equal(a.e[i], b.e[i], eps)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool equal_up_to_global_phase(const Mat2& a, const Mat2& b, double eps) {
+  // Find the entry of b with the largest modulus to divide out the phase.
+  std::size_t k = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (std::abs(b.e[i]) > best) {
+      best = std::abs(b.e[i]);
+      k = i;
+    }
+  }
+  if (best <= eps) {
+    return approx_equal(a, b, eps);
+  }
+  const Complex ratio = a.e[k] / b.e[k];
+  if (std::abs(std::abs(ratio) - 1.0) > eps) {
+    return false;
+  }
+  return approx_equal(a, b * ratio, eps);
+}
+
+}  // namespace qdt

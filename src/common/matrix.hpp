@@ -1,0 +1,62 @@
+// Small fixed-size complex matrices: the exact semantics of every gate in
+// the catalogue. Mat2 describes single-qubit gates, Mat4 two-qubit gates
+// (row/column index bit 0 = first operand qubit, matching qdt's little-endian
+// basis ordering).
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstddef>
+
+#include "common/eps.hpp"
+
+namespace qdt {
+
+/// Dense 2x2 complex matrix, row-major: m[r][c] = entries[2*r + c].
+struct Mat2 {
+  std::array<Complex, 4> e{};
+
+  Complex& operator()(std::size_t r, std::size_t c) { return e[2 * r + c]; }
+  const Complex& operator()(std::size_t r, std::size_t c) const {
+    return e[2 * r + c];
+  }
+
+  static Mat2 identity();
+  static Mat2 zero();
+
+  Mat2 operator*(const Mat2& o) const;
+  Mat2 operator*(const Complex& s) const;
+  Mat2 operator+(const Mat2& o) const;
+  Mat2 adjoint() const;
+  bool is_unitary(double eps = 1e-9) const;
+};
+
+/// Dense 4x4 complex matrix, row-major.
+struct Mat4 {
+  std::array<Complex, 16> e{};
+
+  Complex& operator()(std::size_t r, std::size_t c) { return e[4 * r + c]; }
+  const Complex& operator()(std::size_t r, std::size_t c) const {
+    return e[4 * r + c];
+  }
+
+  static Mat4 identity();
+
+  Mat4 operator*(const Mat4& o) const;
+  Mat4 adjoint() const;
+  bool is_unitary(double eps = 1e-9) const;
+};
+
+/// Kronecker product a (x) b: index bit layout (a_bit << 1) | b_bit, i.e. `b`
+/// acts on the less significant qubit.
+Mat4 kron(const Mat2& a, const Mat2& b);
+
+bool approx_equal(const Mat2& a, const Mat2& b, double eps = kEps);
+bool approx_equal(const Mat4& a, const Mat4& b, double eps = kEps);
+
+/// True if a == c*b for some unit-modulus scalar c (equality up to global
+/// phase, the physically meaningful notion for gate matrices).
+bool equal_up_to_global_phase(const Mat2& a, const Mat2& b,
+                              double eps = 1e-9);
+
+}  // namespace qdt

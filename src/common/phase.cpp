@@ -1,0 +1,132 @@
+#include "common/phase.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace qdt {
+
+Phase::Phase(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den == 0) {
+    throw std::invalid_argument("Phase: zero denominator");
+  }
+  normalize();
+}
+
+void Phase::normalize() {
+  if (den_ < 0) {
+    den_ = -den_;
+    num_ = -num_;
+  }
+  // Reduce to lowest terms first so the modulus below cannot overflow.
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  // Bring num_/den_ into (-1, 1] (i.e. the angle into (-pi, pi]).
+  const std::int64_t two_den = 2 * den_;
+  num_ %= two_den;              // now in (-2den, 2den)
+  if (num_ > den_) {            // (pi, 2pi) -> subtract 2pi
+    num_ -= two_den;
+  } else if (num_ <= -den_) {   // (-2pi, -pi] -> add 2pi
+    num_ += two_den;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+  }
+  // Overflow guard: repeated addition of unrelated high-precision phases
+  // can grow the denominator towards the int64 limit. Snap back to the
+  // best approximation with den <= 2^30 (error ~2^-30 rad, far below the
+  // library-wide numeric tolerance).
+  if (den_ > (std::int64_t{1} << 30)) {
+    *this = from_radians(radians());
+  }
+}
+
+Phase Phase::from_radians(double radians, std::int64_t max_den) {
+  const double turns = radians / std::numbers::pi;  // value in units of pi
+  // Continued-fraction (Stern-Brocot) search for the best rational
+  // approximation p/q of `turns` with q <= max_den.
+  double x = turns;
+  std::int64_t p0 = 0, q0 = 1, p1 = 1, q1 = 0;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double a_floor = std::floor(x);
+    if (a_floor > 9.0e15) {  // next convergent would overflow
+      break;
+    }
+    const auto a = static_cast<std::int64_t>(a_floor);
+    // Overflow-safe bound check before computing the next convergent.
+    if (q1 != 0 && a > (max_den - q0) / q1) {
+      break;
+    }
+    const std::int64_t p2 = a * p1 + p0;
+    const std::int64_t q2 = a * q1 + q0;
+    if (q2 > max_den || q2 <= 0) {
+      break;
+    }
+    p0 = p1;
+    q0 = q1;
+    p1 = p2;
+    q1 = q2;
+    const double frac = x - a_floor;
+    if (frac < 1e-15 ||
+        std::abs(static_cast<double>(p1) / static_cast<double>(q1) - turns) <
+            1e-14) {
+      break;
+    }
+    x = 1.0 / frac;
+  }
+  if (q1 == 0) {
+    return Phase{};
+  }
+  return Phase{p1, q1};
+}
+
+double Phase::radians() const {
+  return static_cast<double>(num_) / static_cast<double>(den_) *
+         std::numbers::pi;
+}
+
+Phase Phase::operator+(const Phase& o) const {
+  // Reduce over the gcd of denominators to keep intermediates small.
+  const std::int64_t g = std::gcd(den_, o.den_);
+  return Phase{num_ * (o.den_ / g) + o.num_ * (den_ / g), den_ / g * o.den_};
+}
+
+Phase Phase::operator-(const Phase& o) const { return *this + (-o); }
+
+Phase Phase::operator-() const {
+  Phase p;
+  p.num_ = -num_;
+  p.den_ = den_;
+  p.normalize();  // maps -pi back to +pi
+  return p;
+}
+
+std::string Phase::str() const {
+  if (num_ == 0) {
+    return "0";
+  }
+  std::string s;
+  if (num_ == -1) {
+    s = "-pi";
+  } else if (num_ == 1) {
+    s = "pi";
+  } else {
+    s = std::to_string(num_) + "pi";
+  }
+  if (den_ != 1) {
+    s += "/" + std::to_string(den_);
+  }
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const Phase& p) {
+  return os << p.str();
+}
+
+}  // namespace qdt

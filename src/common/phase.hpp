@@ -1,0 +1,77 @@
+// Exact rational phases: angles that are rational multiples of pi, kept in
+// lowest terms modulo 2*pi.
+//
+// The ZX-calculus needs *exact* phase arithmetic: whether a spider's phase is
+// a multiple of pi/2 (Clifford) or of pi (Pauli) decides which rewrite rules
+// fire, and floating-point drift would silently disable them. The circuit IR
+// also uses Phase for the discrete gate catalogue (S = pi/2, T = pi/4, ...),
+// falling back to a double-valued angle only for truly continuous rotations.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace qdt {
+
+/// An angle `num/den * pi`, normalized so that `den >= 1`,
+/// `gcd(|num|, den) == 1`, and `num/den` lies in (-1, 1].
+/// The value 0 is represented as 0/1; pi as 1/1.
+class Phase {
+ public:
+  /// Zero phase.
+  constexpr Phase() = default;
+
+  /// The phase `num/den * pi`. `den` must be nonzero.
+  Phase(std::int64_t num, std::int64_t den);
+
+  /// Named constants for the gate catalogue.
+  static Phase zero() { return {}; }
+  static Phase pi() { return {1, 1}; }
+  static Phase pi_2() { return {1, 2}; }
+  static Phase pi_4() { return {1, 4}; }
+  static Phase minus_pi_2() { return {-1, 2}; }
+  static Phase minus_pi_4() { return {-1, 4}; }
+
+  /// Closest rational-multiple-of-pi approximation of `radians` with
+  /// denominator at most `max_den`. Exact for every angle the gate catalogue
+  /// produces; for generic angles the worst-case error is ~2^-30 radians.
+  /// Used when importing numeric QASM angles and by the Euler-angle passes.
+  static Phase from_radians(double radians,
+                            std::int64_t max_den = std::int64_t{1} << 30);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  double radians() const;
+
+  bool is_zero() const { return num_ == 0; }
+  /// Multiple of pi (0 or pi): the Pauli phases.
+  bool is_pauli() const { return den_ == 1; }
+  /// Multiple of pi/2: the Clifford phases (includes Pauli).
+  bool is_clifford() const { return den_ <= 2; }
+  /// Strictly pi/2 or -pi/2 ("proper Clifford", the local-complementation
+  /// precondition in graph-like ZX rewriting).
+  bool is_proper_clifford() const { return den_ == 2; }
+
+  Phase operator+(const Phase& o) const;
+  Phase operator-(const Phase& o) const;
+  Phase operator-() const;
+  Phase& operator+=(const Phase& o) { return *this = *this + o; }
+  Phase& operator-=(const Phase& o) { return *this = *this - o; }
+
+  bool operator==(const Phase& o) const = default;
+
+  /// Human-readable form such as "0", "pi", "-pi/2", "3pi/4".
+  std::string str() const;
+
+ private:
+  void normalize();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Phase& p);
+
+}  // namespace qdt

@@ -1,0 +1,47 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace qdt {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>{lo, hi}(engine_);
+}
+
+std::uint64_t Rng::index(std::uint64_t n) {
+  return std::uniform_int_distribution<std::uint64_t>{0, n - 1}(engine_);
+}
+
+std::int64_t Rng::integer(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+}
+
+double Rng::gaussian() {
+  return std::normal_distribution<double>{0.0, 1.0}(engine_);
+}
+
+std::complex<double> Rng::gaussian_complex() {
+  const double re = gaussian();
+  const double im = gaussian();
+  return {re, im};
+}
+
+std::vector<std::complex<double>> Rng::random_state(std::size_t dim) {
+  std::vector<std::complex<double>> v(dim);
+  double norm2 = 0.0;
+  for (auto& a : v) {
+    a = gaussian_complex();
+    norm2 += std::norm(a);
+  }
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (auto& a : v) {
+    a *= inv;
+  }
+  return v;
+}
+
+}  // namespace qdt

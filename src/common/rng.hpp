@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (measurement sampling, random
+// circuit generation, noise injection) draws from a qdt::Rng constructed with
+// an explicit seed, so all tests and benchmarks are reproducible bit-for-bit.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace qdt {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xC0FFEEULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t integer(std::int64_t lo, std::int64_t hi);
+
+  /// Fair coin flip.
+  bool coin() { return index(2) == 1; }
+
+  /// Standard normal deviate.
+  double gaussian();
+
+  /// Complex number with independent standard-normal components.
+  std::complex<double> gaussian_complex();
+
+  /// Haar-like random unit vector of the given dimension (Gaussian then
+  /// normalized).
+  std::vector<std::complex<double>> random_state(std::size_t dim);
+
+  /// Underlying engine, for std::shuffle and friends.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qdt

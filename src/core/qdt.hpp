@@ -1,0 +1,38 @@
+// Umbrella header: one include for the whole Quantum Design Tools library.
+//
+//   #include "core/qdt.hpp"
+//
+//   auto circuit = qdt::ir::ghz(20);
+//   auto result = qdt::core::simulate(
+//       circuit, qdt::core::SimBackend::DecisionDiagram);
+#pragma once
+
+#include "arrays/density_matrix.hpp"   // IWYU pragma: export
+#include "arrays/dense_unitary.hpp"    // IWYU pragma: export
+#include "arrays/noise.hpp"            // IWYU pragma: export
+#include "arrays/statevector.hpp"      // IWYU pragma: export
+#include "arrays/svsim.hpp"            // IWYU pragma: export
+#include "common/eps.hpp"              // IWYU pragma: export
+#include "common/matrix.hpp"           // IWYU pragma: export
+#include "common/phase.hpp"            // IWYU pragma: export
+#include "common/rng.hpp"              // IWYU pragma: export
+#include "core/tasks.hpp"              // IWYU pragma: export
+#include "dd/equivalence.hpp"          // IWYU pragma: export
+#include "dd/approximation.hpp"        // IWYU pragma: export
+#include "dd/density.hpp"              // IWYU pragma: export
+#include "dd/export_dot.hpp"           // IWYU pragma: export
+#include "dd/package.hpp"              // IWYU pragma: export
+#include "dd/simulator.hpp"            // IWYU pragma: export
+#include "ir/circuit.hpp"              // IWYU pragma: export
+#include "ir/library.hpp"              // IWYU pragma: export
+#include "ir/qasm.hpp"                 // IWYU pragma: export
+#include "stab/tableau.hpp"            // IWYU pragma: export
+#include "tn/mps.hpp"                  // IWYU pragma: export
+#include "tn/network.hpp"              // IWYU pragma: export
+#include "tn/tensor.hpp"               // IWYU pragma: export
+#include "transpile/decompose.hpp"     // IWYU pragma: export
+#include "transpile/transpiler.hpp"    // IWYU pragma: export
+#include "zx/circuit_to_zx.hpp"        // IWYU pragma: export
+#include "zx/equivalence.hpp"          // IWYU pragma: export
+#include "zx/simplify.hpp"             // IWYU pragma: export
+#include "zx/tensor_bridge.hpp"        // IWYU pragma: export

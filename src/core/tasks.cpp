@@ -1,0 +1,320 @@
+#include "core/tasks.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "arrays/dense_unitary.hpp"
+#include "arrays/svsim.hpp"
+#include "stab/tableau.hpp"
+#include "dd/equivalence.hpp"
+#include "dd/simulator.hpp"
+#include "tn/mps.hpp"
+#include "tn/network.hpp"
+#include "transpile/decompose.hpp"
+#include "zx/equivalence.hpp"
+
+namespace qdt::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* version() { return "1.0.0"; }
+
+const char* backend_name(SimBackend b) {
+  switch (b) {
+    case SimBackend::Array:
+      return "array";
+    case SimBackend::DecisionDiagram:
+      return "decision-diagram";
+    case SimBackend::TensorNetwork:
+      return "tensor-network";
+    case SimBackend::Mps:
+      return "mps";
+    case SimBackend::Stabilizer:
+      return "stabilizer";
+  }
+  return "?";
+}
+
+SimulateResult simulate(const ir::Circuit& circuit, SimBackend backend,
+                        const SimulateOptions& options) {
+  SimulateResult res;
+  res.backend = backend;
+  const auto start = Clock::now();
+  switch (backend) {
+    case SimBackend::Array: {
+      arrays::StatevectorSimulator sim(options.seed);
+      if (!options.noise.empty()) {
+        sim.set_noise(options.noise);
+      }
+      if (options.shots > 0) {
+        res.counts = sim.sample_counts(circuit, options.shots);
+      }
+      if (options.want_state) {
+        const auto run = sim.run(circuit);
+        res.state = run.state.amplitudes();
+        res.representation_size = run.state.dim();
+      } else {
+        res.representation_size = std::size_t{1} << circuit.num_qubits();
+      }
+      break;
+    }
+    case SimBackend::DecisionDiagram: {
+      dd::DDSimulator sim(circuit.num_qubits(), options.seed);
+      if (!options.noise.empty()) {
+        sim.set_noise(options.noise);
+      }
+      sim.run(circuit);
+      if (options.shots > 0) {
+        if (options.noise.empty() && circuit.is_unitary()) {
+          res.counts = sim.sample_counts(options.shots);
+        } else {
+          // Stochastic noise / mid-circuit collapse: every shot must be an
+          // independent trajectory.
+          for (std::size_t s = 0; s < options.shots; ++s) {
+            ++res.counts[sim.sample_counts(1).begin()->first];
+            if (s + 1 < options.shots) {
+              sim.reset_state();
+              sim.run(circuit);
+            }
+          }
+        }
+      }
+      if (options.want_state) {
+        res.state = sim.state_vector();
+      }
+      res.representation_size = sim.state_node_count();
+      break;
+    }
+    case SimBackend::TensorNetwork: {
+      if (!options.noise.empty()) {
+        throw std::invalid_argument(
+            "simulate: the tensor-network backend is noise-free");
+      }
+      const ir::Circuit unitary = circuit.unitary_part();
+      {
+        std::vector<tn::Label> outs;
+        res.representation_size =
+            tn::circuit_network(unitary, outs).total_elements();
+      }
+      if (options.want_state) {
+        tn::ContractionStats stats;
+        res.state = tn::statevector(unitary, /*greedy=*/true, &stats);
+        res.representation_size =
+            std::max(res.representation_size, stats.peak_tensor_size);
+      }
+      if (options.shots > 0) {
+        // Sample from the contracted state.
+        if (!res.state.has_value()) {
+          res.state = tn::statevector(unitary);
+        }
+        arrays::Statevector sv(*res.state);
+        Rng rng(options.seed);
+        for (std::size_t s = 0; s < options.shots; ++s) {
+          ++res.counts[sv.sample(rng)];
+        }
+        if (!options.want_state) {
+          res.state.reset();
+        }
+      }
+      break;
+    }
+    case SimBackend::Stabilizer: {
+      if (!options.noise.empty()) {
+        throw std::invalid_argument(
+            "simulate: the stabilizer backend is noise-free");
+      }
+      if (options.want_state) {
+        throw std::invalid_argument(
+            "simulate: the stabilizer backend cannot produce dense states "
+            "(set want_state = false)");
+      }
+      stab::StabilizerSimulator sim(circuit.num_qubits(), options.seed);
+      if (options.shots > 0) {
+        res.counts = sim.sample_counts(circuit, options.shots);
+      } else {
+        sim.run(circuit);
+      }
+      // 2n Pauli rows of 2n + 1 bits each.
+      res.representation_size =
+          2 * circuit.num_qubits() * (2 * circuit.num_qubits() + 1);
+      break;
+    }
+    case SimBackend::Mps: {
+      if (!options.noise.empty()) {
+        throw std::invalid_argument("simulate: the MPS backend is noise-free");
+      }
+      const ir::Circuit lowered = transpile::decompose_two_qubit(
+          transpile::decompose_multi_controlled(circuit.unitary_part()));
+      tn::MPS mps(circuit.num_qubits(), options.mps_max_bond);
+      mps.run(lowered);
+      res.representation_size = mps.total_elements();
+      if (options.want_state) {
+        res.state = mps.to_vector();
+      }
+      if (options.shots > 0) {
+        // Perfect sampling straight from the MPS — no 2^n readout.
+        Rng rng(options.seed);
+        for (std::size_t s = 0; s < options.shots; ++s) {
+          ++res.counts[mps.sample(rng)];
+        }
+      }
+      break;
+    }
+  }
+  res.seconds = elapsed(start);
+  return res;
+}
+
+Complex amplitude(const ir::Circuit& circuit, std::uint64_t basis,
+                  SimBackend backend) {
+  switch (backend) {
+    case SimBackend::Array: {
+      arrays::StatevectorSimulator sim;
+      return sim.run(circuit.unitary_part()).state.amplitude(basis);
+    }
+    case SimBackend::DecisionDiagram: {
+      dd::DDSimulator sim(circuit.num_qubits());
+      sim.run(circuit.unitary_part());
+      return sim.amplitude(basis);
+    }
+    case SimBackend::TensorNetwork:
+      return tn::amplitude(circuit.unitary_part(), basis);
+    case SimBackend::Mps: {
+      const ir::Circuit lowered = transpile::decompose_two_qubit(
+          transpile::decompose_multi_controlled(circuit.unitary_part()));
+      tn::MPS mps(circuit.num_qubits());
+      mps.run(lowered);
+      return mps.amplitude(basis);
+    }
+    case SimBackend::Stabilizer:
+      throw std::invalid_argument(
+          "amplitude: the stabilizer backend does not expose amplitudes");
+  }
+  throw std::logic_error("amplitude: unknown backend");
+}
+
+SimBackend recommend_backend(const ir::Circuit& circuit) {
+  const auto stats = circuit.stats();
+  // Clifford circuits of any width: the tableau is polynomial, full stop.
+  if (stats.num_qubits > 16 && stab::is_clifford_circuit(circuit)) {
+    return SimBackend::Stabilizer;
+  }
+  // Small widths: the dense array is unbeatable in constants.
+  if (stats.num_qubits <= 16) {
+    return SimBackend::Array;
+  }
+  // Bounded interaction range on a line: MPS memory stays small.
+  bool local = true;
+  for (const auto& op : circuit.ops()) {
+    const auto qubits = op.qubits();
+    if (qubits.size() == 2) {
+      const auto lo = std::min(qubits[0], qubits[1]);
+      const auto hi = std::max(qubits[0], qubits[1]);
+      if (hi - lo > 2) {
+        local = false;
+        break;
+      }
+    } else if (qubits.size() > 2) {
+      local = false;
+      break;
+    }
+  }
+  if (local && stats.depth <= 3 * stats.num_qubits) {
+    return SimBackend::Mps;
+  }
+  // Redundancy-friendly default beyond the array wall.
+  return SimBackend::DecisionDiagram;
+}
+
+const char* method_name(EcMethod m) {
+  switch (m) {
+    case EcMethod::Array:
+      return "array";
+    case EcMethod::DdAlternating:
+      return "dd-alternating";
+    case EcMethod::DdSequential:
+      return "dd-sequential";
+    case EcMethod::DdSimulative:
+      return "dd-simulative";
+    case EcMethod::Zx:
+      return "zx";
+  }
+  return "?";
+}
+
+VerifyResult verify(const ir::Circuit& c1, const ir::Circuit& c2,
+                    EcMethod method) {
+  VerifyResult res;
+  const auto start = Clock::now();
+  switch (method) {
+    case EcMethod::Array: {
+      if (c1.num_qubits() != c2.num_qubits()) {
+        res.equivalent = false;
+        res.detail = "width mismatch";
+        break;
+      }
+      const auto u1 =
+          arrays::DenseUnitary::from_circuit(c1.unitary_part());
+      const auto u2 =
+          arrays::DenseUnitary::from_circuit(c2.unitary_part());
+      res.equivalent = u1.equal_up_to_global_phase(u2, 1e-8);
+      res.detail = "dense unitary comparison";
+      break;
+    }
+    case EcMethod::DdAlternating:
+    case EcMethod::DdSequential: {
+      const auto r = dd::check_equivalence_dd(
+          c1.unitary_part(), c2.unitary_part(),
+          method == EcMethod::DdAlternating ? dd::EcStrategy::Alternating
+                                            : dd::EcStrategy::Sequential);
+      res.equivalent = r.equivalent;
+      res.detail = "miter peak " + std::to_string(r.peak_nodes) + " nodes";
+      break;
+    }
+    case EcMethod::DdSimulative: {
+      const auto r = dd::check_equivalence_dd_simulative(
+          c1.unitary_part(), c2.unitary_part(), /*num_stimuli=*/16);
+      res.equivalent = r.equivalent;
+      // Passing stimuli is evidence, not proof.
+      res.conclusive = !r.equivalent;
+      res.detail = r.note;
+      break;
+    }
+    case EcMethod::Zx: {
+      const auto r =
+          zx::check_equivalence_zx(c1.unitary_part(), c2.unitary_part());
+      res.equivalent = r.verdict == zx::ZxVerdict::Equivalent;
+      res.conclusive = r.verdict != zx::ZxVerdict::Inconclusive;
+      res.detail = r.note + " (spiders " +
+                   std::to_string(r.initial_spiders) + " -> " +
+                   std::to_string(r.reduced_spiders) + ")";
+      break;
+    }
+  }
+  res.seconds = elapsed(start);
+  return res;
+}
+
+CompileResult compile_and_verify(const ir::Circuit& circuit,
+                                 const transpile::Target& target,
+                                 EcMethod method,
+                                 const transpile::TranspileOptions& opts) {
+  CompileResult res;
+  res.transpiled = transpile::transpile(circuit, target, opts);
+  res.verification =
+      verify(transpile::padded_original(circuit, target),
+             transpile::restored_for_verification(res.transpiled), method);
+  return res;
+}
+
+}  // namespace qdt::core

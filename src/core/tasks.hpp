@@ -1,0 +1,112 @@
+// The unified design-tool API — the paper's three tasks (classical
+// simulation, compilation, verification), each dispatchable onto the data
+// structure that fits the job: arrays, decision diagrams, tensor networks,
+// or the ZX-calculus.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arrays/noise.hpp"
+#include "common/eps.hpp"
+#include "ir/circuit.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qdt::core {
+
+/// Library version string.
+const char* version();
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+enum class SimBackend {
+  Array,            // Section II: dense statevector
+  DecisionDiagram,  // Section III
+  TensorNetwork,    // Section IV: exact contraction (amplitudes/full state)
+  Mps,              // Section IV: matrix-product state
+  Stabilizer,       // tableau simulation of Clifford circuits [11]
+};
+
+const char* backend_name(SimBackend b);
+
+struct SimulateOptions {
+  std::uint64_t seed = 1;
+  std::size_t shots = 0;           // 0: no sampling
+  bool want_state = true;          // dense readout (small n only)
+  arrays::NoiseModel noise;        // Array / DecisionDiagram backends only
+  std::size_t mps_max_bond = 0;    // 0: exact
+};
+
+struct SimulateResult {
+  SimBackend backend;
+  std::optional<std::vector<Complex>> state;
+  std::map<std::uint64_t, std::size_t> counts;
+  /// Backend-specific size metric: amplitudes stored (Array), DD nodes,
+  /// tensor-network elements, or MPS elements.
+  std::size_t representation_size = 0;
+  double seconds = 0.0;
+};
+
+/// Strong/weak simulation of a circuit on the chosen backend.
+SimulateResult simulate(const ir::Circuit& circuit, SimBackend backend,
+                        const SimulateOptions& options = {});
+
+/// Single output amplitude <basis|C|0...0> — the task tensor networks are
+/// best at (Section IV).
+Complex amplitude(const ir::Circuit& circuit, std::uint64_t basis,
+                  SimBackend backend);
+
+/// Pick a backend from circuit shape: Clifford-only circuits go to the
+/// stabilizer tableau, small widths to arrays, bounded interaction ranges
+/// to MPS, everything else to decision diagrams.
+SimBackend recommend_backend(const ir::Circuit& circuit);
+
+// ---------------------------------------------------------------------------
+// Verification (equivalence checking)
+// ---------------------------------------------------------------------------
+
+enum class EcMethod {
+  Array,          // dense unitaries (oracle; tiny circuits only)
+  DdAlternating,  // Section III miter, alternating scheme [20]
+  DdSequential,
+  DdSimulative,   // random-stimuli simulation [20]
+  Zx,             // Section V rewriting [38] (+ tensor fallback)
+};
+
+const char* method_name(EcMethod m);
+
+struct VerifyResult {
+  bool equivalent = false;
+  /// False when the method could not decide (ZX rewriting stalled on a wide
+  /// non-Clifford miter, or the simulative check passed without proof).
+  bool conclusive = true;
+  std::string detail;
+  double seconds = 0.0;
+};
+
+VerifyResult verify(const ir::Circuit& c1, const ir::Circuit& c2,
+                    EcMethod method = EcMethod::DdAlternating);
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+struct CompileResult {
+  transpile::TranspileResult transpiled;
+  /// Post-compilation equivalence check of the result against the input.
+  VerifyResult verification;
+};
+
+/// Compile to the target and formally verify the output (Section I's full
+/// loop: compile, then prove the compiler didn't break the circuit).
+CompileResult compile_and_verify(const ir::Circuit& circuit,
+                                 const transpile::Target& target,
+                                 EcMethod method = EcMethod::DdAlternating,
+                                 const transpile::TranspileOptions& opts = {});
+
+}  // namespace qdt::core

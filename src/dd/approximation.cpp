@@ -1,0 +1,183 @@
+#include "dd/approximation.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace qdt::dd {
+
+namespace {
+
+struct EdgeRef {
+  const VecNode* node;
+  std::size_t child;
+  double mass;  // probability flowing through this edge
+  bool operator==(const EdgeRef&) const = default;
+};
+
+struct EdgeRefHash {
+  std::size_t operator()(const std::pair<const VecNode*, std::size_t>& e)
+      const {
+    return std::hash<const void*>{}(e.first) * 2 + e.second;
+  }
+};
+
+/// Squared L2 norm of each subtree (terminal = 1).
+double subtree_norm(const ComplexTable& ctab, const VecNode* n,
+                    std::unordered_map<const VecNode*, double>& memo) {
+  if (n == nullptr) {
+    return 1.0;
+  }
+  if (const auto it = memo.find(n); it != memo.end()) {
+    return it->second;
+  }
+  double s = 0.0;
+  for (const auto& e : n->succ) {
+    if (!e.is_zero()) {
+      s += ctab.norm2(e.weight) * subtree_norm(ctab, e.node, memo);
+    }
+  }
+  memo.emplace(n, s);
+  return s;
+}
+
+}  // namespace
+
+ApproxResult approximate(Package& pkg, VecEdge state, double budget) {
+  ApproxResult res;
+  res.state = state;
+  res.nodes_before = pkg.node_count(state);
+  res.nodes_after = res.nodes_before;
+  if (state.is_zero() || budget <= 0.0) {
+    return res;
+  }
+  auto& ctab = pkg.ctab();
+
+  // Upward norms.
+  std::unordered_map<const VecNode*, double> norms;
+  subtree_norm(ctab, state.node, norms);
+
+  // Downward masses, visiting nodes top-down in topological order (sorted
+  // by level descending — parents have strictly larger var).
+  std::unordered_map<std::pair<const VecNode*, std::size_t>, double,
+                     EdgeRefHash>
+      edge_mass;
+  std::unordered_map<const VecNode*, double> node_mass;
+  {
+    // Collect nodes and sort by var descending.
+    std::vector<const VecNode*> order;
+    std::unordered_set<const VecNode*> seen;
+    const std::function<void(const VecNode*)> collect =
+        [&](const VecNode* n) {
+          if (n == nullptr || seen.contains(n)) {
+            return;
+          }
+          seen.insert(n);
+          order.push_back(n);
+          for (const auto& e : n->succ) {
+            collect(e.node);
+          }
+        };
+    collect(state.node);
+    std::sort(order.begin(), order.end(),
+              [](const VecNode* a, const VecNode* b) {
+                return a->var > b->var;
+              });
+    node_mass[state.node] = 1.0;  // assume a normalized input state
+    // Walk top-down (parents have strictly larger var than children, so
+    // a node's full incoming mass is known before it is visited).
+    for (const VecNode* n : order) {
+      const double incoming = node_mass[n];
+      const double total = norms.at(n);
+      if (total <= 0.0) {
+        continue;
+      }
+      for (std::size_t i = 0; i < 2; ++i) {
+        const auto& e = n->succ[i];
+        if (e.is_zero()) {
+          continue;
+        }
+        const double share =
+            incoming * ctab.norm2(e.weight) *
+            (e.node == nullptr ? 1.0 : norms.at(e.node)) / total;
+        edge_mass[{n, i}] += share;
+        if (e.node != nullptr) {
+          node_mass[e.node] += share;
+        }
+      }
+    }
+  }
+
+  // Pick the smallest-mass edges while staying within the budget.
+  std::vector<EdgeRef> edges;
+  edges.reserve(edge_mass.size());
+  for (const auto& [key, mass] : edge_mass) {
+    edges.push_back(EdgeRef{key.first, key.second, mass});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const EdgeRef& a, const EdgeRef& b) {
+              return a.mass < b.mass;
+            });
+  std::unordered_set<std::pair<const VecNode*, std::size_t>, EdgeRefHash>
+      removed;
+  double cum = 0.0;
+  for (const auto& e : edges) {
+    if (cum + e.mass > budget) {
+      break;
+    }
+    cum += e.mass;
+    removed.insert({e.node, e.child});
+  }
+  if (removed.empty()) {
+    return res;
+  }
+
+  // Rebuild the DD with the selected edges zeroed out.
+  std::unordered_map<const VecNode*, VecEdge> rebuilt;
+  const std::function<VecEdge(const VecNode*)> rebuild =
+      [&](const VecNode* n) -> VecEdge {
+    if (const auto it = rebuilt.find(n); it != rebuilt.end()) {
+      return it->second;
+    }
+    std::array<VecEdge, 2> children;
+    for (std::size_t i = 0; i < 2; ++i) {
+      const auto& e = n->succ[i];
+      if (e.is_zero() || removed.contains({n, i})) {
+        children[i] = VecEdge::zero();
+        continue;
+      }
+      if (e.is_terminal()) {
+        children[i] = e;
+      } else {
+        const VecEdge sub = rebuild(e.node);
+        children[i] =
+            VecEdge{sub.node, ctab.mul(e.weight, sub.weight)};
+      }
+    }
+    const VecEdge out = pkg.make_vec_node(n->var, children[0], children[1]);
+    rebuilt.emplace(n, out);
+    return out;
+  };
+  const VecEdge core = rebuild(state.node);
+  VecEdge approx{core.node, ctab.mul(state.weight, core.weight)};
+
+  const double remaining = pkg.norm2(approx);
+  if (remaining <= 0.0) {
+    return res;  // refuse to approximate away the whole state
+  }
+  // Renormalize.
+  approx.weight = ctab.mul(
+      approx.weight,
+      ctab.lookup(Complex{1.0 / std::sqrt(remaining), 0.0}));
+
+  res.fidelity = std::norm(pkg.inner_product(approx, state));
+  res.state = approx;
+  res.nodes_after = pkg.node_count(approx);
+  res.edges_removed = removed.size();
+  return res;
+}
+
+}  // namespace qdt::dd

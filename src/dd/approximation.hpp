@@ -1,0 +1,30 @@
+// Approximate DD simulation [12] ("as accurate as needed, as efficient as
+// possible"): deliberately discard low-contribution parts of the state DD,
+// trading a bounded fidelity loss for (often dramatic) node-count
+// reductions. The discarded weight is tracked so the caller always knows
+// the exact fidelity of the approximation.
+#pragma once
+
+#include <cstddef>
+
+#include "dd/package.hpp"
+
+namespace qdt::dd {
+
+struct ApproxResult {
+  VecEdge state;
+  /// Squared overlap |<approx|exact>|^2 of the (renormalized) approximated
+  /// state with the input state.
+  double fidelity = 1.0;
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  std::size_t edges_removed = 0;
+};
+
+/// Remove the lowest-contribution edges of the state DD until the removed
+/// probability mass reaches `budget` (e.g. 0.02 allows a fidelity of
+/// ~0.98), then renormalize. Contribution of an edge = the probability mass
+/// of all basis states whose paths run through it.
+ApproxResult approximate(Package& pkg, VecEdge state, double budget);
+
+}  // namespace qdt::dd

@@ -1,0 +1,100 @@
+#include "dd/complex_table.hpp"
+
+#include <cmath>
+
+namespace qdt::dd {
+
+namespace {
+// Bucket width: twice the comparison tolerance, so any two values considered
+// equal are at most one bucket apart in each direction.
+constexpr double kBucket = 2.0 * kEps;
+}  // namespace
+
+ComplexTable::ComplexTable() {
+  values_.push_back(Complex{0.0, 0.0});  // kZero
+  values_.push_back(Complex{1.0, 0.0});  // kOne
+  buckets_[key_of(values_[0])].push_back(0);
+  buckets_[key_of(values_[1])].push_back(1);
+}
+
+ComplexTable::Key ComplexTable::key_of(const Complex& c) const {
+  return Key{static_cast<std::int64_t>(std::llround(c.real() / kBucket)),
+             static_cast<std::int64_t>(std::llround(c.imag() / kBucket))};
+}
+
+ComplexTable::Index ComplexTable::lookup(const Complex& c) {
+  const Key base = key_of(c);
+  for (std::int64_t dr = -1; dr <= 1; ++dr) {
+    for (std::int64_t di = -1; di <= 1; ++di) {
+      const Key k{base.re + dr, base.im + di};
+      const auto it = buckets_.find(k);
+      if (it == buckets_.end()) {
+        continue;
+      }
+      for (const Index idx : it->second) {
+        if (approx_equal(values_[idx], c)) {
+          return idx;
+        }
+      }
+    }
+  }
+  const auto idx = static_cast<Index>(values_.size());
+  values_.push_back(c);
+  buckets_[base].push_back(idx);
+  return idx;
+}
+
+ComplexTable::Index ComplexTable::mul(Index a, Index b) {
+  if (a == kZero || b == kZero) {
+    return kZero;
+  }
+  if (a == kOne) {
+    return b;
+  }
+  if (b == kOne) {
+    return a;
+  }
+  return lookup(values_[a] * values_[b]);
+}
+
+ComplexTable::Index ComplexTable::add(Index a, Index b) {
+  if (a == kZero) {
+    return b;
+  }
+  if (b == kZero) {
+    return a;
+  }
+  return lookup(values_[a] + values_[b]);
+}
+
+ComplexTable::Index ComplexTable::div(Index a, Index b) {
+  if (a == kZero) {
+    return kZero;
+  }
+  if (b == kOne) {
+    return a;
+  }
+  return lookup(values_[a] / values_[b]);
+}
+
+ComplexTable::Index ComplexTable::conj(Index a) {
+  if (a <= kOne) {
+    return a;
+  }
+  return lookup(std::conj(values_[a]));
+}
+
+ComplexTable::Index ComplexTable::neg(Index a) {
+  if (a == kZero) {
+    return a;
+  }
+  return lookup(-values_[a]);
+}
+
+double ComplexTable::norm2(Index a) const { return std::norm(values_[a]); }
+
+bool ComplexTable::equal_modulus(Index a, Index b) const {
+  return approx_equal(std::abs(values_[a]), std::abs(values_[b]));
+}
+
+}  // namespace qdt::dd

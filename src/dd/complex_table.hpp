@@ -1,0 +1,74 @@
+// Interning table for complex edge weights — the answer to "how to
+// efficiently handle complex values?" [29].
+//
+// Decision-diagram canonicity requires that two numerically equal weights be
+// *the same object*, otherwise equal subtrees hash differently and no
+// sharing happens. The table maps every complex value to a small integer
+// index; values within the tolerance land on the same index. Lookup is
+// bucketed: each component is keyed by round(v / bucket) and the 3x3
+// neighborhood of buckets is searched, so values straddling a bucket border
+// still unify.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/eps.hpp"
+
+namespace qdt::dd {
+
+class ComplexTable {
+ public:
+  using Index = std::uint32_t;
+
+  /// Index 0 is always 0+0i and index 1 is always 1+0i.
+  static constexpr Index kZero = 0;
+  static constexpr Index kOne = 1;
+
+  ComplexTable();
+
+  /// Index of `c`, creating an entry if no value within tolerance exists.
+  Index lookup(const Complex& c);
+
+  Complex get(Index i) const { return values_[i]; }
+
+  std::size_t size() const { return values_.size(); }
+
+  // -- Index-level arithmetic (results re-interned) -------------------------
+  Index mul(Index a, Index b);
+  Index add(Index a, Index b);
+  Index div(Index a, Index b);
+  Index conj(Index a);
+  Index neg(Index a);
+
+  bool is_zero(Index a) const { return a == kZero; }
+  bool is_one(Index a) const { return a == kOne; }
+
+  /// |value|^2 without re-interning.
+  double norm2(Index a) const;
+
+  /// True if the two indexed values have equal modulus (within tolerance) —
+  /// the global-phase-insensitive comparison used by equivalence checking.
+  bool equal_modulus(Index a, Index b) const;
+
+ private:
+  struct Key {
+    std::int64_t re;
+    std::int64_t im;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::int64_t>{}(k.re) * 0x9E3779B97F4A7C15ULL +
+             std::hash<std::int64_t>{}(k.im);
+    }
+  };
+
+  Key key_of(const Complex& c) const;
+
+  std::vector<Complex> values_;
+  std::unordered_map<Key, std::vector<Index>, KeyHash> buckets_;
+};
+
+}  // namespace qdt::dd

@@ -1,0 +1,101 @@
+#include "dd/density.hpp"
+
+#include <stdexcept>
+
+namespace qdt::dd {
+
+DDDensitySimulator::DDDensitySimulator(std::size_t num_qubits)
+    : pkg_(num_qubits) {
+  // |0..0><0..0|: one path through the (0,0) quadrant at every level.
+  MatEdge e = MatEdge::one();
+  for (std::uint32_t var = 0; var < num_qubits; ++var) {
+    e = pkg_.make_mat_node(
+        var, {e, MatEdge::zero(), MatEdge::zero(), MatEdge::zero()});
+  }
+  rho_ = e;
+}
+
+void DDDensitySimulator::apply(const ir::Operation& op) {
+  const MatEdge u = pkg_.gate_dd(op);
+  rho_ = pkg_.multiply(u, pkg_.multiply(rho_, pkg_.conjugate_transpose(u)));
+}
+
+void DDDensitySimulator::apply_channel(const arrays::KrausChannel& channel,
+                                       ir::Qubit q) {
+  MatEdge acc = MatEdge::zero();
+  for (const auto& k : channel.ops) {
+    const MatEdge kdd = pkg_.single_qubit_dd(k, q);
+    const MatEdge term =
+        pkg_.multiply(kdd, pkg_.multiply(rho_, pkg_.conjugate_transpose(kdd)));
+    acc = pkg_.add(acc, term);
+  }
+  rho_ = acc;
+}
+
+void DDDensitySimulator::run(const ir::Circuit& circuit,
+                             const arrays::NoiseModel& noise) {
+  if (circuit.num_qubits() != pkg_.num_qubits()) {
+    throw std::invalid_argument("DDDensitySimulator::run: width mismatch");
+  }
+  for (const auto& op : circuit.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    if (op.is_measurement() || op.is_reset()) {
+      for (const auto q : op.targets()) {
+        Mat2 p0;
+        p0(0, 0) = 1.0;
+        Mat2 p1_or_reset;
+        if (op.is_reset()) {
+          p1_or_reset(0, 1) = 1.0;  // X * P1: |1> branch lands in |0>
+        } else {
+          p1_or_reset(1, 1) = 1.0;  // non-selective measurement
+        }
+        apply_channel(
+            arrays::KrausChannel{op.is_reset() ? "reset" : "measure",
+                                 {p0, p1_or_reset}},
+            q);
+      }
+      continue;
+    }
+    apply(op);
+    for (const auto& ch : noise.gate_noise) {
+      for (const auto q : op.qubits()) {
+        apply_channel(ch, q);
+      }
+    }
+  }
+}
+
+std::vector<double> DDDensitySimulator::probabilities() const {
+  const auto dense = pkg_.to_matrix(rho_);
+  const std::size_t dim = std::size_t{1} << pkg_.num_qubits();
+  std::vector<double> p(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    p[i] = dense[i * dim + i].real();
+  }
+  return p;
+}
+
+double DDDensitySimulator::prob_one(ir::Qubit q) {
+  Mat2 p1;
+  p1(1, 1) = 1.0;
+  const MatEdge proj = pkg_.single_qubit_dd(p1, q);
+  return pkg_.trace(pkg_.multiply(proj, rho_)).real();
+}
+
+double DDDensitySimulator::trace_real() {
+  return pkg_.trace(rho_).real();
+}
+
+double DDDensitySimulator::purity() {
+  return pkg_.trace(pkg_.multiply(rho_, rho_)).real();
+}
+
+double DDDensitySimulator::fidelity(VecEdge psi) {
+  // <psi| rho |psi> = <psi, rho psi>.
+  const VecEdge rho_psi = pkg_.multiply(rho_, psi);
+  return pkg_.inner_product(psi, rho_psi).real();
+}
+
+}  // namespace qdt::dd

@@ -1,0 +1,94 @@
+#include "dd/export_dot.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+namespace qdt::dd {
+
+namespace {
+
+std::string weight_label(const Complex& w) {
+  std::ostringstream os;
+  os.precision(4);
+  if (approx_zero(w.imag())) {
+    os << w.real();
+  } else if (approx_zero(w.real())) {
+    os << w.imag() << "i";
+  } else {
+    os << w.real() << (w.imag() >= 0 ? "+" : "") << w.imag() << "i";
+  }
+  return os.str();
+}
+
+template <std::size_t N>
+void emit(const Package& pkg, const Node<N>* node, std::ostringstream& os,
+          std::unordered_map<const Node<N>*, std::size_t>& ids,
+          std::size_t& stub_counter) {
+  if (node == nullptr || ids.contains(node)) {
+    return;
+  }
+  const std::size_t id = ids.size();
+  ids.emplace(node, id);
+  os << "  n" << id << " [label=\"q" << node->var << "\", shape=circle];\n";
+  for (std::size_t i = 0; i < N; ++i) {
+    const auto& e = node->succ[i];
+    if (e.is_zero()) {
+      const std::size_t sid = stub_counter++;
+      os << "  z" << sid
+         << " [label=\"0\", shape=none, fontsize=10];\n";
+      os << "  n" << id << " -> z" << sid << " [style=dotted, label=\"" << i
+         << "\"];\n";
+      continue;
+    }
+    emit(pkg, e.node, os, ids, stub_counter);
+    os << "  n" << id << " -> ";
+    if (e.is_terminal()) {
+      os << "t";
+    } else {
+      os << "n" << ids.at(e.node);
+    }
+    os << " [label=\"" << i;
+    const Complex w = pkg.ctab().get(e.weight);
+    if (!approx_one(w)) {
+      os << ": " << weight_label(w);
+    }
+    os << "\"];\n";
+  }
+}
+
+template <std::size_t N>
+std::string to_dot_impl(const Package& pkg, Edge<N> root,
+                        const std::string& name) {
+  std::ostringstream os;
+  os << "digraph \"" << name << "\" {\n";
+  os << "  rankdir=TB;\n";
+  os << "  t [label=\"1\", shape=box];\n";
+  std::unordered_map<const Node<N>*, std::size_t> ids;
+  std::size_t stub_counter = 0;
+  emit(pkg, root.node, os, ids, stub_counter);
+  // Root edge with its weight.
+  os << "  root [shape=point];\n";
+  os << "  root -> ";
+  if (root.is_terminal()) {
+    os << "t";
+  } else {
+    os << "n" << ids.at(root.node);
+  }
+  os << " [label=\"" << weight_label(pkg.ctab().get(root.weight))
+     << "\"];\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_dot(const Package& pkg, VecEdge root, const std::string& name) {
+  return to_dot_impl(pkg, root, name);
+}
+
+std::string to_dot(const Package& pkg, MatEdge root, const std::string& name) {
+  return to_dot_impl(pkg, root, name);
+}
+
+}  // namespace qdt::dd

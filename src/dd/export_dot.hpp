@@ -1,0 +1,21 @@
+// Graphviz export of decision diagrams — the textual counterpart of the
+// web-based DD visualization tool the paper points to [30].
+#pragma once
+
+#include <string>
+
+#include "dd/package.hpp"
+
+namespace qdt::dd {
+
+/// DOT digraph of a vector DD. Edge labels show the complex weights
+/// (weight-1 edges are unlabelled, matching the paper's drawing style);
+/// zero successors are drawn as 0-stubs.
+std::string to_dot(const Package& pkg, VecEdge root,
+                   const std::string& name = "vector_dd");
+
+/// DOT digraph of a matrix DD.
+std::string to_dot(const Package& pkg, MatEdge root,
+                   const std::string& name = "matrix_dd");
+
+}  // namespace qdt::dd

@@ -1,0 +1,73 @@
+// Decision-diagram nodes and edges (Section III).
+//
+// A vector DD node has two successors (the q=0 and q=1 halves of the state
+// vector); a matrix DD node has four (the quadrants of the operator). Edges
+// carry an interned complex weight; specific amplitudes/entries are
+// reconstructed by multiplying the weights along a path (paper, Example 2).
+//
+// Structural invariants maintained by the package:
+//  * quasi-reduced form: a nonzero edge entering level v points to a node
+//    with var == v; a zero edge points directly to the terminal,
+//  * normalized nodes: the largest-magnitude outgoing weight is 1, so equal
+//    subvectors (up to a factor) share one node,
+//  * hash-consing: makeNode returns the unique node for its children.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "dd/complex_table.hpp"
+
+namespace qdt::dd {
+
+template <std::size_t N>
+struct Node;
+
+/// Edge to a node (or to the terminal when `node == nullptr`), weighted by
+/// an interned complex factor.
+template <std::size_t N>
+struct Edge {
+  const Node<N>* node = nullptr;
+  ComplexTable::Index weight = ComplexTable::kZero;
+
+  bool is_terminal() const { return node == nullptr; }
+  bool is_zero() const { return weight == ComplexTable::kZero; }
+
+  bool operator==(const Edge&) const = default;
+
+  /// The canonical zero edge (terminal, weight 0).
+  static Edge zero() { return Edge{nullptr, ComplexTable::kZero}; }
+  /// The terminal edge with weight 1.
+  static Edge one() { return Edge{nullptr, ComplexTable::kOne}; }
+};
+
+template <std::size_t N>
+struct Node {
+  std::uint32_t var = 0;  // qubit level; 0 is the bottom-most
+  std::array<Edge<N>, N> succ{};
+
+  bool operator==(const Node& o) const {
+    return var == o.var && succ == o.succ;
+  }
+};
+
+using VecEdge = Edge<2>;
+using MatEdge = Edge<4>;
+using VecNode = Node<2>;
+using MatNode = Node<4>;
+
+template <std::size_t N>
+struct NodeHash {
+  std::size_t operator()(const Node<N>& n) const {
+    std::size_t h = std::hash<std::uint32_t>{}(n.var);
+    for (const auto& e : n.succ) {
+      h = h * 0x100000001B3ULL ^
+          std::hash<const void*>{}(static_cast<const void*>(e.node));
+      h = h * 0x100000001B3ULL ^ std::hash<std::uint32_t>{}(e.weight);
+    }
+    return h;
+  }
+};
+
+}  // namespace qdt::dd

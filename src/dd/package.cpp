@@ -1,0 +1,751 @@
+#include "dd/package.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/bitops.hpp"
+
+namespace qdt::dd {
+
+Package::Package(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits == 0 || num_qubits > 128) {
+    throw std::invalid_argument("Package: unsupported qubit count");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node construction
+// ---------------------------------------------------------------------------
+
+VecEdge Package::make_vec_node(std::uint32_t var, VecEdge e0, VecEdge e1) {
+  if (e0.is_zero() && e1.is_zero()) {
+    return VecEdge::zero();
+  }
+  // Normalize: divide by the largest-magnitude weight so that equal
+  // subvectors (up to a factor) produce the identical node. Ties are broken
+  // towards the lower index *within tolerance*: states with uniform
+  // amplitude magnitudes (QFT outputs!) would otherwise flip the argmax on
+  // rounding noise and lose all sharing.
+  const double n0 = ctab_.norm2(e0.weight);
+  const double n1 = ctab_.norm2(e1.weight);
+  const ComplexTable::Index norm =
+      n1 > n0 + kEps ? e1.weight : e0.weight;
+  VecNode node;
+  node.var = var;
+  node.succ[0] = VecEdge{e0.node, ctab_.div(e0.weight, norm)};
+  node.succ[1] = VecEdge{e1.node, ctab_.div(e1.weight, norm)};
+  // Canonical zero form: a zero-weight edge points at the terminal.
+  for (auto& s : node.succ) {
+    if (s.is_zero()) {
+      s.node = nullptr;
+    }
+  }
+  const auto it = vec_unique_.find(node);
+  if (it != vec_unique_.end()) {
+    return VecEdge{it->second, norm};
+  }
+  vec_storage_.push_back(node);
+  const VecNode* stored = &vec_storage_.back();
+  vec_unique_.emplace(node, stored);
+  return VecEdge{stored, norm};
+}
+
+MatEdge Package::make_mat_node(std::uint32_t var,
+                               std::array<MatEdge, 4> succ) {
+  bool all_zero = true;
+  for (const auto& e : succ) {
+    all_zero = all_zero && e.is_zero();
+  }
+  if (all_zero) {
+    return MatEdge::zero();
+  }
+  // Same tolerance-aware argmax as make_vec_node: first index within kEps
+  // of the maximum.
+  double best = 0.0;
+  for (const auto& e : succ) {
+    best = std::max(best, ctab_.norm2(e.weight));
+  }
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (ctab_.norm2(succ[i].weight) >= best - kEps) {
+      k = i;
+      break;
+    }
+  }
+  const ComplexTable::Index norm = succ[k].weight;
+  MatNode node;
+  node.var = var;
+  for (std::size_t i = 0; i < 4; ++i) {
+    node.succ[i] = MatEdge{succ[i].node, ctab_.div(succ[i].weight, norm)};
+    if (node.succ[i].is_zero()) {
+      node.succ[i].node = nullptr;
+    }
+  }
+  const auto it = mat_unique_.find(node);
+  if (it != mat_unique_.end()) {
+    return MatEdge{it->second, norm};
+  }
+  mat_storage_.push_back(node);
+  const MatNode* stored = &mat_storage_.back();
+  mat_unique_.emplace(node, stored);
+  return MatEdge{stored, norm};
+}
+
+// ---------------------------------------------------------------------------
+// Vector construction / readout
+// ---------------------------------------------------------------------------
+
+VecEdge Package::zero_state() { return basis_state(0); }
+
+VecEdge Package::basis_state(std::uint64_t index) {
+  VecEdge e = VecEdge::one();
+  for (std::uint32_t var = 0; var < num_qubits_; ++var) {
+    if (get_bit(index, var)) {
+      e = make_vec_node(var, VecEdge::zero(), e);
+    } else {
+      e = make_vec_node(var, e, VecEdge::zero());
+    }
+  }
+  return e;
+}
+
+VecEdge Package::from_vector(const std::vector<Complex>& amplitudes) {
+  if (amplitudes.size() != (std::size_t{1} << num_qubits_)) {
+    throw std::invalid_argument("from_vector: size != 2^n");
+  }
+  return from_vector_rec(amplitudes.data(),
+                         static_cast<std::int64_t>(num_qubits_) - 1,
+                         amplitudes.size());
+}
+
+VecEdge Package::from_vector_rec(const Complex* data, std::int64_t level,
+                                 std::size_t len) {
+  if (level < 0) {
+    return VecEdge{nullptr, ctab_.lookup(data[0])};
+  }
+  const std::size_t half = len / 2;
+  const VecEdge e0 = from_vector_rec(data, level - 1, half);
+  const VecEdge e1 = from_vector_rec(data + half, level - 1, half);
+  return make_vec_node(static_cast<std::uint32_t>(level), e0, e1);
+}
+
+namespace {
+
+void to_vector_walk(const ComplexTable& ctab, VecEdge e, std::int64_t level,
+                    Complex acc, std::uint64_t base,
+                    std::vector<Complex>& out) {
+  if (e.is_zero()) {
+    return;
+  }
+  acc *= ctab.get(e.weight);
+  if (level < 0) {
+    out[base] = acc;
+    return;
+  }
+  to_vector_walk(ctab, e.node->succ[0], level - 1, acc, base, out);
+  to_vector_walk(ctab, e.node->succ[1], level - 1, acc,
+                 base | (std::uint64_t{1} << level), out);
+}
+
+}  // namespace
+
+std::vector<Complex> Package::to_vector(VecEdge e) const {
+  std::vector<Complex> out(std::size_t{1} << num_qubits_, Complex{});
+  to_vector_walk(ctab_, e, static_cast<std::int64_t>(num_qubits_) - 1,
+                 Complex{1.0}, 0, out);
+  return out;
+}
+
+Complex Package::amplitude(VecEdge e, std::uint64_t index) const {
+  Complex acc{1.0};
+  for (std::int64_t level = static_cast<std::int64_t>(num_qubits_) - 1;
+       level >= 0; --level) {
+    if (e.is_zero()) {
+      return Complex{};
+    }
+    acc *= ctab_.get(e.weight);
+    e = e.node->succ[get_bit(index, static_cast<std::size_t>(level))];
+  }
+  if (e.is_zero()) {
+    return Complex{};
+  }
+  return acc * ctab_.get(e.weight);
+}
+
+// ---------------------------------------------------------------------------
+// Vector operations
+// ---------------------------------------------------------------------------
+
+VecEdge Package::add(VecEdge a, VecEdge b) {
+  return add_rec(a, b, static_cast<std::int64_t>(num_qubits_) - 1);
+}
+
+VecEdge Package::add_rec(VecEdge a, VecEdge b, std::int64_t level) {
+  if (a.is_zero()) {
+    return b;
+  }
+  if (b.is_zero()) {
+    return a;
+  }
+  if (level < 0) {
+    return VecEdge{nullptr, ctab_.add(a.weight, b.weight)};
+  }
+  if (a.node == b.node) {
+    // Proportional operands collapse immediately.
+    return VecEdge{a.node, ctab_.add(a.weight, b.weight)};
+  }
+  // Commutative: canonicalize operand order, then factor the first weight
+  // out so the cache key depends only on the weight *ratio*.
+  if (static_cast<const void*>(a.node) > static_cast<const void*>(b.node)) {
+    std::swap(a, b);
+  }
+  const ComplexTable::Index ratio = ctab_.div(b.weight, a.weight);
+  const AddKey<VecEdge> key{a.node, b.node, ratio};
+  ++cache_lookups_;
+  if (const auto it = vec_add_cache_.find(key); it != vec_add_cache_.end()) {
+    ++cache_hits_;
+    return VecEdge{it->second.node,
+                   ctab_.mul(a.weight, it->second.weight)};
+  }
+  std::array<VecEdge, 2> r;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const VecEdge ai = a.node->succ[i];
+    const VecEdge bi{b.node->succ[i].node,
+                     ctab_.mul(ratio, b.node->succ[i].weight)};
+    r[i] = add_rec(ai, bi, level - 1);
+  }
+  const VecEdge unit =
+      make_vec_node(static_cast<std::uint32_t>(level), r[0], r[1]);
+  vec_add_cache_.emplace(key, unit);
+  return VecEdge{unit.node, ctab_.mul(a.weight, unit.weight)};
+}
+
+MatEdge Package::add(MatEdge a, MatEdge b) {
+  return add_rec(a, b, static_cast<std::int64_t>(num_qubits_) - 1);
+}
+
+MatEdge Package::add_rec(MatEdge a, MatEdge b, std::int64_t level) {
+  if (a.is_zero()) {
+    return b;
+  }
+  if (b.is_zero()) {
+    return a;
+  }
+  if (level < 0) {
+    return MatEdge{nullptr, ctab_.add(a.weight, b.weight)};
+  }
+  if (a.node == b.node) {
+    return MatEdge{a.node, ctab_.add(a.weight, b.weight)};
+  }
+  if (static_cast<const void*>(a.node) > static_cast<const void*>(b.node)) {
+    std::swap(a, b);
+  }
+  const ComplexTable::Index ratio = ctab_.div(b.weight, a.weight);
+  const AddKey<MatEdge> key{a.node, b.node, ratio};
+  ++cache_lookups_;
+  if (const auto it = mat_add_cache_.find(key); it != mat_add_cache_.end()) {
+    ++cache_hits_;
+    return MatEdge{it->second.node,
+                   ctab_.mul(a.weight, it->second.weight)};
+  }
+  std::array<MatEdge, 4> r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const MatEdge ai = a.node->succ[i];
+    const MatEdge bi{b.node->succ[i].node,
+                     ctab_.mul(ratio, b.node->succ[i].weight)};
+    r[i] = add_rec(ai, bi, level - 1);
+  }
+  const MatEdge unit = make_mat_node(static_cast<std::uint32_t>(level), r);
+  mat_add_cache_.emplace(key, unit);
+  return MatEdge{unit.node, ctab_.mul(a.weight, unit.weight)};
+}
+
+VecEdge Package::multiply(MatEdge m, VecEdge v) {
+  return mul_rec(m, v, static_cast<std::int64_t>(num_qubits_) - 1);
+}
+
+VecEdge Package::mul_rec(MatEdge a, VecEdge b, std::int64_t level) {
+  if (a.is_zero() || b.is_zero()) {
+    return VecEdge::zero();
+  }
+  if (level < 0) {
+    return VecEdge{nullptr, ctab_.mul(a.weight, b.weight)};
+  }
+  // Top weights factor out; cache unit-weight results.
+  const PairKey key{a.node, b.node};
+  ++cache_lookups_;
+  VecEdge unit;
+  if (const auto it = mv_cache_.find(key); it != mv_cache_.end()) {
+    ++cache_hits_;
+    unit = it->second;
+  } else {
+    std::array<VecEdge, 2> r;
+    for (std::size_t i = 0; i < 2; ++i) {
+      VecEdge sum = VecEdge::zero();
+      for (std::size_t j = 0; j < 2; ++j) {
+        const VecEdge term =
+            mul_rec(a.node->succ[2 * i + j], b.node->succ[j], level - 1);
+        sum = add_rec(sum, term, level - 1);
+      }
+      r[i] = sum;
+    }
+    unit = make_vec_node(static_cast<std::uint32_t>(level), r[0], r[1]);
+    mv_cache_.emplace(key, unit);
+  }
+  return VecEdge{unit.node,
+                 ctab_.mul(unit.weight, ctab_.mul(a.weight, b.weight))};
+}
+
+MatEdge Package::multiply(MatEdge a, MatEdge b) {
+  return mul_rec(a, b, static_cast<std::int64_t>(num_qubits_) - 1);
+}
+
+MatEdge Package::mul_rec(MatEdge a, MatEdge b, std::int64_t level) {
+  if (a.is_zero() || b.is_zero()) {
+    return MatEdge::zero();
+  }
+  if (level < 0) {
+    return MatEdge{nullptr, ctab_.mul(a.weight, b.weight)};
+  }
+  const PairKey key{a.node, b.node};
+  ++cache_lookups_;
+  MatEdge unit;
+  if (const auto it = mm_cache_.find(key); it != mm_cache_.end()) {
+    ++cache_hits_;
+    unit = it->second;
+  } else {
+    std::array<MatEdge, 4> r;
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 2; ++j) {
+        MatEdge sum = MatEdge::zero();
+        for (std::size_t k = 0; k < 2; ++k) {
+          const MatEdge term = mul_rec(a.node->succ[2 * i + k],
+                                       b.node->succ[2 * k + j], level - 1);
+          sum = add_rec(sum, term, level - 1);
+        }
+        r[2 * i + j] = sum;
+      }
+    }
+    unit = make_mat_node(static_cast<std::uint32_t>(level), r);
+    mm_cache_.emplace(key, unit);
+  }
+  return MatEdge{unit.node,
+                 ctab_.mul(unit.weight, ctab_.mul(a.weight, b.weight))};
+}
+
+Complex Package::inner_product(VecEdge a, VecEdge b) {
+  return ip_rec(a, b, static_cast<std::int64_t>(num_qubits_) - 1);
+}
+
+Complex Package::ip_rec(VecEdge a, VecEdge b, std::int64_t level) {
+  if (a.is_zero() || b.is_zero()) {
+    return Complex{};
+  }
+  const Complex scale =
+      std::conj(ctab_.get(a.weight)) * ctab_.get(b.weight);
+  if (level < 0) {
+    return scale;
+  }
+  const PairKey key{a.node, b.node};
+  ++cache_lookups_;
+  if (const auto it = ip_cache_.find(key); it != ip_cache_.end()) {
+    ++cache_hits_;
+    return scale * it->second;
+  }
+  Complex sum{};
+  for (std::size_t i = 0; i < 2; ++i) {
+    sum += ip_rec(a.node->succ[i], b.node->succ[i], level - 1);
+  }
+  ip_cache_.emplace(key, sum);
+  return scale * sum;
+}
+
+double Package::norm2(VecEdge e) { return inner_product(e, e).real(); }
+
+VecEdge Package::project(VecEdge e, ir::Qubit q, bool bit) {
+  std::unordered_map<const VecNode*, VecEdge> memo;
+  return project_rec(e, q, bit, memo);
+}
+
+VecEdge Package::project_rec(
+    VecEdge e, ir::Qubit q, bool bit,
+    std::unordered_map<const VecNode*, VecEdge>& memo) {
+  if (e.is_zero()) {
+    return VecEdge::zero();
+  }
+  const VecNode* n = e.node;
+  if (n == nullptr || n->var < q) {
+    // Entire subtree below the projected qubit: unchanged.
+    return e;
+  }
+  if (const auto it = memo.find(n); it != memo.end()) {
+    return VecEdge{it->second.node, ctab_.mul(e.weight, it->second.weight)};
+  }
+  VecEdge unit;
+  if (n->var == q) {
+    const VecEdge kept = n->succ[bit ? 1 : 0];
+    unit = make_vec_node(n->var, bit ? VecEdge::zero() : kept,
+                         bit ? kept : VecEdge::zero());
+  } else {
+    const VecEdge p0 = project_rec(n->succ[0], q, bit, memo);
+    const VecEdge p1 = project_rec(n->succ[1], q, bit, memo);
+    unit = make_vec_node(n->var, p0, p1);
+  }
+  memo.emplace(n, unit);
+  return VecEdge{unit.node, ctab_.mul(e.weight, unit.weight)};
+}
+
+double Package::prob_one(VecEdge e, ir::Qubit q) {
+  const double total = norm2(e);
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  return norm2(project(e, q, true)) / total;
+}
+
+double Package::subtree_norm2(
+    const VecNode* n, std::unordered_map<const VecNode*, double>& memo) {
+  if (n == nullptr) {
+    return 1.0;
+  }
+  if (const auto it = memo.find(n); it != memo.end()) {
+    return it->second;
+  }
+  double s = 0.0;
+  for (const auto& e : n->succ) {
+    if (!e.is_zero()) {
+      s += ctab_.norm2(e.weight) * subtree_norm2(e.node, memo);
+    }
+  }
+  memo.emplace(n, s);
+  return s;
+}
+
+std::uint64_t Package::sample(VecEdge e, Rng& rng) {
+  if (e.is_zero()) {
+    throw std::logic_error("sample: zero state");
+  }
+  std::unordered_map<const VecNode*, double> memo;
+  std::uint64_t result = 0;
+  VecEdge cur = e;
+  while (!cur.is_terminal()) {
+    const VecNode* n = cur.node;
+    const double w0 = cur.node->succ[0].is_zero()
+                          ? 0.0
+                          : ctab_.norm2(n->succ[0].weight) *
+                                subtree_norm2(n->succ[0].node, memo);
+    const double w1 = cur.node->succ[1].is_zero()
+                          ? 0.0
+                          : ctab_.norm2(n->succ[1].weight) *
+                                subtree_norm2(n->succ[1].node, memo);
+    const double total = w0 + w1;
+    const bool bit = total > 0.0 && rng.uniform() * total >= w0;
+    if (bit) {
+      result = set_bit(result, n->var, true);
+    }
+    cur = n->succ[bit ? 1 : 0];
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Matrix construction
+// ---------------------------------------------------------------------------
+
+MatEdge Package::identity() {
+  MatEdge e = MatEdge::one();
+  for (std::uint32_t var = 0; var < num_qubits_; ++var) {
+    e = make_mat_node(var, {e, MatEdge::zero(), MatEdge::zero(), e});
+  }
+  return e;
+}
+
+MatEdge Package::single_qubit_dd(const Mat2& m, ir::Qubit target,
+                                 const std::vector<ir::Qubit>& controls) {
+  if (target >= num_qubits_) {
+    throw std::out_of_range("single_qubit_dd: target out of range");
+  }
+  std::vector<bool> is_control(num_qubits_, false);
+  for (const auto c : controls) {
+    if (c >= num_qubits_ || c == target) {
+      throw std::out_of_range("single_qubit_dd: bad control");
+    }
+    is_control[c] = true;
+  }
+  // Entry edges for the four matrix elements, extended upward level by
+  // level; id_below tracks the identity on all processed levels.
+  std::array<MatEdge, 4> entry;
+  for (std::size_t k = 0; k < 4; ++k) {
+    entry[k] = MatEdge{nullptr, ctab_.lookup(m.e[k])};
+  }
+  MatEdge id_below = MatEdge::one();
+  MatEdge result{};
+  bool passed_target = false;
+  const MatEdge zero = MatEdge::zero();
+  for (std::uint32_t v = 0; v < num_qubits_; ++v) {
+    if (v == target) {
+      // Matrix child order is (row<<1)|col of this level's bits; entry k
+      // of Mat2 is m(k>>1, k&1) — identical layout.
+      result = make_mat_node(v, entry);
+      passed_target = true;
+    } else if (is_control[v]) {
+      if (!passed_target) {
+        for (std::size_t k = 0; k < 4; ++k) {
+          const bool diag = k == 0 || k == 3;
+          entry[k] = make_mat_node(
+              v, {diag ? id_below : zero, zero, zero, entry[k]});
+        }
+      } else {
+        result = make_mat_node(v, {id_below, zero, zero, result});
+      }
+    } else {
+      if (!passed_target) {
+        for (std::size_t k = 0; k < 4; ++k) {
+          entry[k] = make_mat_node(v, {entry[k], zero, zero, entry[k]});
+        }
+      } else {
+        result = make_mat_node(v, {result, zero, zero, result});
+      }
+    }
+    id_below = make_mat_node(v, {id_below, zero, zero, id_below});
+  }
+  return result;
+}
+
+MatEdge Package::gate_dd(const ir::Operation& op) {
+  if (!op.is_unitary()) {
+    throw std::logic_error("gate_dd: non-unitary operation " + op.str());
+  }
+  if (op.targets().size() == 1) {
+    return single_qubit_dd(op.matrix2(), op.targets()[0], op.controls());
+  }
+  const ir::Qubit a = op.targets()[0];
+  const ir::Qubit b = op.targets()[1];
+  const Mat2 x_mat = ir::gate_matrix2(ir::GateKind::X, {});
+  const Mat2 s_mat = ir::gate_matrix2(ir::GateKind::S, {});
+  const Mat2 z_mat = ir::gate_matrix2(ir::GateKind::Z, {});
+  const Mat2 h_mat = ir::gate_matrix2(ir::GateKind::H, {});
+  switch (op.kind()) {
+    case ir::GateKind::Swap: {
+      // (C)SWAP = CX(b,a) . (controls+{a})-X(b) . CX(b,a).
+      const MatEdge outer = single_qubit_dd(x_mat, a, {b});
+      std::vector<ir::Qubit> inner_ctrls = op.controls();
+      inner_ctrls.push_back(a);
+      const MatEdge inner = single_qubit_dd(x_mat, b, inner_ctrls);
+      return multiply(outer, multiply(inner, outer));
+    }
+    case ir::GateKind::ISwap:
+    case ir::GateKind::ISwapDg: {
+      if (!op.controls().empty()) {
+        throw std::invalid_argument("gate_dd: controlled iswap unsupported");
+      }
+      const MatEdge sw =
+          gate_dd(ir::Operation{ir::GateKind::Swap, {a, b}});
+      const MatEdge cz = single_qubit_dd(z_mat, b, {a});
+      const MatEdge sa = single_qubit_dd(s_mat, a, {});
+      const MatEdge sb = single_qubit_dd(s_mat, b, {});
+      const MatEdge iswap = multiply(sa, multiply(sb, multiply(cz, sw)));
+      return op.kind() == ir::GateKind::ISwap ? iswap
+                                              : conjugate_transpose(iswap);
+    }
+    case ir::GateKind::RZZ: {
+      if (!op.controls().empty()) {
+        throw std::invalid_argument("gate_dd: controlled rzz unsupported");
+      }
+      const MatEdge cx = single_qubit_dd(x_mat, b, {a});
+      const Mat2 rz = ir::gate_matrix2(ir::GateKind::RZ, op.params());
+      const MatEdge rzb = single_qubit_dd(rz, b, {});
+      return multiply(cx, multiply(rzb, cx));
+    }
+    case ir::GateKind::RXX: {
+      if (!op.controls().empty()) {
+        throw std::invalid_argument("gate_dd: controlled rxx unsupported");
+      }
+      const MatEdge ha = single_qubit_dd(h_mat, a, {});
+      const MatEdge hb = single_qubit_dd(h_mat, b, {});
+      const MatEdge hh = multiply(ha, hb);
+      const MatEdge rzz = gate_dd(
+          ir::Operation{ir::GateKind::RZZ, {a, b}, {}, op.params()});
+      return multiply(hh, multiply(rzz, hh));
+    }
+    default:
+      throw std::logic_error("gate_dd: unhandled two-qubit kind " +
+                             ir::gate_name(op.kind()));
+  }
+}
+
+MatEdge Package::from_matrix(const std::vector<Complex>& row_major) {
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  if (row_major.size() != dim * dim) {
+    throw std::invalid_argument("from_matrix: size != 4^n");
+  }
+  return from_matrix_rec(row_major, dim, 0, 0,
+                         static_cast<std::int64_t>(num_qubits_) - 1);
+}
+
+MatEdge Package::from_matrix_rec(const std::vector<Complex>& m,
+                                 std::size_t dim, std::size_t row,
+                                 std::size_t col, std::int64_t level) {
+  if (level < 0) {
+    return MatEdge{nullptr, ctab_.lookup(m[row * dim + col])};
+  }
+  const std::size_t half = std::size_t{1} << level;
+  std::array<MatEdge, 4> succ;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      succ[2 * i + j] =
+          from_matrix_rec(m, dim, row + i * half, col + j * half, level - 1);
+    }
+  }
+  return make_mat_node(static_cast<std::uint32_t>(level), succ);
+}
+
+namespace {
+
+void to_matrix_walk(const ComplexTable& ctab, MatEdge e, std::int64_t level,
+                    Complex acc, std::size_t row, std::size_t col,
+                    std::size_t dim, std::vector<Complex>& out) {
+  if (e.is_zero()) {
+    return;
+  }
+  acc *= ctab.get(e.weight);
+  if (level < 0) {
+    out[row * dim + col] = acc;
+    return;
+  }
+  const std::size_t half = std::size_t{1} << level;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      to_matrix_walk(ctab, e.node->succ[2 * i + j], level - 1, acc,
+                     row + i * half, col + j * half, dim, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Complex> Package::to_matrix(MatEdge e) const {
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  std::vector<Complex> out(dim * dim, Complex{});
+  to_matrix_walk(ctab_, e, static_cast<std::int64_t>(num_qubits_) - 1,
+                 Complex{1.0}, 0, 0, dim, out);
+  return out;
+}
+
+MatEdge Package::conjugate_transpose(MatEdge e) {
+  const MatEdge unit = ct_rec(MatEdge{e.node, ComplexTable::kOne});
+  return MatEdge{unit.node,
+                 ctab_.mul(unit.weight, ctab_.conj(e.weight))};
+}
+
+MatEdge Package::ct_rec(MatEdge e) {
+  if (e.is_zero()) {
+    return MatEdge::zero();
+  }
+  if (e.is_terminal()) {
+    return MatEdge{nullptr, ctab_.conj(e.weight)};
+  }
+  if (const auto it = ct_cache_.find(e.node); it != ct_cache_.end()) {
+    return MatEdge{it->second.node,
+                   ctab_.mul(ctab_.conj(e.weight), it->second.weight)};
+  }
+  const MatNode* n = e.node;
+  // Transpose swaps the off-diagonal quadrants; conjugation recurses.
+  std::array<MatEdge, 4> succ;
+  succ[0] = ct_rec(n->succ[0]);
+  succ[1] = ct_rec(n->succ[2]);
+  succ[2] = ct_rec(n->succ[1]);
+  succ[3] = ct_rec(n->succ[3]);
+  const MatEdge unit = make_mat_node(n->var, succ);
+  ct_cache_.emplace(n, unit);
+  return MatEdge{unit.node, ctab_.mul(ctab_.conj(e.weight), unit.weight)};
+}
+
+Complex Package::trace(MatEdge e) {
+  std::unordered_map<const MatNode*, Complex> memo;
+  return trace_rec(e, static_cast<std::int64_t>(num_qubits_) - 1, memo);
+}
+
+Complex Package::trace_rec(
+    MatEdge e, std::int64_t level,
+    std::unordered_map<const MatNode*, Complex>& memo) {
+  if (e.is_zero()) {
+    return Complex{};
+  }
+  const Complex w = ctab_.get(e.weight);
+  if (level < 0) {
+    return w;
+  }
+  if (const auto it = memo.find(e.node); it != memo.end()) {
+    return w * it->second;
+  }
+  const Complex sub = trace_rec(e.node->succ[0], level - 1, memo) +
+                      trace_rec(e.node->succ[3], level - 1, memo);
+  memo.emplace(e.node, sub);
+  return w * sub;
+}
+
+bool Package::is_identity(MatEdge e) {
+  const MatEdge id = identity();
+  return e.node == id.node && ctab_.is_one(e.weight);
+}
+
+bool Package::is_identity_up_to_global_phase(MatEdge e) {
+  const MatEdge id = identity();
+  return e.node == id.node &&
+         approx_equal(std::abs(ctab_.get(e.weight)), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <std::size_t N>
+void count_nodes(const Node<N>* n,
+                 std::unordered_set<const Node<N>*>& seen) {
+  if (n == nullptr || seen.contains(n)) {
+    return;
+  }
+  seen.insert(n);
+  for (const auto& e : n->succ) {
+    count_nodes(e.node, seen);
+  }
+}
+
+}  // namespace
+
+std::size_t Package::node_count(VecEdge e) const {
+  std::unordered_set<const VecNode*> seen;
+  count_nodes(e.node, seen);
+  return seen.size();
+}
+
+std::size_t Package::node_count(MatEdge e) const {
+  std::unordered_set<const MatNode*> seen;
+  count_nodes(e.node, seen);
+  return seen.size();
+}
+
+PackageStats Package::stats() const {
+  PackageStats s;
+  s.unique_vec_nodes = vec_storage_.size();
+  s.unique_mat_nodes = mat_storage_.size();
+  s.complex_values = ctab_.size();
+  s.cache_hits = cache_hits_;
+  s.cache_lookups = cache_lookups_;
+  return s;
+}
+
+void Package::clear_caches() {
+  vec_add_cache_.clear();
+  mat_add_cache_.clear();
+  mv_cache_.clear();
+  mm_cache_.clear();
+  ip_cache_.clear();
+  ct_cache_.clear();
+}
+
+}  // namespace qdt::dd

@@ -1,0 +1,187 @@
+// The decision-diagram package: hash-consed construction of vector and
+// matrix DDs plus the operations the design tasks need (addition,
+// matrix-vector and matrix-matrix multiplication, inner products,
+// projection, conjugate-transpose), all with operation caching.
+//
+// Follows the QMDD line of work [28], [29]: nodes are normalized so the
+// largest-magnitude outgoing weight is 1, equal subtrees are shared through
+// a unique table, and edge weights are interned complex numbers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "dd/complex_table.hpp"
+#include "dd/node.hpp"
+#include "ir/operation.hpp"
+
+namespace qdt::dd {
+
+/// Aggregate size statistics (see Package::stats).
+struct PackageStats {
+  std::size_t unique_vec_nodes = 0;
+  std::size_t unique_mat_nodes = 0;
+  std::size_t complex_values = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_lookups = 0;
+};
+
+class Package {
+ public:
+  explicit Package(std::size_t num_qubits);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  ComplexTable& ctab() { return ctab_; }
+  const ComplexTable& ctab() const { return ctab_; }
+
+  // -- Vector DDs ------------------------------------------------------------
+  /// Normalized, hash-consed node; returns the canonical edge.
+  VecEdge make_vec_node(std::uint32_t var, VecEdge e0, VecEdge e1);
+
+  /// |0...0>.
+  VecEdge zero_state();
+  /// Computational basis state |index>.
+  VecEdge basis_state(std::uint64_t index);
+  /// DD of an arbitrary dense state vector (size 2^n).
+  VecEdge from_vector(const std::vector<Complex>& amplitudes);
+  /// Dense readout (exponential; for tests and small n).
+  std::vector<Complex> to_vector(VecEdge e) const;
+  /// Single amplitude <index|e> via one root-to-terminal path walk.
+  Complex amplitude(VecEdge e, std::uint64_t index) const;
+
+  VecEdge add(VecEdge a, VecEdge b);
+  Complex inner_product(VecEdge a, VecEdge b);
+  double norm2(VecEdge e);
+
+  /// Zero out the branch of qubit q that differs from `bit` (unnormalized
+  /// projector application).
+  VecEdge project(VecEdge e, ir::Qubit q, bool bit);
+
+  /// Probability that measuring qubit q on (normalized) state e yields 1.
+  double prob_one(VecEdge e, ir::Qubit q);
+
+  /// Sample a basis state from the (normalized) state without reading out
+  /// the full vector ("weak simulation").
+  std::uint64_t sample(VecEdge e, Rng& rng);
+
+  // -- Matrix DDs ------------------------------------------------------------
+  MatEdge make_mat_node(std::uint32_t var, std::array<MatEdge, 4> succ);
+
+  MatEdge identity();
+  /// DD of a (possibly multi-controlled) catalogue operation.
+  MatEdge gate_dd(const ir::Operation& op);
+  /// DD of an arbitrary 2x2 matrix applied to `target` under positive
+  /// `controls` (identity elsewhere). Works for non-unitary matrices too
+  /// (used by the stochastic-noise simulator).
+  MatEdge single_qubit_dd(const Mat2& m, ir::Qubit target,
+                          const std::vector<ir::Qubit>& controls = {});
+  /// DD of a dense 2^n x 2^n matrix (for tests; exponential input).
+  MatEdge from_matrix(const std::vector<Complex>& row_major);
+  std::vector<Complex> to_matrix(MatEdge e) const;
+
+  MatEdge multiply(MatEdge a, MatEdge b);
+  VecEdge multiply(MatEdge m, VecEdge v);
+  MatEdge add(MatEdge a, MatEdge b);
+  MatEdge conjugate_transpose(MatEdge e);
+
+  /// Trace of a matrix DD (sum of the diagonal), in O(nodes).
+  Complex trace(MatEdge e);
+
+  /// True if e is the identity times a unit-modulus scalar.
+  bool is_identity_up_to_global_phase(MatEdge e);
+  /// True if e is exactly the identity (weight 1).
+  bool is_identity(MatEdge e);
+
+  // -- Introspection ----------------------------------------------------------
+  /// Number of distinct nodes reachable from e (excluding the terminal).
+  std::size_t node_count(VecEdge e) const;
+  std::size_t node_count(MatEdge e) const;
+
+  PackageStats stats() const;
+
+  /// Drop all operation caches (unique tables are kept). Call between
+  /// independent computations to bound memory.
+  void clear_caches();
+
+ private:
+  // Recursion helpers carry the current level explicitly because zero edges
+  // jump straight to the terminal.
+  VecEdge add_rec(VecEdge a, VecEdge b, std::int64_t level);
+  MatEdge add_rec(MatEdge a, MatEdge b, std::int64_t level);
+  VecEdge mul_rec(MatEdge a, VecEdge b, std::int64_t level);
+  MatEdge mul_rec(MatEdge a, MatEdge b, std::int64_t level);
+  Complex ip_rec(VecEdge a, VecEdge b, std::int64_t level);
+  MatEdge ct_rec(MatEdge e);
+  VecEdge project_rec(VecEdge e, ir::Qubit q, bool bit,
+                      std::unordered_map<const VecNode*, VecEdge>& memo);
+  Complex trace_rec(MatEdge e, std::int64_t level,
+                    std::unordered_map<const MatNode*, Complex>& memo);
+  double subtree_norm2(const VecNode* n,
+                       std::unordered_map<const VecNode*, double>& memo);
+
+  VecEdge from_vector_rec(const Complex* data, std::int64_t level,
+                          std::size_t stride);
+  MatEdge from_matrix_rec(const std::vector<Complex>& m, std::size_t dim,
+                          std::size_t row, std::size_t col,
+                          std::int64_t level);
+
+  std::size_t num_qubits_;
+  ComplexTable ctab_;
+
+  std::deque<VecNode> vec_storage_;
+  std::deque<MatNode> mat_storage_;
+  std::unordered_map<VecNode, const VecNode*, NodeHash<2>> vec_unique_;
+  std::unordered_map<MatNode, const MatNode*, NodeHash<4>> mat_unique_;
+
+  // Operation caches. Keys hold canonical node pointers + interned weights,
+  // so equality is exact. Addition keys use the *ratio* of the operand
+  // weights (add(w1 A, w2 B) = w1 (A + (w2/w1) B)): absolute-weight keys
+  // would make path-dependent phase products (QFT states!) miss the cache
+  // on every path and blow the recursion up to 2^n.
+  template <typename EdgeT>
+  struct AddKey {
+    const void* a;
+    const void* b;
+    std::uint32_t ratio;
+    bool operator==(const AddKey&) const = default;
+  };
+  template <typename EdgeT>
+  struct AddKeyHash {
+    std::size_t operator()(const AddKey<EdgeT>& k) const {
+      std::size_t h = std::hash<const void*>{}(k.a);
+      h = h * 0x100000001B3ULL ^ std::hash<const void*>{}(k.b);
+      h = h * 0x100000001B3ULL ^ std::hash<std::uint32_t>{}(k.ratio);
+      return h;
+    }
+  };
+  struct PairKey {
+    const void* a;
+    const void* b;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const {
+      return std::hash<const void*>{}(k.a) * 0x9E3779B97F4A7C15ULL ^
+             std::hash<const void*>{}(k.b);
+    }
+  };
+
+  std::unordered_map<AddKey<VecEdge>, VecEdge, AddKeyHash<VecEdge>>
+      vec_add_cache_;
+  std::unordered_map<AddKey<MatEdge>, MatEdge, AddKeyHash<MatEdge>>
+      mat_add_cache_;
+  std::unordered_map<PairKey, VecEdge, PairKeyHash> mv_cache_;
+  std::unordered_map<PairKey, MatEdge, PairKeyHash> mm_cache_;
+  std::unordered_map<PairKey, Complex, PairKeyHash> ip_cache_;
+  std::unordered_map<const MatNode*, MatEdge> ct_cache_;
+
+  mutable std::size_t cache_hits_ = 0;
+  mutable std::size_t cache_lookups_ = 0;
+};
+
+}  // namespace qdt::dd

@@ -1,0 +1,129 @@
+#include "dd/simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qdt::dd {
+
+std::vector<std::pair<ir::Qubit, bool>> DDSimulator::run(
+    const ir::Circuit& circuit) {
+  if (circuit.num_qubits() != pkg_.num_qubits()) {
+    throw std::invalid_argument("DDSimulator::run: width mismatch");
+  }
+  std::vector<std::pair<ir::Qubit, bool>> record;
+  node_trace_.clear();
+  for (const auto& op : circuit.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    if (op.is_measurement()) {
+      for (const auto q : op.targets()) {
+        record.emplace_back(q, measure(q));
+      }
+      continue;
+    }
+    if (op.is_reset()) {
+      for (const auto q : op.targets()) {
+        if (measure(q)) {
+          apply(ir::Operation{ir::GateKind::X, q});
+        }
+      }
+      continue;
+    }
+    apply(op);
+    for (const auto& ch : noise_.gate_noise) {
+      for (const auto q : op.qubits()) {
+        apply_noise_trajectory(q, ch);
+      }
+    }
+    node_trace_.push_back(state_node_count());
+  }
+  return record;
+}
+
+void DDSimulator::apply(const ir::Operation& op) {
+  // Swap-like permutations are applied as CX/CZ sequences: as a single
+  // matrix DD they merge phase chains whose additions defeat the compute
+  // cache, costing up to 2^n time on phase-rich (e.g. QFT) states even
+  // though the result is tiny.
+  if (op.controls().empty() && op.targets().size() == 2) {
+    const ir::Qubit a = op.targets()[0];
+    const ir::Qubit b = op.targets()[1];
+    switch (op.kind()) {
+      case ir::GateKind::Swap:
+        apply(ir::Operation{ir::GateKind::X, {b}, {a}});
+        apply(ir::Operation{ir::GateKind::X, {a}, {b}});
+        apply(ir::Operation{ir::GateKind::X, {b}, {a}});
+        return;
+      case ir::GateKind::ISwap:
+        // iSWAP = (S x S) CZ SWAP, applied right-to-left.
+        apply(ir::Operation{ir::GateKind::Swap, {a, b}});
+        apply(ir::Operation{ir::GateKind::Z, {b}, {a}});
+        apply(ir::Operation{ir::GateKind::S, a});
+        apply(ir::Operation{ir::GateKind::S, b});
+        return;
+      case ir::GateKind::ISwapDg:
+        apply(ir::Operation{ir::GateKind::Sdg, a});
+        apply(ir::Operation{ir::GateKind::Sdg, b});
+        apply(ir::Operation{ir::GateKind::Z, {b}, {a}});
+        apply(ir::Operation{ir::GateKind::Swap, {a, b}});
+        return;
+      default:
+        break;
+    }
+  }
+  state_ = pkg_.multiply(pkg_.gate_dd(op), state_);
+}
+
+bool DDSimulator::measure(ir::Qubit q) {
+  const double p1 = pkg_.prob_one(state_, q);
+  const bool outcome = rng_.uniform() < p1;
+  state_ = pkg_.project(state_, q, outcome);
+  const double keep = outcome ? p1 : 1.0 - p1;
+  if (keep > 0.0) {
+    scale_state(1.0 / std::sqrt(keep));
+  }
+  return outcome;
+}
+
+std::map<std::uint64_t, std::size_t> DDSimulator::sample_counts(
+    std::size_t shots) {
+  std::map<std::uint64_t, std::size_t> counts;
+  for (std::size_t s = 0; s < shots; ++s) {
+    ++counts[pkg_.sample(state_, rng_)];
+  }
+  return counts;
+}
+
+void DDSimulator::apply_noise_trajectory(ir::Qubit q,
+                                         const arrays::KrausChannel& ch) {
+  std::vector<VecEdge> branches;
+  std::vector<double> weights;
+  branches.reserve(ch.ops.size());
+  for (const auto& k : ch.ops) {
+    const MatEdge kdd = pkg_.single_qubit_dd(k, q);
+    VecEdge branch = pkg_.multiply(kdd, state_);
+    weights.push_back(pkg_.norm2(branch));
+    branches.push_back(branch);
+  }
+  double r = rng_.uniform();
+  std::size_t pick = weights.size() - 1;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) {
+      pick = i;
+      break;
+    }
+  }
+  state_ = branches[pick];
+  if (weights[pick] > 0.0) {
+    scale_state(1.0 / std::sqrt(weights[pick]));
+  }
+}
+
+void DDSimulator::scale_state(double factor) {
+  state_.weight = pkg_.ctab().mul(
+      state_.weight, pkg_.ctab().lookup(Complex{factor, 0.0}));
+}
+
+}  // namespace qdt::dd

@@ -1,0 +1,294 @@
+#include "ir/circuit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qdt::ir {
+
+void Circuit::append(Operation op) {
+  if (num_qubits_ == 0 || op.max_qubit() >= num_qubits_) {
+    throw std::out_of_range("Circuit \"" + name_ + "\": operation " +
+                            op.str() + " exceeds width " +
+                            std::to_string(num_qubits_));
+  }
+  ops_.push_back(std::move(op));
+}
+
+Circuit& Circuit::add1(GateKind k, Qubit q) {
+  append(Operation{k, q});
+  return *this;
+}
+
+Circuit& Circuit::rx(const Phase& theta, Qubit q) {
+  append(Operation{GateKind::RX, q, {theta}});
+  return *this;
+}
+
+Circuit& Circuit::ry(const Phase& theta, Qubit q) {
+  append(Operation{GateKind::RY, q, {theta}});
+  return *this;
+}
+
+Circuit& Circuit::rz(const Phase& theta, Qubit q) {
+  append(Operation{GateKind::RZ, q, {theta}});
+  return *this;
+}
+
+Circuit& Circuit::p(const Phase& lambda, Qubit q) {
+  append(Operation{GateKind::P, q, {lambda}});
+  return *this;
+}
+
+Circuit& Circuit::u(const Phase& theta, const Phase& phi, const Phase& lambda,
+                    Qubit q) {
+  append(Operation{GateKind::U, q, {theta, phi, lambda}});
+  return *this;
+}
+
+Circuit& Circuit::cx(Qubit control, Qubit target) {
+  append(Operation{GateKind::X, std::vector<Qubit>{target},
+                   std::vector<Qubit>{control}});
+  return *this;
+}
+
+Circuit& Circuit::cy(Qubit control, Qubit target) {
+  append(Operation{GateKind::Y, std::vector<Qubit>{target},
+                   std::vector<Qubit>{control}});
+  return *this;
+}
+
+Circuit& Circuit::cz(Qubit control, Qubit target) {
+  append(Operation{GateKind::Z, std::vector<Qubit>{target},
+                   std::vector<Qubit>{control}});
+  return *this;
+}
+
+Circuit& Circuit::ch(Qubit control, Qubit target) {
+  append(Operation{GateKind::H, std::vector<Qubit>{target},
+                   std::vector<Qubit>{control}});
+  return *this;
+}
+
+Circuit& Circuit::cs(Qubit control, Qubit target) {
+  append(Operation{GateKind::S, std::vector<Qubit>{target},
+                   std::vector<Qubit>{control}});
+  return *this;
+}
+
+Circuit& Circuit::cp(const Phase& lambda, Qubit control, Qubit target) {
+  append(Operation{GateKind::P, {target}, {control}, {lambda}});
+  return *this;
+}
+
+Circuit& Circuit::crz(const Phase& theta, Qubit control, Qubit target) {
+  append(Operation{GateKind::RZ, {target}, {control}, {theta}});
+  return *this;
+}
+
+Circuit& Circuit::ccx(Qubit c1, Qubit c2, Qubit target) {
+  append(Operation{GateKind::X, {target}, {c1, c2}});
+  return *this;
+}
+
+Circuit& Circuit::ccz(Qubit c1, Qubit c2, Qubit target) {
+  append(Operation{GateKind::Z, {target}, {c1, c2}});
+  return *this;
+}
+
+Circuit& Circuit::mcx(const std::vector<Qubit>& controls, Qubit target) {
+  append(Operation{GateKind::X, {target}, controls});
+  return *this;
+}
+
+Circuit& Circuit::swap(Qubit a, Qubit b) {
+  append(Operation{GateKind::Swap, {a, b}});
+  return *this;
+}
+
+Circuit& Circuit::iswap(Qubit a, Qubit b) {
+  append(Operation{GateKind::ISwap, {a, b}});
+  return *this;
+}
+
+Circuit& Circuit::cswap(Qubit control, Qubit a, Qubit b) {
+  append(Operation{GateKind::Swap, {a, b}, {control}});
+  return *this;
+}
+
+Circuit& Circuit::rzz(const Phase& theta, Qubit a, Qubit b) {
+  append(Operation{GateKind::RZZ, {a, b}, {}, {theta}});
+  return *this;
+}
+
+Circuit& Circuit::rxx(const Phase& theta, Qubit a, Qubit b) {
+  append(Operation{GateKind::RXX, {a, b}, {}, {theta}});
+  return *this;
+}
+
+Circuit& Circuit::measure(Qubit q) {
+  append(Operation{GateKind::Measure, q});
+  return *this;
+}
+
+Circuit& Circuit::measure_all() {
+  for (Qubit q = 0; q < num_qubits_; ++q) {
+    measure(q);
+  }
+  return *this;
+}
+
+Circuit& Circuit::reset(Qubit q) {
+  append(Operation{GateKind::Reset, q});
+  return *this;
+}
+
+Circuit& Circuit::barrier() {
+  std::vector<Qubit> all(num_qubits_);
+  for (Qubit q = 0; q < num_qubits_; ++q) {
+    all[q] = q;
+  }
+  append(Operation{GateKind::Barrier, std::move(all), {}, {}});
+  return *this;
+}
+
+Circuit Circuit::adjoint() const {
+  Circuit inv(num_qubits_, name_ + "_dg");
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    if (it->is_barrier()) {
+      continue;
+    }
+    if (!it->is_unitary()) {
+      throw std::logic_error("adjoint of circuit with non-unitary op: " +
+                             it->str());
+    }
+    inv.append(it->adjoint());
+  }
+  return inv;
+}
+
+Circuit Circuit::composed_with(const Circuit& other) const {
+  if (other.num_qubits_ != num_qubits_) {
+    throw std::invalid_argument("composed_with: width mismatch");
+  }
+  Circuit c = *this;
+  for (const auto& op : other.ops_) {
+    c.append(op);
+  }
+  return c;
+}
+
+Circuit Circuit::remapped(const std::vector<Qubit>& perm) const {
+  if (perm.size() != num_qubits_) {
+    throw std::invalid_argument("remapped: permutation size mismatch");
+  }
+  std::vector<bool> seen(num_qubits_, false);
+  for (const Qubit q : perm) {
+    if (q >= num_qubits_ || seen[q]) {
+      throw std::invalid_argument("remapped: not a permutation");
+    }
+    seen[q] = true;
+  }
+  Circuit c(num_qubits_, name_);
+  for (const auto& op : ops_) {
+    c.append(op.remapped(perm));
+  }
+  return c;
+}
+
+Circuit Circuit::unitary_part() const {
+  Circuit c(num_qubits_, name_);
+  for (const auto& op : ops_) {
+    if (op.is_unitary()) {
+      c.append(op);
+    }
+  }
+  return c;
+}
+
+bool Circuit::is_unitary() const {
+  return std::all_of(ops_.begin(), ops_.end(), [](const Operation& op) {
+    return op.is_unitary() || op.is_barrier();
+  });
+}
+
+namespace {
+
+/// True if the operation contributes to the T-count: T/Tdg themselves, or a
+/// (possibly controlled) phase/rz rotation by an odd multiple of pi/4.
+bool counts_as_t(const Operation& op) {
+  switch (op.kind()) {
+    case GateKind::T:
+    case GateKind::Tdg:
+      return op.controls().empty();
+    case GateKind::P:
+    case GateKind::RZ: {
+      if (!op.controls().empty()) {
+        return false;
+      }
+      const Phase& ph = op.params()[0];
+      return ph.den() == 4;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+CircuitStats Circuit::stats() const {
+  CircuitStats s;
+  s.num_qubits = num_qubits_;
+  std::vector<std::size_t> level(num_qubits_, 0);
+  for (const auto& op : ops_) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    if (op.is_measurement()) {
+      ++s.measurements;
+      continue;
+    }
+    if (op.is_reset()) {
+      continue;
+    }
+    ++s.total_gates;
+    const std::size_t touched = op.num_qubits();
+    if (touched == 1) {
+      ++s.single_qubit;
+    } else if (touched == 2) {
+      ++s.two_qubit;
+    } else {
+      ++s.multi_qubit;
+    }
+    if (counts_as_t(op)) {
+      ++s.t_count;
+    }
+    std::string name;
+    for (std::size_t i = 0; i < op.controls().size(); ++i) {
+      name += 'c';
+    }
+    name += gate_name(op.kind());
+    ++s.by_name[name];
+    // ASAP depth: the gate starts after all operands are free.
+    std::size_t lvl = 0;
+    for (const Qubit q : op.qubits()) {
+      lvl = std::max(lvl, level[q]);
+    }
+    ++lvl;
+    for (const Qubit q : op.qubits()) {
+      level[q] = lvl;
+    }
+    s.depth = std::max(s.depth, lvl);
+  }
+  return s;
+}
+
+std::string Circuit::str() const {
+  std::string s = name_ + " (" + std::to_string(num_qubits_) + " qubits, " +
+                  std::to_string(ops_.size()) + " ops)\n";
+  for (const auto& op : ops_) {
+    s += "  " + op.str() + '\n';
+  }
+  return s;
+}
+
+}  // namespace qdt::ir

@@ -1,0 +1,131 @@
+// The quantum circuit IR: a named, fixed-width sequence of operations.
+//
+// This is the hub of the library — every backend (arrays, decision diagrams,
+// tensor networks, ZX-calculus) consumes a Circuit, and the transpiler
+// produces one.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/phase.hpp"
+#include "ir/operation.hpp"
+
+namespace qdt::ir {
+
+/// Summary statistics of a circuit (see Circuit::stats).
+struct CircuitStats {
+  std::size_t num_qubits = 0;
+  std::size_t total_gates = 0;      // unitary gates, controls included
+  std::size_t single_qubit = 0;     // gates touching exactly one qubit
+  std::size_t two_qubit = 0;        // gates touching exactly two qubits
+  std::size_t multi_qubit = 0;      // gates touching three or more
+  std::size_t t_count = 0;          // T/Tdg gates plus odd-multiple-of-pi/4
+                                    // phase rotations
+  std::size_t measurements = 0;
+  std::size_t depth = 0;            // greedy ASAP depth over unitary gates
+  std::map<std::string, std::size_t> by_name;  // "cx" -> 120, ...
+};
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(std::size_t num_qubits, std::string name = "circuit")
+      : num_qubits_(num_qubits), name_(std::move(name)) {}
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Operation>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  const Operation& operator[](std::size_t i) const { return ops_[i]; }
+
+  auto begin() const { return ops_.begin(); }
+  auto end() const { return ops_.end(); }
+
+  /// Append an operation; throws if it references a qubit out of range.
+  void append(Operation op);
+
+  // -- Builder shorthands (return *this for chaining) ----------------------
+  Circuit& i(Qubit q) { return add1(GateKind::I, q); }
+  Circuit& x(Qubit q) { return add1(GateKind::X, q); }
+  Circuit& y(Qubit q) { return add1(GateKind::Y, q); }
+  Circuit& z(Qubit q) { return add1(GateKind::Z, q); }
+  Circuit& h(Qubit q) { return add1(GateKind::H, q); }
+  Circuit& s(Qubit q) { return add1(GateKind::S, q); }
+  Circuit& sdg(Qubit q) { return add1(GateKind::Sdg, q); }
+  Circuit& t(Qubit q) { return add1(GateKind::T, q); }
+  Circuit& tdg(Qubit q) { return add1(GateKind::Tdg, q); }
+  Circuit& sx(Qubit q) { return add1(GateKind::SX, q); }
+  Circuit& sxdg(Qubit q) { return add1(GateKind::SXdg, q); }
+  Circuit& rx(const Phase& theta, Qubit q);
+  Circuit& ry(const Phase& theta, Qubit q);
+  Circuit& rz(const Phase& theta, Qubit q);
+  Circuit& p(const Phase& lambda, Qubit q);
+  Circuit& u(const Phase& theta, const Phase& phi, const Phase& lambda,
+             Qubit q);
+  Circuit& cx(Qubit control, Qubit target);
+  Circuit& cy(Qubit control, Qubit target);
+  Circuit& cz(Qubit control, Qubit target);
+  Circuit& ch(Qubit control, Qubit target);
+  Circuit& cs(Qubit control, Qubit target);
+  Circuit& cp(const Phase& lambda, Qubit control, Qubit target);
+  Circuit& crz(const Phase& theta, Qubit control, Qubit target);
+  Circuit& ccx(Qubit c1, Qubit c2, Qubit target);
+  Circuit& ccz(Qubit c1, Qubit c2, Qubit target);
+  Circuit& mcx(const std::vector<Qubit>& controls, Qubit target);
+  Circuit& swap(Qubit a, Qubit b);
+  Circuit& iswap(Qubit a, Qubit b);
+  Circuit& cswap(Qubit control, Qubit a, Qubit b);
+  Circuit& rzz(const Phase& theta, Qubit a, Qubit b);
+  Circuit& rxx(const Phase& theta, Qubit a, Qubit b);
+  Circuit& measure(Qubit q);
+  Circuit& measure_all();
+  Circuit& reset(Qubit q);
+  Circuit& barrier();
+
+  // -- Whole-circuit transforms --------------------------------------------
+  /// The adjoint circuit (ops reversed, each inverted). Requires all ops
+  /// unitary (barriers are dropped).
+  Circuit adjoint() const;
+
+  /// This circuit followed by `other` (must have the same width).
+  Circuit composed_with(const Circuit& other) const;
+
+  /// Circuit with every qubit q relabelled perm[q]; perm must be a
+  /// permutation of [0, num_qubits).
+  Circuit remapped(const std::vector<Qubit>& perm) const;
+
+  /// Copy containing only unitary operations (measurements/resets/barriers
+  /// stripped) — what the verification and ZX layers operate on.
+  Circuit unitary_part() const;
+
+  /// True if every operation is a unitary gate or barrier.
+  bool is_unitary() const;
+
+  // -- Analysis -------------------------------------------------------------
+  CircuitStats stats() const;
+  std::size_t t_count() const { return stats().t_count; }
+  std::size_t two_qubit_count() const { return stats().two_qubit; }
+  std::size_t depth() const { return stats().depth; }
+
+  bool operator==(const Circuit& o) const {
+    return num_qubits_ == o.num_qubits_ && ops_ == o.ops_;
+  }
+
+  /// Multi-line listing, one operation per line.
+  std::string str() const;
+
+ private:
+  Circuit& add1(GateKind k, Qubit q);
+
+  std::size_t num_qubits_ = 0;
+  std::string name_ = "circuit";
+  std::vector<Operation> ops_;
+};
+
+}  // namespace qdt::ir

@@ -1,0 +1,266 @@
+#include "ir/gate.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace qdt::ir {
+
+namespace {
+
+struct GateInfo {
+  const char* name;
+  int arity;        // target qubits
+  int params;       // Phase parameters
+  bool unitary;
+  bool diagonal;
+  bool self_inverse;
+};
+
+const GateInfo& info(GateKind k) {
+  static const GateInfo kTable[] = {
+      // name     arity params unitary diagonal self_inverse
+      {"id", 1, 0, true, true, true},      // I
+      {"x", 1, 0, true, false, true},      // X
+      {"y", 1, 0, true, false, true},      // Y
+      {"z", 1, 0, true, true, true},       // Z
+      {"h", 1, 0, true, false, true},      // H
+      {"s", 1, 0, true, true, false},      // S
+      {"sdg", 1, 0, true, true, false},    // Sdg
+      {"t", 1, 0, true, true, false},      // T
+      {"tdg", 1, 0, true, true, false},    // Tdg
+      {"sx", 1, 0, true, false, false},    // SX
+      {"sxdg", 1, 0, true, false, false},  // SXdg
+      {"rx", 1, 1, true, false, false},    // RX
+      {"ry", 1, 1, true, false, false},    // RY
+      {"rz", 1, 1, true, true, false},     // RZ
+      {"p", 1, 1, true, true, false},      // P
+      {"u", 1, 3, true, false, false},     // U
+      {"swap", 2, 0, true, false, true},   // Swap
+      {"iswap", 2, 0, true, false, false},     // ISwap
+      {"iswapdg", 2, 0, true, false, false},   // ISwapDg
+      {"rzz", 2, 1, true, true, false},    // RZZ
+      {"rxx", 2, 1, true, false, false},   // RXX
+      {"measure", 1, 0, false, false, false},  // Measure
+      {"reset", 1, 0, false, false, false},    // Reset
+      {"barrier", 1, 0, false, false, false},  // Barrier
+  };
+  return kTable[static_cast<std::size_t>(k)];
+}
+
+constexpr Complex kI{0.0, 1.0};
+
+Complex expi(double angle) { return {std::cos(angle), std::sin(angle)}; }
+
+}  // namespace
+
+std::string gate_name(GateKind k) { return info(k).name; }
+
+GateKind gate_from_name(const std::string& name) {
+  static const std::unordered_map<std::string, GateKind> kMap = [] {
+    std::unordered_map<std::string, GateKind> m;
+    for (int i = 0; i <= static_cast<int>(GateKind::Barrier); ++i) {
+      const auto k = static_cast<GateKind>(i);
+      m.emplace(gate_name(k), k);
+    }
+    // OpenQASM aliases.
+    m.emplace("u1", GateKind::P);
+    m.emplace("u3", GateKind::U);
+    m.emplace("cx", GateKind::X);  // handled with controls by the parser
+    return m;
+  }();
+  const auto it = kMap.find(name);
+  if (it == kMap.end()) {
+    throw std::invalid_argument("unknown gate name: " + name);
+  }
+  return it->second;
+}
+
+int gate_arity(GateKind k) { return info(k).arity; }
+int gate_param_count(GateKind k) { return info(k).params; }
+bool gate_is_unitary(GateKind k) { return info(k).unitary; }
+bool gate_is_diagonal(GateKind k) { return info(k).diagonal; }
+bool gate_is_self_inverse(GateKind k) { return info(k).self_inverse; }
+
+GateKind gate_inverse_kind(GateKind k) {
+  switch (k) {
+    case GateKind::S:
+      return GateKind::Sdg;
+    case GateKind::Sdg:
+      return GateKind::S;
+    case GateKind::T:
+      return GateKind::Tdg;
+    case GateKind::Tdg:
+      return GateKind::T;
+    case GateKind::SX:
+      return GateKind::SXdg;
+    case GateKind::SXdg:
+      return GateKind::SX;
+    case GateKind::ISwap:
+      return GateKind::ISwapDg;
+    case GateKind::ISwapDg:
+      return GateKind::ISwap;
+    default:
+      return k;  // self-inverse or parameterized (params negated separately)
+  }
+}
+
+std::vector<Phase> gate_inverse_params(GateKind k,
+                                       const std::vector<Phase>& params) {
+  if (k == GateKind::U) {
+    // U(theta, phi, lambda)^dagger = U(-theta, -lambda, -phi).
+    return {-params[0], -params[2], -params[1]};
+  }
+  std::vector<Phase> inv;
+  inv.reserve(params.size());
+  for (const auto& p : params) {
+    inv.push_back(-p);
+  }
+  return inv;
+}
+
+Mat2 gate_matrix2(GateKind k, const std::vector<Phase>& params) {
+  Mat2 m;
+  switch (k) {
+    case GateKind::I:
+      return Mat2::identity();
+    case GateKind::X:
+      m(0, 1) = 1.0;
+      m(1, 0) = 1.0;
+      return m;
+    case GateKind::Y:
+      m(0, 1) = -kI;
+      m(1, 0) = kI;
+      return m;
+    case GateKind::Z:
+      m(0, 0) = 1.0;
+      m(1, 1) = -1.0;
+      return m;
+    case GateKind::H:
+      m(0, 0) = kInvSqrt2;
+      m(0, 1) = kInvSqrt2;
+      m(1, 0) = kInvSqrt2;
+      m(1, 1) = -kInvSqrt2;
+      return m;
+    case GateKind::S:
+      m(0, 0) = 1.0;
+      m(1, 1) = kI;
+      return m;
+    case GateKind::Sdg:
+      m(0, 0) = 1.0;
+      m(1, 1) = -kI;
+      return m;
+    case GateKind::T:
+      m(0, 0) = 1.0;
+      m(1, 1) = expi(std::numbers::pi / 4);
+      return m;
+    case GateKind::Tdg:
+      m(0, 0) = 1.0;
+      m(1, 1) = expi(-std::numbers::pi / 4);
+      return m;
+    case GateKind::SX:
+      // sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
+      m(0, 0) = Complex{0.5, 0.5};
+      m(0, 1) = Complex{0.5, -0.5};
+      m(1, 0) = Complex{0.5, -0.5};
+      m(1, 1) = Complex{0.5, 0.5};
+      return m;
+    case GateKind::SXdg:
+      m(0, 0) = Complex{0.5, -0.5};
+      m(0, 1) = Complex{0.5, 0.5};
+      m(1, 0) = Complex{0.5, 0.5};
+      m(1, 1) = Complex{0.5, -0.5};
+      return m;
+    case GateKind::RX: {
+      const double t = params.at(0).radians() / 2;
+      m(0, 0) = std::cos(t);
+      m(0, 1) = -kI * std::sin(t);
+      m(1, 0) = -kI * std::sin(t);
+      m(1, 1) = std::cos(t);
+      return m;
+    }
+    case GateKind::RY: {
+      const double t = params.at(0).radians() / 2;
+      m(0, 0) = std::cos(t);
+      m(0, 1) = -std::sin(t);
+      m(1, 0) = std::sin(t);
+      m(1, 1) = std::cos(t);
+      return m;
+    }
+    case GateKind::RZ: {
+      const double t = params.at(0).radians() / 2;
+      m(0, 0) = expi(-t);
+      m(1, 1) = expi(t);
+      return m;
+    }
+    case GateKind::P:
+      m(0, 0) = 1.0;
+      m(1, 1) = expi(params.at(0).radians());
+      return m;
+    case GateKind::U: {
+      const double theta = params.at(0).radians();
+      const double phi = params.at(1).radians();
+      const double lambda = params.at(2).radians();
+      m(0, 0) = std::cos(theta / 2);
+      m(0, 1) = -expi(lambda) * std::sin(theta / 2);
+      m(1, 0) = expi(phi) * std::sin(theta / 2);
+      m(1, 1) = expi(phi + lambda) * std::cos(theta / 2);
+      return m;
+    }
+    default:
+      throw std::invalid_argument("gate_matrix2: not a single-qubit gate: " +
+                                  gate_name(k));
+  }
+}
+
+Mat4 gate_matrix4(GateKind k, const std::vector<Phase>& params) {
+  Mat4 m;
+  switch (k) {
+    case GateKind::Swap:
+      m(0, 0) = 1.0;
+      m(1, 2) = 1.0;
+      m(2, 1) = 1.0;
+      m(3, 3) = 1.0;
+      return m;
+    case GateKind::ISwap:
+      m(0, 0) = 1.0;
+      m(1, 2) = kI;
+      m(2, 1) = kI;
+      m(3, 3) = 1.0;
+      return m;
+    case GateKind::ISwapDg:
+      m(0, 0) = 1.0;
+      m(1, 2) = -kI;
+      m(2, 1) = -kI;
+      m(3, 3) = 1.0;
+      return m;
+    case GateKind::RZZ: {
+      const double t = params.at(0).radians() / 2;
+      m(0, 0) = expi(-t);
+      m(1, 1) = expi(t);
+      m(2, 2) = expi(t);
+      m(3, 3) = expi(-t);
+      return m;
+    }
+    case GateKind::RXX: {
+      const double t = params.at(0).radians() / 2;
+      const Complex c = std::cos(t);
+      const Complex s = -kI * std::sin(t);
+      m(0, 0) = c;
+      m(1, 1) = c;
+      m(2, 2) = c;
+      m(3, 3) = c;
+      m(0, 3) = s;
+      m(1, 2) = s;
+      m(2, 1) = s;
+      m(3, 0) = s;
+      return m;
+    }
+    default:
+      throw std::invalid_argument("gate_matrix4: not a two-qubit gate: " +
+                                  gate_name(k));
+  }
+}
+
+}  // namespace qdt::ir

@@ -1,0 +1,93 @@
+// The gate catalogue: every primitive operation the IR understands, together
+// with its exact matrix semantics.
+//
+// Controlled gates are not separate kinds — an ir::Operation attaches a list
+// of control qubits to any unitary base gate (so CX is X-with-one-control,
+// Toffoli is X-with-two-controls, controlled-phase is P-with-one-control).
+// This keeps the catalogue small and lets every backend handle arbitrary
+// multi-controlled gates uniformly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/phase.hpp"
+
+namespace qdt::ir {
+
+enum class GateKind : std::uint8_t {
+  // Single-qubit, parameter-free.
+  I,
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  SX,
+  SXdg,
+  // Single-qubit, parameterized (angles are qdt::Phase).
+  RX,   // RX(theta) = exp(-i theta X / 2)
+  RY,   // RY(theta) = exp(-i theta Y / 2)
+  RZ,   // RZ(theta) = exp(-i theta Z / 2)
+  P,    // P(lambda) = diag(1, e^{i lambda})
+  U,    // U(theta, phi, lambda), the generic 1q unitary (OpenQASM u3)
+  // Two-qubit, parameter-free.
+  Swap,
+  ISwap,
+  ISwapDg,
+  // Two-qubit, parameterized.
+  RZZ,  // RZZ(theta) = exp(-i theta Z(x)Z / 2)
+  RXX,  // RXX(theta) = exp(-i theta X(x)X / 2)
+  // Non-unitary / meta.
+  Measure,
+  Reset,
+  Barrier,
+};
+
+/// Lower-case mnemonic ("x", "sdg", "rz", ...; matches OpenQASM where one
+/// exists).
+std::string gate_name(GateKind k);
+
+/// Inverse lookup of gate_name. Throws std::invalid_argument on unknown
+/// names.
+GateKind gate_from_name(const std::string& name);
+
+/// Number of target qubits the gate acts on (1 or 2 for unitaries; Measure /
+/// Reset / Barrier report 1, their Operation may list several targets).
+int gate_arity(GateKind k);
+
+/// Number of Phase parameters the gate carries.
+int gate_param_count(GateKind k);
+
+/// True for every kind that denotes a unitary gate (everything except
+/// Measure, Reset, Barrier).
+bool gate_is_unitary(GateKind k);
+
+/// True if the gate matrix is diagonal in the computational basis.
+bool gate_is_diagonal(GateKind k);
+
+/// True if the gate equals its own inverse.
+bool gate_is_self_inverse(GateKind k);
+
+/// Kind and parameters of the inverse gate. For parameterized kinds the
+/// caller negates/permutes the parameters as returned by
+/// `gate_inverse_params`.
+GateKind gate_inverse_kind(GateKind k);
+
+/// Parameters of the inverse gate given the original parameters.
+std::vector<Phase> gate_inverse_params(GateKind k,
+                                       const std::vector<Phase>& params);
+
+/// Exact 2x2 matrix of a single-qubit kind. Throws for non-1q kinds.
+Mat2 gate_matrix2(GateKind k, const std::vector<Phase>& params);
+
+/// Exact 4x4 matrix of a two-qubit kind, with target[0] as the *less*
+/// significant index bit. Throws for non-2q kinds.
+Mat4 gate_matrix4(GateKind k, const std::vector<Phase>& params);
+
+}  // namespace qdt::ir

@@ -1,0 +1,427 @@
+#include "ir/library.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+
+namespace qdt::ir {
+
+Circuit bell() {
+  Circuit c(2, "bell");
+  // Matches the paper's Example 1: control on the first (most significant)
+  // qubit q1, target on q0.
+  c.h(1).cx(1, 0);
+  return c;
+}
+
+Circuit ghz(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("ghz: need at least one qubit");
+  }
+  Circuit c(n, "ghz" + std::to_string(n));
+  c.h(n - 1);
+  for (std::size_t q = n - 1; q > 0; --q) {
+    c.cx(static_cast<Qubit>(q), static_cast<Qubit>(q - 1));
+  }
+  return c;
+}
+
+Circuit w_state(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("w_state: need at least one qubit");
+  }
+  Circuit c(n, "w" + std::to_string(n));
+  c.x(0);
+  for (std::size_t k = 1; k < n; ++k) {
+    // Keep amplitude sqrt(1/(n-k+1)) at position k-1 and forward the rest;
+    // the angle is continuous, so it becomes a high-precision rational phase.
+    const double kept = 1.0 / static_cast<double>(n - k + 1);
+    const Phase theta = Phase::from_radians(2.0 * std::acos(std::sqrt(kept)));
+    c.append(Operation{GateKind::RY,
+                       {static_cast<Qubit>(k)},
+                       {static_cast<Qubit>(k - 1)},
+                       {theta}});
+    c.cx(static_cast<Qubit>(k), static_cast<Qubit>(k - 1));
+  }
+  return c;
+}
+
+Circuit graph_state(std::size_t n,
+                    const std::vector<std::pair<Qubit, Qubit>>& edges) {
+  Circuit c(n, "graph_state");
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  for (const auto& [a, b] : edges) {
+    c.cz(a, b);
+  }
+  return c;
+}
+
+Circuit qft(std::size_t n, bool with_swaps) {
+  Circuit c(n, "qft" + std::to_string(n));
+  for (std::size_t i = n; i-- > 0;) {
+    c.h(static_cast<Qubit>(i));
+    for (std::size_t j = i; j-- > 0;) {
+      // Controlled phase pi / 2^{i-j} between qubit j (control) and i.
+      c.cp(Phase{1, static_cast<std::int64_t>(1) << (i - j)},
+           static_cast<Qubit>(j), static_cast<Qubit>(i));
+    }
+  }
+  if (with_swaps) {
+    for (std::size_t q = 0; q < n / 2; ++q) {
+      c.swap(static_cast<Qubit>(q), static_cast<Qubit>(n - 1 - q));
+    }
+  }
+  return c;
+}
+
+Circuit aqft(std::size_t n, std::size_t degree) {
+  Circuit c(n, "aqft" + std::to_string(n));
+  for (std::size_t i = n; i-- > 0;) {
+    c.h(static_cast<Qubit>(i));
+    for (std::size_t j = i; j-- > 0;) {
+      if (i - j > degree) {
+        break;  // rotation angle below the approximation cutoff
+      }
+      c.cp(Phase{1, static_cast<std::int64_t>(1) << (i - j)},
+           static_cast<Qubit>(j), static_cast<Qubit>(i));
+    }
+  }
+  return c;
+}
+
+namespace {
+
+/// Multi-controlled Z over all n qubits (phase flip of |11...1>), as Z on the
+/// last qubit controlled by all others.
+void append_global_mcz(Circuit& c) {
+  const auto n = c.num_qubits();
+  if (n == 1) {
+    c.z(0);
+    return;
+  }
+  std::vector<Qubit> controls;
+  for (Qubit q = 0; q + 1 < n; ++q) {
+    controls.push_back(q);
+  }
+  c.append(Operation{GateKind::Z, {static_cast<Qubit>(n - 1)}, controls});
+}
+
+/// X on every qubit whose bit in `pattern` is zero (conjugation that turns
+/// the global MCZ into a phase flip of |pattern>).
+void append_pattern_mask(Circuit& c, std::uint64_t pattern) {
+  for (Qubit q = 0; q < c.num_qubits(); ++q) {
+    if (!get_bit(pattern, q)) {
+      c.x(q);
+    }
+  }
+}
+
+}  // namespace
+
+Circuit grover(std::size_t n, std::uint64_t marked, std::size_t iterations) {
+  if (n == 0 || n >= 63) {
+    throw std::invalid_argument("grover: unsupported width");
+  }
+  if (marked >> n) {
+    throw std::invalid_argument("grover: marked state out of range");
+  }
+  if (iterations == 0) {
+    iterations = static_cast<std::size_t>(
+        std::floor(std::numbers::pi / 4.0 *
+                   std::sqrt(static_cast<double>(1ULL << n))));
+    iterations = std::max<std::size_t>(iterations, 1);
+  }
+  Circuit c(n, "grover" + std::to_string(n));
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // Oracle: phase-flip |marked>.
+    append_pattern_mask(c, marked);
+    append_global_mcz(c);
+    append_pattern_mask(c, marked);
+    // Diffusion: reflect about the uniform superposition.
+    for (Qubit q = 0; q < n; ++q) {
+      c.h(q);
+    }
+    append_pattern_mask(c, 0);
+    append_global_mcz(c);
+    append_pattern_mask(c, 0);
+    for (Qubit q = 0; q < n; ++q) {
+      c.h(q);
+    }
+  }
+  return c;
+}
+
+Circuit bernstein_vazirani(std::size_t n, std::uint64_t secret) {
+  if (secret >> n) {
+    throw std::invalid_argument("bernstein_vazirani: secret out of range");
+  }
+  Circuit c(n, "bv" + std::to_string(n));
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  // Phase oracle (-1)^{secret . x} is a Z on every secret bit.
+  for (Qubit q = 0; q < n; ++q) {
+    if (get_bit(secret, q)) {
+      c.z(q);
+    }
+  }
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  return c;
+}
+
+Circuit deutsch_jozsa(std::size_t n, std::uint64_t mask) {
+  Circuit c(n, "dj" + std::to_string(n));
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  for (Qubit q = 0; q < n; ++q) {
+    if (get_bit(mask, q)) {
+      c.z(q);
+    }
+  }
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  return c;
+}
+
+Circuit hidden_shift(std::size_t n, std::uint64_t shift) {
+  if (n == 0 || n % 2 != 0) {
+    throw std::invalid_argument("hidden_shift: n must be even and positive");
+  }
+  if (shift >> n) {
+    throw std::invalid_argument("hidden_shift: shift out of range");
+  }
+  Circuit c(n, "hidden_shift" + std::to_string(n));
+  const std::size_t half = n / 2;
+  const auto cz_pairs = [&] {
+    for (Qubit q = 0; q < half; ++q) {
+      c.cz(q, static_cast<Qubit>(q + half));
+    }
+  };
+  const auto shift_mask = [&] {
+    for (Qubit q = 0; q < n; ++q) {
+      if (get_bit(shift, q)) {
+        c.x(q);
+      }
+    }
+  };
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  shift_mask();
+  cz_pairs();  // oracle for f(x + s)
+  shift_mask();
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  cz_pairs();  // oracle for the dual bent function (self-dual here)
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  return c;
+}
+
+Circuit ripple_carry_adder(std::size_t n_bits) {
+  if (n_bits == 0) {
+    throw std::invalid_argument("ripple_carry_adder: need at least one bit");
+  }
+  // Layout: qubit 0 = carry-in, a_i = 1 + i, b_i = 1 + n + i,
+  // carry-out = 1 + 2n.
+  const auto a = [&](std::size_t i) { return static_cast<Qubit>(1 + i); };
+  const auto b = [&](std::size_t i) {
+    return static_cast<Qubit>(1 + n_bits + i);
+  };
+  const Qubit cin = 0;
+  const auto cout = static_cast<Qubit>(1 + 2 * n_bits);
+  Circuit c(2 * n_bits + 2, "adder" + std::to_string(n_bits));
+
+  const auto maj = [&](Qubit x, Qubit y, Qubit z) {
+    c.cx(z, y);
+    c.cx(z, x);
+    c.ccx(x, y, z);
+  };
+  const auto uma = [&](Qubit x, Qubit y, Qubit z) {
+    c.ccx(x, y, z);
+    c.cx(z, x);
+    c.cx(x, y);
+  };
+
+  maj(cin, b(0), a(0));
+  for (std::size_t i = 1; i < n_bits; ++i) {
+    maj(a(i - 1), b(i), a(i));
+  }
+  c.cx(a(n_bits - 1), cout);
+  for (std::size_t i = n_bits; i-- > 1;) {
+    uma(a(i - 1), b(i), a(i));
+  }
+  uma(cin, b(0), a(0));
+  return c;
+}
+
+Circuit phase_estimation(std::size_t precision, const Phase& theta) {
+  if (precision == 0 || precision > 20) {
+    throw std::invalid_argument("phase_estimation: unsupported precision");
+  }
+  const std::size_t n = precision + 1;
+  const auto eigen = static_cast<Qubit>(precision);
+  Circuit c(n, "qpe" + std::to_string(precision));
+  // Eigenstate |1> of P(theta).
+  c.x(eigen);
+  for (Qubit q = 0; q < precision; ++q) {
+    c.h(q);
+  }
+  // Controlled powers: qubit k controls P(theta * 2^k).
+  for (std::size_t k = 0; k < precision; ++k) {
+    // 2^k * theta, computed exactly in the rational representation.
+    Phase p = theta;
+    for (std::size_t i = 0; i < k; ++i) {
+      p = p + p;
+    }
+    if (!p.is_zero()) {
+      c.cp(p, static_cast<Qubit>(k), eigen);
+    }
+  }
+  // Inverse QFT (the full DFT inverse, swaps included) on the counting
+  // register turns the accumulated phase gradient back into the binary
+  // value of the eigenphase.
+  const Circuit iqft = qft(precision, /*with_swaps=*/true).adjoint();
+  for (const auto& op : iqft.ops()) {
+    c.append(op);
+  }
+  return c;
+}
+
+Circuit random_circuit(std::size_t n, std::size_t depth, std::uint64_t seed) {
+  Circuit c(n, "random" + std::to_string(n) + "x" + std::to_string(depth));
+  Rng rng(seed);
+  for (std::size_t layer = 0; layer < depth; ++layer) {
+    for (Qubit q = 0; q < n; ++q) {
+      c.u(Phase::from_radians(rng.uniform(0, std::numbers::pi)),
+          Phase::from_radians(rng.uniform(-std::numbers::pi,
+                                          std::numbers::pi)),
+          Phase::from_radians(rng.uniform(-std::numbers::pi,
+                                          std::numbers::pi)),
+          q);
+    }
+    if (n < 2) {
+      continue;
+    }
+    std::vector<Qubit> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      c.cx(order[i], order[i + 1]);
+    }
+  }
+  return c;
+}
+
+Circuit random_clifford(std::size_t n, std::size_t num_gates,
+                        std::uint64_t seed) {
+  Circuit c(n, "clifford" + std::to_string(n));
+  Rng rng(seed);
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    const auto choice = rng.index(n >= 2 ? 3 : 2);
+    const auto q = static_cast<Qubit>(rng.index(n));
+    switch (choice) {
+      case 0:
+        c.h(q);
+        break;
+      case 1:
+        c.s(q);
+        break;
+      default: {
+        auto t = static_cast<Qubit>(rng.index(n - 1));
+        if (t >= q) {
+          ++t;
+        }
+        c.cx(q, t);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+Circuit random_clifford_t(std::size_t n, std::size_t num_gates,
+                          double t_fraction, std::uint64_t seed) {
+  Circuit c(n, "clifford_t" + std::to_string(n));
+  Rng rng(seed);
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    const auto q = static_cast<Qubit>(rng.index(n));
+    if (rng.uniform() < t_fraction) {
+      c.t(q);
+      continue;
+    }
+    const auto choice = rng.index(n >= 2 ? 3 : 2);
+    switch (choice) {
+      case 0:
+        c.h(q);
+        break;
+      case 1:
+        c.s(q);
+        break;
+      default: {
+        auto t = static_cast<Qubit>(rng.index(n - 1));
+        if (t >= q) {
+          ++t;
+        }
+        c.cx(q, t);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+Circuit random_phase_circuit(std::size_t n, std::size_t num_gates,
+                             std::uint64_t seed) {
+  Circuit c(n, "phase_circuit" + std::to_string(n));
+  Rng rng(seed);
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    const auto q = static_cast<Qubit>(rng.index(n));
+    switch (rng.index(3)) {
+      case 0:
+        c.t(q);
+        break;
+      case 1: {
+        const auto den = static_cast<std::int64_t>(1)
+                         << (1 + rng.index(5));  // pi/2 ... pi/32
+        c.rz(Phase{1, den}, q);
+        break;
+      }
+      default: {
+        if (n < 2) {
+          c.t(q);
+          break;
+        }
+        auto t = static_cast<Qubit>(rng.index(n - 1));
+        if (t >= q) {
+          ++t;
+        }
+        const auto den = static_cast<std::int64_t>(1) << (1 + rng.index(4));
+        c.cp(Phase{1, den}, q, t);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace qdt::ir

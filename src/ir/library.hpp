@@ -1,0 +1,84 @@
+// Named circuit families used throughout the examples, tests, and benchmark
+// harness. All generators are deterministic; the randomized families take an
+// explicit seed.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qdt::ir {
+
+/// The paper's running example (Figs. 1-3): H(q1); CX(q1 -> q0) on 2 qubits,
+/// preparing (|00> + |11>)/sqrt(2).
+Circuit bell();
+
+/// Greenberger-Horne-Zeilinger state on n qubits: H then a CX chain.
+/// Its state vector has only 2 nonzero amplitudes -> the flagship example of
+/// decision-diagram compactness (O(n) DD nodes vs 2^n array entries).
+Circuit ghz(std::size_t n);
+
+/// W state on n qubits ((|10...0> + |01...0> + ... + |0...01>)/sqrt(n)) via
+/// the controlled-RY cascade construction.
+Circuit w_state(std::size_t n);
+
+/// Graph state: |+>^n followed by CZ for every edge.
+Circuit graph_state(std::size_t n,
+                    const std::vector<std::pair<Qubit, Qubit>>& edges);
+
+/// Quantum Fourier transform on n qubits (with the final qubit-reversal
+/// swaps, so the unitary equals the DFT matrix F[j][k] = w^{jk}/sqrt(N)).
+Circuit qft(std::size_t n, bool with_swaps = true);
+
+/// Approximate QFT: controlled phases smaller than pi/2^{degree} dropped.
+Circuit aqft(std::size_t n, std::size_t degree);
+
+/// Grover search over n qubits for the marked basis state, with the optimal
+/// floor(pi/4 * sqrt(2^n)) iterations (or an explicit count).
+Circuit grover(std::size_t n, std::uint64_t marked,
+               std::size_t iterations = 0);
+
+/// Bernstein-Vazirani for an n-bit secret (phase-oracle formulation, no
+/// ancilla): measuring yields `secret` deterministically.
+Circuit bernstein_vazirani(std::size_t n, std::uint64_t secret);
+
+/// Deutsch-Jozsa with a balanced inner-product oracle (mask != 0) or the
+/// constant oracle (mask == 0), phase formulation on n qubits.
+Circuit deutsch_jozsa(std::size_t n, std::uint64_t mask);
+
+/// Hidden-shift algorithm for the Maiorana-McFarland bent function
+/// f(x, y) = x . y on n qubits (n even). Measuring returns `shift`.
+Circuit hidden_shift(std::size_t n, std::uint64_t shift);
+
+/// Cuccaro ripple-carry adder: computes b := a + b on registers
+/// [cin | a(n) | b(n) | cout], total 2n + 2 qubits.
+Circuit ripple_carry_adder(std::size_t n_bits);
+
+/// Quantum phase estimation of the eigenphase of P(theta) on its |1>
+/// eigenstate, with `precision` counting qubits (total precision + 1
+/// qubits; the eigenstate register is qubit `precision`). Measuring the
+/// counting register yields round(theta / 2pi * 2^precision) with high
+/// probability.
+Circuit phase_estimation(std::size_t precision, const Phase& theta);
+
+/// Random circuit of `depth` layers; each layer applies a Haar-ish random U
+/// gate to every qubit followed by CX gates on a random qubit pairing.
+Circuit random_circuit(std::size_t n, std::size_t depth, std::uint64_t seed);
+
+/// Random Clifford circuit: `num_gates` gates drawn from {H, S, CX}.
+Circuit random_clifford(std::size_t n, std::size_t num_gates,
+                        std::uint64_t seed);
+
+/// Random Clifford+T circuit: {H, S, CX} plus T with probability
+/// `t_fraction`.
+Circuit random_clifford_t(std::size_t n, std::size_t num_gates,
+                          double t_fraction, std::uint64_t seed);
+
+/// Random diagonal-heavy circuit (H layer + random CP/T/RZ mix): a workload
+/// where all four data structures behave very differently.
+Circuit random_phase_circuit(std::size_t n, std::size_t num_gates,
+                             std::uint64_t seed);
+
+}  // namespace qdt::ir

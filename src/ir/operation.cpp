@@ -1,0 +1,114 @@
+#include "ir/operation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qdt::ir {
+
+Operation::Operation(GateKind kind, std::vector<Qubit> targets,
+                     std::vector<Qubit> controls, std::vector<Phase> params)
+    : kind_(kind),
+      targets_(std::move(targets)),
+      controls_(std::move(controls)),
+      params_(std::move(params)) {
+  if (gate_is_unitary(kind_)) {
+    if (static_cast<int>(targets_.size()) != gate_arity(kind_)) {
+      throw std::invalid_argument("Operation " + gate_name(kind_) +
+                                  ": wrong number of targets");
+    }
+    if (static_cast<int>(params_.size()) != gate_param_count(kind_)) {
+      throw std::invalid_argument("Operation " + gate_name(kind_) +
+                                  ": wrong number of parameters");
+    }
+  } else {
+    if (targets_.empty()) {
+      throw std::invalid_argument("Operation " + gate_name(kind_) +
+                                  ": needs at least one target");
+    }
+    if (!controls_.empty()) {
+      throw std::invalid_argument("Operation " + gate_name(kind_) +
+                                  ": cannot be controlled");
+    }
+  }
+  // Reject duplicated qubits across targets+controls.
+  auto all = qubits();
+  std::sort(all.begin(), all.end());
+  if (std::adjacent_find(all.begin(), all.end()) != all.end()) {
+    throw std::invalid_argument("Operation " + gate_name(kind_) +
+                                ": duplicate qubit operand");
+  }
+}
+
+std::vector<Qubit> Operation::qubits() const {
+  std::vector<Qubit> q = targets_;
+  q.insert(q.end(), controls_.begin(), controls_.end());
+  return q;
+}
+
+Qubit Operation::max_qubit() const {
+  Qubit m = 0;
+  for (const Qubit q : targets_) {
+    m = std::max(m, q);
+  }
+  for (const Qubit q : controls_) {
+    m = std::max(m, q);
+  }
+  return m;
+}
+
+Operation Operation::adjoint() const {
+  if (!is_unitary()) {
+    throw std::logic_error("adjoint of non-unitary operation " +
+                           gate_name(kind_));
+  }
+  return Operation{gate_inverse_kind(kind_), targets_, controls_,
+                   gate_inverse_params(kind_, params_)};
+}
+
+Operation Operation::remapped(const std::vector<Qubit>& perm) const {
+  Operation o = *this;
+  for (Qubit& q : o.targets_) {
+    q = perm.at(q);
+  }
+  for (Qubit& q : o.controls_) {
+    q = perm.at(q);
+  }
+  return o;
+}
+
+std::string Operation::str() const {
+  std::string s;
+  for (std::size_t i = 0; i < controls_.size(); ++i) {
+    s += 'c';
+  }
+  s += gate_name(kind_);
+  if (!params_.empty()) {
+    s += '(';
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      if (i > 0) {
+        s += ", ";
+      }
+      s += params_[i].str();
+    }
+    s += ')';
+  }
+  s += ' ';
+  bool first = true;
+  for (const Qubit q : controls_) {
+    if (!first) {
+      s += ", ";
+    }
+    first = false;
+    s += 'q' + std::to_string(q);
+  }
+  for (const Qubit q : targets_) {
+    if (!first) {
+      s += ", ";
+    }
+    first = false;
+    s += 'q' + std::to_string(q);
+  }
+  return s;
+}
+
+}  // namespace qdt::ir

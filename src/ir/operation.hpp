@@ -1,0 +1,78 @@
+// One instruction of a quantum circuit: a base gate from the catalogue, the
+// target qubit(s) it acts on, an optional list of (positive) control qubits,
+// and the gate's Phase parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/phase.hpp"
+#include "ir/gate.hpp"
+
+namespace qdt::ir {
+
+using Qubit = std::uint32_t;
+
+class Operation {
+ public:
+  Operation() = default;
+
+  /// General constructor; validates target/param arity against the catalogue.
+  Operation(GateKind kind, std::vector<Qubit> targets,
+            std::vector<Qubit> controls = {}, std::vector<Phase> params = {});
+
+  /// Convenience for the ubiquitous 1-target case. Takes an initializer
+  /// list (not a vector) so that braced control-qubit lists never bind here.
+  Operation(GateKind kind, Qubit target,
+            std::initializer_list<Phase> params = {})
+      : Operation(kind, std::vector<Qubit>{target}, {},
+                  std::vector<Phase>(params)) {}
+
+  GateKind kind() const { return kind_; }
+  const std::vector<Qubit>& targets() const { return targets_; }
+  const std::vector<Qubit>& controls() const { return controls_; }
+  const std::vector<Phase>& params() const { return params_; }
+
+  bool is_unitary() const { return gate_is_unitary(kind_); }
+  bool is_measurement() const { return kind_ == GateKind::Measure; }
+  bool is_reset() const { return kind_ == GateKind::Reset; }
+  bool is_barrier() const { return kind_ == GateKind::Barrier; }
+  bool is_controlled() const { return !controls_.empty(); }
+  /// Diagonal in the computational basis (controls preserve diagonality).
+  bool is_diagonal() const { return gate_is_diagonal(kind_); }
+
+  /// Number of distinct qubits this operation touches.
+  std::size_t num_qubits() const { return targets_.size() + controls_.size(); }
+
+  /// Targets followed by controls.
+  std::vector<Qubit> qubits() const;
+
+  /// Largest qubit index mentioned.
+  Qubit max_qubit() const;
+
+  /// The inverse operation. Throws for non-unitary kinds.
+  Operation adjoint() const;
+
+  /// Base-gate matrix (ignoring controls). Valid for 1q / 2q unitary kinds.
+  Mat2 matrix2() const { return gate_matrix2(kind_, params_); }
+  Mat4 matrix4() const { return gate_matrix4(kind_, params_); }
+
+  /// Operation with every qubit q replaced by perm[q].
+  Operation remapped(const std::vector<Qubit>& perm) const;
+
+  /// Structural equality (same kind, qubits, exact same Phase parameters).
+  bool operator==(const Operation& o) const = default;
+
+  /// Readable form such as "cx q1, q0" or "rz(pi/4) q2".
+  std::string str() const;
+
+ private:
+  GateKind kind_ = GateKind::I;
+  std::vector<Qubit> targets_;
+  std::vector<Qubit> controls_;
+  std::vector<Phase> params_;
+};
+
+}  // namespace qdt::ir

@@ -1,0 +1,438 @@
+#include "ir/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace qdt::ir {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::runtime_error("qasm:" + std::to_string(line) + ": " + msg);
+}
+
+/// Remove comments and surrounding whitespace.
+std::string strip(std::string s) {
+  if (const auto pos = s.find("//"); pos != std::string::npos) {
+    s.erase(pos);
+  }
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) {
+    return "";
+  }
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+/// Minimal recursive-descent evaluator for angle expressions:
+///   expr   := term (('+'|'-') term)*
+///   term   := factor (('*'|'/') factor)*
+///   factor := '-' factor | number | 'pi' | '(' expr ')'
+class AngleParser {
+ public:
+  AngleParser(std::string text, std::size_t line)
+      : text_(std::move(text)), line_(line) {}
+
+  double parse() {
+    const double v = expr();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail(line_, "trailing characters in angle expression: " + text_);
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_]) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  double expr() {
+    double v = term();
+    while (true) {
+      if (consume('+')) {
+        v += term();
+      } else if (consume('-')) {
+        v -= term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double term() {
+    double v = factor();
+    while (true) {
+      if (consume('*')) {
+        v *= factor();
+      } else if (consume('/')) {
+        v /= factor();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double factor() {
+    skip_ws();
+    if (consume('-')) {
+      return -factor();
+    }
+    if (consume('(')) {
+      const double v = expr();
+      if (!consume(')')) {
+        fail(line_, "missing ')' in angle expression");
+      }
+      return v;
+    }
+    if (text_.compare(pos_, 2, "pi") == 0) {
+      pos_ += 2;
+      return std::numbers::pi;
+    }
+    // Number.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(text_[pos_]) != 0 || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail(line_, "expected number in angle expression: " + text_);
+    }
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::size_t line_;
+};
+
+struct QasmGate {
+  GateKind kind;
+  int num_controls;
+  int num_params;
+};
+
+const std::unordered_map<std::string, QasmGate>& gate_table() {
+  static const std::unordered_map<std::string, QasmGate> kTable = {
+      {"id", {GateKind::I, 0, 0}},      {"x", {GateKind::X, 0, 0}},
+      {"y", {GateKind::Y, 0, 0}},       {"z", {GateKind::Z, 0, 0}},
+      {"h", {GateKind::H, 0, 0}},       {"s", {GateKind::S, 0, 0}},
+      {"sdg", {GateKind::Sdg, 0, 0}},   {"t", {GateKind::T, 0, 0}},
+      {"tdg", {GateKind::Tdg, 0, 0}},   {"sx", {GateKind::SX, 0, 0}},
+      {"sxdg", {GateKind::SXdg, 0, 0}}, {"rx", {GateKind::RX, 0, 1}},
+      {"ry", {GateKind::RY, 0, 1}},     {"rz", {GateKind::RZ, 0, 1}},
+      {"p", {GateKind::P, 0, 1}},       {"u1", {GateKind::P, 0, 1}},
+      {"u", {GateKind::U, 0, 3}},       {"u3", {GateKind::U, 0, 3}},
+      {"cx", {GateKind::X, 1, 0}},      {"cy", {GateKind::Y, 1, 0}},
+      {"cz", {GateKind::Z, 1, 0}},      {"ch", {GateKind::H, 1, 0}},
+      {"crz", {GateKind::RZ, 1, 1}},    {"cry", {GateKind::RY, 1, 1}},
+      {"crx", {GateKind::RX, 1, 1}},    {"cp", {GateKind::P, 1, 1}},
+      {"cu1", {GateKind::P, 1, 1}},     {"ccx", {GateKind::X, 2, 0}},
+      {"ccz", {GateKind::Z, 2, 0}},     {"swap", {GateKind::Swap, 0, 0}},
+      {"cswap", {GateKind::Swap, 1, 0}},
+      {"iswap", {GateKind::ISwap, 0, 0}},
+      {"rzz", {GateKind::RZZ, 0, 1}},   {"rxx", {GateKind::RXX, 0, 1}},
+  };
+  return kTable;
+}
+
+/// Split "a, b , c" on commas at paren depth zero.
+std::vector<std::string> split_args(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  int depth = 0;
+  for (const char ch : s) {
+    if (ch == '(') {
+      ++depth;
+    } else if (ch == ')') {
+      --depth;
+    }
+    if (ch == ',' && depth == 0) {
+      parts.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  if (!strip(cur).empty()) {
+    parts.push_back(strip(cur));
+  }
+  return parts;
+}
+
+}  // namespace
+
+Circuit parse_qasm(const std::string& source) {
+  std::istringstream in(source);
+  std::string raw;
+  std::size_t line_no = 0;
+  std::string qreg_name;
+  std::size_t num_qubits = 0;
+  Circuit circuit;
+  bool have_circuit = false;
+
+  // Statements end with ';'; gather them across physical lines.
+  std::string pending;
+  std::vector<std::pair<std::string, std::size_t>> statements;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    pending += strip(raw);
+    while (true) {
+      const auto pos = pending.find(';');
+      if (pos == std::string::npos) {
+        break;
+      }
+      const std::string stmt = strip(pending.substr(0, pos));
+      pending = strip(pending.substr(pos + 1));
+      if (!stmt.empty()) {
+        statements.emplace_back(stmt, line_no);
+      }
+    }
+    if (!pending.empty()) {
+      pending += ' ';
+    }
+  }
+  if (!strip(pending).empty()) {
+    throw std::runtime_error("qasm: missing ';' at end of input");
+  }
+
+  const auto parse_qubit = [&](const std::string& ref,
+                               std::size_t line) -> Qubit {
+    const auto lb = ref.find('[');
+    const auto rb = ref.find(']');
+    if (lb == std::string::npos || rb == std::string::npos || rb < lb) {
+      fail(line, "expected qubit reference like q[3], got: " + ref);
+    }
+    const std::string reg = strip(ref.substr(0, lb));
+    if (reg != qreg_name) {
+      fail(line, "unknown register: " + reg);
+    }
+    const auto idx = std::stoul(ref.substr(lb + 1, rb - lb - 1));
+    if (idx >= num_qubits) {
+      fail(line, "qubit index out of range: " + ref);
+    }
+    return static_cast<Qubit>(idx);
+  };
+
+  for (const auto& [stmt, line] : statements) {
+    if (stmt.rfind("OPENQASM", 0) == 0 || stmt.rfind("include", 0) == 0 ||
+        stmt.rfind("creg", 0) == 0) {
+      continue;
+    }
+    if (stmt.rfind("qreg", 0) == 0) {
+      if (have_circuit) {
+        fail(line, "only one qreg is supported");
+      }
+      const auto lb = stmt.find('[');
+      const auto rb = stmt.find(']');
+      if (lb == std::string::npos || rb == std::string::npos) {
+        fail(line, "malformed qreg declaration");
+      }
+      qreg_name = strip(stmt.substr(4, lb - 4));
+      num_qubits = std::stoul(stmt.substr(lb + 1, rb - lb - 1));
+      circuit = Circuit(num_qubits, "qasm");
+      have_circuit = true;
+      continue;
+    }
+    if (!have_circuit) {
+      fail(line, "gate before qreg declaration");
+    }
+    if (stmt.rfind("barrier", 0) == 0) {
+      circuit.barrier();
+      continue;
+    }
+    if (stmt.rfind("measure", 0) == 0) {
+      // "measure q[i] -> c[i]" or "measure q -> c" (all qubits).
+      const auto arrow = stmt.find("->");
+      const std::string src =
+          strip(stmt.substr(7, arrow == std::string::npos
+                                   ? std::string::npos
+                                   : arrow - 7));
+      if (src == qreg_name) {
+        circuit.measure_all();
+      } else {
+        circuit.measure(parse_qubit(src, line));
+      }
+      continue;
+    }
+    if (stmt.rfind("reset", 0) == 0) {
+      circuit.reset(parse_qubit(strip(stmt.substr(5)), line));
+      continue;
+    }
+
+    // Gate statement: name[(params)] args.
+    std::size_t p = 0;
+    while (p < stmt.size() && (std::isalnum(stmt[p]) != 0 || stmt[p] == '_')) {
+      ++p;
+    }
+    const std::string name = stmt.substr(0, p);
+    const auto it = gate_table().find(name);
+    if (it == gate_table().end()) {
+      fail(line, "unsupported gate: " + name);
+    }
+    const QasmGate& g = it->second;
+
+    std::vector<Phase> params;
+    std::size_t args_start = p;
+    if (g.num_params > 0) {
+      const auto lp = stmt.find('(', p);
+      const auto rp = stmt.rfind(')');
+      if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+        fail(line, "expected parameter list for gate " + name);
+      }
+      for (const auto& expr :
+           split_args(stmt.substr(lp + 1, rp - lp - 1))) {
+        params.push_back(
+            Phase::from_radians(AngleParser(expr, line).parse()));
+      }
+      if (static_cast<int>(params.size()) != g.num_params) {
+        fail(line, "wrong parameter count for gate " + name);
+      }
+      args_start = rp + 1;
+    }
+
+    const auto refs = split_args(stmt.substr(args_start));
+    const int arity = gate_arity(g.kind);
+    if (static_cast<int>(refs.size()) != g.num_controls + arity) {
+      fail(line, "wrong operand count for gate " + name);
+    }
+    std::vector<Qubit> controls;
+    for (int i = 0; i < g.num_controls; ++i) {
+      controls.push_back(parse_qubit(refs[i], line));
+    }
+    std::vector<Qubit> targets;
+    for (int i = g.num_controls; i < g.num_controls + arity; ++i) {
+      targets.push_back(parse_qubit(refs[i], line));
+    }
+    circuit.append(Operation{g.kind, std::move(targets), std::move(controls),
+                             std::move(params)});
+  }
+  if (!have_circuit) {
+    throw std::runtime_error("qasm: no qreg declaration found");
+  }
+  return circuit;
+}
+
+namespace {
+
+std::string phase_to_qasm(const Phase& p) {
+  if (p.is_zero()) {
+    return "0";
+  }
+  std::string s;
+  if (p.num() == 1) {
+    s = "pi";
+  } else if (p.num() == -1) {
+    s = "-pi";
+  } else {
+    s = std::to_string(p.num()) + "*pi";
+  }
+  if (p.den() != 1) {
+    s += "/" + std::to_string(p.den());
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string to_qasm(const Circuit& circuit) {
+  std::ostringstream out;
+  out << "OPENQASM 2.0;\n";
+  out << "include \"qelib1.inc\";\n";
+  out << "qreg q[" << circuit.num_qubits() << "];\n";
+  out << "creg c[" << circuit.num_qubits() << "];\n";
+
+  // Reverse lookup: (kind, #controls) -> qasm name.
+  const auto emit_name = [](const Operation& op) -> std::string {
+    const std::size_t nc = op.controls().size();
+    const auto base = gate_name(op.kind());
+    if (nc == 0) {
+      return base;
+    }
+    static const std::unordered_map<std::string, std::string> k1 = {
+        {"x", "cx"},   {"y", "cy"},  {"z", "cz"},   {"h", "ch"},
+        {"rz", "crz"}, {"ry", "cry"}, {"rx", "crx"}, {"p", "cp"},
+        {"swap", "cswap"}};
+    static const std::unordered_map<std::string, std::string> k2 = {
+        {"x", "ccx"}, {"z", "ccz"}};
+    if (nc == 1) {
+      if (const auto it = k1.find(base); it != k1.end()) {
+        return it->second;
+      }
+    } else if (nc == 2) {
+      if (const auto it = k2.find(base); it != k2.end()) {
+        return it->second;
+      }
+    }
+    throw std::runtime_error("to_qasm: cannot express controlled-" + base +
+                             " with " + std::to_string(nc) + " controls");
+  };
+
+  for (const auto& op : circuit.ops()) {
+    if (op.is_barrier()) {
+      out << "barrier q;\n";
+      continue;
+    }
+    if (op.is_measurement()) {
+      for (const auto q : op.targets()) {
+        out << "measure q[" << q << "] -> c[" << q << "];\n";
+      }
+      continue;
+    }
+    if (op.is_reset()) {
+      for (const auto q : op.targets()) {
+        out << "reset q[" << q << "];\n";
+      }
+      continue;
+    }
+    out << emit_name(op);
+    if (!op.params().empty()) {
+      out << '(';
+      for (std::size_t i = 0; i < op.params().size(); ++i) {
+        if (i > 0) {
+          out << ", ";
+        }
+        out << phase_to_qasm(op.params()[i]);
+      }
+      out << ')';
+    }
+    out << ' ';
+    bool first = true;
+    for (const auto q : op.controls()) {
+      if (!first) {
+        out << ", ";
+      }
+      first = false;
+      out << "q[" << q << ']';
+    }
+    for (const auto q : op.targets()) {
+      if (!first) {
+        out << ", ";
+      }
+      first = false;
+      out << "q[" << q << ']';
+    }
+    out << ";\n";
+  }
+  return out.str();
+}
+
+}  // namespace qdt::ir

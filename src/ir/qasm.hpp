@@ -1,0 +1,24 @@
+// OpenQASM 2.0 subset reader and writer.
+//
+// Supported: a single quantum register, the qelib1 gate names covered by the
+// catalogue (x, y, z, h, s, sdg, t, tdg, sx, sxdg, rx, ry, rz, p/u1, u/u3,
+// cx, cy, cz, ch, crz, cp/cu1, ccx, swap, cswap, iswap, rzz, rxx), measure,
+// reset, and barrier. Angle expressions may combine integers, decimals, and
+// `pi` with * and / (e.g. "3*pi/4", "-pi/2", "0.25").
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qdt::ir {
+
+/// Parse an OpenQASM 2.0 program. Throws std::runtime_error with a
+/// line-numbered message on any syntax or unsupported-feature error.
+Circuit parse_qasm(const std::string& source);
+
+/// Serialize to OpenQASM 2.0. Throws std::runtime_error for operations the
+/// format cannot express (e.g. more than two controls).
+std::string to_qasm(const Circuit& circuit);
+
+}  // namespace qdt::ir

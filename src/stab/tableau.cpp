@@ -1,0 +1,545 @@
+#include "stab/tableau.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace qdt::stab {
+
+bool PauliRow::is_identity() const {
+  return std::none_of(x.begin(), x.end(), [](bool b) { return b; }) &&
+         std::none_of(z.begin(), z.end(), [](bool b) { return b; });
+}
+
+std::string PauliRow::str() const {
+  std::string s = r ? "-" : "+";
+  for (std::size_t q = x.size(); q-- > 0;) {
+    if (x[q] && z[q]) {
+      s += 'Y';
+    } else if (x[q]) {
+      s += 'X';
+    } else if (z[q]) {
+      s += 'Z';
+    } else {
+      s += 'I';
+    }
+  }
+  return s;
+}
+
+Tableau::Tableau(std::size_t num_qubits) : n_(num_qubits) {
+  if (n_ == 0) {
+    throw std::invalid_argument("Tableau: need at least one qubit");
+  }
+  rows_.assign(2 * n_, PauliRow{std::vector<bool>(n_, false),
+                                std::vector<bool>(n_, false), false});
+  for (std::size_t i = 0; i < n_; ++i) {
+    rows_[i].x[i] = true;       // destabilizer X_i
+    rows_[n_ + i].z[i] = true;  // stabilizer Z_i
+  }
+}
+
+void Tableau::h(std::size_t q) {
+  for (auto& row : rows_) {
+    row.r = row.r != (row.x[q] && row.z[q]);
+    const bool t = row.x[q];
+    row.x[q] = row.z[q];
+    row.z[q] = t;
+  }
+}
+
+void Tableau::s(std::size_t q) {
+  for (auto& row : rows_) {
+    row.r = row.r != (row.x[q] && row.z[q]);
+    row.z[q] = row.z[q] != row.x[q];
+  }
+}
+
+void Tableau::cx(std::size_t control, std::size_t target) {
+  for (auto& row : rows_) {
+    row.r = row.r != (row.x[control] && row.z[target] &&
+                      (row.x[target] == row.z[control]));
+    row.x[target] = row.x[target] != row.x[control];
+    row.z[control] = row.z[control] != row.z[target];
+  }
+}
+
+void Tableau::z(std::size_t q) {
+  s(q);
+  s(q);
+}
+
+void Tableau::x(std::size_t q) {
+  h(q);
+  z(q);
+  h(q);
+}
+
+void Tableau::y(std::size_t q) {
+  z(q);
+  x(q);
+}
+
+void Tableau::sdg(std::size_t q) {
+  s(q);
+  s(q);
+  s(q);
+}
+
+void Tableau::sx(std::size_t q) {
+  // SX = H S H, exactly.
+  h(q);
+  s(q);
+  h(q);
+}
+
+void Tableau::sxdg(std::size_t q) {
+  h(q);
+  sdg(q);
+  h(q);
+}
+
+void Tableau::cz(std::size_t control, std::size_t target) {
+  h(target);
+  cx(control, target);
+  h(target);
+}
+
+void Tableau::swap(std::size_t a, std::size_t b) {
+  cx(a, b);
+  cx(b, a);
+  cx(a, b);
+}
+
+namespace {
+
+/// The Aaronson-Gottesman phase exponent of multiplying Pauli (x1, z1) onto
+/// (x2, z2): the power of i contributed, in {-1, 0, 1}.
+int phase_g(bool x1, bool z1, bool x2, bool z2) {
+  if (!x1 && !z1) {
+    return 0;
+  }
+  if (x1 && z1) {  // Y
+    return (z2 ? 1 : 0) - (x2 ? 1 : 0);
+  }
+  if (x1) {  // X
+    return z2 ? (x2 ? 1 : -1) : 0;
+  }
+  // Z
+  return x2 ? (z2 ? -1 : 1) : 0;
+}
+
+}  // namespace
+
+void Tableau::rowsum_into(PauliRow& h, const PauliRow& i) {
+  int phase = (h.r ? 2 : 0) + (i.r ? 2 : 0);
+  for (std::size_t j = 0; j < h.x.size(); ++j) {
+    phase += phase_g(i.x[j], i.z[j], h.x[j], h.z[j]);
+  }
+  phase = ((phase % 4) + 4) % 4;
+  // The product of commuting-track rows is always +/-, never +/-i.
+  h.r = phase == 2;
+  for (std::size_t j = 0; j < h.x.size(); ++j) {
+    h.x[j] = h.x[j] != i.x[j];
+    h.z[j] = h.z[j] != i.z[j];
+  }
+}
+
+void Tableau::rowsum(std::size_t h, std::size_t i) {
+  rowsum_into(rows_[h], rows_[i]);
+}
+
+bool Tableau::measure(std::size_t a, Rng& rng) {
+  // Random outcome iff some stabilizer anticommutes with Z_a.
+  std::size_t p = 2 * n_;
+  for (std::size_t i = n_; i < 2 * n_; ++i) {
+    if (rows_[i].x[a]) {
+      p = i;
+      break;
+    }
+  }
+  if (p < 2 * n_) {
+    const bool outcome = rng.coin();
+    for (std::size_t i = 0; i < 2 * n_; ++i) {
+      if (i != p && rows_[i].x[a]) {
+        rowsum(i, p);
+      }
+    }
+    rows_[p - n_] = rows_[p];
+    rows_[p] = PauliRow{std::vector<bool>(n_, false),
+                        std::vector<bool>(n_, false), outcome};
+    rows_[p].z[a] = true;
+    return outcome;
+  }
+  // Deterministic outcome: accumulate the matching destabilizer pattern.
+  PauliRow scratch{std::vector<bool>(n_, false),
+                   std::vector<bool>(n_, false), false};
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (rows_[i].x[a]) {
+      rowsum_into(scratch, rows_[n_ + i]);
+    }
+  }
+  return scratch.r;
+}
+
+double Tableau::prob_one(std::size_t a) const {
+  for (std::size_t i = n_; i < 2 * n_; ++i) {
+    if (rows_[i].x[a]) {
+      return 0.5;
+    }
+  }
+  PauliRow scratch{std::vector<bool>(n_, false),
+                   std::vector<bool>(n_, false), false};
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (rows_[i].x[a]) {
+      rowsum_into(scratch, rows_[n_ + i]);
+    }
+  }
+  return scratch.r ? 1.0 : 0.0;
+}
+
+namespace {
+
+/// Echelonize `rows` (over the 2n GF(2) columns, x-part then z-part) with
+/// exact sign tracking; returns the pivot (row, column) list.
+std::vector<std::pair<std::size_t, std::size_t>> echelonize(
+    std::vector<PauliRow>& rows, std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> pivots;
+  std::size_t next_row = 0;
+  const auto bit = [n](const PauliRow& row, std::size_t col) -> bool {
+    return col < n ? row.x[col] : row.z[col - n];
+  };
+  for (std::size_t col = 0; col < 2 * n && next_row < rows.size(); ++col) {
+    std::size_t pivot = rows.size();
+    for (std::size_t r = next_row; r < rows.size(); ++r) {
+      if (bit(rows[r], col)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == rows.size()) {
+      continue;
+    }
+    std::swap(rows[next_row], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != next_row && bit(rows[r], col)) {
+        Tableau::rowsum_into(rows[r], rows[next_row]);
+      }
+    }
+    pivots.emplace_back(next_row, col);
+    ++next_row;
+  }
+  return pivots;
+}
+
+/// Reduce `query` against echelonized stabilizers; afterwards query is
+/// identity iff +/-query was in the group (sign in query.r).
+void reduce_query(
+    PauliRow& query, const std::vector<PauliRow>& rows,
+    const std::vector<std::pair<std::size_t, std::size_t>>& pivots,
+    std::size_t n) {
+  const auto bit = [n](const PauliRow& row, std::size_t col) -> bool {
+    return col < n ? row.x[col] : row.z[col - n];
+  };
+  for (const auto& [row, col] : pivots) {
+    if (bit(query, col)) {
+      Tableau::rowsum_into(query, rows[row]);
+    }
+  }
+}
+
+}  // namespace
+
+int Tableau::pauli_expectation(const std::string& paulis) const {
+  if (paulis.size() != n_) {
+    throw std::invalid_argument("pauli_expectation: length mismatch");
+  }
+  PauliRow query{std::vector<bool>(n_, false), std::vector<bool>(n_, false),
+                 false};
+  for (std::size_t q = 0; q < n_; ++q) {
+    switch (paulis[n_ - 1 - q]) {  // string is MSB-first
+      case 'I':
+        break;
+      case 'X':
+        query.x[q] = true;
+        break;
+      case 'Y':
+        query.x[q] = true;
+        query.z[q] = true;
+        break;
+      case 'Z':
+        query.z[q] = true;
+        break;
+      default:
+        throw std::invalid_argument("pauli_expectation: bad character");
+    }
+  }
+  if (query.is_identity()) {
+    return 1;
+  }
+  std::vector<PauliRow> stab(rows_.begin() + static_cast<std::ptrdiff_t>(n_),
+                             rows_.end());
+  const auto pivots = echelonize(stab, n_);
+  reduce_query(query, stab, pivots, n_);
+  if (!query.is_identity()) {
+    return 0;  // anticommutes with the group: expectation 0
+  }
+  return query.r ? -1 : 1;
+}
+
+bool Tableau::same_state(const Tableau& a, const Tableau& b) {
+  if (a.n_ != b.n_) {
+    return false;
+  }
+  std::vector<PauliRow> stab(a.rows_.begin() +
+                                 static_cast<std::ptrdiff_t>(a.n_),
+                             a.rows_.end());
+  const auto pivots = echelonize(stab, a.n_);
+  for (std::size_t i = 0; i < b.n_; ++i) {
+    PauliRow query = b.stabilizer(i);
+    reduce_query(query, stab, pivots, a.n_);
+    if (!query.is_identity() || query.r) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Tableau::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < n_; ++i) {
+    os << "destab " << i << ": " << rows_[i].str() << "\n";
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    os << "stab   " << i << ": " << rows_[n_ + i].str() << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Circuit-level driver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using ir::GateKind;
+using ir::Operation;
+
+/// Clifford classification of a Z-rotation-like phase: 0 = identity,
+/// 1 = S, 2 = Z, 3 = Sdg; -1 = non-Clifford.
+int z_phase_class(const Phase& p) {
+  if (p.is_zero()) {
+    return 0;
+  }
+  if (p == Phase::pi_2()) {
+    return 1;
+  }
+  if (p == Phase::pi()) {
+    return 2;
+  }
+  if (p == Phase::minus_pi_2()) {
+    return 3;
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool is_clifford_operation(const Operation& op) {
+  if (!op.is_unitary()) {
+    return true;  // measure / reset / barrier are fine
+  }
+  const std::size_t nc = op.controls().size();
+  switch (op.kind()) {
+    case GateKind::I:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+      return nc <= 1;
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::SX:
+    case GateKind::SXdg:
+      return nc == 0;
+    case GateKind::Swap:
+    case GateKind::ISwap:
+    case GateKind::ISwapDg:
+      return nc == 0;
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::RX:
+    case GateKind::RY:
+      return nc == 0 && z_phase_class(op.params()[0]) >= 0;
+    default:
+      return false;
+  }
+}
+
+bool is_clifford_circuit(const ir::Circuit& circuit) {
+  return std::all_of(circuit.ops().begin(), circuit.ops().end(),
+                     is_clifford_operation);
+}
+
+void StabilizerSimulator::apply(
+    const Operation& op, std::vector<std::pair<ir::Qubit, bool>>* record) {
+  if (op.is_barrier()) {
+    return;
+  }
+  if (op.is_measurement()) {
+    for (const auto q : op.targets()) {
+      const bool outcome = tableau_.measure(q, rng_);
+      if (record != nullptr) {
+        record->emplace_back(q, outcome);
+      }
+    }
+    return;
+  }
+  if (op.is_reset()) {
+    for (const auto q : op.targets()) {
+      if (tableau_.measure(q, rng_)) {
+        tableau_.x(q);
+      }
+    }
+    return;
+  }
+  if (!is_clifford_operation(op)) {
+    throw std::invalid_argument(
+        "StabilizerSimulator: non-Clifford operation " + op.str());
+  }
+  const auto zclass = [&](int cls, std::size_t q) {
+    switch (cls) {
+      case 1:
+        tableau_.s(q);
+        break;
+      case 2:
+        tableau_.z(q);
+        break;
+      case 3:
+        tableau_.sdg(q);
+        break;
+      default:
+        break;
+    }
+  };
+  if (op.controls().size() == 1) {
+    const std::size_t c = op.controls()[0];
+    const std::size_t t = op.targets()[0];
+    switch (op.kind()) {
+      case GateKind::X:
+        tableau_.cx(c, t);
+        return;
+      case GateKind::Z:
+        tableau_.cz(c, t);
+        return;
+      case GateKind::Y:
+        tableau_.sdg(t);
+        tableau_.cx(c, t);
+        tableau_.s(t);
+        return;
+      case GateKind::I:
+        return;
+      default:
+        throw std::invalid_argument(
+            "StabilizerSimulator: unsupported controlled gate " + op.str());
+    }
+  }
+  const std::size_t q = op.targets()[0];
+  switch (op.kind()) {
+    case GateKind::I:
+      return;
+    case GateKind::X:
+      tableau_.x(q);
+      return;
+    case GateKind::Y:
+      tableau_.y(q);
+      return;
+    case GateKind::Z:
+      tableau_.z(q);
+      return;
+    case GateKind::H:
+      tableau_.h(q);
+      return;
+    case GateKind::S:
+      tableau_.s(q);
+      return;
+    case GateKind::Sdg:
+      tableau_.sdg(q);
+      return;
+    case GateKind::SX:
+      tableau_.sx(q);
+      return;
+    case GateKind::SXdg:
+      tableau_.sxdg(q);
+      return;
+    case GateKind::RZ:
+    case GateKind::P:
+      zclass(z_phase_class(op.params()[0]), q);
+      return;
+    case GateKind::RX: {
+      tableau_.h(q);
+      zclass(z_phase_class(op.params()[0]), q);
+      tableau_.h(q);
+      return;
+    }
+    case GateKind::RY: {
+      // RY(t) = S RX(t) Sdg.
+      tableau_.sdg(q);
+      tableau_.h(q);
+      zclass(z_phase_class(op.params()[0]), q);
+      tableau_.h(q);
+      tableau_.s(q);
+      return;
+    }
+    case GateKind::Swap:
+      tableau_.swap(op.targets()[0], op.targets()[1]);
+      return;
+    case GateKind::ISwap:
+      // iSWAP = (S x S) CZ SWAP.
+      tableau_.swap(op.targets()[0], op.targets()[1]);
+      tableau_.cz(op.targets()[0], op.targets()[1]);
+      tableau_.s(op.targets()[0]);
+      tableau_.s(op.targets()[1]);
+      return;
+    case GateKind::ISwapDg:
+      tableau_.sdg(op.targets()[0]);
+      tableau_.sdg(op.targets()[1]);
+      tableau_.cz(op.targets()[0], op.targets()[1]);
+      tableau_.swap(op.targets()[0], op.targets()[1]);
+      return;
+    default:
+      throw std::invalid_argument("StabilizerSimulator: unsupported gate " +
+                                  op.str());
+  }
+}
+
+std::vector<std::pair<ir::Qubit, bool>> StabilizerSimulator::run(
+    const ir::Circuit& circuit) {
+  if (circuit.num_qubits() != tableau_.num_qubits()) {
+    throw std::invalid_argument("StabilizerSimulator: width mismatch");
+  }
+  std::vector<std::pair<ir::Qubit, bool>> record;
+  for (const auto& op : circuit.ops()) {
+    apply(op, &record);
+  }
+  return record;
+}
+
+std::map<std::uint64_t, std::size_t> StabilizerSimulator::sample_counts(
+    const ir::Circuit& circuit, std::size_t shots) {
+  std::map<std::uint64_t, std::size_t> counts;
+  for (std::size_t s = 0; s < shots; ++s) {
+    tableau_ = Tableau(tableau_.num_qubits());
+    run(circuit);
+    std::uint64_t word = 0;
+    for (std::size_t q = 0; q < tableau_.num_qubits(); ++q) {
+      if (tableau_.measure(q, rng_)) {
+        word |= std::uint64_t{1} << q;
+      }
+    }
+    ++counts[word];
+  }
+  return counts;
+}
+
+}  // namespace qdt::stab

@@ -1,0 +1,118 @@
+// Stabilizer-tableau simulation (Aaronson-Gottesman / CHP), the classical
+// technique behind the paper's pointer to "improved classical simulation of
+// circuits dominated by Clifford gates" [11]: an n-qubit stabilizer state
+// is stored as 2n Pauli generators (n destabilizers + n stabilizers) over
+// GF(2), so Clifford gates and measurements cost O(n^2) — no exponential
+// object anywhere.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+
+namespace qdt::stab {
+
+/// One Pauli row of the tableau: X/Z bit vectors plus a sign bit
+/// (r == true means an overall factor -1).
+struct PauliRow {
+  std::vector<bool> x;
+  std::vector<bool> z;
+  bool r = false;
+
+  bool is_identity() const;
+  /// "+XIZ" style rendering.
+  std::string str() const;
+};
+
+class Tableau {
+ public:
+  /// |0...0>: destabilizers X_i, stabilizers Z_i.
+  explicit Tableau(std::size_t num_qubits);
+
+  std::size_t num_qubits() const { return n_; }
+
+  // -- Generators -----------------------------------------------------------
+  void h(std::size_t q);
+  void s(std::size_t q);
+  void cx(std::size_t control, std::size_t target);
+
+  // -- Derived Clifford gates ------------------------------------------------
+  void x(std::size_t q);
+  void y(std::size_t q);
+  void z(std::size_t q);
+  void sdg(std::size_t q);
+  void sx(std::size_t q);
+  void sxdg(std::size_t q);
+  void cz(std::size_t control, std::size_t target);
+  void swap(std::size_t a, std::size_t b);
+
+  /// Measure qubit q in the computational basis; collapses the state.
+  bool measure(std::size_t q, Rng& rng);
+
+  /// Probability that measuring q yields 1 — 0, 1/2, or 1 for stabilizer
+  /// states (without collapsing).
+  double prob_one(std::size_t q) const;
+
+  /// Expectation of a Pauli-string observable (chars I/X/Y/Z, MSB-first
+  /// like zx/tn::expectation): +1, -1, or 0.
+  int pauli_expectation(const std::string& paulis) const;
+
+  /// True if the two tableaus stabilize the same state (their stabilizer
+  /// groups coincide, signs included).
+  static bool same_state(const Tableau& a, const Tableau& b);
+
+  const PauliRow& stabilizer(std::size_t i) const { return rows_[n_ + i]; }
+  const PauliRow& destabilizer(std::size_t i) const { return rows_[i]; }
+
+  std::string str() const;
+
+  /// h *= i with exact sign tracking (the CHP "rowsum"); exposed for the
+  /// group-membership reductions.
+  static void rowsum_into(PauliRow& h, const PauliRow& i);
+
+ private:
+  void rowsum(std::size_t h, std::size_t i);
+
+  std::size_t n_;
+  std::vector<PauliRow> rows_;  // 0..n-1 destabilizers, n..2n-1 stabilizers
+};
+
+/// True if the operation can be executed on the tableau (Clifford gates,
+/// measurements, resets, barriers).
+bool is_clifford_operation(const ir::Operation& op);
+
+/// True if every operation of the circuit is Clifford.
+bool is_clifford_circuit(const ir::Circuit& circuit);
+
+/// Circuit-level driver: runs Clifford circuits (throws on non-Clifford
+/// gates), measures, samples.
+class StabilizerSimulator {
+ public:
+  explicit StabilizerSimulator(std::size_t num_qubits,
+                               std::uint64_t seed = 1)
+      : tableau_(num_qubits), rng_(seed) {}
+
+  Tableau& tableau() { return tableau_; }
+  const Tableau& tableau() const { return tableau_; }
+
+  /// Apply one operation (unitary Clifford / measure / reset).
+  /// Measurement outcomes are appended to `record` when non-null.
+  void apply(const ir::Operation& op,
+             std::vector<std::pair<ir::Qubit, bool>>* record = nullptr);
+
+  std::vector<std::pair<ir::Qubit, bool>> run(const ir::Circuit& circuit);
+
+  /// Sampled readouts of all qubits; each shot re-runs the (cheap) circuit.
+  std::map<std::uint64_t, std::size_t> sample_counts(
+      const ir::Circuit& circuit, std::size_t shots);
+
+ private:
+  Tableau tableau_;
+  Rng rng_;
+};
+
+}  // namespace qdt::stab

@@ -1,0 +1,474 @@
+#include "tn/mps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace qdt::tn {
+
+Mat4 two_qubit_matrix(const ir::Operation& op, ir::Qubit qa, ir::Qubit qb) {
+  if (op.num_qubits() != 2) {
+    throw std::invalid_argument("two_qubit_matrix: op must touch 2 qubits");
+  }
+  Mat4 m;
+  if (op.targets().size() == 2) {
+    m = op.matrix4();  // bit 0 = targets[0], bit 1 = targets[1]
+    if (op.targets()[0] == qa && op.targets()[1] == qb) {
+      return m;
+    }
+    if (op.targets()[0] == qb && op.targets()[1] == qa) {
+      // Conjugate by SWAP to exchange the index bits.
+      Mat4 sw = ir::gate_matrix4(ir::GateKind::Swap, {});
+      return sw * m * sw;
+    }
+    throw std::invalid_argument("two_qubit_matrix: qubit mismatch");
+  }
+  // Singly-controlled single-qubit gate: embed U at the target bit.
+  const ir::Qubit target = op.targets()[0];
+  const ir::Qubit control = op.controls()[0];
+  const Mat2 u = op.matrix2();
+  const bool target_is_a = target == qa;
+  if ((target_is_a && control != qb) || (!target_is_a && (target != qb ||
+                                                          control != qa))) {
+    throw std::invalid_argument("two_qubit_matrix: qubit mismatch");
+  }
+  // Index bit layout: bit0 = qa, bit1 = qb.
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const std::size_t ctrl_bit = target_is_a ? 1 : 0;
+      const std::size_t tgt_bit = target_is_a ? 0 : 1;
+      const bool rc = (r >> ctrl_bit) & 1;
+      const bool cc = (c >> ctrl_bit) & 1;
+      if (rc != cc) {
+        m(r, c) = 0.0;
+        continue;
+      }
+      const std::size_t rt = (r >> tgt_bit) & 1;
+      const std::size_t ct = (c >> tgt_bit) & 1;
+      m(r, c) = rc ? u(rt, ct)
+                   : (rt == ct ? Complex{1.0} : Complex{});
+    }
+  }
+  return m;
+}
+
+MPS::MPS(std::size_t n, std::size_t max_bond, double cutoff)
+    : max_bond_(max_bond), cutoff_(cutoff) {
+  if (n == 0) {
+    throw std::invalid_argument("MPS: need at least one qubit");
+  }
+  sites_.resize(n);
+  for (auto& s : sites_) {
+    s.data.assign(2, Complex{});
+    s.data[0] = 1.0;  // |0>
+  }
+}
+
+void MPS::apply_1q(const Mat2& m, std::size_t site) {
+  Site& s = sites_[site];
+  for (std::size_t l = 0; l < s.dl; ++l) {
+    for (std::size_t r = 0; r < s.dr; ++r) {
+      const Complex a0 = s.at(l, 0, r);
+      const Complex a1 = s.at(l, 1, r);
+      s.at(l, 0, r) = m(0, 0) * a0 + m(0, 1) * a1;
+      s.at(l, 1, r) = m(1, 0) * a0 + m(1, 1) * a1;
+    }
+  }
+}
+
+void MPS::apply_2q_adjacent(const Mat4& m, std::size_t left) {
+  Site& a = sites_[left];
+  Site& b = sites_[left + 1];
+  if (a.dr != b.dl) {
+    throw std::logic_error("MPS: inconsistent bond dimensions");
+  }
+  const std::size_t dl = a.dl;
+  const std::size_t dm = a.dr;
+  const std::size_t dr = b.dr;
+  // theta[l, pa, pb, r] = sum_k a[l, pa, k] b[k, pb, r].
+  std::vector<Complex> theta(dl * 2 * 2 * dr, Complex{});
+  const auto th = [&](std::size_t l, std::size_t pa, std::size_t pb,
+                      std::size_t r) -> Complex& {
+    return theta[((l * 2 + pa) * 2 + pb) * dr + r];
+  };
+  for (std::size_t l = 0; l < dl; ++l) {
+    for (std::size_t pa = 0; pa < 2; ++pa) {
+      for (std::size_t k = 0; k < dm; ++k) {
+        const Complex av = a.at(l, pa, k);
+        if (av == Complex{}) {
+          continue;
+        }
+        for (std::size_t pb = 0; pb < 2; ++pb) {
+          for (std::size_t r = 0; r < dr; ++r) {
+            th(l, pa, pb, r) += av * b.at(k, pb, r);
+          }
+        }
+      }
+    }
+  }
+  // Apply the gate: bit 0 = left site (pa), bit 1 = right site (pb).
+  std::vector<Complex> theta2(theta.size(), Complex{});
+  const auto th2 = [&](std::size_t l, std::size_t pa, std::size_t pb,
+                       std::size_t r) -> Complex& {
+    return theta2[((l * 2 + pa) * 2 + pb) * dr + r];
+  };
+  for (std::size_t l = 0; l < dl; ++l) {
+    for (std::size_t r = 0; r < dr; ++r) {
+      for (std::size_t pa = 0; pa < 2; ++pa) {
+        for (std::size_t pb = 0; pb < 2; ++pb) {
+          const std::size_t row = (pb << 1) | pa;
+          Complex sum{};
+          for (std::size_t qa = 0; qa < 2; ++qa) {
+            for (std::size_t qb = 0; qb < 2; ++qb) {
+              const std::size_t colidx = (qb << 1) | qa;
+              sum += m(row, colidx) * th(l, qa, qb, r);
+            }
+          }
+          th2(l, pa, pb, r) = sum;
+        }
+      }
+    }
+  }
+  // Split with an SVD: rows (l, pa), columns (pb, r).
+  const std::size_t rows = dl * 2;
+  const std::size_t cols = 2 * dr;
+  std::vector<Complex> mat(rows * cols);
+  for (std::size_t l = 0; l < dl; ++l) {
+    for (std::size_t pa = 0; pa < 2; ++pa) {
+      for (std::size_t pb = 0; pb < 2; ++pb) {
+        for (std::size_t r = 0; r < dr; ++r) {
+          mat[(l * 2 + pa) * cols + (pb * dr + r)] = th2(l, pa, pb, r);
+        }
+      }
+    }
+  }
+  const SvdResult res = svd(mat, rows, cols);
+  // Truncate: keep values above cutoff * s_max, at most max_bond_.
+  double total = 0.0;
+  for (const double s : res.s) {
+    total += s * s;
+  }
+  std::size_t keep = 0;
+  const double threshold = res.s.empty() ? 0.0 : cutoff_ * res.s[0];
+  for (const double s : res.s) {
+    if (s <= threshold) {
+      break;
+    }
+    ++keep;
+  }
+  keep = std::max<std::size_t>(keep, 1);
+  if (max_bond_ > 0) {
+    keep = std::min(keep, max_bond_);
+  }
+  double kept_weight = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) {
+    kept_weight += res.s[i] * res.s[i];
+  }
+  if (total > 0.0) {
+    discarded_ += (total - kept_weight) / total;
+  }
+  // a := U (dl, 2, keep); b := S * Vh (keep, 2, dr).
+  a.dr = keep;
+  a.data.assign(dl * 2 * keep, Complex{});
+  for (std::size_t l = 0; l < dl; ++l) {
+    for (std::size_t pa = 0; pa < 2; ++pa) {
+      for (std::size_t k = 0; k < keep; ++k) {
+        a.at(l, pa, k) = res.u[(l * 2 + pa) * res.r + k];
+      }
+    }
+  }
+  b.dl = keep;
+  b.dr = dr;
+  b.data.assign(keep * 2 * dr, Complex{});
+  for (std::size_t k = 0; k < keep; ++k) {
+    for (std::size_t pb = 0; pb < 2; ++pb) {
+      for (std::size_t r = 0; r < dr; ++r) {
+        b.at(k, pb, r) = res.s[k] * res.vh[k * cols + (pb * dr + r)];
+      }
+    }
+  }
+}
+
+void MPS::apply_swap_adjacent(std::size_t left) {
+  apply_2q_adjacent(ir::gate_matrix4(ir::GateKind::Swap, {}), left);
+}
+
+void MPS::apply(const ir::Operation& op) {
+  if (!op.is_unitary()) {
+    throw std::invalid_argument("MPS::apply: non-unitary op " + op.str());
+  }
+  const auto qubits = op.qubits();
+  if (qubits.size() == 1) {
+    apply_1q(op.matrix2(), qubits[0]);
+    return;
+  }
+  if (qubits.size() != 2) {
+    throw std::invalid_argument(
+        "MPS::apply: gates touching 3+ qubits must be decomposed first (" +
+        op.str() + ")");
+  }
+  std::size_t qa = qubits[0];
+  std::size_t qb = qubits[1];
+  // Route qb next to qa with temporary swaps (move the higher site down).
+  const std::size_t lo = std::min(qa, qb);
+  const std::size_t hi = std::max(qa, qb);
+  for (std::size_t k = hi; k > lo + 1; --k) {
+    apply_swap_adjacent(k - 1);  // moves site content at k to k-1
+  }
+  // The pair now occupies (lo, lo+1), with the content originally at `hi`
+  // sitting at lo+1. Build the matrix with bit 0 = the operand at the left
+  // site, i.e. the one with the lower qubit index.
+  const Mat4 m = qa < qb ? two_qubit_matrix(op, qa, qb)
+                         : two_qubit_matrix(op, qb, qa);
+  apply_2q_adjacent(m, lo);
+  for (std::size_t k = lo + 1; k < hi; ++k) {
+    apply_swap_adjacent(k);  // move it back up
+  }
+}
+
+void MPS::run(const ir::Circuit& circuit) {
+  if (circuit.num_qubits() != sites_.size()) {
+    throw std::invalid_argument("MPS::run: width mismatch");
+  }
+  for (const auto& op : circuit.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    apply(op);
+  }
+}
+
+Complex MPS::amplitude(std::uint64_t basis) const {
+  std::vector<Complex> v{1.0};
+  for (std::size_t site = 0; site < sites_.size(); ++site) {
+    const Site& s = sites_[site];
+    const std::size_t p = get_bit(basis, site) ? 1 : 0;
+    std::vector<Complex> next(s.dr, Complex{});
+    for (std::size_t l = 0; l < s.dl; ++l) {
+      if (v[l] == Complex{}) {
+        continue;
+      }
+      for (std::size_t r = 0; r < s.dr; ++r) {
+        next[r] += v[l] * s.at(l, p, r);
+      }
+    }
+    v = std::move(next);
+  }
+  return v[0];
+}
+
+std::vector<Complex> MPS::to_vector() const {
+  const std::size_t n = sites_.size();
+  if (n > 24) {
+    throw std::invalid_argument("MPS::to_vector: too many qubits");
+  }
+  std::vector<Complex> out(std::size_t{1} << n);
+  for (std::uint64_t i = 0; i < out.size(); ++i) {
+    out[i] = amplitude(i);
+  }
+  return out;
+}
+
+double MPS::norm2() const {
+  // Transfer-matrix contraction: E[l][l'] over the bond, starting at 1x1.
+  std::vector<Complex> e{1.0};
+  std::size_t d = 1;
+  for (const Site& s : sites_) {
+    std::vector<Complex> next(s.dr * s.dr, Complex{});
+    for (std::size_t l = 0; l < s.dl; ++l) {
+      for (std::size_t lp = 0; lp < s.dl; ++lp) {
+        const Complex ev = e[l * d + lp];
+        if (ev == Complex{}) {
+          continue;
+        }
+        for (std::size_t p = 0; p < 2; ++p) {
+          for (std::size_t r = 0; r < s.dr; ++r) {
+            const Complex left = ev * s.at(l, p, r);
+            if (left == Complex{}) {
+              continue;
+            }
+            for (std::size_t rp = 0; rp < s.dr; ++rp) {
+              next[r * s.dr + rp] += left * std::conj(s.at(lp, p, rp));
+            }
+          }
+        }
+      }
+    }
+    e = std::move(next);
+    d = s.dr;
+  }
+  return e[0].real();
+}
+
+Complex MPS::expectation(const std::string& paulis) const {
+  const std::size_t n = sites_.size();
+  if (paulis.size() != n) {
+    throw std::invalid_argument("MPS::expectation: length mismatch");
+  }
+  const auto pauli_matrix = [](char p) {
+    Mat2 m;
+    switch (p) {
+      case 'I':
+        return Mat2::identity();
+      case 'X':
+        m(0, 1) = 1.0;
+        m(1, 0) = 1.0;
+        return m;
+      case 'Y':
+        m(0, 1) = Complex{0.0, -1.0};
+        m(1, 0) = Complex{0.0, 1.0};
+        return m;
+      case 'Z':
+        m(0, 0) = 1.0;
+        m(1, 1) = -1.0;
+        return m;
+      default:
+        throw std::invalid_argument("MPS::expectation: bad Pauli");
+    }
+  };
+  // Two transfer contractions sharing a loop: numerator with the operator
+  // inserted, denominator without.
+  std::vector<Complex> num{1.0};
+  std::vector<Complex> den{1.0};
+  std::size_t d = 1;
+  for (std::size_t site = 0; site < n; ++site) {
+    const Site& s = sites_[site];
+    const Mat2 op = pauli_matrix(paulis[n - 1 - site]);  // MSB-first string
+    std::vector<Complex> nnum(s.dr * s.dr, Complex{});
+    std::vector<Complex> nden(s.dr * s.dr, Complex{});
+    for (std::size_t l = 0; l < s.dl; ++l) {
+      for (std::size_t lp = 0; lp < s.dl; ++lp) {
+        const Complex ev_n = num[l * d + lp];
+        const Complex ev_d = den[l * d + lp];
+        if (ev_n == Complex{} && ev_d == Complex{}) {
+          continue;
+        }
+        for (std::size_t p = 0; p < 2; ++p) {
+          for (std::size_t q = 0; q < 2; ++q) {
+            const Complex w = op(q, p);  // <q|P|p>: bra side gets q
+            for (std::size_t r = 0; r < s.dr; ++r) {
+              const Complex ket = s.at(l, p, r);
+              if (ket == Complex{}) {
+                continue;
+              }
+              for (std::size_t rp = 0; rp < s.dr; ++rp) {
+                const Complex bra = std::conj(s.at(lp, q, rp));
+                if (w != Complex{}) {
+                  nnum[r * s.dr + rp] += ev_n * ket * w * bra;
+                }
+                if (p == q) {
+                  nden[r * s.dr + rp] += ev_d * ket * bra;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    num = std::move(nnum);
+    den = std::move(nden);
+    d = s.dr;
+  }
+  if (den[0] == Complex{}) {
+    throw std::logic_error("MPS::expectation: zero-norm state");
+  }
+  return num[0] / den[0];
+}
+
+std::uint64_t MPS::sample(Rng& rng) const {
+  const std::size_t n = sites_.size();
+  // Right environments: R[site] is the (dl x dl) transfer contraction of
+  // everything to the right of `site` (inclusive start at site index).
+  std::vector<std::vector<Complex>> right(n + 1);
+  right[n] = {Complex{1.0}};
+  for (std::size_t site = n; site-- > 0;) {
+    const Site& s = sites_[site];
+    const std::size_t dr = s.dr;
+    std::vector<Complex> env(s.dl * s.dl, Complex{});
+    const auto& prev = right[site + 1];
+    for (std::size_t l = 0; l < s.dl; ++l) {
+      for (std::size_t lp = 0; lp < s.dl; ++lp) {
+        Complex acc{};
+        for (std::size_t p = 0; p < 2; ++p) {
+          for (std::size_t r = 0; r < dr; ++r) {
+            const Complex ket = s.at(l, p, r);
+            if (ket == Complex{}) {
+              continue;
+            }
+            for (std::size_t rp = 0; rp < dr; ++rp) {
+              acc += ket * std::conj(s.at(lp, p, rp)) * prev[r * dr + rp];
+            }
+          }
+        }
+        env[l * s.dl + lp] = acc;
+      }
+    }
+    right[site] = std::move(env);
+  }
+  // Left-to-right conditional sampling.
+  std::vector<Complex> left{1.0};
+  std::size_t d = 1;
+  std::uint64_t word = 0;
+  for (std::size_t site = 0; site < n; ++site) {
+    const Site& s = sites_[site];
+    const std::size_t dr = s.dr;
+    std::array<std::vector<Complex>, 2> cond;
+    std::array<double, 2> weight{0.0, 0.0};
+    for (std::size_t p = 0; p < 2; ++p) {
+      cond[p].assign(dr * dr, Complex{});
+      for (std::size_t l = 0; l < s.dl; ++l) {
+        for (std::size_t lp = 0; lp < s.dl; ++lp) {
+          const Complex ev = left[l * d + lp];
+          if (ev == Complex{}) {
+            continue;
+          }
+          for (std::size_t r = 0; r < dr; ++r) {
+            const Complex ket = ev * s.at(l, p, r);
+            if (ket == Complex{}) {
+              continue;
+            }
+            for (std::size_t rp = 0; rp < dr; ++rp) {
+              cond[p][r * dr + rp] += ket * std::conj(s.at(lp, p, rp));
+            }
+          }
+        }
+      }
+      Complex tr{};
+      const auto& renv = right[site + 1];
+      for (std::size_t r = 0; r < dr; ++r) {
+        for (std::size_t rp = 0; rp < dr; ++rp) {
+          tr += cond[p][r * dr + rp] * renv[r * dr + rp];
+        }
+      }
+      weight[p] = std::max(0.0, tr.real());
+    }
+    const double total = weight[0] + weight[1];
+    const bool bit = total > 0.0 && rng.uniform() * total >= weight[0];
+    if (bit) {
+      word |= std::uint64_t{1} << site;
+    }
+    left = std::move(cond[bit ? 1 : 0]);
+    d = dr;
+  }
+  return word;
+}
+
+std::size_t MPS::max_bond_dimension() const {
+  std::size_t m = 1;
+  for (const Site& s : sites_) {
+    m = std::max(m, s.dr);
+  }
+  return m;
+}
+
+std::size_t MPS::total_elements() const {
+  std::size_t n = 0;
+  for (const Site& s : sites_) {
+    n += s.data.size();
+  }
+  return n;
+}
+
+}  // namespace qdt::tn

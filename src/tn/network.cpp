@@ -1,0 +1,400 @@
+#include "tn/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "arrays/dense_unitary.hpp"
+#include "common/bitops.hpp"
+
+namespace qdt::tn {
+
+std::size_t TensorNetwork::add(Tensor t) {
+  nodes_.push_back(std::move(t));
+  return nodes_.size() - 1;
+}
+
+std::size_t TensorNetwork::num_nodes() const {
+  std::size_t n = 0;
+  for (const auto& t : nodes_) {
+    if (t.has_value()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+const Tensor& TensorNetwork::node(std::size_t id) const {
+  if (id >= nodes_.size() || !nodes_[id].has_value()) {
+    throw std::out_of_range("TensorNetwork::node: bad id");
+  }
+  return *nodes_[id];
+}
+
+std::size_t TensorNetwork::total_elements() const {
+  std::size_t n = 0;
+  for (const auto& t : nodes_) {
+    if (t.has_value()) {
+      n += t->size();
+    }
+  }
+  return n;
+}
+
+Tensor TensorNetwork::contract_all(const ContractionPlan& plan,
+                                   ContractionStats* stats,
+                                   std::size_t max_intermediate) {
+  std::vector<std::optional<Tensor>> nodes = nodes_;
+  ContractionStats local;
+  const auto record = [&](const Tensor& t, double cost) {
+    ++local.contractions;
+    local.peak_tensor_size = std::max(local.peak_tensor_size, t.size());
+    local.peak_rank = std::max(local.peak_rank, t.rank());
+    local.flops += cost;
+  };
+  const auto guard = [&](const Tensor& a, const Tensor& b) {
+    if (max_intermediate == 0) {
+      return;
+    }
+    // Result elements = product over the symmetric difference of labels.
+    std::size_t size = 1;
+    for (std::size_t d = 0; d < a.rank(); ++d) {
+      if (!b.has_label(a.labels()[d])) {
+        size *= a.dims()[d];
+      }
+    }
+    for (std::size_t d = 0; d < b.rank(); ++d) {
+      if (!a.has_label(b.labels()[d])) {
+        size *= b.dims()[d];
+      }
+    }
+    if (size > max_intermediate) {
+      throw std::length_error(
+          "contract_all: intermediate tensor exceeds the element budget");
+    }
+  };
+  for (const auto& [i, j] : plan) {
+    if (i >= nodes.size() || j >= nodes.size() || !nodes[i].has_value() ||
+        !nodes[j].has_value() || i == j) {
+      throw std::invalid_argument("contract_all: invalid plan step");
+    }
+    // Cost: product over the union of dims (shared counted once).
+    double cost = static_cast<double>(nodes[i]->size());
+    for (std::size_t d = 0; d < nodes[j]->rank(); ++d) {
+      if (!nodes[i]->has_label(nodes[j]->labels()[d])) {
+        cost *= static_cast<double>(nodes[j]->dims()[d]);
+      }
+    }
+    guard(*nodes[i], *nodes[j]);
+    Tensor result = Tensor::contract(*nodes[i], *nodes[j]);
+    record(result, cost);
+    nodes[i].reset();
+    nodes[j].reset();
+    nodes.emplace_back(std::move(result));
+  }
+  // Outer-multiply whatever is left (disconnected components, or everything
+  // when the plan is empty).
+  std::optional<Tensor> acc;
+  for (auto& t : nodes) {
+    if (!t.has_value()) {
+      continue;
+    }
+    if (!acc.has_value()) {
+      acc = std::move(*t);
+    } else {
+      const double cost =
+          static_cast<double>(acc->size()) * static_cast<double>(t->size());
+      guard(*acc, *t);
+      acc = Tensor::contract(*acc, *t);
+      record(*acc, cost);
+    }
+    t.reset();
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return acc.value_or(Tensor::scalar(1.0));
+}
+
+ContractionPlan TensorNetwork::sequential_plan() const {
+  ContractionPlan plan;
+  std::optional<std::size_t> acc;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    if (!nodes_[id].has_value()) {
+      continue;
+    }
+    if (!acc.has_value()) {
+      acc = id;
+    } else {
+      plan.emplace_back(*acc, id);
+      acc = nodes_.size() + plan.size() - 1;
+    }
+  }
+  return plan;
+}
+
+ContractionPlan TensorNetwork::greedy_plan() const {
+  // Symbolic node metadata: id -> (labels, dims).
+  struct Meta {
+    std::vector<Label> labels;
+    std::vector<std::size_t> dims;
+    std::size_t size() const {
+      std::size_t p = 1;
+      for (const auto d : dims) {
+        p *= d;
+      }
+      return p;
+    }
+  };
+  std::map<std::size_t, Meta> live;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].has_value()) {
+      live.emplace(id, Meta{nodes_[id]->labels(), nodes_[id]->dims()});
+    }
+  }
+  ContractionPlan plan;
+  std::size_t next_id = nodes_.size();
+
+  const auto result_meta = [](const Meta& a, const Meta& b) {
+    Meta r;
+    for (std::size_t i = 0; i < a.labels.size(); ++i) {
+      const bool shared = std::find(b.labels.begin(), b.labels.end(),
+                                    a.labels[i]) != b.labels.end();
+      if (!shared) {
+        r.labels.push_back(a.labels[i]);
+        r.dims.push_back(a.dims[i]);
+      }
+    }
+    for (std::size_t i = 0; i < b.labels.size(); ++i) {
+      const bool shared = std::find(a.labels.begin(), a.labels.end(),
+                                    b.labels[i]) != a.labels.end();
+      if (!shared) {
+        r.labels.push_back(b.labels[i]);
+        r.dims.push_back(b.dims[i]);
+      }
+    }
+    return r;
+  };
+
+  while (live.size() > 1) {
+    // Adjacency: label -> node ids carrying it.
+    std::map<Label, std::vector<std::size_t>> by_label;
+    for (const auto& [id, meta] : live) {
+      for (const auto l : meta.labels) {
+        by_label[l].push_back(id);
+      }
+    }
+    std::size_t best_a = 0;
+    std::size_t best_b = 0;
+    std::size_t best_size = 0;
+    bool found = false;
+    for (const auto& [label, ids] : by_label) {
+      if (ids.size() != 2) {
+        continue;  // open index
+      }
+      const std::size_t a = ids[0];
+      const std::size_t b = ids[1];
+      if (a == b) {
+        continue;
+      }
+      const std::size_t rs = result_meta(live.at(a), live.at(b)).size();
+      if (!found || rs < best_size ||
+          (rs == best_size && std::make_pair(a, b) <
+                                  std::make_pair(best_a, best_b))) {
+        best_a = a;
+        best_b = b;
+        best_size = rs;
+        found = true;
+      }
+    }
+    if (!found) {
+      // No connected pair: leave the outer products to contract_all.
+      break;
+    }
+    plan.emplace_back(best_a, best_b);
+    Meta merged = result_meta(live.at(best_a), live.at(best_b));
+    live.erase(best_a);
+    live.erase(best_b);
+    live.emplace(next_id++, std::move(merged));
+  }
+  return plan;
+}
+
+namespace {
+
+/// Rank-2k tensor of a (possibly controlled) unitary operation. Qubit order
+/// inside the tensor: targets then controls; labels are
+/// [out_0..out_{k-1}, in_0..in_{k-1}].
+Tensor gate_tensor(const ir::Operation& op, const std::vector<Label>& ins,
+                   const std::vector<Label>& outs) {
+  const std::size_t k = op.num_qubits();
+  // Remap the op onto a k-qubit mini-circuit (targets at 0.., controls
+  // after) and read the dense matrix: row/column bit i = mini-qubit i.
+  std::vector<ir::Qubit> mini_targets(op.targets().size());
+  std::vector<ir::Qubit> mini_controls(op.controls().size());
+  for (std::size_t i = 0; i < mini_targets.size(); ++i) {
+    mini_targets[i] = static_cast<ir::Qubit>(i);
+  }
+  for (std::size_t i = 0; i < mini_controls.size(); ++i) {
+    mini_controls[i] = static_cast<ir::Qubit>(mini_targets.size() + i);
+  }
+  ir::Circuit mini(k);
+  mini.append(ir::Operation{op.kind(), mini_targets, mini_controls,
+                            op.params()});
+  const auto u = arrays::DenseUnitary::from_circuit(mini);
+
+  std::vector<Label> labels = outs;
+  labels.insert(labels.end(), ins.begin(), ins.end());
+  Tensor t(labels, std::vector<std::size_t>(2 * k, 2));
+  std::vector<std::size_t> idx(2 * k);
+  const std::size_t dim = std::size_t{1} << k;
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      for (std::size_t q = 0; q < k; ++q) {
+        idx[q] = get_bit(r, q) ? 1 : 0;
+        idx[k + q] = get_bit(c, q) ? 1 : 0;
+      }
+      t.at(idx) = u.at(r, c);
+    }
+  }
+  return t;
+}
+
+Tensor pauli_tensor(char p, Label out, Label in) {
+  Tensor t({out, in}, {2, 2});
+  switch (p) {
+    case 'X':
+      t.at({0, 1}) = 1.0;
+      t.at({1, 0}) = 1.0;
+      break;
+    case 'Y':
+      t.at({0, 1}) = Complex{0.0, -1.0};
+      t.at({1, 0}) = Complex{0.0, 1.0};
+      break;
+    case 'Z':
+      t.at({0, 0}) = 1.0;
+      t.at({1, 1}) = -1.0;
+      break;
+    case 'I':
+      t.at({0, 0}) = 1.0;
+      t.at({1, 1}) = 1.0;
+      break;
+    default:
+      throw std::invalid_argument("pauli_tensor: bad Pauli character");
+  }
+  return t;
+}
+
+}  // namespace
+
+TensorNetwork circuit_network(const ir::Circuit& circuit,
+                              std::vector<Label>& out_labels) {
+  TensorNetwork net;
+  const std::size_t n = circuit.num_qubits();
+  std::vector<Label> wire(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    wire[q] = net.fresh_label();
+    net.add(Tensor::qubit_ket(wire[q], false));
+  }
+  for (const auto& op : circuit.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    if (!op.is_unitary()) {
+      throw std::invalid_argument(
+          "circuit_network: only unitary circuits are supported (found " +
+          op.str() + ")");
+    }
+    const auto qubits = op.qubits();  // targets then controls
+    std::vector<Label> ins;
+    std::vector<Label> outs;
+    for (const auto q : qubits) {
+      ins.push_back(wire[q]);
+      outs.push_back(net.fresh_label());
+    }
+    net.add(gate_tensor(op, ins, outs));
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+      wire[qubits[i]] = outs[i];
+    }
+  }
+  out_labels = wire;
+  return net;
+}
+
+Complex amplitude(const ir::Circuit& circuit, std::uint64_t basis,
+                  bool greedy, ContractionStats* stats) {
+  std::vector<Label> outs;
+  TensorNetwork net = circuit_network(circuit, outs);
+  for (std::size_t q = 0; q < circuit.num_qubits(); ++q) {
+    // Output caps <b_q| (real, so bra == ket).
+    net.add(Tensor::qubit_ket(outs[q], get_bit(basis, q)));
+  }
+  const auto plan = greedy ? net.greedy_plan() : net.sequential_plan();
+  return net.contract_all(plan, stats).scalar_value();
+}
+
+std::vector<Complex> statevector(const ir::Circuit& circuit, bool greedy,
+                                 ContractionStats* stats) {
+  std::vector<Label> outs;
+  TensorNetwork net = circuit_network(circuit, outs);
+  const auto plan = greedy ? net.greedy_plan() : net.sequential_plan();
+  Tensor result = net.contract_all(plan, stats);
+  // Order indices most-significant-qubit first so row-major data equals the
+  // basis ordering.
+  std::vector<Label> order(outs.rbegin(), outs.rend());
+  result = result.permuted(order);
+  return result.data();
+}
+
+Complex expectation(const ir::Circuit& circuit, const std::string& paulis,
+                    bool greedy, ContractionStats* stats) {
+  const std::size_t n = circuit.num_qubits();
+  if (paulis.size() != n) {
+    throw std::invalid_argument("expectation: Pauli string length mismatch");
+  }
+  // Ket side.
+  std::vector<Label> ket_out;
+  TensorNetwork net = circuit_network(circuit, ket_out);
+  // Pauli layer: maps ket_out -> mid (identity wires skip the tensor).
+  std::vector<Label> mid(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    const char p = paulis[n - 1 - q];  // string is MSB-first
+    if (p == 'I') {
+      mid[q] = ket_out[q];
+    } else {
+      mid[q] = net.fresh_label();
+      net.add(pauli_tensor(p, mid[q], ket_out[q]));
+    }
+  }
+  // Bra side: the conjugated circuit network, its outputs glued to mid.
+  std::vector<Label> bra_out;
+  TensorNetwork bra_net = circuit_network(circuit, bra_out);
+  const std::size_t bra_nodes = bra_net.num_nodes();
+  // Import bra tensors into the main network: conjugate data, shift labels
+  // into a fresh range, then identify outputs with mid labels.
+  std::map<Label, Label> rename;
+  for (std::size_t q = 0; q < n; ++q) {
+    rename[bra_out[q]] = mid[q];
+  }
+  for (std::size_t id = 0; id < bra_nodes; ++id) {
+    Tensor t = bra_net.node(id);
+    for (auto& v : t.data()) {
+      v = std::conj(v);
+    }
+    // Remap every label: outputs to mid, everything else to fresh labels.
+    std::vector<Label> new_labels;
+    for (const auto l : t.labels()) {
+      auto it = rename.find(l);
+      if (it == rename.end()) {
+        it = rename.emplace(l, net.fresh_label()).first;
+      }
+      new_labels.push_back(it->second);
+    }
+    net.add(Tensor(new_labels, t.dims(), t.data()));
+  }
+  const auto plan = greedy ? net.greedy_plan() : net.sequential_plan();
+  return net.contract_all(plan, stats).scalar_value();
+}
+
+}  // namespace qdt::tn

@@ -1,0 +1,93 @@
+// Tensor networks for quantum circuits (Section IV): the circuit's initial
+// kets, gates, and optional output "caps" become nodes; qubit wires become
+// shared labels (Fig. 2). Contraction order is chosen by a pluggable
+// planner — finding the optimal order is NP-hard [33], so a greedy
+// cost-based heuristic [34] is provided next to the naive circuit order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "tn/tensor.hpp"
+
+namespace qdt::tn {
+
+/// A contraction plan: pairs of node ids to contract, in order. Each
+/// contraction consumes its two operands and appends the result as a new
+/// node id (ids are never reused).
+using ContractionPlan = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// Statistics gathered while executing a plan.
+struct ContractionStats {
+  std::size_t contractions = 0;
+  /// Elements of the largest intermediate tensor — the paper's "keep the
+  /// bond dimension in check" metric.
+  std::size_t peak_tensor_size = 0;
+  std::size_t peak_rank = 0;
+  /// Total scalar multiply-adds (the classical cost model).
+  double flops = 0.0;
+};
+
+class TensorNetwork {
+ public:
+  /// Add a node; returns its id.
+  std::size_t add(Tensor t);
+
+  std::size_t num_nodes() const;
+  const Tensor& node(std::size_t id) const;
+
+  /// Total elements stored over all current nodes (memory footprint —
+  /// linear in qubits + gates for a circuit network).
+  std::size_t total_elements() const;
+
+  /// Fresh unique label.
+  Label fresh_label() { return next_label_++; }
+
+  /// Contract everything per `plan`, then outer-multiply any remaining
+  /// disconnected components. Returns the final tensor. If
+  /// `max_intermediate` is nonzero and any intermediate tensor would exceed
+  /// that many elements, throws std::length_error (used by callers that
+  /// prefer "inconclusive" over out-of-memory).
+  Tensor contract_all(const ContractionPlan& plan,
+                      ContractionStats* stats = nullptr,
+                      std::size_t max_intermediate = 0);
+
+  /// Plan that contracts nodes in insertion order (the "simulation order").
+  ContractionPlan sequential_plan() const;
+
+  /// Greedy plan: repeatedly contract the pair (sharing at least one bond)
+  /// whose result tensor is smallest; ties broken by flop cost.
+  ContractionPlan greedy_plan() const;
+
+ private:
+  std::vector<std::optional<Tensor>> nodes_;
+  Label next_label_ = 0;
+};
+
+/// Circuit as a tensor network. Each qubit starts as a |0> ket; every gate
+/// becomes a rank-2k tensor re-labelling the wires of the qubits it
+/// touches. `out_labels` receives the final open label of every qubit.
+/// The circuit must be unitary (barriers are skipped).
+TensorNetwork circuit_network(const ir::Circuit& circuit,
+                              std::vector<Label>& out_labels);
+
+/// Single output amplitude <basis|C|0...0> by capping every output wire
+/// with a bra and contracting to a rank-0 tensor.
+Complex amplitude(const ir::Circuit& circuit, std::uint64_t basis,
+                  bool greedy = true, ContractionStats* stats = nullptr);
+
+/// Full output state (exponential result — small n only): contract with
+/// outputs left open.
+std::vector<Complex> statevector(const ir::Circuit& circuit,
+                                 bool greedy = true,
+                                 ContractionStats* stats = nullptr);
+
+/// Expectation value <psi| P |psi> of a Pauli-string observable
+/// (pauli[q] in {'I','X','Y','Z'}) on the circuit's output state, computed
+/// as a closed bra-ket network (the Section IV "single scalar" use case).
+Complex expectation(const ir::Circuit& circuit, const std::string& paulis,
+                    bool greedy = true, ContractionStats* stats = nullptr);
+
+}  // namespace qdt::tn

@@ -1,0 +1,166 @@
+#include "tn/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace qdt::tn {
+
+namespace {
+
+/// One-sided Jacobi on columns: rotate column pairs of `a` (m x n,
+/// column-accessed) until all pairs are orthogonal; the same rotations are
+/// accumulated into `v` (n x n). On return the columns of `a` are
+/// orthogonal with norms = singular values and a_original = a * v^dagger.
+void jacobi_orthogonalize(std::vector<Complex>& a, std::size_t m,
+                          std::size_t n, std::vector<Complex>& v) {
+  const auto col = [n](std::vector<Complex>& mat, std::size_t c,
+                       std::size_t r) -> Complex& {
+    return mat[r * n + c];
+  };
+  constexpr double kTol = 1e-14;
+  constexpr int kMaxSweeps = 60;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries for the column pair.
+        double app = 0.0;
+        double aqq = 0.0;
+        Complex apq{};
+        for (std::size_t r = 0; r < m; ++r) {
+          const Complex cp = col(a, p, r);
+          const Complex cq = col(a, q, r);
+          app += std::norm(cp);
+          aqq += std::norm(cq);
+          apq += std::conj(cp) * cq;
+        }
+        const double apq_abs = std::abs(apq);
+        off = std::max(off, apq_abs);
+        if (apq_abs <= kTol * std::sqrt(app * aqq) || apq_abs == 0.0) {
+          continue;
+        }
+        // Hermitian 2x2 [[app, apq], [conj(apq), aqq]]: diagonalize.
+        const Complex phase = apq / apq_abs;
+        const double zeta = (aqq - app) / (2.0 * apq_abs);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        // Apply the rotation to columns p, q of `a` and of `v`:
+        // new_p = c * p - s * conj(phase) * q
+        // new_q = s * phase * p + c * q
+        for (std::size_t r = 0; r < m; ++r) {
+          const Complex cp = col(a, p, r);
+          const Complex cq = col(a, q, r);
+          col(a, p, r) = c * cp - s * std::conj(phase) * cq;
+          col(a, q, r) = s * phase * cp + c * cq;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const Complex vp = v[r * n + p];
+          const Complex vq = v[r * n + q];
+          v[r * n + p] = c * vp - s * std::conj(phase) * vq;
+          v[r * n + q] = s * phase * vp + c * vq;
+        }
+      }
+    }
+    if (off <= kTol) {
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+SvdResult svd(const std::vector<Complex>& a, std::size_t m, std::size_t n) {
+  if (a.size() != m * n) {
+    throw std::invalid_argument("svd: size mismatch");
+  }
+  if (m == 0 || n == 0) {
+    throw std::invalid_argument("svd: empty matrix");
+  }
+  if (m < n) {
+    // Work on the conjugate transpose and swap the factors:
+    // A^H = U' S V'^H  =>  A = V' S U'^H.
+    std::vector<Complex> ah(n * m);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        ah[c * m + r] = std::conj(a[r * n + c]);
+      }
+    }
+    const SvdResult t = svd(ah, n, m);
+    SvdResult out;
+    out.m = m;
+    out.n = n;
+    out.r = t.r;
+    out.s = t.s;
+    // U = V'(first r columns): V' = (t.vh)^H, n x r ... here t.vh is r x m,
+    // so U(m x r)[i][j] = conj(t.vh[j][i]).
+    out.u.assign(m * t.r, Complex{});
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < t.r; ++j) {
+        out.u[i * t.r + j] = std::conj(t.vh[j * m + i]);
+      }
+    }
+    // Vh = U'^H: r x n with Vh[j][i] = conj(t.u[i][j]).
+    out.vh.assign(t.r * n, Complex{});
+    for (std::size_t j = 0; j < t.r; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out.vh[j * n + i] = std::conj(t.u[i * t.r + j]);
+      }
+    }
+    return out;
+  }
+
+  std::vector<Complex> work = a;            // m x n, columns rotated
+  std::vector<Complex> v(n * n, Complex{}); // accumulates rotations
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i * n + i] = 1.0;
+  }
+  jacobi_orthogonalize(work, m, n, v);
+
+  // Column norms are the singular values.
+  std::vector<double> sigma(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    double s2 = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      s2 += std::norm(work[r * n + c]);
+    }
+    sigma[c] = std::sqrt(s2);
+  }
+  // Sort descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.m = m;
+  out.n = n;
+  out.r = n;
+  out.s.resize(n);
+  out.u.assign(m * n, Complex{});
+  out.vh.assign(n * n, Complex{});
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    out.s[j] = sigma[src];
+    if (sigma[src] > 0.0) {
+      const double inv = 1.0 / sigma[src];
+      for (std::size_t r = 0; r < m; ++r) {
+        out.u[r * n + j] = work[r * n + src] * inv;
+      }
+    } else {
+      // Zero singular value: any unit column keeps U well-formed; pick a
+      // basis vector not colliding with the used ones (j-th).
+      out.u[(j % m) * n + j] = 1.0;
+    }
+    // Vh row j = conj(column src of v).
+    for (std::size_t r = 0; r < n; ++r) {
+      out.vh[j * n + r] = std::conj(v[r * n + src]);
+    }
+  }
+  return out;
+}
+
+}  // namespace qdt::tn

@@ -1,0 +1,28 @@
+// Complex singular value decomposition, implemented from scratch with
+// one-sided Jacobi rotations. This is the numerical core of the MPS
+// simulator's bond truncation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/eps.hpp"
+
+namespace qdt::tn {
+
+/// A = U * diag(S) * Vh with U (m x r), S (r), Vh (r x n), r = min(m, n).
+/// Singular values are sorted in descending order; U has orthonormal
+/// columns and Vh orthonormal rows.
+struct SvdResult {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t r = 0;
+  std::vector<Complex> u;   // m x r, row-major
+  std::vector<double> s;    // r
+  std::vector<Complex> vh;  // r x n, row-major
+};
+
+/// One-sided Jacobi SVD of a dense row-major m x n matrix.
+SvdResult svd(const std::vector<Complex>& a, std::size_t m, std::size_t n);
+
+}  // namespace qdt::tn

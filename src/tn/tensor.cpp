@@ -1,0 +1,283 @@
+#include "tn/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace qdt::tn {
+
+namespace {
+
+std::size_t product(const std::vector<std::size_t>& dims) {
+  std::size_t p = 1;
+  for (const auto d : dims) {
+    p *= d;
+  }
+  return p;
+}
+
+/// Row-major strides for the given dimensions.
+std::vector<std::size_t> strides_of(const std::vector<std::size_t>& dims) {
+  std::vector<std::size_t> s(dims.size());
+  std::size_t acc = 1;
+  for (std::size_t i = dims.size(); i-- > 0;) {
+    s[i] = acc;
+    acc *= dims[i];
+  }
+  return s;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<Label> labels, std::vector<std::size_t> dims,
+               std::vector<Complex> data)
+    : labels_(std::move(labels)), dims_(std::move(dims)),
+      data_(std::move(data)) {
+  if (labels_.size() != dims_.size()) {
+    throw std::invalid_argument("Tensor: labels/dims size mismatch");
+  }
+  std::unordered_set<Label> seen(labels_.begin(), labels_.end());
+  if (seen.size() != labels_.size()) {
+    throw std::invalid_argument("Tensor: duplicate labels");
+  }
+  const std::size_t expect = product(dims_);
+  if (data_.empty()) {
+    data_.assign(expect, Complex{});
+  } else if (data_.size() != expect) {
+    throw std::invalid_argument("Tensor: data size mismatch");
+  }
+}
+
+Tensor Tensor::scalar(Complex value) {
+  Tensor t;
+  t.data_.assign(1, value);
+  return t;
+}
+
+Tensor Tensor::qubit_ket(Label label, bool one) {
+  Tensor t({label}, {2});
+  t.data_[one ? 1 : 0] = 1.0;
+  return t;
+}
+
+std::size_t Tensor::dim_of(Label label) const {
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) {
+      return dims_[i];
+    }
+  }
+  throw std::out_of_range("Tensor::dim_of: label not present");
+}
+
+bool Tensor::has_label(Label label) const {
+  return std::find(labels_.begin(), labels_.end(), label) != labels_.end();
+}
+
+Complex& Tensor::at(const std::vector<std::size_t>& idx) {
+  const auto& self = *this;
+  return const_cast<Complex&>(self.at(idx));
+}
+
+const Complex& Tensor::at(const std::vector<std::size_t>& idx) const {
+  if (idx.size() != dims_.size()) {
+    throw std::invalid_argument("Tensor::at: wrong index rank");
+  }
+  const auto strides = strides_of(dims_);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (idx[i] >= dims_[i]) {
+      throw std::out_of_range("Tensor::at: index out of range");
+    }
+    off += idx[i] * strides[i];
+  }
+  return data_[off];
+}
+
+Complex Tensor::scalar_value() const {
+  if (rank() != 0) {
+    throw std::logic_error("Tensor::scalar_value: rank != 0");
+  }
+  return data_[0];
+}
+
+Tensor Tensor::permuted(const std::vector<Label>& new_labels) const {
+  if (new_labels.size() != labels_.size()) {
+    throw std::invalid_argument("permuted: wrong label count");
+  }
+  // Map new position -> old position.
+  std::vector<std::size_t> src(new_labels.size());
+  std::vector<std::size_t> new_dims(new_labels.size());
+  for (std::size_t i = 0; i < new_labels.size(); ++i) {
+    const auto it =
+        std::find(labels_.begin(), labels_.end(), new_labels[i]);
+    if (it == labels_.end()) {
+      throw std::invalid_argument("permuted: unknown label");
+    }
+    src[i] = static_cast<std::size_t>(it - labels_.begin());
+    new_dims[i] = dims_[src[i]];
+  }
+  Tensor out(new_labels, new_dims);
+  const auto old_strides = strides_of(dims_);
+  const auto new_strides = strides_of(new_dims);
+  const std::size_t total = data_.size();
+  // Walk output positions in order, computing the source offset.
+  std::vector<std::size_t> idx(new_labels.size(), 0);
+  for (std::size_t out_off = 0; out_off < total; ++out_off) {
+    std::size_t in_off = 0;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      in_off += idx[i] * old_strides[src[i]];
+    }
+    out.data_[out_off] = data_[in_off];
+    // Increment the multi-index (row-major: last index fastest).
+    for (std::size_t i = idx.size(); i-- > 0;) {
+      if (++idx[i] < new_dims[i]) {
+        break;
+      }
+      idx[i] = 0;
+    }
+  }
+  return out;
+}
+
+void Tensor::relabel(Label from, Label to) {
+  if (from == to) {
+    return;
+  }
+  if (has_label(to)) {
+    throw std::invalid_argument("relabel: target label already present");
+  }
+  for (auto& l : labels_) {
+    if (l == from) {
+      l = to;
+      return;
+    }
+  }
+  throw std::invalid_argument("relabel: source label not present");
+}
+
+Tensor Tensor::contract(const Tensor& a, const Tensor& b) {
+  // Partition labels: a-only (kept), shared (summed), b-only (kept).
+  std::vector<Label> shared;
+  std::vector<Label> a_only;
+  for (const auto l : a.labels_) {
+    if (b.has_label(l)) {
+      shared.push_back(l);
+    } else {
+      a_only.push_back(l);
+    }
+  }
+  std::vector<Label> b_only;
+  for (const auto l : b.labels_) {
+    if (!a.has_label(l)) {
+      b_only.push_back(l);
+    }
+  }
+  for (const auto l : shared) {
+    if (a.dim_of(l) != b.dim_of(l)) {
+      throw std::invalid_argument("contract: bond dimension mismatch");
+    }
+  }
+
+  // Permute to (a_only, shared) x (shared, b_only) and matrix-multiply.
+  std::vector<Label> a_order = a_only;
+  a_order.insert(a_order.end(), shared.begin(), shared.end());
+  std::vector<Label> b_order = shared;
+  b_order.insert(b_order.end(), b_only.begin(), b_only.end());
+  const Tensor ap = a.permuted(a_order);
+  const Tensor bp = b.permuted(b_order);
+
+  std::size_t m = 1;
+  std::vector<std::size_t> out_dims;
+  for (const auto l : a_only) {
+    const auto d = a.dim_of(l);
+    m *= d;
+    out_dims.push_back(d);
+  }
+  std::size_t k = 1;
+  for (const auto l : shared) {
+    k *= a.dim_of(l);
+  }
+  std::size_t n = 1;
+  for (const auto l : b_only) {
+    const auto d = b.dim_of(l);
+    n *= d;
+    out_dims.push_back(d);
+  }
+
+  std::vector<Label> out_labels = a_only;
+  out_labels.insert(out_labels.end(), b_only.begin(), b_only.end());
+  Tensor out(out_labels, out_dims);
+  // C[m x n] = A[m x k] * B[k x n].
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const Complex av = ap.data_[i * k + kk];
+      if (av == Complex{}) {
+        continue;
+      }
+      const Complex* brow = bp.data_.data() + kk * n;
+      Complex* crow = out.data_.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::traced(Label l1, Label l2) const {
+  if (!has_label(l1) || !has_label(l2) || l1 == l2) {
+    throw std::invalid_argument("traced: need two distinct present labels");
+  }
+  if (dim_of(l1) != dim_of(l2)) {
+    throw std::invalid_argument("traced: dimension mismatch");
+  }
+  // Permute traced labels to the front and sum the diagonal blocks.
+  std::vector<Label> order = {l1, l2};
+  std::vector<Label> kept;
+  for (const auto l : labels_) {
+    if (l != l1 && l != l2) {
+      order.push_back(l);
+      kept.push_back(l);
+    }
+  }
+  const Tensor p = permuted(order);
+  const std::size_t d = dim_of(l1);
+  std::vector<std::size_t> kept_dims(p.dims_.begin() + 2, p.dims_.end());
+  Tensor out(kept, kept_dims);
+  const std::size_t block = out.data_.size() == 0 ? 1 : out.data_.size();
+  for (std::size_t i = 0; i < d; ++i) {
+    const std::size_t off = (i * d + i) * block;
+    for (std::size_t j = 0; j < block; ++j) {
+      out.data_[j] += p.data_[off + j];
+    }
+  }
+  return out;
+}
+
+bool Tensor::approx_equal(const Tensor& other, double eps) const {
+  if (labels_ != other.labels_ || dims_ != other.dims_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (!qdt::approx_equal(data_[i], other.data_[i], eps)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Tensor::str() const {
+  std::ostringstream os;
+  os << "Tensor(rank " << rank() << ", labels [";
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << labels_[i];
+  }
+  os << "], " << size() << " elements)";
+  return os.str();
+}
+
+}  // namespace qdt::tn

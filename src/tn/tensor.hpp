@@ -1,0 +1,81 @@
+// Dense tensors with labelled indices — the Section IV data structure.
+//
+// A tensor is a multi-dimensional array of complex numbers whose indices
+// carry integer labels; contracting two tensors sums over all labels they
+// share (paper, Example 3). The implementation routes every contraction
+// through transpose-to-matrix-multiplication, the standard dense approach.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/eps.hpp"
+
+namespace qdt::tn {
+
+/// Index label. Labels are unique per wire in a network; a label shared by
+/// two tensors is a bond to be contracted.
+using Label = std::int32_t;
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Tensor with the given index labels and dimensions (row-major storage,
+  /// first index slowest). Labels must be distinct; data size must equal
+  /// the product of dims (or be empty to zero-initialize).
+  Tensor(std::vector<Label> labels, std::vector<std::size_t> dims,
+         std::vector<Complex> data = {});
+
+  /// Rank-0 tensor holding a single scalar.
+  static Tensor scalar(Complex value);
+
+  /// Rank-1 qubit basis ket [1 0] or [0 1] with one label.
+  static Tensor qubit_ket(Label label, bool one);
+
+  std::size_t rank() const { return labels_.size(); }
+  std::size_t size() const { return data_.size(); }
+  const std::vector<Label>& labels() const { return labels_; }
+  const std::vector<std::size_t>& dims() const { return dims_; }
+  const std::vector<Complex>& data() const { return data_; }
+  std::vector<Complex>& data() { return data_; }
+
+  /// Dimension of the index carrying `label`; throws if absent.
+  std::size_t dim_of(Label label) const;
+  bool has_label(Label label) const;
+
+  /// Element access by multi-index (same order as labels()).
+  Complex& at(const std::vector<std::size_t>& idx);
+  const Complex& at(const std::vector<std::size_t>& idx) const;
+
+  /// Value of a rank-0 tensor.
+  Complex scalar_value() const;
+
+  /// Tensor with indices reordered to `new_labels` (a permutation of the
+  /// current labels).
+  Tensor permuted(const std::vector<Label>& new_labels) const;
+
+  /// Rename a label in place (dimensions unchanged).
+  void relabel(Label from, Label to);
+
+  /// Contract `a` and `b` over every shared label; with no shared labels
+  /// this is the outer product. Result labels: a-only then b-only, in their
+  /// original order.
+  static Tensor contract(const Tensor& a, const Tensor& b);
+
+  /// Sum over two paired indices of one tensor (partial trace); both labels
+  /// must have equal dimension.
+  Tensor traced(Label l1, Label l2) const;
+
+  bool approx_equal(const Tensor& other, double eps = 1e-9) const;
+
+  std::string str() const;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<std::size_t> dims_;
+  std::vector<Complex> data_;
+};
+
+}  // namespace qdt::tn

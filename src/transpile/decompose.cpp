@@ -1,0 +1,427 @@
+#include "transpile/decompose.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qdt::transpile {
+
+using ir::Circuit;
+using ir::GateKind;
+using ir::Operation;
+using ir::Qubit;
+
+Zyz zyz_decompose(const Mat2& u) {
+  // Normalize to SU(2): divide out sqrt(det).
+  const Complex det = u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0);
+  const Complex s = std::sqrt(det);
+  Zyz r;
+  r.alpha = std::arg(s);
+  Mat2 v = u * (Complex{1.0} / s);
+  // v = [[cos(g/2) e^{-i(b+d)/2}, -sin(g/2) e^{-i(b-d)/2}],
+  //      [sin(g/2) e^{ i(b-d)/2},  cos(g/2) e^{ i(b+d)/2}]]
+  const double c = std::abs(v(0, 0));
+  const double sn = std::abs(v(1, 0));
+  r.gamma = 2.0 * std::atan2(sn, c);
+  constexpr double kTiny = 1e-12;
+  if (sn < kTiny) {
+    r.delta = 0.0;
+    r.beta = -2.0 * std::arg(v(0, 0));
+  } else if (c < kTiny) {
+    r.delta = 0.0;
+    r.beta = 2.0 * std::arg(v(1, 0));
+  } else {
+    const double sum = -2.0 * std::arg(v(0, 0));  // beta + delta
+    const double diff = 2.0 * std::arg(v(1, 0));  // beta - delta
+    r.beta = (sum + diff) / 2.0;
+    r.delta = (sum - diff) / 2.0;
+  }
+  // Wrap beta/delta into (-pi, pi], folding each 2*pi wrap's sign flip
+  // (RZ(t + 2pi) = -RZ(t)) into the global phase. This keeps the angles in
+  // the canonical range of qdt::Phase without changing the reconstruction.
+  const auto wrap = [&r](double& angle) {
+    while (angle > std::numbers::pi) {
+      angle -= 2.0 * std::numbers::pi;
+      r.alpha += std::numbers::pi;
+    }
+    while (angle <= -std::numbers::pi) {
+      angle += 2.0 * std::numbers::pi;
+      r.alpha += std::numbers::pi;
+    }
+  };
+  wrap(r.beta);
+  wrap(r.delta);
+  return r;
+}
+
+namespace {
+
+/// Emit exp(i * theta * AND(qubits)) exactly: the parity (phase-polynomial)
+/// construction. For each nonempty subset S of the m qubits, a CX chain
+/// gathers the parity of S into its last qubit, a P rotation applies
+/// e^{i theta_S * parity}, and the chain is uncomputed.
+void emit_multi_controlled_phase(Circuit& out,
+                                 const std::vector<Qubit>& qubits,
+                                 const Phase& theta) {
+  const std::size_t m = qubits.size();
+  if (m == 0) {
+    return;
+  }
+  if (m == 1) {
+    out.p(theta, qubits[0]);
+    return;
+  }
+  if (m > 12) {
+    throw std::invalid_argument(
+        "decompose: multi-controlled phase with > 12 qubits (2^m parity "
+        "terms) — use ancilla-based synthesis instead");
+  }
+  // theta_S = theta * (-1)^{|S|+1} / 2^{m-1}.
+  const std::int64_t scale = std::int64_t{1} << (m - 1);
+  const Phase base{theta.num(), theta.den() * scale};
+  for (std::uint64_t mask = 1; mask < (1ULL << m); ++mask) {
+    std::vector<Qubit> subset;
+    for (std::size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1) {
+        subset.push_back(qubits[i]);
+      }
+    }
+    const bool odd = subset.size() % 2 == 1;
+    const Phase angle = odd ? base : -base;
+    for (std::size_t i = 0; i + 1 < subset.size(); ++i) {
+      out.cx(subset[i], subset[i + 1]);
+    }
+    out.p(angle, subset.back());
+    for (std::size_t i = subset.size() - 1; i-- > 0;) {
+      out.cx(subset[i], subset[i + 1]);
+    }
+  }
+}
+
+void emit_mcz(Circuit& out, const std::vector<Qubit>& qubits) {
+  emit_multi_controlled_phase(out, qubits, Phase::pi());
+}
+
+}  // namespace
+
+Circuit decompose_multi_controlled(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const auto& op : circuit.ops()) {
+    const std::size_t nc = op.controls().size();
+    if (!op.is_unitary() || nc == 0 ||
+        (nc == 1 && op.kind() != GateKind::Swap)) {
+      out.append(op);
+      continue;
+    }
+    std::vector<Qubit> all = op.controls();
+    switch (op.kind()) {
+      case GateKind::Z: {
+        all.push_back(op.targets()[0]);
+        emit_mcz(out, all);
+        break;
+      }
+      case GateKind::X: {
+        const Qubit t = op.targets()[0];
+        out.h(t);
+        all.push_back(t);
+        emit_mcz(out, all);
+        out.h(t);
+        break;
+      }
+      case GateKind::P: {
+        // Multi-controlled phase: AND over controls+target scaled angle.
+        all.push_back(op.targets()[0]);
+        emit_multi_controlled_phase(out, all, op.params()[0]);
+        break;
+      }
+      case GateKind::Swap: {
+        // C...C-SWAP(a, b) = CX(b,a) . C...C,a-X(b) . CX(b,a).
+        const Qubit a = op.targets()[0];
+        const Qubit b = op.targets()[1];
+        out.cx(b, a);
+        std::vector<Qubit> ctrls = op.controls();
+        ctrls.push_back(a);
+        if (ctrls.size() == 1) {
+          out.cx(ctrls[0], b);
+        } else {
+          out.h(b);
+          ctrls.push_back(b);
+          emit_mcz(out, ctrls);
+          out.h(b);
+        }
+        out.cx(b, a);
+        break;
+      }
+      default:
+        throw std::invalid_argument(
+            "decompose_multi_controlled: unsupported multi-controlled " +
+            ir::gate_name(op.kind()));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void emit_cx_or_cz_base(Circuit& out, Qubit c, Qubit t, bool want_cz,
+                        bool keep_cz) {
+  if (want_cz) {
+    if (keep_cz) {
+      out.cz(c, t);
+    } else {
+      out.h(t).cx(c, t).h(t);
+    }
+  } else {
+    out.cx(c, t);
+  }
+}
+
+/// Controlled-P via { P, CX }: CP(l) = P_c(l/2) CX P_t(-l/2) CX P_t(l/2).
+void emit_cp(Circuit& out, const Phase& lambda, Qubit c, Qubit t) {
+  const Phase half{lambda.num(), 2 * lambda.den()};
+  out.p(half, t).cx(c, t).p(-half, t).cx(c, t).p(half, c);
+}
+
+void emit_crz(Circuit& out, const Phase& theta, Qubit c, Qubit t) {
+  const Phase half{theta.num(), 2 * theta.den()};
+  out.rz(half, t).cx(c, t).rz(-half, t).cx(c, t);
+}
+
+void emit_cry(Circuit& out, const Phase& theta, Qubit c, Qubit t) {
+  const Phase half{theta.num(), 2 * theta.den()};
+  out.ry(half, t).cx(c, t).ry(-half, t).cx(c, t);
+}
+
+/// Generic controlled-U via the ABC construction (Nielsen & Chuang):
+/// U = e^{ia} RZ(b) RY(g) RZ(d);
+/// CU = P_c(a) . [A] CX [B] CX [C] with A = RZ(b) RY(g/2),
+/// B = RY(-g/2) RZ(-(d+b)/2), C = RZ((d-b)/2).
+void emit_cu(Circuit& out, const Mat2& u, Qubit c, Qubit t) {
+  const Zyz z = zyz_decompose(u);
+  const Phase a = Phase::from_radians(z.alpha);
+  const Phase b = Phase::from_radians(z.beta);
+  const Phase g2 = Phase::from_radians(z.gamma / 2.0);
+  const Phase dpb = Phase::from_radians(-(z.delta + z.beta) / 2.0);
+  const Phase dmb = Phase::from_radians((z.delta - z.beta) / 2.0);
+  out.rz(dmb, t);                 // C
+  out.cx(c, t);
+  out.rz(dpb, t).ry(-g2, t);      // B (matrix RY(-g/2) RZ(-(d+b)/2))
+  out.cx(c, t);
+  out.ry(g2, t).rz(b, t);         // A (matrix RZ(b) RY(g/2))
+  if (!a.is_zero()) {
+    out.p(a, c);
+  }
+}
+
+}  // namespace
+
+Circuit decompose_two_qubit(const Circuit& circuit, bool keep_cz) {
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const auto& op : circuit.ops()) {
+    if (!op.is_unitary()) {
+      out.append(op);
+      continue;
+    }
+    const std::size_t nc = op.controls().size();
+    if (nc > 1) {
+      throw std::invalid_argument(
+          "decompose_two_qubit: run decompose_multi_controlled first (" +
+          op.str() + ")");
+    }
+    // Plain two-qubit kinds.
+    if (op.targets().size() == 2) {
+      if (nc != 0) {
+        throw std::invalid_argument(
+            "decompose_two_qubit: unsupported controlled " + op.str());
+      }
+      const Qubit a = op.targets()[0];
+      const Qubit b = op.targets()[1];
+      switch (op.kind()) {
+        case GateKind::Swap:
+          out.cx(a, b).cx(b, a).cx(a, b);
+          break;
+        case GateKind::ISwap:
+          // iSWAP = (S x S) CZ SWAP (applied right to left).
+          out.cx(a, b).cx(b, a).cx(a, b);
+          emit_cx_or_cz_base(out, a, b, /*want_cz=*/true, keep_cz);
+          out.s(a).s(b);
+          break;
+        case GateKind::ISwapDg:
+          out.sdg(a).sdg(b);
+          emit_cx_or_cz_base(out, a, b, /*want_cz=*/true, keep_cz);
+          out.cx(a, b).cx(b, a).cx(a, b);
+          break;
+        case GateKind::RZZ:
+          out.cx(a, b).rz(op.params()[0], b).cx(a, b);
+          break;
+        case GateKind::RXX:
+          out.h(a).h(b).cx(a, b).rz(op.params()[0], b).cx(a, b).h(a).h(b);
+          break;
+        default:
+          throw std::logic_error("decompose_two_qubit: unhandled kind");
+      }
+      continue;
+    }
+    if (nc == 0) {
+      out.append(op);
+      continue;
+    }
+    // Singly-controlled one-qubit gates.
+    const Qubit c = op.controls()[0];
+    const Qubit t = op.targets()[0];
+    switch (op.kind()) {
+      case GateKind::X:
+        out.cx(c, t);
+        break;
+      case GateKind::Z:
+        emit_cx_or_cz_base(out, c, t, /*want_cz=*/true, keep_cz);
+        break;
+      case GateKind::Y:
+        out.sdg(t).cx(c, t).s(t);
+        break;
+      case GateKind::H:
+        out.ry(Phase{-1, 4}, t);
+        emit_cx_or_cz_base(out, c, t, /*want_cz=*/true, keep_cz);
+        out.ry(Phase{1, 4}, t);
+        break;
+      case GateKind::S:
+        emit_cp(out, Phase::pi_2(), c, t);
+        break;
+      case GateKind::Sdg:
+        emit_cp(out, Phase::minus_pi_2(), c, t);
+        break;
+      case GateKind::T:
+        emit_cp(out, Phase::pi_4(), c, t);
+        break;
+      case GateKind::Tdg:
+        emit_cp(out, Phase::minus_pi_4(), c, t);
+        break;
+      case GateKind::P:
+        emit_cp(out, op.params()[0], c, t);
+        break;
+      case GateKind::RZ:
+        emit_crz(out, op.params()[0], c, t);
+        break;
+      case GateKind::RY:
+        emit_cry(out, op.params()[0], c, t);
+        break;
+      case GateKind::RX:
+        out.h(t);
+        emit_crz(out, op.params()[0], c, t);
+        out.h(t);
+        break;
+      case GateKind::SX:
+        out.p(Phase::pi_4(), c);
+        out.h(t);
+        emit_crz(out, Phase::pi_2(), c, t);
+        out.h(t);
+        break;
+      case GateKind::SXdg:
+        out.p(Phase::minus_pi_4(), c);
+        out.h(t);
+        emit_crz(out, Phase::minus_pi_2(), c, t);
+        out.h(t);
+        break;
+      case GateKind::U:
+      case GateKind::I:
+        emit_cu(out, op.matrix2(), c, t);
+        break;
+      default:
+        throw std::invalid_argument("decompose_two_qubit: unsupported " +
+                                    op.str());
+    }
+  }
+  return out;
+}
+
+Circuit rebase_1q_to_hzx(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const auto& op : circuit.ops()) {
+    if (!op.is_unitary() || op.num_qubits() != 1) {
+      out.append(op);
+      continue;
+    }
+    const Qubit q = op.targets()[0];
+    switch (op.kind()) {
+      case GateKind::I:
+        break;
+      case GateKind::Y:
+        out.z(q).x(q);  // up to the global factor i
+        break;
+      case GateKind::RY:
+        // RY(t) = S RX(t) Sdg.
+        out.sdg(q).rx(op.params()[0], q).s(q);
+        break;
+      case GateKind::U:
+        // U(t, p, l) ~ RZ(p) RY(t) RZ(l).
+        out.rz(op.params()[2], q);
+        out.sdg(q).rx(op.params()[0], q).s(q);
+        out.rz(op.params()[1], q);
+        break;
+      default:
+        out.append(op);  // H, X/SX/SXdg/RX, Z-phase family
+        break;
+    }
+  }
+  return out;
+}
+
+Circuit rebase_1q_to_zsx(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const auto& op : circuit.ops()) {
+    if (!op.is_unitary() || op.num_qubits() != 1) {
+      out.append(op);
+      continue;
+    }
+    const Qubit q = op.targets()[0];
+    switch (op.kind()) {
+      case GateKind::I:
+        break;
+      case GateKind::X:
+      case GateKind::SX:
+        out.append(op);
+        break;
+      case GateKind::Z:
+        out.rz(Phase::pi(), q);
+        break;
+      case GateKind::S:
+        out.rz(Phase::pi_2(), q);
+        break;
+      case GateKind::Sdg:
+        out.rz(Phase::minus_pi_2(), q);
+        break;
+      case GateKind::T:
+        out.rz(Phase::pi_4(), q);
+        break;
+      case GateKind::Tdg:
+        out.rz(Phase::minus_pi_4(), q);
+        break;
+      case GateKind::RZ:
+      case GateKind::P:
+        out.rz(op.params()[0], q);
+        break;
+      default: {
+        // Generic path: U = e^{ia} RZ(b) RY(g) RZ(d)
+        //             ~ RZ(b + pi) SX RZ(g + pi) SX RZ(d).
+        const Zyz z = zyz_decompose(op.matrix2());
+        constexpr double kTiny = 1e-12;
+        if (std::abs(z.gamma) < kTiny) {
+          const Phase sum = Phase::from_radians(z.beta + z.delta);
+          if (!sum.is_zero()) {
+            out.rz(sum, q);
+          }
+          break;
+        }
+        out.rz(Phase::from_radians(z.delta), q);
+        out.sx(q);
+        out.rz(Phase::from_radians(z.gamma + std::numbers::pi), q);
+        out.sx(q);
+        out.rz(Phase::from_radians(z.beta + std::numbers::pi), q);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qdt::transpile

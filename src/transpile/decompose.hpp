@@ -1,0 +1,49 @@
+// Gate-decomposition passes: rewrite circuits into progressively smaller
+// gate sets, down to the hardware-style basis {CX, RZ, SX, X}. All
+// decompositions are exact up to a global phase (verified against the dense
+// oracle in the test suite).
+#pragma once
+
+#include "common/matrix.hpp"
+#include "ir/circuit.hpp"
+
+namespace qdt::transpile {
+
+/// Euler angles of a single-qubit unitary: U = e^{i alpha} RZ(beta)
+/// RY(gamma) RZ(delta).
+struct Zyz {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double gamma = 0.0;
+  double delta = 0.0;
+};
+
+/// Numerically extract ZYZ Euler angles from any 2x2 unitary.
+Zyz zyz_decompose(const Mat2& u);
+
+/// Replace every gate with >= 2 controls by an exact ancilla-free network of
+/// {1q, CX} gates, using the parity (phase-polynomial) construction for
+/// multi-controlled Z (2^k terms — exact but exponential in the control
+/// count, fine for the small k used on hardware). Controlled swaps become
+/// CX + Toffoli. Throws for >= 2 controls on other parameterized kinds.
+ir::Circuit decompose_multi_controlled(const ir::Circuit& circuit);
+
+/// Replace all two-qubit interactions by {CX or CZ} + single-qubit gates:
+/// swap -> 3 CX, iswap, rzz, rxx, and every singly-controlled one-qubit
+/// gate (CZ stays CZ if `keep_cz`, otherwise becomes H CX H).
+/// Requires controls already reduced to <= 1 (run decompose_multi_controlled
+/// first).
+ir::Circuit decompose_two_qubit(const ir::Circuit& circuit,
+                                bool keep_cz = false);
+
+/// Rewrite every single-qubit gate into {H, RZ/Z-phases, RX/X-phases} — the
+/// gate alphabet the ZX translation consumes directly. Two-qubit gates pass
+/// through untouched.
+ir::Circuit rebase_1q_to_hzx(const ir::Circuit& circuit);
+
+/// Rewrite every single-qubit gate into the IBM-style native set
+/// {RZ, SX, X} via the ZSX identity U = e^{ia} RZ(b+pi) SX RZ(c+pi) SX
+/// RZ(d). Two-qubit gates pass through untouched.
+ir::Circuit rebase_1q_to_zsx(const ir::Circuit& circuit);
+
+}  // namespace qdt::transpile

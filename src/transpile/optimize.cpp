@@ -1,0 +1,156 @@
+#include "transpile/optimize.hpp"
+
+#include <optional>
+
+namespace qdt::transpile {
+
+using ir::Circuit;
+using ir::GateKind;
+using ir::Operation;
+using ir::Qubit;
+
+namespace {
+
+bool is_identity_gate(const Operation& op) {
+  if (op.kind() == GateKind::I && op.controls().empty()) {
+    return true;
+  }
+  if ((op.kind() == GateKind::RZ || op.kind() == GateKind::RX ||
+       op.kind() == GateKind::RY || op.kind() == GateKind::P) &&
+      op.params()[0].is_zero()) {
+    return true;
+  }
+  return false;
+}
+
+/// Same-kind rotation gates on identical operands merge by angle addition.
+bool mergeable_rotation(const Operation& a, const Operation& b) {
+  if (a.kind() != b.kind() || a.targets() != b.targets() ||
+      a.controls() != b.controls()) {
+    return false;
+  }
+  switch (a.kind()) {
+    case GateKind::RZ:
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::P:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool inverse_pair(const Operation& a, const Operation& b) {
+  if (!a.is_unitary() || !b.is_unitary()) {
+    return false;
+  }
+  return a.adjoint() == b;
+}
+
+}  // namespace
+
+Circuit peephole_optimize(const Circuit& circuit, OptimizeStats* stats) {
+  OptimizeStats local;
+  Circuit current = circuit;
+  bool changed = true;
+  while (changed && local.passes < 100) {
+    ++local.passes;
+    changed = false;
+    Circuit next(current.num_qubits(), current.name());
+    // out[i] alive flags over the ops we have emitted so far; last_touch[q]
+    // = index into `emitted` of the last live op touching q.
+    std::vector<Operation> emitted;
+    std::vector<bool> alive;
+    std::vector<std::optional<std::size_t>> last_touch(current.num_qubits());
+
+    const auto predecessor =
+        [&](const Operation& op) -> std::optional<std::size_t> {
+      // The unique immediately-preceding op if it touches exactly the same
+      // qubits and nothing else intervenes.
+      std::optional<std::size_t> prev;
+      for (const Qubit q : op.qubits()) {
+        const auto lt = last_touch[q];
+        if (!lt.has_value() || !alive[*lt]) {
+          return std::nullopt;
+        }
+        if (!prev.has_value()) {
+          prev = lt;
+        } else if (*prev != *lt) {
+          return std::nullopt;
+        }
+      }
+      if (prev.has_value()) {
+        // The predecessor must touch no extra qubits either.
+        if (emitted[*prev].qubits().size() != op.qubits().size()) {
+          return std::nullopt;
+        }
+      }
+      return prev;
+    };
+
+    for (const auto& op : current.ops()) {
+      if (op.is_barrier()) {
+        // Barriers separate optimization windows.
+        emitted.push_back(op);
+        alive.push_back(true);
+        for (Qubit q = 0; q < current.num_qubits(); ++q) {
+          last_touch[q] = emitted.size() - 1;
+        }
+        continue;
+      }
+      if (op.is_unitary() && is_identity_gate(op)) {
+        ++local.dropped_identities;
+        changed = true;
+        continue;
+      }
+      bool handled = false;
+      if (op.is_unitary()) {
+        const auto prev = predecessor(op);
+        if (prev.has_value() && emitted[*prev].is_unitary()) {
+          const Operation& p = emitted[*prev];
+          if (inverse_pair(p, op)) {
+            alive[*prev] = false;
+            ++local.cancelled_pairs;
+            changed = true;
+            handled = true;
+          } else if (mergeable_rotation(p, op)) {
+            const Phase merged = p.params()[0] + op.params()[0];
+            alive[*prev] = false;
+            changed = true;
+            if (merged.is_zero()) {
+              ++local.cancelled_pairs;
+            } else {
+              ++local.merged_rotations;
+              emitted.emplace_back(op.kind(), op.targets(), op.controls(),
+                                   std::vector<Phase>{merged});
+              alive.push_back(true);
+              for (const Qubit q : op.qubits()) {
+                last_touch[q] = emitted.size() - 1;
+              }
+            }
+            handled = true;
+          }
+        }
+      }
+      if (!handled) {
+        emitted.push_back(op);
+        alive.push_back(true);
+        for (const Qubit q : op.qubits()) {
+          last_touch[q] = emitted.size() - 1;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < emitted.size(); ++i) {
+      if (alive[i]) {
+        next.append(emitted[i]);
+      }
+    }
+    current = std::move(next);
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return current;
+}
+
+}  // namespace qdt::transpile

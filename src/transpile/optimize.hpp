@@ -1,0 +1,23 @@
+// Peephole circuit optimization: cancel adjacent inverse pairs, merge runs
+// of compatible phase rotations, and drop identity gates. Runs to a
+// fixpoint. Used as the final transpiler stage and as an ablation point in
+// the compilation benchmarks.
+#pragma once
+
+#include "ir/circuit.hpp"
+
+namespace qdt::transpile {
+
+struct OptimizeStats {
+  std::size_t cancelled_pairs = 0;
+  std::size_t merged_rotations = 0;
+  std::size_t dropped_identities = 0;
+  std::size_t passes = 0;
+};
+
+/// Commutation-free peephole pass: two gates are only considered adjacent
+/// when no other gate touching their qubits lies between them.
+ir::Circuit peephole_optimize(const ir::Circuit& circuit,
+                              OptimizeStats* stats = nullptr);
+
+}  // namespace qdt::transpile

@@ -1,0 +1,164 @@
+#include "transpile/router.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace qdt::transpile {
+
+using ir::Circuit;
+using ir::Operation;
+using ir::Qubit;
+
+namespace {
+
+struct Layout {
+  std::vector<Qubit> log_to_phys;
+  std::vector<Qubit> phys_to_log;
+
+  explicit Layout(std::size_t n) : log_to_phys(n), phys_to_log(n) {
+    std::iota(log_to_phys.begin(), log_to_phys.end(), 0);
+    std::iota(phys_to_log.begin(), phys_to_log.end(), 0);
+  }
+
+  void swap_physical(Qubit pa, Qubit pb) {
+    const Qubit la = phys_to_log[pa];
+    const Qubit lb = phys_to_log[pb];
+    std::swap(phys_to_log[pa], phys_to_log[pb]);
+    log_to_phys[la] = pb;
+    log_to_phys[lb] = pa;
+  }
+};
+
+/// Indices of the next `window` two-qubit ops at or after position `from`.
+std::vector<std::size_t> upcoming_2q(const std::vector<Operation>& ops,
+                                     std::size_t from, std::size_t window) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = from; i < ops.size() && out.size() < window; ++i) {
+    if (ops[i].is_unitary() && ops[i].num_qubits() == 2) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RoutingResult route(const Circuit& circuit, const CouplingMap& coupling,
+                    RouterKind kind) {
+  const std::size_t n_logical = circuit.num_qubits();
+  const std::size_t n_physical = coupling.num_qubits();
+  if (n_logical > n_physical) {
+    throw std::invalid_argument("route: circuit wider than device");
+  }
+  RoutingResult res;
+  res.circuit = Circuit(n_physical, circuit.name() + "@" + coupling.name());
+  Layout layout(n_physical);
+  res.initial_layout = layout.log_to_phys;
+  res.initial_layout.resize(n_logical);
+
+  const auto& ops = circuit.ops();
+  const auto emit_swap = [&](Qubit pa, Qubit pb) {
+    res.circuit.swap(pa, pb);
+    layout.swap_physical(pa, pb);
+    ++res.swaps_inserted;
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    if (op.is_barrier()) {
+      continue;
+    }
+    const auto qubits = op.qubits();
+    if (qubits.size() == 1) {
+      res.circuit.append(op.remapped(layout.log_to_phys));
+      continue;
+    }
+    if (qubits.size() != 2) {
+      throw std::invalid_argument(
+          "route: operations must touch <= 2 qubits; decompose first (" +
+          op.str() + ")");
+    }
+    // Bring the two operands together.
+    while (true) {
+      const Qubit pa = layout.log_to_phys[qubits[0]];
+      const Qubit pb = layout.log_to_phys[qubits[1]];
+      if (coupling.connected(pa, pb)) {
+        break;
+      }
+      if (kind == RouterKind::ShortestPath) {
+        // Move operand a one hop along a shortest path towards b.
+        const auto path = coupling.shortest_path(pa, pb);
+        emit_swap(path[0], path[1]);
+        continue;
+      }
+      // Lookahead: among all swaps on edges incident to pa or pb, pick the
+      // one minimizing the primary gate's distance plus a discounted
+      // lookahead term.
+      const auto window = upcoming_2q(ops, i + 1, 8);
+      double best_score = std::numeric_limits<double>::max();
+      Qubit best_x = pa;
+      Qubit best_y = pa;
+      for (const Qubit anchor : {pa, pb}) {
+        for (const Qubit nbr : coupling.neighbors(anchor)) {
+          Layout trial = layout;
+          trial.swap_physical(anchor, nbr);
+          double score = static_cast<double>(coupling.distance(
+              trial.log_to_phys[qubits[0]], trial.log_to_phys[qubits[1]]));
+          double discount = 0.5;
+          for (const std::size_t j : window) {
+            const auto wq = ops[j].qubits();
+            score += discount *
+                     static_cast<double>(coupling.distance(
+                         trial.log_to_phys[wq[0]], trial.log_to_phys[wq[1]]));
+            discount *= 0.8;
+          }
+          if (score < best_score) {
+            best_score = score;
+            best_x = anchor;
+            best_y = nbr;
+          }
+        }
+      }
+      emit_swap(best_x, best_y);
+    }
+    res.circuit.append(op.remapped(layout.log_to_phys));
+  }
+  res.final_layout = layout.log_to_phys;
+  res.final_layout.resize(n_logical);
+  return res;
+}
+
+ir::Circuit with_layout_restored(const RoutingResult& result) {
+  ir::Circuit c = result.circuit;
+  const std::size_t n_logical = result.initial_layout.size();
+  constexpr Qubit kIdle = std::numeric_limits<Qubit>::max();
+  // occ[p] = logical occupant of physical slot p (kIdle for |0> fillers);
+  // pos[l] = physical slot of logical l. Idle slots may end up permuted
+  // among themselves — harmless, they all carry |0>.
+  std::vector<Qubit> occ(c.num_qubits(), kIdle);
+  std::vector<Qubit> pos(n_logical);
+  for (std::size_t l = 0; l < n_logical; ++l) {
+    pos[l] = result.final_layout[l];
+    occ[pos[l]] = static_cast<Qubit>(l);
+  }
+  for (Qubit l = 0; l < n_logical; ++l) {
+    const Qubit target = result.initial_layout[l];
+    const Qubit now = pos[l];
+    if (now == target) {
+      continue;
+    }
+    c.swap(now, target);
+    const Qubit other = occ[target];
+    occ[target] = l;
+    occ[now] = other;
+    pos[l] = target;
+    if (other != kIdle) {
+      pos[other] = now;
+    }
+  }
+  return c;
+}
+
+}  // namespace qdt::transpile

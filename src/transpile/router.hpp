@@ -1,0 +1,44 @@
+// Qubit routing (the mapping problem [15], [18]): make every two-qubit gate
+// act on physically adjacent qubits by inserting SWAPs, while tracking the
+// evolving logical-to-physical layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "transpile/target.hpp"
+
+namespace qdt::transpile {
+
+enum class RouterKind {
+  /// Walk one operand along a shortest path until adjacent.
+  ShortestPath,
+  /// Greedy swap selection scored with a lookahead window over upcoming
+  /// two-qubit gates (a light-weight SABRE-style heuristic).
+  Lookahead,
+};
+
+struct RoutingResult {
+  /// Physical circuit: same semantics as the input up to the final layout
+  /// permutation, every two-qubit gate coupling-map compliant.
+  ir::Circuit circuit;
+  /// logical qubit -> physical qubit at circuit start.
+  std::vector<ir::Qubit> initial_layout;
+  /// logical qubit -> physical qubit after the last gate.
+  std::vector<ir::Qubit> final_layout;
+  std::size_t swaps_inserted = 0;
+};
+
+/// Route a circuit (all operations touching <= 2 qubits; run the decompose
+/// passes first) onto the coupling map, starting from the trivial layout.
+RoutingResult route(const ir::Circuit& circuit, const CouplingMap& coupling,
+                    RouterKind kind = RouterKind::Lookahead);
+
+/// Append SWAPs to `result.circuit` so that the final layout returns to the
+/// initial one — after this, the routed circuit is strictly equivalent to
+/// the input (used by verification; the appended SWAPs ignore the coupling
+/// map).
+ir::Circuit with_layout_restored(const RoutingResult& result);
+
+}  // namespace qdt::transpile

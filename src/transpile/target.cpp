@@ -1,0 +1,154 @@
+#include "transpile/target.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace qdt::transpile {
+
+namespace {
+constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+}
+
+CouplingMap::CouplingMap(std::size_t num_qubits,
+                         std::vector<std::pair<ir::Qubit, ir::Qubit>> edges,
+                         std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name)),
+      edges_(std::move(edges)) {
+  if (num_qubits_ == 0) {
+    throw std::invalid_argument("CouplingMap: need at least one qubit");
+  }
+  adj_.resize(num_qubits_);
+  for (const auto& [a, b] : edges_) {
+    if (a >= num_qubits_ || b >= num_qubits_ || a == b) {
+      throw std::invalid_argument("CouplingMap: bad edge");
+    }
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+  }
+  for (auto& nbrs : adj_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  // All-pairs BFS.
+  dist_.assign(num_qubits_,
+               std::vector<std::size_t>(num_qubits_, kUnreachable));
+  for (ir::Qubit s = 0; s < num_qubits_; ++s) {
+    dist_[s][s] = 0;
+    std::deque<ir::Qubit> queue{s};
+    while (!queue.empty()) {
+      const ir::Qubit v = queue.front();
+      queue.pop_front();
+      for (const ir::Qubit w : adj_[v]) {
+        if (dist_[s][w] == kUnreachable) {
+          dist_[s][w] = dist_[s][v] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+}
+
+CouplingMap CouplingMap::full(std::size_t n) {
+  std::vector<std::pair<ir::Qubit, ir::Qubit>> edges;
+  for (ir::Qubit a = 0; a < n; ++a) {
+    for (ir::Qubit b = a + 1; b < n; ++b) {
+      edges.emplace_back(a, b);
+    }
+  }
+  return CouplingMap(n, std::move(edges), "full" + std::to_string(n));
+}
+
+CouplingMap CouplingMap::line(std::size_t n) {
+  std::vector<std::pair<ir::Qubit, ir::Qubit>> edges;
+  for (ir::Qubit q = 0; q + 1 < n; ++q) {
+    edges.emplace_back(q, q + 1);
+  }
+  return CouplingMap(n, std::move(edges), "line" + std::to_string(n));
+}
+
+CouplingMap CouplingMap::ring(std::size_t n) {
+  std::vector<std::pair<ir::Qubit, ir::Qubit>> edges;
+  for (ir::Qubit q = 0; q + 1 < n; ++q) {
+    edges.emplace_back(q, q + 1);
+  }
+  if (n > 2) {
+    edges.emplace_back(static_cast<ir::Qubit>(n - 1), 0);
+  }
+  return CouplingMap(n, std::move(edges), "ring" + std::to_string(n));
+}
+
+CouplingMap CouplingMap::grid(std::size_t rows, std::size_t cols) {
+  std::vector<std::pair<ir::Qubit, ir::Qubit>> edges;
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<ir::Qubit>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.emplace_back(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        edges.emplace_back(id(r, c), id(r + 1, c));
+      }
+    }
+  }
+  return CouplingMap(rows * cols, std::move(edges),
+                     "grid" + std::to_string(rows) + "x" +
+                         std::to_string(cols));
+}
+
+CouplingMap CouplingMap::star(std::size_t n) {
+  std::vector<std::pair<ir::Qubit, ir::Qubit>> edges;
+  for (ir::Qubit q = 1; q < n; ++q) {
+    edges.emplace_back(0, q);
+  }
+  return CouplingMap(n, std::move(edges), "star" + std::to_string(n));
+}
+
+CouplingMap CouplingMap::heavy_hex_falcon() {
+  // The 27-qubit IBM Falcon (e.g. ibmq_mumbai) heavy-hex coupling graph.
+  std::vector<std::pair<ir::Qubit, ir::Qubit>> edges = {
+      {0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},   {5, 8},
+      {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12}, {11, 14}, {12, 13},
+      {12, 15}, {13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21},
+      {19, 20}, {19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26}};
+  return CouplingMap(27, std::move(edges), "heavy_hex27");
+}
+
+bool CouplingMap::connected(ir::Qubit a, ir::Qubit b) const {
+  return distance(a, b) == 1;
+}
+
+std::size_t CouplingMap::distance(ir::Qubit a, ir::Qubit b) const {
+  if (a >= num_qubits_ || b >= num_qubits_) {
+    throw std::out_of_range("CouplingMap::distance: qubit out of range");
+  }
+  return dist_[a][b];
+}
+
+const std::vector<ir::Qubit>& CouplingMap::neighbors(ir::Qubit q) const {
+  return adj_.at(q);
+}
+
+std::vector<ir::Qubit> CouplingMap::shortest_path(ir::Qubit a,
+                                                  ir::Qubit b) const {
+  if (distance(a, b) == kUnreachable) {
+    throw std::invalid_argument("CouplingMap: qubits not connected");
+  }
+  std::vector<ir::Qubit> path{a};
+  ir::Qubit cur = a;
+  while (cur != b) {
+    for (const ir::Qubit w : adj_[cur]) {
+      if (dist_[w][b] == dist_[cur][b] - 1) {
+        cur = w;
+        path.push_back(cur);
+        break;
+      }
+    }
+  }
+  return path;
+}
+
+}  // namespace qdt::transpile

@@ -1,0 +1,68 @@
+// Compilation targets: a native gate set plus a qubit-connectivity graph
+// (coupling map). Presets cover the standard academic topologies and an
+// IBM-Falcon-style heavy-hex patch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qdt::transpile {
+
+/// Native single-/two-qubit alphabet of the device.
+enum class NativeGateSet {
+  /// {CX, RZ, SX, X} — IBM style.
+  CxRzSxX,
+  /// {CZ, RZ, SX, X} — tunable-coupler style.
+  CzRzSxX,
+};
+
+class CouplingMap {
+ public:
+  /// Edges are undirected physical-qubit pairs.
+  CouplingMap(std::size_t num_qubits,
+              std::vector<std::pair<ir::Qubit, ir::Qubit>> edges,
+              std::string name = "custom");
+
+  static CouplingMap full(std::size_t n);
+  static CouplingMap line(std::size_t n);
+  static CouplingMap ring(std::size_t n);
+  static CouplingMap grid(std::size_t rows, std::size_t cols);
+  static CouplingMap star(std::size_t n);
+  /// 27-qubit IBM-Falcon-style heavy-hex patch.
+  static CouplingMap heavy_hex_falcon();
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  const std::string& name() const { return name_; }
+  const std::vector<std::pair<ir::Qubit, ir::Qubit>>& edges() const {
+    return edges_;
+  }
+
+  bool connected(ir::Qubit a, ir::Qubit b) const;
+
+  /// Hop distance between physical qubits (precomputed all-pairs BFS).
+  std::size_t distance(ir::Qubit a, ir::Qubit b) const;
+
+  /// Neighbors of a physical qubit.
+  const std::vector<ir::Qubit>& neighbors(ir::Qubit q) const;
+
+  /// One shortest path from a to b, inclusive of both endpoints.
+  std::vector<ir::Qubit> shortest_path(ir::Qubit a, ir::Qubit b) const;
+
+ private:
+  std::size_t num_qubits_;
+  std::string name_;
+  std::vector<std::pair<ir::Qubit, ir::Qubit>> edges_;
+  std::vector<std::vector<ir::Qubit>> adj_;
+  std::vector<std::vector<std::size_t>> dist_;
+};
+
+struct Target {
+  CouplingMap coupling;
+  NativeGateSet gate_set = NativeGateSet::CxRzSxX;
+  std::string name;
+};
+
+}  // namespace qdt::transpile

@@ -1,0 +1,99 @@
+#include "transpile/transpiler.hpp"
+
+#include <stdexcept>
+
+#include "transpile/decompose.hpp"
+
+namespace qdt::transpile {
+
+using ir::Circuit;
+using ir::GateKind;
+using ir::Operation;
+
+namespace {
+
+/// Rewrite SWAPs inserted by the router into native two-qubit gates.
+Circuit lower_swaps(const Circuit& circuit, bool keep_cz) {
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const auto& op : circuit.ops()) {
+    if (op.kind() == GateKind::Swap && op.controls().empty()) {
+      const auto a = op.targets()[0];
+      const auto b = op.targets()[1];
+      if (keep_cz) {
+        out.h(b).cz(a, b).h(b);
+        out.h(a).cz(b, a).h(a);
+        out.h(b).cz(a, b).h(b);
+      } else {
+        out.cx(a, b).cx(b, a).cx(a, b);
+      }
+      continue;
+    }
+    if (op.kind() == GateKind::X && op.controls().size() == 1 && keep_cz) {
+      const auto t = op.targets()[0];
+      out.h(t).cz(op.controls()[0], t).h(t);
+      continue;
+    }
+    out.append(op);
+  }
+  return out;
+}
+
+}  // namespace
+
+TranspileResult transpile(const Circuit& circuit, const Target& target,
+                          const TranspileOptions& options) {
+  if (!circuit.is_unitary()) {
+    throw std::invalid_argument(
+        "transpile: only unitary circuits are supported (strip "
+        "measurements first)");
+  }
+  TranspileResult res;
+  res.before = circuit.stats();
+  const bool keep_cz = target.gate_set == NativeGateSet::CzRzSxX;
+
+  // 1. Reduce everything to single-qubit gates + {CX or CZ}.
+  Circuit lowered = decompose_multi_controlled(circuit);
+  lowered = decompose_two_qubit(lowered, keep_cz);
+
+  // 2. Routing onto the coupling map.
+  RoutingResult routed = route(lowered, target.coupling, options.router);
+  res.initial_layout = routed.initial_layout;
+  res.final_layout = routed.final_layout;
+  res.swaps_inserted = routed.swaps_inserted;
+
+  // 3. Lower router SWAPs and rebase single-qubit gates onto the native
+  //    set.
+  Circuit native = lower_swaps(routed.circuit, keep_cz);
+  native = rebase_1q_to_zsx(native);
+
+  // 4. Peephole cleanup.
+  if (options.optimize) {
+    native = peephole_optimize(native, &res.optimize_stats);
+  }
+  native.set_name(circuit.name() + "@" + target.coupling.name());
+  res.circuit = std::move(native);
+  res.after = res.circuit.stats();
+  return res;
+}
+
+ir::Circuit restored_for_verification(const TranspileResult& result) {
+  RoutingResult rr;
+  rr.circuit = result.circuit;
+  rr.initial_layout = result.initial_layout;
+  rr.final_layout = result.final_layout;
+  return with_layout_restored(rr);
+}
+
+ir::Circuit padded_original(const ir::Circuit& circuit,
+                            const Target& target) {
+  Circuit padded(target.coupling.num_qubits(), circuit.name() + "_padded");
+  for (const auto& op : circuit.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    padded.append(op);
+  }
+  return padded;
+}
+
+}  // namespace qdt::transpile

@@ -1,0 +1,49 @@
+// The compilation pipeline (Section I, "compilation"): gate decomposition
+// -> routing -> native rebase -> peephole optimization, with statistics for
+// each stage and layout tracking so the result can be formally verified.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "transpile/optimize.hpp"
+#include "transpile/router.hpp"
+#include "transpile/target.hpp"
+
+namespace qdt::transpile {
+
+struct TranspileOptions {
+  RouterKind router = RouterKind::Lookahead;
+  bool optimize = true;
+};
+
+struct TranspileResult {
+  /// Compiled circuit on the device's physical qubits.
+  ir::Circuit circuit;
+  std::vector<ir::Qubit> initial_layout;
+  std::vector<ir::Qubit> final_layout;
+  std::size_t swaps_inserted = 0;
+  ir::CircuitStats before;
+  ir::CircuitStats after;
+  OptimizeStats optimize_stats;
+};
+
+/// Compile a unitary circuit to the target: after this every gate is native
+/// and every two-qubit gate respects the coupling map. The result realizes
+/// the input up to the final layout permutation (use
+/// `equivalent_to_original` / `with_layout_restored` to close the loop).
+TranspileResult transpile(const ir::Circuit& circuit, const Target& target,
+                          const TranspileOptions& options = {});
+
+/// Circuit that should be *strictly* equivalent to the input padded to
+/// device width: the compiled circuit plus layout-restoring swaps. Feed
+/// this to any equivalence checker against `padded_original`.
+ir::Circuit restored_for_verification(const TranspileResult& result);
+
+/// The input circuit padded with idle qubits to the device width (the
+/// reference object for post-compilation verification).
+ir::Circuit padded_original(const ir::Circuit& circuit,
+                            const Target& target);
+
+}  // namespace qdt::transpile

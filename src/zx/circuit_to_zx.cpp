@@ -1,0 +1,119 @@
+#include "zx/circuit_to_zx.hpp"
+
+#include <stdexcept>
+
+#include "transpile/decompose.hpp"
+
+namespace qdt::zx {
+
+using ir::GateKind;
+using ir::Operation;
+using ir::Qubit;
+
+ZXDiagram to_diagram(const ir::Circuit& circuit) {
+  // Lower to the ZX alphabet: <=1 control, CX/CZ two-qubit interactions,
+  // 1q gates from the H/Z-phase/X-phase families.
+  ir::Circuit c = transpile::decompose_multi_controlled(circuit);
+  c = transpile::decompose_two_qubit(c, /*keep_cz=*/true);
+  c = transpile::rebase_1q_to_hzx(c);
+
+  ZXDiagram d;
+  const std::size_t n = c.num_qubits();
+  std::vector<V> cur(n);
+  std::vector<bool> pending_h(n, false);
+  for (std::size_t q = 0; q < n; ++q) {
+    cur[q] = d.add_vertex(VertexKind::Boundary);
+    d.inputs().push_back(cur[q]);
+  }
+
+  const auto add_spider = [&](Qubit q, VertexKind kind,
+                              const Phase& phase) -> V {
+    const V v = d.add_vertex(kind, phase);
+    d.add_edge(cur[q], v,
+               pending_h[q] ? EdgeKind::Hadamard : EdgeKind::Plain);
+    pending_h[q] = false;
+    cur[q] = v;
+    return v;
+  };
+
+  for (const auto& op : c.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    if (!op.is_unitary()) {
+      throw std::invalid_argument(
+          "zx::to_diagram: only unitary circuits are supported (found " +
+          op.str() + ")");
+    }
+    if (op.controls().size() == 1) {
+      const Qubit ctrl = op.controls()[0];
+      const Qubit tgt = op.targets()[0];
+      if (op.kind() == GateKind::X) {
+        const V vc = add_spider(ctrl, VertexKind::Z, Phase::zero());
+        const V vt = add_spider(tgt, VertexKind::X, Phase::zero());
+        d.add_edge(vc, vt, EdgeKind::Plain);
+        continue;
+      }
+      if (op.kind() == GateKind::Z) {
+        const V vc = add_spider(ctrl, VertexKind::Z, Phase::zero());
+        const V vt = add_spider(tgt, VertexKind::Z, Phase::zero());
+        d.add_edge(vc, vt, EdgeKind::Hadamard);
+        continue;
+      }
+      throw std::logic_error("zx::to_diagram: unexpected controlled gate " +
+                             op.str());
+    }
+    const Qubit q = op.targets()[0];
+    switch (op.kind()) {
+      case GateKind::I:
+        break;
+      case GateKind::H:
+        pending_h[q] = !pending_h[q];
+        break;
+      case GateKind::Z:
+        add_spider(q, VertexKind::Z, Phase::pi());
+        break;
+      case GateKind::S:
+        add_spider(q, VertexKind::Z, Phase::pi_2());
+        break;
+      case GateKind::Sdg:
+        add_spider(q, VertexKind::Z, Phase::minus_pi_2());
+        break;
+      case GateKind::T:
+        add_spider(q, VertexKind::Z, Phase::pi_4());
+        break;
+      case GateKind::Tdg:
+        add_spider(q, VertexKind::Z, Phase::minus_pi_4());
+        break;
+      case GateKind::RZ:
+      case GateKind::P:
+        add_spider(q, VertexKind::Z, op.params()[0]);
+        break;
+      case GateKind::X:
+        add_spider(q, VertexKind::X, Phase::pi());
+        break;
+      case GateKind::SX:
+        add_spider(q, VertexKind::X, Phase::pi_2());
+        break;
+      case GateKind::SXdg:
+        add_spider(q, VertexKind::X, Phase::minus_pi_2());
+        break;
+      case GateKind::RX:
+        add_spider(q, VertexKind::X, op.params()[0]);
+        break;
+      default:
+        throw std::logic_error("zx::to_diagram: unexpected gate " +
+                               op.str());
+    }
+  }
+
+  for (std::size_t q = 0; q < n; ++q) {
+    const V out = d.add_vertex(VertexKind::Boundary);
+    d.add_edge(cur[q], out,
+               pending_h[q] ? EdgeKind::Hadamard : EdgeKind::Plain);
+    d.outputs().push_back(out);
+  }
+  return d;
+}
+
+}  // namespace qdt::zx

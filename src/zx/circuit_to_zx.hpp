@@ -1,0 +1,19 @@
+// Circuit -> ZX-diagram translation (Section V, Example 5).
+//
+// The translation consumes the alphabet {H, Z-phase family, X-phase family,
+// CX, CZ}; everything else is first lowered with the transpiler's exact
+// decomposition passes. Hadamards become Hadamard *edges* on the wire, CX
+// becomes a plain Z-X spider pair, CZ a Hadamard-connected Z-Z pair.
+#pragma once
+
+#include "ir/circuit.hpp"
+#include "zx/diagram.hpp"
+
+namespace qdt::zx {
+
+/// Translate a unitary circuit (any catalogue gates; multi-controls are
+/// decomposed on the way) into a ZX-diagram with one input and one output
+/// boundary per qubit. Equals the circuit's unitary up to a global scalar.
+ZXDiagram to_diagram(const ir::Circuit& circuit);
+
+}  // namespace qdt::zx

@@ -1,0 +1,317 @@
+#include "zx/diagram.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace qdt::zx {
+
+const ZXDiagram::VertexData& ZXDiagram::data(V v) const {
+  if (v >= verts_.size() || !verts_[v].has_value()) {
+    throw std::out_of_range("ZXDiagram: dead vertex " + std::to_string(v));
+  }
+  return *verts_[v];
+}
+
+ZXDiagram::VertexData& ZXDiagram::data_mut(V v) {
+  return const_cast<VertexData&>(data(v));
+}
+
+V ZXDiagram::add_vertex(VertexKind kind, Phase phase) {
+  verts_.push_back(VertexData{kind, phase});
+  adj_.emplace_back();
+  ++num_live_;
+  return static_cast<V>(verts_.size() - 1);
+}
+
+void ZXDiagram::remove_vertex(V v) {
+  data(v);  // validate
+  for (const auto& [w, kind] : adj_[v]) {
+    adj_[w].erase(v);
+  }
+  adj_[v].clear();
+  verts_[v].reset();
+  --num_live_;
+}
+
+bool ZXDiagram::alive(V v) const {
+  return v < verts_.size() && verts_[v].has_value();
+}
+
+std::vector<V> ZXDiagram::vertices() const {
+  std::vector<V> out;
+  out.reserve(num_live_);
+  for (V v = 0; v < verts_.size(); ++v) {
+    if (verts_[v].has_value()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::size_t ZXDiagram::num_spiders() const {
+  std::size_t n = 0;
+  for (V v = 0; v < verts_.size(); ++v) {
+    if (verts_[v].has_value() && verts_[v]->kind != VertexKind::Boundary) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t ZXDiagram::num_edges() const {
+  std::size_t n = 0;
+  for (const auto& nbrs : adj_) {
+    n += nbrs.size();
+  }
+  return n / 2;
+}
+
+std::size_t ZXDiagram::t_count() const {
+  std::size_t n = 0;
+  for (V v = 0; v < verts_.size(); ++v) {
+    if (verts_[v].has_value() && verts_[v]->kind != VertexKind::Boundary &&
+        !verts_[v]->phase.is_clifford()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool ZXDiagram::has_edge(V v, V w) const {
+  data(v);
+  data(w);
+  return adj_[v].contains(w);
+}
+
+EdgeKind ZXDiagram::edge_kind(V v, V w) const {
+  const auto it = adj_[v].find(w);
+  if (it == adj_[v].end()) {
+    throw std::out_of_range("ZXDiagram: no such edge");
+  }
+  return it->second;
+}
+
+void ZXDiagram::add_edge(V v, V w, EdgeKind kind) {
+  data(v);
+  data(w);
+  if (v == w) {
+    throw std::invalid_argument("ZXDiagram::add_edge: self loop");
+  }
+  if (adj_[v].contains(w)) {
+    throw std::invalid_argument("ZXDiagram::add_edge: edge exists");
+  }
+  adj_[v].emplace(w, kind);
+  adj_[w].emplace(v, kind);
+}
+
+void ZXDiagram::remove_edge(V v, V w) {
+  if (adj_[v].erase(w) == 0) {
+    throw std::out_of_range("ZXDiagram::remove_edge: no such edge");
+  }
+  adj_[w].erase(v);
+}
+
+void ZXDiagram::set_edge_kind(V v, V w, EdgeKind kind) {
+  adj_[v].at(w) = kind;
+  adj_[w].at(v) = kind;
+}
+
+void ZXDiagram::toggle_h_edge(V v, V w) {
+  const auto it = adj_[v].find(w);
+  if (it == adj_[v].end()) {
+    add_edge(v, w, EdgeKind::Hadamard);
+    return;
+  }
+  if (it->second != EdgeKind::Hadamard) {
+    throw std::logic_error("toggle_h_edge: plain edge present");
+  }
+  remove_edge(v, w);
+}
+
+void ZXDiagram::add_edge_smart(V v, V w, EdgeKind ekind) {
+  if (v == w) {
+    // Self loop on a Z spider: plain loops vanish; a Hadamard loop adds pi.
+    if (ekind == EdgeKind::Hadamard) {
+      add_phase(v, Phase::pi());
+    }
+    return;
+  }
+  const auto it = adj_[v].find(w);
+  if (it == adj_[v].end()) {
+    add_edge(v, w, ekind);
+    return;
+  }
+  if (kind(v) != VertexKind::Z || kind(w) != VertexKind::Z) {
+    throw std::logic_error(
+        "add_edge_smart: parallel edge on non-Z-spider endpoints");
+  }
+  const EdgeKind existing = it->second;
+  if (existing == EdgeKind::Hadamard && ekind == EdgeKind::Hadamard) {
+    remove_edge(v, w);  // Hopf: H || H cancels (scalar dropped)
+    return;
+  }
+  if (existing == EdgeKind::Plain && ekind == EdgeKind::Plain) {
+    return;  // plain || plain == single plain between equal-color spiders
+  }
+  // Mixed plain || Hadamard: fusing along the plain wire turns the H edge
+  // into an H self-loop, which contributes a pi phase.
+  set_edge_kind(v, w, EdgeKind::Plain);
+  fuse(v, w);
+  add_phase(v, Phase::pi());
+}
+
+void ZXDiagram::fuse(V v, V w) {
+  if (edge_kind(v, w) != EdgeKind::Plain) {
+    throw std::logic_error("fuse: edge is not plain");
+  }
+  if (is_boundary(v) || is_boundary(w)) {
+    throw std::logic_error("fuse: boundary vertex");
+  }
+  add_phase(v, phase(w));
+  remove_edge(v, w);
+  // Transfer the remaining edges of w.
+  const auto nbrs = adj_[w];  // copy: add_edge_smart may mutate
+  for (const auto& [u, k] : nbrs) {
+    remove_edge(w, u);
+    add_edge_smart(v, u, k);
+    if (!alive(w)) {
+      break;  // a cascaded fusion consumed w already
+    }
+  }
+  if (alive(w)) {
+    remove_vertex(w);
+  }
+}
+
+const std::map<V, EdgeKind>& ZXDiagram::neighbors(V v) const {
+  data(v);
+  return adj_[v];
+}
+
+ZXDiagram ZXDiagram::adjoint() const {
+  ZXDiagram d = *this;
+  for (V v = 0; v < d.verts_.size(); ++v) {
+    if (d.verts_[v].has_value()) {
+      d.verts_[v]->phase = -d.verts_[v]->phase;
+    }
+  }
+  std::swap(d.inputs_, d.outputs_);
+  return d;
+}
+
+ZXDiagram ZXDiagram::compose(const ZXDiagram& first,
+                             const ZXDiagram& second) {
+  if (first.outputs_.size() != second.inputs_.size()) {
+    throw std::invalid_argument("ZXDiagram::compose: arity mismatch");
+  }
+  ZXDiagram d = first;
+  // Import `second` with shifted ids.
+  const V offset = static_cast<V>(d.verts_.size());
+  for (V v = 0; v < second.verts_.size(); ++v) {
+    d.verts_.push_back(second.verts_[v]);
+    d.adj_.emplace_back();
+    if (second.verts_[v].has_value()) {
+      ++d.num_live_;
+    }
+  }
+  for (V v = 0; v < second.verts_.size(); ++v) {
+    if (!second.verts_[v].has_value()) {
+      continue;
+    }
+    for (const auto& [w, k] : second.adj_[v]) {
+      if (v < w) {
+        d.add_edge(v + offset, w + offset, k);
+      }
+    }
+  }
+  // Glue: first.outputs[i] -- second.inputs[i].
+  for (std::size_t i = 0; i < first.outputs_.size(); ++i) {
+    const V oa = first.outputs_[i];
+    const V ib = second.inputs_[i] + offset;
+    if (d.degree(oa) != 1 || d.degree(ib) != 1) {
+      throw std::logic_error("compose: boundary vertex degree != 1");
+    }
+    const auto [na, ka] = *d.adj_[oa].begin();
+    const auto [nb, kb] = *d.adj_[ib].begin();
+    const EdgeKind combined = (ka == EdgeKind::Hadamard) !=
+                                      (kb == EdgeKind::Hadamard)
+                                  ? EdgeKind::Hadamard
+                                  : EdgeKind::Plain;
+    d.remove_vertex(oa);
+    d.remove_vertex(ib);
+    // na lives in `first`, nb in `second`, so na != nb unless both halves
+    // had a bare boundary wire — which circuit-derived diagrams never have
+    // (circuit_to_zx puts at least the wire spiders in). Self-gluing a
+    // single spider is still handled for generality.
+    if (na == nb) {
+      d.add_edge_smart(na, na, combined);
+    } else if (!d.has_edge(na, nb)) {
+      d.add_edge(na, nb, combined);
+    } else {
+      d.add_edge_smart(na, nb, combined);
+    }
+  }
+  d.outputs_.clear();
+  for (const V o : second.outputs_) {
+    d.outputs_.push_back(o + offset);
+  }
+  return d;
+}
+
+bool ZXDiagram::is_identity() const {
+  if (inputs_.size() != outputs_.size()) {
+    return false;
+  }
+  if (num_live_ != inputs_.size() + outputs_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    const V in = inputs_[i];
+    const V out = outputs_[i];
+    if (!alive(in) || !alive(out) || !adj_[in].contains(out)) {
+      return false;
+    }
+    if (adj_[in].at(out) != EdgeKind::Plain) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ZXDiagram::to_dot(const std::string& name) const {
+  std::ostringstream os;
+  os << "graph \"" << name << "\" {\n";
+  for (const V v : vertices()) {
+    os << "  v" << v << " [";
+    switch (kind(v)) {
+      case VertexKind::Boundary:
+        os << "shape=none, label=\"" << v << "\"";
+        break;
+      case VertexKind::Z:
+        os << "shape=circle, style=filled, fillcolor=palegreen, label=\""
+           << phase(v).str() << "\"";
+        break;
+      case VertexKind::X:
+        os << "shape=circle, style=filled, fillcolor=lightcoral, label=\""
+           << phase(v).str() << "\"";
+        break;
+    }
+    os << "];\n";
+  }
+  for (const V v : vertices()) {
+    for (const auto& [w, k] : adj_[v]) {
+      if (v < w) {
+        os << "  v" << v << " -- v" << w;
+        if (k == EdgeKind::Hadamard) {
+          os << " [style=dashed, color=blue]";
+        }
+        os << ";\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace qdt::zx

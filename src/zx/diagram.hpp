@@ -1,0 +1,118 @@
+// ZX-diagrams (Section V): an undirected open graph of green (Z) and red
+// (X) spiders carrying exact rational phases, connected by plain wires or
+// Hadamard edges. "Only connectivity matters": the class exposes pure graph
+// operations; all quantum semantics live in the rewrite rules
+// (zx/simplify.hpp) and the tensor bridge (zx/tensor_bridge.hpp).
+//
+// Scalars (global factors sqrt(2)^k e^{i phi}) are deliberately not
+// tracked: every consumer of this module compares diagrams up to a nonzero
+// scalar, which is the physically meaningful notion for states/operators.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/phase.hpp"
+
+namespace qdt::zx {
+
+using V = std::uint32_t;
+
+enum class VertexKind : std::uint8_t { Boundary, Z, X };
+enum class EdgeKind : std::uint8_t { Plain, Hadamard };
+
+class ZXDiagram {
+ public:
+  ZXDiagram() = default;
+
+  // -- Vertices ---------------------------------------------------------
+  V add_vertex(VertexKind kind, Phase phase = {});
+  /// Remove a vertex and all incident edges. Must not be an input/output.
+  void remove_vertex(V v);
+  bool alive(V v) const;
+
+  VertexKind kind(V v) const { return data(v).kind; }
+  Phase phase(V v) const { return data(v).phase; }
+  void set_phase(V v, const Phase& p) { data_mut(v).phase = p; }
+  void add_phase(V v, const Phase& p) { data_mut(v).phase += p; }
+  void set_kind(V v, VertexKind k) { data_mut(v).kind = k; }
+
+  bool is_boundary(V v) const { return kind(v) == VertexKind::Boundary; }
+  bool is_spider(V v) const { return !is_boundary(v); }
+
+  /// All live vertex ids, ascending.
+  std::vector<V> vertices() const;
+  std::size_t num_vertices() const { return num_live_; }
+  std::size_t num_spiders() const;
+  std::size_t num_edges() const;
+  /// Spiders with a non-Clifford phase (the ZX T-count metric).
+  std::size_t t_count() const;
+
+  // -- Edges ------------------------------------------------------------
+  bool has_edge(V v, V w) const;
+  EdgeKind edge_kind(V v, V w) const;
+  /// Raw insertion; throws if the edge exists or v == w.
+  void add_edge(V v, V w, EdgeKind kind = EdgeKind::Plain);
+  void remove_edge(V v, V w);
+  void set_edge_kind(V v, V w, EdgeKind kind);
+  /// Hadamard-edge toggling (the local-complementation/pivot primitive):
+  /// absent -> add H edge; present H -> remove. Throws on a plain edge.
+  void toggle_h_edge(V v, V w);
+
+  /// Edge insertion with the parallel-edge algebra of Z spiders:
+  ///  * self-loops: plain vanishes, Hadamard adds pi to the spider,
+  ///  * H || H -> both cancel (Hopf),
+  ///  * plain || plain -> a single plain edge,
+  ///  * plain || H -> the two spiders fuse and gain a pi phase.
+  /// May therefore REMOVE vertices (fusion); callers must re-scan.
+  /// Both endpoints must be Z spiders unless no edge exists yet.
+  void add_edge_smart(V v, V w, EdgeKind kind);
+
+  /// Fuse w into v along an existing plain edge (spider fusion rule):
+  /// phases add, w's edges transfer to v via add_edge_smart.
+  void fuse(V v, V w);
+
+  /// Neighbor -> edge kind, ascending by neighbor id.
+  const std::map<V, EdgeKind>& neighbors(V v) const;
+  std::size_t degree(V v) const { return neighbors(v).size(); }
+
+  // -- Boundaries ----------------------------------------------------------
+  std::vector<V>& inputs() { return inputs_; }
+  std::vector<V>& outputs() { return outputs_; }
+  const std::vector<V>& inputs() const { return inputs_; }
+  const std::vector<V>& outputs() const { return outputs_; }
+
+  // -- Whole-diagram operations ---------------------------------------------
+  /// Diagram of the adjoint map: phases negated, inputs/outputs swapped.
+  ZXDiagram adjoint() const;
+
+  /// `first` then `second`: glue first's outputs to second's inputs.
+  static ZXDiagram compose(const ZXDiagram& first, const ZXDiagram& second);
+
+  /// True if the diagram is exactly the identity wiring: no spiders, and
+  /// input i connected to output i by a plain edge for every i.
+  bool is_identity() const;
+
+  /// Graphviz rendering (spiders colored, H edges dashed blue).
+  std::string to_dot(const std::string& name = "zx") const;
+
+ private:
+  struct VertexData {
+    VertexKind kind;
+    Phase phase;
+  };
+
+  const VertexData& data(V v) const;
+  VertexData& data_mut(V v);
+
+  std::vector<std::optional<VertexData>> verts_;
+  std::vector<std::map<V, EdgeKind>> adj_;
+  std::vector<V> inputs_;
+  std::vector<V> outputs_;
+  std::size_t num_live_ = 0;
+};
+
+}  // namespace qdt::zx

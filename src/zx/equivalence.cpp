@@ -1,0 +1,50 @@
+#include "zx/equivalence.hpp"
+
+#include "zx/circuit_to_zx.hpp"
+#include "zx/simplify.hpp"
+#include "zx/tensor_bridge.hpp"
+
+namespace qdt::zx {
+
+ZxEcResult check_equivalence_zx(const ir::Circuit& c1, const ir::Circuit& c2,
+                                std::size_t max_fallback_qubits) {
+  ZxEcResult res;
+  if (c1.num_qubits() != c2.num_qubits()) {
+    res.verdict = ZxVerdict::NotEquivalent;
+    res.note = "width mismatch";
+    return res;
+  }
+  ZXDiagram miter =
+      ZXDiagram::compose(to_diagram(c1), to_diagram(c2).adjoint());
+  res.initial_spiders = miter.num_spiders();
+  clifford_simp(miter);
+  res.reduced_spiders = miter.num_spiders();
+  if (miter.is_identity()) {
+    res.verdict = ZxVerdict::Equivalent;
+    res.decided_by_rewriting = true;
+    res.note = "reduced to the identity diagram";
+    return res;
+  }
+  if (c1.num_qubits() <= max_fallback_qubits) {
+    try {
+      // Budget: never let the fallback materialize more than ~2^26
+      // complex numbers in one intermediate tensor (1 GiB).
+      const ZXMatrix m =
+          to_matrix(miter, /*max_intermediate=*/std::size_t{1} << 26);
+      res.verdict = is_identity_up_to_scalar(m)
+                        ? ZxVerdict::Equivalent
+                        : ZxVerdict::NotEquivalent;
+      res.note = "decided by tensor evaluation of the reduced diagram";
+      return res;
+    } catch (const std::length_error&) {
+      res.verdict = ZxVerdict::Inconclusive;
+      res.note = "rewriting stalled; tensor fallback exceeded its budget";
+      return res;
+    }
+  }
+  res.verdict = ZxVerdict::Inconclusive;
+  res.note = "rewriting stalled; diagram too wide for tensor fallback";
+  return res;
+}
+
+}  // namespace qdt::zx

@@ -1,0 +1,41 @@
+// ZX-calculus based equivalence checking ([24], [38]): build the miter
+// diagram D(c1) ; D(c2)^dagger, reduce it with the graph-like rewrite
+// system, and test for the identity diagram. Rewriting alone is complete
+// for Clifford circuits; when the reduced diagram is not syntactically the
+// identity, the checker optionally falls back to evaluating the (already
+// shrunken) diagram through the tensor-network bridge, which decides
+// exactly for small widths.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qdt::zx {
+
+enum class ZxVerdict {
+  Equivalent,
+  NotEquivalent,
+  /// Rewriting did not reach the identity and the diagram is too wide for
+  /// the tensor fallback.
+  Inconclusive,
+};
+
+struct ZxEcResult {
+  ZxVerdict verdict = ZxVerdict::Inconclusive;
+  /// Spiders in the miter before/after reduction (the ZX cost metric).
+  std::size_t initial_spiders = 0;
+  std::size_t reduced_spiders = 0;
+  /// True if the verdict came from rewriting alone.
+  bool decided_by_rewriting = false;
+  std::string note;
+};
+
+/// Check c1 ~ c2 (up to global scalar). `max_fallback_qubits` bounds the
+/// width for which the tensor-network fallback is attempted (0 disables
+/// it).
+ZxEcResult check_equivalence_zx(const ir::Circuit& c1, const ir::Circuit& c2,
+                                std::size_t max_fallback_qubits = 10);
+
+}  // namespace qdt::zx

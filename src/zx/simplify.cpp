@@ -1,0 +1,418 @@
+#include "zx/simplify.hpp"
+
+#include <vector>
+
+#include "zx/circuit_to_zx.hpp"
+
+namespace qdt::zx {
+
+std::size_t color_change_to_z(ZXDiagram& d) {
+  std::size_t count = 0;
+  for (const V v : d.vertices()) {
+    if (!d.alive(v) || d.kind(v) != VertexKind::X) {
+      continue;
+    }
+    d.set_kind(v, VertexKind::Z);
+    // Toggle the kind of every incident edge.
+    const auto nbrs = d.neighbors(v);  // copy
+    for (const auto& [w, k] : nbrs) {
+      d.set_edge_kind(v, w,
+                      k == EdgeKind::Plain ? EdgeKind::Hadamard
+                                           : EdgeKind::Plain);
+    }
+    ++count;
+  }
+  return count;
+}
+
+std::size_t spider_fusion(ZXDiagram& d) {
+  std::size_t count = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const V v : d.vertices()) {
+      if (!d.alive(v) || d.kind(v) != VertexKind::Z) {
+        continue;
+      }
+      for (const auto& [w, k] : d.neighbors(v)) {
+        if (k == EdgeKind::Plain && d.alive(w) &&
+            d.kind(w) == VertexKind::Z) {
+          d.fuse(v, w);
+          ++count;
+          changed = true;
+          break;  // neighbor map invalidated
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t remove_identities(ZXDiagram& d) {
+  std::size_t count = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const V v : d.vertices()) {
+      if (!d.alive(v) || d.kind(v) != VertexKind::Z ||
+          !d.phase(v).is_zero() || d.degree(v) != 2) {
+        continue;
+      }
+      const auto& nbrs = d.neighbors(v);
+      const auto it = nbrs.begin();
+      const V n1 = it->first;
+      const EdgeKind k1 = it->second;
+      const V n2 = std::next(it)->first;
+      const EdgeKind k2 = std::next(it)->second;
+      const EdgeKind combined =
+          (k1 == EdgeKind::Hadamard) != (k2 == EdgeKind::Hadamard)
+              ? EdgeKind::Hadamard
+              : EdgeKind::Plain;
+      // Keep boundary wires plain (graph-like invariant): removing this
+      // spider would put an H edge on a boundary — skip those.
+      if (combined == EdgeKind::Hadamard &&
+          (d.is_boundary(n1) || d.is_boundary(n2))) {
+        continue;
+      }
+      d.remove_vertex(v);
+      if (d.is_boundary(n1) || d.is_boundary(n2)) {
+        d.add_edge(n1, n2, combined);  // boundary degree was 1: no parallel
+      } else {
+        d.add_edge_smart(n1, n2, combined);
+      }
+      ++count;
+      changed = true;
+      break;  // vertex list invalidated (add_edge_smart may fuse)
+    }
+  }
+  return count;
+}
+
+namespace {
+
+/// True if v is an interior graph-like spider: a Z spider all of whose
+/// neighbors are Z spiders reached via Hadamard edges.
+bool interior_h_spider(const ZXDiagram& d, V v) {
+  if (d.kind(v) != VertexKind::Z) {
+    return false;
+  }
+  for (const auto& [w, k] : d.neighbors(v)) {
+    if (k != EdgeKind::Hadamard || d.kind(w) != VertexKind::Z) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The pivot transformation on an interior Pauli pair (v, w): complement
+/// the tri-partitioned neighborhood edges, push phases, remove both.
+void apply_pivot(ZXDiagram& d, V v, V w) {
+  const Phase pv = d.phase(v);
+  const Phase pw = d.phase(w);
+  std::vector<V> only_v;
+  std::vector<V> only_w;
+  std::vector<V> common;
+  for (const auto& [u, k] : d.neighbors(v)) {
+    if (u == w) {
+      continue;
+    }
+    if (d.has_edge(w, u)) {
+      common.push_back(u);
+    } else {
+      only_v.push_back(u);
+    }
+  }
+  for (const auto& [u, k] : d.neighbors(w)) {
+    if (u == v) {
+      continue;
+    }
+    if (!d.has_edge(v, u)) {
+      only_w.push_back(u);
+    }
+  }
+  d.remove_vertex(v);
+  d.remove_vertex(w);
+  for (const V a : only_v) {
+    for (const V b : only_w) {
+      d.toggle_h_edge(a, b);
+    }
+  }
+  for (const V a : only_v) {
+    for (const V c : common) {
+      d.toggle_h_edge(a, c);
+    }
+  }
+  for (const V b : only_w) {
+    for (const V c : common) {
+      d.toggle_h_edge(b, c);
+    }
+  }
+  for (const V a : only_v) {
+    d.add_phase(a, pw);
+  }
+  for (const V b : only_w) {
+    d.add_phase(b, pv);
+  }
+  for (const V c : common) {
+    d.add_phase(c, pv + pw + Phase::pi());
+  }
+}
+
+}  // namespace
+
+std::size_t local_complementation(ZXDiagram& d) {
+  std::size_t count = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const V v : d.vertices()) {
+      if (!d.alive(v) || !interior_h_spider(d, v) ||
+          !d.phase(v).is_proper_clifford()) {
+        continue;
+      }
+      const Phase alpha = d.phase(v);
+      std::vector<V> nbrs;
+      for (const auto& [w, k] : d.neighbors(v)) {
+        nbrs.push_back(w);
+      }
+      d.remove_vertex(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+          d.toggle_h_edge(nbrs[i], nbrs[j]);
+        }
+      }
+      for (const V w : nbrs) {
+        d.add_phase(w, -alpha);
+      }
+      ++count;
+      changed = true;
+      break;
+    }
+  }
+  return count;
+}
+
+std::size_t pivoting(ZXDiagram& d) {
+  std::size_t count = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const V v : d.vertices()) {
+      if (!d.alive(v) || !interior_h_spider(d, v) ||
+          !d.phase(v).is_pauli()) {
+        continue;
+      }
+      V w_found = v;
+      for (const auto& [w, k] : d.neighbors(v)) {
+        if (interior_h_spider(d, w) && d.phase(w).is_pauli()) {
+          w_found = w;
+          break;
+        }
+      }
+      if (w_found == v) {
+        continue;
+      }
+      apply_pivot(d, v, w_found);
+      ++count;
+      changed = true;
+      break;
+    }
+  }
+  return count;
+}
+
+std::size_t boundary_pivoting(ZXDiagram& d) {
+  for (const V v : d.vertices()) {
+    if (!d.alive(v) || !interior_h_spider(d, v) || !d.phase(v).is_pauli()) {
+      continue;
+    }
+    // Partner w: Pauli spider adjacent via H whose only non-H edges are
+    // plain boundary wires.
+    for (const auto& [w, kvw] : d.neighbors(v)) {
+      if (kvw != EdgeKind::Hadamard || d.kind(w) != VertexKind::Z ||
+          !d.phase(w).is_pauli()) {
+        continue;
+      }
+      std::vector<V> boundary_nbrs;
+      bool ok = true;
+      for (const auto& [u, k] : d.neighbors(w)) {
+        if (d.is_boundary(u)) {
+          if (k != EdgeKind::Plain) {
+            ok = false;
+            break;
+          }
+          boundary_nbrs.push_back(u);
+        } else if (k != EdgeKind::Hadamard || d.kind(u) != VertexKind::Z) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok || boundary_nbrs.empty()) {
+        continue;
+      }
+      // Splice b --plain-- z1 --H-- z2 --H-- w on every boundary wire so
+      // that w becomes interior; the z1/z2 pair is semantically a plain
+      // wire (H . H = I through phase-0 spiders).
+      for (const V b : boundary_nbrs) {
+        d.remove_edge(b, w);
+        const V z1 = d.add_vertex(VertexKind::Z);
+        const V z2 = d.add_vertex(VertexKind::Z);
+        d.add_edge(b, z1, EdgeKind::Plain);
+        d.add_edge(z1, z2, EdgeKind::Hadamard);
+        d.add_edge(z2, w, EdgeKind::Hadamard);
+      }
+      apply_pivot(d, v, w);
+      return 1;
+    }
+  }
+  // Second chance: a proper-Clifford (+-pi/2) spider stuck at the boundary
+  // gets its boundary wires spliced so that ordinary local complementation
+  // applies.
+  for (const V v : d.vertices()) {
+    if (!d.alive(v) || d.kind(v) != VertexKind::Z ||
+        !d.phase(v).is_proper_clifford()) {
+      continue;
+    }
+    std::vector<V> boundary_nbrs;
+    bool ok = true;
+    for (const auto& [u, k] : d.neighbors(v)) {
+      if (d.is_boundary(u)) {
+        if (k != EdgeKind::Plain) {
+          ok = false;
+          break;
+        }
+        boundary_nbrs.push_back(u);
+      } else if (k != EdgeKind::Hadamard || d.kind(u) != VertexKind::Z) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok || boundary_nbrs.empty()) {
+      continue;
+    }
+    for (const V b : boundary_nbrs) {
+      d.remove_edge(b, v);
+      const V z1 = d.add_vertex(VertexKind::Z);
+      const V z2 = d.add_vertex(VertexKind::Z);
+      d.add_edge(b, z1, EdgeKind::Plain);
+      d.add_edge(z1, z2, EdgeKind::Hadamard);
+      d.add_edge(z2, v, EdgeKind::Hadamard);
+    }
+    // v is now interior: run one local complementation on it.
+    const Phase alpha = d.phase(v);
+    std::vector<V> nbrs;
+    for (const auto& [w, k] : d.neighbors(v)) {
+      nbrs.push_back(w);
+    }
+    d.remove_vertex(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        d.toggle_h_edge(nbrs[i], nbrs[j]);
+      }
+    }
+    for (const V w : nbrs) {
+      d.add_phase(w, -alpha);
+    }
+    return 1;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Restore plain boundary wires: a boundary reached through an H edge gets
+/// an identity Z spider spliced in.
+std::size_t fix_boundaries(ZXDiagram& d) {
+  std::size_t count = 0;
+  auto fix = [&](V b) {
+    if (d.degree(b) != 1) {
+      return;
+    }
+    const auto [n, k] = *d.neighbors(b).begin();
+    if (k != EdgeKind::Hadamard) {
+      return;
+    }
+    d.remove_edge(b, n);
+    const V m = d.add_vertex(VertexKind::Z);
+    d.add_edge(b, m, EdgeKind::Plain);
+    // n might be another boundary (bare Hadamard wire) — a raw edge is
+    // fine, m is fresh.
+    d.add_edge(m, n, EdgeKind::Hadamard);
+    ++count;
+  };
+  for (const V b : d.inputs()) {
+    fix(b);
+  }
+  for (const V b : d.outputs()) {
+    fix(b);
+  }
+  return count;
+}
+
+}  // namespace
+
+SimplifyStats to_graph_like(ZXDiagram& d) {
+  SimplifyStats s;
+  s.color_changes = color_change_to_z(d);
+  s.fusions = spider_fusion(d);
+  fix_boundaries(d);
+  return s;
+}
+
+SimplifyStats clifford_simp(ZXDiagram& d) {
+  SimplifyStats s = to_graph_like(d);
+  // Boundary rules are not strictly decreasing (splices add spiders), so
+  // termination is enforced by a hard cap plus a stall detector: stop once
+  // eight consecutive boundary applications fail to shrink the diagram.
+  std::size_t boundary_budget = 2 * d.num_spiders() + 64;
+  std::size_t best_spiders = d.num_spiders();
+  std::size_t stalled = 0;
+  bool changed = true;
+  while (changed) {
+    ++s.rounds;
+    std::size_t n = 0;
+    // Fusion + identity removal to a fixpoint first: local complementation
+    // and pivoting assume no plain spider-spider edges remain.
+    while (true) {
+      const std::size_t f = spider_fusion(d);
+      const std::size_t ids = remove_identities(d);
+      s.fusions += f;
+      s.id_removals += ids;
+      n += f + ids;
+      if (f + ids == 0) {
+        break;
+      }
+    }
+    const std::size_t lc = local_complementation(d);
+    s.local_complementations += lc;
+    n += lc;
+    const std::size_t pv = pivoting(d);
+    s.pivots += pv;
+    n += pv;
+    if (n == 0 && boundary_budget > 0) {
+      const std::size_t bp = boundary_pivoting(d);
+      s.boundary_pivots += bp;
+      n += bp;
+      boundary_budget -= bp > boundary_budget ? boundary_budget : bp;
+      if (bp > 0) {
+        if (d.num_spiders() < best_spiders) {
+          best_spiders = d.num_spiders();
+          stalled = 0;
+        } else if (++stalled >= 8) {
+          boundary_budget = 0;
+        }
+      }
+    }
+    fix_boundaries(d);
+    changed = n > 0;
+  }
+  return s;
+}
+
+std::size_t reduced_t_count(const ir::Circuit& circuit) {
+  ZXDiagram d = to_diagram(circuit);
+  clifford_simp(d);
+  return d.t_count();
+}
+
+}  // namespace qdt::zx

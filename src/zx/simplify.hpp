@@ -1,0 +1,68 @@
+// Graph-theoretic simplification of ZX-diagrams (Duncan, Kissinger,
+// Perdrix, van de Wetering [38]): bring the diagram into graph-like form
+// (only Z spiders, only Hadamard edges between spiders), then repeatedly
+// remove spiders via identity elimination, local complementation (proper
+// Clifford phases) and pivoting (interior Pauli pairs) until no rule fires.
+// The procedure terminates because every rewrite strictly removes spiders.
+#pragma once
+
+#include <cstddef>
+
+#include "ir/circuit.hpp"
+#include "zx/diagram.hpp"
+
+namespace qdt::zx {
+
+struct SimplifyStats {
+  std::size_t fusions = 0;
+  std::size_t color_changes = 0;
+  std::size_t id_removals = 0;
+  std::size_t local_complementations = 0;
+  std::size_t pivots = 0;
+  std::size_t boundary_pivots = 0;
+  std::size_t rounds = 0;
+
+  std::size_t total() const {
+    return fusions + id_removals + local_complementations + pivots +
+           boundary_pivots;
+  }
+};
+
+/// Turn every X spider into a Z spider (color change: toggles the kind of
+/// every incident edge). Returns the number of spiders recolored.
+std::size_t color_change_to_z(ZXDiagram& d);
+
+/// Fuse plain-connected Z spider pairs until none remain.
+std::size_t spider_fusion(ZXDiagram& d);
+
+/// Remove phase-0 degree-2 Z spiders (identity wires).
+std::size_t remove_identities(ZXDiagram& d);
+
+/// Local complementation: remove interior +-pi/2 spiders, complementing the
+/// edges among their neighborhoods.
+std::size_t local_complementation(ZXDiagram& d);
+
+/// Pivot: remove interior Hadamard-connected Pauli-phase spider pairs.
+std::size_t pivoting(ZXDiagram& d);
+
+/// Boundary pivot: eliminate an interior Pauli spider whose Pauli partner
+/// touches the boundary, by splicing identity spiders onto the boundary
+/// wires until the partner is interior and then pivoting. Call only when
+/// the interior rules have reached a fixpoint; one invocation performs at
+/// most one pivot (clifford_simp caps the total number of applications to
+/// guarantee termination).
+std::size_t boundary_pivoting(ZXDiagram& d);
+
+/// Convert to graph-like form: color change + fusion + plain boundary
+/// wires (inserting identity spiders where a boundary meets an H edge).
+SimplifyStats to_graph_like(ZXDiagram& d);
+
+/// The terminating interior-Clifford simplification loop of [38].
+SimplifyStats clifford_simp(ZXDiagram& d);
+
+/// T-count of `circuit` after ZX simplification — the [39] metric. The
+/// reduced diagram represents the same unitary with (usually) fewer
+/// non-Clifford phases than the circuit's own T-count.
+std::size_t reduced_t_count(const ir::Circuit& circuit);
+
+}  // namespace qdt::zx

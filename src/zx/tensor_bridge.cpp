@@ -1,0 +1,163 @@
+#include "zx/tensor_bridge.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "tn/network.hpp"
+
+namespace qdt::zx {
+
+namespace {
+
+/// Spider tensor of rank `deg` (scalars dropped):
+///   Z(phase): 1 on all-zeros, e^{i phase} on all-ones, 0 elsewhere;
+///   X(phase): H-conjugated Z = 1 + e^{i phase} (-1)^{popcount}.
+tn::Tensor spider_tensor(VertexKind kind, const Phase& phase,
+                         const std::vector<tn::Label>& labels) {
+  const std::size_t deg = labels.size();
+  tn::Tensor t(labels, std::vector<std::size_t>(deg, 2));
+  const Complex eip{std::cos(phase.radians()), std::sin(phase.radians())};
+  const std::size_t total = std::size_t{1} << deg;
+  std::vector<std::size_t> idx(deg);
+  for (std::size_t word = 0; word < total; ++word) {
+    for (std::size_t i = 0; i < deg; ++i) {
+      idx[i] = (word >> i) & 1;
+    }
+    if (kind == VertexKind::Z) {
+      if (deg == 0) {
+        t.at(idx) = Complex{1.0} + eip;  // isolated spider: scalar 1+e^{ip}
+      } else if (word == 0) {
+        t.at(idx) = 1.0;
+      } else if (word == total - 1) {
+        t.at(idx) = eip;
+      }
+    } else {
+      const int pc = popcount64(word);
+      t.at(idx) = Complex{1.0} +
+                  eip * ((pc % 2 == 0) ? Complex{1.0} : Complex{-1.0});
+    }
+  }
+  return t;
+}
+
+tn::Tensor connector_tensor(EdgeKind kind, tn::Label a, tn::Label b) {
+  tn::Tensor t({a, b}, {2, 2});
+  if (kind == EdgeKind::Plain) {
+    t.at({0, 0}) = 1.0;
+    t.at({1, 1}) = 1.0;
+  } else {
+    t.at({0, 0}) = 1.0;
+    t.at({0, 1}) = 1.0;
+    t.at({1, 0}) = 1.0;
+    t.at({1, 1}) = -1.0;  // Hadamard up to 1/sqrt(2)
+  }
+  return t;
+}
+
+}  // namespace
+
+ZXMatrix to_matrix(const ZXDiagram& d, std::size_t max_intermediate) {
+  const std::size_t n_in = d.inputs().size();
+  const std::size_t n_out = d.outputs().size();
+  if (n_in + n_out > 24) {
+    throw std::invalid_argument("zx::to_matrix: too many open wires");
+  }
+  tn::TensorNetwork net;
+  // Two labels per edge plus a connector tensor; per-vertex label lists.
+  std::map<V, std::vector<tn::Label>> legs;
+  for (const V v : d.vertices()) {
+    for (const auto& [w, kind] : d.neighbors(v)) {
+      if (v < w) {
+        const tn::Label lv = net.fresh_label();
+        const tn::Label lw = net.fresh_label();
+        net.add(connector_tensor(kind, lv, lw));
+        legs[v].push_back(lv);
+        legs[w].push_back(lw);
+      }
+    }
+  }
+  std::vector<tn::Label> in_labels;
+  std::vector<tn::Label> out_labels;
+  for (const V v : d.vertices()) {
+    if (d.is_boundary(v)) {
+      if (d.degree(v) != 1) {
+        throw std::logic_error("zx::to_matrix: boundary degree != 1");
+      }
+      continue;  // boundary legs stay open
+    }
+    net.add(spider_tensor(d.kind(v), d.phase(v), legs[v]));
+  }
+  for (const V b : d.inputs()) {
+    in_labels.push_back(legs.at(b).at(0));
+  }
+  for (const V b : d.outputs()) {
+    out_labels.push_back(legs.at(b).at(0));
+  }
+
+  tn::Tensor result =
+      net.contract_all(net.greedy_plan(), nullptr, max_intermediate);
+  // Order: out_{n-1} .. out_0, in_{m-1} .. in_0 (row-major => row index is
+  // the output word, column the input word).
+  std::vector<tn::Label> order(out_labels.rbegin(), out_labels.rend());
+  order.insert(order.end(), in_labels.rbegin(), in_labels.rend());
+  result = result.permuted(order);
+
+  ZXMatrix m;
+  m.rows = std::size_t{1} << n_out;
+  m.cols = std::size_t{1} << n_in;
+  m.data = result.data();
+  return m;
+}
+
+bool equal_up_to_scalar(const ZXMatrix& a, const ZXMatrix& b, double eps) {
+  if (a.rows != b.rows || a.cols != b.cols ||
+      a.data.size() != b.data.size()) {
+    return false;
+  }
+  // Scale both to their largest entry.
+  const auto max_entry = [](const ZXMatrix& m) {
+    std::size_t k = 0;
+    double best = 0.0;
+    for (std::size_t i = 0; i < m.data.size(); ++i) {
+      if (std::abs(m.data[i]) > best) {
+        best = std::abs(m.data[i]);
+        k = i;
+      }
+    }
+    return std::make_pair(k, best);
+  };
+  const auto [ka, na] = max_entry(a);
+  const auto [kb, nb] = max_entry(b);
+  if (na <= eps || nb <= eps) {
+    return na <= eps && nb <= eps;  // both (numerically) zero maps
+  }
+  // Align on a's largest entry.
+  if (std::abs(b.data[ka]) <= eps * nb) {
+    return false;
+  }
+  const Complex ratio = a.data[ka] / b.data[ka];
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    if (std::abs(a.data[i] - ratio * b.data[i]) > eps * na) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_identity_up_to_scalar(const ZXMatrix& m, double eps) {
+  if (m.rows != m.cols) {
+    return false;
+  }
+  ZXMatrix id;
+  id.rows = m.rows;
+  id.cols = m.cols;
+  id.data.assign(m.rows * m.cols, Complex{});
+  for (std::size_t i = 0; i < m.rows; ++i) {
+    id.data[i * m.cols + i] = 1.0;
+  }
+  return equal_up_to_scalar(m, id, eps);
+}
+
+}  // namespace qdt::zx

@@ -1,0 +1,43 @@
+// ZX -> tensor-network bridge: evaluate a ZX-diagram to its matrix by
+// contracting one tensor per spider (Section IV machinery applied to
+// Section V diagrams). Used to verify that every rewrite preserves
+// semantics, and as the completeness fallback of the ZX equivalence
+// checker.
+//
+// Scalars: the per-spider normalization factors are dropped, so the result
+// equals the diagram's true matrix up to a nonzero global scalar.
+#pragma once
+
+#include <vector>
+
+#include "common/eps.hpp"
+#include "zx/diagram.hpp"
+
+namespace qdt::zx {
+
+/// Dense matrix of a ZX-diagram, up to a scalar. Row index bits are the
+/// output qubits (bit q = output q), column bits the inputs.
+struct ZXMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<Complex> data;  // row-major
+
+  Complex at(std::size_t r, std::size_t c) const {
+    return data[r * cols + c];
+  }
+};
+
+/// Contract the diagram (greedy plan). Feasible for small open widths
+/// (result alone is 2^(m+n) entries). Throws std::length_error when an
+/// intermediate tensor would exceed `max_intermediate` elements (0 = no
+/// budget).
+ZXMatrix to_matrix(const ZXDiagram& d, std::size_t max_intermediate = 0);
+
+/// True if a == scalar * b for some nonzero scalar.
+bool equal_up_to_scalar(const ZXMatrix& a, const ZXMatrix& b,
+                        double eps = 1e-8);
+
+/// True if m is a nonzero scalar multiple of the identity.
+bool is_identity_up_to_scalar(const ZXMatrix& m, double eps = 1e-8);
+
+}  // namespace qdt::zx

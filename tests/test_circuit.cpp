@@ -1,0 +1,153 @@
+#include "ir/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arrays/dense_unitary.hpp"
+#include "ir/library.hpp"
+
+namespace qdt::ir {
+namespace {
+
+TEST(Operation, ValidatesArity) {
+  EXPECT_THROW(Operation(GateKind::Swap, std::vector<Qubit>{0}),
+               std::invalid_argument);
+  EXPECT_THROW(Operation(GateKind::RZ, 0, {}), std::invalid_argument);
+  EXPECT_THROW(Operation(GateKind::H, 0, {Phase::pi()}),
+               std::invalid_argument);
+}
+
+TEST(Operation, RejectsDuplicateQubits) {
+  EXPECT_THROW(Operation(GateKind::Swap, std::vector<Qubit>{1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Operation(GateKind::X, std::vector<Qubit>{0}, std::vector<Qubit>{0}),
+      std::invalid_argument);
+}
+
+TEST(Operation, RejectsControlledMeasure) {
+  EXPECT_THROW(Operation(GateKind::Measure, std::vector<Qubit>{0},
+                         std::vector<Qubit>{1}),
+               std::invalid_argument);
+}
+
+TEST(Operation, AdjointOfT) {
+  const Operation t{GateKind::T, 0};
+  const Operation tdg = t.adjoint();
+  EXPECT_EQ(tdg.kind(), GateKind::Tdg);
+  EXPECT_EQ(tdg.adjoint(), t);
+}
+
+TEST(Operation, AdjointKeepsControls) {
+  const Operation cs{GateKind::S, {1}, {0}};
+  const Operation inv = cs.adjoint();
+  EXPECT_EQ(inv.kind(), GateKind::Sdg);
+  EXPECT_EQ(inv.controls(), std::vector<Qubit>{0});
+}
+
+TEST(Operation, StrFormat) {
+  EXPECT_EQ(Operation(GateKind::H, 2).str(), "h q2");
+  EXPECT_EQ(Operation(GateKind::X, {1}, {0}).str(), "cx q0, q1");
+  EXPECT_EQ(Operation(GateKind::RZ, 0, {Phase::pi_4()}).str(),
+            "rz(pi/4) q0");
+}
+
+TEST(Circuit, AppendValidatesQubitRange) {
+  Circuit c(2);
+  EXPECT_NO_THROW(c.h(1));
+  EXPECT_THROW(c.h(2), std::out_of_range);
+  EXPECT_THROW(c.cx(0, 5), std::out_of_range);
+}
+
+TEST(Circuit, BuilderChains) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2).t(2);
+  EXPECT_EQ(c.size(), 4U);
+  EXPECT_EQ(c[0].kind(), GateKind::H);
+  EXPECT_EQ(c[3].kind(), GateKind::T);
+}
+
+TEST(Circuit, AdjointReversesAndInverts) {
+  Circuit c(2);
+  c.h(0).s(1).cx(0, 1);
+  const Circuit inv = c.adjoint();
+  ASSERT_EQ(inv.size(), 3U);
+  EXPECT_EQ(inv[0].kind(), GateKind::X);  // inverted CX is CX
+  EXPECT_EQ(inv[1].kind(), GateKind::Sdg);
+  EXPECT_EQ(inv[2].kind(), GateKind::H);
+}
+
+TEST(Circuit, CircuitTimesAdjointIsIdentity) {
+  const Circuit c = ir::random_circuit(4, 6, /*seed=*/11);
+  const auto u = arrays::DenseUnitary::from_circuit(
+      c.composed_with(c.adjoint()));
+  EXPECT_TRUE(u.is_identity(1e-8));
+}
+
+TEST(Circuit, ComposedWithWidthMismatchThrows) {
+  EXPECT_THROW(Circuit(2).composed_with(Circuit(3)), std::invalid_argument);
+}
+
+TEST(Circuit, RemappedPermutesQubits) {
+  Circuit c(3);
+  c.cx(0, 2);
+  const Circuit r = c.remapped({2, 1, 0});
+  EXPECT_EQ(r[0].controls()[0], 2U);
+  EXPECT_EQ(r[0].targets()[0], 0U);
+}
+
+TEST(Circuit, RemappedRejectsNonPermutation) {
+  Circuit c(3);
+  EXPECT_THROW(c.remapped({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(c.remapped({0, 1}), std::invalid_argument);
+}
+
+TEST(Circuit, StatsCountsGateClasses) {
+  Circuit c(3);
+  c.h(0).t(0).cx(0, 1).ccx(0, 1, 2).measure_all();
+  const auto s = c.stats();
+  EXPECT_EQ(s.total_gates, 4U);
+  EXPECT_EQ(s.single_qubit, 2U);
+  EXPECT_EQ(s.two_qubit, 1U);
+  EXPECT_EQ(s.multi_qubit, 1U);
+  EXPECT_EQ(s.t_count, 1U);
+  EXPECT_EQ(s.measurements, 3U);
+  EXPECT_EQ(s.by_name.at("ccx"), 1U);
+}
+
+TEST(Circuit, TCountIncludesPiOver4Rotations) {
+  Circuit c(1);
+  c.rz(Phase::pi_4(), 0).rz(Phase{3, 4}, 0).rz(Phase::pi_2(), 0)
+      .p(Phase::minus_pi_4(), 0);
+  EXPECT_EQ(c.t_count(), 3U);
+}
+
+TEST(Circuit, DepthIsCriticalPath) {
+  Circuit c(3);
+  // Layer 1: h(0), h(1); layer 2: cx(0,1); layer 3: cx(1,2).
+  c.h(0).h(1).cx(0, 1).cx(1, 2);
+  EXPECT_EQ(c.depth(), 3U);
+}
+
+TEST(Circuit, DepthIgnoresBarriersAndMeasures) {
+  Circuit c(2);
+  c.h(0).barrier().h(1).measure_all();
+  EXPECT_EQ(c.depth(), 1U);
+}
+
+TEST(Circuit, UnitaryPartStripsNonUnitary) {
+  Circuit c(2);
+  c.h(0).measure(0).reset(1).cx(0, 1);
+  EXPECT_FALSE(c.is_unitary());
+  const Circuit u = c.unitary_part();
+  EXPECT_TRUE(u.is_unitary());
+  EXPECT_EQ(u.size(), 2U);
+}
+
+TEST(Circuit, AdjointOfNonUnitaryThrows) {
+  Circuit c(1);
+  c.measure(0);
+  EXPECT_THROW(c.adjoint(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace qdt::ir

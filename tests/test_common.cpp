@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitops.hpp"
+#include "common/eps.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace qdt {
+namespace {
+
+TEST(Eps, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.0 + 1e-8));
+  EXPECT_TRUE(approx_equal(Complex{1.0, 2.0}, Complex{1.0 + 1e-12, 2.0}));
+  EXPECT_TRUE(approx_zero(Complex{1e-12, -1e-12}));
+  EXPECT_TRUE(approx_one(Complex{1.0, 0.0}));
+  EXPECT_FALSE(approx_one(Complex{0.0, 1.0}));
+}
+
+TEST(Bitops, GetSetFlip) {
+  EXPECT_TRUE(get_bit(0b1010, 1));
+  EXPECT_FALSE(get_bit(0b1010, 0));
+  EXPECT_EQ(set_bit(0b1010, 0, true), 0b1011ULL);
+  EXPECT_EQ(set_bit(0b1010, 1, false), 0b1000ULL);
+  EXPECT_EQ(flip_bit(0b1010, 3), 0b0010ULL);
+}
+
+TEST(Bitops, InsertZeroBit) {
+  // Inserting at bit 0 doubles the value.
+  EXPECT_EQ(insert_zero_bit(0b101, 0), 0b1010ULL);
+  // Inserting at bit 1 splits around position 1.
+  EXPECT_EQ(insert_zero_bit(0b11, 1), 0b101ULL);
+  // Enumerating i < 4 with insertion at bit 1 visits indices with bit1 = 0.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(get_bit(insert_zero_bit(i, 1), 1));
+  }
+}
+
+TEST(Bitops, InsertTwoZeroBits) {
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const auto v = insert_two_zero_bits(i, 1, 3);
+    EXPECT_FALSE(get_bit(v, 1));
+    EXPECT_FALSE(get_bit(v, 3));
+  }
+  // All results distinct.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    seen.insert(insert_two_zero_bits(i, 1, 3));
+  }
+  EXPECT_EQ(seen.size(), 16U);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, IndexRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(7), 7U);
+  }
+}
+
+TEST(Rng, RandomStateIsNormalized) {
+  Rng rng(3);
+  const auto v = rng.random_state(64);
+  double norm2 = 0.0;
+  for (const auto& a : v) {
+    norm2 += std::norm(a);
+  }
+  EXPECT_NEAR(norm2, 1.0, 1e-12);
+}
+
+TEST(Matrix, IdentityAndMultiplication) {
+  const Mat2 id = Mat2::identity();
+  Mat2 x;
+  x(0, 1) = 1.0;
+  x(1, 0) = 1.0;
+  EXPECT_TRUE(approx_equal(x * id, x));
+  EXPECT_TRUE(approx_equal(x * x, id));
+}
+
+TEST(Matrix, AdjointOfUnitaryIsInverse) {
+  Mat2 h;
+  h(0, 0) = kInvSqrt2;
+  h(0, 1) = kInvSqrt2;
+  h(1, 0) = kInvSqrt2;
+  h(1, 1) = -kInvSqrt2;
+  EXPECT_TRUE(h.is_unitary());
+  EXPECT_TRUE(approx_equal(h * h.adjoint(), Mat2::identity()));
+}
+
+TEST(Matrix, KronLayout) {
+  // kron(A, B): B acts on the less significant bit.
+  Mat2 z;
+  z(0, 0) = 1.0;
+  z(1, 1) = -1.0;
+  const Mat4 zi = kron(z, Mat2::identity());
+  // Entry (2, 2): high bit = 1 -> Z gives -1.
+  EXPECT_TRUE(approx_equal(zi(2, 2), Complex{-1.0}));
+  EXPECT_TRUE(approx_equal(zi(1, 1), Complex{1.0}));
+}
+
+TEST(Matrix, EqualUpToGlobalPhase) {
+  Mat2 s;
+  s(0, 0) = 1.0;
+  s(1, 1) = Complex{0.0, 1.0};
+  const Mat2 scaled = s * Complex{0.0, -1.0};  // -i * S
+  EXPECT_TRUE(equal_up_to_global_phase(s, scaled));
+  Mat2 z;
+  z(0, 0) = 1.0;
+  z(1, 1) = -1.0;
+  EXPECT_FALSE(equal_up_to_global_phase(s, z));
+}
+
+TEST(Matrix, Mat4UnitaryCheck) {
+  Mat4 swap;
+  swap(0, 0) = 1.0;
+  swap(1, 2) = 1.0;
+  swap(2, 1) = 1.0;
+  swap(3, 3) = 1.0;
+  EXPECT_TRUE(swap.is_unitary());
+  swap(3, 3) = 0.5;
+  EXPECT_FALSE(swap.is_unitary());
+}
+
+}  // namespace
+}  // namespace qdt

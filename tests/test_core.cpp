@@ -1,0 +1,172 @@
+#include "core/tasks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/library.hpp"
+#include "testutil.hpp"
+
+namespace qdt::core {
+namespace {
+
+const SimBackend kAllBackends[] = {
+    SimBackend::Array, SimBackend::DecisionDiagram,
+    SimBackend::TensorNetwork, SimBackend::Mps};
+
+TEST(CoreSimulate, AllBackendsAgreeOnState) {
+  const ir::Circuit circuits[] = {ir::bell(), ir::ghz(4), ir::qft(4),
+                                  ir::random_circuit(3, 3, 7)};
+  for (const auto& c : circuits) {
+    const auto reference = test::oracle_state(c);
+    for (const auto backend : kAllBackends) {
+      const auto res = simulate(c, backend);
+      ASSERT_TRUE(res.state.has_value())
+          << c.name() << " " << backend_name(backend);
+      ASSERT_EQ(res.state->size(), reference.dim());
+      for (std::size_t i = 0; i < reference.dim(); ++i) {
+        EXPECT_NEAR(std::abs((*res.state)[i] - reference.amplitudes()[i]),
+                    0.0, 1e-8)
+            << c.name() << " " << backend_name(backend) << " amp " << i;
+      }
+      EXPECT_GT(res.representation_size, 0U);
+    }
+  }
+}
+
+TEST(CoreSimulate, AllBackendsAgreeOnAmplitudes) {
+  const auto c = ir::qft(4);
+  for (const std::uint64_t basis : {0ULL, 7ULL, 15ULL}) {
+    const Complex ref = amplitude(c, basis, SimBackend::Array);
+    for (const auto backend : kAllBackends) {
+      EXPECT_NEAR(std::abs(amplitude(c, basis, backend) - ref), 0.0, 1e-8)
+          << backend_name(backend) << " basis " << basis;
+    }
+  }
+}
+
+TEST(CoreSimulate, SamplingWorksEverywhere) {
+  for (const auto backend : kAllBackends) {
+    SimulateOptions opts;
+    opts.shots = 400;
+    opts.seed = 5;
+    const auto res = simulate(ir::ghz(3), backend, opts);
+    std::size_t total = 0;
+    for (const auto& [word, count] : res.counts) {
+      EXPECT_TRUE(word == 0 || word == 0b111)
+          << backend_name(backend) << " " << word;
+      total += count;
+    }
+    EXPECT_EQ(total, 400U) << backend_name(backend);
+  }
+}
+
+TEST(CoreSimulate, StabilizerBackendSamples) {
+  SimulateOptions opts;
+  opts.shots = 500;
+  opts.want_state = false;
+  opts.seed = 9;
+  const auto res = simulate(ir::ghz(5), SimBackend::Stabilizer, opts);
+  std::size_t total = 0;
+  for (const auto& [word, count] : res.counts) {
+    EXPECT_TRUE(word == 0 || word == 0b11111) << word;
+    total += count;
+  }
+  EXPECT_EQ(total, 500U);
+}
+
+TEST(CoreSimulate, StabilizerBackendRejectsStateAndNonClifford) {
+  EXPECT_THROW(simulate(ir::ghz(3), SimBackend::Stabilizer),
+               std::invalid_argument);  // want_state defaults to true
+  SimulateOptions opts;
+  opts.want_state = false;
+  opts.shots = 10;
+  EXPECT_THROW(simulate(ir::qft(3), SimBackend::Stabilizer, opts),
+               std::invalid_argument);
+}
+
+TEST(CoreSimulate, NoiseOnlyOnDensityCapableBackends) {
+  SimulateOptions opts;
+  opts.noise = arrays::NoiseModel::depolarizing_model(0.05);
+  EXPECT_NO_THROW(simulate(ir::bell(), SimBackend::Array, opts));
+  EXPECT_NO_THROW(simulate(ir::bell(), SimBackend::DecisionDiagram, opts));
+  EXPECT_THROW(simulate(ir::bell(), SimBackend::TensorNetwork, opts),
+               std::invalid_argument);
+  EXPECT_THROW(simulate(ir::bell(), SimBackend::Mps, opts),
+               std::invalid_argument);
+}
+
+TEST(CoreSimulate, RecommendationHeuristics) {
+  EXPECT_EQ(recommend_backend(ir::ghz(5)), SimBackend::Array);
+  // Wide nearest-neighbor shallow non-Clifford circuit -> MPS.
+  ir::Circuit chain(24, "chain");
+  for (ir::Qubit q = 0; q + 1 < 24; ++q) {
+    chain.h(q).t(q).cx(q, q + 1);
+  }
+  EXPECT_EQ(recommend_backend(chain), SimBackend::Mps);
+  // Wide Clifford circuit -> stabilizer tableau.
+  EXPECT_EQ(recommend_backend(ir::random_clifford(24, 200, 3)),
+            SimBackend::Stabilizer);
+  // Wide circuit, long-range gates, non-Clifford -> decision diagrams.
+  EXPECT_EQ(recommend_backend(ir::random_clifford_t(24, 200, 0.2, 3)),
+            SimBackend::DecisionDiagram);
+}
+
+TEST(CoreVerify, AllMethodsAcceptEquivalentPair) {
+  const auto c1 = ir::qft(3);
+  ir::Circuit c2 = c1;
+  c2.h(0).h(0);
+  for (const auto m : {EcMethod::Array, EcMethod::DdAlternating,
+                       EcMethod::DdSequential, EcMethod::DdSimulative,
+                       EcMethod::Zx}) {
+    const auto res = verify(c1, c2, m);
+    EXPECT_TRUE(res.equivalent) << method_name(m);
+  }
+}
+
+TEST(CoreVerify, AllMethodsRejectFaultyPair) {
+  const auto c1 = ir::qft(3);
+  ir::Circuit c2 = c1;
+  c2.t(1);
+  for (const auto m : {EcMethod::Array, EcMethod::DdAlternating,
+                       EcMethod::DdSequential, EcMethod::DdSimulative,
+                       EcMethod::Zx}) {
+    const auto res = verify(c1, c2, m);
+    EXPECT_FALSE(res.equivalent) << method_name(m);
+    EXPECT_TRUE(res.conclusive) << method_name(m);
+  }
+}
+
+TEST(CoreVerify, SimulativePassIsInconclusive) {
+  const auto c = ir::ghz(3);
+  const auto res = verify(c, c, EcMethod::DdSimulative);
+  EXPECT_TRUE(res.equivalent);
+  EXPECT_FALSE(res.conclusive);  // stimuli passed, but that is no proof
+}
+
+TEST(CoreCompile, CompileAndVerifyLoop) {
+  transpile::Target target{transpile::CouplingMap::grid(2, 3),
+                           transpile::NativeGateSet::CxRzSxX, "grid"};
+  const auto res = compile_and_verify(ir::qft(5), target);
+  EXPECT_TRUE(res.verification.equivalent);
+  EXPECT_GT(res.transpiled.after.total_gates, 0U);
+  // Everything is native and mapped.
+  for (const auto& op : res.transpiled.circuit.ops()) {
+    if (op.num_qubits() == 2) {
+      EXPECT_TRUE(target.coupling.connected(op.qubits()[0], op.qubits()[1]));
+    }
+  }
+}
+
+TEST(CoreCompile, ZxVerificationOfCompilation) {
+  transpile::Target target{transpile::CouplingMap::line(4),
+                           transpile::NativeGateSet::CxRzSxX, "line"};
+  const auto res =
+      compile_and_verify(ir::grover(3, 4), target, EcMethod::Zx);
+  EXPECT_TRUE(res.verification.equivalent);
+}
+
+TEST(Core, VersionIsSet) {
+  EXPECT_STRNE(version(), "");
+}
+
+}  // namespace
+}  // namespace qdt::core

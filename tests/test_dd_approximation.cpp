@@ -1,0 +1,107 @@
+#include "dd/approximation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dd/simulator.hpp"
+#include "ir/library.hpp"
+#include "testutil.hpp"
+
+namespace qdt::dd {
+namespace {
+
+/// Run a circuit on a fresh package, returning (package, state).
+VecEdge run_state(Package& pkg, const ir::Circuit& c) {
+  VecEdge state = pkg.zero_state();
+  for (const auto& op : c.ops()) {
+    state = pkg.multiply(pkg.gate_dd(op), state);
+  }
+  return state;
+}
+
+TEST(Approximation, ZeroBudgetIsIdentityTransform) {
+  Package pkg(4);
+  const VecEdge state = run_state(pkg, ir::w_state(4));
+  const auto res = approximate(pkg, state, 0.0);
+  EXPECT_EQ(res.state.node, state.node);
+  EXPECT_DOUBLE_EQ(res.fidelity, 1.0);
+  EXPECT_EQ(res.edges_removed, 0U);
+}
+
+TEST(Approximation, FidelityIsTrackedAndBounded) {
+  Package pkg(6);
+  const VecEdge state = run_state(pkg, ir::random_circuit(6, 4, 5));
+  for (const double budget : {0.01, 0.05, 0.1}) {
+    const auto res = approximate(pkg, state, budget);
+    // The reported fidelity must respect the budget.
+    EXPECT_GE(res.fidelity, 1.0 - budget - 1e-9) << budget;
+    EXPECT_LE(res.fidelity, 1.0 + 1e-9);
+    // The result must be normalized.
+    EXPECT_NEAR(pkg.norm2(res.state), 1.0, 1e-9);
+  }
+}
+
+TEST(Approximation, ReportedFidelityMatchesDenseOverlap) {
+  Package pkg(5);
+  const ir::Circuit c = ir::random_circuit(5, 3, 11);
+  const VecEdge state = run_state(pkg, c);
+  const auto res = approximate(pkg, state, 0.05);
+  // Cross-check with dense vectors.
+  const auto exact = pkg.to_vector(state);
+  const auto approx = pkg.to_vector(res.state);
+  Complex overlap{};
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    overlap += std::conj(approx[i]) * exact[i];
+  }
+  EXPECT_NEAR(std::norm(overlap), res.fidelity, 1e-9);
+}
+
+TEST(Approximation, ShrinksHeavyTailedStates) {
+  // A state with one dominant amplitude and an exponential tail: pruning
+  // the tail collapses the DD dramatically at tiny fidelity cost.
+  Package pkg(8);
+  Rng rng(3);
+  std::vector<Complex> amps(256);
+  amps[0] = 1.0;
+  for (std::size_t i = 1; i < amps.size(); ++i) {
+    amps[i] = rng.gaussian_complex() * 1e-3;
+  }
+  arrays::Statevector sv(std::move(amps));
+  sv.normalize();
+  const VecEdge state = pkg.from_vector(sv.amplitudes());
+  const auto res = approximate(pkg, state, 0.01);
+  EXPECT_GT(res.fidelity, 0.98);
+  EXPECT_LT(res.nodes_after, res.nodes_before / 4);
+}
+
+TEST(Approximation, GroverStateApproximatesToMarkedState) {
+  // Grover's final state is "marked state + small uniform tail": the
+  // approximation [12] showcase.
+  const std::size_t n = 8;
+  const std::uint64_t marked = 100;
+  Package pkg(n);
+  const VecEdge state = run_state(pkg, ir::grover(n, marked));
+  const auto res = approximate(pkg, state, 0.02);
+  EXPECT_GT(res.fidelity, 0.97);
+  EXPECT_LE(res.nodes_after, res.nodes_before);
+  // The surviving state still peaks at the marked item.
+  EXPECT_GT(std::norm(pkg.amplitude(res.state, marked)), 0.9);
+}
+
+TEST(Approximation, UniformStateResistsApproximation) {
+  // No low-contribution edges to discard: uniform superposition keeps all
+  // its (n) nodes under a small budget.
+  Package pkg(6);
+  ir::Circuit c(6);
+  for (ir::Qubit q = 0; q < 6; ++q) {
+    c.h(q);
+  }
+  const VecEdge state = run_state(pkg, c);
+  const auto res = approximate(pkg, state, 0.01);
+  EXPECT_EQ(res.nodes_after, res.nodes_before);
+  EXPECT_NEAR(res.fidelity, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qdt::dd

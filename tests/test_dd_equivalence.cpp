@@ -1,0 +1,122 @@
+#include "dd/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/library.hpp"
+
+namespace qdt::dd {
+namespace {
+
+ir::Circuit qft_recomposed(std::size_t n) {
+  // A structurally different but functionally identical QFT: the same
+  // circuit with an inserted identity pair on every qubit.
+  ir::Circuit c = ir::qft(n);
+  ir::Circuit out(n, "qft_padded");
+  for (const auto& op : c.ops()) {
+    out.append(op);
+  }
+  for (ir::Qubit q = 0; q < n; ++q) {
+    out.h(q).h(q);  // H H = I
+  }
+  return out;
+}
+
+TEST(DDEquivalence, IdenticalCircuitsAreEquivalent) {
+  const auto c = ir::qft(4);
+  const auto res = check_equivalence_dd(c, c);
+  EXPECT_TRUE(res.equivalent);
+}
+
+TEST(DDEquivalence, PaddedCircuitIsEquivalent) {
+  const auto res = check_equivalence_dd(ir::qft(4), qft_recomposed(4));
+  EXPECT_TRUE(res.equivalent);
+}
+
+TEST(DDEquivalence, EquivalentUpToGlobalPhase) {
+  ir::Circuit a(2);
+  a.z(0);
+  ir::Circuit b(2);
+  b.rz(Phase::pi(), 0);  // RZ(pi) = -i Z
+  EXPECT_TRUE(check_equivalence_dd(a, b).equivalent);
+}
+
+TEST(DDEquivalence, DetectsSingleGateError) {
+  ir::Circuit good = ir::qft(4);
+  ir::Circuit bad = good;
+  bad.x(2);  // injected error
+  EXPECT_FALSE(check_equivalence_dd(good, bad).equivalent);
+}
+
+TEST(DDEquivalence, DetectsPhaseError) {
+  ir::Circuit good = ir::random_clifford_t(4, 50, 0.2, 2);
+  ir::Circuit bad = good;
+  bad.t(0);  // extra T: relative phase error
+  EXPECT_FALSE(check_equivalence_dd(good, bad).equivalent);
+}
+
+TEST(DDEquivalence, StrategiesAgree) {
+  const auto c1 = ir::random_clifford_t(4, 40, 0.2, 8);
+  ir::Circuit c2 = c1;
+  for (ir::Qubit q = 0; q < 4; ++q) {
+    c2.s(q).sdg(q);
+  }
+  const auto seq = check_equivalence_dd(c1, c2, EcStrategy::Sequential);
+  const auto alt = check_equivalence_dd(c1, c2, EcStrategy::Alternating);
+  EXPECT_TRUE(seq.equivalent);
+  EXPECT_TRUE(alt.equivalent);
+  // Both strategies applied every gate exactly once.
+  EXPECT_EQ(seq.gates_applied, alt.gates_applied);
+}
+
+TEST(DDEquivalence, AlternatingKeepsMiterSmallForEquivalentCircuits) {
+  // For an equivalent pair, the alternating scheme should not need more
+  // peak nodes than the sequential scheme (which must build the full QFT
+  // unitary).
+  const auto c1 = ir::qft(6);
+  const auto c2 = qft_recomposed(6);
+  const auto seq = check_equivalence_dd(c1, c2, EcStrategy::Sequential);
+  const auto alt = check_equivalence_dd(c1, c2, EcStrategy::Alternating);
+  EXPECT_TRUE(seq.equivalent);
+  EXPECT_TRUE(alt.equivalent);
+  EXPECT_LE(alt.peak_nodes, seq.peak_nodes);
+}
+
+TEST(DDEquivalence, WidthMismatchIsNotEquivalent) {
+  const auto res = check_equivalence_dd(ir::ghz(3), ir::ghz(4));
+  EXPECT_FALSE(res.equivalent);
+  EXPECT_EQ(res.note, "width mismatch");
+}
+
+TEST(DDEquivalence, RejectsNonUnitary) {
+  ir::Circuit c(2);
+  c.h(0).measure(0);
+  EXPECT_THROW(check_equivalence_dd(c, c), std::invalid_argument);
+}
+
+TEST(DDEquivalenceSimulative, PassesForEquivalent) {
+  const auto res = check_equivalence_dd_simulative(ir::qft(4),
+                                                   qft_recomposed(4), 8);
+  EXPECT_TRUE(res.equivalent);
+}
+
+TEST(DDEquivalenceSimulative, CatchesBitError) {
+  ir::Circuit good = ir::ghz(4);
+  ir::Circuit bad = good;
+  bad.x(1);
+  const auto res = check_equivalence_dd_simulative(good, bad, 8);
+  EXPECT_FALSE(res.equivalent);
+  EXPECT_NE(res.note.find("counterexample"), std::string::npos);
+}
+
+TEST(DDEquivalenceSimulative, CannotSeeGlobalPhase) {
+  // Simulation compares fidelities, so global-phase differences pass (as
+  // they should).
+  ir::Circuit a(1);
+  a.z(0);
+  ir::Circuit b(1);
+  b.rz(Phase::pi(), 0);
+  EXPECT_TRUE(check_equivalence_dd_simulative(a, b, 4).equivalent);
+}
+
+}  // namespace
+}  // namespace qdt::dd

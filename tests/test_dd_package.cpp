@@ -1,0 +1,333 @@
+#include "dd/package.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arrays/dense_unitary.hpp"
+#include "dd/complex_table.hpp"
+#include "ir/library.hpp"
+#include "testutil.hpp"
+
+namespace qdt::dd {
+namespace {
+
+using ir::GateKind;
+using ir::Operation;
+
+TEST(ComplexTable, InternsWithinTolerance) {
+  ComplexTable t;
+  const auto a = t.lookup(Complex{0.5, -0.25});
+  const auto b = t.lookup(Complex{0.5 + 1e-12, -0.25 - 1e-12});
+  EXPECT_EQ(a, b);
+  const auto c = t.lookup(Complex{0.5 + 1e-6, -0.25});
+  EXPECT_NE(a, c);
+}
+
+TEST(ComplexTable, CanonicalZeroAndOne) {
+  ComplexTable t;
+  EXPECT_EQ(t.lookup(Complex{0.0, 0.0}), ComplexTable::kZero);
+  EXPECT_EQ(t.lookup(Complex{1.0, 0.0}), ComplexTable::kOne);
+  EXPECT_EQ(t.lookup(Complex{1e-12, -1e-12}), ComplexTable::kZero);
+}
+
+TEST(ComplexTable, Arithmetic) {
+  ComplexTable t;
+  const auto i = t.lookup(Complex{0.0, 1.0});
+  EXPECT_EQ(t.mul(i, i), t.lookup(Complex{-1.0, 0.0}));
+  EXPECT_EQ(t.add(i, t.neg(i)), ComplexTable::kZero);
+  EXPECT_EQ(t.div(i, i), ComplexTable::kOne);
+  EXPECT_EQ(t.conj(i), t.lookup(Complex{0.0, -1.0}));
+  EXPECT_TRUE(t.equal_modulus(i, ComplexTable::kOne));
+}
+
+TEST(ComplexTable, NearbyValuesUnifyDistantOnesDoNot) {
+  ComplexTable t;
+  const auto a = t.lookup(Complex{0.3, 0.7});
+  EXPECT_EQ(t.lookup(Complex{0.3 + 1e-11, 0.7 - 1e-11}), a);
+  EXPECT_NE(t.lookup(Complex{0.3 + 1e-8, 0.7}), a);
+}
+
+TEST(Package, BasisStates) {
+  Package pkg(3);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto e = pkg.basis_state(i);
+    const auto v = pkg.to_vector(e);
+    for (std::uint64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(std::abs(v[j] - (i == j ? Complex{1.0} : Complex{})), 0.0,
+                  1e-12);
+    }
+    EXPECT_NEAR(std::abs(pkg.amplitude(e, i)), 1.0, 1e-12);
+  }
+}
+
+TEST(Package, FromToVectorRoundTrip) {
+  Package pkg(4);
+  Rng rng(11);
+  const auto amps = rng.random_state(16);
+  const auto e = pkg.from_vector(amps);
+  const auto back = pkg.to_vector(e);
+  test::expect_state_near(back, amps, 1e-10);
+}
+
+TEST(Package, EqualSubvectorsShareNodes) {
+  // The uniform superposition has maximal redundancy: exactly n nodes.
+  Package pkg(6);
+  std::vector<Complex> amps(64, Complex{0.125, 0.0});
+  const auto e = pkg.from_vector(amps);
+  EXPECT_EQ(pkg.node_count(e), 6U);
+}
+
+TEST(Package, GhzNeedsLinearNodes) {
+  // Section III claim: GHZ-like states have O(n) DD nodes. In quasi-reduced
+  // form the all-zeros and all-ones chains are disjoint below the top node,
+  // giving exactly 2n - 1 nodes (vs 2^n array entries).
+  for (const std::size_t n : {2, 4, 8, 16}) {
+    Package pkg(n);
+    VecEdge e = pkg.add(pkg.basis_state(0),
+                        pkg.basis_state((std::uint64_t{1} << n) - 1));
+    EXPECT_EQ(pkg.node_count(e), 2 * n - 1) << n;
+  }
+}
+
+TEST(Package, AdditionMatchesDense) {
+  Package pkg(3);
+  Rng rng(5);
+  const auto a = rng.random_state(8);
+  const auto b = rng.random_state(8);
+  const auto e = pkg.add(pkg.from_vector(a), pkg.from_vector(b));
+  const auto v = pkg.to_vector(e);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(v[i] - (a[i] + b[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(Package, InnerProductMatchesDense) {
+  Package pkg(3);
+  Rng rng(6);
+  const auto a = rng.random_state(8);
+  const auto b = rng.random_state(8);
+  Complex expected{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    expected += std::conj(a[i]) * b[i];
+  }
+  const Complex got =
+      pkg.inner_product(pkg.from_vector(a), pkg.from_vector(b));
+  EXPECT_NEAR(std::abs(got - expected), 0.0, 1e-9);
+  EXPECT_NEAR(pkg.norm2(pkg.from_vector(a)), 1.0, 1e-9);
+}
+
+TEST(Package, IdentityDD) {
+  Package pkg(3);
+  const auto id = pkg.identity();
+  EXPECT_TRUE(pkg.is_identity(id));
+  EXPECT_EQ(pkg.node_count(id), 3U);
+  const auto m = pkg.to_matrix(id);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_NEAR(std::abs(m[r * 8 + c] - (r == c ? Complex{1.0} : Complex{})),
+                  0.0, 1e-12);
+    }
+  }
+}
+
+// Gate DDs must match the dense oracle for every catalogue gate.
+class GateDDTest : public ::testing::TestWithParam<Operation> {};
+
+TEST_P(GateDDTest, MatchesDenseOracle) {
+  const Operation& op = GetParam();
+  const std::size_t n = 3;
+  Package pkg(n);
+  const auto e = pkg.gate_dd(op);
+  const auto got = pkg.to_matrix(e);
+
+  ir::Circuit c(n);
+  c.append(op);
+  const auto expected = arrays::DenseUnitary::from_circuit(c);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t col = 0; col < 8; ++col) {
+      EXPECT_NEAR(std::abs(got[r * 8 + col] - expected.at(r, col)), 0.0,
+                  1e-9)
+          << op.str() << " entry (" << r << ", " << col << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, GateDDTest,
+    ::testing::Values(
+        Operation{GateKind::X, 0}, Operation{GateKind::H, 1},
+        Operation{GateKind::Y, 2}, Operation{GateKind::Z, 1},
+        Operation{GateKind::S, 0}, Operation{GateKind::T, 2},
+        Operation{GateKind::SX, 1},
+        Operation{GateKind::RX, 1, {Phase{1, 3}}},
+        Operation{GateKind::RY, 0, {Phase{2, 5}}},
+        Operation{GateKind::RZ, 2, {Phase{-3, 7}}},
+        Operation{GateKind::P, 1, {Phase{1, 8}}},
+        Operation{GateKind::U, 0, {Phase{1, 3}, Phase{1, 5}, Phase{1, 7}}},
+        Operation{GateKind::X, {0}, {2}},          // CX down
+        Operation{GateKind::X, {2}, {0}},          // CX up
+        Operation{GateKind::Z, {1}, {0}},          // CZ
+        Operation{GateKind::H, {0}, {1}},          // CH
+        Operation{GateKind::P, {2}, {0}, {Phase{1, 4}}},   // CP
+        Operation{GateKind::X, {1}, {0, 2}},       // Toffoli
+        Operation{GateKind::Z, {0}, {1, 2}},       // CCZ
+        Operation{GateKind::Swap, {0, 2}},
+        Operation{GateKind::Swap, {1, 0}},
+        Operation{GateKind::Swap, {0, 2}, {1}},    // Fredkin
+        Operation{GateKind::ISwap, {0, 1}},
+        Operation{GateKind::ISwapDg, {1, 2}},
+        Operation{GateKind::RZZ, {0, 2}, {}, {Phase{1, 3}}},
+        Operation{GateKind::RXX, {1, 2}, {}, {Phase{2, 7}}}),
+    [](const ::testing::TestParamInfo<Operation>& info) {
+      std::string name = info.param.str();
+      for (auto& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) {
+          ch = '_';
+        }
+      }
+      return name + "_" + std::to_string(info.index);
+    });
+
+TEST(Package, MatrixVectorMultiplyMatchesDense) {
+  const ir::Circuit c = ir::random_clifford_t(4, 60, 0.2, 9);
+  Package pkg(4);
+  VecEdge state = pkg.zero_state();
+  for (const auto& op : c.ops()) {
+    state = pkg.multiply(pkg.gate_dd(op), state);
+  }
+  const auto got = pkg.to_vector(state);
+  const auto expected = test::oracle_state(c);
+  test::expect_state_near(got, expected.amplitudes(), 1e-8);
+}
+
+TEST(Package, MatrixMatrixMultiplyMatchesDense) {
+  const ir::Circuit c = ir::random_circuit(3, 4, 31);
+  Package pkg(3);
+  MatEdge u = pkg.identity();
+  for (const auto& op : c.ops()) {
+    u = pkg.multiply(pkg.gate_dd(op), u);
+  }
+  const auto got = pkg.to_matrix(u);
+  const auto expected = arrays::DenseUnitary::from_circuit(c);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t col = 0; col < 8; ++col) {
+      EXPECT_NEAR(std::abs(got[r * 8 + col] - expected.at(r, col)), 0.0,
+                  1e-8);
+    }
+  }
+}
+
+TEST(Package, FromMatrixRoundTrip) {
+  Package pkg(2);
+  Rng rng(17);
+  std::vector<Complex> m(16);
+  for (auto& v : m) {
+    v = rng.gaussian_complex();
+  }
+  const auto e = pkg.from_matrix(m);
+  const auto back = pkg.to_matrix(e);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(std::abs(back[i] - m[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Package, ConjugateTransposeMatchesDense) {
+  const ir::Circuit c = ir::random_circuit(3, 3, 41);
+  Package pkg(3);
+  MatEdge u = pkg.identity();
+  for (const auto& op : c.ops()) {
+    u = pkg.multiply(pkg.gate_dd(op), u);
+  }
+  const auto udg = pkg.conjugate_transpose(u);
+  // U * U^dagger = I.
+  EXPECT_TRUE(pkg.is_identity_up_to_global_phase(pkg.multiply(u, udg)));
+  const auto got = pkg.to_matrix(udg);
+  const auto expected = arrays::DenseUnitary::from_circuit(c).adjoint();
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t col = 0; col < 8; ++col) {
+      EXPECT_NEAR(std::abs(got[r * 8 + col] - expected.at(r, col)), 0.0,
+                  1e-8);
+    }
+  }
+}
+
+TEST(Package, ProjectionZeroesBranch) {
+  Package pkg(2);
+  const ir::Circuit c = ir::bell();
+  VecEdge state = pkg.zero_state();
+  for (const auto& op : c.ops()) {
+    state = pkg.multiply(pkg.gate_dd(op), state);
+  }
+  const auto p0 = pkg.to_vector(pkg.project(state, 0, false));
+  EXPECT_NEAR(std::abs(p0[0]), kInvSqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(p0[3]), 0.0, 1e-12);
+  EXPECT_NEAR(pkg.prob_one(state, 0), 0.5, 1e-10);
+  EXPECT_NEAR(pkg.prob_one(state, 1), 0.5, 1e-10);
+}
+
+TEST(Package, SamplingMatchesBornRule) {
+  Package pkg(2);
+  VecEdge state = pkg.zero_state();
+  const ir::Circuit bell = ir::bell();
+  for (const auto& op : bell.ops()) {
+    state = pkg.multiply(pkg.gate_dd(op), state);
+  }
+  Rng rng(23);
+  std::size_t zeros = 0;
+  const std::size_t shots = 2000;
+  for (std::size_t s = 0; s < shots; ++s) {
+    const auto word = pkg.sample(state, rng);
+    ASSERT_TRUE(word == 0 || word == 3) << word;
+    zeros += word == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / shots, 0.5, 0.05);
+}
+
+TEST(Package, TraceOfIdentityAndGates) {
+  Package pkg(3);
+  // Tr(I) = 2^n.
+  EXPECT_NEAR(std::abs(pkg.trace(pkg.identity()) - Complex{8.0}), 0.0,
+              1e-10);
+  // Tr(Z x I x I) = 0; trace of any Pauli but identity vanishes.
+  EXPECT_NEAR(std::abs(pkg.trace(
+                  pkg.gate_dd(ir::Operation{GateKind::Z, 2}))),
+              0.0, 1e-10);
+  // Tr(P(theta) on one qubit extended by identities) = (1 + e^{i theta})*4.
+  const Phase theta{1, 3};
+  const Complex expected =
+      (Complex{1.0} + Complex{std::cos(theta.radians()),
+                              std::sin(theta.radians())}) *
+      4.0;
+  EXPECT_NEAR(std::abs(pkg.trace(pkg.gate_dd(ir::Operation{
+                  GateKind::P, 1, {theta}})) -
+                       expected),
+              0.0, 1e-9);
+}
+
+TEST(Package, HashConsingSharesStructure) {
+  Package pkg(4);
+  const auto a = pkg.basis_state(5);
+  const auto b = pkg.basis_state(5);
+  EXPECT_EQ(a.node, b.node);
+  EXPECT_EQ(a.weight, b.weight);
+}
+
+TEST(Package, StatsTrackGrowth) {
+  Package pkg(3);
+  const auto before = pkg.stats();
+  VecEdge state = pkg.zero_state();
+  const ir::Circuit qft3 = ir::qft(3);
+  for (const auto& op : qft3.ops()) {
+    state = pkg.multiply(pkg.gate_dd(op), state);
+  }
+  const auto after = pkg.stats();
+  EXPECT_GT(after.unique_vec_nodes, before.unique_vec_nodes);
+  EXPECT_GT(after.unique_mat_nodes, 0U);
+  EXPECT_GT(after.complex_values, 2U);
+  pkg.clear_caches();  // must not invalidate existing DDs
+  EXPECT_NEAR(pkg.norm2(state), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qdt::dd

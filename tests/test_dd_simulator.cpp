@@ -1,0 +1,147 @@
+#include "dd/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arrays/density_matrix.hpp"
+#include "dd/export_dot.hpp"
+#include "ir/library.hpp"
+#include "testutil.hpp"
+
+namespace qdt::dd {
+namespace {
+
+TEST(DDSimulator, BellStateMatchesPaperFigure1) {
+  DDSimulator sim(2);
+  sim.run(ir::bell());
+  // Fig. 1: amplitudes 1/sqrt(2) on |00> and |11>.
+  EXPECT_NEAR(std::abs(sim.amplitude(0b00)), kInvSqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(sim.amplitude(0b11)), kInvSqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(sim.amplitude(0b01)), 0.0, 1e-12);
+  // Fig. 1b: the Bell-state DD has a q1 node over two distinct q0 nodes.
+  EXPECT_EQ(sim.state_node_count(), 3U);
+}
+
+TEST(DDSimulator, MatchesArrayBackendOnCircuitFamilies) {
+  const ir::Circuit circuits[] = {
+      ir::ghz(5),           ir::w_state(4),
+      ir::qft(5),           ir::grover(4, 9),
+      ir::bernstein_vazirani(5, 0b10110),
+      ir::random_clifford_t(5, 80, 0.25, 3),
+      ir::random_circuit(4, 6, 19),
+  };
+  for (const auto& c : circuits) {
+    DDSimulator sim(c.num_qubits());
+    sim.run(c);
+    const auto got = sim.state_vector();
+    const auto expected = test::oracle_state(c);
+    ASSERT_EQ(got.size(), expected.amplitudes().size()) << c.name();
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(std::abs(got[i] - expected.amplitudes()[i]), 0.0, 1e-8)
+          << c.name() << " amplitude " << i;
+    }
+  }
+}
+
+TEST(DDSimulator, GhzStateStaysLinear) {
+  // The flagship DD compactness result: GHZ needs 2n - 1 nodes, not 2^n.
+  for (const std::size_t n : {4, 8, 16, 24}) {
+    DDSimulator sim(n);
+    sim.run(ir::ghz(n));
+    EXPECT_EQ(sim.state_node_count(), 2 * n - 1) << n;
+  }
+}
+
+TEST(DDSimulator, WeakSimulationSamplesCorrectDistribution) {
+  DDSimulator sim(3, 5);
+  sim.run(ir::ghz(3));
+  const auto counts = sim.sample_counts(1000);
+  std::size_t total = 0;
+  for (const auto& [word, count] : counts) {
+    EXPECT_TRUE(word == 0 || word == 0b111) << word;
+    total += count;
+  }
+  EXPECT_EQ(total, 1000U);
+}
+
+TEST(DDSimulator, MeasurementCollapsesGhz) {
+  DDSimulator sim(4, 11);
+  sim.run(ir::ghz(4));
+  const bool first = sim.measure(0);
+  // After measuring one qubit of a GHZ state, all qubits agree.
+  for (ir::Qubit q = 1; q < 4; ++q) {
+    EXPECT_NEAR(sim.package().prob_one(sim.state(), q), first ? 1.0 : 0.0,
+                1e-9);
+  }
+}
+
+TEST(DDSimulator, MeasurementRecordFromRun) {
+  ir::Circuit c(2);
+  c.x(0).measure_all();
+  DDSimulator sim(2, 3);
+  const auto record = sim.run(c);
+  ASSERT_EQ(record.size(), 2U);
+  EXPECT_TRUE(record[0].second);
+  EXPECT_FALSE(record[1].second);
+}
+
+TEST(DDSimulator, ResetReturnsQubitToZero) {
+  ir::Circuit c(2);
+  c.x(0).h(1).reset(0);
+  DDSimulator sim(2, 7);
+  sim.run(c);
+  EXPECT_NEAR(sim.package().prob_one(sim.state(), 0), 0.0, 1e-9);
+}
+
+TEST(DDSimulator, NodeCountTraceIsRecorded) {
+  DDSimulator sim(5);
+  sim.run(ir::qft(5));
+  EXPECT_EQ(sim.node_count_trace().size(), ir::qft(5).size());
+  for (const auto count : sim.node_count_trace()) {
+    EXPECT_GE(count, 1U);
+  }
+}
+
+TEST(DDSimulator, StochasticNoiseMatchesDensityMatrixOnAverage) {
+  const double gamma = 0.25;
+  ir::Circuit c(1);
+  c.x(0).i(0);
+  arrays::NoiseModel nm;
+  nm.gate_noise.push_back(arrays::amplitude_damping(gamma));
+
+  arrays::DensityMatrix rho(1);
+  rho.run(c, nm);
+
+  DDSimulator sim(1, 77);
+  sim.set_noise(nm);
+  const std::size_t shots = 4000;
+  double pop1 = 0.0;
+  for (std::size_t s = 0; s < shots; ++s) {
+    sim.reset_state();
+    sim.run(c);
+    pop1 += std::norm(sim.amplitude(1));
+  }
+  pop1 /= static_cast<double>(shots);
+  EXPECT_NEAR(pop1, rho.at(1, 1).real(), 0.03);
+}
+
+TEST(DDExport, DotContainsStructure) {
+  DDSimulator sim(2);
+  sim.run(ir::bell());
+  const std::string dot = to_dot(sim.package(), sim.state(), "bell");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("q1"), std::string::npos);
+  EXPECT_NE(dot.find("q0"), std::string::npos);
+  EXPECT_NE(dot.find("0.7071"), std::string::npos);  // root weight 1/sqrt(2)
+}
+
+TEST(DDExport, MatrixDot) {
+  Package pkg(2);
+  const auto cx = pkg.gate_dd(ir::Operation{ir::GateKind::X, {0}, {1}});
+  const std::string dot = to_dot(pkg, cx, "cx");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qdt::dd

@@ -1,0 +1,221 @@
+#include "transpile/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "arrays/dense_unitary.hpp"
+#include "common/rng.hpp"
+#include "ir/library.hpp"
+
+namespace qdt::transpile {
+namespace {
+
+using ir::Circuit;
+using ir::GateKind;
+using ir::Operation;
+using ir::Qubit;
+
+void expect_equivalent(const Circuit& a, const Circuit& b,
+                       double eps = 1e-8) {
+  const auto ua = arrays::DenseUnitary::from_circuit(a);
+  const auto ub = arrays::DenseUnitary::from_circuit(b);
+  EXPECT_TRUE(ua.equal_up_to_global_phase(ub, eps))
+      << a.name() << " vs " << b.name();
+}
+
+TEST(Zyz, RecoversRotationAngles) {
+  const Mat2 u = ir::gate_matrix2(GateKind::RZ, {Phase{1, 3}});
+  const Zyz z = zyz_decompose(u);
+  EXPECT_NEAR(z.gamma, 0.0, 1e-10);
+  // beta + delta must equal pi/3 modulo 2 pi.
+  const double sum = z.beta + z.delta;
+  EXPECT_NEAR(std::remainder(sum - Phase{1, 3}.radians(),
+                             2 * std::numbers::pi),
+              0.0, 1e-9);
+}
+
+TEST(Zyz, ReconstructsArbitraryUnitaries) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    // Random unitary via U3.
+    const std::vector<Phase> params = {
+        Phase::from_radians(rng.uniform(0, std::numbers::pi)),
+        Phase::from_radians(rng.uniform(-3.0, 3.0)),
+        Phase::from_radians(rng.uniform(-3.0, 3.0))};
+    const Mat2 u = ir::gate_matrix2(GateKind::U, params);
+    const Zyz z = zyz_decompose(u);
+    const Mat2 rec =
+        ir::gate_matrix2(GateKind::RZ, {Phase::from_radians(z.beta)}) *
+        ir::gate_matrix2(GateKind::RY, {Phase::from_radians(z.gamma)}) *
+        ir::gate_matrix2(GateKind::RZ, {Phase::from_radians(z.delta)}) *
+        Complex{std::cos(z.alpha), std::sin(z.alpha)};
+    EXPECT_TRUE(approx_equal(u, rec, 1e-8));
+  }
+}
+
+TEST(DecomposeMultiControlled, ToffoliExact) {
+  Circuit c(3);
+  c.ccx(0, 1, 2);
+  const Circuit d = decompose_multi_controlled(c);
+  for (const auto& op : d.ops()) {
+    EXPECT_LE(op.num_qubits(), 2U) << op.str();
+  }
+  expect_equivalent(c, d);
+  // The parity construction yields the canonical 7-T realization.
+  EXPECT_EQ(d.t_count(), 7U);
+}
+
+TEST(DecomposeMultiControlled, CczExact) {
+  Circuit c(3);
+  c.ccz(0, 1, 2);
+  expect_equivalent(c, decompose_multi_controlled(c));
+}
+
+TEST(DecomposeMultiControlled, FourControlX) {
+  Circuit c(5);
+  c.mcx({0, 1, 2, 3}, 4);
+  const Circuit d = decompose_multi_controlled(c);
+  for (const auto& op : d.ops()) {
+    EXPECT_LE(op.num_qubits(), 2U) << op.str();
+  }
+  expect_equivalent(c, d);
+}
+
+TEST(DecomposeMultiControlled, ControlledSwap) {
+  Circuit c(3);
+  c.cswap(0, 1, 2);
+  const Circuit d = decompose_multi_controlled(c);
+  for (const auto& op : d.ops()) {
+    EXPECT_LE(op.num_qubits(), 2U) << op.str();
+  }
+  expect_equivalent(c, d);
+}
+
+TEST(DecomposeMultiControlled, MultiControlledPhase) {
+  Circuit c(4);
+  c.append(Operation{GateKind::P, {3}, {0, 1, 2}, {Phase{1, 4}}});
+  expect_equivalent(c, decompose_multi_controlled(c));
+}
+
+TEST(DecomposeMultiControlled, LeavesOtherGatesAlone) {
+  const Circuit c = ir::qft(3);
+  EXPECT_EQ(decompose_multi_controlled(c), c);
+}
+
+// Each singly-controlled / two-qubit kind must decompose exactly.
+class TwoQubitDecompTest
+    : public ::testing::TestWithParam<std::pair<Operation, bool>> {};
+
+TEST_P(TwoQubitDecompTest, Exact) {
+  const auto& [op, keep_cz] = GetParam();
+  Circuit c(3);
+  c.append(op);
+  const Circuit d = decompose_two_qubit(c, keep_cz);
+  for (const auto& g : d.ops()) {
+    if (g.num_qubits() == 2) {
+      const bool native =
+          (g.kind() == GateKind::X || g.kind() == GateKind::Z) &&
+          g.controls().size() == 1;
+      EXPECT_TRUE(native) << g.str();
+      if (!keep_cz) {
+        EXPECT_EQ(g.kind(), GateKind::X) << g.str();
+      }
+    }
+  }
+  expect_equivalent(c, d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, TwoQubitDecompTest,
+    ::testing::Values(
+        std::make_pair(Operation{GateKind::Swap, {0, 2}}, false),
+        std::make_pair(Operation{GateKind::Swap, {0, 2}}, true),
+        std::make_pair(Operation{GateKind::ISwap, {0, 1}}, false),
+        std::make_pair(Operation{GateKind::ISwapDg, {1, 2}}, false),
+        std::make_pair(Operation{GateKind::RZZ, {0, 1}, {}, {Phase{2, 5}}},
+                       false),
+        std::make_pair(Operation{GateKind::RXX, {0, 2}, {}, {Phase{1, 3}}},
+                       false),
+        std::make_pair(Operation{GateKind::Z, {1}, {0}}, false),
+        std::make_pair(Operation{GateKind::Z, {1}, {0}}, true),
+        std::make_pair(Operation{GateKind::Y, {0}, {2}}, false),
+        std::make_pair(Operation{GateKind::H, {2}, {0}}, false),
+        std::make_pair(Operation{GateKind::S, {1}, {2}}, false),
+        std::make_pair(Operation{GateKind::Sdg, {1}, {0}}, false),
+        std::make_pair(Operation{GateKind::T, {0}, {1}}, false),
+        std::make_pair(Operation{GateKind::Tdg, {2}, {1}}, false),
+        std::make_pair(Operation{GateKind::P, {1}, {0}, {Phase{3, 7}}},
+                       false),
+        std::make_pair(Operation{GateKind::RZ, {1}, {0}, {Phase{2, 3}}},
+                       false),
+        std::make_pair(Operation{GateKind::RY, {2}, {0}, {Phase{1, 5}}},
+                       false),
+        std::make_pair(Operation{GateKind::RX, {0}, {1}, {Phase{4, 9}}},
+                       false),
+        std::make_pair(Operation{GateKind::SX, {1}, {2}}, false),
+        std::make_pair(Operation{GateKind::SXdg, {0}, {2}}, false),
+        std::make_pair(
+            Operation{GateKind::U, {1}, {0},
+                      {Phase{1, 3}, Phase{1, 5}, Phase{2, 7}}},
+            false)));
+
+TEST(Rebase1qHzx, PreservesSemantics) {
+  const Circuit circuits[] = {
+      ir::random_circuit(3, 4, 3),
+      ir::w_state(3),
+      ir::qft(3),
+  };
+  for (const auto& c : circuits) {
+    const Circuit r = rebase_1q_to_hzx(c);
+    expect_equivalent(c, r);
+    for (const auto& op : r.ops()) {
+      if (op.num_qubits() != 1) {
+        continue;
+      }
+      const bool allowed =
+          op.kind() == GateKind::H || op.kind() == GateKind::X ||
+          op.kind() == GateKind::SX || op.kind() == GateKind::SXdg ||
+          op.kind() == GateKind::RX || op.kind() == GateKind::Z ||
+          op.kind() == GateKind::S || op.kind() == GateKind::Sdg ||
+          op.kind() == GateKind::T || op.kind() == GateKind::Tdg ||
+          op.kind() == GateKind::RZ || op.kind() == GateKind::P;
+      EXPECT_TRUE(allowed) << op.str();
+    }
+  }
+}
+
+TEST(Rebase1qZsx, PreservesSemanticsAndBasis) {
+  const Circuit circuits[] = {
+      ir::random_circuit(3, 4, 9),
+      ir::w_state(3),
+      ir::grover(3, 5),
+  };
+  for (const auto& pre : circuits) {
+    const Circuit c = decompose_two_qubit(decompose_multi_controlled(pre));
+    const Circuit r = rebase_1q_to_zsx(c);
+    expect_equivalent(c, r);
+    for (const auto& op : r.ops()) {
+      if (op.num_qubits() == 1) {
+        const bool allowed = op.kind() == GateKind::RZ ||
+                             op.kind() == GateKind::SX ||
+                             op.kind() == GateKind::X;
+        EXPECT_TRUE(allowed) << op.str();
+      }
+    }
+  }
+}
+
+TEST(DecomposeMultiControlled, TooManyQubitsThrows) {
+  Circuit c(14);
+  std::vector<Qubit> ctrls;
+  for (Qubit q = 0; q < 13; ++q) {
+    ctrls.push_back(q);
+  }
+  c.mcx(ctrls, 13);
+  EXPECT_THROW(decompose_multi_controlled(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qdt::transpile

@@ -1,0 +1,86 @@
+#include "arrays/dense_unitary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/library.hpp"
+#include "testutil.hpp"
+
+namespace qdt::arrays {
+namespace {
+
+TEST(DenseUnitary, IdentityByDefault) {
+  const DenseUnitary u(3);
+  EXPECT_TRUE(u.is_identity());
+}
+
+TEST(DenseUnitary, FromCircuitMatchesStatevector) {
+  const ir::Circuit c = ir::random_circuit(4, 6, 21);
+  const auto u = DenseUnitary::from_circuit(c);
+  // Column 0 of U is U|0...0>.
+  const auto sv = test::oracle_state(c);
+  for (std::size_t r = 0; r < u.dim(); ++r) {
+    EXPECT_NEAR(std::abs(u.at(r, 0) - sv.amplitude(r)), 0.0, 1e-9);
+  }
+}
+
+TEST(DenseUnitary, CircuitUnitaryIsUnitary) {
+  const ir::Circuit c = ir::random_clifford_t(3, 50, 0.2, 3);
+  const auto u = DenseUnitary::from_circuit(c);
+  EXPECT_TRUE((u * u.adjoint()).is_identity(1e-8));
+}
+
+TEST(DenseUnitary, MultiplicationComposesCircuits) {
+  const ir::Circuit c1 = ir::random_circuit(3, 3, 1);
+  const ir::Circuit c2 = ir::random_circuit(3, 3, 2);
+  const auto u1 = DenseUnitary::from_circuit(c1);
+  const auto u2 = DenseUnitary::from_circuit(c2);
+  const auto composed = DenseUnitary::from_circuit(c1.composed_with(c2));
+  // Circuit composition applies c1 first: U = U2 * U1.
+  EXPECT_TRUE((u2 * u1).approx_equal(composed, 1e-9));
+}
+
+TEST(DenseUnitary, ApplyToVector) {
+  const auto u = DenseUnitary::from_circuit(ir::bell());
+  std::vector<Complex> zero(4, Complex{});
+  zero[0] = 1.0;
+  const auto out = u.apply_to(zero);
+  EXPECT_NEAR(std::abs(out[0]), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(out[3]), kInvSqrt2, 1e-12);
+}
+
+TEST(DenseUnitary, IdentityUpToGlobalPhase) {
+  ir::Circuit c(2);
+  // Global phase i: S S on a qubit equals Z; instead use rz(pi) rz(pi)
+  // which equals identity times -1... simplest: X X = I exactly; use
+  // rz(2pi)-style: rz(pi) twice = e^{-i pi} I? rz(pi)^2 = RZ(2pi) = -I.
+  c.rz(Phase::pi(), 0).rz(Phase::pi(), 0);
+  const auto u = DenseUnitary::from_circuit(c);
+  EXPECT_FALSE(u.is_identity(1e-9));
+  EXPECT_TRUE(u.is_identity_up_to_global_phase(1e-9));
+}
+
+TEST(DenseUnitary, EqualUpToGlobalPhase) {
+  ir::Circuit zc(1);
+  zc.z(0);
+  ir::Circuit rzc(1);
+  rzc.rz(Phase::pi(), 0);  // RZ(pi) = -i Z
+  const auto uz = DenseUnitary::from_circuit(zc);
+  const auto urz = DenseUnitary::from_circuit(rzc);
+  EXPECT_FALSE(uz.approx_equal(urz, 1e-9));
+  EXPECT_TRUE(uz.equal_up_to_global_phase(urz, 1e-9));
+}
+
+TEST(DenseUnitary, MaxEntryDistance) {
+  const auto a = DenseUnitary::from_circuit(ir::bell());
+  auto b = a;
+  EXPECT_NEAR(a.max_entry_distance(b), 0.0, 1e-15);
+  b.at(0, 0) += Complex{0.25, 0.0};
+  EXPECT_NEAR(a.max_entry_distance(b), 0.25, 1e-12);
+}
+
+TEST(DenseUnitary, RefusesHugeWidth) {
+  EXPECT_THROW(DenseUnitary(20), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qdt::arrays

@@ -1,0 +1,130 @@
+#include "arrays/density_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arrays/svsim.hpp"
+#include "ir/library.hpp"
+#include "testutil.hpp"
+
+namespace qdt::arrays {
+namespace {
+
+TEST(KrausChannels, AllTracePreserving) {
+  EXPECT_TRUE(depolarizing(0.1).is_trace_preserving());
+  EXPECT_TRUE(depolarizing(1.0).is_trace_preserving());
+  EXPECT_TRUE(amplitude_damping(0.3).is_trace_preserving());
+  EXPECT_TRUE(phase_damping(0.2).is_trace_preserving());
+  EXPECT_TRUE(bit_flip(0.25).is_trace_preserving());
+  EXPECT_TRUE(phase_flip(0.75).is_trace_preserving());
+}
+
+TEST(KrausChannels, RejectBadProbability) {
+  EXPECT_THROW(depolarizing(-0.1), std::invalid_argument);
+  EXPECT_THROW(amplitude_damping(1.5), std::invalid_argument);
+}
+
+TEST(DensityMatrix, PureStateConstruction) {
+  const auto sv = test::oracle_state(ir::bell());
+  const DensityMatrix rho(sv);
+  EXPECT_NEAR(rho.trace_real(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.fidelity(sv), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, UnitaryEvolutionMatchesStatevector) {
+  const ir::Circuit c = ir::random_circuit(3, 4, 13);
+  DensityMatrix rho(3);
+  for (const auto& op : c.ops()) {
+    rho.apply(op);
+  }
+  const auto sv = test::oracle_state(c);
+  const DensityMatrix expected(sv);
+  EXPECT_TRUE(rho.approx_equal(expected, 1e-9));
+}
+
+TEST(DensityMatrix, FullDepolarizationGivesMaximallyMixed) {
+  DensityMatrix rho(1);
+  rho.apply(ir::Operation{ir::GateKind::H, 0});
+  rho.apply_channel(depolarizing(1.0), 0);
+  EXPECT_NEAR(rho.at(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.at(1, 1).real(), 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(rho.at(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(rho.purity(), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingDecaysExcitedState) {
+  DensityMatrix rho(1);
+  rho.apply(ir::Operation{ir::GateKind::X, 0});
+  rho.apply_channel(amplitude_damping(0.4), 0);
+  EXPECT_NEAR(rho.at(1, 1).real(), 0.6, 1e-12);
+  EXPECT_NEAR(rho.at(0, 0).real(), 0.4, 1e-12);
+}
+
+TEST(DensityMatrix, PhaseDampingKillsCoherence) {
+  DensityMatrix rho(1);
+  rho.apply(ir::Operation{ir::GateKind::H, 0});
+  rho.apply_channel(phase_damping(1.0), 0);
+  EXPECT_NEAR(std::abs(rho.at(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(rho.at(0, 0).real(), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, NoiseReducesGhzFidelity) {
+  const ir::Circuit c = ir::ghz(3);
+  DensityMatrix noiseless(3);
+  noiseless.run(c, NoiseModel{});
+  DensityMatrix noisy(3);
+  noisy.run(c, NoiseModel::depolarizing_model(0.05));
+  const auto ideal = test::oracle_state(c);
+  EXPECT_NEAR(noiseless.fidelity(ideal), 1.0, 1e-10);
+  const double f = noisy.fidelity(ideal);
+  EXPECT_LT(f, 0.99);
+  EXPECT_GT(f, 0.5);
+  EXPECT_NEAR(noisy.trace_real(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, NonSelectiveMeasurementDephases) {
+  ir::Circuit c(1);
+  c.h(0).measure(0);
+  DensityMatrix rho(1);
+  rho.run(c, NoiseModel{});
+  EXPECT_NEAR(std::abs(rho.at(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(rho.at(0, 0).real(), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, ResetChannel) {
+  ir::Circuit c(1);
+  c.h(0).reset(0);
+  DensityMatrix rho(1);
+  rho.run(c, NoiseModel{});
+  EXPECT_NEAR(rho.at(0, 0).real(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.at(1, 1).real(), 0.0, 1e-12);
+}
+
+TEST(Trajectories, AverageMatchesDensityMatrix) {
+  // Quantum-trajectory statevector simulation with amplitude damping must
+  // reproduce the density-matrix populations on average.
+  const double gamma = 0.3;
+  ir::Circuit c(1);
+  c.x(0).i(0);  // X, then an identity gate that also picks up noise
+  NoiseModel nm;
+  nm.gate_noise.push_back(amplitude_damping(gamma));
+
+  DensityMatrix rho(1);
+  rho.run(c, nm);
+
+  StatevectorSimulator sim(123);
+  sim.set_noise(nm);
+  const std::size_t shots = 5000;
+  double pop1 = 0.0;
+  for (std::size_t s = 0; s < shots; ++s) {
+    const auto res = sim.run(c);
+    pop1 += std::norm(res.state.amplitude(1));
+  }
+  pop1 /= static_cast<double>(shots);
+  EXPECT_NEAR(pop1, rho.at(1, 1).real(), 0.03);
+}
+
+}  // namespace
+}  // namespace qdt::arrays

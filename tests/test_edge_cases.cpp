@@ -1,0 +1,224 @@
+// Edge-case and failure-injection tests that don't fit a single module
+// suite: error paths, extreme inputs, and direct anchors for the oracle
+// itself (the dense backend is validated against analytic results, since
+// every other backend is validated against it).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/qdt.hpp"
+#include "testutil.hpp"
+
+namespace qdt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Direct analytic anchors for the dense oracle's 2-qubit kernels.
+// ---------------------------------------------------------------------------
+
+TEST(OracleAnchors, ISwapOnBasisStates) {
+  // iSWAP: |01> -> i|10>, |10> -> i|01>, |00>/|11> fixed.
+  arrays::Statevector sv(2);
+  sv.apply(ir::Operation{ir::GateKind::X, 0});  // |01> (q0 = 1)
+  sv.apply(ir::Operation{ir::GateKind::ISwap, {0, 1}});
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10) - Complex{0.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(OracleAnchors, RzzPhasesByParity) {
+  // RZZ(theta)|ab> = e^{-i theta/2 (-1)^(a xor b)} |ab>.
+  const Phase theta{1, 3};
+  for (std::uint64_t basis = 0; basis < 4; ++basis) {
+    arrays::Statevector sv(2);
+    for (std::size_t q = 0; q < 2; ++q) {
+      if ((basis >> q) & 1) {
+        sv.apply(ir::Operation{ir::GateKind::X, static_cast<ir::Qubit>(q)});
+      }
+    }
+    sv.apply(ir::Operation{ir::GateKind::RZZ, {0, 1}, {}, {theta}});
+    const double sign = (basis == 1 || basis == 2) ? 1.0 : -1.0;
+    const Complex expect{std::cos(theta.radians() / 2),
+                         sign * std::sin(theta.radians() / 2)};
+    EXPECT_NEAR(std::abs(sv.amplitude(basis) - expect), 0.0, 1e-12)
+        << basis;
+  }
+}
+
+TEST(OracleAnchors, RxxEqualsHConjugatedRzz) {
+  const Phase theta{2, 5};
+  ir::Circuit a(2);
+  a.rxx(theta, 0, 1);
+  ir::Circuit b(2);
+  b.h(0).h(1).rzz(theta, 0, 1).h(0).h(1);
+  const auto ua = arrays::DenseUnitary::from_circuit(a);
+  const auto ub = arrays::DenseUnitary::from_circuit(b);
+  EXPECT_TRUE(ua.approx_equal(ub, 1e-10));
+}
+
+TEST(OracleAnchors, FredkinTruthTable) {
+  // CSWAP swaps targets iff the control is 1.
+  for (std::uint64_t input = 0; input < 8; ++input) {
+    arrays::Statevector sv(3);
+    for (std::size_t q = 0; q < 3; ++q) {
+      if ((input >> q) & 1) {
+        sv.apply(ir::Operation{ir::GateKind::X, static_cast<ir::Qubit>(q)});
+      }
+    }
+    sv.apply(ir::Operation{ir::GateKind::Swap, {1, 2}, {0}});
+    std::uint64_t expected = input;
+    if (input & 1) {  // control q0 set: swap bits 1 and 2
+      const bool b1 = (input >> 1) & 1;
+      const bool b2 = (input >> 2) & 1;
+      expected = (input & 1) | (static_cast<std::uint64_t>(b2) << 1) |
+                 (static_cast<std::uint64_t>(b1) << 2);
+    }
+    EXPECT_NEAR(std::norm(sv.amplitude(expected)), 1.0, 1e-12) << input;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase extremes.
+// ---------------------------------------------------------------------------
+
+TEST(PhaseEdge, HugeAnglesWrapCorrectly) {
+  const double big = 1e6;
+  const Phase p = Phase::from_radians(big);
+  EXPECT_NEAR(std::remainder(p.radians() - big, 2 * std::numbers::pi), 0.0,
+              1e-6);
+}
+
+TEST(PhaseEdge, RepeatedMixedAdditionStaysSane) {
+  // Adding many high-precision irrational approximations must neither
+  // overflow nor lose more than the documented tolerance.
+  Phase acc;
+  double reference = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    const double angle = std::sqrt(static_cast<double>(i));
+    acc += Phase::from_radians(angle);
+    reference += angle;
+  }
+  EXPECT_NEAR(std::remainder(acc.radians() - reference,
+                             2 * std::numbers::pi),
+              0.0, 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// ZX diagram composition and adjoint round trips.
+// ---------------------------------------------------------------------------
+
+TEST(ZxCompose, CircuitCompositionMatchesDiagramComposition) {
+  const ir::Circuit c1 = ir::random_clifford_t(3, 20, 0.3, 41);
+  const ir::Circuit c2 = ir::random_clifford_t(3, 20, 0.3, 43);
+  const zx::ZXDiagram d =
+      zx::ZXDiagram::compose(zx::to_diagram(c1), zx::to_diagram(c2));
+  const auto u = arrays::DenseUnitary::from_circuit(c1.composed_with(c2));
+  zx::ZXMatrix ref;
+  ref.rows = ref.cols = 8;
+  ref.data.resize(64);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      ref.data[r * 8 + c] = u.at(r, c);
+    }
+  }
+  EXPECT_TRUE(zx::equal_up_to_scalar(zx::to_matrix(d), ref, 1e-7));
+}
+
+TEST(ZxCompose, AdjointComposesToIdentityVerdict) {
+  const ir::Circuit c = ir::random_clifford(4, 40, 47);
+  zx::ZXDiagram miter =
+      zx::ZXDiagram::compose(zx::to_diagram(c), zx::to_diagram(c).adjoint());
+  zx::clifford_simp(miter);
+  EXPECT_TRUE(miter.is_identity());
+}
+
+TEST(ZxCompose, ArityMismatchThrows) {
+  EXPECT_THROW(zx::ZXDiagram::compose(zx::to_diagram(ir::ghz(2)),
+                                      zx::to_diagram(ir::ghz(3))),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Idle-wire handling across backends.
+// ---------------------------------------------------------------------------
+
+TEST(IdleWires, EveryBackendKeepsIdleQubitsAtZero) {
+  ir::Circuit c(4, "idle");
+  c.h(1).cx(1, 2);  // qubits 0 and 3 untouched
+  const auto reference = test::oracle_state(c);
+  for (const auto b :
+       {core::SimBackend::DecisionDiagram, core::SimBackend::TensorNetwork,
+        core::SimBackend::Mps}) {
+    const auto res = core::simulate(c, b);
+    for (std::size_t i = 0; i < reference.dim(); ++i) {
+      ASSERT_NEAR(std::abs((*res.state)[i] - reference.amplitudes()[i]),
+                  0.0, 1e-9)
+          << core::backend_name(b) << " " << i;
+    }
+  }
+  // ZX handles bare wires through composition too.
+  const auto ec = zx::check_equivalence_zx(c, c);
+  EXPECT_EQ(ec.verdict, zx::ZxVerdict::Equivalent);
+}
+
+// ---------------------------------------------------------------------------
+// Single-qubit everything (n = 1 corner).
+// ---------------------------------------------------------------------------
+
+TEST(SingleQubit, AllBackendsAndTasks) {
+  ir::Circuit c(1, "one");
+  c.h(0).t(0).h(0);
+  const auto reference = test::oracle_state(c);
+  for (const auto b :
+       {core::SimBackend::Array, core::SimBackend::DecisionDiagram,
+        core::SimBackend::TensorNetwork, core::SimBackend::Mps}) {
+    const auto res = core::simulate(c, b);
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR(std::abs((*res.state)[i] - reference.amplitudes()[i]),
+                  0.0, 1e-9)
+          << core::backend_name(b);
+    }
+  }
+  EXPECT_TRUE(core::verify(c, c, core::EcMethod::Zx).equivalent);
+  transpile::Target t{transpile::CouplingMap::full(1),
+                      transpile::NativeGateSet::CxRzSxX, "single"};
+  EXPECT_TRUE(core::compile_and_verify(c, t).verification.equivalent);
+}
+
+// ---------------------------------------------------------------------------
+// QASM failure injection.
+// ---------------------------------------------------------------------------
+
+TEST(QasmErrors, AllTheWaysToFail) {
+  using ir::parse_qasm;
+  EXPECT_THROW(parse_qasm(""), std::runtime_error);
+  EXPECT_THROW(parse_qasm("h q[0];"), std::runtime_error);  // no qreg
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[2];\nqreg r[2];\nh q[0];"),
+               std::runtime_error);  // two qregs
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[2];\nrz() q[0];"),
+               std::runtime_error);  // empty angle
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[2];\ncx q[0];"),
+               std::runtime_error);  // operand count
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[2];\nh r[0];"),
+               std::runtime_error);  // unknown register
+}
+
+// ---------------------------------------------------------------------------
+// Approximation + simulation pipeline.
+// ---------------------------------------------------------------------------
+
+TEST(ApproxPipeline, ApproximatedStateStillSamplesCorrectPeak) {
+  const std::size_t n = 8;
+  const std::uint64_t marked = 200;
+  dd::DDSimulator sim(n, 3);
+  sim.run(ir::grover(n, marked));
+  const auto res = dd::approximate(sim.package(), sim.state(), 0.02);
+  Rng rng(9);
+  std::size_t hits = 0;
+  for (int s = 0; s < 100; ++s) {
+    hits += sim.package().sample(res.state, rng) == marked ? 1 : 0;
+  }
+  EXPECT_GT(hits, 90U);
+}
+
+}  // namespace
+}  // namespace qdt

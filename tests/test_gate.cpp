@@ -1,0 +1,150 @@
+#include "ir/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.hpp"
+
+namespace qdt::ir {
+namespace {
+
+// Every parameter-free single-qubit kind in the catalogue.
+const GateKind kFixed1q[] = {GateKind::I,  GateKind::X,   GateKind::Y,
+                             GateKind::Z,  GateKind::H,   GateKind::S,
+                             GateKind::Sdg, GateKind::T,  GateKind::Tdg,
+                             GateKind::SX, GateKind::SXdg};
+
+TEST(Gate, AllFixed1qMatricesAreUnitary) {
+  for (const auto k : kFixed1q) {
+    EXPECT_TRUE(gate_matrix2(k, {}).is_unitary()) << gate_name(k);
+  }
+}
+
+TEST(Gate, NamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(GateKind::Barrier); ++i) {
+    const auto k = static_cast<GateKind>(i);
+    EXPECT_EQ(gate_from_name(gate_name(k)), k) << gate_name(k);
+  }
+  EXPECT_THROW(gate_from_name("nonsense"), std::invalid_argument);
+}
+
+TEST(Gate, InverseKindsComposeToIdentity) {
+  for (const auto k : kFixed1q) {
+    const Mat2 m = gate_matrix2(k, {});
+    const Mat2 inv = gate_matrix2(gate_inverse_kind(k), {});
+    EXPECT_TRUE(approx_equal(m * inv, Mat2::identity())) << gate_name(k);
+  }
+}
+
+TEST(Gate, SSquaredIsZ) {
+  const Mat2 s = gate_matrix2(GateKind::S, {});
+  const Mat2 z = gate_matrix2(GateKind::Z, {});
+  EXPECT_TRUE(approx_equal(s * s, z));
+}
+
+TEST(Gate, TSquaredIsS) {
+  const Mat2 t = gate_matrix2(GateKind::T, {});
+  const Mat2 s = gate_matrix2(GateKind::S, {});
+  EXPECT_TRUE(approx_equal(t * t, s));
+}
+
+TEST(Gate, SxSquaredIsX) {
+  const Mat2 sx = gate_matrix2(GateKind::SX, {});
+  const Mat2 x = gate_matrix2(GateKind::X, {});
+  EXPECT_TRUE(approx_equal(sx * sx, x));
+}
+
+TEST(Gate, HadamardConjugatesXToZ) {
+  const Mat2 h = gate_matrix2(GateKind::H, {});
+  const Mat2 x = gate_matrix2(GateKind::X, {});
+  const Mat2 z = gate_matrix2(GateKind::Z, {});
+  EXPECT_TRUE(approx_equal(h * x * h, z));
+}
+
+TEST(Gate, RzMatchesPhaseUpToGlobalPhase) {
+  // RZ(theta) = e^{-i theta/2} P(theta).
+  const std::vector<Phase> theta = {Phase::pi_2()};
+  const Mat2 rz = gate_matrix2(GateKind::RZ, theta);
+  const Mat2 p = gate_matrix2(GateKind::P, theta);
+  EXPECT_TRUE(equal_up_to_global_phase(rz, p));
+}
+
+TEST(Gate, RotationsAtPiEqualPaulisUpToPhase) {
+  const std::vector<Phase> pi = {Phase::pi()};
+  EXPECT_TRUE(equal_up_to_global_phase(gate_matrix2(GateKind::RX, pi),
+                                       gate_matrix2(GateKind::X, {})));
+  EXPECT_TRUE(equal_up_to_global_phase(gate_matrix2(GateKind::RY, pi),
+                                       gate_matrix2(GateKind::Y, {})));
+  EXPECT_TRUE(equal_up_to_global_phase(gate_matrix2(GateKind::RZ, pi),
+                                       gate_matrix2(GateKind::Z, {})));
+}
+
+TEST(Gate, UGateGeneralizesOthers) {
+  // U(0, 0, lambda) = P(lambda).
+  const Phase lambda = Phase::pi_4();
+  const Mat2 u =
+      gate_matrix2(GateKind::U, {Phase::zero(), Phase::zero(), lambda});
+  const Mat2 p = gate_matrix2(GateKind::P, {lambda});
+  EXPECT_TRUE(approx_equal(u, p));
+  // U(pi/2, 0, pi) = H.
+  const Mat2 u2 =
+      gate_matrix2(GateKind::U, {Phase::pi_2(), Phase::zero(), Phase::pi()});
+  EXPECT_TRUE(approx_equal(u2, gate_matrix2(GateKind::H, {})));
+}
+
+TEST(Gate, ParameterizedInverses) {
+  const std::vector<Phase> theta = {Phase{3, 8}};
+  for (const auto k : {GateKind::RX, GateKind::RY, GateKind::RZ,
+                       GateKind::P}) {
+    const Mat2 m = gate_matrix2(k, theta);
+    const Mat2 inv =
+        gate_matrix2(gate_inverse_kind(k), gate_inverse_params(k, theta));
+    EXPECT_TRUE(approx_equal(m * inv, Mat2::identity())) << gate_name(k);
+  }
+}
+
+TEST(Gate, UInverse) {
+  const std::vector<Phase> params = {Phase{1, 3}, Phase{2, 5}, Phase{5, 7}};
+  const Mat2 m = gate_matrix2(GateKind::U, params);
+  const Mat2 inv = gate_matrix2(GateKind::U,
+                                gate_inverse_params(GateKind::U, params));
+  EXPECT_TRUE(approx_equal(m * inv, Mat2::identity(), 1e-8));
+}
+
+TEST(Gate, TwoQubitMatricesAreUnitary) {
+  EXPECT_TRUE(gate_matrix4(GateKind::Swap, {}).is_unitary());
+  EXPECT_TRUE(gate_matrix4(GateKind::ISwap, {}).is_unitary());
+  EXPECT_TRUE(gate_matrix4(GateKind::ISwapDg, {}).is_unitary());
+  EXPECT_TRUE(gate_matrix4(GateKind::RZZ, {Phase{1, 3}}).is_unitary());
+  EXPECT_TRUE(gate_matrix4(GateKind::RXX, {Phase{1, 3}}).is_unitary());
+}
+
+TEST(Gate, ISwapInverse) {
+  const Mat4 m = gate_matrix4(GateKind::ISwap, {});
+  const Mat4 inv = gate_matrix4(GateKind::ISwapDg, {});
+  EXPECT_TRUE(approx_equal(m * inv, Mat4::identity()));
+}
+
+TEST(Gate, DiagonalFlags) {
+  EXPECT_TRUE(gate_is_diagonal(GateKind::Z));
+  EXPECT_TRUE(gate_is_diagonal(GateKind::T));
+  EXPECT_TRUE(gate_is_diagonal(GateKind::RZ));
+  EXPECT_TRUE(gate_is_diagonal(GateKind::RZZ));
+  EXPECT_FALSE(gate_is_diagonal(GateKind::X));
+  EXPECT_FALSE(gate_is_diagonal(GateKind::H));
+}
+
+TEST(Gate, ArityAndParamCounts) {
+  EXPECT_EQ(gate_arity(GateKind::H), 1);
+  EXPECT_EQ(gate_arity(GateKind::Swap), 2);
+  EXPECT_EQ(gate_param_count(GateKind::U), 3);
+  EXPECT_EQ(gate_param_count(GateKind::RZ), 1);
+  EXPECT_EQ(gate_param_count(GateKind::X), 0);
+}
+
+TEST(Gate, WrongArityThrows) {
+  EXPECT_THROW(gate_matrix2(GateKind::Swap, {}), std::invalid_argument);
+  EXPECT_THROW(gate_matrix4(GateKind::H, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qdt::ir

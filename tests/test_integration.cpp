@@ -1,0 +1,192 @@
+// Cross-module integration tests: full pipelines that exercise several
+// subsystems together, the way a downstream user would.
+#include <gtest/gtest.h>
+
+#include "core/qdt.hpp"
+#include "testutil.hpp"
+
+namespace qdt {
+namespace {
+
+// QASM in -> transpile -> simulate on every backend -> verify against the
+// source circuit.
+TEST(Pipeline, QasmToCompiledToVerified) {
+  const std::string source = R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[4];
+    h q[0];
+    cx q[0], q[1];
+    t q[1];
+    ccx q[0], q[1], q[2];
+    swap q[2], q[3];
+    rz(pi/8) q[3];
+    cp(pi/4) q[0], q[3];
+  )";
+  const ir::Circuit circuit = ir::parse_qasm(source);
+
+  transpile::Target target{transpile::CouplingMap::line(4),
+                           transpile::NativeGateSet::CxRzSxX, "line"};
+  const auto compiled = core::compile_and_verify(circuit, target);
+  EXPECT_TRUE(compiled.verification.equivalent);
+
+  // The compiled circuit can be serialized back to QASM and reparsed
+  // without changing its meaning.
+  const ir::Circuit reparsed =
+      ir::parse_qasm(ir::to_qasm(compiled.transpiled.circuit));
+  EXPECT_TRUE(core::verify(compiled.transpiled.circuit, reparsed,
+                           core::EcMethod::DdAlternating)
+                  .equivalent);
+}
+
+// Fuzz: random circuits through every backend must agree with the oracle.
+class BackendFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BackendFuzzTest, AllBackendsAgree) {
+  const std::uint64_t seed = GetParam();
+  const ir::Circuit c = ir::random_clifford_t(4, 50, 0.25, seed);
+  const auto reference = test::oracle_state(c);
+  for (const auto backend :
+       {core::SimBackend::DecisionDiagram, core::SimBackend::TensorNetwork,
+        core::SimBackend::Mps}) {
+    const auto res = core::simulate(c, backend);
+    ASSERT_TRUE(res.state.has_value());
+    for (std::size_t i = 0; i < reference.dim(); ++i) {
+      ASSERT_NEAR(std::abs((*res.state)[i] - reference.amplitudes()[i]),
+                  0.0, 1e-8)
+          << core::backend_name(backend) << " seed " << seed << " amp "
+          << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendFuzzTest,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+// Fuzz: compilation must preserve semantics for every workload/topology
+// combination.
+class CompileFuzzTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(CompileFuzzTest, CompiledCircuitVerifies) {
+  const auto [topology, seed] = GetParam();
+  const ir::Circuit c = ir::random_clifford_t(5, 40, 0.2, seed);
+  transpile::Target target{
+      topology == 0   ? transpile::CouplingMap::line(5)
+      : topology == 1 ? transpile::CouplingMap::ring(5)
+                      : transpile::CouplingMap::star(5),
+      transpile::NativeGateSet::CxRzSxX, "fuzz"};
+  const auto res = core::compile_and_verify(c, target);
+  EXPECT_TRUE(res.verification.equivalent)
+      << "topology " << topology << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CompileFuzzTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(7ULL, 8ULL, 9ULL)));
+
+// The ZX reduction and the DD simulator must tell the same story: a
+// reduced diagram re-evaluated through the tensor bridge matches the DD
+// state's unitary action on basis states.
+TEST(Pipeline, ZxReductionAgreesWithDdSimulation) {
+  const ir::Circuit c = ir::random_clifford_t(3, 40, 0.3, 77);
+  zx::ZXDiagram d = zx::to_diagram(c);
+  zx::clifford_simp(d);
+  const zx::ZXMatrix m = zx::to_matrix(d);
+
+  dd::DDSimulator sim(3);
+  sim.run(c);
+  const auto state = sim.state_vector();
+  // Column 0 of the diagram matrix (up to scalar) is the output state.
+  std::size_t kmax = 0;
+  double best = 0.0;
+  for (std::size_t r = 0; r < 8; ++r) {
+    if (std::abs(m.at(r, 0)) > best) {
+      best = std::abs(m.at(r, 0));
+      kmax = r;
+    }
+  }
+  ASSERT_GT(best, 1e-9);
+  const Complex scale = state[kmax] / m.at(kmax, 0);
+  for (std::size_t r = 0; r < 8; ++r) {
+    EXPECT_NEAR(std::abs(state[r] - scale * m.at(r, 0)), 0.0, 1e-8) << r;
+  }
+}
+
+// Noise story across modules: density matrix (arrays), trajectories
+// (arrays), trajectories (DD) all agree on GHZ populations.
+TEST(Pipeline, NoiseBackendsAgree) {
+  const double p = 0.05;
+  const auto c = ir::ghz(3);
+  const auto nm = arrays::NoiseModel::depolarizing_model(p);
+
+  arrays::DensityMatrix rho(3);
+  rho.run(c, nm);
+  const auto exact = rho.probabilities();
+
+  const std::size_t shots = 6000;
+  core::SimulateOptions opts;
+  opts.noise = nm;
+  opts.shots = shots;
+  opts.want_state = false;
+  opts.seed = 31;
+  for (const auto backend :
+       {core::SimBackend::Array, core::SimBackend::DecisionDiagram}) {
+    const auto res = core::simulate(c, backend, opts);
+    for (std::uint64_t word = 0; word < 8; ++word) {
+      const double freq =
+          res.counts.contains(word)
+              ? static_cast<double>(res.counts.at(word)) / shots
+              : 0.0;
+      EXPECT_NEAR(freq, exact[word], 0.04)
+          << core::backend_name(backend) << " word " << word;
+    }
+  }
+}
+
+// Weak simulation consistency: DD sampling matches array-computed
+// probabilities on a non-trivial circuit.
+TEST(Pipeline, WeakSimulationMatchesStrong) {
+  const auto c = ir::w_state(5);
+  const auto probs = test::oracle_state(c).probabilities();
+  dd::DDSimulator sim(5, 17);
+  sim.run(c);
+  const std::size_t shots = 20000;
+  const auto counts = sim.sample_counts(shots);
+  for (const auto& [word, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / shots, probs[word], 0.02)
+        << word;
+  }
+}
+
+// Equivalence checkers cross-validate on randomized pairs: all conclusive
+// methods must return the same verdict.
+class EcCrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcCrossValidation, MethodsAgree) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const ir::Circuit a = ir::random_clifford_t(4, 40, 0.2, seed);
+  ir::Circuit b = a;
+  const bool make_equal = rng.coin();
+  if (make_equal) {
+    b.s(1).sdg(1);
+  } else {
+    b.t(static_cast<ir::Qubit>(rng.index(4)));
+  }
+  const bool dd_verdict =
+      core::verify(a, b, core::EcMethod::DdAlternating).equivalent;
+  const bool zx_verdict = core::verify(a, b, core::EcMethod::Zx).equivalent;
+  const bool array_verdict =
+      core::verify(a, b, core::EcMethod::Array).equivalent;
+  EXPECT_EQ(dd_verdict, make_equal) << seed;
+  EXPECT_EQ(zx_verdict, make_equal) << seed;
+  EXPECT_EQ(array_verdict, make_equal) << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcCrossValidation,
+                         ::testing::Range<std::uint64_t>(200, 212));
+
+}  // namespace
+}  // namespace qdt

@@ -1,0 +1,233 @@
+#include "ir/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "arrays/dense_unitary.hpp"
+#include "common/bitops.hpp"
+#include "testutil.hpp"
+
+namespace qdt::ir {
+namespace {
+
+using test::oracle_state;
+
+TEST(Library, BellStateAmplitudes) {
+  const auto sv = oracle_state(bell());
+  EXPECT_NEAR(std::abs(sv.amplitude(0b00)), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11)), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b01)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 0.0, 1e-12);
+}
+
+TEST(Library, GhzHasTwoEqualAmplitudes) {
+  for (const std::size_t n : {2, 3, 5, 8}) {
+    const auto sv = oracle_state(ghz(n));
+    const std::uint64_t all_ones = (1ULL << n) - 1;
+    EXPECT_NEAR(std::abs(sv.amplitude(0)), kInvSqrt2, 1e-10) << n;
+    EXPECT_NEAR(std::abs(sv.amplitude(all_ones)), kInvSqrt2, 1e-10) << n;
+    double other = 0.0;
+    for (std::uint64_t i = 1; i < all_ones; ++i) {
+      other += std::norm(sv.amplitude(i));
+    }
+    EXPECT_NEAR(other, 0.0, 1e-10) << n;
+  }
+}
+
+TEST(Library, WStateUniformOverWeightOneStrings) {
+  for (const std::size_t n : {2, 3, 4, 6}) {
+    const auto sv = oracle_state(w_state(n));
+    const double expected = 1.0 / std::sqrt(static_cast<double>(n));
+    for (std::uint64_t i = 0; i < (1ULL << n); ++i) {
+      const double a = std::abs(sv.amplitude(i));
+      if (popcount64(i) == 1) {
+        EXPECT_NEAR(a, expected, 1e-9) << "n=" << n << " i=" << i;
+      } else {
+        EXPECT_NEAR(a, 0.0, 1e-9) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Library, QftMatchesDftMatrix) {
+  const std::size_t n = 4;
+  const auto u = arrays::DenseUnitary::from_circuit(qft(n));
+  const std::size_t dim = 1ULL << n;
+  const double inv_sqrt = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t k = 0; k < dim; ++k) {
+      const double angle = 2.0 * std::numbers::pi *
+                           static_cast<double>(j * k) /
+                           static_cast<double>(dim);
+      const Complex expected =
+          Complex{std::cos(angle), std::sin(angle)} * inv_sqrt;
+      EXPECT_NEAR(std::abs(u.at(j, k) - expected), 0.0, 1e-9)
+          << "entry (" << j << ", " << k << ")";
+    }
+  }
+}
+
+TEST(Library, AqftWithFullDegreeEqualsQftWithoutSwaps) {
+  const std::size_t n = 4;
+  const auto full = arrays::DenseUnitary::from_circuit(qft(n, false));
+  const auto approx = arrays::DenseUnitary::from_circuit(aqft(n, n));
+  EXPECT_TRUE(full.approx_equal(approx, 1e-9));
+}
+
+TEST(Library, AqftLowDegreeDiffers) {
+  const std::size_t n = 5;
+  const auto full = arrays::DenseUnitary::from_circuit(qft(n, false));
+  const auto approx = arrays::DenseUnitary::from_circuit(aqft(n, 1));
+  EXPECT_FALSE(full.approx_equal(approx, 1e-3));
+}
+
+TEST(Library, GroverAmplifiesMarkedState) {
+  for (const std::uint64_t marked : {0ULL, 3ULL, 12ULL}) {
+    const auto sv = oracle_state(grover(4, marked));
+    const auto probs = sv.probabilities();
+    // The marked state should dominate (theory: ~0.96 for n=4 after 3
+    // rounds).
+    EXPECT_GT(probs[marked], 0.9) << "marked=" << marked;
+  }
+}
+
+TEST(Library, GroverRejectsBadArguments) {
+  EXPECT_THROW(grover(0, 0), std::invalid_argument);
+  EXPECT_THROW(grover(3, 8), std::invalid_argument);
+}
+
+TEST(Library, BernsteinVaziraniRecoversSecret) {
+  for (const std::uint64_t secret : {0b0ULL, 0b101ULL, 0b11111ULL}) {
+    const auto sv = oracle_state(bernstein_vazirani(5, secret));
+    EXPECT_NEAR(std::norm(sv.amplitude(secret)), 1.0, 1e-9)
+        << "secret=" << secret;
+  }
+}
+
+TEST(Library, DeutschJozsaConstantReturnsZero) {
+  const auto sv = oracle_state(deutsch_jozsa(4, 0));
+  EXPECT_NEAR(std::norm(sv.amplitude(0)), 1.0, 1e-9);
+}
+
+TEST(Library, DeutschJozsaBalancedNeverReturnsZero) {
+  const auto sv = oracle_state(deutsch_jozsa(4, 0b0110));
+  EXPECT_NEAR(std::norm(sv.amplitude(0)), 0.0, 1e-9);
+}
+
+TEST(Library, HiddenShiftRecoversShift) {
+  for (const std::uint64_t shift : {0b0ULL, 0b1001ULL, 0b1111ULL}) {
+    const auto sv = oracle_state(hidden_shift(4, shift));
+    EXPECT_NEAR(std::norm(sv.amplitude(shift)), 1.0, 1e-9)
+        << "shift=" << shift;
+  }
+}
+
+TEST(Library, HiddenShiftRequiresEvenWidth) {
+  EXPECT_THROW(hidden_shift(3, 0), std::invalid_argument);
+}
+
+TEST(Library, RippleCarryAdderAddsCorrectly) {
+  const std::size_t n = 3;
+  const Circuit adder = ripple_carry_adder(n);
+  ASSERT_EQ(adder.num_qubits(), 2 * n + 2);
+  for (std::uint64_t a = 0; a < (1ULL << n); ++a) {
+    for (std::uint64_t b = 0; b < (1ULL << n); ++b) {
+      // Prepare |cin=0, a, b, cout=0> and run the adder.
+      arrays::Statevector sv(adder.num_qubits());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (get_bit(a, i)) {
+          sv.apply(Operation{GateKind::X, static_cast<Qubit>(1 + i)});
+        }
+        if (get_bit(b, i)) {
+          sv.apply(Operation{GateKind::X, static_cast<Qubit>(1 + n + i)});
+        }
+      }
+      for (const auto& op : adder.ops()) {
+        sv.apply(op);
+      }
+      // Expected output: a unchanged, b := a + b (with carry-out).
+      const std::uint64_t sum = a + b;
+      std::uint64_t expected = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        expected = set_bit(expected, 1 + i, get_bit(a, i));
+        expected = set_bit(expected, 1 + n + i, get_bit(sum, i));
+      }
+      expected = set_bit(expected, 1 + 2 * n, get_bit(sum, n));
+      EXPECT_NEAR(std::norm(sv.amplitude(expected)), 1.0, 1e-9)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Library, PhaseEstimationRecoversDyadicPhase) {
+  // theta = 2pi * k / 2^m is measured exactly.
+  const std::size_t m = 4;
+  for (const std::int64_t k : {1, 5, 11}) {
+    // P(theta) with theta = 2pi k / 16 = pi k / 8.
+    const Circuit c = phase_estimation(m, Phase{k, 8});
+    const auto sv = oracle_state(c);
+    // Counting register = qubits 0..3; eigenstate qubit 4 stays |1>.
+    const std::uint64_t expected =
+        (1ULL << m) | static_cast<std::uint64_t>(k);
+    EXPECT_NEAR(std::norm(sv.amplitude(expected)), 1.0, 1e-8) << k;
+  }
+}
+
+TEST(Library, PhaseEstimationApproximatesGenericPhase) {
+  // A non-dyadic phase lands on the nearest counting value with
+  // probability > 4/pi^2 ~ 0.405; in practice much higher.
+  const std::size_t m = 5;
+  const Phase theta{1, 3};  // pi/3 -> fraction 1/6 of 2pi
+  const Circuit c = phase_estimation(m, theta);
+  const auto sv = oracle_state(c);
+  const double frac = theta.radians() / (2 * std::numbers::pi);
+  const auto nearest = static_cast<std::uint64_t>(
+      std::llround(frac * (1ULL << m)));
+  const std::uint64_t expected = (1ULL << m) | nearest;
+  EXPECT_GT(std::norm(sv.amplitude(expected)), 0.4);
+}
+
+TEST(Library, RandomCircuitIsDeterministicPerSeed) {
+  const Circuit a = random_circuit(4, 5, 42);
+  const Circuit b = random_circuit(4, 5, 42);
+  const Circuit c = random_circuit(4, 5, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Library, RandomCliffordUsesOnlyCliffordGates) {
+  const Circuit c = random_clifford(5, 100, 1);
+  for (const auto& op : c.ops()) {
+    const bool ok = op.kind() == GateKind::H || op.kind() == GateKind::S ||
+                    (op.kind() == GateKind::X && op.controls().size() == 1);
+    EXPECT_TRUE(ok) << op.str();
+  }
+}
+
+TEST(Library, RandomCliffordTHasTs) {
+  const Circuit c = random_clifford_t(5, 200, 0.3, 2);
+  EXPECT_GT(c.t_count(), 0U);
+}
+
+TEST(Library, RandomPhaseCircuitIsDiagonalAfterH) {
+  // The phase-circuit family applies only diagonal gates after the H layer,
+  // so all output amplitudes keep magnitude 2^{-n/2}.
+  const Circuit c = random_phase_circuit(4, 30, 5);
+  const auto sv = oracle_state(c);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(std::abs(sv.amplitude(i)), 0.25, 1e-9) << i;
+  }
+}
+
+TEST(Library, GraphStateIsNormalizedAndUniformMagnitude) {
+  const Circuit c = graph_state(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto sv = oracle_state(c);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(std::abs(sv.amplitude(i)), 0.25, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qdt::ir

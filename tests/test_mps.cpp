@@ -1,0 +1,204 @@
+#include "tn/mps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "ir/library.hpp"
+#include "testutil.hpp"
+
+namespace qdt::tn {
+namespace {
+
+void expect_matches_oracle(const ir::Circuit& c, double eps = 1e-8) {
+  MPS mps(c.num_qubits());
+  mps.run(c);
+  const auto got = mps.to_vector();
+  const auto expected = test::oracle_state(c);
+  ASSERT_EQ(got.size(), expected.amplitudes().size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(std::abs(got[i] - expected.amplitudes()[i]), 0.0, eps)
+        << c.name() << " amplitude " << i;
+  }
+}
+
+TEST(Mps, InitialStateIsAllZeros) {
+  MPS mps(4);
+  EXPECT_NEAR(std::abs(mps.amplitude(0) - Complex{1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(mps.norm2(), 1.0, 1e-12);
+  EXPECT_EQ(mps.max_bond_dimension(), 1U);
+}
+
+TEST(Mps, BellState) {
+  MPS mps(2);
+  mps.run(ir::bell());
+  EXPECT_NEAR(std::abs(mps.amplitude(0b00)), kInvSqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(mps.amplitude(0b11)), kInvSqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(mps.amplitude(0b01)), 0.0, 1e-12);
+  // One ebit of entanglement: bond dimension exactly 2.
+  EXPECT_EQ(mps.max_bond_dimension(), 2U);
+}
+
+TEST(Mps, ExactSimulationMatchesOracle) {
+  expect_matches_oracle(ir::ghz(5));
+  expect_matches_oracle(ir::w_state(4));
+  expect_matches_oracle(ir::qft(4));
+  expect_matches_oracle(ir::hidden_shift(4, 0b1010));
+  expect_matches_oracle(ir::random_circuit(4, 4, 3));
+  expect_matches_oracle(ir::random_clifford(4, 50, 5));
+}
+
+TEST(Mps, NonAdjacentGatesRouteCorrectly) {
+  // CX between the endpoints of a 5-qubit chain.
+  ir::Circuit c(5);
+  c.h(0).cx(0, 4);
+  expect_matches_oracle(c);
+}
+
+TEST(Mps, GhzBondStaysTwo) {
+  // GHZ has exactly one ebit across every cut: bond dimension 2 regardless
+  // of width — the Section IV low-entanglement sweet spot.
+  for (const std::size_t n : {4, 8, 16}) {
+    MPS mps(n);
+    mps.run(ir::ghz(n));
+    EXPECT_EQ(mps.max_bond_dimension(), 2U) << n;
+    EXPECT_NEAR(mps.norm2(), 1.0, 1e-9);
+  }
+}
+
+TEST(Mps, LinearMemoryForBoundedBond) {
+  // total_elements grows linearly in n for fixed-bond states.
+  MPS a(8);
+  a.run(ir::ghz(8));
+  MPS b(16);
+  b.run(ir::ghz(16));
+  EXPECT_LE(b.total_elements(), 2 * a.total_elements() + 16);
+}
+
+TEST(Mps, TruncationBoundsBondDimension) {
+  const auto c = ir::random_circuit(6, 6, 9);
+  MPS exact(6);
+  exact.run(c);
+  MPS truncated(6, /*max_bond=*/2);
+  truncated.run(c);
+  EXPECT_LE(truncated.max_bond_dimension(), 2U);
+  EXPECT_GT(exact.max_bond_dimension(), 2U);
+  EXPECT_GT(truncated.discarded_weight(), 0.0);
+  EXPECT_NEAR(exact.discarded_weight(), 0.0, 1e-9);
+}
+
+TEST(Mps, TruncatedStateStillCloseForModerateEntanglement) {
+  // The approximation story of [12]/[35]: bounded bonds trade fidelity for
+  // memory. For a shallow circuit chi=4 keeps most of the state.
+  const auto c = ir::random_circuit(6, 2, 13);
+  MPS truncated(6, /*max_bond=*/4);
+  truncated.run(c);
+  const auto expected = test::oracle_state(c);
+  double overlap = 0.0;
+  const auto got = truncated.to_vector();
+  Complex ip{};
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ip += std::conj(got[i]) * expected.amplitudes()[i];
+  }
+  overlap = std::abs(ip);
+  const double n2 = truncated.norm2();
+  if (n2 > 0.0) {
+    overlap /= std::sqrt(n2);
+  }
+  EXPECT_GT(overlap, 0.8);
+}
+
+TEST(Mps, ExpectationMatchesOracle) {
+  const auto c = ir::random_circuit(4, 3, 19);
+  MPS mps(4);
+  mps.run(c);
+  const auto sv = test::oracle_state(c);
+  // <Z_q> for every qubit, cross-checked against dense probabilities.
+  for (std::size_t q = 0; q < 4; ++q) {
+    double expect_z = 0.0;
+    for (std::uint64_t i = 0; i < sv.dim(); ++i) {
+      expect_z += (((i >> q) & 1) == 0 ? 1.0 : -1.0) *
+                  std::norm(sv.amplitude(i));
+    }
+    std::string paulis(4, 'I');
+    paulis[4 - 1 - q] = 'Z';
+    const Complex got = mps.expectation(paulis);
+    EXPECT_NEAR(got.real(), expect_z, 1e-8) << q;
+    EXPECT_NEAR(got.imag(), 0.0, 1e-8) << q;
+  }
+}
+
+TEST(Mps, ExpectationGhzStrings) {
+  MPS mps(4);
+  mps.run(ir::ghz(4));
+  EXPECT_NEAR(mps.expectation("ZZII").real(), 1.0, 1e-9);
+  EXPECT_NEAR(mps.expectation("XXXX").real(), 1.0, 1e-9);
+  EXPECT_NEAR(std::abs(mps.expectation("ZIII")), 0.0, 1e-9);
+  EXPECT_THROW(mps.expectation("ZZ"), std::invalid_argument);
+}
+
+TEST(Mps, PerfectSamplingMatchesBornRule) {
+  const auto c = ir::w_state(5);
+  MPS mps(5);
+  mps.run(c);
+  const auto probs = test::oracle_state(c).probabilities();
+  Rng rng(23);
+  const std::size_t shots = 20000;
+  std::map<std::uint64_t, std::size_t> counts;
+  for (std::size_t s = 0; s < shots; ++s) {
+    ++counts[mps.sample(rng)];
+  }
+  for (const auto& [word, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / shots, probs[word], 0.02)
+        << word;
+  }
+  // Sampling is non-destructive.
+  EXPECT_NEAR(mps.norm2(), 1.0, 1e-9);
+}
+
+TEST(Mps, PerfectSamplingGhzOnlyTwoOutcomes) {
+  MPS mps(12);
+  mps.run(ir::ghz(12));
+  Rng rng(5);
+  for (int s = 0; s < 200; ++s) {
+    const auto word = mps.sample(rng);
+    EXPECT_TRUE(word == 0 || word == 0xFFF) << word;
+  }
+}
+
+TEST(Mps, RejectsThreeQubitGates) {
+  MPS mps(3);
+  EXPECT_THROW(
+      mps.apply(ir::Operation{ir::GateKind::X, {2}, {0, 1}}),
+      std::invalid_argument);
+}
+
+TEST(Mps, RejectsNonUnitary) {
+  MPS mps(2);
+  EXPECT_THROW(mps.apply(ir::Operation{ir::GateKind::Measure, 0}),
+               std::invalid_argument);
+}
+
+TEST(TwoQubitMatrix, ControlEmbedding) {
+  // CX with control q1, target q0; bit0 = q0.
+  const ir::Operation cx{ir::GateKind::X, {0}, {1}};
+  const Mat4 m = two_qubit_matrix(cx, 0, 1);
+  // |q1 q0> = |10> (index 2) -> |11> (index 3).
+  EXPECT_NEAR(std::abs(m(3, 2) - Complex{1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(m(0, 0) - Complex{1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(m(1, 1) - Complex{1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(m(2, 2)), 0.0, 1e-12);
+}
+
+TEST(TwoQubitMatrix, SwappedOperandOrder) {
+  const ir::Operation cx{ir::GateKind::X, {1}, {0}};
+  // bit0 = q1 now (qa = 1): control is bit 1 = q0.
+  const Mat4 m = two_qubit_matrix(cx, 1, 0);
+  // |q0 q1> basis with bit0=q1: index = (q0<<1)|q1. Control q0=1, q1=0 is
+  // index 2 -> flips q1 -> index 3.
+  EXPECT_NEAR(std::abs(m(3, 2) - Complex{1.0}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qdt::tn

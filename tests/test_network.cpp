@@ -1,0 +1,139 @@
+#include "tn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/library.hpp"
+#include "testutil.hpp"
+
+namespace qdt::tn {
+namespace {
+
+TEST(Network, BellNetworkStructureMatchesFigure2) {
+  // Fig. 2: two input kets + H + CNOT = 4 tensors, memory linear in
+  // qubits + gates.
+  std::vector<Label> outs;
+  TensorNetwork net = circuit_network(ir::bell(), outs);
+  EXPECT_EQ(net.num_nodes(), 4U);
+  ASSERT_EQ(outs.size(), 2U);
+  // Elements: 2 kets (2 each) + H (4) + CNOT (16) = 24.
+  EXPECT_EQ(net.total_elements(), 24U);
+}
+
+TEST(Network, BellAmplitudes) {
+  const auto c = ir::bell();
+  EXPECT_NEAR(std::abs(amplitude(c, 0b00) - kInvSqrt2), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(amplitude(c, 0b11) - kInvSqrt2), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(amplitude(c, 0b01)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(amplitude(c, 0b10)), 0.0, 1e-12);
+}
+
+TEST(Network, AmplitudesMatchOracleOnFamilies) {
+  const ir::Circuit circuits[] = {
+      ir::ghz(4),
+      ir::qft(4),
+      ir::w_state(3),
+      ir::random_clifford_t(4, 40, 0.25, 11),
+      ir::random_circuit(3, 4, 5),
+  };
+  for (const auto& c : circuits) {
+    const auto expected = test::oracle_state(c);
+    for (std::uint64_t b = 0; b < expected.dim(); ++b) {
+      EXPECT_NEAR(std::abs(amplitude(c, b) - expected.amplitude(b)), 0.0,
+                  1e-8)
+          << c.name() << " basis " << b;
+    }
+  }
+}
+
+TEST(Network, SequentialAndGreedyPlansAgree) {
+  const auto c = ir::qft(4);
+  const auto expected = test::oracle_state(c);
+  for (std::uint64_t b : {0ULL, 5ULL, 15ULL}) {
+    const Complex g = amplitude(c, b, /*greedy=*/true);
+    const Complex s = amplitude(c, b, /*greedy=*/false);
+    EXPECT_NEAR(std::abs(g - s), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(g - expected.amplitude(b)), 0.0, 1e-8);
+  }
+}
+
+TEST(Network, StatevectorMatchesOracle) {
+  const auto c = ir::random_circuit(4, 3, 7);
+  const auto got = statevector(c);
+  const auto expected = test::oracle_state(c);
+  ASSERT_EQ(got.size(), 16U);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(std::abs(got[i] - expected.amplitudes()[i]), 0.0, 1e-8)
+        << i;
+  }
+}
+
+TEST(Network, StatsReportPeakIntermediate) {
+  ContractionStats seq_stats;
+  ContractionStats greedy_stats;
+  const auto c = ir::ghz(8);
+  amplitude(c, 0, /*greedy=*/false, &seq_stats);
+  amplitude(c, 0, /*greedy=*/true, &greedy_stats);
+  EXPECT_GT(seq_stats.contractions, 0U);
+  EXPECT_GT(greedy_stats.contractions, 0U);
+  // For a GHZ amplitude, a good plan never builds a tensor anywhere near
+  // the full 2^8 state: the greedy plan caps early.
+  EXPECT_LE(greedy_stats.peak_tensor_size, 64U);
+  EXPECT_GT(seq_stats.peak_tensor_size, 0U);
+}
+
+TEST(Network, ExpectationOfPauliStrings) {
+  // GHZ: <Z_i Z_j> = 1, <Z_i> = 0, <X...X> = 1.
+  const auto c = ir::ghz(3);
+  EXPECT_NEAR(std::abs(expectation(c, "IZZ") - Complex{1.0}), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(expectation(c, "ZZI") - Complex{1.0}), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(expectation(c, "IIZ")), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(expectation(c, "XXX") - Complex{1.0}), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(expectation(c, "III") - Complex{1.0}), 0.0, 1e-9);
+}
+
+TEST(Network, ExpectationMatchesDenseOracle) {
+  const auto c = ir::random_circuit(3, 3, 21);
+  const auto sv = test::oracle_state(c);
+  // <Z0> = P(q0=0) - P(q0=1).
+  double expect_z0 = 0.0;
+  for (std::uint64_t i = 0; i < sv.dim(); ++i) {
+    expect_z0 += ((i & 1) == 0 ? 1.0 : -1.0) * std::norm(sv.amplitude(i));
+  }
+  const Complex got = expectation(c, "IIZ");
+  EXPECT_NEAR(got.real(), expect_z0, 1e-8);
+  EXPECT_NEAR(got.imag(), 0.0, 1e-8);
+}
+
+TEST(Network, ExpectationValidatesLength) {
+  EXPECT_THROW(expectation(ir::bell(), "Z"), std::invalid_argument);
+  EXPECT_THROW(expectation(ir::bell(), "ZA"), std::invalid_argument);
+}
+
+TEST(Network, RejectsNonUnitaryCircuit) {
+  ir::Circuit c(1);
+  c.h(0).measure(0);
+  std::vector<Label> outs;
+  EXPECT_THROW(circuit_network(c, outs), std::invalid_argument);
+}
+
+TEST(Network, MemoryLinearInGates) {
+  // Section IV: the *network* stays linear in qubits + gates even when the
+  // state it represents is exponential.
+  const auto small = ir::qft(4);
+  const auto large = ir::qft(8);
+  std::vector<Label> outs;
+  const auto net_small = circuit_network(small, outs);
+  const auto net_large = circuit_network(large, outs);
+  // qft(n) has n H (4 elements) + n(n-1)/2 CP (16) + n/2 SWAP (16) gates
+  // + n kets (2 elements).
+  const auto expect_elems = [](std::size_t n) {
+    return 2 * n + 4 * n + 16 * (n * (n - 1) / 2) + 16 * (n / 2);
+  };
+  EXPECT_EQ(net_small.total_elements(), expect_elems(4));
+  EXPECT_EQ(net_large.total_elements(), expect_elems(8));
+}
+
+}  // namespace
+}  // namespace qdt::tn

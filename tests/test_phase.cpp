@@ -1,0 +1,123 @@
+#include "common/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace qdt {
+namespace {
+
+TEST(Phase, DefaultIsZero) {
+  const Phase p;
+  EXPECT_TRUE(p.is_zero());
+  EXPECT_EQ(p.num(), 0);
+  EXPECT_EQ(p.den(), 1);
+  EXPECT_DOUBLE_EQ(p.radians(), 0.0);
+}
+
+TEST(Phase, NormalizationReducesFractions) {
+  const Phase p{2, 4};
+  EXPECT_EQ(p.num(), 1);
+  EXPECT_EQ(p.den(), 2);
+}
+
+TEST(Phase, NormalizationWrapsIntoHalfOpenInterval) {
+  // 3pi -> pi.
+  EXPECT_EQ(Phase(3, 1), Phase::pi());
+  // -pi -> pi (the interval is (-pi, pi]).
+  EXPECT_EQ(Phase(-1, 1), Phase::pi());
+  // 5pi/2 -> pi/2.
+  EXPECT_EQ(Phase(5, 2), Phase::pi_2());
+  // -7pi/4 -> pi/4.
+  EXPECT_EQ(Phase(-7, 4), Phase::pi_4());
+}
+
+TEST(Phase, NegativeDenominator) {
+  const Phase p{1, -2};
+  EXPECT_EQ(p, Phase::minus_pi_2());
+}
+
+TEST(Phase, ZeroDenominatorThrows) {
+  EXPECT_THROW(Phase(1, 0), std::invalid_argument);
+}
+
+TEST(Phase, Addition) {
+  EXPECT_EQ(Phase::pi_4() + Phase::pi_4(), Phase::pi_2());
+  EXPECT_EQ(Phase::pi_2() + Phase::pi_2(), Phase::pi());
+  EXPECT_EQ(Phase::pi() + Phase::pi(), Phase::zero());
+  EXPECT_EQ(Phase(3, 4) + Phase(3, 4), Phase(-1, 2));
+}
+
+TEST(Phase, Subtraction) {
+  EXPECT_EQ(Phase::pi_2() - Phase::pi_4(), Phase::pi_4());
+  EXPECT_EQ(Phase::zero() - Phase::pi_2(), Phase::minus_pi_2());
+}
+
+TEST(Phase, NegationMapsMinusPiToPi) {
+  EXPECT_EQ(-Phase::pi(), Phase::pi());
+  EXPECT_EQ(-Phase::pi_4(), Phase::minus_pi_4());
+}
+
+TEST(Phase, Predicates) {
+  EXPECT_TRUE(Phase::zero().is_pauli());
+  EXPECT_TRUE(Phase::pi().is_pauli());
+  EXPECT_FALSE(Phase::pi_2().is_pauli());
+  EXPECT_TRUE(Phase::pi_2().is_clifford());
+  EXPECT_TRUE(Phase::pi().is_clifford());
+  EXPECT_FALSE(Phase::pi_4().is_clifford());
+  EXPECT_TRUE(Phase::pi_2().is_proper_clifford());
+  EXPECT_TRUE(Phase::minus_pi_2().is_proper_clifford());
+  EXPECT_FALSE(Phase::pi().is_proper_clifford());
+}
+
+TEST(Phase, FromRadiansExactForCatalogueAngles) {
+  EXPECT_EQ(Phase::from_radians(std::numbers::pi / 4), Phase::pi_4());
+  EXPECT_EQ(Phase::from_radians(-std::numbers::pi / 2),
+            Phase::minus_pi_2());
+  EXPECT_EQ(Phase::from_radians(std::numbers::pi), Phase::pi());
+  EXPECT_EQ(Phase::from_radians(0.0), Phase::zero());
+  EXPECT_EQ(Phase::from_radians(3 * std::numbers::pi / 4), Phase(3, 4));
+}
+
+TEST(Phase, FromRadiansApproximatesContinuousAngles) {
+  const double angle = 1.2345678901234;
+  const Phase p = Phase::from_radians(angle);
+  EXPECT_NEAR(p.radians(), angle, 1e-9);
+}
+
+TEST(Phase, FromRadiansRoundTripsManyAngles) {
+  for (int i = -200; i <= 200; ++i) {
+    const double angle = static_cast<double>(i) * 0.0157;
+    const Phase p = Phase::from_radians(angle);
+    // Round-tripped value must match modulo 2pi.
+    const double two_pi = 2 * std::numbers::pi;
+    double diff = std::fmod(p.radians() - angle, two_pi);
+    if (diff > std::numbers::pi) {
+      diff -= two_pi;
+    }
+    if (diff < -std::numbers::pi) {
+      diff += two_pi;
+    }
+    EXPECT_NEAR(diff, 0.0, 1e-9) << "angle " << angle;
+  }
+}
+
+TEST(Phase, StringForms) {
+  EXPECT_EQ(Phase::zero().str(), "0");
+  EXPECT_EQ(Phase::pi().str(), "pi");
+  EXPECT_EQ(Phase::pi_2().str(), "pi/2");
+  EXPECT_EQ(Phase::minus_pi_4().str(), "-pi/4");
+  EXPECT_EQ(Phase(3, 4).str(), "3pi/4");
+}
+
+TEST(Phase, RepeatedAdditionStaysExactForDyadicPhases) {
+  Phase acc;
+  for (int i = 0; i < 8; ++i) {
+    acc += Phase::pi_4();
+  }
+  EXPECT_EQ(acc, Phase::zero());
+}
+
+}  // namespace
+}  // namespace qdt

@@ -1,0 +1,275 @@
+// Property-style invariant sweeps (parameterized over seeds/sizes): the
+// algebraic laws each data structure must satisfy, independent of any
+// specific circuit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/qdt.hpp"
+#include "testutil.hpp"
+
+namespace qdt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Phase: group laws of rational angles mod 2 pi.
+// ---------------------------------------------------------------------------
+
+class PhaseGroupLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PhaseGroupLaws, AssociativityCommutativityInverse) {
+  Rng rng(GetParam());
+  const auto random_phase = [&rng] {
+    return Phase{rng.integer(-64, 64), rng.integer(1, 64)};
+  };
+  for (int i = 0; i < 50; ++i) {
+    const Phase a = random_phase();
+    const Phase b = random_phase();
+    const Phase c = random_phase();
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a + (-a), Phase::zero());
+    EXPECT_EQ(a - b, a + (-b));
+    // radians() is consistent with the rational representation.
+    EXPECT_NEAR(std::remainder((a + b).radians() -
+                                   (a.radians() + b.radians()),
+                               2 * std::numbers::pi),
+                0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhaseGroupLaws,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Arrays: unitarity and linearity.
+// ---------------------------------------------------------------------------
+
+class StatevectorLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatevectorLaws, NormAndInnerProductPreserved) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const auto a_amps = rng.random_state(16);
+  const auto b_amps = rng.random_state(16);
+  arrays::Statevector a{a_amps};
+  arrays::Statevector b{b_amps};
+  const Complex ip_before = a.inner_product(b);
+  const ir::Circuit c = ir::random_circuit(4, 5, seed);
+  for (const auto& op : c.ops()) {
+    a.apply(op);
+    b.apply(op);
+  }
+  // Unitaries preserve norms and inner products.
+  EXPECT_NEAR(a.norm(), 1.0, 1e-9);
+  EXPECT_NEAR(std::abs(a.inner_product(b) - ip_before), 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatevectorLaws,
+                         ::testing::Range<std::uint64_t>(10, 18));
+
+// ---------------------------------------------------------------------------
+// Decision diagrams: canonicity — semantically equal states are pointer-
+// equal, no matter how they were built.
+// ---------------------------------------------------------------------------
+
+TEST(DdCanonicity, SameStateSameNode) {
+  dd::Package pkg(4);
+  // Build |+>^4 two ways: via from_vector and via H gate applications.
+  std::vector<Complex> amps(16, Complex{0.25, 0.0});
+  const auto direct = pkg.from_vector(amps);
+  auto state = pkg.zero_state();
+  for (ir::Qubit q = 0; q < 4; ++q) {
+    state = pkg.multiply(
+        pkg.gate_dd(ir::Operation{ir::GateKind::H, q}), state);
+  }
+  EXPECT_EQ(direct.node, state.node);
+  EXPECT_TRUE(pkg.ctab().equal_modulus(direct.weight, state.weight));
+}
+
+class DdCanonicityFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DdCanonicityFuzz, GateOrderIndependence) {
+  // Commuting diagonal gates applied in different orders must produce the
+  // identical canonical DD.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  std::vector<ir::Operation> gates;
+  for (int i = 0; i < 10; ++i) {
+    gates.emplace_back(ir::GateKind::P,
+                       static_cast<ir::Qubit>(rng.index(4)),
+                       std::initializer_list<Phase>{
+                           Phase{rng.integer(1, 7), rng.integer(1, 8)}});
+  }
+  dd::Package pkg(4);
+  auto plus = pkg.zero_state();
+  for (ir::Qubit q = 0; q < 4; ++q) {
+    plus = pkg.multiply(pkg.gate_dd(ir::Operation{ir::GateKind::H, q}),
+                        plus);
+  }
+  auto forward = plus;
+  for (const auto& g : gates) {
+    forward = pkg.multiply(pkg.gate_dd(g), forward);
+  }
+  auto backward = plus;
+  for (auto it = gates.rbegin(); it != gates.rend(); ++it) {
+    backward = pkg.multiply(pkg.gate_dd(*it), backward);
+  }
+  EXPECT_EQ(forward.node, backward.node) << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DdCanonicityFuzz,
+                         ::testing::Range<std::uint64_t>(40, 48));
+
+// DD linear-algebra laws.
+class DdAlgebraLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DdAlgebraLaws, AdditionAndMultiplication) {
+  const std::uint64_t seed = GetParam();
+  dd::Package pkg(3);
+  Rng rng(seed);
+  const auto va = pkg.from_vector(rng.random_state(8));
+  const auto vb = pkg.from_vector(rng.random_state(8));
+  const auto vc = pkg.from_vector(rng.random_state(8));
+  // Commutativity and associativity of addition.
+  const auto ab = pkg.add(va, vb);
+  const auto ba = pkg.add(vb, va);
+  EXPECT_EQ(ab.node, ba.node);
+  const auto a_bc = pkg.add(va, pkg.add(vb, vc));
+  const auto ab_c = pkg.add(pkg.add(va, vb), vc);
+  // Associativity holds semantically (node equality can be spoiled by
+  // floating rounding, so compare dense).
+  const auto lhs = pkg.to_vector(a_bc);
+  const auto rhs = pkg.to_vector(ab_c);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(lhs[i] - rhs[i]), 0.0, 1e-9);
+  }
+  // (U V) x == U (V x).
+  const auto u = pkg.gate_dd(ir::Operation{ir::GateKind::H, 1});
+  const auto v = pkg.gate_dd(ir::Operation{ir::GateKind::X, {2}, {0}});
+  const auto uv_x = pkg.multiply(pkg.multiply(u, v), va);
+  const auto u_vx = pkg.multiply(u, pkg.multiply(v, va));
+  EXPECT_EQ(uv_x.node, u_vx.node);
+  EXPECT_TRUE(pkg.ctab().equal_modulus(uv_x.weight, u_vx.weight));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DdAlgebraLaws,
+                         ::testing::Range<std::uint64_t>(60, 66));
+
+// ---------------------------------------------------------------------------
+// Tensor networks: contraction-order invariance.
+// ---------------------------------------------------------------------------
+
+class TnOrderInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TnOrderInvariance, AnyPlanSameScalar) {
+  const std::uint64_t seed = GetParam();
+  const ir::Circuit c = ir::random_clifford_t(4, 30, 0.3, seed);
+  for (std::uint64_t basis : {0ULL, 9ULL}) {
+    const Complex greedy = tn::amplitude(c, basis, /*greedy=*/true);
+    const Complex seq = tn::amplitude(c, basis, /*greedy=*/false);
+    EXPECT_NEAR(std::abs(greedy - seq), 0.0, 1e-9) << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TnOrderInvariance,
+                         ::testing::Range<std::uint64_t>(80, 86));
+
+TEST(TnLaws, ContractionIsBilinear) {
+  Rng rng(5);
+  tn::Tensor a({0, 1}, {2, 3});
+  tn::Tensor b({1, 2}, {3, 2});
+  for (auto& v : a.data()) {
+    v = rng.gaussian_complex();
+  }
+  for (auto& v : b.data()) {
+    v = rng.gaussian_complex();
+  }
+  // (2a) . b == 2 (a . b).
+  tn::Tensor a2 = a;
+  for (auto& v : a2.data()) {
+    v *= 2.0;
+  }
+  const auto ab = tn::Tensor::contract(a, b);
+  const auto a2b = tn::Tensor::contract(a2, b);
+  for (std::size_t i = 0; i < ab.size(); ++i) {
+    EXPECT_NEAR(std::abs(a2b.data()[i] - 2.0 * ab.data()[i]), 0.0, 1e-10);
+  }
+  // Contraction commutes: contract(a, b) == contract(b, a) up to index
+  // ordering.
+  const auto ba = tn::Tensor::contract(b, a).permuted(ab.labels());
+  for (std::size_t i = 0; i < ab.size(); ++i) {
+    EXPECT_NEAR(std::abs(ba.data()[i] - ab.data()[i]), 0.0, 1e-10);
+  }
+}
+
+// MPS invariants under gate application.
+class MpsLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MpsLaws, NormPreservedBondBounded) {
+  const std::uint64_t seed = GetParam();
+  const ir::Circuit c = ir::random_clifford(6, 40, seed);
+  tn::MPS mps(6);
+  mps.run(c);
+  EXPECT_NEAR(mps.norm2(), 1.0, 1e-8);
+  // Exact simulation: bond dimension can never exceed 2^(n/2).
+  EXPECT_LE(mps.max_bond_dimension(), 8U);
+  EXPECT_NEAR(mps.discarded_weight(), 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpsLaws,
+                         ::testing::Range<std::uint64_t>(90, 98));
+
+// ---------------------------------------------------------------------------
+// ZX: rewriting is semantics-preserving on random diagrams (the umbrella
+// property behind all of Section V).
+// ---------------------------------------------------------------------------
+
+class ZxSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZxSoundness, CliffordSimpPreservesMatrix) {
+  const std::uint64_t seed = GetParam();
+  const ir::Circuit c = ir::random_clifford_t(3, 36, 0.3, seed);
+  zx::ZXDiagram d = zx::to_diagram(c);
+  const zx::ZXMatrix before = zx::to_matrix(d);
+  zx::clifford_simp(d);
+  const zx::ZXMatrix after = zx::to_matrix(d);
+  EXPECT_TRUE(zx::equal_up_to_scalar(before, after, 1e-7)) << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZxSoundness,
+                         ::testing::Range<std::uint64_t>(300, 316));
+
+// ---------------------------------------------------------------------------
+// Transpile: every pass preserves semantics on random inputs.
+// ---------------------------------------------------------------------------
+
+class TranspileSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TranspileSoundness, PassesPreserveSemantics) {
+  const std::uint64_t seed = GetParam();
+  const ir::Circuit c = ir::random_clifford_t(4, 30, 0.25, seed);
+  const auto u_ref = arrays::DenseUnitary::from_circuit(c);
+
+  const auto check = [&](const ir::Circuit& got, const char* pass) {
+    const auto u = arrays::DenseUnitary::from_circuit(got);
+    EXPECT_TRUE(u.equal_up_to_global_phase(u_ref, 1e-8))
+        << pass << " seed " << seed;
+  };
+  check(transpile::decompose_multi_controlled(c), "multi-controlled");
+  check(transpile::decompose_two_qubit(
+            transpile::decompose_multi_controlled(c)),
+        "two-qubit");
+  check(transpile::rebase_1q_to_hzx(c), "hzx");
+  check(transpile::peephole_optimize(c), "peephole");
+  check(transpile::rebase_1q_to_zsx(
+            transpile::decompose_two_qubit(
+                transpile::decompose_multi_controlled(c))),
+        "zsx");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TranspileSoundness,
+                         ::testing::Range<std::uint64_t>(400, 412));
+
+}  // namespace
+}  // namespace qdt

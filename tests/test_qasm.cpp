@@ -1,0 +1,153 @@
+#include "ir/qasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arrays/dense_unitary.hpp"
+#include "ir/library.hpp"
+
+namespace qdt::ir {
+namespace {
+
+Circuit library_case(int which);
+
+TEST(Qasm, ParsesMinimalProgram) {
+  const auto c = parse_qasm(R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[2];
+    creg c[2];
+    h q[0];
+    cx q[0], q[1];
+    measure q[0] -> c[0];
+  )");
+  EXPECT_EQ(c.num_qubits(), 2U);
+  ASSERT_EQ(c.size(), 3U);
+  EXPECT_EQ(c[0].kind(), GateKind::H);
+  EXPECT_EQ(c[1].kind(), GateKind::X);
+  EXPECT_EQ(c[1].controls(), std::vector<Qubit>{0});
+  EXPECT_TRUE(c[2].is_measurement());
+}
+
+TEST(Qasm, ParsesAngleExpressions) {
+  const auto c = parse_qasm(R"(
+    OPENQASM 2.0;
+    qreg q[1];
+    rz(pi/2) q[0];
+    rz(-pi/4) q[0];
+    rz(3*pi/4) q[0];
+    rz(0.5) q[0];
+    rz(2*pi/3) q[0];
+    p(pi) q[0];
+  )");
+  ASSERT_EQ(c.size(), 6U);
+  EXPECT_EQ(c[0].params()[0], Phase::pi_2());
+  EXPECT_EQ(c[1].params()[0], Phase::minus_pi_4());
+  EXPECT_EQ(c[2].params()[0], Phase(3, 4));
+  EXPECT_NEAR(c[3].params()[0].radians(), 0.5, 1e-9);
+  EXPECT_EQ(c[4].params()[0], Phase(2, 3));
+  EXPECT_EQ(c[5].params()[0], Phase::pi());
+}
+
+TEST(Qasm, ParsesU3AndAliases) {
+  const auto c = parse_qasm(R"(
+    OPENQASM 2.0;
+    qreg q[2];
+    u3(pi/2, 0, pi) q[0];
+    u1(pi/4) q[1];
+    cu1(pi/8) q[0], q[1];
+  )");
+  ASSERT_EQ(c.size(), 3U);
+  EXPECT_EQ(c[0].kind(), GateKind::U);
+  EXPECT_EQ(c[1].kind(), GateKind::P);
+  EXPECT_EQ(c[2].kind(), GateKind::P);
+  EXPECT_EQ(c[2].controls().size(), 1U);
+}
+
+TEST(Qasm, ParsesMultiQubitGates) {
+  const auto c = parse_qasm(R"(
+    OPENQASM 2.0;
+    qreg q[3];
+    ccx q[0], q[1], q[2];
+    swap q[0], q[2];
+    cswap q[1], q[0], q[2];
+    rzz(pi/3) q[0], q[1];
+  )");
+  ASSERT_EQ(c.size(), 4U);
+  EXPECT_EQ(c[0].controls().size(), 2U);
+  EXPECT_EQ(c[1].kind(), GateKind::Swap);
+  EXPECT_EQ(c[2].kind(), GateKind::Swap);
+  EXPECT_EQ(c[2].controls().size(), 1U);
+  EXPECT_EQ(c[3].kind(), GateKind::RZZ);
+}
+
+TEST(Qasm, MeasureWholeRegister) {
+  const auto c = parse_qasm(R"(
+    OPENQASM 2.0;
+    qreg q[3];
+    creg c[3];
+    h q[0];
+    measure q -> c;
+  )");
+  EXPECT_EQ(c.stats().measurements, 3U);
+}
+
+TEST(Qasm, CommentsAndWhitespace) {
+  const auto c = parse_qasm(
+      "OPENQASM 2.0; // header\n"
+      "qreg q[1]; // one qubit\n"
+      "// a full-line comment\n"
+      "  h   q[0]  ;\n");
+  EXPECT_EQ(c.size(), 1U);
+}
+
+TEST(Qasm, ErrorsHaveLineNumbers) {
+  try {
+    parse_qasm("OPENQASM 2.0;\nqreg q[1];\nbadgate q[0];\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("qasm:3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Qasm, OutOfRangeQubitThrows) {
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[2];\n"),
+               std::runtime_error);
+}
+
+TEST(Qasm, MissingSemicolonThrows) {
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[1];\nh q[0]\n"),
+               std::runtime_error);
+}
+
+TEST(Qasm, RoundTripPreservesSemantics) {
+  for (const auto& original :
+       {library_case(0), library_case(1), library_case(2)}) {
+    const Circuit reparsed = parse_qasm(to_qasm(original));
+    ASSERT_EQ(reparsed.num_qubits(), original.num_qubits());
+    const auto u1 = arrays::DenseUnitary::from_circuit(original);
+    const auto u2 = arrays::DenseUnitary::from_circuit(reparsed);
+    EXPECT_TRUE(u1.approx_equal(u2, 1e-8)) << original.name();
+  }
+}
+
+TEST(Qasm, WriterRejectsTooManyControls) {
+  Circuit c(4);
+  c.mcx({0, 1, 2}, 3);
+  EXPECT_THROW(to_qasm(c), std::runtime_error);
+}
+
+// Small helper providing unitary circuits for the round-trip test.
+Circuit library_case(int which) {
+  switch (which) {
+    case 0:
+      return bell();
+    case 1:
+      return qft(3);
+    default:
+      return random_clifford_t(3, 40, 0.25, 5);
+  }
+}
+
+}  // namespace
+}  // namespace qdt::ir

@@ -1,0 +1,184 @@
+#include "arrays/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/library.hpp"
+#include "testutil.hpp"
+
+namespace qdt::arrays {
+namespace {
+
+using ir::GateKind;
+using ir::Operation;
+
+TEST(Statevector, InitialState) {
+  const Statevector sv(3);
+  EXPECT_EQ(sv.dim(), 8U);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, 1e-12);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, RefusesHugeAllocation) {
+  EXPECT_THROW(Statevector(40), std::invalid_argument);
+}
+
+TEST(Statevector, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(Statevector(std::vector<Complex>(3)), std::invalid_argument);
+}
+
+TEST(Statevector, HadamardCreatesSuperposition) {
+  Statevector sv(1);
+  sv.apply(Operation{GateKind::H, 0});
+  EXPECT_NEAR(sv.amplitude(0).real(), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(sv.amplitude(1).real(), kInvSqrt2, 1e-12);
+}
+
+TEST(Statevector, PaperExampleOneCnotOnPlusState) {
+  // The paper's Example 1: CNOT (control q1, target q0) applied to
+  // 1/sqrt(2) [1 0 1 0]^T yields the Bell state 1/sqrt(2) [1 0 0 1]^T.
+  Statevector sv(std::vector<Complex>{
+      kInvSqrt2, 0.0, kInvSqrt2, 0.0});
+  sv.apply(Operation{GateKind::X, {0}, {1}});
+  EXPECT_NEAR(std::abs(sv.amplitude(0b00)), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b01)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11)), kInvSqrt2, 1e-12);
+}
+
+TEST(Statevector, CnotControlAndTargetOrder) {
+  Statevector sv(2);
+  sv.apply(Operation{GateKind::X, 0});  // |01> (q0 = 1)
+  sv.apply(Operation{GateKind::X, {1}, {0}});  // control q0 -> flips q1
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11)), 1.0, 1e-12);
+}
+
+TEST(Statevector, ToffoliOnlyFiresWhenBothControlsSet) {
+  for (std::uint64_t input = 0; input < 8; ++input) {
+    Statevector sv(3);
+    for (std::size_t q = 0; q < 3; ++q) {
+      if ((input >> q) & 1) {
+        sv.apply(Operation{GateKind::X, static_cast<ir::Qubit>(q)});
+      }
+    }
+    sv.apply(Operation{GateKind::X, {2}, {0, 1}});
+    const std::uint64_t expected =
+        (input & 3) == 3 ? (input ^ 4) : input;
+    EXPECT_NEAR(std::norm(sv.amplitude(expected)), 1.0, 1e-12)
+        << "input=" << input;
+  }
+}
+
+TEST(Statevector, SwapExchangesQubits) {
+  Statevector sv(2);
+  sv.apply(Operation{GateKind::X, 0});
+  sv.apply(Operation{GateKind::Swap, std::vector<ir::Qubit>{0, 1}});
+  EXPECT_NEAR(std::norm(sv.amplitude(0b10)), 1.0, 1e-12);
+}
+
+TEST(Statevector, GatePlusAdjointIsIdentityOnRandomState) {
+  Rng rng(3);
+  const auto amps = rng.random_state(16);
+  const Statevector original{amps};
+  const ir::Circuit c = ir::random_circuit(4, 8, 77);
+  Statevector sv = original;
+  for (const auto& op : c.ops()) {
+    sv.apply(op);
+  }
+  const ir::Circuit inv = c.adjoint();
+  for (const auto& op : inv.ops()) {
+    sv.apply(op);
+  }
+  EXPECT_TRUE(sv.approx_equal(original, 1e-8));
+}
+
+TEST(Statevector, NormPreservedByUnitaries) {
+  Statevector sv(4);
+  const ir::Circuit c = ir::random_circuit(4, 10, 5);
+  for (const auto& op : c.ops()) {
+    sv.apply(op);
+  }
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+}
+
+TEST(Statevector, ProbOne) {
+  Statevector sv(2);
+  sv.apply(Operation{GateKind::H, 0});
+  EXPECT_NEAR(sv.prob_one(0), 0.5, 1e-12);
+  EXPECT_NEAR(sv.prob_one(1), 0.0, 1e-12);
+}
+
+TEST(Statevector, MeasurementCollapses) {
+  Rng rng(1);
+  Statevector sv(1);
+  sv.apply(Operation{GateKind::H, 0});
+  const bool outcome = sv.measure(0, rng);
+  EXPECT_NEAR(std::norm(sv.amplitude(outcome ? 1 : 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::norm(sv.amplitude(outcome ? 0 : 1)), 0.0, 1e-12);
+}
+
+TEST(Statevector, MeasurementStatisticsMatchBorn) {
+  std::size_t ones = 0;
+  Rng rng(9);
+  const std::size_t trials = 2000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    Statevector sv(1);
+    // RY(2*pi/3): prob(1) = sin^2(pi/3) = 0.75.
+    sv.apply(Operation{GateKind::RY, 0, {Phase{2, 3}}});
+    ones += sv.measure(0, rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.75, 0.05);
+}
+
+TEST(Statevector, SampleMatchesProbabilities) {
+  const auto sv = test::oracle_state(ir::bell());
+  Rng rng(4);
+  std::size_t count00 = 0;
+  std::size_t count11 = 0;
+  const std::size_t shots = 4000;
+  for (std::size_t i = 0; i < shots; ++i) {
+    const auto s = sv.sample(rng);
+    ASSERT_TRUE(s == 0 || s == 3) << s;
+    (s == 0 ? count00 : count11) += 1;
+  }
+  EXPECT_NEAR(static_cast<double>(count00) / shots, 0.5, 0.05);
+}
+
+TEST(Statevector, ResetForcesZero) {
+  Rng rng(5);
+  Statevector sv(2);
+  sv.apply(Operation{GateKind::X, 1});
+  sv.reset(1, rng);
+  EXPECT_NEAR(std::norm(sv.amplitude(0)), 1.0, 1e-12);
+}
+
+TEST(Statevector, InnerProductAndFidelity) {
+  const auto bell_sv = test::oracle_state(ir::bell());
+  EXPECT_NEAR(bell_sv.fidelity(bell_sv), 1.0, 1e-12);
+  const Statevector zero(2);
+  EXPECT_NEAR(bell_sv.fidelity(zero), 0.5, 1e-12);
+}
+
+TEST(Statevector, EqualUpToGlobalPhase) {
+  const auto a = test::oracle_state(ir::bell());
+  Statevector b = a;
+  b.apply_matrix2(0, Mat2::identity() * Complex{0.0, 1.0});
+  EXPECT_FALSE(a.approx_equal(b));
+  EXPECT_TRUE(a.equal_up_to_global_phase(b));
+}
+
+TEST(Statevector, ControlledGateViaMaskMatchesOperation) {
+  // Applying X on q1 controlled by q0 via the raw-mask API matches the
+  // Operation path.
+  Rng rng(8);
+  const auto amps = rng.random_state(8);
+  Statevector a{amps};
+  Statevector b{amps};
+  a.apply(Operation{GateKind::X, {1}, {0}});
+  b.apply_matrix2(1, ir::gate_matrix2(GateKind::X, {}), /*control_mask=*/1);
+  EXPECT_TRUE(a.approx_equal(b));
+}
+
+}  // namespace
+}  // namespace qdt::arrays

@@ -1,0 +1,124 @@
+#include "tn/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace qdt::tn {
+namespace {
+
+/// Check A == U diag(S) Vh, U^H U == I, Vh Vh^H == I.
+void check_svd(const std::vector<Complex>& a, std::size_t m, std::size_t n,
+               double eps = 1e-9) {
+  const SvdResult r = svd(a, m, n);
+  ASSERT_EQ(r.r, std::min(m, n));
+  // Reconstruction.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Complex acc{};
+      for (std::size_t k = 0; k < r.r; ++k) {
+        acc += r.u[i * r.r + k] * r.s[k] * r.vh[k * n + j];
+      }
+      EXPECT_NEAR(std::abs(acc - a[i * n + j]), 0.0, eps)
+          << "(" << i << ", " << j << ")";
+    }
+  }
+  // Descending singular values, all nonnegative.
+  for (std::size_t k = 0; k + 1 < r.r; ++k) {
+    EXPECT_GE(r.s[k], r.s[k + 1]);
+  }
+  for (const double s : r.s) {
+    EXPECT_GE(s, 0.0);
+  }
+  // Orthonormal columns of U.
+  for (std::size_t c1 = 0; c1 < r.r; ++c1) {
+    for (std::size_t c2 = 0; c2 < r.r; ++c2) {
+      Complex dot{};
+      for (std::size_t i = 0; i < m; ++i) {
+        dot += std::conj(r.u[i * r.r + c1]) * r.u[i * r.r + c2];
+      }
+      const Complex expect = c1 == c2 ? Complex{1.0} : Complex{};
+      EXPECT_NEAR(std::abs(dot - expect), 0.0, eps);
+    }
+  }
+  // Orthonormal rows of Vh.
+  for (std::size_t r1 = 0; r1 < r.r; ++r1) {
+    for (std::size_t r2 = 0; r2 < r.r; ++r2) {
+      Complex dot{};
+      for (std::size_t j = 0; j < n; ++j) {
+        dot += r.vh[r1 * n + j] * std::conj(r.vh[r2 * n + j]);
+      }
+      const Complex expect = r1 == r2 ? Complex{1.0} : Complex{};
+      EXPECT_NEAR(std::abs(dot - expect), 0.0, eps);
+    }
+  }
+}
+
+std::vector<Complex> random_matrix(std::size_t m, std::size_t n,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> a(m * n);
+  for (auto& v : a) {
+    v = rng.gaussian_complex();
+  }
+  return a;
+}
+
+TEST(Svd, Identity) {
+  std::vector<Complex> id(9, Complex{});
+  for (std::size_t i = 0; i < 3; ++i) {
+    id[i * 3 + i] = 1.0;
+  }
+  const SvdResult r = svd(id, 3, 3);
+  for (const double s : r.s) {
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+  check_svd(id, 3, 3);
+}
+
+TEST(Svd, KnownSingularValues) {
+  // diag(3, 2, 1) with a unitary twist stays {3, 2, 1}.
+  std::vector<Complex> a = {
+      {3.0, 0.0}, {0.0, 0.0}, {0.0, 0.0},
+      {0.0, 0.0}, {0.0, 2.0}, {0.0, 0.0},
+      {0.0, 0.0}, {0.0, 0.0}, {-1.0, 0.0}};
+  const SvdResult r = svd(a, 3, 3);
+  EXPECT_NEAR(r.s[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.s[1], 2.0, 1e-10);
+  EXPECT_NEAR(r.s[2], 1.0, 1e-10);
+  check_svd(a, 3, 3);
+}
+
+TEST(Svd, RandomSquare) { check_svd(random_matrix(6, 6, 1), 6, 6); }
+
+TEST(Svd, RandomTall) { check_svd(random_matrix(8, 3, 2), 8, 3); }
+
+TEST(Svd, RandomWide) { check_svd(random_matrix(3, 8, 3), 3, 8); }
+
+TEST(Svd, SingleColumn) { check_svd(random_matrix(5, 1, 4), 5, 1); }
+
+TEST(Svd, SingleRow) { check_svd(random_matrix(1, 5, 5), 1, 5); }
+
+TEST(Svd, FrobeniusNormPreserved) {
+  const auto a = random_matrix(4, 7, 6);
+  const SvdResult r = svd(a, 4, 7);
+  double frob = 0.0;
+  for (const auto& v : a) {
+    frob += std::norm(v);
+  }
+  double sum_s2 = 0.0;
+  for (const double s : r.s) {
+    sum_s2 += s * s;
+  }
+  EXPECT_NEAR(frob, sum_s2, 1e-9);
+}
+
+TEST(Svd, RejectsBadInput) {
+  EXPECT_THROW(svd(std::vector<Complex>(5), 2, 2), std::invalid_argument);
+  EXPECT_THROW(svd({}, 0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qdt::tn

@@ -1,0 +1,102 @@
+#include "arrays/svsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/library.hpp"
+
+namespace qdt::arrays {
+namespace {
+
+TEST(StatevectorSimulator, RunsUnitaryCircuit) {
+  StatevectorSimulator sim(1);
+  const auto res = sim.run(ir::bell());
+  EXPECT_NEAR(std::abs(res.state.amplitude(0)), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(res.state.amplitude(3)), kInvSqrt2, 1e-12);
+  EXPECT_TRUE(res.measurements.empty());
+}
+
+TEST(StatevectorSimulator, RecordsMeasurements) {
+  ir::Circuit c(2);
+  c.x(0).measure_all();
+  StatevectorSimulator sim(2);
+  const auto res = sim.run(c);
+  ASSERT_EQ(res.measurements.size(), 2U);
+  EXPECT_TRUE(res.measurements[0].second);    // q0 = 1
+  EXPECT_FALSE(res.measurements[1].second);   // q1 = 0
+}
+
+TEST(StatevectorSimulator, BellCountsAreCorrelated) {
+  StatevectorSimulator sim(3);
+  const auto counts = sim.sample_counts(ir::bell(), 2000);
+  std::size_t total = 0;
+  for (const auto& [word, count] : counts) {
+    EXPECT_TRUE(word == 0b00 || word == 0b11) << word;
+    total += count;
+  }
+  EXPECT_EQ(total, 2000U);
+  EXPECT_NEAR(static_cast<double>(counts.at(0)) / 2000.0, 0.5, 0.05);
+}
+
+TEST(StatevectorSimulator, GhzSampling) {
+  StatevectorSimulator sim(4);
+  const auto counts = sim.sample_counts(ir::ghz(5), 1000);
+  for (const auto& [word, count] : counts) {
+    EXPECT_TRUE(word == 0 || word == 0b11111) << word;
+  }
+}
+
+TEST(StatevectorSimulator, MidCircuitMeasurementDrivesCollapse) {
+  // Measure after H: the remaining state must be a basis state, and the
+  // sampled word must equal the recorded outcome.
+  ir::Circuit c(1);
+  c.h(0).measure(0);
+  StatevectorSimulator sim(5);
+  const auto counts = sim.sample_counts(c, 500);
+  std::size_t total = 0;
+  for (const auto& [word, count] : counts) {
+    EXPECT_TRUE(word == 0 || word == 1);
+    total += count;
+  }
+  EXPECT_EQ(total, 500U);
+  // Both outcomes occur with roughly equal frequency.
+  EXPECT_GT(counts.at(0), 175U);
+  EXPECT_GT(counts.at(1), 175U);
+}
+
+TEST(StatevectorSimulator, ReadoutErrorFlipsBits) {
+  ir::Circuit c(1);
+  c.measure(0);  // state is |0>, so only readout error can yield 1
+  StatevectorSimulator sim(6);
+  NoiseModel nm;
+  nm.readout_error = 0.2;
+  sim.set_noise(nm);
+  const auto counts = sim.sample_counts(c, 2000);
+  const double frac1 =
+      counts.contains(1) ? static_cast<double>(counts.at(1)) / 2000.0 : 0.0;
+  EXPECT_NEAR(frac1, 0.2, 0.04);
+}
+
+TEST(StatevectorSimulator, DeterministicGivenSeed) {
+  ir::Circuit c(3);
+  c.h(0).h(1).h(2).measure_all();
+  StatevectorSimulator a(42);
+  StatevectorSimulator b(42);
+  EXPECT_EQ(a.sample_counts(c, 100), b.sample_counts(c, 100));
+}
+
+TEST(StatevectorSimulator, DepolarizingNoiseSpreadsCounts) {
+  StatevectorSimulator sim(7);
+  sim.set_noise(NoiseModel::depolarizing_model(0.1));
+  const auto counts = sim.sample_counts(ir::ghz(3), 1000);
+  // With noise, some non-GHZ words must appear.
+  std::size_t bad = 0;
+  for (const auto& [word, count] : counts) {
+    if (word != 0 && word != 0b111) {
+      bad += count;
+    }
+  }
+  EXPECT_GT(bad, 10U);
+}
+
+}  // namespace
+}  // namespace qdt::arrays

@@ -1,0 +1,144 @@
+#include "tn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace qdt::tn {
+namespace {
+
+TEST(Tensor, ConstructionValidates) {
+  EXPECT_THROW(Tensor({1, 2}, {2}), std::invalid_argument);
+  EXPECT_THROW(Tensor({1, 1}, {2, 2}), std::invalid_argument);
+  EXPECT_THROW(Tensor({1}, {2}, std::vector<Complex>(3)),
+               std::invalid_argument);
+}
+
+TEST(Tensor, ScalarAndKet) {
+  const Tensor s = Tensor::scalar(Complex{2.0, -1.0});
+  EXPECT_EQ(s.rank(), 0U);
+  EXPECT_EQ(s.scalar_value(), (Complex{2.0, -1.0}));
+  const Tensor k0 = Tensor::qubit_ket(7, false);
+  EXPECT_EQ(k0.at({0}), Complex{1.0});
+  EXPECT_EQ(k0.at({1}), Complex{});
+  EXPECT_TRUE(k0.has_label(7));
+}
+
+TEST(Tensor, ElementAccess) {
+  Tensor t({1, 2}, {2, 3});
+  t.at({1, 2}) = Complex{5.0, 0.0};
+  EXPECT_EQ(t.at({1, 2}), (Complex{5.0, 0.0}));
+  EXPECT_EQ(t.data()[1 * 3 + 2], (Complex{5.0, 0.0}));
+  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(t.at({0}), std::invalid_argument);
+}
+
+TEST(Tensor, PermutedReordersData) {
+  // t[i][j], dims 2x3 -> p[j][i].
+  Tensor t({0, 1}, {2, 3});
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      t.at({i, j}) = Complex(static_cast<double>(10 * i + j), 0.0);
+    }
+  }
+  const Tensor p = t.permuted({1, 0});
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(p.at({j, i}), t.at({i, j}));
+    }
+  }
+}
+
+TEST(Tensor, ContractMatchesMatrixProduct) {
+  // Paper Example 3: C_{ij} = sum_k A_{ik} B_{kj}.
+  const std::size_t n = 4;
+  Rng rng(2);
+  Tensor a({0, 1}, {n, n});
+  Tensor b({1, 2}, {n, n});
+  for (auto& v : a.data()) {
+    v = rng.gaussian_complex();
+  }
+  for (auto& v : b.data()) {
+    v = rng.gaussian_complex();
+  }
+  const Tensor c = Tensor::contract(a, b);
+  ASSERT_EQ(c.labels(), (std::vector<Label>{0, 2}));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Complex expect{};
+      for (std::size_t k = 0; k < n; ++k) {
+        expect += a.at({i, k}) * b.at({k, j});
+      }
+      EXPECT_NEAR(std::abs(c.at({i, j}) - expect), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Tensor, ContractOverMultipleSharedIndices) {
+  Rng rng(3);
+  Tensor a({0, 1, 2}, {2, 3, 4});
+  Tensor b({2, 1}, {4, 3});
+  for (auto& v : a.data()) {
+    v = rng.gaussian_complex();
+  }
+  for (auto& v : b.data()) {
+    v = rng.gaussian_complex();
+  }
+  const Tensor c = Tensor::contract(a, b);
+  ASSERT_EQ(c.labels(), (std::vector<Label>{0}));
+  for (std::size_t i = 0; i < 2; ++i) {
+    Complex expect{};
+    for (std::size_t j = 0; j < 3; ++j) {
+      for (std::size_t k = 0; k < 4; ++k) {
+        expect += a.at({i, j, k}) * b.at({k, j});
+      }
+    }
+    EXPECT_NEAR(std::abs(c.at({i}) - expect), 0.0, 1e-10);
+  }
+}
+
+TEST(Tensor, ContractToScalar) {
+  const Tensor k0 = Tensor::qubit_ket(0, false);
+  const Tensor k0b = Tensor::qubit_ket(0, false);
+  const Tensor k1 = Tensor::qubit_ket(0, true);
+  EXPECT_NEAR(std::abs(Tensor::contract(k0, k0b).scalar_value() - 1.0), 0.0,
+              1e-12);
+  EXPECT_NEAR(std::abs(Tensor::contract(k0, k1).scalar_value()), 0.0, 1e-12);
+}
+
+TEST(Tensor, OuterProductWhenNoSharedLabels) {
+  const Tensor a = Tensor::qubit_ket(0, false);
+  const Tensor b = Tensor::qubit_ket(1, true);
+  const Tensor c = Tensor::contract(a, b);
+  EXPECT_EQ(c.rank(), 2U);
+  EXPECT_EQ(c.at({0, 1}), Complex{1.0});
+  EXPECT_EQ(c.at({1, 1}), Complex{});
+}
+
+TEST(Tensor, BondDimensionMismatchThrows) {
+  const Tensor a({0}, {2});
+  const Tensor b({0}, {3});
+  EXPECT_THROW(Tensor::contract(a, b), std::invalid_argument);
+}
+
+TEST(Tensor, TraceOfIdentity) {
+  Tensor id({0, 1}, {3, 3});
+  for (std::size_t i = 0; i < 3; ++i) {
+    id.at({i, i}) = 1.0;
+  }
+  const Tensor tr = id.traced(0, 1);
+  EXPECT_EQ(tr.rank(), 0U);
+  EXPECT_NEAR(std::abs(tr.scalar_value() - 3.0), 0.0, 1e-12);
+}
+
+TEST(Tensor, RelabelKeepsData) {
+  Tensor t = Tensor::qubit_ket(0, true);
+  t.relabel(0, 9);
+  EXPECT_TRUE(t.has_label(9));
+  EXPECT_FALSE(t.has_label(0));
+  EXPECT_EQ(t.at({1}), Complex{1.0});
+  EXPECT_THROW(t.relabel(3, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qdt::tn

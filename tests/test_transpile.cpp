@@ -1,0 +1,248 @@
+#include "transpile/transpiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dd/equivalence.hpp"
+#include "ir/library.hpp"
+#include "transpile/decompose.hpp"
+
+namespace qdt::transpile {
+namespace {
+
+using ir::Circuit;
+using ir::GateKind;
+
+TEST(CouplingMap, LineDistances) {
+  const auto cm = CouplingMap::line(5);
+  EXPECT_EQ(cm.distance(0, 4), 4U);
+  EXPECT_EQ(cm.distance(2, 3), 1U);
+  EXPECT_TRUE(cm.connected(1, 2));
+  EXPECT_FALSE(cm.connected(0, 2));
+}
+
+TEST(CouplingMap, RingWrapsAround) {
+  const auto cm = CouplingMap::ring(6);
+  EXPECT_EQ(cm.distance(0, 5), 1U);
+  EXPECT_EQ(cm.distance(0, 3), 3U);
+}
+
+TEST(CouplingMap, GridDistances) {
+  const auto cm = CouplingMap::grid(3, 3);
+  EXPECT_EQ(cm.distance(0, 8), 4U);  // Manhattan distance
+  EXPECT_EQ(cm.distance(0, 4), 2U);
+}
+
+TEST(CouplingMap, StarCenter) {
+  const auto cm = CouplingMap::star(5);
+  EXPECT_EQ(cm.distance(1, 2), 2U);
+  EXPECT_EQ(cm.distance(0, 4), 1U);
+}
+
+TEST(CouplingMap, HeavyHexIsConnected) {
+  const auto cm = CouplingMap::heavy_hex_falcon();
+  EXPECT_EQ(cm.num_qubits(), 27U);
+  for (ir::Qubit a = 0; a < 27; ++a) {
+    for (ir::Qubit b = 0; b < 27; ++b) {
+      EXPECT_LT(cm.distance(a, b), 27U);
+    }
+  }
+}
+
+TEST(CouplingMap, ShortestPathEndpoints) {
+  const auto cm = CouplingMap::grid(3, 3);
+  const auto path = cm.shortest_path(0, 8);
+  EXPECT_EQ(path.front(), 0U);
+  EXPECT_EQ(path.back(), 8U);
+  EXPECT_EQ(path.size(), 5U);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(cm.connected(path[i], path[i + 1]));
+  }
+}
+
+TEST(CouplingMap, RejectsBadEdges) {
+  EXPECT_THROW(CouplingMap(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(CouplingMap(2, {{1, 1}}), std::invalid_argument);
+}
+
+class RouterTest : public ::testing::TestWithParam<RouterKind> {};
+
+TEST_P(RouterTest, RoutedCircuitRespectsCoupling) {
+  const auto cm = CouplingMap::line(5);
+  const Circuit c = decompose_two_qubit(
+      decompose_multi_controlled(ir::random_clifford(5, 60, 3)));
+  const auto res = route(c, cm, GetParam());
+  for (const auto& op : res.circuit.ops()) {
+    if (op.num_qubits() == 2) {
+      const auto q = op.qubits();
+      EXPECT_TRUE(cm.connected(q[0], q[1])) << op.str();
+    }
+  }
+}
+
+TEST_P(RouterTest, RoutedCircuitIsEquivalentAfterLayoutRestore) {
+  const auto cm = CouplingMap::line(4);
+  const Circuit c = decompose_two_qubit(
+      decompose_multi_controlled(ir::qft(4)));
+  const auto res = route(c, cm, GetParam());
+  const Circuit restored = with_layout_restored(res);
+  const auto ec = dd::check_equivalence_dd(c, restored);
+  EXPECT_TRUE(ec.equivalent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, RouterTest,
+                         ::testing::Values(RouterKind::ShortestPath,
+                                           RouterKind::Lookahead),
+                         [](const auto& info) {
+                           return info.param == RouterKind::ShortestPath
+                                      ? "ShortestPath"
+                                      : "Lookahead";
+                         });
+
+TEST(Router, NoSwapsOnFullConnectivity) {
+  const auto cm = CouplingMap::full(4);
+  const Circuit c = decompose_two_qubit(
+      decompose_multi_controlled(ir::qft(4)));
+  const auto res = route(c, cm);
+  EXPECT_EQ(res.swaps_inserted, 0U);
+}
+
+TEST(Router, RejectsTooWideCircuit) {
+  const auto cm = CouplingMap::line(2);
+  EXPECT_THROW(route(ir::ghz(3), cm), std::invalid_argument);
+}
+
+TEST(Optimize, CancelsInversePairs) {
+  Circuit c(2);
+  c.h(0).h(0).cx(0, 1).cx(0, 1).t(1).tdg(1);
+  OptimizeStats stats;
+  const Circuit o = peephole_optimize(c, &stats);
+  EXPECT_TRUE(o.empty());
+  EXPECT_EQ(stats.cancelled_pairs, 3U);
+}
+
+TEST(Optimize, MergesRotations) {
+  Circuit c(1);
+  c.rz(Phase::pi_4(), 0).rz(Phase::pi_4(), 0);
+  const Circuit o = peephole_optimize(c);
+  ASSERT_EQ(o.size(), 1U);
+  EXPECT_EQ(o[0].params()[0], Phase::pi_2());
+}
+
+TEST(Optimize, MergedZeroRotationDisappears) {
+  Circuit c(1);
+  c.rz(Phase::pi_4(), 0).rz(Phase::minus_pi_4(), 0);
+  EXPECT_TRUE(peephole_optimize(c).empty());
+}
+
+TEST(Optimize, InterveningGateBlocksCancellation) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).h(0);
+  const Circuit o = peephole_optimize(c);
+  EXPECT_EQ(o.size(), 3U);
+}
+
+TEST(Optimize, BarrierBlocksCancellation) {
+  Circuit c(1);
+  c.h(0).barrier().h(0);
+  const Circuit o = peephole_optimize(c);
+  EXPECT_EQ(o.stats().total_gates, 2U);
+}
+
+TEST(Optimize, CascadingCancellation) {
+  // t tdg inside h h: inner pair cancels, then outer pair cancels on the
+  // next fixpoint pass.
+  Circuit c(1);
+  c.h(0).t(0).tdg(0).h(0);
+  EXPECT_TRUE(peephole_optimize(c).empty());
+}
+
+TEST(Optimize, PreservesSemantics) {
+  const Circuit c = ir::random_clifford_t(4, 80, 0.2, 17);
+  const Circuit o = peephole_optimize(c);
+  EXPECT_LE(o.size(), c.size());
+  EXPECT_TRUE(dd::check_equivalence_dd(c, o).equivalent);
+}
+
+class TranspileEndToEnd
+    : public ::testing::TestWithParam<std::pair<const char*, Circuit>> {};
+
+TEST_P(TranspileEndToEnd, NativeAndVerified) {
+  const Circuit& c = GetParam().second;
+  Target target{CouplingMap::line(c.num_qubits()), NativeGateSet::CxRzSxX,
+                "line"};
+  const TranspileResult res = transpile(c, target);
+  // Native basis check.
+  for (const auto& op : res.circuit.ops()) {
+    if (op.num_qubits() == 1) {
+      const bool ok = op.kind() == GateKind::RZ ||
+                      op.kind() == GateKind::SX || op.kind() == GateKind::X;
+      EXPECT_TRUE(ok) << op.str();
+    } else {
+      EXPECT_EQ(op.kind(), GateKind::X);
+      EXPECT_EQ(op.controls().size(), 1U);
+      EXPECT_TRUE(target.coupling.connected(op.qubits()[0], op.qubits()[1]))
+          << op.str();
+    }
+  }
+  // Formal verification: compiled + layout fixup == original.
+  const auto ec = dd::check_equivalence_dd(
+      padded_original(c, target), restored_for_verification(res));
+  EXPECT_TRUE(ec.equivalent) << GetParam().first;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, TranspileEndToEnd,
+    ::testing::Values(
+        std::make_pair("ghz", ir::ghz(5)),
+        std::make_pair("qft", ir::qft(4)),
+        std::make_pair("grover", ir::grover(3, 5)),
+        std::make_pair("wstate", ir::w_state(4)),
+        std::make_pair("adder", ir::ripple_carry_adder(2)),
+        std::make_pair("random", ir::random_circuit(4, 4, 23))),
+    [](const auto& info) { return std::string(info.param.first); });
+
+TEST(Transpile, CzTargetUsesOnlyCz) {
+  Target target{CouplingMap::ring(5), NativeGateSet::CzRzSxX, "ring-cz"};
+  const TranspileResult res = transpile(ir::qft(5), target);
+  for (const auto& op : res.circuit.ops()) {
+    if (op.num_qubits() == 2) {
+      EXPECT_EQ(op.kind(), GateKind::Z);
+      EXPECT_EQ(op.controls().size(), 1U);
+    }
+  }
+  const auto ec = dd::check_equivalence_dd(
+      padded_original(ir::qft(5), target), restored_for_verification(res));
+  EXPECT_TRUE(ec.equivalent);
+}
+
+TEST(Transpile, HeavyHexTarget) {
+  Target target{CouplingMap::heavy_hex_falcon(), NativeGateSet::CxRzSxX,
+                "falcon"};
+  const auto c = ir::ghz(6);
+  const TranspileResult res = transpile(c, target);
+  EXPECT_EQ(res.circuit.num_qubits(), 27U);
+  const auto ec = dd::check_equivalence_dd(padded_original(c, target),
+                                           restored_for_verification(res));
+  EXPECT_TRUE(ec.equivalent);
+}
+
+TEST(Transpile, OptimizeReducesGateCount) {
+  Target target{CouplingMap::line(4), NativeGateSet::CxRzSxX, "line"};
+  TranspileOptions with_opt;
+  TranspileOptions without_opt;
+  without_opt.optimize = false;
+  const auto c = ir::qft(4);
+  const auto a = transpile(c, target, with_opt);
+  const auto b = transpile(c, target, without_opt);
+  EXPECT_LE(a.after.total_gates, b.after.total_gates);
+}
+
+TEST(Transpile, RejectsMeasuredCircuit) {
+  Circuit c(2);
+  c.h(0).measure(0);
+  Target target{CouplingMap::line(2), NativeGateSet::CxRzSxX, "line"};
+  EXPECT_THROW(transpile(c, target), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qdt::transpile

@@ -1,0 +1,167 @@
+#include "zx/diagram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qdt::zx {
+namespace {
+
+TEST(ZXDiagram, AddAndRemoveVertices) {
+  ZXDiagram d;
+  const V a = d.add_vertex(VertexKind::Z, Phase::pi_4());
+  const V b = d.add_vertex(VertexKind::X);
+  EXPECT_EQ(d.num_vertices(), 2U);
+  EXPECT_EQ(d.kind(a), VertexKind::Z);
+  EXPECT_EQ(d.phase(a), Phase::pi_4());
+  EXPECT_EQ(d.phase(b), Phase::zero());
+  d.remove_vertex(a);
+  EXPECT_EQ(d.num_vertices(), 1U);
+  EXPECT_FALSE(d.alive(a));
+  EXPECT_THROW(d.phase(a), std::out_of_range);
+}
+
+TEST(ZXDiagram, EdgeBasics) {
+  ZXDiagram d;
+  const V a = d.add_vertex(VertexKind::Z);
+  const V b = d.add_vertex(VertexKind::Z);
+  d.add_edge(a, b, EdgeKind::Hadamard);
+  EXPECT_TRUE(d.has_edge(a, b));
+  EXPECT_TRUE(d.has_edge(b, a));
+  EXPECT_EQ(d.edge_kind(a, b), EdgeKind::Hadamard);
+  EXPECT_EQ(d.num_edges(), 1U);
+  EXPECT_THROW(d.add_edge(a, b), std::invalid_argument);
+  EXPECT_THROW(d.add_edge(a, a), std::invalid_argument);
+  d.remove_edge(a, b);
+  EXPECT_FALSE(d.has_edge(a, b));
+  EXPECT_THROW(d.remove_edge(a, b), std::out_of_range);
+}
+
+TEST(ZXDiagram, RemoveVertexDetachesEdges) {
+  ZXDiagram d;
+  const V a = d.add_vertex(VertexKind::Z);
+  const V b = d.add_vertex(VertexKind::Z);
+  const V c = d.add_vertex(VertexKind::Z);
+  d.add_edge(a, b);
+  d.add_edge(b, c);
+  d.remove_vertex(b);
+  EXPECT_EQ(d.degree(a), 0U);
+  EXPECT_EQ(d.degree(c), 0U);
+  EXPECT_EQ(d.num_edges(), 0U);
+}
+
+TEST(ZXDiagram, ToggleHEdge) {
+  ZXDiagram d;
+  const V a = d.add_vertex(VertexKind::Z);
+  const V b = d.add_vertex(VertexKind::Z);
+  d.toggle_h_edge(a, b);
+  EXPECT_EQ(d.edge_kind(a, b), EdgeKind::Hadamard);
+  d.toggle_h_edge(a, b);
+  EXPECT_FALSE(d.has_edge(a, b));
+  d.add_edge(a, b, EdgeKind::Plain);
+  EXPECT_THROW(d.toggle_h_edge(a, b), std::logic_error);
+}
+
+TEST(ZXDiagram, SmartSelfLoops) {
+  ZXDiagram d;
+  const V a = d.add_vertex(VertexKind::Z, Phase::pi_4());
+  d.add_edge_smart(a, a, EdgeKind::Plain);
+  EXPECT_EQ(d.phase(a), Phase::pi_4());
+  d.add_edge_smart(a, a, EdgeKind::Hadamard);
+  EXPECT_EQ(d.phase(a), Phase::pi_4() + Phase::pi());
+}
+
+TEST(ZXDiagram, SmartParallelHadamardsCancel) {
+  ZXDiagram d;
+  const V a = d.add_vertex(VertexKind::Z);
+  const V b = d.add_vertex(VertexKind::Z);
+  d.add_edge(a, b, EdgeKind::Hadamard);
+  d.add_edge_smart(a, b, EdgeKind::Hadamard);
+  EXPECT_FALSE(d.has_edge(a, b));
+}
+
+TEST(ZXDiagram, SmartParallelPlainKeepsOne) {
+  ZXDiagram d;
+  const V a = d.add_vertex(VertexKind::Z);
+  const V b = d.add_vertex(VertexKind::Z);
+  d.add_edge(a, b, EdgeKind::Plain);
+  d.add_edge_smart(a, b, EdgeKind::Plain);
+  EXPECT_TRUE(d.has_edge(a, b));
+  EXPECT_EQ(d.num_edges(), 1U);
+}
+
+TEST(ZXDiagram, SmartMixedParallelFusesWithPi) {
+  ZXDiagram d;
+  const V a = d.add_vertex(VertexKind::Z, Phase::pi_4());
+  const V b = d.add_vertex(VertexKind::Z, Phase::pi_2());
+  d.add_edge(a, b, EdgeKind::Plain);
+  d.add_edge_smart(a, b, EdgeKind::Hadamard);
+  // The two spiders fused with an extra pi:
+  // pi/4 + pi/2 + pi = 7pi/4 == -pi/4 (mod 2pi).
+  EXPECT_EQ(d.num_vertices(), 1U);
+  EXPECT_EQ(d.phase(a), Phase::minus_pi_4());
+}
+
+TEST(ZXDiagram, FusionAddsPhasesAndTransfersEdges) {
+  ZXDiagram d;
+  const V a = d.add_vertex(VertexKind::Z, Phase::pi_4());
+  const V b = d.add_vertex(VertexKind::Z, Phase::pi_4());
+  const V c = d.add_vertex(VertexKind::Z);
+  d.add_edge(a, b, EdgeKind::Plain);
+  d.add_edge(b, c, EdgeKind::Hadamard);
+  d.fuse(a, b);
+  EXPECT_FALSE(d.alive(b));
+  EXPECT_EQ(d.phase(a), Phase::pi_2());
+  EXPECT_TRUE(d.has_edge(a, c));
+  EXPECT_EQ(d.edge_kind(a, c), EdgeKind::Hadamard);
+}
+
+TEST(ZXDiagram, TCountCountsNonClifford) {
+  ZXDiagram d;
+  d.add_vertex(VertexKind::Z, Phase::pi_4());
+  d.add_vertex(VertexKind::Z, Phase::pi_2());
+  d.add_vertex(VertexKind::X, Phase{3, 4});
+  d.add_vertex(VertexKind::Boundary);
+  EXPECT_EQ(d.t_count(), 2U);
+  EXPECT_EQ(d.num_spiders(), 3U);
+}
+
+TEST(ZXDiagram, AdjointNegatesPhasesAndSwapsBoundaries) {
+  ZXDiagram d;
+  const V in = d.add_vertex(VertexKind::Boundary);
+  const V s = d.add_vertex(VertexKind::Z, Phase::pi_4());
+  const V out = d.add_vertex(VertexKind::Boundary);
+  d.add_edge(in, s);
+  d.add_edge(s, out);
+  d.inputs().push_back(in);
+  d.outputs().push_back(out);
+  const ZXDiagram adj = d.adjoint();
+  EXPECT_EQ(adj.phase(s), Phase::minus_pi_4());
+  EXPECT_EQ(adj.inputs()[0], out);
+  EXPECT_EQ(adj.outputs()[0], in);
+}
+
+TEST(ZXDiagram, IsIdentityDetectsWiring) {
+  ZXDiagram d;
+  const V i0 = d.add_vertex(VertexKind::Boundary);
+  const V o0 = d.add_vertex(VertexKind::Boundary);
+  d.add_edge(i0, o0, EdgeKind::Plain);
+  d.inputs().push_back(i0);
+  d.outputs().push_back(o0);
+  EXPECT_TRUE(d.is_identity());
+  d.set_edge_kind(i0, o0, EdgeKind::Hadamard);
+  EXPECT_FALSE(d.is_identity());
+}
+
+TEST(ZXDiagram, DotOutput) {
+  ZXDiagram d;
+  const V a = d.add_vertex(VertexKind::Z, Phase::pi_4());
+  const V b = d.add_vertex(VertexKind::X);
+  d.add_edge(a, b, EdgeKind::Hadamard);
+  const std::string dot = d.to_dot("test");
+  EXPECT_NE(dot.find("palegreen"), std::string::npos);
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos);
+  EXPECT_NE(dot.find("dashed"), std::string::npos);
+  EXPECT_NE(dot.find("pi/4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qdt::zx

@@ -1,0 +1,132 @@
+#include "zx/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/library.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qdt::zx {
+namespace {
+
+TEST(ZxEquivalence, IdenticalCliffordCircuitsByRewriting) {
+  const auto c = ir::random_clifford(4, 60, 2);
+  const auto res = check_equivalence_zx(c, c);
+  EXPECT_EQ(res.verdict, ZxVerdict::Equivalent);
+  EXPECT_TRUE(res.decided_by_rewriting);
+  EXPECT_LT(res.reduced_spiders, res.initial_spiders);
+}
+
+TEST(ZxEquivalence, GhzVariantsAreEquivalent) {
+  // Structurally different realizations of the same unitary: the GHZ
+  // preparation with redundant gates spliced in everywhere.
+  ir::Circuit a = ir::ghz(4);
+  ir::Circuit b(4, "ghz_padded");
+  b.h(3).s(1).sdg(1).cx(3, 2).h(0).h(0).cx(2, 1).z(2).z(2).cx(1, 0);
+  const auto res = check_equivalence_zx(a, b);
+  EXPECT_EQ(res.verdict, ZxVerdict::Equivalent);
+}
+
+TEST(ZxEquivalence, SameStateDifferentUnitaryIsNotEquivalent) {
+  // Both circuits prepare GHZ_4 from |0...0>, but cx(1,0) vs cx(2,0) give
+  // different unitaries — functional EC must reject the pair.
+  ir::Circuit a = ir::ghz(4);
+  ir::Circuit b(4, "ghz_state_only");
+  b.h(3).cx(3, 2).cx(2, 1).cx(2, 0);
+  const auto res = check_equivalence_zx(a, b);
+  EXPECT_EQ(res.verdict, ZxVerdict::NotEquivalent);
+}
+
+TEST(ZxEquivalence, DetectsCliffordError) {
+  const auto good = ir::random_clifford(4, 50, 5);
+  ir::Circuit bad = good;
+  bad.z(2);
+  const auto res = check_equivalence_zx(good, bad);
+  EXPECT_EQ(res.verdict, ZxVerdict::NotEquivalent);
+}
+
+TEST(ZxEquivalence, CliffordTEquivalentPair) {
+  const auto c = ir::random_clifford_t(4, 50, 0.25, 7);
+  ir::Circuit padded = c;
+  for (ir::Qubit q = 0; q < 4; ++q) {
+    padded.t(q).tdg(q);
+  }
+  const auto res = check_equivalence_zx(c, padded);
+  EXPECT_EQ(res.verdict, ZxVerdict::Equivalent);
+}
+
+TEST(ZxEquivalence, DetectsTError) {
+  const auto good = ir::random_clifford_t(4, 50, 0.25, 9);
+  ir::Circuit bad = good;
+  bad.t(1);
+  const auto res = check_equivalence_zx(good, bad);
+  EXPECT_EQ(res.verdict, ZxVerdict::NotEquivalent);
+}
+
+TEST(ZxEquivalence, GlobalPhaseIsIgnored) {
+  ir::Circuit a(2);
+  a.z(0);
+  ir::Circuit b(2);
+  b.rz(Phase::pi(), 0);  // -i Z
+  const auto res = check_equivalence_zx(a, b);
+  EXPECT_EQ(res.verdict, ZxVerdict::Equivalent);
+}
+
+TEST(ZxEquivalence, WidthMismatch) {
+  const auto res = check_equivalence_zx(ir::ghz(3), ir::ghz(4));
+  EXPECT_EQ(res.verdict, ZxVerdict::NotEquivalent);
+}
+
+TEST(ZxEquivalence, CompiledCliffordDecidedByRewriting) {
+  // With boundary pivots, compiled-Clifford miters reduce all the way to
+  // the identity diagram — no tensor fallback needed.
+  const auto c = ir::random_clifford(6, 120, 3);
+  transpile::Target target{transpile::CouplingMap::line(6),
+                           transpile::NativeGateSet::CxRzSxX, "line"};
+  const auto compiled = transpile::transpile(c, target);
+  const auto res = check_equivalence_zx(
+      transpile::padded_original(c, target),
+      transpile::restored_for_verification(compiled));
+  EXPECT_EQ(res.verdict, ZxVerdict::Equivalent);
+  EXPECT_TRUE(res.decided_by_rewriting);
+  EXPECT_EQ(res.reduced_spiders, 0U);
+}
+
+TEST(ZxEquivalence, VerifiesCompiledCircuit) {
+  // The Section I story end-to-end: compile, then verify with ZX.
+  const auto c = ir::qft(4);
+  transpile::Target target{transpile::CouplingMap::line(4),
+                           transpile::NativeGateSet::CxRzSxX, "line"};
+  const auto compiled = transpile::transpile(c, target);
+  const auto res = check_equivalence_zx(
+      transpile::padded_original(c, target),
+      transpile::restored_for_verification(compiled));
+  EXPECT_EQ(res.verdict, ZxVerdict::Equivalent);
+}
+
+TEST(ZxEquivalence, CatchesCompilerInjectedError) {
+  const auto c = ir::qft(3);
+  transpile::Target target{transpile::CouplingMap::line(3),
+                           transpile::NativeGateSet::CxRzSxX, "line"};
+  auto compiled = transpile::transpile(c, target);
+  compiled.circuit.x(1);  // inject a bug
+  const auto res = check_equivalence_zx(
+      transpile::padded_original(c, target),
+      transpile::restored_for_verification(compiled));
+  EXPECT_EQ(res.verdict, ZxVerdict::NotEquivalent);
+}
+
+TEST(ZxEquivalence, InconclusiveWithoutFallback) {
+  // A non-Clifford pair that rewriting alone cannot close, with the tensor
+  // fallback disabled.
+  const auto c = ir::random_clifford_t(4, 40, 0.4, 11);
+  ir::Circuit variant = c;
+  variant.t(0).tdg(0).h(0).h(0);
+  const auto res =
+      check_equivalence_zx(c, variant, /*max_fallback_qubits=*/0);
+  // Either rewriting fully reduces it (fine) or the checker must admit it
+  // cannot decide — it must never claim NotEquivalent.
+  EXPECT_NE(res.verdict, ZxVerdict::NotEquivalent);
+}
+
+}  // namespace
+}  // namespace qdt::zx

@@ -1,0 +1,40 @@
+// Shared helpers for the test suite: dense-oracle comparisons and common
+// circuit fixtures.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "arrays/statevector.hpp"
+#include "ir/circuit.hpp"
+
+namespace qdt::test {
+
+/// Dense statevector of a unitary circuit, computed with the array backend
+/// (the test oracle).
+inline arrays::Statevector oracle_state(const ir::Circuit& c) {
+  arrays::Statevector sv(c.num_qubits());
+  for (const auto& op : c.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    sv.apply(op);
+  }
+  return sv;
+}
+
+inline void expect_state_near(const std::vector<Complex>& actual,
+                              const std::vector<Complex>& expected,
+                              double eps = 1e-9) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i].real(), expected[i].real(), eps)
+        << "real part, index " << i;
+    EXPECT_NEAR(actual[i].imag(), expected[i].imag(), eps)
+        << "imag part, index " << i;
+  }
+}
+
+}  // namespace qdt::test

@@ -1,0 +1,289 @@
+// qdt — command-line front end for the library's three design tasks.
+//
+//   qdt stats    <file.qasm>
+//   qdt simulate <file.qasm> [--backend array|dd|tn|mps|stab|auto]
+//                [--shots N] [--seed S] [--noise P] [--state]
+//   qdt verify   <a.qasm> <b.qasm> [--method array|dd|dd-seq|dd-sim|zx]
+//   qdt compile  <file.qasm> --target line|ring|grid|star|full|heavyhex
+//                [--qubits N] [--gateset cx|cz] [--router sp|lookahead]
+//                [--no-opt] [--out <file.qasm>] [--verify]
+//
+// Exit code 0 on success (and on "equivalent"); 1 on "not equivalent";
+// 2 on usage or runtime errors.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/qdt.hpp"
+
+namespace {
+
+using namespace qdt;
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      R"(usage:
+  qdt stats    <file.qasm>
+  qdt simulate <file.qasm> [--backend array|dd|tn|mps|stab|auto]
+               [--shots N] [--seed S] [--noise P] [--state]
+  qdt verify   <a.qasm> <b.qasm> [--method array|dd|dd-seq|dd-sim|zx]
+  qdt compile  <file.qasm> --target line|ring|grid|star|full|heavyhex
+               [--qubits N] [--gateset cx|cz] [--router sp|lookahead]
+               [--no-opt] [--out <file.qasm>] [--verify]
+)";
+  std::exit(2);
+}
+
+ir::Circuit load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ir::Circuit c = ir::parse_qasm(buf.str());
+  c.set_name(path);
+  return c;
+}
+
+/// Flag map from argv; positional args returned separately.
+std::map<std::string, std::string> parse_flags(
+    const std::vector<std::string>& args, std::vector<std::string>& pos) {
+  std::map<std::string, std::string> flags;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) == 0) {
+      const std::string key = args[i].substr(2);
+      if (key == "state" || key == "no-opt" || key == "verify") {
+        flags[key] = "1";
+      } else if (i + 1 < args.size()) {
+        flags[key] = args[++i];
+      } else {
+        usage();
+      }
+    } else {
+      pos.push_back(args[i]);
+    }
+  }
+  return flags;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    usage();
+  }
+  const ir::Circuit c = load(args[0]);
+  const auto s = c.stats();
+  std::cout << "qubits:       " << s.num_qubits << "\n";
+  std::cout << "gates:        " << s.total_gates << "\n";
+  std::cout << "   1-qubit:    " << s.single_qubit << "\n";
+  std::cout << "  2-qubit:    " << s.two_qubit << "\n";
+  std::cout << "  multi:      " << s.multi_qubit << "\n";
+  std::cout << "t-count:      " << s.t_count << "\n";
+  std::cout << "depth:        " << s.depth << "\n";
+  std::cout << "measurements: " << s.measurements << "\n";
+  std::cout << "clifford:     "
+            << (stab::is_clifford_circuit(c) ? "yes" : "no") << "\n";
+  std::cout << "recommended:  "
+            << core::backend_name(core::recommend_backend(c)) << "\n";
+  std::cout << "by gate:\n";
+  for (const auto& [name, count] : s.by_name) {
+    std::cout << "  " << name << ": " << count << "\n";
+  }
+  return 0;
+}
+
+core::SimBackend backend_from(const std::string& name,
+                              const ir::Circuit& c) {
+  if (name == "array") {
+    return core::SimBackend::Array;
+  }
+  if (name == "dd") {
+    return core::SimBackend::DecisionDiagram;
+  }
+  if (name == "tn") {
+    return core::SimBackend::TensorNetwork;
+  }
+  if (name == "mps") {
+    return core::SimBackend::Mps;
+  }
+  if (name == "stab") {
+    return core::SimBackend::Stabilizer;
+  }
+  if (name == "auto") {
+    return core::recommend_backend(c);
+  }
+  usage();
+}
+
+int cmd_simulate(const std::vector<std::string>& args) {
+  std::vector<std::string> pos;
+  auto flags = parse_flags(args, pos);
+  if (pos.size() != 1) {
+    usage();
+  }
+  const ir::Circuit c = load(pos[0]);
+  const auto backend = backend_from(
+      flags.contains("backend") ? flags["backend"] : "auto", c);
+  core::SimulateOptions opts;
+  opts.shots = flags.contains("shots") ? std::stoul(flags["shots"]) : 1024;
+  opts.seed = flags.contains("seed") ? std::stoull(flags["seed"]) : 1;
+  opts.want_state = flags.contains("state");
+  if (flags.contains("noise")) {
+    opts.noise =
+        arrays::NoiseModel::depolarizing_model(std::stod(flags["noise"]));
+  }
+  const auto res = core::simulate(c, backend, opts);
+  std::cout << "backend: " << core::backend_name(backend)
+            << "   representation size: " << res.representation_size
+            << "   time: " << res.seconds << "s\n";
+  if (res.state.has_value()) {
+    for (std::size_t i = 0; i < res.state->size(); ++i) {
+      const Complex a = (*res.state)[i];
+      if (std::abs(a) > 1e-9) {
+        std::cout << "  |" << i << "> : " << a.real() << " "
+                  << (a.imag() >= 0 ? "+" : "-") << " "
+                  << std::abs(a.imag()) << "i\n";
+      }
+    }
+  }
+  for (const auto& [word, count] : res.counts) {
+    std::cout << word << ": " << count << "\n";
+  }
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  std::vector<std::string> pos;
+  auto flags = parse_flags(args, pos);
+  if (pos.size() != 2) {
+    usage();
+  }
+  const ir::Circuit a = load(pos[0]);
+  const ir::Circuit b = load(pos[1]);
+  core::EcMethod method = core::EcMethod::DdAlternating;
+  if (flags.contains("method")) {
+    const std::string& m = flags["method"];
+    if (m == "array") {
+      method = core::EcMethod::Array;
+    } else if (m == "dd") {
+      method = core::EcMethod::DdAlternating;
+    } else if (m == "dd-seq") {
+      method = core::EcMethod::DdSequential;
+    } else if (m == "dd-sim") {
+      method = core::EcMethod::DdSimulative;
+    } else if (m == "zx") {
+      method = core::EcMethod::Zx;
+    } else {
+      usage();
+    }
+  }
+  const auto res = core::verify(a.unitary_part(), b.unitary_part(), method);
+  std::cout << (res.equivalent ? "EQUIVALENT" : "NOT EQUIVALENT")
+            << (res.conclusive ? "" : " (inconclusive)") << "  ["
+            << core::method_name(method) << ", " << res.detail << ", "
+            << res.seconds << "s]\n";
+  return res.equivalent ? 0 : 1;
+}
+
+int cmd_compile(const std::vector<std::string>& args) {
+  std::vector<std::string> pos;
+  auto flags = parse_flags(args, pos);
+  if (pos.size() != 1 || !flags.contains("target")) {
+    usage();
+  }
+  const ir::Circuit c = load(pos[0]);
+  const std::size_t n = flags.contains("qubits")
+                            ? std::stoul(flags["qubits"])
+                            : c.num_qubits();
+  const std::string& t = flags["target"];
+  transpile::CouplingMap coupling = [&]() -> transpile::CouplingMap {
+    if (t == "line") {
+      return transpile::CouplingMap::line(n);
+    }
+    if (t == "ring") {
+      return transpile::CouplingMap::ring(n);
+    }
+    if (t == "grid") {
+      std::size_t rows = 1;
+      while (rows * rows < n) {
+        ++rows;
+      }
+      return transpile::CouplingMap::grid(rows, (n + rows - 1) / rows);
+    }
+    if (t == "star") {
+      return transpile::CouplingMap::star(n);
+    }
+    if (t == "full") {
+      return transpile::CouplingMap::full(n);
+    }
+    if (t == "heavyhex") {
+      return transpile::CouplingMap::heavy_hex_falcon();
+    }
+    usage();
+  }();
+  transpile::Target target{std::move(coupling),
+                           flags.contains("gateset") &&
+                                   flags["gateset"] == "cz"
+                               ? transpile::NativeGateSet::CzRzSxX
+                               : transpile::NativeGateSet::CxRzSxX,
+                           t};
+  transpile::TranspileOptions opts;
+  opts.optimize = !flags.contains("no-opt");
+  if (flags.contains("router") && flags["router"] == "sp") {
+    opts.router = transpile::RouterKind::ShortestPath;
+  }
+  const auto res = transpile::transpile(c.unitary_part(), target, opts);
+  std::cout << "gates:  " << res.before.total_gates << " -> "
+            << res.after.total_gates << "\n";
+  std::cout << "2q:     " << res.before.two_qubit << " -> "
+            << res.after.two_qubit << "\n";
+  std::cout << "depth:  " << res.before.depth << " -> " << res.after.depth
+            << "\n";
+  std::cout << "swaps:  " << res.swaps_inserted << "\n";
+  if (flags.contains("out")) {
+    std::ofstream out(flags["out"]);
+    out << ir::to_qasm(res.circuit);
+    std::cout << "wrote " << flags["out"] << "\n";
+  }
+  if (flags.contains("verify")) {
+    const auto ec = core::verify(
+        transpile::padded_original(c.unitary_part(), target),
+        transpile::restored_for_verification(res),
+        core::EcMethod::DdAlternating);
+    std::cout << "verification: "
+              << (ec.equivalent ? "EQUIVALENT" : "NOT EQUIVALENT") << "\n";
+    return ec.equivalent ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "stats") {
+      return cmd_stats(args);
+    }
+    if (cmd == "simulate") {
+      return cmd_simulate(args);
+    }
+    if (cmd == "verify") {
+      return cmd_verify(args);
+    }
+    if (cmd == "compile") {
+      return cmd_compile(args);
+    }
+    usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
