@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clm2_dd_compactness.dir/bench_clm2_dd_compactness.cpp.o"
+  "CMakeFiles/bench_clm2_dd_compactness.dir/bench_clm2_dd_compactness.cpp.o.d"
+  "bench_clm2_dd_compactness"
+  "bench_clm2_dd_compactness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clm2_dd_compactness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

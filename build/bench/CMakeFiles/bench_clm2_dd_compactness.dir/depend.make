@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_clm2_dd_compactness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clm3_tn_contraction.dir/bench_clm3_tn_contraction.cpp.o"
+  "CMakeFiles/bench_clm3_tn_contraction.dir/bench_clm3_tn_contraction.cpp.o.d"
+  "bench_clm3_tn_contraction"
+  "bench_clm3_tn_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clm3_tn_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clm4_zx_reduction.dir/bench_clm4_zx_reduction.cpp.o"
+  "CMakeFiles/bench_clm4_zx_reduction.dir/bench_clm4_zx_reduction.cpp.o.d"
+  "bench_clm4_zx_reduction"
+  "bench_clm4_zx_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clm4_zx_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

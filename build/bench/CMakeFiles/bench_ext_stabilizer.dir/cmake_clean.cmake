@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_stabilizer.dir/bench_ext_stabilizer.cpp.o"
+  "CMakeFiles/bench_ext_stabilizer.dir/bench_ext_stabilizer.cpp.o.d"
+  "bench_ext_stabilizer"
+  "bench_ext_stabilizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_stabilizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

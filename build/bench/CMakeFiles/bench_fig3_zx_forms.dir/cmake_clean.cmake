@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_zx_forms.dir/bench_fig3_zx_forms.cpp.o"
+  "CMakeFiles/bench_fig3_zx_forms.dir/bench_fig3_zx_forms.cpp.o.d"
+  "bench_fig3_zx_forms"
+  "bench_fig3_zx_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_zx_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

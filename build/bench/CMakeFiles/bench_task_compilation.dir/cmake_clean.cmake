@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_task_compilation.dir/bench_task_compilation.cpp.o"
+  "CMakeFiles/bench_task_compilation.dir/bench_task_compilation.cpp.o.d"
+  "bench_task_compilation"
+  "bench_task_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_task_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

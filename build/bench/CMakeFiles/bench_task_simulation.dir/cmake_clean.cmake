@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_task_simulation.dir/bench_task_simulation.cpp.o"
+  "CMakeFiles/bench_task_simulation.dir/bench_task_simulation.cpp.o.d"
+  "bench_task_simulation"
+  "bench_task_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_task_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

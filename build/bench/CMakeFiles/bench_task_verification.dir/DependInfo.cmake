@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_task_verification.cpp" "bench/CMakeFiles/bench_task_verification.dir/bench_task_verification.cpp.o" "gcc" "bench/CMakeFiles/bench_task_verification.dir/bench_task_verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/qdt_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stab/CMakeFiles/qdt_stab.dir/DependInfo.cmake"
+  "/root/repo/build/src/zx/CMakeFiles/qdt_zx.dir/DependInfo.cmake"
+  "/root/repo/build/src/tn/CMakeFiles/qdt_tn.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrays/CMakeFiles/qdt_arrays.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/qdt_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/qdt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

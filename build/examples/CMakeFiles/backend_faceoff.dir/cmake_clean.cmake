@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_faceoff.dir/backend_faceoff.cpp.o"
+  "CMakeFiles/backend_faceoff.dir/backend_faceoff.cpp.o.d"
+  "backend_faceoff"
+  "backend_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_and_verify.dir/compile_and_verify.cpp.o"
+  "CMakeFiles/compile_and_verify.dir/compile_and_verify.cpp.o.d"
+  "compile_and_verify"
+  "compile_and_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_estimation_demo.dir/phase_estimation_demo.cpp.o"
+  "CMakeFiles/phase_estimation_demo.dir/phase_estimation_demo.cpp.o.d"
+  "phase_estimation_demo"
+  "phase_estimation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_estimation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcount_optimizer.dir/tcount_optimizer.cpp.o"
+  "CMakeFiles/tcount_optimizer.dir/tcount_optimizer.cpp.o.d"
+  "tcount_optimizer"
+  "tcount_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcount_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

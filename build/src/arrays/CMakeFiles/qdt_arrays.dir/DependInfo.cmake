@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arrays/dense_unitary.cpp" "src/arrays/CMakeFiles/qdt_arrays.dir/dense_unitary.cpp.o" "gcc" "src/arrays/CMakeFiles/qdt_arrays.dir/dense_unitary.cpp.o.d"
+  "/root/repo/src/arrays/density_matrix.cpp" "src/arrays/CMakeFiles/qdt_arrays.dir/density_matrix.cpp.o" "gcc" "src/arrays/CMakeFiles/qdt_arrays.dir/density_matrix.cpp.o.d"
+  "/root/repo/src/arrays/noise.cpp" "src/arrays/CMakeFiles/qdt_arrays.dir/noise.cpp.o" "gcc" "src/arrays/CMakeFiles/qdt_arrays.dir/noise.cpp.o.d"
+  "/root/repo/src/arrays/statevector.cpp" "src/arrays/CMakeFiles/qdt_arrays.dir/statevector.cpp.o" "gcc" "src/arrays/CMakeFiles/qdt_arrays.dir/statevector.cpp.o.d"
+  "/root/repo/src/arrays/svsim.cpp" "src/arrays/CMakeFiles/qdt_arrays.dir/svsim.cpp.o" "gcc" "src/arrays/CMakeFiles/qdt_arrays.dir/svsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qdt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdt_arrays.dir/dense_unitary.cpp.o"
+  "CMakeFiles/qdt_arrays.dir/dense_unitary.cpp.o.d"
+  "CMakeFiles/qdt_arrays.dir/density_matrix.cpp.o"
+  "CMakeFiles/qdt_arrays.dir/density_matrix.cpp.o.d"
+  "CMakeFiles/qdt_arrays.dir/noise.cpp.o"
+  "CMakeFiles/qdt_arrays.dir/noise.cpp.o.d"
+  "CMakeFiles/qdt_arrays.dir/statevector.cpp.o"
+  "CMakeFiles/qdt_arrays.dir/statevector.cpp.o.d"
+  "CMakeFiles/qdt_arrays.dir/svsim.cpp.o"
+  "CMakeFiles/qdt_arrays.dir/svsim.cpp.o.d"
+  "libqdt_arrays.a"
+  "libqdt_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdt_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

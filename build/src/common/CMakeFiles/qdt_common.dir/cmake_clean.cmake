@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdt_common.dir/matrix.cpp.o"
+  "CMakeFiles/qdt_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/qdt_common.dir/phase.cpp.o"
+  "CMakeFiles/qdt_common.dir/phase.cpp.o.d"
+  "CMakeFiles/qdt_common.dir/rng.cpp.o"
+  "CMakeFiles/qdt_common.dir/rng.cpp.o.d"
+  "libqdt_common.a"
+  "libqdt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

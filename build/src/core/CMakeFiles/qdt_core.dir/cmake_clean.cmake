@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdt_core.dir/tasks.cpp.o"
+  "CMakeFiles/qdt_core.dir/tasks.cpp.o.d"
+  "libqdt_core.a"
+  "libqdt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

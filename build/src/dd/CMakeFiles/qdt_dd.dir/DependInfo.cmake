@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dd/approximation.cpp" "src/dd/CMakeFiles/qdt_dd.dir/approximation.cpp.o" "gcc" "src/dd/CMakeFiles/qdt_dd.dir/approximation.cpp.o.d"
+  "/root/repo/src/dd/complex_table.cpp" "src/dd/CMakeFiles/qdt_dd.dir/complex_table.cpp.o" "gcc" "src/dd/CMakeFiles/qdt_dd.dir/complex_table.cpp.o.d"
+  "/root/repo/src/dd/density.cpp" "src/dd/CMakeFiles/qdt_dd.dir/density.cpp.o" "gcc" "src/dd/CMakeFiles/qdt_dd.dir/density.cpp.o.d"
+  "/root/repo/src/dd/equivalence.cpp" "src/dd/CMakeFiles/qdt_dd.dir/equivalence.cpp.o" "gcc" "src/dd/CMakeFiles/qdt_dd.dir/equivalence.cpp.o.d"
+  "/root/repo/src/dd/export_dot.cpp" "src/dd/CMakeFiles/qdt_dd.dir/export_dot.cpp.o" "gcc" "src/dd/CMakeFiles/qdt_dd.dir/export_dot.cpp.o.d"
+  "/root/repo/src/dd/package.cpp" "src/dd/CMakeFiles/qdt_dd.dir/package.cpp.o" "gcc" "src/dd/CMakeFiles/qdt_dd.dir/package.cpp.o.d"
+  "/root/repo/src/dd/simulator.cpp" "src/dd/CMakeFiles/qdt_dd.dir/simulator.cpp.o" "gcc" "src/dd/CMakeFiles/qdt_dd.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qdt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrays/CMakeFiles/qdt_arrays.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdt_dd.dir/approximation.cpp.o"
+  "CMakeFiles/qdt_dd.dir/approximation.cpp.o.d"
+  "CMakeFiles/qdt_dd.dir/complex_table.cpp.o"
+  "CMakeFiles/qdt_dd.dir/complex_table.cpp.o.d"
+  "CMakeFiles/qdt_dd.dir/density.cpp.o"
+  "CMakeFiles/qdt_dd.dir/density.cpp.o.d"
+  "CMakeFiles/qdt_dd.dir/equivalence.cpp.o"
+  "CMakeFiles/qdt_dd.dir/equivalence.cpp.o.d"
+  "CMakeFiles/qdt_dd.dir/export_dot.cpp.o"
+  "CMakeFiles/qdt_dd.dir/export_dot.cpp.o.d"
+  "CMakeFiles/qdt_dd.dir/package.cpp.o"
+  "CMakeFiles/qdt_dd.dir/package.cpp.o.d"
+  "CMakeFiles/qdt_dd.dir/simulator.cpp.o"
+  "CMakeFiles/qdt_dd.dir/simulator.cpp.o.d"
+  "libqdt_dd.a"
+  "libqdt_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdt_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdt_ir.dir/circuit.cpp.o"
+  "CMakeFiles/qdt_ir.dir/circuit.cpp.o.d"
+  "CMakeFiles/qdt_ir.dir/gate.cpp.o"
+  "CMakeFiles/qdt_ir.dir/gate.cpp.o.d"
+  "CMakeFiles/qdt_ir.dir/library.cpp.o"
+  "CMakeFiles/qdt_ir.dir/library.cpp.o.d"
+  "CMakeFiles/qdt_ir.dir/operation.cpp.o"
+  "CMakeFiles/qdt_ir.dir/operation.cpp.o.d"
+  "CMakeFiles/qdt_ir.dir/qasm.cpp.o"
+  "CMakeFiles/qdt_ir.dir/qasm.cpp.o.d"
+  "libqdt_ir.a"
+  "libqdt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdt_stab.dir/tableau.cpp.o"
+  "CMakeFiles/qdt_stab.dir/tableau.cpp.o.d"
+  "libqdt_stab.a"
+  "libqdt_stab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdt_stab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

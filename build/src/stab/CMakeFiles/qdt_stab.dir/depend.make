@@ -1,0 +1,2 @@
+# Empty dependencies file for qdt_stab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdt_tn.dir/mps.cpp.o"
+  "CMakeFiles/qdt_tn.dir/mps.cpp.o.d"
+  "CMakeFiles/qdt_tn.dir/network.cpp.o"
+  "CMakeFiles/qdt_tn.dir/network.cpp.o.d"
+  "CMakeFiles/qdt_tn.dir/svd.cpp.o"
+  "CMakeFiles/qdt_tn.dir/svd.cpp.o.d"
+  "CMakeFiles/qdt_tn.dir/tensor.cpp.o"
+  "CMakeFiles/qdt_tn.dir/tensor.cpp.o.d"
+  "libqdt_tn.a"
+  "libqdt_tn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdt_tn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transpile/decompose.cpp" "src/transpile/CMakeFiles/qdt_transpile.dir/decompose.cpp.o" "gcc" "src/transpile/CMakeFiles/qdt_transpile.dir/decompose.cpp.o.d"
+  "/root/repo/src/transpile/optimize.cpp" "src/transpile/CMakeFiles/qdt_transpile.dir/optimize.cpp.o" "gcc" "src/transpile/CMakeFiles/qdt_transpile.dir/optimize.cpp.o.d"
+  "/root/repo/src/transpile/router.cpp" "src/transpile/CMakeFiles/qdt_transpile.dir/router.cpp.o" "gcc" "src/transpile/CMakeFiles/qdt_transpile.dir/router.cpp.o.d"
+  "/root/repo/src/transpile/target.cpp" "src/transpile/CMakeFiles/qdt_transpile.dir/target.cpp.o" "gcc" "src/transpile/CMakeFiles/qdt_transpile.dir/target.cpp.o.d"
+  "/root/repo/src/transpile/transpiler.cpp" "src/transpile/CMakeFiles/qdt_transpile.dir/transpiler.cpp.o" "gcc" "src/transpile/CMakeFiles/qdt_transpile.dir/transpiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qdt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

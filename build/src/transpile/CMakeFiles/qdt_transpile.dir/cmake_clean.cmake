@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdt_transpile.dir/decompose.cpp.o"
+  "CMakeFiles/qdt_transpile.dir/decompose.cpp.o.d"
+  "CMakeFiles/qdt_transpile.dir/optimize.cpp.o"
+  "CMakeFiles/qdt_transpile.dir/optimize.cpp.o.d"
+  "CMakeFiles/qdt_transpile.dir/router.cpp.o"
+  "CMakeFiles/qdt_transpile.dir/router.cpp.o.d"
+  "CMakeFiles/qdt_transpile.dir/target.cpp.o"
+  "CMakeFiles/qdt_transpile.dir/target.cpp.o.d"
+  "CMakeFiles/qdt_transpile.dir/transpiler.cpp.o"
+  "CMakeFiles/qdt_transpile.dir/transpiler.cpp.o.d"
+  "libqdt_transpile.a"
+  "libqdt_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdt_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

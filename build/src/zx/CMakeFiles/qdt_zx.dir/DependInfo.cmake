@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zx/circuit_to_zx.cpp" "src/zx/CMakeFiles/qdt_zx.dir/circuit_to_zx.cpp.o" "gcc" "src/zx/CMakeFiles/qdt_zx.dir/circuit_to_zx.cpp.o.d"
+  "/root/repo/src/zx/diagram.cpp" "src/zx/CMakeFiles/qdt_zx.dir/diagram.cpp.o" "gcc" "src/zx/CMakeFiles/qdt_zx.dir/diagram.cpp.o.d"
+  "/root/repo/src/zx/equivalence.cpp" "src/zx/CMakeFiles/qdt_zx.dir/equivalence.cpp.o" "gcc" "src/zx/CMakeFiles/qdt_zx.dir/equivalence.cpp.o.d"
+  "/root/repo/src/zx/simplify.cpp" "src/zx/CMakeFiles/qdt_zx.dir/simplify.cpp.o" "gcc" "src/zx/CMakeFiles/qdt_zx.dir/simplify.cpp.o.d"
+  "/root/repo/src/zx/tensor_bridge.cpp" "src/zx/CMakeFiles/qdt_zx.dir/tensor_bridge.cpp.o" "gcc" "src/zx/CMakeFiles/qdt_zx.dir/tensor_bridge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qdt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/qdt_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/tn/CMakeFiles/qdt_tn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qdt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrays/CMakeFiles/qdt_arrays.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdt_zx.dir/circuit_to_zx.cpp.o"
+  "CMakeFiles/qdt_zx.dir/circuit_to_zx.cpp.o.d"
+  "CMakeFiles/qdt_zx.dir/diagram.cpp.o"
+  "CMakeFiles/qdt_zx.dir/diagram.cpp.o.d"
+  "CMakeFiles/qdt_zx.dir/equivalence.cpp.o"
+  "CMakeFiles/qdt_zx.dir/equivalence.cpp.o.d"
+  "CMakeFiles/qdt_zx.dir/simplify.cpp.o"
+  "CMakeFiles/qdt_zx.dir/simplify.cpp.o.d"
+  "CMakeFiles/qdt_zx.dir/tensor_bridge.cpp.o"
+  "CMakeFiles/qdt_zx.dir/tensor_bridge.cpp.o.d"
+  "libqdt_zx.a"
+  "libqdt_zx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdt_zx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

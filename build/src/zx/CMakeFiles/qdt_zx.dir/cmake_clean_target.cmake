@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqdt_zx.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dd_approximation.dir/test_dd_approximation.cpp.o"
+  "CMakeFiles/test_dd_approximation.dir/test_dd_approximation.cpp.o.d"
+  "test_dd_approximation"
+  "test_dd_approximation.pdb"
+  "test_dd_approximation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dd_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dd_equivalence.dir/test_dd_equivalence.cpp.o"
+  "CMakeFiles/test_dd_equivalence.dir/test_dd_equivalence.cpp.o.d"
+  "test_dd_equivalence"
+  "test_dd_equivalence.pdb"
+  "test_dd_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dd_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_unitary.dir/test_dense_unitary.cpp.o"
+  "CMakeFiles/test_dense_unitary.dir/test_dense_unitary.cpp.o.d"
+  "test_dense_unitary"
+  "test_dense_unitary.pdb"
+  "test_dense_unitary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_unitary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svsim.dir/test_svsim.cpp.o"
+  "CMakeFiles/test_svsim.dir/test_svsim.cpp.o.d"
+  "test_svsim"
+  "test_svsim.pdb"
+  "test_svsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zx_diagram.dir/test_zx_diagram.cpp.o"
+  "CMakeFiles/test_zx_diagram.dir/test_zx_diagram.cpp.o.d"
+  "test_zx_diagram"
+  "test_zx_diagram.pdb"
+  "test_zx_diagram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zx_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zx_equivalence.dir/test_zx_equivalence.cpp.o"
+  "CMakeFiles/test_zx_equivalence.dir/test_zx_equivalence.cpp.o.d"
+  "test_zx_equivalence"
+  "test_zx_equivalence.pdb"
+  "test_zx_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zx_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

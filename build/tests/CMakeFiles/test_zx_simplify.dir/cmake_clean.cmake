@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zx_simplify.dir/test_zx_simplify.cpp.o"
+  "CMakeFiles/test_zx_simplify.dir/test_zx_simplify.cpp.o.d"
+  "test_zx_simplify"
+  "test_zx_simplify.pdb"
+  "test_zx_simplify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zx_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

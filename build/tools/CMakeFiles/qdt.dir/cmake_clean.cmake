@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdt.dir/qdt_cli.cpp.o"
+  "CMakeFiles/qdt.dir/qdt_cli.cpp.o.d"
+  "qdt"
+  "qdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
