@@ -1,0 +1,78 @@
+// Machine-readable companion output for the bench_task_* executables.
+//
+// Next to the human-oriented google-benchmark table, each task benchmark
+// records one JSON line per configuration:
+//
+//   BENCH_task_simulation.json {"name":"Ghz16_DD","backend":...,
+//     "representation_size":7,"seconds":3.1e-4,"counters":{...}}
+//
+// The counters object holds every nonzero qdt::obs counter accumulated by
+// a single fresh run (the registry is reset beforehand), so a line carries
+// the backend-level explanation of its own timing: unique-table hit rates
+// for DDs, contraction FLOPs for tensor networks, swap counts for the
+// transpiler. Lines are deduplicated by name and flushed once at process
+// exit; `grep ^BENCH_ | cut -d' ' -f2-` turns a bench log into a JSON
+// stream. In QDT_OBS_ENABLED=OFF builds the counters object is empty but
+// the timing fields remain.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace qdt::bench {
+
+/// Collects one line per benchmark name; prints them on destruction (at
+/// static teardown, after BENCHMARK_MAIN's reporting is done).
+class JsonLines {
+ public:
+  static JsonLines& instance() {
+    static JsonLines lines;
+    return lines;
+  }
+
+  void record(const std::string& name, std::string line) {
+    lines_[name] = std::move(line);
+  }
+
+  ~JsonLines() {
+    for (const auto& [name, line] : lines_) {
+      std::cout << line << "\n";
+    }
+  }
+
+ private:
+  JsonLines() = default;
+  std::map<std::string, std::string> lines_;
+};
+
+/// Record one BENCH_<tag>.json line. `seconds` should come from a single
+/// fresh run made after obs::reset(), so the snapshot's counters describe
+/// exactly that run.
+inline void emit_json_line(const std::string& tag, const std::string& name,
+                           const std::string& backend, double seconds,
+                           std::uint64_t representation_size) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "BENCH_" << tag << ".json {\"name\":\"" << name << "\",\"backend\":\""
+     << backend << "\",\"representation_size\":" << representation_size
+     << ",\"seconds\":" << seconds << ",\"counters\":{";
+  const obs::Snapshot snap = obs::snapshot();
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (c.value == 0) {
+      continue;
+    }
+    os << (first ? "" : ",") << '"' << c.name << "\":" << c.value;
+    first = false;
+  }
+  os << "}}";
+  JsonLines::instance().record(name, os.str());
+}
+
+}  // namespace qdt::bench

@@ -8,6 +8,7 @@
 // pass claws back a chunk of the decomposition overhead.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "ir/library.hpp"
 #include "transpile/transpiler.hpp"
 
@@ -19,8 +20,9 @@ using qdt::transpile::RouterKind;
 using qdt::transpile::Target;
 using qdt::transpile::TranspileOptions;
 
-void compile(benchmark::State& state, const qdt::ir::Circuit& c,
-             const Target& target, RouterKind router, bool optimize) {
+void compile(benchmark::State& state, const std::string& name,
+             const qdt::ir::Circuit& c, const Target& target,
+             RouterKind router, bool optimize) {
   TranspileOptions opts;
   opts.router = router;
   opts.optimize = optimize;
@@ -44,6 +46,13 @@ void compile(benchmark::State& state, const qdt::ir::Circuit& c,
                                  : static_cast<double>(gates_after) /
                                        static_cast<double>(gates_before);
   state.counters["depth_after"] = static_cast<double>(depth_after);
+  // One fresh instrumented run for the machine-readable line.
+  qdt::obs::reset();
+  const qdt::obs::Stopwatch sw;
+  const auto res = qdt::transpile::transpile(c, target, opts);
+  qdt::bench::emit_json_line("task_compilation", name,
+                             "transpile-" + target.name, sw.seconds(),
+                             res.after.total_gates);
 }
 
 Target make_target(int which, std::size_t n) {
@@ -73,7 +82,8 @@ Target make_target(int which, std::size_t n) {
 // Topology sweep: QFT-8 onto full / line / ring / grid / heavy-hex.
 void BM_TopologySweepQft8(benchmark::State& state) {
   const auto c = qdt::ir::qft(8);
-  compile(state, c, make_target(static_cast<int>(state.range(0)), 8),
+  const auto target = make_target(static_cast<int>(state.range(0)), 8);
+  compile(state, "TopologySweepQft8_" + target.name, c, target,
           RouterKind::Lookahead, /*optimize=*/true);
 }
 BENCHMARK(BM_TopologySweepQft8)->DenseRange(0, 4, 1);
@@ -81,28 +91,30 @@ BENCHMARK(BM_TopologySweepQft8)->DenseRange(0, 4, 1);
 // Router ablation: shortest-path vs lookahead on the line (worst case).
 void BM_RouterShortestPath(benchmark::State& state) {
   const auto c = qdt::ir::qft(state.range(0));
-  compile(state, c, make_target(1, state.range(0)),
-          RouterKind::ShortestPath, true);
+  compile(state, "RouterShortestPath/" + std::to_string(state.range(0)), c,
+          make_target(1, state.range(0)), RouterKind::ShortestPath, true);
 }
 BENCHMARK(BM_RouterShortestPath)->DenseRange(4, 12, 2);
 
 void BM_RouterLookahead(benchmark::State& state) {
   const auto c = qdt::ir::qft(state.range(0));
-  compile(state, c, make_target(1, state.range(0)), RouterKind::Lookahead,
-          true);
+  compile(state, "RouterLookahead/" + std::to_string(state.range(0)), c,
+          make_target(1, state.range(0)), RouterKind::Lookahead, true);
 }
 BENCHMARK(BM_RouterLookahead)->DenseRange(4, 12, 2);
 
 // Optimizer ablation.
 void BM_WithPeephole(benchmark::State& state) {
-  compile(state, qdt::ir::grover(state.range(0), 1),
-          make_target(1, state.range(0)), RouterKind::Lookahead, true);
+  compile(state, "WithPeephole/" + std::to_string(state.range(0)),
+          qdt::ir::grover(state.range(0), 1), make_target(1, state.range(0)),
+          RouterKind::Lookahead, true);
 }
 BENCHMARK(BM_WithPeephole)->DenseRange(3, 6, 1);
 
 void BM_WithoutPeephole(benchmark::State& state) {
-  compile(state, qdt::ir::grover(state.range(0), 1),
-          make_target(1, state.range(0)), RouterKind::Lookahead, false);
+  compile(state, "WithoutPeephole/" + std::to_string(state.range(0)),
+          qdt::ir::grover(state.range(0), 1), make_target(1, state.range(0)),
+          RouterKind::Lookahead, false);
 }
 BENCHMARK(BM_WithoutPeephole)->DenseRange(3, 6, 1);
 
@@ -123,14 +135,16 @@ void BM_HeavyHexWorkloads(benchmark::State& state) {
       c = qdt::ir::random_clifford_t(12, 200, 0.2, 9);
       break;
   }
-  compile(state, c, make_target(4, 27), RouterKind::Lookahead, true);
+  compile(state, "HeavyHexWorkloads/" + std::to_string(state.range(0)), c,
+          make_target(4, 27), RouterKind::Lookahead, true);
 }
 BENCHMARK(BM_HeavyHexWorkloads)->DenseRange(0, 3, 1);
 
 // CZ-native gate set (tunable couplers) vs CX-native.
 void BM_CzNativeTarget(benchmark::State& state) {
   Target t{CouplingMap::line(8), NativeGateSet::CzRzSxX, "line-cz"};
-  compile(state, qdt::ir::qft(8), t, RouterKind::Lookahead, true);
+  compile(state, "CzNativeTarget", qdt::ir::qft(8), t, RouterKind::Lookahead,
+          true);
 }
 BENCHMARK(BM_CzNativeTarget);
 

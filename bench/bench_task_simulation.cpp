@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "arrays/density_matrix.hpp"
+#include "bench_json.hpp"
 #include "core/tasks.hpp"
 #include "ir/library.hpp"
 
@@ -16,7 +17,8 @@ namespace {
 
 using qdt::core::SimBackend;
 
-void sim(benchmark::State& state, const qdt::ir::Circuit& c, SimBackend b) {
+void sim(benchmark::State& state, const std::string& name,
+         const qdt::ir::Circuit& c, SimBackend b) {
   qdt::core::SimulateOptions opts;
   opts.want_state = false;
   opts.shots = 16;
@@ -29,23 +31,29 @@ void sim(benchmark::State& state, const qdt::ir::Circuit& c, SimBackend b) {
   }
   state.counters["repr_size"] = static_cast<double>(repr);
   state.counters["qubits"] = static_cast<double>(c.num_qubits());
+  // One fresh instrumented run for the machine-readable line.
+  qdt::obs::reset();
+  const auto res = qdt::core::simulate(c, b, opts);
+  qdt::bench::emit_json_line("task_simulation", name,
+                             qdt::core::backend_name(b), res.seconds,
+                             res.representation_size);
 }
 
 #define QDT_SIM_BENCH(name, circuit)                                 \
   void BM_##name##_Array(benchmark::State& state) {                  \
-    sim(state, circuit, SimBackend::Array);                          \
+    sim(state, #name "_Array", circuit, SimBackend::Array);          \
   }                                                                  \
   BENCHMARK(BM_##name##_Array);                                      \
   void BM_##name##_DD(benchmark::State& state) {                     \
-    sim(state, circuit, SimBackend::DecisionDiagram);                \
+    sim(state, #name "_DD", circuit, SimBackend::DecisionDiagram);   \
   }                                                                  \
   BENCHMARK(BM_##name##_DD);                                         \
   void BM_##name##_TN(benchmark::State& state) {                     \
-    sim(state, circuit, SimBackend::TensorNetwork);                  \
+    sim(state, #name "_TN", circuit, SimBackend::TensorNetwork);     \
   }                                                                  \
   BENCHMARK(BM_##name##_TN);                                         \
   void BM_##name##_MPS(benchmark::State& state) {                    \
-    sim(state, circuit, SimBackend::Mps);                            \
+    sim(state, #name "_MPS", circuit, SimBackend::Mps);              \
   }                                                                  \
   BENCHMARK(BM_##name##_MPS)
 

@@ -8,6 +8,7 @@
 // dominated pairs by rewriting alone; fault detection is fast everywhere.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "core/tasks.hpp"
 #include "dd/equivalence.hpp"
 #include "ir/library.hpp"
@@ -28,9 +29,9 @@ std::pair<qdt::ir::Circuit, qdt::ir::Circuit> compiled_pair(
           qdt::transpile::restored_for_verification(res)};
 }
 
-void verify_pair(benchmark::State& state, const qdt::ir::Circuit& a,
-                 const qdt::ir::Circuit& b, EcMethod m,
-                 bool expect_equivalent) {
+void verify_pair(benchmark::State& state, const std::string& name,
+                 const qdt::ir::Circuit& a, const qdt::ir::Circuit& b,
+                 EcMethod m, bool expect_equivalent) {
   bool ok = true;
   for (auto _ : state) {
     const auto res = qdt::core::verify(a, b, m);
@@ -38,13 +39,20 @@ void verify_pair(benchmark::State& state, const qdt::ir::Circuit& a,
     benchmark::DoNotOptimize(res);
   }
   state.counters["verdict_correct"] = ok ? 1.0 : 0.0;
+  // One fresh instrumented run for the machine-readable line.
+  qdt::obs::reset();
+  const auto res = qdt::core::verify(a, b, m);
+  qdt::bench::emit_json_line("task_verification", name,
+                             qdt::core::method_name(m), res.seconds,
+                             /*representation_size=*/0);
 }
 
 #define QDT_VER_BENCH(name, maker, method)                                  \
   void BM_##name##_##method(benchmark::State& state) {                      \
     const auto pair = maker(state.range(0));                                \
-    verify_pair(state, pair.first, pair.second, EcMethod::method,           \
-                true);                                                      \
+    verify_pair(state,                                                      \
+                #name "_" #method "/" + std::to_string(state.range(0)),     \
+                pair.first, pair.second, EcMethod::method, true);           \
   }                                                                         \
   BENCHMARK(BM_##name##_##method)->DenseRange(4, 8, 2)
 
@@ -94,7 +102,9 @@ void BM_FaultDetection(benchmark::State& state) {
   const auto good = qdt::ir::random_clifford_t(6, 80, 0.2, 5);
   auto bad = good;
   bad.t(3);
-  verify_pair(state, good, bad, method, false);
+  verify_pair(state,
+              std::string("FaultDetection_") + qdt::core::method_name(method),
+              good, bad, method, false);
 }
 BENCHMARK(BM_FaultDetection)
     ->Arg(static_cast<int>(EcMethod::DdAlternating))

@@ -4,11 +4,25 @@
 #include <cmath>
 
 #include "common/bitops.hpp"
+#include "obs/obs.hpp"
 
 namespace qdt::arrays {
 
+namespace {
+
+obs::Counter& g_gates = obs::counter("qdt.arrays.svsim.gates_applied");
+obs::Counter& g_bytes = obs::counter("qdt.arrays.svsim.bytes_allocated");
+obs::Gauge& g_bytes_peak = obs::gauge("qdt.arrays.svsim.bytes_peak");
+obs::Histogram& g_gate_seconds =
+    obs::histogram("qdt.arrays.svsim.gate_seconds");
+
+}  // namespace
+
 SvResult StatevectorSimulator::run(const ir::Circuit& circuit) {
   SvResult res{Statevector(circuit.num_qubits()), {}};
+  const std::size_t state_bytes = res.state.dim() * sizeof(Complex);
+  g_bytes.add(state_bytes);
+  g_bytes_peak.update_max(static_cast<std::int64_t>(state_bytes));
   for (const auto& op : circuit.ops()) {
     if (op.is_barrier()) {
       continue;
@@ -30,7 +44,11 @@ SvResult StatevectorSimulator::run(const ir::Circuit& circuit) {
       }
       continue;
     }
-    res.state.apply(op);
+    {
+      const obs::ScopedTimer timer(g_gate_seconds);
+      res.state.apply(op);
+      g_gates.add();
+    }
     for (const auto& ch : noise_.gate_noise) {
       for (const auto q : op.qubits()) {
         apply_channel_trajectory(res.state, ch, q);

@@ -26,6 +26,7 @@
 #include "ir/circuit.hpp"              // IWYU pragma: export
 #include "ir/library.hpp"              // IWYU pragma: export
 #include "ir/qasm.hpp"                 // IWYU pragma: export
+#include "obs/obs.hpp"                 // IWYU pragma: export
 #include "stab/tableau.hpp"            // IWYU pragma: export
 #include "tn/mps.hpp"                  // IWYU pragma: export
 #include "tn/network.hpp"              // IWYU pragma: export

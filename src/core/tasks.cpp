@@ -1,7 +1,6 @@
 #include "core/tasks.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -10,6 +9,7 @@
 #include "stab/tableau.hpp"
 #include "dd/equivalence.hpp"
 #include "dd/simulator.hpp"
+#include "obs/obs.hpp"
 #include "tn/mps.hpp"
 #include "tn/network.hpp"
 #include "transpile/decompose.hpp"
@@ -17,17 +17,9 @@
 
 namespace qdt::core {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double elapsed(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
-
 const char* version() { return "1.0.0"; }
+
+std::string obs_report() { return obs::to_json(obs::snapshot()); }
 
 const char* backend_name(SimBackend b) {
   switch (b) {
@@ -49,7 +41,8 @@ SimulateResult simulate(const ir::Circuit& circuit, SimBackend backend,
                         const SimulateOptions& options) {
   SimulateResult res;
   res.backend = backend;
-  const auto start = Clock::now();
+  const obs::Span span("qdt.core.task.simulate");
+  const obs::Stopwatch sw;
   switch (backend) {
     case SimBackend::Array: {
       arrays::StatevectorSimulator sim(options.seed);
@@ -171,7 +164,7 @@ SimulateResult simulate(const ir::Circuit& circuit, SimBackend backend,
       break;
     }
   }
-  res.seconds = elapsed(start);
+  res.seconds = sw.seconds();
   return res;
 }
 
@@ -255,7 +248,8 @@ const char* method_name(EcMethod m) {
 VerifyResult verify(const ir::Circuit& c1, const ir::Circuit& c2,
                     EcMethod method) {
   VerifyResult res;
-  const auto start = Clock::now();
+  const obs::Span span("qdt.core.task.verify");
+  const obs::Stopwatch sw;
   switch (method) {
     case EcMethod::Array: {
       if (c1.num_qubits() != c2.num_qubits()) {
@@ -301,7 +295,7 @@ VerifyResult verify(const ir::Circuit& c1, const ir::Circuit& c2,
       break;
     }
   }
-  res.seconds = elapsed(start);
+  res.seconds = sw.seconds();
   return res;
 }
 
@@ -310,6 +304,7 @@ CompileResult compile_and_verify(const ir::Circuit& circuit,
                                  EcMethod method,
                                  const transpile::TranspileOptions& opts) {
   CompileResult res;
+  const obs::Span span("qdt.core.task.compile");
   res.transpiled = transpile::transpile(circuit, target, opts);
   res.verification =
       verify(transpile::padded_original(circuit, target),

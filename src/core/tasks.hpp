@@ -20,6 +20,12 @@ namespace qdt::core {
 /// Library version string.
 const char* version();
 
+/// JSON snapshot of the qdt::obs metrics registry (counters, gauges,
+/// histograms, trace spans) accumulated so far in this process. In
+/// QDT_OBS_ENABLED=OFF builds this returns an empty snapshot with
+/// "enabled": false.
+std::string obs_report();
+
 // ---------------------------------------------------------------------------
 // Simulation
 // ---------------------------------------------------------------------------

@@ -5,8 +5,23 @@
 #include <unordered_set>
 
 #include "common/bitops.hpp"
+#include "obs/obs.hpp"
 
 namespace qdt::dd {
+
+namespace {
+
+// Registry handles are resolved once at static-init time so the hot paths
+// below pay only a relaxed atomic increment (nothing at all in no-op
+// builds).
+obs::Counter& g_ut_hits = obs::counter("qdt.dd.unique_table.hits");
+obs::Counter& g_ut_misses = obs::counter("qdt.dd.unique_table.misses");
+obs::Counter& g_ct_hits = obs::counter("qdt.dd.compute_table.hits");
+obs::Counter& g_ct_misses = obs::counter("qdt.dd.compute_table.misses");
+obs::Counter& g_node_allocs = obs::counter("qdt.dd.package.node_allocs");
+obs::Counter& g_cache_clears = obs::counter("qdt.dd.package.cache_clears");
+
+}  // namespace
 
 Package::Package(std::size_t num_qubits) : num_qubits_(num_qubits) {
   if (num_qubits == 0 || num_qubits > 128) {
@@ -43,8 +58,11 @@ VecEdge Package::make_vec_node(std::uint32_t var, VecEdge e0, VecEdge e1) {
   }
   const auto it = vec_unique_.find(node);
   if (it != vec_unique_.end()) {
+    g_ut_hits.add();
     return VecEdge{it->second, norm};
   }
+  g_ut_misses.add();
+  g_node_allocs.add();
   vec_storage_.push_back(node);
   const VecNode* stored = &vec_storage_.back();
   vec_unique_.emplace(node, stored);
@@ -84,8 +102,11 @@ MatEdge Package::make_mat_node(std::uint32_t var,
   }
   const auto it = mat_unique_.find(node);
   if (it != mat_unique_.end()) {
+    g_ut_hits.add();
     return MatEdge{it->second, norm};
   }
+  g_ut_misses.add();
+  g_node_allocs.add();
   mat_storage_.push_back(node);
   const MatNode* stored = &mat_storage_.back();
   mat_unique_.emplace(node, stored);
@@ -205,9 +226,11 @@ VecEdge Package::add_rec(VecEdge a, VecEdge b, std::int64_t level) {
   ++cache_lookups_;
   if (const auto it = vec_add_cache_.find(key); it != vec_add_cache_.end()) {
     ++cache_hits_;
+    g_ct_hits.add();
     return VecEdge{it->second.node,
                    ctab_.mul(a.weight, it->second.weight)};
   }
+  g_ct_misses.add();
   std::array<VecEdge, 2> r;
   for (std::size_t i = 0; i < 2; ++i) {
     const VecEdge ai = a.node->succ[i];
@@ -246,9 +269,11 @@ MatEdge Package::add_rec(MatEdge a, MatEdge b, std::int64_t level) {
   ++cache_lookups_;
   if (const auto it = mat_add_cache_.find(key); it != mat_add_cache_.end()) {
     ++cache_hits_;
+    g_ct_hits.add();
     return MatEdge{it->second.node,
                    ctab_.mul(a.weight, it->second.weight)};
   }
+  g_ct_misses.add();
   std::array<MatEdge, 4> r;
   for (std::size_t i = 0; i < 4; ++i) {
     const MatEdge ai = a.node->succ[i];
@@ -278,8 +303,10 @@ VecEdge Package::mul_rec(MatEdge a, VecEdge b, std::int64_t level) {
   VecEdge unit;
   if (const auto it = mv_cache_.find(key); it != mv_cache_.end()) {
     ++cache_hits_;
+    g_ct_hits.add();
     unit = it->second;
   } else {
+    g_ct_misses.add();
     std::array<VecEdge, 2> r;
     for (std::size_t i = 0; i < 2; ++i) {
       VecEdge sum = VecEdge::zero();
@@ -313,8 +340,10 @@ MatEdge Package::mul_rec(MatEdge a, MatEdge b, std::int64_t level) {
   MatEdge unit;
   if (const auto it = mm_cache_.find(key); it != mm_cache_.end()) {
     ++cache_hits_;
+    g_ct_hits.add();
     unit = it->second;
   } else {
+    g_ct_misses.add();
     std::array<MatEdge, 4> r;
     for (std::size_t i = 0; i < 2; ++i) {
       for (std::size_t j = 0; j < 2; ++j) {
@@ -351,8 +380,10 @@ Complex Package::ip_rec(VecEdge a, VecEdge b, std::int64_t level) {
   ++cache_lookups_;
   if (const auto it = ip_cache_.find(key); it != ip_cache_.end()) {
     ++cache_hits_;
+    g_ct_hits.add();
     return scale * it->second;
   }
+  g_ct_misses.add();
   Complex sum{};
   for (std::size_t i = 0; i < 2; ++i) {
     sum += ip_rec(a.node->succ[i], b.node->succ[i], level - 1);
@@ -740,6 +771,7 @@ PackageStats Package::stats() const {
 }
 
 void Package::clear_caches() {
+  g_cache_clears.add();
   vec_add_cache_.clear();
   mat_add_cache_.clear();
   mv_cache_.clear();

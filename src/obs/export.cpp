@@ -1,0 +1,158 @@
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "obs/obs.hpp"
+
+namespace qdt::obs {
+
+namespace {
+
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_json_double(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; clamp to null.
+    os << "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(std::numeric_limits<double>::max_digits10);
+  tmp << v;
+  os << tmp.str();
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] only.
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+  std::ostringstream os;
+  os << "{\"enabled\":" << (snap.enabled ? "true" : "false");
+  os << ",\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    append_json_string(os, snap.counters[i].name);
+    os << ':' << snap.counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    append_json_string(os, snap.gauges[i].name);
+    os << ':' << snap.gauges[i].value;
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    if (i > 0) {
+      os << ',';
+    }
+    append_json_string(os, h.name);
+    os << ":{\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) {
+        os << ',';
+      }
+      append_json_double(os, h.bounds[b]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) {
+        os << ',';
+      }
+      os << h.counts[b];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":";
+    append_json_double(os, h.sum);
+    os << '}';
+  }
+  os << "},\"spans\":[";
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    const auto& s = snap.spans[i];
+    if (i > 0) {
+      os << ',';
+    }
+    os << "{\"name\":";
+    append_json_string(os, s.name);
+    os << ",\"depth\":" << s.depth << ",\"start\":";
+    append_json_double(os, s.start_seconds);
+    os << ",\"seconds\":";
+    append_json_double(os, s.seconds);
+    os << '}';
+  }
+  os << "],\"spans_dropped\":" << snap.spans_dropped << '}';
+  return os.str();
+}
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& c : snap.counters) {
+    const std::string n = prometheus_name(c.name);
+    os << "# TYPE " << n << " counter\n";
+    os << n << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string n = prometheus_name(g.name);
+    os << "# TYPE " << n << " gauge\n";
+    os << n << ' ' << g.value << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string n = prometheus_name(h.name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += b < h.counts.size() ? h.counts[b] : 0;
+      os << n << "_bucket{le=\"" << h.bounds[b] << "\"} " << cumulative
+         << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << n << "_sum " << h.sum << '\n';
+    os << n << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qdt::obs

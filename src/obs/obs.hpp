@@ -1,0 +1,319 @@
+// qdt::obs — the process-wide metrics and tracing layer shared by all four
+// backends. Counters, gauges, and histograms live in a named registry;
+// writes go to lock-free per-thread shards and are merged on read, so the
+// DD package can bump a counter per compute-table lookup without cross-core
+// contention. Hierarchical trace spans cover the three design tasks
+// (simulate / verify / compile). Snapshots export as JSON or Prometheus
+// text.
+//
+// Metric names follow `qdt.<layer>.<component>.<metric>` (enforced by
+// tools/check_metrics_names.py); see the README's Observability section for
+// the catalogue.
+//
+// The whole layer compiles down to no-ops when the QDT_OBS_ENABLED CMake
+// option is OFF: the classes below keep their interfaces but every method
+// becomes an empty inline, so instrumented call sites vanish at -O2. The
+// monotonic clock helpers (Stopwatch) stay real in both builds — they feed
+// the `seconds` fields of the task results.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef QDT_OBS_ENABLED
+#define QDT_OBS_ENABLED 1
+#endif
+
+namespace qdt::obs {
+
+// ---------------------------------------------------------------------------
+// Monotonic clock (always real, even in no-op builds)
+// ---------------------------------------------------------------------------
+
+/// Seconds on a monotonic clock (arbitrary epoch, never goes backwards).
+double monotonic_seconds();
+
+/// The single timing helper used for every `seconds` result field — no
+/// call site rolls its own std::chrono arithmetic.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(monotonic_seconds()) {}
+  void restart() { start_ = monotonic_seconds(); }
+  double seconds() const { return monotonic_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot (always defined; empty when the layer is compiled out)
+// ---------------------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;          // inclusive upper bounds, ascending
+  std::vector<std::uint64_t> counts;   // bounds.size() + 1 (last: overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct SpanSample {
+  std::string name;
+  std::size_t depth = 0;      // nesting level at record time
+  double start_seconds = 0.0; // monotonic_seconds() at span entry
+  double seconds = 0.0;       // duration
+};
+
+struct Snapshot {
+  bool enabled = false;
+  std::vector<CounterSample> counters;      // sorted by name
+  std::vector<GaugeSample> gauges;          // sorted by name
+  std::vector<HistogramSample> histograms;  // sorted by name
+  std::vector<SpanSample> spans;            // completion order
+  std::uint64_t spans_dropped = 0;
+
+  /// nullptr when the name is not present.
+  const CounterSample* find_counter(std::string_view name) const;
+  const GaugeSample* find_gauge(std::string_view name) const;
+  const HistogramSample* find_histogram(std::string_view name) const;
+};
+
+/// Snapshot as a JSON object (counters/gauges keyed by metric name).
+std::string to_json(const Snapshot& snap);
+
+/// Snapshot in the Prometheus text exposition format (dots become
+/// underscores; histograms get cumulative `_bucket{le=...}` series).
+std::string to_prometheus(const Snapshot& snap);
+
+/// Default duration buckets for timing histograms: 100ns .. 10s, decades.
+const std::vector<double>& default_time_bounds();
+
+#if QDT_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Metric primitives (enabled build)
+// ---------------------------------------------------------------------------
+
+/// Monotone counter. Each thread writes its own cache-line-sized shard with
+/// a relaxed fetch-add; value() merges the shards.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t v = 1) noexcept {
+    shards_[shard_index()].v.fetch_add(v, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+  void reset() noexcept {
+    for (auto& s : shards_) {
+      s.v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static std::size_t shard_index() noexcept;
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Point-in-time value with set/add/max semantics (high-water marks).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t v) noexcept {
+    v_.fetch_add(v, std::memory_order_relaxed);
+  }
+  void update_max(std::int64_t v) noexcept {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bound histogram: observation v lands in the first bucket with
+/// v <= bound (Prometheus `le` semantics); larger values go to overflow.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept;
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Look up (creating on first use) a metric. References stay valid for the
+/// process lifetime — cache them in a static at the call site.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+/// `bounds` is only consulted on first creation; pass nothing for the
+/// default duration buckets.
+Histogram& histogram(std::string_view name);
+Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+/// Consistent point-in-time copy of every registered metric + spans.
+Snapshot snapshot();
+
+/// Zero every metric (registrations survive) and clear recorded spans.
+void reset();
+
+/// RAII timer: observes the scope's duration into a histogram on exit.
+/// Compiles to nothing (no clock calls) in no-op builds.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) : h_(h), start_(monotonic_seconds()) {}
+  ~ScopedTimer() { h_.observe(monotonic_seconds() - start_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& h_;
+  double start_;
+};
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+/// RAII hierarchical trace span: records {name, depth, start, duration}
+/// into the registry on destruction. Depth tracks per-thread nesting.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Elapsed time so far.
+  double seconds() const { return monotonic_seconds() - start_; }
+
+ private:
+  std::string name_;
+  double start_;
+  std::size_t depth_;
+};
+
+#else  // !QDT_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// No-op build: identical interfaces, empty inline bodies. Instrumented
+// call sites compile away entirely.
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  void update_max(std::int64_t) noexcept {}
+  std::int64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  void observe(double) noexcept {}
+  std::uint64_t count() const noexcept { return 0; }
+  double sum() const noexcept { return 0.0; }
+  const std::vector<double>& bounds() const noexcept {
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+  }
+  std::vector<std::uint64_t> bucket_counts() const { return {}; }
+  void reset() noexcept {}
+};
+
+inline Counter& counter(std::string_view) {
+  static Counter c;
+  return c;
+}
+inline Gauge& gauge(std::string_view) {
+  static Gauge g;
+  return g;
+}
+inline Histogram& histogram(std::string_view) {
+  static Histogram h;
+  return h;
+}
+inline Histogram& histogram(std::string_view, std::vector<double>) {
+  static Histogram h;
+  return h;
+}
+
+inline Snapshot snapshot() { return Snapshot{}; }
+inline void reset() {}
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+class Span {
+ public:
+  explicit Span(std::string_view) : start_(monotonic_seconds()) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  double seconds() const { return monotonic_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+#endif  // QDT_OBS_ENABLED
+
+}  // namespace qdt::obs

@@ -1,0 +1,252 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+namespace qdt::obs {
+
+double monotonic_seconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+const std::vector<double>& default_time_bounds() {
+  static const std::vector<double> kBounds = {1e-7, 1e-6, 1e-5, 1e-4, 1e-3,
+                                              1e-2, 1e-1, 1.0,  10.0};
+  return kBounds;
+}
+
+namespace {
+
+template <typename T>
+const T* find_sample(const std::vector<T>& v, std::string_view name) {
+  for (const auto& s : v) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const CounterSample* Snapshot::find_counter(std::string_view name) const {
+  return find_sample(counters, name);
+}
+
+const GaugeSample* Snapshot::find_gauge(std::string_view name) const {
+  return find_sample(gauges, name);
+}
+
+const HistogramSample* Snapshot::find_histogram(
+    std::string_view name) const {
+  return find_sample(histograms, name);
+}
+
+#if QDT_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Counter sharding
+// ---------------------------------------------------------------------------
+
+std::size_t Counter::shard_index() noexcept {
+  // Threads get distinct shards in arrival order; beyond kShards threads
+  // the assignment wraps, which only costs contention, never correctness.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry reg;
+    return reg;
+  }
+
+  Counter& counter(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_
+               .emplace(std::string(name), std::make_unique<Counter>())
+               .first;
+    }
+    return *it->second;
+  }
+
+  Gauge& gauge(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+               .first;
+    }
+    return *it->second;
+  }
+
+  Histogram& histogram(std::string_view name, std::vector<double> bounds) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_
+               .emplace(std::string(name),
+                        std::make_unique<Histogram>(std::move(bounds)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  void record_span(SpanSample s) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= kMaxSpans) {
+      ++spans_dropped_;
+      return;
+    }
+    spans_.push_back(std::move(s));
+  }
+
+  Snapshot snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Snapshot snap;
+    snap.enabled = true;
+    for (const auto& [name, c] : counters_) {
+      snap.counters.push_back({name, c->value()});
+    }
+    for (const auto& [name, g] : gauges_) {
+      snap.gauges.push_back({name, g->value()});
+    }
+    for (const auto& [name, h] : histograms_) {
+      snap.histograms.push_back(
+          {name, h->bounds(), h->bucket_counts(), h->count(), h->sum()});
+    }
+    snap.spans = spans_;
+    snap.spans_dropped = spans_dropped_;
+    return snap;
+  }
+
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : counters_) {
+      c->reset();
+    }
+    for (auto& [name, g] : gauges_) {
+      g->reset();
+    }
+    for (auto& [name, h] : histograms_) {
+      h->reset();
+    }
+    spans_.clear();
+    spans_dropped_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMaxSpans = 4096;
+
+  mutable std::mutex mu_;
+  // Node-based maps: metric addresses are stable for the process lifetime,
+  // so call sites may cache the references.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<SpanSample> spans_;
+  std::uint64_t spans_dropped_ = 0;
+};
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+
+Gauge& gauge(std::string_view name) {
+  return Registry::instance().gauge(name);
+}
+
+Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name, default_time_bounds());
+}
+
+Histogram& histogram(std::string_view name, std::vector<double> bounds) {
+  return Registry::instance().histogram(name, std::move(bounds));
+}
+
+Snapshot snapshot() { return Registry::instance().snapshot(); }
+
+void reset() { Registry::instance().reset(); }
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local std::size_t t_span_depth = 0;
+}  // namespace
+
+Span::Span(std::string_view name)
+    : name_(name), start_(monotonic_seconds()), depth_(t_span_depth++) {}
+
+Span::~Span() {
+  --t_span_depth;
+  Registry::instance().record_span(
+      {std::move(name_), depth_, start_, monotonic_seconds() - start_});
+}
+
+#endif  // QDT_OBS_ENABLED
+
+}  // namespace qdt::obs

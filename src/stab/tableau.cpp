@@ -4,7 +4,18 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace qdt::stab {
+
+namespace {
+
+obs::Counter& g_gates = obs::counter("qdt.stab.tableau.gates_applied");
+obs::Gauge& g_bytes_peak = obs::gauge("qdt.stab.tableau.bytes_peak");
+obs::Histogram& g_gate_seconds =
+    obs::histogram("qdt.stab.tableau.gate_seconds");
+
+}  // namespace
 
 bool PauliRow::is_identity() const {
   return std::none_of(x.begin(), x.end(), [](bool b) { return b; }) &&
@@ -519,8 +530,14 @@ std::vector<std::pair<ir::Qubit, bool>> StabilizerSimulator::run(
     throw std::invalid_argument("StabilizerSimulator: width mismatch");
   }
   std::vector<std::pair<ir::Qubit, bool>> record;
+  // 2n Pauli rows of 2n + 1 bits each, packed.
+  const std::size_t n = tableau_.num_qubits();
+  g_bytes_peak.update_max(
+      static_cast<std::int64_t>(2 * n * (2 * n + 1) / 8 + 2 * n));
   for (const auto& op : circuit.ops()) {
+    const obs::ScopedTimer timer(g_gate_seconds);
     apply(op, &record);
+    g_gates.add();
   }
   return record;
 }

@@ -7,8 +7,18 @@
 
 #include "arrays/dense_unitary.hpp"
 #include "common/bitops.hpp"
+#include "obs/obs.hpp"
 
 namespace qdt::tn {
+
+namespace {
+
+obs::Counter& g_contractions = obs::counter("qdt.tn.contraction.count");
+obs::Counter& g_flops = obs::counter("qdt.tn.contraction.flops");
+obs::Gauge& g_peak_size = obs::gauge("qdt.tn.contraction.peak_size");
+obs::Gauge& g_peak_rank = obs::gauge("qdt.tn.contraction.peak_rank");
+
+}  // namespace
 
 std::size_t TensorNetwork::add(Tensor t) {
   nodes_.push_back(std::move(t));
@@ -111,6 +121,12 @@ Tensor TensorNetwork::contract_all(const ContractionPlan& plan,
     }
     t.reset();
   }
+  // ContractionStats doubles as a thin per-call view; the registry keeps
+  // the process-wide aggregate whether or not the caller asked for stats.
+  g_contractions.add(local.contractions);
+  g_flops.add(static_cast<std::uint64_t>(local.flops));
+  g_peak_size.update_max(static_cast<std::int64_t>(local.peak_tensor_size));
+  g_peak_rank.update_max(static_cast<std::int64_t>(local.peak_rank));
   if (stats != nullptr) {
     *stats = local;
   }

@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "obs/obs.hpp"
+
 namespace qdt::transpile {
 
 using ir::Circuit;
@@ -147,6 +149,15 @@ Circuit peephole_optimize(const Circuit& circuit, OptimizeStats* stats) {
     }
     current = std::move(next);
   }
+  // OptimizeStats stays the per-call view; the registry aggregates across
+  // the process.
+  obs::counter("qdt.transpile.peephole.cancelled_pairs")
+      .add(local.cancelled_pairs);
+  obs::counter("qdt.transpile.peephole.merged_rotations")
+      .add(local.merged_rotations);
+  obs::counter("qdt.transpile.peephole.dropped_identities")
+      .add(local.dropped_identities);
+  obs::counter("qdt.transpile.peephole.passes").add(local.passes);
   if (stats != nullptr) {
     *stats = local;
   }

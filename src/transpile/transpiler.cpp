@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "transpile/decompose.hpp"
 
 namespace qdt::transpile {
@@ -60,6 +61,9 @@ TranspileResult transpile(const Circuit& circuit, const Target& target,
   res.initial_layout = routed.initial_layout;
   res.final_layout = routed.final_layout;
   res.swaps_inserted = routed.swaps_inserted;
+  obs::counter("qdt.transpile.route.swaps_inserted")
+      .add(routed.swaps_inserted);
+  obs::counter("qdt.transpile.route.circuits").add();
 
   // 3. Lower router SWAPs and rebase single-qubit gates onto the native
   //    set.

@@ -2,9 +2,25 @@
 
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "zx/circuit_to_zx.hpp"
 
 namespace qdt::zx {
+
+namespace {
+
+// Fire count per rewrite rule — the operative quantity when judging which
+// rules carry a given reduction (SimplifyStats is the per-call view).
+obs::Counter& g_color_changes = obs::counter("qdt.zx.rule.color_change");
+obs::Counter& g_fusions = obs::counter("qdt.zx.rule.fusion");
+obs::Counter& g_id_removals = obs::counter("qdt.zx.rule.id_removal");
+obs::Counter& g_local_comps =
+    obs::counter("qdt.zx.rule.local_complementation");
+obs::Counter& g_pivots = obs::counter("qdt.zx.rule.pivot");
+obs::Counter& g_boundary_pivots = obs::counter("qdt.zx.rule.boundary_pivot");
+obs::Counter& g_rounds = obs::counter("qdt.zx.simplify.rounds");
+
+}  // namespace
 
 std::size_t color_change_to_z(ZXDiagram& d) {
   std::size_t count = 0;
@@ -22,6 +38,7 @@ std::size_t color_change_to_z(ZXDiagram& d) {
     }
     ++count;
   }
+  g_color_changes.add(count);
   return count;
 }
 
@@ -45,6 +62,7 @@ std::size_t spider_fusion(ZXDiagram& d) {
       }
     }
   }
+  g_fusions.add(count);
   return count;
 }
 
@@ -85,6 +103,7 @@ std::size_t remove_identities(ZXDiagram& d) {
       break;  // vertex list invalidated (add_edge_smart may fuse)
     }
   }
+  g_id_removals.add(count);
   return count;
 }
 
@@ -189,6 +208,7 @@ std::size_t local_complementation(ZXDiagram& d) {
       break;
     }
   }
+  g_local_comps.add(count);
   return count;
 }
 
@@ -218,6 +238,7 @@ std::size_t pivoting(ZXDiagram& d) {
       break;
     }
   }
+  g_pivots.add(count);
   return count;
 }
 
@@ -262,6 +283,7 @@ std::size_t boundary_pivoting(ZXDiagram& d) {
         d.add_edge(z2, w, EdgeKind::Hadamard);
       }
       apply_pivot(d, v, w);
+      g_boundary_pivots.add();
       return 1;
     }
   }
@@ -313,6 +335,7 @@ std::size_t boundary_pivoting(ZXDiagram& d) {
     for (const V w : nbrs) {
       d.add_phase(w, -alpha);
     }
+    g_boundary_pivots.add();
     return 1;
   }
   return 0;
@@ -370,6 +393,7 @@ SimplifyStats clifford_simp(ZXDiagram& d) {
   bool changed = true;
   while (changed) {
     ++s.rounds;
+    g_rounds.add();
     std::size_t n = 0;
     // Fusion + identity removal to a fixpoint first: local complementation
     // and pivoting assume no plain spider-spider edges remain.

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Enforce the qdt::obs metric naming scheme.
+
+Every metric or span name registered from C++ sources under src/ and
+tools/ must match `qdt.<layer>.<component>.<metric>` — exactly four
+dot-separated segments of [a-z0-9_]+. The registry itself does not
+validate names (hot-path cost), so this script is wired up as a ctest.
+
+Usage: check_metrics_names.py [repo_root]
+Exit code 0 when all names conform, 1 with a list of offenders otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# obs::counter("..."), obs::gauge("..."), obs::histogram("...", ...),
+# obs::Span("..."), obs::ScopedTimer takes a Histogram& so it needs no rule.
+REGISTRATION = re.compile(
+    r'obs::(?:counter|gauge|histogram|Span)\s*\(\s*"([^"]*)"'
+)
+VALID_NAME = re.compile(r"^qdt\.[a-z0-9_]+\.[a-z0-9_]+\.[a-z0-9_]+$")
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+
+def scan(root: Path) -> list[tuple[Path, int, str]]:
+    offenders = []
+    for subdir in ("src", "tools"):
+        base = root / subdir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES:
+                continue
+            text = path.read_text(encoding="utf-8", errors="replace")
+            for match in REGISTRATION.finditer(text):
+                name = match.group(1)
+                if not VALID_NAME.match(name):
+                    line = text.count("\n", 0, match.start()) + 1
+                    offenders.append((path.relative_to(root), line, name))
+    return offenders
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    offenders = scan(root)
+    if offenders:
+        print("metric names must match qdt.<layer>.<component>.<metric> "
+              "([a-z0-9_] segments):", file=sys.stderr)
+        for path, line, name in offenders:
+            print(f"  {path}:{line}: {name!r}", file=sys.stderr)
+        return 1
+    print("all qdt::obs metric names conform")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,11 @@
 //                [--qubits N] [--gateset cx|cz] [--router sp|lookahead]
 //                [--no-opt] [--out <file.qasm>] [--verify]
 //
+// Every subcommand additionally accepts --metrics[=file.json]: after the
+// run, the full qdt::obs registry snapshot (unique/compute-table hit
+// rates, contraction FLOPs, rewrite-rule fire counts, task spans, ...) is
+// printed as JSON to stdout, or written to the given file.
+//
 // Exit code 0 on success (and on "equivalent"); 1 on "not equivalent";
 // 2 on usage or runtime errors.
 #include <fstream>
@@ -33,6 +38,8 @@ using namespace qdt;
   qdt compile  <file.qasm> --target line|ring|grid|star|full|heavyhex
                [--qubits N] [--gateset cx|cz] [--router sp|lookahead]
                [--no-opt] [--out <file.qasm>] [--verify]
+
+any subcommand: --metrics[=file.json]  dump the qdt::obs registry snapshot
 )";
   std::exit(2);
 }
@@ -56,8 +63,12 @@ std::map<std::string, std::string> parse_flags(
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i].rfind("--", 0) == 0) {
       const std::string key = args[i].substr(2);
-      if (key == "state" || key == "no-opt" || key == "verify") {
-        flags[key] = "1";
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        // --key=value form (used by --metrics=file.json).
+        flags[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (key == "state" || key == "no-opt" || key == "verify" ||
+                 key == "metrics") {
+        flags[key] = "";
       } else if (i + 1 < args.size()) {
         flags[key] = args[++i];
       } else {
@@ -70,11 +81,32 @@ std::map<std::string, std::string> parse_flags(
   return flags;
 }
 
+/// Honor --metrics[=file.json]: dump the registry snapshot after the run.
+void emit_metrics(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("metrics");
+  if (it == flags.end()) {
+    return;
+  }
+  const std::string report = core::obs_report();
+  if (it->second.empty()) {
+    std::cout << report << "\n";
+    return;
+  }
+  std::ofstream out(it->second);
+  if (!out) {
+    throw std::runtime_error("cannot write " + it->second);
+  }
+  out << report << "\n";
+  std::cout << "wrote metrics to " << it->second << "\n";
+}
+
 int cmd_stats(const std::vector<std::string>& args) {
-  if (args.empty()) {
+  std::vector<std::string> pos;
+  auto flags = parse_flags(args, pos);
+  if (pos.size() != 1) {
     usage();
   }
-  const ir::Circuit c = load(args[0]);
+  const ir::Circuit c = load(pos[0]);
   const auto s = c.stats();
   std::cout << "qubits:       " << s.num_qubits << "\n";
   std::cout << "gates:        " << s.total_gates << "\n";
@@ -92,6 +124,7 @@ int cmd_stats(const std::vector<std::string>& args) {
   for (const auto& [name, count] : s.by_name) {
     std::cout << "  " << name << ": " << count << "\n";
   }
+  emit_metrics(flags);
   return 0;
 }
 
@@ -152,6 +185,7 @@ int cmd_simulate(const std::vector<std::string>& args) {
   for (const auto& [word, count] : res.counts) {
     std::cout << word << ": " << count << "\n";
   }
+  emit_metrics(flags);
   return 0;
 }
 
@@ -185,6 +219,7 @@ int cmd_verify(const std::vector<std::string>& args) {
             << (res.conclusive ? "" : " (inconclusive)") << "  ["
             << core::method_name(method) << ", " << res.detail << ", "
             << res.seconds << "s]\n";
+  emit_metrics(flags);
   return res.equivalent ? 0 : 1;
 }
 
@@ -255,8 +290,10 @@ int cmd_compile(const std::vector<std::string>& args) {
         core::EcMethod::DdAlternating);
     std::cout << "verification: "
               << (ec.equivalent ? "EQUIVALENT" : "NOT EQUIVALENT") << "\n";
+    emit_metrics(flags);
     return ec.equivalent ? 0 : 1;
   }
+  emit_metrics(flags);
   return 0;
 }
 
