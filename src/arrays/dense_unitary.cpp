@@ -4,16 +4,30 @@
 #include <stdexcept>
 
 #include "arrays/statevector.hpp"
+#include "guard/budget.hpp"
 
 namespace qdt::arrays {
 
-DenseUnitary::DenseUnitary(std::size_t num_qubits)
-    : num_qubits_(num_qubits), dim_(std::size_t{1} << num_qubits) {
+namespace {
+
+/// See checked_density_width in density_matrix.cpp: validate before the
+/// member-initializer shift, with a structured ResourceExhausted error.
+std::size_t checked_unitary_width(std::size_t num_qubits) {
   if (num_qubits > 14) {
-    throw std::invalid_argument(
-        "DenseUnitary: 4^" + std::to_string(num_qubits) +
-        " entries exceed the array-backend budget");
+    throw Error::exhausted(
+        Resource::Memory, "DenseUnitary: 4^" + std::to_string(num_qubits) +
+                              " entries exceed the array-backend budget");
   }
+  guard::check_memory((std::size_t{1} << (2 * num_qubits)) * sizeof(Complex),
+                      "dense unitary");
+  return num_qubits;
+}
+
+}  // namespace
+
+DenseUnitary::DenseUnitary(std::size_t num_qubits)
+    : num_qubits_(checked_unitary_width(num_qubits)),
+      dim_(std::size_t{1} << num_qubits) {
   data_.assign(dim_ * dim_, Complex{});
   for (std::size_t i = 0; i < dim_; ++i) {
     at(i, i) = 1.0;

@@ -3,15 +3,30 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "guard/budget.hpp"
+
 namespace qdt::arrays {
 
-DensityMatrix::DensityMatrix(std::size_t num_qubits)
-    : num_qubits_(num_qubits), dim_(std::size_t{1} << num_qubits) {
+namespace {
+
+/// Width check *before* the member-initializer shift: 1 << n for n >= 64
+/// is UB, and a 4^n matrix past the wall must die with a structured error.
+std::size_t checked_density_width(std::size_t num_qubits) {
   if (num_qubits > 13) {
-    throw std::invalid_argument(
-        "DensityMatrix: 4^" + std::to_string(num_qubits) +
-        " entries exceed the array-backend budget");
+    throw Error::exhausted(
+        Resource::Memory, "DensityMatrix: 4^" + std::to_string(num_qubits) +
+                              " entries exceed the array-backend budget");
   }
+  guard::check_memory((std::size_t{1} << (2 * num_qubits)) * sizeof(Complex),
+                      "density matrix");
+  return num_qubits;
+}
+
+}  // namespace
+
+DensityMatrix::DensityMatrix(std::size_t num_qubits)
+    : num_qubits_(checked_density_width(num_qubits)),
+      dim_(std::size_t{1} << num_qubits) {
   data_.assign(dim_ * dim_, Complex{});
   at(0, 0) = 1.0;
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/bitops.hpp"
+#include "guard/budget.hpp"
 
 namespace qdt::arrays {
 
@@ -32,11 +33,17 @@ std::uint64_t control_mask_of(const ir::Operation& op) {
 }  // namespace
 
 Statevector::Statevector(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  // Validate the width before any 1ULL << n: a shift of 64+ is UB, and a
+  // width at the Section II memory wall must fail with a structured error,
+  // not a std::bad_alloc (or the OOM killer).
   if (num_qubits >= 30) {
-    throw std::invalid_argument(
+    throw Error::exhausted(
+        Resource::Memory,
         "Statevector: refusing to allocate 2^" + std::to_string(num_qubits) +
-        " amplitudes — this is the Section II memory wall");
+            " amplitudes — this is the Section II memory wall");
   }
+  guard::check_memory((std::size_t{1} << num_qubits) * sizeof(Complex),
+                      "statevector");
   data_.assign(std::size_t{1} << num_qubits, Complex{});
   data_[0] = 1.0;
 }

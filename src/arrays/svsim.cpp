@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/bitops.hpp"
+#include "guard/budget.hpp"
 #include "obs/obs.hpp"
 
 namespace qdt::arrays {
@@ -24,6 +25,7 @@ SvResult StatevectorSimulator::run(const ir::Circuit& circuit) {
   g_bytes.add(state_bytes);
   g_bytes_peak.update_max(static_cast<std::int64_t>(state_bytes));
   for (const auto& op : circuit.ops()) {
+    guard::check_deadline();
     if (op.is_barrier()) {
       continue;
     }

@@ -23,6 +23,8 @@
 #include "dd/export_dot.hpp"           // IWYU pragma: export
 #include "dd/package.hpp"              // IWYU pragma: export
 #include "dd/simulator.hpp"            // IWYU pragma: export
+#include "guard/budget.hpp"            // IWYU pragma: export
+#include "guard/error.hpp"             // IWYU pragma: export
 #include "ir/circuit.hpp"              // IWYU pragma: export
 #include "ir/library.hpp"              // IWYU pragma: export
 #include "ir/qasm.hpp"                 // IWYU pragma: export

@@ -4,11 +4,14 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include <cmath>
+
 #include "arrays/dense_unitary.hpp"
 #include "arrays/svsim.hpp"
 #include "stab/tableau.hpp"
 #include "dd/equivalence.hpp"
 #include "dd/simulator.hpp"
+#include "guard/budget.hpp"
 #include "obs/obs.hpp"
 #include "tn/mps.hpp"
 #include "tn/network.hpp"
@@ -16,6 +19,14 @@
 #include "zx/equivalence.hpp"
 
 namespace qdt::core {
+
+namespace {
+
+obs::Counter& g_fallback_steps = obs::counter("qdt.guard.fallback.steps");
+obs::Counter& g_fallback_sim = obs::counter("qdt.guard.fallback.simulate");
+obs::Counter& g_fallback_verify = obs::counter("qdt.guard.fallback.verify");
+
+}  // namespace
 
 const char* version() { return "1.0.0"; }
 
@@ -42,6 +53,7 @@ SimulateResult simulate(const ir::Circuit& circuit, SimBackend backend,
   SimulateResult res;
   res.backend = backend;
   const obs::Span span("qdt.core.task.simulate");
+  const guard::BudgetScope scope(options.budget);
   const obs::Stopwatch sw;
   switch (backend) {
     case SimBackend::Array: {
@@ -90,7 +102,7 @@ SimulateResult simulate(const ir::Circuit& circuit, SimBackend backend,
     }
     case SimBackend::TensorNetwork: {
       if (!options.noise.empty()) {
-        throw std::invalid_argument(
+        throw Error::unsupported(
             "simulate: the tensor-network backend is noise-free");
       }
       const ir::Circuit unitary = circuit.unitary_part();
@@ -123,11 +135,11 @@ SimulateResult simulate(const ir::Circuit& circuit, SimBackend backend,
     }
     case SimBackend::Stabilizer: {
       if (!options.noise.empty()) {
-        throw std::invalid_argument(
+        throw Error::unsupported(
             "simulate: the stabilizer backend is noise-free");
       }
       if (options.want_state) {
-        throw std::invalid_argument(
+        throw Error::unsupported(
             "simulate: the stabilizer backend cannot produce dense states "
             "(set want_state = false)");
       }
@@ -144,7 +156,7 @@ SimulateResult simulate(const ir::Circuit& circuit, SimBackend backend,
     }
     case SimBackend::Mps: {
       if (!options.noise.empty()) {
-        throw std::invalid_argument("simulate: the MPS backend is noise-free");
+        throw Error::unsupported("simulate: the MPS backend is noise-free");
       }
       const ir::Circuit lowered = transpile::decompose_two_qubit(
           transpile::decompose_multi_controlled(circuit.unitary_part()));
@@ -190,10 +202,10 @@ Complex amplitude(const ir::Circuit& circuit, std::uint64_t basis,
       return mps.amplitude(basis);
     }
     case SimBackend::Stabilizer:
-      throw std::invalid_argument(
+      throw Error::unsupported(
           "amplitude: the stabilizer backend does not expose amplitudes");
   }
-  throw std::logic_error("amplitude: unknown backend");
+  throw Error::internal("amplitude: unknown backend");
 }
 
 SimBackend recommend_backend(const ir::Circuit& circuit) {
@@ -246,9 +258,10 @@ const char* method_name(EcMethod m) {
 }
 
 VerifyResult verify(const ir::Circuit& c1, const ir::Circuit& c2,
-                    EcMethod method) {
+                    EcMethod method, const guard::Budget& budget) {
   VerifyResult res;
   const obs::Span span("qdt.core.task.verify");
+  const guard::BudgetScope scope(budget);
   const obs::Stopwatch sw;
   switch (method) {
     case EcMethod::Array: {
@@ -302,14 +315,190 @@ VerifyResult verify(const ir::Circuit& c1, const ir::Circuit& c2,
 CompileResult compile_and_verify(const ir::Circuit& circuit,
                                  const transpile::Target& target,
                                  EcMethod method,
-                                 const transpile::TranspileOptions& opts) {
+                                 const transpile::TranspileOptions& opts,
+                                 const guard::Budget& budget) {
   CompileResult res;
   const obs::Span span("qdt.core.task.compile");
+  const guard::BudgetScope scope(budget);
   res.transpiled = transpile::transpile(circuit, target, opts);
   res.verification =
       verify(transpile::padded_original(circuit, target),
              transpile::restored_for_verification(res.transpiled), method);
   return res;
+}
+
+namespace {
+
+/// Fallback rungs for simulate_robust, starting at (and including) `start`.
+std::vector<SimBackend> simulate_ladder(SimBackend start) {
+  switch (start) {
+    case SimBackend::Stabilizer:
+      return {SimBackend::Stabilizer, SimBackend::DecisionDiagram,
+              SimBackend::Mps, SimBackend::TensorNetwork};
+    case SimBackend::Array:
+      return {SimBackend::Array, SimBackend::DecisionDiagram,
+              SimBackend::Mps, SimBackend::TensorNetwork};
+    case SimBackend::DecisionDiagram:
+      return {SimBackend::DecisionDiagram, SimBackend::Mps,
+              SimBackend::TensorNetwork};
+    case SimBackend::Mps:
+      return {SimBackend::Mps, SimBackend::TensorNetwork};
+    case SimBackend::TensorNetwork:
+      return {SimBackend::TensorNetwork};
+  }
+  return {start};
+}
+
+std::vector<EcMethod> verify_ladder(EcMethod start) {
+  switch (start) {
+    case EcMethod::Array:
+      return {EcMethod::Array, EcMethod::DdAlternating, EcMethod::Zx,
+              EcMethod::DdSimulative};
+    case EcMethod::DdAlternating:
+      return {EcMethod::DdAlternating, EcMethod::Zx,
+              EcMethod::DdSimulative};
+    case EcMethod::DdSequential:
+      return {EcMethod::DdSequential, EcMethod::DdAlternating, EcMethod::Zx,
+              EcMethod::DdSimulative};
+    case EcMethod::Zx:
+      // The paper's ZX stall case: retry with the alternating DD miter.
+      return {EcMethod::Zx, EcMethod::DdAlternating,
+              EcMethod::DdSimulative};
+    case EcMethod::DdSimulative:
+      return {EcMethod::DdSimulative};
+  }
+  return {start};
+}
+
+/// True when the error is a reason to degrade rather than to give up:
+/// the backend ran out of a budgeted resource, or cannot express the
+/// request at all. Genuine BadInput/Internal errors propagate.
+bool should_degrade(const Error& e) {
+  return e.code() == ErrorCode::ResourceExhausted ||
+         e.code() == ErrorCode::Unsupported;
+}
+
+/// Truncation bond for a degraded MPS rung: fit n site tensors of shape
+/// (D, 2, D) complex into the byte budget, clamped to [4, 64] so the rung
+/// stays fast even under a generous budget. A user-set mps_max_bond or a
+/// budget bond cap always wins when smaller.
+std::size_t degraded_mps_bond(const ir::Circuit& circuit,
+                              const guard::Budget& budget) {
+  std::size_t bond = 64;
+  if (budget.max_memory_bytes > 0) {
+    const std::size_t n = std::max<std::size_t>(circuit.num_qubits(), 1);
+    const double fit = std::sqrt(static_cast<double>(budget.max_memory_bytes) /
+                                 (32.0 * static_cast<double>(n)));
+    bond = std::min(bond, static_cast<std::size_t>(fit));
+  }
+  if (budget.max_mps_bond > 0) {
+    bond = std::min(bond, budget.max_mps_bond);
+  }
+  return std::max<std::size_t>(bond, 4);
+}
+
+}  // namespace
+
+RobustSimulateResult simulate_robust(const ir::Circuit& circuit,
+                                     const SimulateOptions& options,
+                                     std::optional<SimBackend> start) {
+  RobustSimulateResult robust;
+  const obs::Span span("qdt.core.task.simulate_robust");
+  // One scope across the whole ladder: the deadline covers every attempt
+  // combined, and nested per-simulate scopes can only tighten it.
+  const guard::BudgetScope scope(options.budget);
+  const SimBackend first = start.value_or(recommend_backend(circuit));
+  const auto ladder = simulate_ladder(first);
+
+  for (std::size_t rung = 0; rung < ladder.size(); ++rung) {
+    const SimBackend backend = ladder[rung];
+    SimulateOptions opts = options;
+    const bool last_resort = backend == SimBackend::TensorNetwork &&
+                             backend != first;
+    if (backend == SimBackend::Mps && backend != first &&
+        opts.mps_max_bond == 0) {
+      opts.mps_max_bond = degraded_mps_bond(circuit, options.budget);
+    }
+    try {
+      if (last_resort) {
+        // Final rung: a single <0...0|C|0...0> amplitude instead of a full
+        // state — the one task tensor networks can still do when every
+        // state-producing backend has hit its wall.
+        SimulateResult res;
+        res.backend = backend;
+        const obs::Stopwatch sw;
+        tn::ContractionStats stats;
+        const Complex a =
+            tn::amplitude(circuit.unitary_part(), 0, /*greedy=*/true, &stats);
+        res.state = std::vector<Complex>{a};
+        res.representation_size = stats.peak_tensor_size;
+        res.seconds = sw.seconds();
+        robust.result = std::move(res);
+        robust.attempts.push_back(
+            {std::string(backend_name(backend)) + " (single amplitude)",
+             ""});
+      } else {
+        robust.result = simulate(circuit, backend, opts);
+        std::string stage = backend_name(backend);
+        if (backend == SimBackend::Mps && opts.mps_max_bond != 0 &&
+            options.mps_max_bond == 0) {
+          stage += " (truncated, bond " +
+                   std::to_string(opts.mps_max_bond) + ")";
+        }
+        robust.attempts.push_back({std::move(stage), ""});
+      }
+      return robust;
+    } catch (const Error& e) {
+      if (!should_degrade(e) || rung + 1 == ladder.size()) {
+        throw;
+      }
+      robust.attempts.push_back(
+          {backend_name(backend),
+           std::string(e.code_name()) + ": " + e.what()});
+      g_fallback_steps.add();
+      g_fallback_sim.add();
+    }
+  }
+  throw Error::internal("simulate_robust: empty fallback ladder");
+}
+
+RobustVerifyResult verify_robust(const ir::Circuit& c1, const ir::Circuit& c2,
+                                 EcMethod start, const guard::Budget& budget) {
+  RobustVerifyResult robust;
+  const obs::Span span("qdt.core.task.verify_robust");
+  const guard::BudgetScope scope(budget);
+  const auto ladder = verify_ladder(start);
+
+  for (std::size_t rung = 0; rung < ladder.size(); ++rung) {
+    const EcMethod method = ladder[rung];
+    const bool last = rung + 1 == ladder.size();
+    try {
+      VerifyResult res = verify(c1, c2, method);
+      // An inconclusive verdict (ZX rewriting stalled, or a simulative
+      // pass without proof) is a reason to degrade — unless this is the
+      // last rung, where evidence is all we have left.
+      if (!res.conclusive && !last) {
+        robust.attempts.push_back(
+            {method_name(method), "inconclusive: " + res.detail});
+        g_fallback_steps.add();
+        g_fallback_verify.add();
+        continue;
+      }
+      robust.result = std::move(res);
+      robust.attempts.push_back({method_name(method), ""});
+      return robust;
+    } catch (const Error& e) {
+      if (!should_degrade(e) || last) {
+        throw;
+      }
+      robust.attempts.push_back(
+          {method_name(method),
+           std::string(e.code_name()) + ": " + e.what()});
+      g_fallback_steps.add();
+      g_fallback_verify.add();
+    }
+  }
+  throw Error::internal("verify_robust: empty fallback ladder");
 }
 
 }  // namespace qdt::core

@@ -12,6 +12,7 @@
 
 #include "arrays/noise.hpp"
 #include "common/eps.hpp"
+#include "guard/budget.hpp"
 #include "ir/circuit.hpp"
 #include "transpile/transpiler.hpp"
 
@@ -46,6 +47,9 @@ struct SimulateOptions {
   bool want_state = true;          // dense readout (small n only)
   arrays::NoiseModel noise;        // Array / DecisionDiagram backends only
   std::size_t mps_max_bond = 0;    // 0: exact
+  /// Resource ceilings enforced cooperatively while the task runs; on
+  /// violation the backend throws qdt::Error(ResourceExhausted, ...).
+  guard::Budget budget;
 };
 
 struct SimulateResult {
@@ -96,7 +100,8 @@ struct VerifyResult {
 };
 
 VerifyResult verify(const ir::Circuit& c1, const ir::Circuit& c2,
-                    EcMethod method = EcMethod::DdAlternating);
+                    EcMethod method = EcMethod::DdAlternating,
+                    const guard::Budget& budget = {});
 
 // ---------------------------------------------------------------------------
 // Compilation
@@ -113,6 +118,57 @@ struct CompileResult {
 CompileResult compile_and_verify(const ir::Circuit& circuit,
                                  const transpile::Target& target,
                                  EcMethod method = EcMethod::DdAlternating,
-                                 const transpile::TranspileOptions& opts = {});
+                                 const transpile::TranspileOptions& opts = {},
+                                 const guard::Budget& budget = {});
+
+// ---------------------------------------------------------------------------
+// Graceful degradation (the fallback ladder)
+// ---------------------------------------------------------------------------
+
+/// One rung of a fallback ladder: the backend/method that was attempted
+/// and, if it was abandoned, why. The last step of a successful robust run
+/// has an empty `error`.
+struct FallbackStep {
+  std::string stage;  // backend_name(...) or method_name(...)
+  std::string error;  // "" when this stage produced the result
+};
+
+struct RobustSimulateResult {
+  SimulateResult result;
+  /// Every stage attempted, in order; result came from attempts.back().
+  std::vector<FallbackStep> attempts;
+  bool degraded() const { return attempts.size() > 1; }
+};
+
+/// simulate() with graceful degradation: starts from `start` (or
+/// recommend_backend() when unset) and, whenever a backend throws
+/// ResourceExhausted or Unsupported, falls to the next viable rung:
+///
+///   Stabilizer -> DecisionDiagram -> Mps (truncated) -> TN amplitude
+///   Array      -> DecisionDiagram -> Mps (truncated) -> TN amplitude
+///
+/// The Mps rung truncates (bond derived from the byte budget) and the
+/// final TensorNetwork rung degrades to a single <0...0| amplitude rather
+/// than a full state. Each degradation bumps qdt.guard.fallback.* counters
+/// and is recorded in the returned attempt chain. When every rung fails,
+/// the last error is rethrown.
+RobustSimulateResult simulate_robust(
+    const ir::Circuit& circuit, const SimulateOptions& options = {},
+    std::optional<SimBackend> start = std::nullopt);
+
+struct RobustVerifyResult {
+  VerifyResult result;
+  std::vector<FallbackStep> attempts;
+  bool degraded() const { return attempts.size() > 1; }
+};
+
+/// verify() with graceful degradation: a stage is abandoned when it throws
+/// ResourceExhausted *or* returns an inconclusive verdict (e.g. ZX
+/// rewriting stalled on a non-Clifford miter — the ladder then retries
+/// with DdAlternating). The simulative check is the last rung: it always
+/// completes, at the price of conclusive == false on "equivalent".
+RobustVerifyResult verify_robust(const ir::Circuit& c1, const ir::Circuit& c2,
+                                 EcMethod start = EcMethod::DdAlternating,
+                                 const guard::Budget& budget = {});
 
 }  // namespace qdt::core

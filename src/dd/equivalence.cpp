@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "dd/package.hpp"
+#include "guard/budget.hpp"
 
 namespace qdt::dd {
 
@@ -44,12 +45,14 @@ EcResult check_equivalence_dd(const ir::Circuit& c1, const ir::Circuit& c2,
   std::size_t i = 0;  // next gate of c1 (applied from the left)
   std::size_t j = 0;  // next gate of c2^dagger (applied from the right)
   const auto apply_left = [&] {
+    guard::check_deadline();
     miter = pkg.multiply(pkg.gate_dd(ops1[i]), miter);
     ++i;
     ++res.gates_applied;
     res.peak_nodes = std::max(res.peak_nodes, pkg.node_count(miter));
   };
   const auto apply_right = [&] {
+    guard::check_deadline();
     miter = pkg.multiply(miter, pkg.gate_dd(ops2[j].adjoint()));
     ++j;
     ++res.gates_applied;

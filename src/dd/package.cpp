@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/bitops.hpp"
+#include "guard/budget.hpp"
 #include "obs/obs.hpp"
 
 namespace qdt::dd {
@@ -20,6 +21,22 @@ obs::Counter& g_ct_hits = obs::counter("qdt.dd.compute_table.hits");
 obs::Counter& g_ct_misses = obs::counter("qdt.dd.compute_table.misses");
 obs::Counter& g_node_allocs = obs::counter("qdt.dd.package.node_allocs");
 obs::Counter& g_cache_clears = obs::counter("qdt.dd.package.cache_clears");
+
+/// Budget checkpoint after every node allocation. The node cap is exact;
+/// the byte/deadline checks are sampled (every 64 allocations) because
+/// they cost a clock read / a multiply and allocations are the DD hot
+/// path. ~96 bytes/node covers the node itself plus its unique-table and
+/// complex-table footprint.
+void check_node_budget(std::size_t vec_nodes, std::size_t mat_nodes,
+                       std::size_t complex_values) {
+  const std::size_t total = vec_nodes + mat_nodes;
+  guard::check_dd_nodes(total);
+  if ((total & 0x3F) == 0) {
+    guard::check_memory(total * 96 + complex_values * sizeof(Complex),
+                        "dd package");
+    guard::check_deadline();
+  }
+}
 
 }  // namespace
 
@@ -66,6 +83,7 @@ VecEdge Package::make_vec_node(std::uint32_t var, VecEdge e0, VecEdge e1) {
   vec_storage_.push_back(node);
   const VecNode* stored = &vec_storage_.back();
   vec_unique_.emplace(node, stored);
+  check_node_budget(vec_storage_.size(), mat_storage_.size(), ctab_.size());
   return VecEdge{stored, norm};
 }
 
@@ -110,6 +128,7 @@ MatEdge Package::make_mat_node(std::uint32_t var,
   mat_storage_.push_back(node);
   const MatNode* stored = &mat_storage_.back();
   mat_unique_.emplace(node, stored);
+  check_node_budget(vec_storage_.size(), mat_storage_.size(), ctab_.size());
   return MatEdge{stored, norm};
 }
 
@@ -172,6 +191,18 @@ void to_vector_walk(const ComplexTable& ctab, VecEdge e, std::int64_t level,
 }  // namespace
 
 std::vector<Complex> Package::to_vector(VecEdge e) const {
+  // Dense readout is the one DD operation that re-introduces the 2^n
+  // array; it must respect the byte budget like the array backend does
+  // (and never shift past the word size — the package itself goes to 128
+  // qubits).
+  if (num_qubits_ >= 48) {
+    throw Error::exhausted(Resource::Memory,
+                           "dd dense readout: 2^" +
+                               std::to_string(num_qubits_) +
+                               " amplitudes cannot be materialized");
+  }
+  guard::check_memory((std::size_t{1} << num_qubits_) * sizeof(Complex),
+                      "dd dense readout");
   std::vector<Complex> out(std::size_t{1} << num_qubits_, Complex{});
   to_vector_walk(ctab_, e, static_cast<std::int64_t>(num_qubits_) - 1,
                  Complex{1.0}, 0, out);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "guard/budget.hpp"
+
 namespace qdt::dd {
 
 std::vector<std::pair<ir::Qubit, bool>> DDSimulator::run(
@@ -13,6 +15,7 @@ std::vector<std::pair<ir::Qubit, bool>> DDSimulator::run(
   std::vector<std::pair<ir::Qubit, bool>> record;
   node_trace_.clear();
   for (const auto& op : circuit.ops()) {
+    guard::check_deadline();
     if (op.is_barrier()) {
       continue;
     }

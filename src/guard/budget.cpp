@@ -1,0 +1,263 @@
+#include "guard/budget.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace qdt::guard {
+
+namespace {
+
+obs::Counter& g_checks = obs::counter("qdt.guard.budget.checks");
+obs::Counter& g_faults = obs::counter("qdt.guard.fault.injected");
+obs::Counter& g_ex_memory = obs::counter("qdt.guard.exhausted.memory");
+obs::Counter& g_ex_dd_nodes = obs::counter("qdt.guard.exhausted.dd_nodes");
+obs::Counter& g_ex_tn = obs::counter("qdt.guard.exhausted.tn_elements");
+obs::Counter& g_ex_mps = obs::counter("qdt.guard.exhausted.mps_bond");
+obs::Counter& g_ex_deadline = obs::counter("qdt.guard.exhausted.deadline");
+
+obs::Counter& exhausted_counter(Resource r) {
+  switch (r) {
+    case Resource::Memory:
+      return g_ex_memory;
+    case Resource::DdNodes:
+      return g_ex_dd_nodes;
+    case Resource::TnElements:
+      return g_ex_tn;
+    case Resource::MpsBond:
+      return g_ex_mps;
+    default:
+      return g_ex_deadline;
+  }
+}
+
+// Resource enum values usable as fault-slot indices (skip None).
+constexpr std::size_t kNumResources = 6;
+
+std::size_t slot(Resource r) { return static_cast<std::size_t>(r); }
+
+struct ThreadState {
+  const BudgetScope* top = nullptr;
+  // Fault injection: 0 = disarmed, otherwise throw when the countdown for
+  // that resource reaches zero.
+  std::uint64_t fault_countdown[kNumResources] = {};
+  std::uint64_t fired = 0;
+  bool env_parsed = false;
+};
+
+ThreadState& state() {
+  thread_local ThreadState s;
+  return s;
+}
+
+Resource resource_from_token(const std::string& token) {
+  if (token == "memory") {
+    return Resource::Memory;
+  }
+  if (token == "dd_nodes") {
+    return Resource::DdNodes;
+  }
+  if (token == "tn_elements") {
+    return Resource::TnElements;
+  }
+  if (token == "mps_bond") {
+    return Resource::MpsBond;
+  }
+  if (token == "deadline") {
+    return Resource::Deadline;
+  }
+  return Resource::None;
+}
+
+/// Parse QDT_FAULT="resource:n[,resource:n...]" once per thread. Malformed
+/// entries are ignored — fault injection is a test hook, never a reason to
+/// fail a real run.
+void parse_env_faults(ThreadState& s) {
+  s.env_parsed = true;
+  const char* env = std::getenv("QDT_FAULT");
+  if (env == nullptr) {
+    return;
+  }
+  std::string spec(env);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    const Resource r = resource_from_token(entry.substr(0, colon));
+    if (r == Resource::None) {
+      continue;
+    }
+    const std::uint64_t nth =
+        std::strtoull(entry.c_str() + colon + 1, nullptr, 10);
+    if (nth > 0) {
+      s.fault_countdown[slot(r)] = nth;
+    }
+  }
+}
+
+/// Checkpoint preamble: count the check, fire an armed fault when its
+/// countdown hits zero. Returns the active limits (nullptr when none).
+const Limits* checkpoint(Resource r) {
+  ThreadState& s = state();
+  if (!s.env_parsed) {
+    parse_env_faults(s);
+  }
+  g_checks.add();
+  std::uint64_t& countdown = s.fault_countdown[slot(r)];
+  if (countdown > 0 && --countdown == 0) {
+    ++s.fired;
+    g_faults.add();
+    exhausted_counter(r).add();
+    throw Error::exhausted(
+        r, std::string("fault injection: forced ") + resource_name(r) +
+               " exhaustion (QDT_FAULT)");
+  }
+  return s.top != nullptr ? &s.top->limits() : nullptr;
+}
+
+[[noreturn]] void throw_exhausted(Resource r, const std::string& message) {
+  exhausted_counter(r).add();
+  throw Error::exhausted(r, message);
+}
+
+/// min over "0 means unlimited" values.
+std::size_t tighten(std::size_t parent, std::size_t own) {
+  if (parent == 0) {
+    return own;
+  }
+  if (own == 0) {
+    return parent;
+  }
+  return std::min(parent, own);
+}
+
+}  // namespace
+
+BudgetScope::BudgetScope(const Budget& budget) : prev_(state().top) {
+  const Limits* parent = prev_ != nullptr ? &prev_->limits() : nullptr;
+  limits_.max_memory_bytes =
+      tighten(parent != nullptr ? parent->max_memory_bytes : 0,
+              budget.max_memory_bytes);
+  limits_.max_dd_nodes = tighten(
+      parent != nullptr ? parent->max_dd_nodes : 0, budget.max_dd_nodes);
+  limits_.max_tn_elements =
+      tighten(parent != nullptr ? parent->max_tn_elements : 0,
+              budget.max_tn_elements);
+  limits_.max_mps_bond = tighten(
+      parent != nullptr ? parent->max_mps_bond : 0, budget.max_mps_bond);
+  // A deadline only ever moves earlier across nested scopes.
+  const double own_at = budget.deadline_seconds > 0.0
+                            ? obs::monotonic_seconds() + budget.deadline_seconds
+                            : 0.0;
+  const double parent_at = parent != nullptr ? parent->deadline_at : 0.0;
+  if (own_at == 0.0) {
+    limits_.deadline_at = parent_at;
+  } else if (parent_at == 0.0) {
+    limits_.deadline_at = own_at;
+  } else {
+    limits_.deadline_at = std::min(own_at, parent_at);
+  }
+  state().top = this;
+}
+
+BudgetScope::~BudgetScope() { state().top = prev_; }
+
+bool active() { return state().top != nullptr; }
+
+const Limits* current_limits() {
+  const BudgetScope* top = state().top;
+  return top != nullptr ? &top->limits() : nullptr;
+}
+
+void check_deadline() {
+  const Limits* limits = checkpoint(Resource::Deadline);
+  if (limits == nullptr || limits->deadline_at == 0.0) {
+    return;
+  }
+  const double now = obs::monotonic_seconds();
+  if (now > limits->deadline_at) {
+    throw_exhausted(Resource::Deadline,
+                    "deadline exceeded (wall clock ran " +
+                        std::to_string(now - limits->deadline_at) +
+                        "s past the budget)");
+  }
+}
+
+void check_memory(std::size_t bytes, const char* what) {
+  const Limits* limits = checkpoint(Resource::Memory);
+  if (limits == nullptr || limits->max_memory_bytes == 0 ||
+      bytes <= limits->max_memory_bytes) {
+    return;
+  }
+  throw_exhausted(Resource::Memory,
+                  std::string(what) + ": " + std::to_string(bytes) +
+                      " bytes exceed the " +
+                      std::to_string(limits->max_memory_bytes) +
+                      "-byte budget");
+}
+
+void check_dd_nodes(std::size_t nodes) {
+  const Limits* limits = checkpoint(Resource::DdNodes);
+  if (limits == nullptr || limits->max_dd_nodes == 0 ||
+      nodes <= limits->max_dd_nodes) {
+    return;
+  }
+  throw_exhausted(Resource::DdNodes,
+                  "decision-diagram package grew to " +
+                      std::to_string(nodes) + " nodes (budget " +
+                      std::to_string(limits->max_dd_nodes) + ")");
+}
+
+void check_tn_elements(std::size_t elements) {
+  const Limits* limits = checkpoint(Resource::TnElements);
+  if (limits == nullptr || limits->max_tn_elements == 0 ||
+      elements <= limits->max_tn_elements) {
+    return;
+  }
+  throw_exhausted(Resource::TnElements,
+                  "tensor-network intermediate of " +
+                      std::to_string(elements) + " elements (budget " +
+                      std::to_string(limits->max_tn_elements) + ")");
+}
+
+void check_mps_bond(std::size_t bond) {
+  const Limits* limits = checkpoint(Resource::MpsBond);
+  if (limits == nullptr || limits->max_mps_bond == 0 ||
+      bond <= limits->max_mps_bond) {
+    return;
+  }
+  throw_exhausted(Resource::MpsBond,
+                  "MPS bond dimension " + std::to_string(bond) +
+                      " exceeds the budget of " +
+                      std::to_string(limits->max_mps_bond));
+}
+
+void inject_fault(Resource resource, std::uint64_t nth) {
+  ThreadState& s = state();
+  s.env_parsed = true;  // explicit arming overrides the env hook
+  if (resource != Resource::None && nth > 0) {
+    s.fault_countdown[static_cast<std::size_t>(resource)] = nth;
+  }
+}
+
+void clear_faults() {
+  ThreadState& s = state();
+  for (auto& c : s.fault_countdown) {
+    c = 0;
+  }
+  s.fired = 0;
+  s.env_parsed = true;
+}
+
+std::uint64_t faults_fired() { return state().fired; }
+
+}  // namespace qdt::guard

@@ -1,0 +1,112 @@
+// qdt::guard — cooperative resource budgets for the four backends.
+//
+// A Budget names hard ceilings (wall-clock deadline, bytes, DD nodes,
+// TN intermediate elements, MPS bond dimension); a BudgetScope installs it
+// for the current thread, and the backends' hot loops call the cheap
+// check_*() functions at natural cadence points (per gate apply, per DD
+// node allocation, per tensor contraction, per ZX rewrite round, per MPS
+// SVD). When a ceiling is exceeded the checkpoint throws
+// qdt::Error(ResourceExhausted, <resource>) — so a runaway simulate()
+// unwinds cleanly instead of taking the process down, and
+// core::simulate_robust() can catch it and degrade to the next backend.
+//
+// Scopes nest and only ever *tighten*: a nested scope's effective limit for
+// each resource is the minimum of its own and the enclosing scope's, and a
+// deadline never moves later. With no scope installed every check is a
+// thread-local pointer load and a branch.
+//
+// Fault injection: guard::inject_fault(r, n) (or the QDT_FAULT environment
+// variable, e.g. QDT_FAULT="dd_nodes:3,deadline:1") arms a one-shot fault
+// that makes the n-th checkpoint of resource r throw as if the budget were
+// exhausted. This makes every fallback edge testable deterministically,
+// without multi-GB allocations or real timeouts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "guard/error.hpp"
+
+namespace qdt::guard {
+
+/// Resource ceilings. Zero always means "unlimited".
+struct Budget {
+  /// Wall-clock seconds from BudgetScope entry.
+  double deadline_seconds = 0.0;
+  /// Ceiling on a single backend's dominant allocation footprint.
+  std::size_t max_memory_bytes = 0;
+  /// Decision-diagram package node cap (vector + matrix nodes).
+  std::size_t max_dd_nodes = 0;
+  /// Largest tensor-network intermediate, in complex elements.
+  std::size_t max_tn_elements = 0;
+  /// Hard MPS bond-dimension cap (distinct from SimulateOptions::
+  /// mps_max_bond, which *truncates*; this one refuses).
+  std::size_t max_mps_bond = 0;
+
+  bool unlimited() const {
+    return deadline_seconds == 0.0 && max_memory_bytes == 0 &&
+           max_dd_nodes == 0 && max_tn_elements == 0 && max_mps_bond == 0;
+  }
+};
+
+/// Effective, deadline-resolved limits of the innermost scope (exposed for
+/// introspection and for backends that derive degraded settings from the
+/// active budget, e.g. a truncation bond that fits the byte ceiling).
+struct Limits {
+  double deadline_at = 0.0;  // monotonic seconds; 0 = none
+  std::size_t max_memory_bytes = 0;
+  std::size_t max_dd_nodes = 0;
+  std::size_t max_tn_elements = 0;
+  std::size_t max_mps_bond = 0;
+};
+
+/// RAII: installs `budget` as the current thread's active budget. Nested
+/// scopes tighten; destruction restores the enclosing scope.
+class BudgetScope {
+ public:
+  explicit BudgetScope(const Budget& budget);
+  ~BudgetScope();
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+
+  const Limits& limits() const { return limits_; }
+
+ private:
+  Limits limits_;
+  const BudgetScope* prev_;
+};
+
+/// True when any scope is installed on this thread.
+bool active();
+
+/// Effective limits of the innermost scope; nullptr when none is active.
+const Limits* current_limits();
+
+// -- Cooperative checkpoints -------------------------------------------------
+// Each consults the fault injector first, then the active budget, and
+// throws qdt::Error(ResourceExhausted, <resource>) on violation. All are
+// cheap no-ops when nothing is armed.
+
+/// Throws Error(Deadline) once the wall-clock deadline has passed.
+void check_deadline();
+/// Throws Error(Memory) if `bytes` exceeds the byte ceiling. `what` names
+/// the allocation in the error message ("statevector", "dd package", ...).
+void check_memory(std::size_t bytes, const char* what);
+/// Throws Error(DdNodes) if `nodes` exceeds the DD node cap.
+void check_dd_nodes(std::size_t nodes);
+/// Throws Error(TnElements) if `elements` exceeds the intermediate cap.
+void check_tn_elements(std::size_t elements);
+/// Throws Error(MpsBond) if `bond` exceeds the bond cap.
+void check_mps_bond(std::size_t bond);
+
+// -- Fault injection ---------------------------------------------------------
+
+/// Arm a one-shot fault: the `nth` subsequent checkpoint of `resource` on
+/// this thread throws ResourceExhausted (nth = 1 means the very next one).
+void inject_fault(Resource resource, std::uint64_t nth);
+/// Disarm all faults and reset checkpoint counters on this thread.
+void clear_faults();
+/// Number of faults fired on this thread since the last clear_faults().
+std::uint64_t faults_fired();
+
+}  // namespace qdt::guard

@@ -1,0 +1,37 @@
+#include "guard/error.hpp"
+
+namespace qdt {
+
+const char* code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::BadInput:
+      return "bad-input";
+    case ErrorCode::Unsupported:
+      return "unsupported";
+    case ErrorCode::ResourceExhausted:
+      return "resource-exhausted";
+    case ErrorCode::Internal:
+      return "internal";
+  }
+  return "?";
+}
+
+const char* resource_name(Resource resource) {
+  switch (resource) {
+    case Resource::None:
+      return "none";
+    case Resource::Memory:
+      return "memory";
+    case Resource::DdNodes:
+      return "dd_nodes";
+    case Resource::TnElements:
+      return "tn_elements";
+    case Resource::MpsBond:
+      return "mps_bond";
+    case Resource::Deadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+}  // namespace qdt

@@ -1,0 +1,74 @@
+// qdt::Error — the structured error taxonomy shared by every public API
+// boundary of the library. The paper's four data structures fail in four
+// different ways (arrays hit the memory wall, decision diagrams blow up in
+// nodes, tensor networks in intermediate size, ZX rewriting stalls); a
+// caller that wants to degrade gracefully needs to tell *why* a task died,
+// not just parse a what() string. Every throw carries an ErrorCode and,
+// for ResourceExhausted, the Resource that ran out — which is exactly the
+// signal core::simulate_robust() / verify_robust() use to pick the next
+// rung of the fallback ladder.
+//
+// Error derives from std::runtime_error so pre-existing generic handlers
+// (and tests catching std::runtime_error) keep working unchanged.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qdt {
+
+enum class ErrorCode {
+  /// The caller handed us something malformed (bad QASM, out-of-range
+  /// qubit, inconsistent dimensions).
+  BadInput,
+  /// The request is well-formed but this backend/method cannot express it
+  /// (noise on the tensor-network backend, dense state from a tableau).
+  Unsupported,
+  /// A cooperative resource budget was hit (see Resource).
+  ResourceExhausted,
+  /// Invariant violation inside the library — always a bug.
+  Internal,
+};
+
+/// Which budgeted resource ran out (meaningful only with ResourceExhausted).
+enum class Resource {
+  None,
+  Memory,      // byte ceiling (arrays, any backend's footprint estimate)
+  DdNodes,     // decision-diagram node cap
+  TnElements,  // tensor-network max-intermediate-elements cap
+  MpsBond,     // MPS bond-dimension cap
+  Deadline,    // wall-clock deadline
+};
+
+const char* code_name(ErrorCode code);
+const char* resource_name(Resource resource);
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message,
+        Resource resource = Resource::None)
+      : std::runtime_error(message), code_(code), resource_(resource) {}
+
+  ErrorCode code() const noexcept { return code_; }
+  Resource resource() const noexcept { return resource_; }
+  const char* code_name() const noexcept { return qdt::code_name(code_); }
+
+  static Error bad_input(const std::string& message) {
+    return {ErrorCode::BadInput, message};
+  }
+  static Error unsupported(const std::string& message) {
+    return {ErrorCode::Unsupported, message};
+  }
+  static Error exhausted(Resource resource, const std::string& message) {
+    return {ErrorCode::ResourceExhausted, message, resource};
+  }
+  static Error internal(const std::string& message) {
+    return {ErrorCode::Internal, message};
+  }
+
+ private:
+  ErrorCode code_;
+  Resource resource_;
+};
+
+}  // namespace qdt

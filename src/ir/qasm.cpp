@@ -7,12 +7,32 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "guard/error.hpp"
+
 namespace qdt::ir {
 
 namespace {
 
 [[noreturn]] void fail(std::size_t line, const std::string& msg) {
-  throw std::runtime_error("qasm:" + std::to_string(line) + ": " + msg);
+  throw Error::bad_input("qasm:" + std::to_string(line) + ": " + msg);
+}
+
+/// stoul that reports malformed or out-of-range input as a parse error
+/// instead of leaking std::invalid_argument / std::out_of_range.
+std::size_t parse_index(const std::string& s, std::size_t line,
+                        const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long v = std::stoul(s, &consumed);
+    if (consumed != s.size()) {
+      fail(line, std::string("malformed ") + what + ": " + s);
+    }
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(line, std::string("malformed ") + what + ": " + s);
+  }
 }
 
 /// Remove comments and surrounding whitespace.
@@ -116,7 +136,11 @@ class AngleParser {
     if (pos_ == start) {
       fail(line_, "expected number in angle expression: " + text_);
     }
-    return std::stod(text_.substr(start, pos_ - start));
+    try {
+      return std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail(line_, "bad number in angle expression: " + text_);
+    }
   }
 
   std::string text_;
@@ -211,7 +235,7 @@ Circuit parse_qasm(const std::string& source) {
     }
   }
   if (!strip(pending).empty()) {
-    throw std::runtime_error("qasm: missing ';' at end of input");
+    throw Error::bad_input("qasm: missing ';' at end of input");
   }
 
   const auto parse_qubit = [&](const std::string& ref,
@@ -225,7 +249,8 @@ Circuit parse_qasm(const std::string& source) {
     if (reg != qreg_name) {
       fail(line, "unknown register: " + reg);
     }
-    const auto idx = std::stoul(ref.substr(lb + 1, rb - lb - 1));
+    const auto idx =
+        parse_index(ref.substr(lb + 1, rb - lb - 1), line, "qubit index");
     if (idx >= num_qubits) {
       fail(line, "qubit index out of range: " + ref);
     }
@@ -247,7 +272,11 @@ Circuit parse_qasm(const std::string& source) {
         fail(line, "malformed qreg declaration");
       }
       qreg_name = strip(stmt.substr(4, lb - 4));
-      num_qubits = std::stoul(stmt.substr(lb + 1, rb - lb - 1));
+      num_qubits =
+          parse_index(stmt.substr(lb + 1, rb - lb - 1), line, "register size");
+      if (num_qubits == 0) {
+        fail(line, "empty qubit register");
+      }
       circuit = Circuit(num_qubits, "qasm");
       have_circuit = true;
       continue;
@@ -326,7 +355,7 @@ Circuit parse_qasm(const std::string& source) {
                              std::move(params)});
   }
   if (!have_circuit) {
-    throw std::runtime_error("qasm: no qreg declaration found");
+    throw Error::bad_input("qasm: no qreg declaration found");
   }
   return circuit;
 }
@@ -382,7 +411,7 @@ std::string to_qasm(const Circuit& circuit) {
         return it->second;
       }
     }
-    throw std::runtime_error("to_qasm: cannot express controlled-" + base +
+    throw Error::unsupported("to_qasm: cannot express controlled-" + base +
                              " with " + std::to_string(nc) + " controls");
   };
 

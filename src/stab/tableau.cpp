@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "guard/budget.hpp"
+#include "guard/error.hpp"
 #include "obs/obs.hpp"
 
 namespace qdt::stab {
@@ -415,8 +417,8 @@ void StabilizerSimulator::apply(
     return;
   }
   if (!is_clifford_operation(op)) {
-    throw std::invalid_argument(
-        "StabilizerSimulator: non-Clifford operation " + op.str());
+    throw Error::unsupported("StabilizerSimulator: non-Clifford operation " +
+                             op.str());
   }
   const auto zclass = [&](int cls, std::size_t q) {
     switch (cls) {
@@ -451,7 +453,7 @@ void StabilizerSimulator::apply(
       case GateKind::I:
         return;
       default:
-        throw std::invalid_argument(
+        throw Error::unsupported(
             "StabilizerSimulator: unsupported controlled gate " + op.str());
     }
   }
@@ -519,8 +521,8 @@ void StabilizerSimulator::apply(
       tableau_.swap(op.targets()[0], op.targets()[1]);
       return;
     default:
-      throw std::invalid_argument("StabilizerSimulator: unsupported gate " +
-                                  op.str());
+      throw Error::unsupported("StabilizerSimulator: unsupported gate " +
+                               op.str());
   }
 }
 
@@ -535,6 +537,7 @@ std::vector<std::pair<ir::Qubit, bool>> StabilizerSimulator::run(
   g_bytes_peak.update_max(
       static_cast<std::int64_t>(2 * n * (2 * n + 1) / 8 + 2 * n));
   for (const auto& op : circuit.ops()) {
+    guard::check_deadline();
     const obs::ScopedTimer timer(g_gate_seconds);
     apply(op, &record);
     g_gates.add();

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "common/bitops.hpp"
+#include "guard/budget.hpp"
+#include "guard/error.hpp"
 
 namespace qdt::tn {
 
@@ -162,6 +164,7 @@ void MPS::apply_2q_adjacent(const Mat4& m, std::size_t left) {
   if (max_bond_ > 0) {
     keep = std::min(keep, max_bond_);
   }
+  guard::check_mps_bond(keep);
   double kept_weight = 0.0;
   for (std::size_t i = 0; i < keep; ++i) {
     kept_weight += res.s[i] * res.s[i];
@@ -233,10 +236,12 @@ void MPS::run(const ir::Circuit& circuit) {
     throw std::invalid_argument("MPS::run: width mismatch");
   }
   for (const auto& op : circuit.ops()) {
+    guard::check_deadline();
     if (op.is_barrier()) {
       continue;
     }
     apply(op);
+    guard::check_memory(total_elements() * sizeof(Complex), "mps state");
   }
 }
 
@@ -262,8 +267,13 @@ Complex MPS::amplitude(std::uint64_t basis) const {
 std::vector<Complex> MPS::to_vector() const {
   const std::size_t n = sites_.size();
   if (n > 24) {
-    throw std::invalid_argument("MPS::to_vector: too many qubits");
+    throw Error::exhausted(
+        Resource::Memory,
+        "MPS::to_vector: dense readout of " + std::to_string(n) +
+            " qubits exceeds the 24-qubit readout wall");
   }
+  guard::check_memory((std::size_t{1} << n) * sizeof(Complex),
+                      "mps dense readout");
   std::vector<Complex> out(std::size_t{1} << n);
   for (std::uint64_t i = 0; i < out.size(); ++i) {
     out[i] = amplitude(i);

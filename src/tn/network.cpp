@@ -7,6 +7,7 @@
 
 #include "arrays/dense_unitary.hpp"
 #include "common/bitops.hpp"
+#include "guard/budget.hpp"
 #include "obs/obs.hpp"
 
 namespace qdt::tn {
@@ -63,10 +64,8 @@ Tensor TensorNetwork::contract_all(const ContractionPlan& plan,
     local.peak_rank = std::max(local.peak_rank, t.rank());
     local.flops += cost;
   };
-  const auto guard = [&](const Tensor& a, const Tensor& b) {
-    if (max_intermediate == 0) {
-      return;
-    }
+  const auto guard_step = [&](const Tensor& a, const Tensor& b) {
+    guard::check_deadline();
     // Result elements = product over the symmetric difference of labels.
     std::size_t size = 1;
     for (std::size_t d = 0; d < a.rank(); ++d) {
@@ -79,10 +78,19 @@ Tensor TensorNetwork::contract_all(const ContractionPlan& plan,
         size *= b.dims()[d];
       }
     }
-    if (size > max_intermediate) {
-      throw std::length_error(
-          "contract_all: intermediate tensor exceeds the element budget");
+    if (max_intermediate != 0 && size > max_intermediate) {
+      throw Error::exhausted(
+          Resource::TnElements,
+          "contract_all: intermediate tensor of " + std::to_string(size) +
+              " elements exceeds the element budget of " +
+              std::to_string(max_intermediate));
     }
+    // The active guard::Budget applies even when the caller passed no
+    // explicit cap: the intermediate itself, and its byte footprint on top
+    // of the operands that must coexist with it.
+    guard::check_tn_elements(size);
+    guard::check_memory((size + a.size() + b.size()) * sizeof(Complex),
+                        "tn contraction");
   };
   for (const auto& [i, j] : plan) {
     if (i >= nodes.size() || j >= nodes.size() || !nodes[i].has_value() ||
@@ -96,7 +104,7 @@ Tensor TensorNetwork::contract_all(const ContractionPlan& plan,
         cost *= static_cast<double>(nodes[j]->dims()[d]);
       }
     }
-    guard(*nodes[i], *nodes[j]);
+    guard_step(*nodes[i], *nodes[j]);
     Tensor result = Tensor::contract(*nodes[i], *nodes[j]);
     record(result, cost);
     nodes[i].reset();
@@ -115,7 +123,7 @@ Tensor TensorNetwork::contract_all(const ContractionPlan& plan,
     } else {
       const double cost =
           static_cast<double>(acc->size()) * static_cast<double>(t->size());
-      guard(*acc, *t);
+      guard_step(*acc, *t);
       acc = Tensor::contract(*acc, *t);
       record(*acc, cost);
     }

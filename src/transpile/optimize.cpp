@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "guard/budget.hpp"
 #include "obs/obs.hpp"
 
 namespace qdt::transpile {
@@ -56,6 +57,7 @@ Circuit peephole_optimize(const Circuit& circuit, OptimizeStats* stats) {
   Circuit current = circuit;
   bool changed = true;
   while (changed && local.passes < 100) {
+    guard::check_deadline();
     ++local.passes;
     changed = false;
     Circuit next(current.num_qubits(), current.name());

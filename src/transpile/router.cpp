@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "guard/budget.hpp"
+
 namespace qdt::transpile {
 
 using ir::Circuit;
@@ -66,6 +68,7 @@ RoutingResult route(const Circuit& circuit, const CouplingMap& coupling,
   };
 
   for (std::size_t i = 0; i < ops.size(); ++i) {
+    guard::check_deadline();
     const Operation& op = ops[i];
     if (op.is_barrier()) {
       continue;

@@ -1,5 +1,6 @@
 #include "zx/equivalence.hpp"
 
+#include "guard/error.hpp"
 #include "zx/circuit_to_zx.hpp"
 #include "zx/simplify.hpp"
 #include "zx/tensor_bridge.hpp"
@@ -36,7 +37,10 @@ ZxEcResult check_equivalence_zx(const ir::Circuit& c1, const ir::Circuit& c2,
                         : ZxVerdict::NotEquivalent;
       res.note = "decided by tensor evaluation of the reduced diagram";
       return res;
-    } catch (const std::length_error&) {
+    } catch (const Error& e) {
+      if (e.code() != ErrorCode::ResourceExhausted) {
+        throw;
+      }
       res.verdict = ZxVerdict::Inconclusive;
       res.note = "rewriting stalled; tensor fallback exceeded its budget";
       return res;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "guard/budget.hpp"
 #include "obs/obs.hpp"
 #include "zx/circuit_to_zx.hpp"
 
@@ -392,6 +393,7 @@ SimplifyStats clifford_simp(ZXDiagram& d) {
   std::size_t stalled = 0;
   bool changed = true;
   while (changed) {
+    guard::check_deadline();
     ++s.rounds;
     g_rounds.add();
     std::size_t n = 0;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "guard/error.hpp"
+
 #include "ir/library.hpp"
 #include "testutil.hpp"
 
@@ -75,12 +77,12 @@ TEST(CoreSimulate, StabilizerBackendSamples) {
 
 TEST(CoreSimulate, StabilizerBackendRejectsStateAndNonClifford) {
   EXPECT_THROW(simulate(ir::ghz(3), SimBackend::Stabilizer),
-               std::invalid_argument);  // want_state defaults to true
+               qdt::Error);  // want_state defaults to true
   SimulateOptions opts;
   opts.want_state = false;
   opts.shots = 10;
   EXPECT_THROW(simulate(ir::qft(3), SimBackend::Stabilizer, opts),
-               std::invalid_argument);
+               qdt::Error);
 }
 
 TEST(CoreSimulate, NoiseOnlyOnDensityCapableBackends) {
@@ -89,9 +91,9 @@ TEST(CoreSimulate, NoiseOnlyOnDensityCapableBackends) {
   EXPECT_NO_THROW(simulate(ir::bell(), SimBackend::Array, opts));
   EXPECT_NO_THROW(simulate(ir::bell(), SimBackend::DecisionDiagram, opts));
   EXPECT_THROW(simulate(ir::bell(), SimBackend::TensorNetwork, opts),
-               std::invalid_argument);
+               qdt::Error);
   EXPECT_THROW(simulate(ir::bell(), SimBackend::Mps, opts),
-               std::invalid_argument);
+               qdt::Error);
 }
 
 TEST(CoreSimulate, RecommendationHeuristics) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "guard/error.hpp"
+
 #include "ir/library.hpp"
 #include "testutil.hpp"
 
@@ -79,7 +81,7 @@ TEST(DenseUnitary, MaxEntryDistance) {
 }
 
 TEST(DenseUnitary, RefusesHugeWidth) {
-  EXPECT_THROW(DenseUnitary(20), std::invalid_argument);
+  EXPECT_THROW(DenseUnitary(20), qdt::Error);
 }
 
 }  // namespace

@@ -1,0 +1,447 @@
+// qdt::guard — error taxonomy, budget enforcement across every backend,
+// deterministic fault injection, and the core fallback ladders.
+#include "guard/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+#include "arrays/density_matrix.hpp"
+#include "arrays/statevector.hpp"
+#include "core/tasks.hpp"
+#include "guard/error.hpp"
+#include "ir/library.hpp"
+#include "obs/obs.hpp"
+#include "testutil.hpp"
+
+namespace qdt {
+namespace {
+
+using core::EcMethod;
+using core::SimBackend;
+using core::SimulateOptions;
+
+/// Every test starts and ends with a clean fault injector.
+class Guard : public ::testing::Test {
+ protected:
+  void SetUp() override { guard::clear_faults(); }
+  void TearDown() override { guard::clear_faults(); }
+};
+
+ErrorCode thrown_code(const std::function<void()>& f,
+                      Resource* resource = nullptr) {
+  try {
+    f();
+  } catch (const Error& e) {
+    if (resource != nullptr) {
+      *resource = e.resource();
+    }
+    return e.code();
+  }
+  ADD_FAILURE() << "expected qdt::Error";
+  return ErrorCode::Internal;
+}
+
+// -- Error taxonomy ----------------------------------------------------------
+
+TEST_F(Guard, ErrorCarriesCodeAndResource) {
+  const Error e = Error::exhausted(Resource::DdNodes, "node cap");
+  EXPECT_EQ(e.code(), ErrorCode::ResourceExhausted);
+  EXPECT_EQ(e.resource(), Resource::DdNodes);
+  EXPECT_STREQ(e.code_name(), "resource-exhausted");
+  EXPECT_STREQ(e.what(), "node cap");
+  EXPECT_EQ(Error::bad_input("x").code(), ErrorCode::BadInput);
+  EXPECT_EQ(Error::unsupported("x").code(), ErrorCode::Unsupported);
+  EXPECT_EQ(Error::internal("x").code(), ErrorCode::Internal);
+  EXPECT_EQ(Error::bad_input("x").resource(), Resource::None);
+}
+
+TEST_F(Guard, ErrorIsARuntimeError) {
+  // Pre-existing generic handlers must keep working.
+  EXPECT_THROW(throw Error::bad_input("legacy"), std::runtime_error);
+  EXPECT_THROW(throw Error::exhausted(Resource::Memory, "m"), std::exception);
+}
+
+TEST_F(Guard, CodeAndResourceNames) {
+  EXPECT_STREQ(code_name(ErrorCode::BadInput), "bad-input");
+  EXPECT_STREQ(code_name(ErrorCode::Unsupported), "unsupported");
+  EXPECT_STREQ(code_name(ErrorCode::ResourceExhausted), "resource-exhausted");
+  EXPECT_STREQ(code_name(ErrorCode::Internal), "internal");
+  EXPECT_STREQ(resource_name(Resource::Memory), "memory");
+  EXPECT_STREQ(resource_name(Resource::Deadline), "deadline");
+}
+
+// -- Budget scopes -----------------------------------------------------------
+
+TEST_F(Guard, ChecksAreNoOpsWithoutScope) {
+  EXPECT_FALSE(guard::active());
+  EXPECT_NO_THROW(guard::check_deadline());
+  EXPECT_NO_THROW(guard::check_memory(std::size_t{1} << 60, "huge"));
+  EXPECT_NO_THROW(guard::check_dd_nodes(1'000'000'000));
+  EXPECT_NO_THROW(guard::check_tn_elements(1'000'000'000));
+  EXPECT_NO_THROW(guard::check_mps_bond(1'000'000'000));
+}
+
+TEST_F(Guard, NestedScopesOnlyTighten) {
+  guard::Budget outer;
+  outer.max_dd_nodes = 100;
+  outer.max_memory_bytes = 1 << 20;
+  const guard::BudgetScope a(outer);
+  EXPECT_TRUE(guard::active());
+  {
+    guard::Budget wider;
+    wider.max_dd_nodes = 5000;  // must NOT widen the outer cap
+    const guard::BudgetScope b(wider);
+    EXPECT_EQ(guard::current_limits()->max_dd_nodes, 100U);
+    EXPECT_EQ(guard::current_limits()->max_memory_bytes, 1U << 20);
+  }
+  {
+    guard::Budget narrower;
+    narrower.max_dd_nodes = 7;
+    const guard::BudgetScope b(narrower);
+    EXPECT_EQ(guard::current_limits()->max_dd_nodes, 7U);
+  }
+  EXPECT_EQ(guard::current_limits()->max_dd_nodes, 100U);
+}
+
+TEST_F(Guard, NestedDeadlineNeverExtends) {
+  guard::Budget outer;
+  outer.deadline_seconds = 0.001;
+  const guard::BudgetScope a(outer);
+  const double outer_at = guard::current_limits()->deadline_at;
+  guard::Budget inner;
+  inner.deadline_seconds = 3600.0;  // an hour later — must be clamped
+  const guard::BudgetScope b(inner);
+  EXPECT_EQ(guard::current_limits()->deadline_at, outer_at);
+}
+
+TEST_F(Guard, CheckFunctionsEnforceTheirResource) {
+  guard::Budget budget;
+  budget.max_memory_bytes = 1024;
+  budget.max_dd_nodes = 10;
+  budget.max_tn_elements = 16;
+  budget.max_mps_bond = 4;
+  const guard::BudgetScope scope(budget);
+  EXPECT_NO_THROW(guard::check_memory(1024, "fits"));
+  EXPECT_NO_THROW(guard::check_dd_nodes(10));
+
+  Resource r = Resource::None;
+  EXPECT_EQ(thrown_code([] { guard::check_memory(2048, "spill"); }, &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::Memory);
+  EXPECT_EQ(thrown_code([] { guard::check_dd_nodes(11); }, &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::DdNodes);
+  EXPECT_EQ(thrown_code([] { guard::check_tn_elements(17); }, &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::TnElements);
+  EXPECT_EQ(thrown_code([] { guard::check_mps_bond(5); }, &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::MpsBond);
+}
+
+// -- Per-backend enforcement -------------------------------------------------
+
+TEST_F(Guard, StatevectorRespectsMemoryBudget) {
+  guard::Budget budget;
+  budget.max_memory_bytes = 1 << 20;  // 1 MiB: 16 qubits and below fit
+  const guard::BudgetScope scope(budget);
+  EXPECT_NO_THROW(arrays::Statevector(10));
+  Resource r = Resource::None;
+  EXPECT_EQ(thrown_code([] { arrays::Statevector sv(20); }, &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::Memory);
+}
+
+TEST_F(Guard, DensityMatrixRespectsMemoryBudget) {
+  guard::Budget budget;
+  budget.max_memory_bytes = 1 << 20;
+  const guard::BudgetScope scope(budget);
+  EXPECT_NO_THROW(arrays::DensityMatrix(6));
+  Resource r = Resource::None;
+  EXPECT_EQ(thrown_code([] { arrays::DensityMatrix dm(10); }, &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::Memory);
+}
+
+TEST_F(Guard, ArrayWallIsStructuredEvenWithoutBudget) {
+  // The 2^n memory wall (paper Section II) surfaces as ResourceExhausted,
+  // not a raw invalid_argument, budget or no budget.
+  Resource r = Resource::None;
+  EXPECT_EQ(thrown_code([] { arrays::Statevector sv(40); }, &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::Memory);
+}
+
+TEST_F(Guard, DdBackendRespectsNodeBudget) {
+  SimulateOptions opts;
+  opts.budget.max_dd_nodes = 4;
+  Resource r = Resource::None;
+  EXPECT_EQ(thrown_code([&] {
+              core::simulate(ir::ghz(8), SimBackend::DecisionDiagram, opts);
+            },
+                        &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::DdNodes);
+}
+
+TEST_F(Guard, TnBackendRespectsElementBudget) {
+  SimulateOptions opts;
+  opts.budget.max_tn_elements = 2;
+  Resource r = Resource::None;
+  EXPECT_EQ(thrown_code([&] {
+              core::simulate(ir::bell(), SimBackend::TensorNetwork, opts);
+            },
+                        &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::TnElements);
+}
+
+TEST_F(Guard, MpsBackendRespectsBondBudget) {
+  SimulateOptions opts;
+  opts.budget.max_mps_bond = 1;  // GHZ needs bond 2 at the cut
+  Resource r = Resource::None;
+  EXPECT_EQ(
+      thrown_code([&] { core::simulate(ir::ghz(4), SimBackend::Mps, opts); },
+                  &r),
+      ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::MpsBond);
+}
+
+TEST_F(Guard, DeadlineExpiryStopsSimulation) {
+  SimulateOptions opts;
+  opts.budget.deadline_seconds = 1e-9;  // already past by the first check
+  Resource r = Resource::None;
+  EXPECT_EQ(
+      thrown_code(
+          [&] { core::simulate(ir::ghz(12), SimBackend::Array, opts); }, &r),
+      ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::Deadline);
+  // Stabilizer tableau checks the same deadline.
+  opts.want_state = false;
+  EXPECT_EQ(thrown_code(
+                [&] {
+                  core::simulate(ir::random_clifford(16, 64, 3),
+                                 SimBackend::Stabilizer, opts);
+                },
+                &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::Deadline);
+}
+
+TEST_F(Guard, VerifyRespectsDeadline) {
+  guard::Budget budget;
+  budget.deadline_seconds = 1e-9;
+  Resource r = Resource::None;
+  EXPECT_EQ(thrown_code(
+                [&] {
+                  core::verify(ir::qft(4), ir::qft(4),
+                               EcMethod::DdAlternating, budget);
+                },
+                &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::Deadline);
+}
+
+// -- Fault injection ---------------------------------------------------------
+
+TEST_F(Guard, InjectedFaultFiresOnNthCheckpoint) {
+  guard::inject_fault(Resource::DdNodes, 3);
+  EXPECT_NO_THROW(guard::check_dd_nodes(1));
+  EXPECT_NO_THROW(guard::check_dd_nodes(1));
+  Resource r = Resource::None;
+  EXPECT_EQ(thrown_code([] { guard::check_dd_nodes(1); }, &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::DdNodes);
+  EXPECT_EQ(guard::faults_fired(), 1U);
+  // One-shot: disarmed after firing.
+  EXPECT_NO_THROW(guard::check_dd_nodes(1));
+}
+
+TEST_F(Guard, FaultsAreIndependentPerResource) {
+  guard::inject_fault(Resource::Memory, 1);
+  EXPECT_NO_THROW(guard::check_deadline());  // different resource
+  EXPECT_THROW(guard::check_memory(1, "x"), Error);
+}
+
+TEST_F(Guard, EnvVarArmsFaultsOnFreshThreads) {
+  ::setenv("QDT_FAULT", "tn_elements:1", 1);
+  bool fired = false;
+  std::thread worker([&] {
+    try {
+      guard::check_tn_elements(1);
+    } catch (const Error& e) {
+      fired = e.code() == ErrorCode::ResourceExhausted &&
+              e.resource() == Resource::TnElements;
+    }
+  });
+  worker.join();
+  ::unsetenv("QDT_FAULT");
+  EXPECT_TRUE(fired);
+}
+
+// -- The fallback ladder -----------------------------------------------------
+
+TEST_F(Guard, RobustSimulateFallsFromArrayToDd) {
+  guard::inject_fault(Resource::Memory, 1);
+  const auto robust =
+      core::simulate_robust(ir::ghz(8), {}, SimBackend::Array);
+  ASSERT_EQ(robust.attempts.size(), 2U);
+  EXPECT_TRUE(robust.degraded());
+  EXPECT_EQ(robust.attempts[0].stage, "array");
+  EXPECT_NE(robust.attempts[0].error.find("resource-exhausted"),
+            std::string::npos);
+  EXPECT_EQ(robust.attempts[1].stage, "decision-diagram");
+  EXPECT_TRUE(robust.attempts[1].error.empty());
+  ASSERT_TRUE(robust.result.state.has_value());
+  EXPECT_NEAR(std::abs((*robust.result.state)[0]), 1.0 / std::sqrt(2.0),
+              1e-9);
+}
+
+TEST_F(Guard, RobustSimulateFallsFromDdToTruncatedMps) {
+  guard::inject_fault(Resource::DdNodes, 1);
+  const auto robust =
+      core::simulate_robust(ir::ghz(6), {}, SimBackend::DecisionDiagram);
+  ASSERT_EQ(robust.attempts.size(), 2U);
+  EXPECT_NE(robust.attempts[1].stage.find("mps"), std::string::npos);
+  EXPECT_NE(robust.attempts[1].stage.find("truncated"), std::string::npos);
+  ASSERT_TRUE(robust.result.state.has_value());
+  EXPECT_NEAR(std::abs((*robust.result.state)[63]), 1.0 / std::sqrt(2.0),
+              1e-9);
+}
+
+TEST_F(Guard, RobustSimulateFallsFromMpsToSingleAmplitude) {
+  guard::inject_fault(Resource::MpsBond, 1);
+  const auto robust = core::simulate_robust(ir::bell(), {}, SimBackend::Mps);
+  ASSERT_EQ(robust.attempts.size(), 2U);
+  EXPECT_NE(robust.attempts[1].stage.find("single amplitude"),
+            std::string::npos);
+  // The last rung reports one amplitude, <0..0|C|0..0>.
+  ASSERT_TRUE(robust.result.state.has_value());
+  ASSERT_EQ(robust.result.state->size(), 1U);
+  EXPECT_NEAR(std::abs((*robust.result.state)[0]), 1.0 / std::sqrt(2.0),
+              1e-9);
+}
+
+TEST_F(Guard, RobustSimulateFallsFromStabilizerOnUnsupported) {
+  // want_state is unsupported on the tableau — degrade, don't fail.
+  const auto robust =
+      core::simulate_robust(ir::ghz(8), {}, SimBackend::Stabilizer);
+  ASSERT_GE(robust.attempts.size(), 2U);
+  EXPECT_NE(robust.attempts[0].error.find("unsupported"), std::string::npos);
+  ASSERT_TRUE(robust.result.state.has_value());
+}
+
+TEST_F(Guard, RobustSimulateRethrowsWhenLadderIsExhausted) {
+  guard::inject_fault(Resource::TnElements, 1);
+  Resource r = Resource::None;
+  EXPECT_EQ(thrown_code(
+                [&] {
+                  core::simulate_robust(ir::bell(), {},
+                                        SimBackend::TensorNetwork);
+                },
+                &r),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(r, Resource::TnElements);
+}
+
+TEST_F(Guard, RobustSimulateDoesNotDegradeWhenFirstRungSucceeds) {
+  const auto robust = core::simulate_robust(ir::bell(), {});
+  ASSERT_EQ(robust.attempts.size(), 1U);
+  EXPECT_FALSE(robust.degraded());
+  EXPECT_TRUE(robust.attempts[0].error.empty());
+  ASSERT_TRUE(robust.result.state.has_value());
+  EXPECT_NEAR(std::abs((*robust.result.state)[3]), 1.0 / std::sqrt(2.0),
+              1e-9);
+}
+
+TEST_F(Guard, RobustVerifyFallsFromZxToDdOnDeadline) {
+  guard::inject_fault(Resource::Deadline, 1);
+  const auto robust =
+      core::verify_robust(ir::qft(3), ir::qft(3), EcMethod::Zx);
+  ASSERT_EQ(robust.attempts.size(), 2U);
+  EXPECT_EQ(robust.attempts[0].stage, "zx");
+  EXPECT_NE(robust.attempts[0].error.find("deadline"), std::string::npos);
+  EXPECT_EQ(robust.attempts[1].stage, "dd-alternating");
+  EXPECT_TRUE(robust.result.equivalent);
+  EXPECT_TRUE(robust.result.conclusive);
+}
+
+TEST_F(Guard, RobustVerifyWalksThreeRungs) {
+  // ZX dies on its first rewrite round, the DD miter on its first node;
+  // the simulative check (evidence only) closes the ladder.
+  guard::inject_fault(Resource::Deadline, 1);
+  guard::inject_fault(Resource::DdNodes, 1);
+  const auto robust =
+      core::verify_robust(ir::bell(), ir::bell(), EcMethod::Zx);
+  ASSERT_EQ(robust.attempts.size(), 3U);
+  EXPECT_EQ(robust.attempts[2].stage, "dd-simulative");
+  EXPECT_TRUE(robust.result.equivalent);
+  EXPECT_FALSE(robust.result.conclusive);  // stimuli are evidence, not proof
+}
+
+TEST_F(Guard, RobustVerifyFallsFromArrayOnMemory) {
+  guard::inject_fault(Resource::Memory, 1);
+  const auto robust =
+      core::verify_robust(ir::qft(3), ir::qft(3), EcMethod::Array);
+  ASSERT_GE(robust.attempts.size(), 2U);
+  EXPECT_EQ(robust.attempts[0].stage, "array");
+  EXPECT_TRUE(robust.result.equivalent);
+}
+
+// -- Acceptance: the 30-qubit / 64 MB scenario -------------------------------
+
+TEST_F(Guard, ThirtyQubitsUnder64MbCompletesDegraded) {
+  ir::Circuit c = ir::ghz(30);
+  c.t(0);  // non-Clifford, so no tableau shortcut would apply
+  SimulateOptions opts;
+  opts.want_state = false;  // 2^30 amplitudes never fit 64 MB
+  opts.shots = 16;
+  opts.budget.max_memory_bytes = 64U << 20;
+
+  const auto steps_before =
+      obs::counter("qdt.guard.fallback.steps").value();
+  const auto robust = core::simulate_robust(c, opts, SimBackend::Array);
+
+  // The array backend must have hit the memory wall and a later rung must
+  // have finished the job.
+  EXPECT_TRUE(robust.degraded());
+  EXPECT_EQ(robust.attempts.front().stage, "array");
+  EXPECT_NE(robust.attempts.front().error.find("resource-exhausted"),
+            std::string::npos);
+  EXPECT_TRUE(robust.attempts.back().error.empty());
+  EXPECT_EQ(robust.result.counts.size(), 2U);  // GHZ: all-0s or all-1s
+  std::size_t total = 0;
+  for (const auto& [word, count] : robust.result.counts) {
+    EXPECT_TRUE(word == 0 || word == (std::uint64_t{1} << 30) - 1);
+    total += count;
+  }
+  EXPECT_EQ(total, 16U);
+#if QDT_OBS_ENABLED
+  EXPECT_GT(obs::counter("qdt.guard.fallback.steps").value(), steps_before);
+  EXPECT_GT(obs::counter("qdt.guard.fallback.simulate").value(), 0U);
+#else
+  (void)steps_before;  // counters are compile-time no-ops in this build
+#endif
+}
+
+TEST_F(Guard, ChainedFaultsWalkThreeSimulateRungs) {
+  guard::inject_fault(Resource::Memory, 1);
+  guard::inject_fault(Resource::DdNodes, 1);
+  SimulateOptions opts;
+  opts.want_state = false;
+  opts.shots = 8;
+  const auto robust =
+      core::simulate_robust(ir::ghz(12), opts, SimBackend::Array);
+  ASSERT_EQ(robust.attempts.size(), 3U);
+  EXPECT_EQ(robust.attempts[0].stage, "array");
+  EXPECT_EQ(robust.attempts[1].stage, "decision-diagram");
+  EXPECT_NE(robust.attempts[2].stage.find("mps"), std::string::npos);
+  EXPECT_EQ(guard::faults_fired(), 2U);
+}
+
+}  // namespace
+}  // namespace qdt

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "arrays/dense_unitary.hpp"
+#include "guard/error.hpp"
 #include "ir/library.hpp"
 
 namespace qdt::ir {
@@ -135,6 +136,44 @@ TEST(Qasm, WriterRejectsTooManyControls) {
   Circuit c(4);
   c.mcx({0, 1, 2}, 3);
   EXPECT_THROW(to_qasm(c), std::runtime_error);
+}
+
+// A corpus of malformed programs: each must surface as a structured
+// BadInput (never abort, never leak a raw std::exception), and parser
+// errors must carry a 1-based line number in the message.
+TEST(Qasm, MalformedCorpusYieldsBadInputWithLineNumbers) {
+  struct Case {
+    const char* src;
+    const char* expect_line;  // "qasm:<line>" prefix, or "" if lineless
+  };
+  const Case corpus[] = {
+      {"", ""},                                               // empty input
+      {"OPENQASM 2.0;\nh q[0];\n", "qasm:2"},                 // gate pre-qreg
+      {"OPENQASM 2.0;\nqreg q[0];\n", "qasm:2"},              // empty reg
+      {"OPENQASM 2.0;\nqreg q[x];\n", "qasm:2"},              // bad reg size
+      {"OPENQASM 2.0;\nqreg q[2];\nbadgate q[0];\n", "qasm:3"},
+      {"OPENQASM 2.0;\nqreg q[2];\ncx q[0];\n", "qasm:3"},    // arity
+      {"OPENQASM 2.0;\nqreg q[2];\nh q[7];\n", "qasm:3"},     // range
+      {"OPENQASM 2.0;\nqreg q[2];\nh q[x];\n", "qasm:3"},     // bad index
+      {"OPENQASM 2.0;\nqreg q[2];\nh q[99999999999999999999];\n",
+       "qasm:3"},                                             // stoul overflow
+      {"OPENQASM 2.0;\nqreg q[2];\nrz q[0];\n", "qasm:3"},    // missing angle
+      {"OPENQASM 2.0;\nqreg q[2];\nrz(nonsense) q[0];\n", "qasm:3"},
+      {"OPENQASM 2.0;\nqreg q[2];\nh q[0]", ""},              // missing ';'
+  };
+  for (const Case& c : corpus) {
+    try {
+      parse_qasm(c.src);
+      FAIL() << "expected BadInput for: " << c.src;
+    } catch (const qdt::Error& e) {
+      EXPECT_EQ(e.code(), qdt::ErrorCode::BadInput) << c.src;
+      if (c.expect_line[0] != '\0') {
+        EXPECT_NE(std::string(e.what()).find(c.expect_line),
+                  std::string::npos)
+            << "wanted '" << c.expect_line << "' in: " << e.what();
+      }
+    }
+  }
 }
 
 // Small helper providing unitary circuits for the round-trip test.

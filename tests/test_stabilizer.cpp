@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "guard/error.hpp"
+
 #include <cmath>
 
 #include "arrays/svsim.hpp"
@@ -176,7 +178,7 @@ TEST(StabilizerSimulator, RejectsNonClifford) {
   ir::Circuit c(1);
   c.t(0);
   StabilizerSimulator sim(1);
-  EXPECT_THROW(sim.run(c), std::invalid_argument);
+  EXPECT_THROW(sim.run(c), qdt::Error);
   EXPECT_FALSE(is_clifford_circuit(c));
   EXPECT_TRUE(is_clifford_circuit(ir::random_clifford(4, 50, 1)));
   EXPECT_FALSE(is_clifford_circuit(ir::qft(3)));

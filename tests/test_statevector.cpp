@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "guard/error.hpp"
+
 #include <cmath>
 
 #include "ir/library.hpp"
@@ -21,7 +23,7 @@ TEST(Statevector, InitialState) {
 }
 
 TEST(Statevector, RefusesHugeAllocation) {
-  EXPECT_THROW(Statevector(40), std::invalid_argument);
+  EXPECT_THROW(Statevector(40), qdt::Error);
 }
 
 TEST(Statevector, RejectsNonPowerOfTwo) {

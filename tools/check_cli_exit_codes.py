@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Drive the qdt binary through its failure modes and check exit codes.
+
+Contract (see qdt_cli.cpp):
+  0  success
+  2  usage errors and bad input (missing file, malformed QASM)
+  3  resource exhaustion (budget hit; forced here via QDT_FAULT so the
+     check is deterministic and instant)
+  4  internal errors
+
+Structured failures must print `<code-name>: <message>` on stderr and must
+never crash (no signal deaths, no uncaught exceptions).
+
+Usage: check_cli_exit_codes.py <path-to-qdt-binary>
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(binary, args, env_extra=None, stdin_qasm=None):
+    env = dict(os.environ)
+    env.pop("QDT_FAULT", None)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.run(
+        [binary] + args, capture_output=True, text=True, env=env, timeout=120
+    )
+    return proc
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: check_cli_exit_codes.py <qdt-binary>")
+        return 1
+    binary = sys.argv[1]
+    failures = []
+
+    def expect(label, proc, code, stderr_contains=None):
+        if proc.returncode != code:
+            failures.append(
+                f"{label}: expected exit {code}, got {proc.returncode} "
+                f"(stderr: {proc.stderr.strip()!r})"
+            )
+        elif stderr_contains and stderr_contains not in proc.stderr:
+            failures.append(
+                f"{label}: stderr missing {stderr_contains!r}: "
+                f"{proc.stderr.strip()!r}"
+            )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        good = os.path.join(tmp, "bell.qasm")
+        with open(good, "w", encoding="utf-8") as f:
+            f.write(
+                "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n"
+            )
+        bad = os.path.join(tmp, "broken.qasm")
+        with open(bad, "w", encoding="utf-8") as f:
+            f.write("OPENQASM 2.0;\nqreg q[2];\nbadgate q[0];\n")
+
+        expect("no args", run(binary, []), 2)
+        expect(
+            "missing file",
+            run(binary, ["stats", os.path.join(tmp, "nope.qasm")]),
+            2,
+            stderr_contains="bad-input",
+        )
+        expect(
+            "malformed qasm",
+            run(binary, ["stats", bad]),
+            2,
+            stderr_contains="qasm:3",
+        )
+        expect("stats ok", run(binary, ["stats", good]), 0)
+        expect("simulate ok", run(binary, ["simulate", good]), 0)
+        expect(
+            "forced exhaustion",
+            run(
+                binary,
+                ["simulate", good],
+                env_extra={"QDT_FAULT": "deadline:1"},
+            ),
+            3,
+            stderr_contains="resource-exhausted",
+        )
+        expect(
+            "robust survives exhaustion",
+            run(
+                binary,
+                ["simulate", good, "--robust"],
+                env_extra={"QDT_FAULT": "memory:1"},
+            ),
+            0,
+        )
+        expect("verify equivalent", run(binary, ["verify", good, good]), 0)
+
+    if failures:
+        print("qdt CLI exit-code contract violations:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

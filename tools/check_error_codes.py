@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Enforce the qdt::Error taxonomy at API boundaries.
+
+Raw `throw std::runtime_error(...)` is banned everywhere under src/ and
+tools/ except inside src/guard/ (where qdt::Error itself derives from
+std::runtime_error). A raw runtime_error carries no ErrorCode, so the CLI
+cannot map it to an exit code and core::simulate_robust() cannot tell a
+budget violation from a bug — every boundary throw must go through
+qdt::Error (bad_input / unsupported / exhausted / internal).
+
+Usage: check_error_codes.py [repo_root]
+Exit code 0 when clean, 1 with a list of offenders otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+BANNED = re.compile(r"throw\s+std::runtime_error")
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+
+def scan(root: Path) -> list[tuple[Path, int]]:
+    offenders = []
+    for subdir in ("src", "tools"):
+        base = root / subdir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES:
+                continue
+            if (root / "src" / "guard") in path.parents:
+                continue
+            text = path.read_text(encoding="utf-8", errors="replace")
+            for match in BANNED.finditer(text):
+                line = text.count("\n", 0, match.start()) + 1
+                offenders.append((path.relative_to(root), line))
+    return offenders
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    offenders = scan(root)
+    if not offenders:
+        return 0
+    print("raw `throw std::runtime_error` outside src/guard/ — use a")
+    print("qdt::Error factory (bad_input/unsupported/exhausted/internal):")
+    for path, line in offenders:
+        print(f"  {path}:{line}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,11 +13,17 @@
 // rates, contraction FLOPs, rewrite-rule fire counts, task spans, ...) is
 // printed as JSON to stdout, or written to the given file.
 //
+// Resource budgets: --timeout-ms N caps wall-clock time, --max-memory-mb N
+// caps the dominant data-structure footprint (cooperatively checked).
+// simulate/verify accept --robust: on resource exhaustion the task degrades
+// along the fallback ladder instead of failing, and the chain is printed.
+//
 // Exit code 0 on success (and on "equivalent"); 1 on "not equivalent";
-// 2 on usage or runtime errors.
+// 2 on usage or bad input; 3 on resource exhaustion; 4 on internal errors.
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,13 +39,17 @@ using namespace qdt;
       R"(usage:
   qdt stats    <file.qasm>
   qdt simulate <file.qasm> [--backend array|dd|tn|mps|stab|auto]
-               [--shots N] [--seed S] [--noise P] [--state]
+               [--shots N] [--seed S] [--noise P] [--state] [--robust]
   qdt verify   <a.qasm> <b.qasm> [--method array|dd|dd-seq|dd-sim|zx]
+               [--robust]
   qdt compile  <file.qasm> --target line|ring|grid|star|full|heavyhex
                [--qubits N] [--gateset cx|cz] [--router sp|lookahead]
                [--no-opt] [--out <file.qasm>] [--verify]
 
-any subcommand: --metrics[=file.json]  dump the qdt::obs registry snapshot
+any subcommand:
+  --metrics[=file.json]  dump the qdt::obs registry snapshot
+  --timeout-ms N         wall-clock budget (exit 3 when exceeded)
+  --max-memory-mb N      data-structure memory budget (exit 3 when exceeded)
 )";
   std::exit(2);
 }
@@ -47,7 +57,7 @@ any subcommand: --metrics[=file.json]  dump the qdt::obs registry snapshot
 ir::Circuit load(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("cannot open " + path);
+    throw Error::bad_input("cannot open " + path);
   }
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -67,7 +77,7 @@ std::map<std::string, std::string> parse_flags(
         // --key=value form (used by --metrics=file.json).
         flags[key.substr(0, eq)] = key.substr(eq + 1);
       } else if (key == "state" || key == "no-opt" || key == "verify" ||
-                 key == "metrics") {
+                 key == "metrics" || key == "robust") {
         flags[key] = "";
       } else if (i + 1 < args.size()) {
         flags[key] = args[++i];
@@ -94,10 +104,22 @@ void emit_metrics(const std::map<std::string, std::string>& flags) {
   }
   std::ofstream out(it->second);
   if (!out) {
-    throw std::runtime_error("cannot write " + it->second);
+    throw Error::bad_input("cannot write " + it->second);
   }
   out << report << "\n";
   std::cout << "wrote metrics to " << it->second << "\n";
+}
+
+/// Budget from --timeout-ms / --max-memory-mb, both optional.
+guard::Budget budget_from(const std::map<std::string, std::string>& flags) {
+  guard::Budget b;
+  if (const auto it = flags.find("timeout-ms"); it != flags.end()) {
+    b.deadline_seconds = std::stod(it->second) / 1000.0;
+  }
+  if (const auto it = flags.find("max-memory-mb"); it != flags.end()) {
+    b.max_memory_bytes = std::stoul(it->second) * std::size_t{1024 * 1024};
+  }
+  return b;
 }
 
 int cmd_stats(const std::vector<std::string>& args) {
@@ -164,12 +186,32 @@ int cmd_simulate(const std::vector<std::string>& args) {
   opts.shots = flags.contains("shots") ? std::stoul(flags["shots"]) : 1024;
   opts.seed = flags.contains("seed") ? std::stoull(flags["seed"]) : 1;
   opts.want_state = flags.contains("state");
+  opts.budget = budget_from(flags);
   if (flags.contains("noise")) {
     opts.noise =
         arrays::NoiseModel::depolarizing_model(std::stod(flags["noise"]));
   }
-  const auto res = core::simulate(c, backend, opts);
-  std::cout << "backend: " << core::backend_name(backend)
+  core::SimulateResult res;
+  std::string used = core::backend_name(backend);
+  if (flags.contains("robust")) {
+    const auto robust = core::simulate_robust(
+        c, opts,
+        flags.contains("backend") && flags["backend"] != "auto"
+            ? std::optional<core::SimBackend>{backend}
+            : std::nullopt);
+    for (const auto& step : robust.attempts) {
+      if (!step.error.empty()) {
+        std::cout << "fallback: " << step.stage << " failed (" << step.error
+                  << ")\n";
+      } else {
+        used = step.stage;
+      }
+    }
+    res = robust.result;
+  } else {
+    res = core::simulate(c, backend, opts);
+  }
+  std::cout << "backend: " << used
             << "   representation size: " << res.representation_size
             << "   time: " << res.seconds << "s\n";
   if (res.state.has_value()) {
@@ -214,11 +256,28 @@ int cmd_verify(const std::vector<std::string>& args) {
       usage();
     }
   }
-  const auto res = core::verify(a.unitary_part(), b.unitary_part(), method);
+  const guard::Budget budget = budget_from(flags);
+  core::VerifyResult res;
+  std::string used = core::method_name(method);
+  if (flags.contains("robust")) {
+    const auto robust =
+        core::verify_robust(a.unitary_part(), b.unitary_part(), method,
+                            budget);
+    for (const auto& step : robust.attempts) {
+      if (!step.error.empty()) {
+        std::cout << "fallback: " << step.stage << " failed (" << step.error
+                  << ")\n";
+      } else {
+        used = step.stage;
+      }
+    }
+    res = robust.result;
+  } else {
+    res = core::verify(a.unitary_part(), b.unitary_part(), method, budget);
+  }
   std::cout << (res.equivalent ? "EQUIVALENT" : "NOT EQUIVALENT")
-            << (res.conclusive ? "" : " (inconclusive)") << "  ["
-            << core::method_name(method) << ", " << res.detail << ", "
-            << res.seconds << "s]\n";
+            << (res.conclusive ? "" : " (inconclusive)") << "  [" << used
+            << ", " << res.detail << ", " << res.seconds << "s]\n";
   emit_metrics(flags);
   return res.equivalent ? 0 : 1;
 }
@@ -229,6 +288,7 @@ int cmd_compile(const std::vector<std::string>& args) {
   if (pos.size() != 1 || !flags.contains("target")) {
     usage();
   }
+  const guard::BudgetScope scope(budget_from(flags));
   const ir::Circuit c = load(pos[0]);
   const std::size_t n = flags.contains("qubits")
                             ? std::stoul(flags["qubits"])
@@ -319,6 +379,18 @@ int main(int argc, char** argv) {
       return cmd_compile(args);
     }
     usage();
+  } catch (const qdt::Error& e) {
+    std::cerr << e.code_name() << ": " << e.what() << "\n";
+    switch (e.code()) {
+      case qdt::ErrorCode::BadInput:
+      case qdt::ErrorCode::Unsupported:
+        return 2;
+      case qdt::ErrorCode::ResourceExhausted:
+        return 3;
+      case qdt::ErrorCode::Internal:
+        return 4;
+    }
+    return 4;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
