@@ -1,0 +1,151 @@
+#include "chaos/chaos.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "core/tasks.hpp"
+#include "guard/budget.hpp"
+
+namespace qdt::chaos {
+
+namespace {
+
+const Resource kFaultable[] = {
+    Resource::Memory,     Resource::DdNodes, Resource::TnElements,
+    Resource::MpsBond,    Resource::Deadline,
+};
+
+void arm(const std::vector<FaultSpec>& schedule) {
+  guard::clear_faults();
+  for (const auto& f : schedule) {
+    guard::inject_fault(f.resource, f.nth);
+  }
+}
+
+bool stage_is_exact(const std::string& stage) {
+  // Truncated MPS is the one rung allowed to return an approximate state;
+  // the single-amplitude TN rung is exact but partial.
+  return stage.find("truncated") == std::string::npos;
+}
+
+}  // namespace
+
+std::string FaultSpec::str() const {
+  return std::string(resource_name(resource)) + ":" + std::to_string(nth);
+}
+
+std::vector<FaultSpec> random_fault_schedule(Rng& rng,
+                                             const ChaosOptions& options) {
+  std::vector<FaultSpec> schedule;
+  const std::size_t count = 1 + rng.index(options.max_faults);
+  for (std::size_t i = 0; i < count; ++i) {
+    FaultSpec f;
+    f.resource = kFaultable[rng.index(std::size(kFaultable))];
+    f.nth = 1 + rng.index(options.max_nth);
+    schedule.push_back(f);
+  }
+  return schedule;
+}
+
+ChaosResult run_chaos_case(const ir::Circuit& circuit,
+                           const std::vector<FaultSpec>& schedule,
+                           const ChaosOptions& options) {
+  ChaosResult out;
+  out.schedule = schedule;
+  const ir::Circuit unitary = circuit.unitary_part();
+
+  // Fault-free reference, computed before anything is armed.
+  guard::clear_faults();
+  std::vector<Complex> reference;
+  try {
+    core::SimulateOptions opts;
+    opts.want_state = true;
+    auto res = core::simulate(unitary, core::SimBackend::Array, opts);
+    reference = std::move(*res.state);
+  } catch (const Error&) {
+    // No reference (width/budget) — the invariant degenerates to "no
+    // crash, no untyped escape", which is still worth asserting.
+  }
+
+  // -- simulate_robust under fire -------------------------------------------
+  arm(schedule);
+  try {
+    core::SimulateOptions opts;
+    opts.want_state = true;
+    const auto robust = core::simulate_robust(unitary, opts);
+    out.degraded = robust.degraded();
+    std::string final_stage;
+    for (const auto& step : robust.attempts) {
+      out.attempts.push_back(step.error.empty() ? step.stage
+                                                : step.stage + "!" +
+                                                      step.error);
+      if (step.error.empty()) {
+        final_stage = step.stage;
+      }
+    }
+    if (!reference.empty() && robust.result.state.has_value()) {
+      const auto& state = *robust.result.state;
+      if (state.size() == reference.size() && stage_is_exact(final_stage)) {
+        const double dist = state_distance_up_to_phase(reference, state);
+        if (!(dist <= options.tolerance)) {
+          out.outcome = Outcome::Mismatch;
+          out.detail = "chaos run on " + final_stage +
+                       " returned a wrong state (deviation " +
+                       std::to_string(dist) + ")";
+        }
+      } else if (state.size() == 1 && reference.size() > 1) {
+        // Single-amplitude TN rung: <0...0|C|0...0> is exact up to the
+        // global phase the reference fixes — compare magnitudes.
+        const double dist =
+            std::abs(std::abs(state[0]) - std::abs(reference[0]));
+        if (!(dist <= options.tolerance)) {
+          out.outcome = Outcome::Mismatch;
+          out.detail = "degraded single-amplitude answer off by " +
+                       std::to_string(dist);
+        }
+      }
+    }
+  } catch (const Error& e) {
+    // Typed failure is within contract (the whole ladder may exhaust).
+    out.attempts.push_back(std::string("failed!") + e.code_name() + ": " +
+                           e.what());
+  } catch (const std::exception& e) {
+    out.outcome = Outcome::Escape;
+    out.detail = std::string("simulate_robust escape: ") + e.what();
+  } catch (...) {
+    out.outcome = Outcome::Escape;
+    out.detail = "simulate_robust escape: non-standard exception";
+  }
+  out.faults_fired = guard::faults_fired();
+
+  // -- verify_robust under fire ---------------------------------------------
+  // c ~ c is trivially equivalent; under faults the verify ladder may
+  // degrade or die typed, but a conclusive "not equivalent" is a wrong
+  // answer.
+  if (out.outcome == Outcome::Agree && !unitary.empty()) {
+    arm(schedule);
+    try {
+      const auto robust = core::verify_robust(unitary, unitary);
+      if (robust.result.conclusive && !robust.result.equivalent) {
+        out.outcome = Outcome::Mismatch;
+        out.detail = "chaos verify refuted c ~ c: " + robust.result.detail;
+      }
+      out.degraded = out.degraded || robust.degraded();
+    } catch (const Error&) {
+      // typed — fine
+    } catch (const std::exception& e) {
+      out.outcome = Outcome::Escape;
+      out.detail = std::string("verify_robust escape: ") + e.what();
+    } catch (...) {
+      out.outcome = Outcome::Escape;
+      out.detail = "verify_robust escape: non-standard exception";
+    }
+    out.faults_fired += guard::faults_fired();
+  }
+
+  // Never leak an armed fault into the next case.
+  guard::clear_faults();
+  return out;
+}
+
+}  // namespace qdt::chaos

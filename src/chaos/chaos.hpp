@@ -1,0 +1,68 @@
+// qdt::chaos — fault-schedule chaos mode.
+//
+// PR 2's guard layer promises: under resource exhaustion a robust task may
+// *degrade* (truncated MPS, single-amplitude TN rung) or *fail* with a
+// typed ResourceExhausted — but it must never crash and never return a
+// wrong answer while claiming success. Chaos mode turns that promise into
+// an executable invariant: each case is re-run under a randomized
+// guard::inject_fault schedule and the result is checked against a
+// fault-free reference computed beforehand.
+//
+// Classification of a chaos run:
+//   Agree       completed on an exact rung and matched the reference, or
+//               failed cleanly with a qdt::Error
+//   Mismatch    completed on an exact rung with a WRONG state, or a
+//               degraded rung's answer is inconsistent with the reference
+//   Escape      a non-qdt::Error exception crossed the boundary
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/oracle.hpp"
+#include "common/rng.hpp"
+#include "guard/error.hpp"
+#include "ir/circuit.hpp"
+
+namespace qdt::chaos {
+
+struct FaultSpec {
+  Resource resource = Resource::None;
+  std::uint64_t nth = 0;  // 1 = the very next checkpoint of that resource
+
+  std::string str() const;
+};
+
+struct ChaosOptions {
+  /// Faults armed per run, in [1, max_faults].
+  std::size_t max_faults = 3;
+  /// Checkpoint index range for each armed fault.
+  std::uint64_t max_nth = 64;
+  double tolerance = 1e-6;
+};
+
+struct ChaosResult {
+  Outcome outcome = Outcome::Agree;
+  std::string detail;
+  std::vector<FaultSpec> schedule;
+  /// Stages attempted by the robust ladder, "stage" or "stage!error".
+  std::vector<std::string> attempts;
+  bool degraded = false;
+  std::uint64_t faults_fired = 0;
+};
+
+/// Draw a random fault schedule from `rng`.
+std::vector<FaultSpec> random_fault_schedule(Rng& rng,
+                                             const ChaosOptions& options);
+
+/// Run `circuit` through core::simulate_robust under `schedule`, then
+/// check the robustness invariant against a fault-free array/DD reference.
+/// clear_faults() is called on entry and exit — a stale armed fault from a
+/// previous case must never leak into this run, nor this run's into the
+/// next.
+ChaosResult run_chaos_case(const ir::Circuit& circuit,
+                           const std::vector<FaultSpec>& schedule,
+                           const ChaosOptions& options = {});
+
+}  // namespace qdt::chaos

@@ -1,0 +1,158 @@
+#include "chaos/corpus.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "guard/error.hpp"
+#include "ir/qasm.hpp"
+#include "obs/obs.hpp"
+
+namespace qdt::chaos {
+
+namespace {
+
+/// Circuits the QASM writer cannot express (>2 controls) still need a
+/// persisted form — fall back to the IR listing inside a comment header.
+std::string serialize(const ir::Circuit& c) {
+  try {
+    return ir::to_qasm(c);
+  } catch (const Error&) {
+    std::ostringstream out;
+    out << "// not expressible in OpenQASM 2.0 — IR listing:\n";
+    std::istringstream in(c.str());
+    std::string line;
+    while (std::getline(in, line)) {
+      out << "// " << line << "\n";
+    }
+    return out.str();
+  }
+}
+
+void write_string_array(std::ostream& out, const char* key,
+                        const std::vector<std::string>& values) {
+  out << "  \"" << key << "\": [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << '"' << json_escape(values[i]) << '"';
+  }
+  out << "],\n";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string write_finding(const std::string& dir, const CorpusEntry& entry,
+                          const ir::Circuit& circuit,
+                          const ir::Circuit* shrunk) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw Error::bad_input("corpus: cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+
+  const std::string stem = "case_" + std::to_string(entry.master_seed) + "_" +
+                           std::to_string(entry.case_index);
+  const std::string qasm_path = dir + "/" + stem + ".qasm";
+  const std::string min_path = dir + "/" + stem + ".min.qasm";
+  const std::string json_path = dir + "/" + stem + ".json";
+
+  {
+    std::ofstream out(qasm_path);
+    if (!out) {
+      throw Error::bad_input("corpus: cannot write " + qasm_path);
+    }
+    out << (entry.raw_text.empty() ? serialize(circuit) : entry.raw_text);
+  }
+  if (shrunk != nullptr) {
+    std::ofstream out(min_path);
+    if (!out) {
+      throw Error::bad_input("corpus: cannot write " + min_path);
+    }
+    out << serialize(*shrunk);
+  }
+
+  // The one-command repro: re-running this exact case through the fuzzer.
+  std::string replay = "qdt fuzz --seed " + std::to_string(entry.case_seed) +
+                       " --cases 1";
+  if (entry.chaos) {
+    replay += " --chaos";
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    throw Error::bad_input("corpus: cannot write " + json_path);
+  }
+  out << "{\n";
+  out << "  \"master_seed\": " << entry.master_seed << ",\n";
+  out << "  \"case_seed\": " << entry.case_seed << ",\n";
+  out << "  \"case_index\": " << entry.case_index << ",\n";
+  out << "  \"classification\": \"" << json_escape(entry.classification)
+      << "\",\n";
+  out << "  \"detail\": \"" << json_escape(entry.detail) << "\",\n";
+  out << "  \"family\": \"" << json_escape(entry.family) << "\",\n";
+  out << "  \"chaos\": " << (entry.chaos ? "true" : "false") << ",\n";
+  write_string_array(out, "mutations", entry.mutations);
+  write_string_array(out, "checks", entry.checks);
+  write_string_array(out, "fault_schedule", entry.fault_schedule);
+  out << "  \"qasm\": \"" << json_escape(stem + ".qasm") << "\",\n";
+  if (shrunk != nullptr) {
+    out << "  \"min_qasm\": \"" << json_escape(stem + ".min.qasm") << "\",\n";
+    out << "  \"min_ops\": " << shrunk->size() << ",\n";
+    out << "  \"min_qubits\": " << shrunk->num_qubits() << ",\n";
+  }
+  out << "  \"replay\": \"" << json_escape(replay) << "\",\n";
+
+  // qdt.chaos.* counter snapshot at finding time — the triage context.
+  out << "  \"counters\": {";
+  const auto snap = obs::snapshot();
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (c.name.rfind("qdt.chaos.", 0) != 0) {
+      continue;
+    }
+    out << (first ? "" : ", ") << "\"" << json_escape(c.name)
+        << "\": " << c.value;
+    first = false;
+  }
+  out << "}\n";
+  out << "}\n";
+  return json_path;
+}
+
+}  // namespace qdt::chaos

@@ -1,0 +1,47 @@
+// qdt::chaos — the findings corpus.
+//
+// Every finding (mismatch or escape) is persisted as a standalone,
+// one-command repro: `case_<seed>_<index>.qasm` holds the full failing
+// circuit, `case_<seed>_<index>.min.qasm` the shrunken version, and
+// `case_<seed>_<index>.json` the metadata: classification, detail, family,
+// mutation trail, fault schedule, qdt.chaos.* counter snapshot, and the
+// exact `qdt fuzz` replay command line. A fuzz run over an existing corpus
+// directory appends; nothing is ever overwritten silently (the seed/index
+// pair is the identity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qdt::chaos {
+
+struct CorpusEntry {
+  std::uint64_t master_seed = 0;
+  std::uint64_t case_seed = 0;
+  std::size_t case_index = 0;
+  std::string classification;  // outcome_name(...)
+  std::string detail;
+  std::string family;
+  std::vector<std::string> mutations;
+  std::vector<std::string> checks;       // per-check "name: outcome"
+  std::vector<std::string> fault_schedule;  // chaos mode only
+  bool chaos = false;
+  /// Parser findings: the raw mutated QASM text that triggered the failure
+  /// (persisted verbatim as the .qasm artifact instead of the circuit).
+  std::string raw_text;
+};
+
+/// Write one finding into `dir` (created if missing). `shrunk` may be
+/// nullptr when shrinking was disabled or did not reduce anything. Returns
+/// the path of the JSON metadata file.
+std::string write_finding(const std::string& dir, const CorpusEntry& entry,
+                          const ir::Circuit& circuit,
+                          const ir::Circuit* shrunk);
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string json_escape(const std::string& s);
+
+}  // namespace qdt::chaos

@@ -1,0 +1,249 @@
+#include "chaos/fuzzer.hpp"
+
+#include <ostream>
+#include <utility>
+
+#include "chaos/corpus.hpp"
+#include "chaos/shrink.hpp"
+#include "guard/budget.hpp"
+#include "ir/qasm.hpp"
+#include "obs/obs.hpp"
+
+namespace qdt::chaos {
+
+namespace {
+
+obs::Counter& g_cases = obs::counter("qdt.chaos.case.total");
+obs::Counter& g_agree = obs::counter("qdt.chaos.case.agree");
+obs::Counter& g_mismatch = obs::counter("qdt.chaos.case.mismatch");
+obs::Counter& g_typed = obs::counter("qdt.chaos.case.typed_error");
+obs::Counter& g_escape = obs::counter("qdt.chaos.case.escape");
+obs::Counter& g_parser_cases = obs::counter("qdt.chaos.parser.cases");
+obs::Counter& g_parser_rejected = obs::counter("qdt.chaos.parser.rejected");
+obs::Counter& g_fault_schedules = obs::counter("qdt.chaos.fault.schedules");
+obs::Counter& g_fault_fired = obs::counter("qdt.chaos.fault.fired");
+obs::Counter& g_fault_degraded = obs::counter("qdt.chaos.fault.degraded");
+obs::Counter& g_shrink_calls = obs::counter("qdt.chaos.shrink.calls");
+obs::Counter& g_shrink_removed = obs::counter("qdt.chaos.shrink.removed_ops");
+
+void count_outcome(Outcome o, FuzzReport& report) {
+  switch (o) {
+    case Outcome::Agree:
+      ++report.agree;
+      g_agree.add();
+      break;
+    case Outcome::Mismatch:
+      ++report.mismatch;
+      g_mismatch.add();
+      break;
+    case Outcome::TypedError:
+      ++report.typed_errors;
+      g_typed.add();
+      break;
+    case Outcome::Escape:
+      ++report.escapes;
+      g_escape.add();
+      break;
+  }
+}
+
+/// Narrow the oracle to the check family that failed, so the shrinker's
+/// predicate re-runs only the relevant (cheap) slice of the oracle.
+OracleOptions narrowed_options(const OracleOptions& base,
+                               const OracleReport& report) {
+  OracleOptions opts = base;
+  std::string failing;
+  for (const auto& c : report.checks) {
+    if (c.outcome == report.outcome) {
+      failing = c.check;
+      break;
+    }
+  }
+  if (failing.rfind("state:", 0) == 0) {
+    opts.equivalence_checks = false;
+  } else if (failing.rfind("ec:", 0) == 0) {
+    opts.max_state_qubits = 0;  // skip the state diff entirely
+    opts.stabilizer_check = false;
+  }
+  return opts;
+}
+
+}  // namespace
+
+std::uint64_t case_seed(std::uint64_t master_seed, std::size_t index) {
+  // splitmix64 — each case's stream is independent of every other's.
+  std::uint64_t z = master_seed + 0x9E3779B97F4A7C15ULL *
+                                      (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  FuzzReport report;
+
+  for (std::size_t i = 0; i < options.cases; ++i) {
+    // A stale armed fault from case k must never fire in case k+1.
+    guard::clear_faults();
+
+    const std::uint64_t seed = case_seed(options.seed, i);
+    Rng rng(seed);
+    GeneratedCase gen = generate_case(rng, options.generator);
+    ++report.cases;
+    g_cases.add();
+
+    if (options.trace && options.log != nullptr) {
+      *options.log << "case " << i << " seed " << seed << " family "
+                   << gen.family << " n=" << gen.circuit.num_qubits()
+                   << " ops=" << gen.circuit.size() << std::endl;
+    }
+
+    // -- Differential + metamorphic oracle -----------------------------------
+    const OracleReport oracle = run_oracle(gen.circuit, options.oracle);
+    Outcome case_outcome = oracle.outcome;
+    std::string case_detail = oracle.detail;
+    bool from_chaos = false;
+
+    // -- Parser fuzzing on the serialized case -------------------------------
+    std::string parser_text;
+    CheckResult parser;
+    if (options.parser_fuzz) {
+      try {
+        parser_text = mutate_qasm_text(ir::to_qasm(gen.circuit), rng);
+      } catch (const Error&) {
+        // Case not QASM-expressible (>2 controls) — fuzz a library header
+        // instead so the parser still gets exercised.
+        parser_text = mutate_qasm_text(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\n"
+            "cx q[0], q[1];\n",
+            rng);
+      }
+      parser = run_parser_oracle(parser_text);
+      ++report.parser_cases;
+      g_parser_cases.add();
+      if (parser.outcome == Outcome::TypedError) {
+        ++report.parser_rejected;
+        g_parser_rejected.add();
+      }
+      if (worse(parser.outcome, case_outcome) != case_outcome &&
+          parser.outcome != Outcome::TypedError) {
+        case_outcome = parser.outcome;
+        case_detail = parser.check + ": " + parser.detail;
+      }
+    }
+
+    // -- Chaos mode: the same case under randomized fault schedules ----------
+    ChaosResult chaos;
+    if (options.chaos) {
+      const auto schedule = random_fault_schedule(rng, options.chaos_options);
+      chaos = run_chaos_case(gen.circuit, schedule, options.chaos_options);
+      ++report.chaos_cases;
+      g_fault_schedules.add();
+      report.chaos_faults_fired += chaos.faults_fired;
+      g_fault_fired.add(chaos.faults_fired);
+      if (chaos.degraded) {
+        ++report.chaos_degraded;
+        g_fault_degraded.add();
+      }
+      if (chaos.outcome != Outcome::Agree &&
+          worse(chaos.outcome, case_outcome) == chaos.outcome) {
+        case_outcome = chaos.outcome;
+        case_detail = chaos.detail;
+        from_chaos = true;
+      }
+    }
+
+    count_outcome(case_outcome, report);
+
+    // -- Triage: shrink and persist findings ---------------------------------
+    if (case_outcome == Outcome::Mismatch || case_outcome == Outcome::Escape) {
+      Finding finding;
+      finding.case_index = i;
+      finding.case_seed = seed;
+      finding.classification = outcome_name(case_outcome);
+      finding.detail = case_detail;
+      finding.chaos = from_chaos;
+      finding.circuit = gen.circuit;
+      finding.shrunk = gen.circuit;
+
+      const bool parser_finding =
+          options.parser_fuzz && parser.outcome == case_outcome &&
+          !oracle.is_finding() && !from_chaos;
+
+      if (options.shrink_findings && !parser_finding) {
+        FailPredicate predicate;
+        if (from_chaos) {
+          const auto schedule = chaos.schedule;
+          const auto chaos_opts = options.chaos_options;
+          predicate = [=, target = case_outcome](const ir::Circuit& cand) {
+            return run_chaos_case(cand, schedule, chaos_opts).outcome ==
+                   target;
+          };
+        } else {
+          const OracleOptions narrowed =
+              narrowed_options(options.oracle, oracle);
+          predicate = [narrowed,
+                       target = case_outcome](const ir::Circuit& cand) {
+            return run_oracle(cand, narrowed).outcome == target;
+          };
+        }
+        const ShrinkResult shrunk = shrink(gen.circuit, predicate);
+        finding.shrunk = shrunk.minimal;
+        g_shrink_calls.add(shrunk.predicate_calls);
+        g_shrink_removed.add(shrunk.ops_removed);
+        guard::clear_faults();  // chaos predicates arm faults
+      }
+
+      if (!options.corpus_dir.empty()) {
+        CorpusEntry entry;
+        entry.master_seed = options.seed;
+        entry.case_seed = seed;
+        entry.case_index = i;
+        entry.classification = finding.classification;
+        entry.detail = finding.detail;
+        entry.family = gen.family;
+        entry.mutations = gen.mutations;
+        entry.chaos = from_chaos;
+        for (const auto& c : oracle.checks) {
+          entry.checks.push_back(c.check + ": " + outcome_name(c.outcome));
+        }
+        if (from_chaos) {
+          for (const auto& f : chaos.schedule) {
+            entry.fault_schedule.push_back(f.str());
+          }
+        }
+        if (parser_finding) {
+          entry.raw_text = parser_text;
+        }
+        finding.corpus_json = write_finding(
+            options.corpus_dir, entry, finding.circuit,
+            finding.shrunk.size() < finding.circuit.size() ? &finding.shrunk
+                                                           : nullptr);
+      }
+
+      if (options.log != nullptr) {
+        *options.log << "FINDING case " << i << " (seed " << seed << "): "
+                     << finding.classification << " — " << finding.detail
+                     << "\n";
+        if (finding.shrunk.size() < finding.circuit.size()) {
+          *options.log << "  shrunk " << finding.circuit.size() << " -> "
+                       << finding.shrunk.size() << " ops\n";
+        }
+        if (!finding.corpus_json.empty()) {
+          *options.log << "  corpus: " << finding.corpus_json << "\n";
+        }
+      }
+      report.findings.push_back(std::move(finding));
+    }
+
+    if (options.log != nullptr && (i + 1) % 100 == 0) {
+      *options.log << "fuzz: " << (i + 1) << "/" << options.cases
+                   << " cases, " << report.findings.size() << " findings\n";
+    }
+  }
+
+  guard::clear_faults();
+  return report;
+}
+
+}  // namespace qdt::chaos

@@ -1,0 +1,76 @@
+// qdt::chaos — the fuzz driver.
+//
+// run_fuzz() generates `cases` circuits (each a pure function of
+// splitmix64(seed, index), so any case replays in isolation), pushes each
+// through the differential oracle, the parser oracle, and — in chaos mode
+// — a randomized fault schedule, then classifies, shrinks, and persists
+// every finding into the corpus. Counters land under qdt.chaos.* in the
+// obs registry.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "chaos/generator.hpp"
+#include "chaos/oracle.hpp"
+
+namespace qdt::chaos {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t cases = 100;
+  /// Re-run each case under a randomized guard fault schedule.
+  bool chaos = false;
+  /// Mutate the QASM text of each case and fuzz the parser with it.
+  bool parser_fuzz = true;
+  /// Shrink findings to a minimal repro before persisting.
+  bool shrink_findings = true;
+  /// Directory findings are written to; empty: keep them in memory only.
+  std::string corpus_dir;
+  GeneratorConfig generator;
+  OracleOptions oracle;
+  ChaosOptions chaos_options;
+  /// Progress / finding log (nullptr: silent).
+  std::ostream* log = nullptr;
+  /// Log every case (family, width, size) before running it.
+  bool trace = false;
+};
+
+struct Finding {
+  std::size_t case_index = 0;
+  std::uint64_t case_seed = 0;
+  std::string classification;
+  std::string detail;
+  bool chaos = false;
+  ir::Circuit circuit;
+  ir::Circuit shrunk;   // == circuit when shrinking is off / no progress
+  std::string corpus_json;  // metadata path, empty when not persisted
+};
+
+struct FuzzReport {
+  std::size_t cases = 0;
+  std::size_t agree = 0;
+  std::size_t mismatch = 0;
+  std::size_t typed_errors = 0;
+  std::size_t escapes = 0;
+  std::size_t parser_cases = 0;
+  std::size_t parser_rejected = 0;  // typed BadInput on mutated text (fine)
+  std::size_t chaos_cases = 0;
+  std::size_t chaos_degraded = 0;
+  std::size_t chaos_faults_fired = 0;
+  std::vector<Finding> findings;
+
+  /// The acceptance gate: no cross-backend mismatch, no untyped escape.
+  bool clean() const { return mismatch == 0 && escapes == 0; }
+};
+
+/// Per-case seed derivation (splitmix64 over master ^ index) — exposed so
+/// the corpus replay command and the tests agree on it.
+std::uint64_t case_seed(std::uint64_t master_seed, std::size_t index);
+
+FuzzReport run_fuzz(const FuzzOptions& options);
+
+}  // namespace qdt::chaos

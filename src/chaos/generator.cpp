@@ -1,0 +1,244 @@
+#include "chaos/generator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ir/gate.hpp"
+#include "ir/library.hpp"
+
+namespace qdt::chaos {
+
+namespace {
+
+using ir::Circuit;
+using ir::GateKind;
+using ir::Operation;
+using ir::Qubit;
+
+/// Rebuild a circuit from an op list (append re-validates qubit ranges).
+Circuit rebuild(std::size_t num_qubits, const std::string& name,
+                const std::vector<Operation>& ops) {
+  Circuit c(num_qubits, name);
+  for (const auto& op : ops) {
+    c.append(op);
+  }
+  return c;
+}
+
+/// A random single-qubit unitary op on a random qubit.
+Operation random_1q(Rng& rng, std::size_t n) {
+  static const GateKind kOneQubit[] = {
+      GateKind::I,  GateKind::X,   GateKind::Y,  GateKind::Z,
+      GateKind::H,  GateKind::S,   GateKind::Sdg, GateKind::T,
+      GateKind::Tdg, GateKind::SX, GateKind::SXdg};
+  const auto q = static_cast<Qubit>(rng.index(n));
+  return Operation{kOneQubit[rng.index(std::size(kOneQubit))], q};
+}
+
+/// rz/rx/ry with an angle so small every backend should treat the gate as
+/// (numerically) the identity — a classic accumulation-error probe.
+Operation near_identity_rotation(Rng& rng, std::size_t n) {
+  static const GateKind kRot[] = {GateKind::RX, GateKind::RY, GateKind::RZ,
+                                  GateKind::P};
+  const auto q = static_cast<Qubit>(rng.index(n));
+  // 1/2^k * pi for large k: exactly representable as a rational phase, tiny
+  // in radians (down to ~1e-9 * pi).
+  const auto den = std::int64_t{1} << (20 + rng.index(10));
+  return Operation{kRot[rng.index(std::size(kRot))], {q}, {}, {Phase{1, den}}};
+}
+
+}  // namespace
+
+std::string mutate_circuit(Circuit& c, Rng& rng) {
+  const std::size_t n = c.num_qubits();
+  if (n == 0) {
+    return "";
+  }
+  std::vector<Operation> ops(c.ops().begin(), c.ops().end());
+  switch (rng.index(8)) {
+    case 0: {  // Duplicate an op right after itself (X X == I, T T == S...).
+      if (ops.empty()) {
+        return "";
+      }
+      const std::size_t i = rng.index(ops.size());
+      if (!ops[i].is_unitary()) {
+        return "";
+      }
+      const Operation dup = ops[i];
+      ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(i), dup);
+      c = rebuild(n, c.name(), ops);
+      return "dup_adjacent";
+    }
+    case 1: {  // Near-identity rotation at a random position.
+      const std::size_t i = rng.index(ops.size() + 1);
+      ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(i),
+                 near_identity_rotation(rng, n));
+      c = rebuild(n, c.name(), ops);
+      return "near_identity";
+    }
+    case 2: {  // Barrier at a random position.
+      const std::size_t i = rng.index(ops.size() + 1);
+      ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(i),
+                 Operation{GateKind::Barrier, Qubit{0}});
+      c = rebuild(n, c.name(), ops);
+      return "barrier";
+    }
+    case 3: {  // Delete an op.
+      if (ops.empty()) {
+        return "";
+      }
+      ops.erase(ops.begin() +
+                static_cast<std::ptrdiff_t>(rng.index(ops.size())));
+      c = rebuild(n, c.name(), ops);
+      return "delete_op";
+    }
+    case 4: {  // Swap two ops (changes semantics when they don't commute).
+      if (ops.size() < 2) {
+        return "";
+      }
+      const std::size_t i = rng.index(ops.size() - 1);
+      std::swap(ops[i], ops[i + 1]);
+      c = rebuild(n, c.name(), ops);
+      return "swap_adjacent";
+    }
+    case 5: {  // Sandwich: insert op; op.adjoint() (a no-op pair).
+      const Operation op = random_1q(rng, n);
+      const std::size_t i = rng.index(ops.size() + 1);
+      ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(i), op.adjoint());
+      ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(i), op);
+      c = rebuild(n, c.name(), ops);
+      return "adjoint_sandwich";
+    }
+    case 6: {  // Promote a 1q gate to a controlled gate on a fresh control.
+      if (n < 2 || ops.empty()) {
+        return "";
+      }
+      const std::size_t i = rng.index(ops.size());
+      const Operation& op = ops[i];
+      if (!op.is_unitary() || op.targets().size() != 1 ||
+          !op.controls().empty() || op.kind() == GateKind::I) {
+        return "";
+      }
+      auto ctrl = static_cast<Qubit>(rng.index(n - 1));
+      if (ctrl >= op.targets()[0]) {
+        ++ctrl;
+      }
+      ops[i] = Operation{op.kind(), op.targets(), {ctrl}, op.params()};
+      c = rebuild(n, c.name(), ops);
+      return "promote_control";
+    }
+    default: {  // Random extra 1q gate.
+      const std::size_t i = rng.index(ops.size() + 1);
+      ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(i),
+                 random_1q(rng, n));
+      c = rebuild(n, c.name(), ops);
+      return "insert_1q";
+    }
+  }
+}
+
+GeneratedCase generate_case(Rng& rng, const GeneratorConfig& config) {
+  GeneratedCase out;
+  const auto& families = ir::library_families();
+  out.family = families[rng.index(families.size())];
+
+  std::size_t width = config.min_qubits +
+                      rng.index(config.max_qubits - config.min_qubits + 1);
+  if (rng.uniform() < config.edge_width_probability) {
+    width = 1;  // degenerate-width probe
+    out.mutations.push_back("edge_width_1");
+  }
+  out.circuit = ir::make_family(out.family, width, rng.engine()());
+
+  const std::size_t num_mutations = rng.index(config.max_mutations + 1);
+  for (std::size_t m = 0; m < num_mutations; ++m) {
+    std::string applied = mutate_circuit(out.circuit, rng);
+    if (!applied.empty()) {
+      out.mutations.push_back(std::move(applied));
+    }
+  }
+
+  // Trim to the op cap (mutations only add a handful, but families vary).
+  if (out.circuit.size() > config.max_ops) {
+    std::vector<Operation> ops(out.circuit.ops().begin(),
+                               out.circuit.ops().begin() +
+                                   static_cast<std::ptrdiff_t>(config.max_ops));
+    out.circuit = rebuild(out.circuit.num_qubits(), out.circuit.name(), ops);
+    out.mutations.push_back("truncated");
+  }
+
+  if (rng.uniform() < config.measure_probability) {
+    out.circuit.measure_all();
+    out.mutations.push_back("measure_all");
+  }
+  return out;
+}
+
+std::string mutate_qasm_text(const std::string& qasm, Rng& rng) {
+  std::string text = qasm;
+  const std::size_t edits = 1 + rng.index(3);
+  for (std::size_t e = 0; e < edits; ++e) {
+    if (text.empty()) {
+      return text;
+    }
+    switch (rng.index(6)) {
+      case 0:  // Truncate mid-token.
+        text.resize(rng.index(text.size() + 1));
+        break;
+      case 1: {  // Duplicate a line.
+        std::vector<std::string> lines;
+        std::size_t start = 0;
+        while (start <= text.size()) {
+          const std::size_t nl = text.find('\n', start);
+          lines.push_back(text.substr(
+              start, nl == std::string::npos ? std::string::npos : nl - start));
+          if (nl == std::string::npos) {
+            break;
+          }
+          start = nl + 1;
+        }
+        const std::size_t i = rng.index(lines.size());
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i), lines[i]);
+        text.clear();
+        for (std::size_t l = 0; l < lines.size(); ++l) {
+          text += lines[l];
+          if (l + 1 < lines.size()) {
+            text += '\n';
+          }
+        }
+        break;
+      }
+      case 2: {  // Flip one byte to a printable character.
+        const std::size_t i = rng.index(text.size());
+        text[i] = static_cast<char>(' ' + rng.index(95));
+        break;
+      }
+      case 3: {  // Splice in a hostile token.
+        static const char* kTokens[] = {
+            "q[999999]", "-",      "pi/0",   "1e999", ";;",
+            "qreg q[0];", "creg",  "u3(",    "0x12",  "\t\t",
+            "measure q ->", "cx q[0],q[0];"};
+        const std::size_t i = rng.index(text.size() + 1);
+        text.insert(i, kTokens[rng.index(std::size(kTokens))]);
+        break;
+      }
+      case 4: {  // Delete a random span.
+        const std::size_t i = rng.index(text.size());
+        const std::size_t len = 1 + rng.index(std::min<std::size_t>(
+                                        16, text.size() - i));
+        text.erase(i, len);
+        break;
+      }
+      default: {  // Duplicate a random span (digit runs, brackets...).
+        const std::size_t i = rng.index(text.size());
+        const std::size_t len = 1 + rng.index(std::min<std::size_t>(
+                                        8, text.size() - i));
+        text.insert(i, text.substr(i, len));
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+}  // namespace qdt::chaos

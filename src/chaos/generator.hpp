@@ -1,0 +1,55 @@
+// qdt::chaos — structured circuit generation for differential fuzzing.
+//
+// A generated case starts from one of the ir::library families (the same
+// generators the tests and benches use) and then layers adversarial
+// mutations on top: adjacent duplicate gates, near-identity rotations,
+// barrier/measure placement, deleted and reordered operations, promoted
+// controls, and degenerate widths (1-qubit circuits). Semantics-changing
+// mutations are fine — the differential oracle compares backends against
+// each other on the *same* mutated circuit, so any divergence is a bug in
+// a backend, not in the generator.
+//
+// Everything is driven by an explicit qdt::Rng, so a case is a pure
+// function of its seed: same seed, bit-identical circuit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+
+namespace qdt::chaos {
+
+struct GeneratorConfig {
+  std::size_t min_qubits = 1;
+  std::size_t max_qubits = 6;   // dense oracles must stay cheap
+  std::size_t max_ops = 64;     // hard cap after mutation
+  std::size_t max_mutations = 4;
+  /// Probability that a case collapses to a 1-qubit edge circuit.
+  double edge_width_probability = 0.05;
+  /// Probability of appending measurements to the tail.
+  double measure_probability = 0.15;
+};
+
+struct GeneratedCase {
+  ir::Circuit circuit;
+  std::string family;                  // seed family name
+  std::vector<std::string> mutations;  // applied mutation names, in order
+};
+
+/// One deterministic fuzz case drawn from `rng`.
+GeneratedCase generate_case(Rng& rng, const GeneratorConfig& config = {});
+
+/// Apply one random structural mutation to `c`; returns its name ("" when
+/// the mutation was not applicable, e.g. deleting from an empty circuit).
+std::string mutate_circuit(ir::Circuit& c, Rng& rng);
+
+/// QASM-text-level mutation for parser fuzzing: truncation, line
+/// duplication/deletion, token splices, and byte-level edits. The result
+/// may or may not be valid QASM — the parser oracle only requires that
+/// parse_qasm() either succeeds or throws a typed qdt::Error.
+std::string mutate_qasm_text(const std::string& qasm, Rng& rng);
+
+}  // namespace qdt::chaos

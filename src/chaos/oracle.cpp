@@ -1,0 +1,361 @@
+#include "chaos/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <limits>
+
+#include "core/tasks.hpp"
+#include "guard/budget.hpp"
+#include "guard/error.hpp"
+#include "ir/qasm.hpp"
+#include "stab/tableau.hpp"
+#include "transpile/target.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qdt::chaos {
+
+namespace {
+
+/// Classify an exception caught at an oracle boundary.
+Outcome classify_exception(const char* what_out, std::string& detail) {
+  try {
+    throw;
+  } catch (const Error& e) {
+    detail = std::string(e.code_name()) + ": " + e.what();
+    return Outcome::TypedError;
+  } catch (const std::exception& e) {
+    detail = std::string("escaped ") + what_out + ": " + e.what();
+    return Outcome::Escape;
+  } catch (...) {
+    detail = std::string("escaped ") + what_out + ": non-standard exception";
+    return Outcome::Escape;
+  }
+}
+
+std::vector<Complex> simulate_state(const ir::Circuit& c,
+                                    core::SimBackend backend) {
+  core::SimulateOptions opts;
+  opts.shots = 0;
+  opts.want_state = true;
+  auto res = core::simulate(c, backend, opts);
+  if (!res.state.has_value()) {
+    throw Error::internal("oracle: backend produced no state");
+  }
+  return std::move(*res.state);
+}
+
+/// Marginal P(qubit q = 1) of a dense state (qubit q = index bit q).
+double marginal_one(const std::vector<Complex>& state, std::size_t q) {
+  double p = 0.0;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if ((i >> q) & 1U) {
+      p += std::norm(state[i]);
+    }
+  }
+  return p;
+}
+
+/// A verification method applied to a pair expected to be equivalent.
+CheckResult expect_equivalent(const std::string& check, const ir::Circuit& a,
+                              const ir::Circuit& b, core::EcMethod method,
+                              double deadline_seconds) {
+  CheckResult r;
+  r.check = check;
+  try {
+    guard::BudgetScope scope({.deadline_seconds = deadline_seconds});
+    const auto v = core::verify(a, b, method);
+    if (!v.conclusive) {
+      // Inconclusive is an honest answer (ZX stalls on non-Clifford
+      // miters), not a finding.
+      r.outcome = Outcome::Agree;
+      r.detail = "inconclusive: " + v.detail;
+    } else if (!v.equivalent) {
+      r.outcome = Outcome::Mismatch;
+      r.detail = "refuted a known equivalence: " + v.detail;
+    } else {
+      r.detail = v.detail;
+    }
+  } catch (...) {
+    r.outcome = classify_exception(check.c_str(), r.detail);
+  }
+  return r;
+}
+
+}  // namespace
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Agree:
+      return "agree";
+    case Outcome::Mismatch:
+      return "mismatch";
+    case Outcome::TypedError:
+      return "typed-error";
+    case Outcome::Escape:
+      return "escape";
+  }
+  return "?";
+}
+
+Outcome worse(Outcome a, Outcome b) {
+  const auto rank = [](Outcome o) {
+    switch (o) {
+      case Outcome::Agree:
+        return 0;
+      case Outcome::TypedError:
+        return 1;
+      case Outcome::Mismatch:
+        return 2;
+      case Outcome::Escape:
+        return 3;
+    }
+    return 3;
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+std::vector<StateAdapter> default_state_adapters() {
+  return {
+      {"array",
+       [](const ir::Circuit& c) {
+         return simulate_state(c, core::SimBackend::Array);
+       }},
+      {"decision-diagram",
+       [](const ir::Circuit& c) {
+         return simulate_state(c, core::SimBackend::DecisionDiagram);
+       }},
+      {"tensor-network",
+       [](const ir::Circuit& c) {
+         return simulate_state(c, core::SimBackend::TensorNetwork);
+       }},
+      {"mps",
+       [](const ir::Circuit& c) {
+         return simulate_state(c, core::SimBackend::Mps);
+       }},
+  };
+}
+
+StateAdapter planted_adapter(const std::string& bug) {
+  using ir::GateKind;
+  using ir::Operation;
+  if (bug == "tflip") {
+    return {"planted:tflip", [](const ir::Circuit& c) {
+              ir::Circuit evil(c.num_qubits(), c.name());
+              for (const auto& op : c.ops()) {
+                if (op.kind() == GateKind::T) {
+                  evil.append(Operation{GateKind::Tdg, op.targets(),
+                                        op.controls(), op.params()});
+                } else {
+                  evil.append(op);
+                }
+              }
+              return simulate_state(evil, core::SimBackend::Array);
+            }};
+  }
+  if (bug == "cxdrop") {
+    return {"planted:cxdrop", [](const ir::Circuit& c) {
+              ir::Circuit evil(c.num_qubits(), c.name());
+              std::ptrdiff_t last_2q = -1;
+              for (std::size_t i = 0; i < c.size(); ++i) {
+                if (c[i].is_unitary() && c[i].num_qubits() == 2) {
+                  last_2q = static_cast<std::ptrdiff_t>(i);
+                }
+              }
+              for (std::size_t i = 0; i < c.size(); ++i) {
+                if (static_cast<std::ptrdiff_t>(i) != last_2q) {
+                  evil.append(c[i]);
+                }
+              }
+              return simulate_state(evil, core::SimBackend::Array);
+            }};
+  }
+  if (bug == "phasedrift") {
+    return {"planted:phasedrift", [](const ir::Circuit& c) {
+              ir::Circuit evil(c.num_qubits(), c.name());
+              for (const auto& op : c.ops()) {
+                evil.append(op);
+                if (op.kind() == GateKind::T && op.controls().empty()) {
+                  evil.p(Phase{1, 512}, op.targets()[0]);
+                }
+              }
+              return simulate_state(evil, core::SimBackend::Array);
+            }};
+  }
+  throw Error::bad_input("planted_adapter: unknown bug \"" + bug + "\"");
+}
+
+double state_distance_up_to_phase(const std::vector<Complex>& a,
+                                  const std::vector<Complex>& b) {
+  if (a.size() != b.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Align by the phase at a's largest amplitude. For the zero vector any
+  // alignment works.
+  std::size_t anchor = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::norm(a[i]) > best) {
+      best = std::norm(a[i]);
+      anchor = i;
+    }
+  }
+  Complex phase{1.0, 0.0};
+  if (best > 0.0 && std::abs(b[anchor]) > 0.0) {
+    phase = (a[anchor] / std::abs(a[anchor])) /
+            (b[anchor] / std::abs(b[anchor]));
+  }
+  double dist = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dist = std::max(dist, std::abs(a[i] - phase * b[i]));
+  }
+  return dist;
+}
+
+OracleReport run_oracle(const ir::Circuit& circuit,
+                        const OracleOptions& options) {
+  OracleReport report;
+  const ir::Circuit unitary = circuit.unitary_part();
+  const std::size_t n = unitary.num_qubits();
+
+  const auto record = [&report](CheckResult r) {
+    report.outcome = worse(report.outcome, r.outcome);
+    if (r.outcome != Outcome::Agree && report.detail.empty()) {
+      report.detail = r.check + ": " + r.detail;
+    }
+    report.checks.push_back(std::move(r));
+  };
+
+  // -- Pairwise dense-state diff ---------------------------------------------
+  if (n <= options.max_state_qubits) {
+    const std::vector<StateAdapter> adapters =
+        options.adapters.empty() ? default_state_adapters()
+                                 : options.adapters;
+    std::string reference_name;
+    std::vector<Complex> reference;
+    for (const auto& adapter : adapters) {
+      CheckResult r;
+      r.check = "state:" + adapter.name;
+      std::vector<Complex> state;
+      bool ok = false;
+      try {
+        guard::BudgetScope scope(
+            {.deadline_seconds = options.check_deadline_seconds});
+        state = adapter.state(unitary);
+        ok = true;
+      } catch (...) {
+        r.outcome = classify_exception(adapter.name.c_str(), r.detail);
+      }
+      if (ok && reference.empty()) {
+        reference = std::move(state);
+        reference_name = adapter.name;
+        r.detail = "reference";
+      } else if (ok) {
+        const double dist = state_distance_up_to_phase(reference, state);
+        r.check = "state:" + reference_name + "~" + adapter.name;
+        if (!(dist <= options.tolerance)) {  // catches NaN too
+          r.outcome = Outcome::Mismatch;
+          r.detail = "max amplitude deviation " + std::to_string(dist);
+        } else {
+          r.detail = "max amplitude deviation " + std::to_string(dist);
+        }
+      }
+      record(std::move(r));
+    }
+
+    // -- Stabilizer cross-check (Clifford circuits only) ---------------------
+    if (options.stabilizer_check && !reference.empty() &&
+        stab::is_clifford_circuit(unitary)) {
+      CheckResult r;
+      r.check = "state:" + reference_name + "~stabilizer";
+      try {
+        guard::BudgetScope scope(
+            {.deadline_seconds = options.check_deadline_seconds});
+        stab::StabilizerSimulator sim(n);
+        sim.run(unitary);
+        double dist = 0.0;
+        for (std::size_t q = 0; q < n; ++q) {
+          dist = std::max(dist, std::abs(sim.tableau().prob_one(q) -
+                                         marginal_one(reference, q)));
+        }
+        if (dist > options.tolerance) {
+          r.outcome = Outcome::Mismatch;
+          r.detail = "max marginal deviation " + std::to_string(dist);
+        } else {
+          r.detail = "marginals agree";
+        }
+      } catch (...) {
+        r.outcome = classify_exception("stabilizer", r.detail);
+      }
+      record(std::move(r));
+    }
+  }
+
+  // -- Metamorphic equivalence checks ---------------------------------------
+  if (options.equivalence_checks && n >= 1 && !unitary.empty()) {
+    // c . c_dagger must be the identity — through the DD miter and ZX.
+    const ir::Circuit miter = unitary.composed_with(unitary.adjoint());
+    const ir::Circuit identity(n, "identity");
+    record(expect_equivalent("ec:dd:adjoint", miter, identity,
+                             core::EcMethod::DdAlternating,
+                             options.check_deadline_seconds));
+    record(expect_equivalent("ec:zx:adjoint", miter, identity,
+                             core::EcMethod::Zx,
+                             options.check_deadline_seconds));
+
+    // transpile(c) must realize c (after layout restoration) — the full
+    // compile-then-prove loop of the paper.
+    try {
+      const transpile::Target target{transpile::CouplingMap::line(n),
+                                     transpile::NativeGateSet::CxRzSxX,
+                                     "line"};
+      transpile::TranspileResult t = [&] {
+        guard::BudgetScope scope(
+            {.deadline_seconds = options.check_deadline_seconds});
+        return transpile::transpile(unitary, target);
+      }();
+      const ir::Circuit original = transpile::padded_original(unitary, target);
+      const ir::Circuit restored = transpile::restored_for_verification(t);
+      record(expect_equivalent("ec:dd:transpile", original, restored,
+                               core::EcMethod::DdAlternating,
+                               options.check_deadline_seconds));
+      record(expect_equivalent("ec:zx:transpile", original, restored,
+                               core::EcMethod::Zx,
+                               options.check_deadline_seconds));
+    } catch (...) {
+      CheckResult r;
+      r.check = "ec:transpile";
+      r.outcome = classify_exception("transpile", r.detail);
+      record(std::move(r));
+    }
+  }
+
+  return report;
+}
+
+CheckResult run_parser_oracle(const std::string& qasm_text) {
+  CheckResult r;
+  r.check = "parser";
+  try {
+    const ir::Circuit c = ir::parse_qasm(qasm_text);
+    r.detail = "parsed " + std::to_string(c.size()) + " ops";
+    // A parsed circuit must also re-serialize and re-parse (the shrinker's
+    // repro emission depends on this closing).
+    try {
+      const ir::Circuit again = ir::parse_qasm(ir::to_qasm(c));
+      if (!(again == c)) {
+        r.outcome = Outcome::Mismatch;
+        r.detail = "round-trip changed the circuit";
+      }
+    } catch (const Error& e) {
+      // to_qasm may legitimately refuse (e.g. >2 controls) — typed only.
+      r.outcome = Outcome::TypedError;
+      r.detail = std::string(e.code_name()) + ": " + e.what();
+    }
+  } catch (...) {
+    r.outcome = classify_exception("parser", r.detail);
+  }
+  return r;
+}
+
+}  // namespace qdt::chaos

@@ -1,0 +1,111 @@
+// qdt::chaos — the differential oracle.
+//
+// The paper's central claim is that arrays, decision diagrams, tensor
+// networks, and ZX-calculus are interchangeable lenses on the same
+// semantics; this oracle enforces that claim mechanically. One circuit is
+// run through every applicable backend and the results are compared up to
+// global phase; on top of the state diff, metamorphic equivalence checks
+// (c ~ transpile(c) and c.c_dagger ~ identity, each through both the DD
+// miter and ZX rewriting) cross-validate the verification stack against
+// the simulation stack.
+//
+// Outcome taxonomy:
+//   Agree       every applicable backend produced the same answer
+//   Mismatch    two backends disagree, or a checker refuted a known
+//               equivalence — always a bug, always a finding
+//   TypedError  a backend refused with a qdt::Error (acceptable: budgets
+//               and unsupported features are part of the contract)
+//   Escape      a non-qdt::Error exception crossed the API boundary —
+//               always a finding, the guard layer's contract is broken
+#pragma once
+
+#include <complex>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "ir/circuit.hpp"
+
+namespace qdt::chaos {
+
+enum class Outcome { Agree, Mismatch, TypedError, Escape };
+
+const char* outcome_name(Outcome o);
+
+/// Severity ordering for folding per-check outcomes into a case verdict:
+/// Agree < TypedError < Mismatch < Escape.
+Outcome worse(Outcome a, Outcome b);
+
+/// A state-producing backend adapter: returns the dense statevector of a
+/// unitary circuit. The default set wraps array/DD/TN/MPS; tests plant
+/// deliberately buggy adapters here to prove the triage loop finds them.
+struct StateAdapter {
+  std::string name;
+  std::function<std::vector<Complex>(const ir::Circuit&)> state;
+};
+
+/// The four exact state-producing backends (array, decision-diagram,
+/// tensor-network, mps), each routed through core::simulate.
+std::vector<StateAdapter> default_state_adapters();
+
+/// A deliberately buggy adapter for exercising the triage loop end to end
+/// (`qdt fuzz --plant <bug>` and the planted-bug tests): "tflip" silently
+/// treats every T as Tdg (a flipped sign in a gate kernel), "cxdrop" drops
+/// the last two-qubit gate, "phasedrift" adds a tiny phase error after
+/// every T. Throws qdt::Error(BadInput) on unknown names.
+StateAdapter planted_adapter(const std::string& bug);
+
+struct CheckResult {
+  std::string check;    // "state:array~decision-diagram", "ec:dd:adjoint"...
+  Outcome outcome = Outcome::Agree;
+  std::string detail;
+};
+
+struct OracleOptions {
+  /// Backends whose dense states are diffed pairwise against the first
+  /// adapter that succeeds. Empty: default_state_adapters().
+  std::vector<StateAdapter> adapters;
+  /// Amplitude tolerance for the pairwise state diff (after global-phase
+  /// alignment).
+  double tolerance = 1e-7;
+  /// Run the metamorphic equivalence checks (DD + ZX on c~transpile(c) and
+  /// c.c_dagger~identity). Skipped for width-1 trivia only when disabled.
+  bool equivalence_checks = true;
+  /// Compare stabilizer-tableau marginals for Clifford circuits.
+  bool stabilizer_check = true;
+  /// Width cap for the dense state diff (2^n amplitudes per backend).
+  std::size_t max_state_qubits = 10;
+  /// Wall-clock budget per individual check (guard::BudgetScope). Fuzzing
+  /// found adversarial cases where ZX rewriting stalls into a dense
+  /// diagram whose tensor fallback runs for minutes — a per-check deadline
+  /// turns those into typed ResourceExhausted instead. 0 = unlimited.
+  double check_deadline_seconds = 2.0;
+};
+
+struct OracleReport {
+  Outcome outcome = Outcome::Agree;
+  /// First (most severe) finding, empty when everything agreed.
+  std::string detail;
+  std::vector<CheckResult> checks;
+
+  bool is_finding() const {
+    return outcome == Outcome::Mismatch || outcome == Outcome::Escape;
+  }
+};
+
+/// Run every applicable backend pair and metamorphic check on `circuit`.
+OracleReport run_oracle(const ir::Circuit& circuit,
+                        const OracleOptions& options = {});
+
+/// Parser oracle: feed (possibly malformed) QASM text to parse_qasm and
+/// require a clean outcome — parse success (Agree) or a typed qdt::Error
+/// (TypedError). Any other exception is an Escape finding.
+CheckResult run_parser_oracle(const std::string& qasm_text);
+
+/// Align `b` onto `a` by the global phase at a's largest amplitude, then
+/// return the max elementwise deviation (infinity on size mismatch).
+double state_distance_up_to_phase(const std::vector<Complex>& a,
+                                  const std::vector<Complex>& b);
+
+}  // namespace qdt::chaos

@@ -1,0 +1,128 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "guard/error.hpp"
+
+namespace qdt::chaos {
+
+namespace {
+
+using ir::Circuit;
+using ir::Operation;
+using ir::Qubit;
+
+Circuit from_ops(std::size_t num_qubits, const std::vector<Operation>& ops) {
+  Circuit c(num_qubits, "shrunk");
+  for (const auto& op : ops) {
+    c.append(op);
+  }
+  return c;
+}
+
+}  // namespace
+
+Circuit compact_qubits(const Circuit& c, std::size_t* removed) {
+  std::vector<bool> used(c.num_qubits(), false);
+  for (const auto& op : c.ops()) {
+    if (op.is_barrier()) {
+      continue;  // barriers name qubit 0 but touch nothing
+    }
+    for (const auto q : op.qubits()) {
+      used[q] = true;
+    }
+  }
+  std::vector<Qubit> remap(c.num_qubits(), 0);
+  std::size_t next = 0;
+  for (std::size_t q = 0; q < c.num_qubits(); ++q) {
+    if (used[q]) {
+      remap[q] = static_cast<Qubit>(next++);
+    }
+  }
+  const std::size_t new_width = std::max<std::size_t>(next, 1);
+  if (removed != nullptr) {
+    *removed = c.num_qubits() - new_width;
+  }
+  if (new_width == c.num_qubits()) {
+    return c;
+  }
+  Circuit out(new_width, c.name());
+  for (const auto& op : c.ops()) {
+    if (op.is_barrier()) {
+      out.barrier();
+      continue;
+    }
+    out.append(op.remapped(remap));
+  }
+  return out;
+}
+
+ShrinkResult shrink(const Circuit& failing, const FailPredicate& still_fails,
+                    std::size_t max_predicate_calls) {
+  ShrinkResult result;
+  result.minimal = failing;
+  std::vector<Operation> ops(failing.ops().begin(), failing.ops().end());
+  const std::size_t initial_ops = ops.size();
+  const std::size_t initial_width = failing.num_qubits();
+
+  const auto budget_left = [&]() {
+    return result.predicate_calls < max_predicate_calls;
+  };
+  const auto check = [&](const Circuit& candidate) {
+    ++result.predicate_calls;
+    try {
+      return still_fails(candidate);
+    } catch (...) {
+      // A predicate that *throws* on the candidate is treated as "still
+      // failing" — the escape is the failure being chased.
+      return true;
+    }
+  };
+
+  // -- ddmin over operations -------------------------------------------------
+  // Try deleting chunks of size |ops|/2, /4, ... 1; restart from the big
+  // chunks after any successful deletion until a fixpoint.
+  bool progress = true;
+  while (progress && budget_left()) {
+    progress = false;
+    for (std::size_t chunk = std::max<std::size_t>(ops.size() / 2, 1);
+         chunk >= 1 && budget_left(); chunk /= 2) {
+      for (std::size_t start = 0; start < ops.size() && budget_left();) {
+        std::vector<Operation> candidate;
+        candidate.reserve(ops.size());
+        const std::size_t end = std::min(start + chunk, ops.size());
+        candidate.insert(candidate.end(), ops.begin(),
+                         ops.begin() + static_cast<std::ptrdiff_t>(start));
+        candidate.insert(candidate.end(),
+                         ops.begin() + static_cast<std::ptrdiff_t>(end),
+                         ops.end());
+        const Circuit cand = from_ops(initial_width, candidate);
+        if (check(cand)) {
+          ops = std::move(candidate);
+          result.minimal = cand;
+          progress = true;
+          // keep `start` — the next chunk slid into this position
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) {
+        break;
+      }
+    }
+  }
+
+  // -- drop idle qubits ------------------------------------------------------
+  std::size_t removed = 0;
+  const Circuit compacted = compact_qubits(result.minimal, &removed);
+  if (removed > 0 && budget_left() && check(compacted)) {
+    result.minimal = compacted;
+    result.qubits_removed = removed;
+  }
+
+  result.ops_removed = initial_ops - result.minimal.size();
+  return result;
+}
+
+}  // namespace qdt::chaos

@@ -1,0 +1,43 @@
+// qdt::chaos — greedy repro minimization.
+//
+// Given a failing circuit and a predicate that re-runs the failure check,
+// the shrinker deletes as much as it can while the failure still
+// reproduces: first whole chunks of operations (ddmin-style, halving chunk
+// sizes down to single ops), then idle qubits (compacting the width). The
+// result is the minimal repro that lands in the corpus as a standalone
+// .qasm file.
+//
+// The predicate must be deterministic — it is called hundreds of times and
+// a flaky predicate shrinks to garbage. Fuzz findings are deterministic by
+// construction (seeded generator, seeded oracle).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "ir/circuit.hpp"
+
+namespace qdt::chaos {
+
+/// Returns true when the candidate still exhibits the original failure.
+using FailPredicate = std::function<bool(const ir::Circuit&)>;
+
+struct ShrinkResult {
+  ir::Circuit minimal;
+  std::size_t predicate_calls = 0;
+  std::size_t ops_removed = 0;
+  std::size_t qubits_removed = 0;
+};
+
+/// Shrink `failing` (which must satisfy `still_fails`) to a local minimum.
+/// `max_predicate_calls` bounds the work; the best candidate so far is
+/// returned when the budget runs out.
+ShrinkResult shrink(const ir::Circuit& failing,
+                    const FailPredicate& still_fails,
+                    std::size_t max_predicate_calls = 2000);
+
+/// Drop every qubit no operation touches and renumber the rest downwards.
+/// Width never drops below 1. Exposed for tests.
+ir::Circuit compact_qubits(const ir::Circuit& c, std::size_t* removed);
+
+}  // namespace qdt::chaos

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "guard/error.hpp"
+
 namespace qdt {
 
 double Rng::uniform() {
@@ -13,6 +15,11 @@ double Rng::uniform(double lo, double hi) {
 }
 
 std::uint64_t Rng::index(std::uint64_t n) {
+  if (n == 0) {
+    // uniform_int_distribution{0, n - 1} underflows to the full uint64
+    // range — UB by the standard and a silent wild index in practice.
+    throw Error::bad_input("Rng::index: empty range (n == 0)");
+  }
   return std::uniform_int_distribution<std::uint64_t>{0, n - 1}(engine_);
 }
 

@@ -9,6 +9,12 @@
 
 #include "arrays/density_matrix.hpp"   // IWYU pragma: export
 #include "arrays/dense_unitary.hpp"    // IWYU pragma: export
+#include "chaos/chaos.hpp"             // IWYU pragma: export
+#include "chaos/corpus.hpp"            // IWYU pragma: export
+#include "chaos/fuzzer.hpp"            // IWYU pragma: export
+#include "chaos/generator.hpp"         // IWYU pragma: export
+#include "chaos/oracle.hpp"            // IWYU pragma: export
+#include "chaos/shrink.hpp"            // IWYU pragma: export
 #include "arrays/noise.hpp"            // IWYU pragma: export
 #include "arrays/statevector.hpp"      // IWYU pragma: export
 #include "arrays/svsim.hpp"            // IWYU pragma: export

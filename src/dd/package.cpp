@@ -58,11 +58,13 @@ VecEdge Package::make_vec_node(std::uint32_t var, VecEdge e0, VecEdge e1) {
   // subvectors (up to a factor) produce the identical node. Ties are broken
   // towards the lower index *within tolerance*: states with uniform
   // amplitude magnitudes (QFT outputs!) would otherwise flip the argmax on
-  // rounding noise and lose all sharing.
+  // rounding noise and lose all sharing. The tolerance must be relative to
+  // the magnitudes — an absolute one lets a zero weight win whenever both
+  // entries are below sqrt(kEps), silently zeroing a nonzero subvector.
   const double n0 = ctab_.norm2(e0.weight);
   const double n1 = ctab_.norm2(e1.weight);
   const ComplexTable::Index norm =
-      n1 > n0 + kEps ? e1.weight : e0.weight;
+      n1 > n0 + kEps * std::max(n0, n1) ? e1.weight : e0.weight;
   VecNode node;
   node.var = var;
   node.succ[0] = VecEdge{e0.node, ctab_.div(e0.weight, norm)};
@@ -96,15 +98,19 @@ MatEdge Package::make_mat_node(std::uint32_t var,
   if (all_zero) {
     return MatEdge::zero();
   }
-  // Same tolerance-aware argmax as make_vec_node: first index within kEps
-  // of the maximum.
+  // Same tolerance-aware argmax as make_vec_node: first index within a
+  // *relative* kEps of the maximum. Differential fuzzing found the absolute
+  // form (`>= best - kEps`) collapsing nonzero nodes to the zero edge: when
+  // every successor magnitude is below sqrt(kEps), a zero weight wins the
+  // argmax and the division zeroes the node — an rz(pi/2^26) residual of
+  // ~2e-8 vanished from a miter product, refuting a true equivalence.
   double best = 0.0;
   for (const auto& e : succ) {
     best = std::max(best, ctab_.norm2(e.weight));
   }
   std::size_t k = 0;
   for (std::size_t i = 0; i < 4; ++i) {
-    if (ctab_.norm2(succ[i].weight) >= best - kEps) {
+    if (ctab_.norm2(succ[i].weight) >= best * (1.0 - kEps)) {
       k = i;
       break;
     }

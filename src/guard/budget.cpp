@@ -260,4 +260,13 @@ void clear_faults() {
 
 std::uint64_t faults_fired() { return state().fired; }
 
+std::size_t faults_armed() {
+  const ThreadState& s = state();
+  std::size_t armed = 0;
+  for (const auto& c : s.fault_countdown) {
+    armed += c > 0 ? 1 : 0;
+  }
+  return armed;
+}
+
 }  // namespace qdt::guard

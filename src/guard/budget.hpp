@@ -104,9 +104,15 @@ void check_mps_bond(std::size_t bond);
 /// Arm a one-shot fault: the `nth` subsequent checkpoint of `resource` on
 /// this thread throws ResourceExhausted (nth = 1 means the very next one).
 void inject_fault(Resource resource, std::uint64_t nth);
-/// Disarm all faults and reset checkpoint counters on this thread.
+/// Disarm all faults and reset checkpoint counters on this thread. Call
+/// between independent runs (the fuzzer does, per case): an armed fault is
+/// thread-global state, and a stale one from case k would otherwise fire
+/// mid-way through case k+1.
 void clear_faults();
 /// Number of faults fired on this thread since the last clear_faults().
 std::uint64_t faults_fired();
+/// Number of resources with an armed, not-yet-fired fault on this thread
+/// (stale-state introspection for chaos harnesses and tests).
+std::size_t faults_armed();
 
 }  // namespace qdt::guard

@@ -8,6 +8,7 @@
 
 #include "common/bitops.hpp"
 #include "common/rng.hpp"
+#include "guard/error.hpp"
 
 namespace qdt::ir {
 
@@ -422,6 +423,99 @@ Circuit random_phase_circuit(std::size_t n, std::size_t num_gates,
     }
   }
   return c;
+}
+
+const std::vector<std::string>& library_families() {
+  static const std::vector<std::string> kFamilies = {
+      "bell",
+      "ghz",
+      "w_state",
+      "graph_state",
+      "qft",
+      "aqft",
+      "grover",
+      "bernstein_vazirani",
+      "deutsch_jozsa",
+      "hidden_shift",
+      "ripple_carry_adder",
+      "phase_estimation",
+      "random",
+      "random_clifford",
+      "random_clifford_t",
+      "random_phase",
+  };
+  return kFamilies;
+}
+
+Circuit make_family(const std::string& family, std::size_t n,
+                    std::uint64_t seed) {
+  const std::size_t width = std::max<std::size_t>(n, 1);
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  if (family == "bell") {
+    return bell();
+  }
+  if (family == "ghz") {
+    return ghz(width);
+  }
+  if (family == "w_state") {
+    return w_state(width);
+  }
+  if (family == "graph_state") {
+    // Ring when wide enough, else a path (a 2-ring would double its edge).
+    std::vector<std::pair<Qubit, Qubit>> edges;
+    for (std::size_t q = 0; q + 1 < width; ++q) {
+      edges.emplace_back(static_cast<Qubit>(q), static_cast<Qubit>(q + 1));
+    }
+    if (width >= 3) {
+      edges.emplace_back(static_cast<Qubit>(width - 1), Qubit{0});
+    }
+    return graph_state(width, edges);
+  }
+  if (family == "qft") {
+    return qft(width, /*with_swaps=*/seed % 2 == 0);
+  }
+  if (family == "aqft") {
+    return aqft(width, std::max<std::size_t>(width / 2, 1));
+  }
+  if (family == "grover") {
+    // Cap at 3 qubits: the oracle's multi-controlled gate must stay within
+    // the two controls OpenQASM 2.0 can express (ccx).
+    const std::size_t g = std::clamp<std::size_t>(width, 2, 3);
+    return grover(g, seed & ((std::uint64_t{1} << g) - 1));
+  }
+  if (family == "bernstein_vazirani") {
+    return bernstein_vazirani(width, seed & mask);
+  }
+  if (family == "deutsch_jozsa") {
+    return deutsch_jozsa(width, seed & mask);
+  }
+  if (family == "hidden_shift") {
+    const std::size_t even = std::max<std::size_t>(width & ~std::size_t{1}, 2);
+    return hidden_shift(even, seed & ((std::uint64_t{1} << even) - 1));
+  }
+  if (family == "ripple_carry_adder") {
+    // Width 2b + 2; derive b so the result stays near the requested n.
+    return ripple_carry_adder(std::max<std::size_t>((width - 1) / 2, 1));
+  }
+  if (family == "phase_estimation") {
+    const std::size_t precision = std::max<std::size_t>(width - 1, 1);
+    return phase_estimation(precision,
+                            Phase{static_cast<std::int64_t>(seed % 15) - 7, 8});
+  }
+  if (family == "random") {
+    return random_circuit(width, std::max<std::size_t>(width / 2, 2), seed);
+  }
+  if (family == "random_clifford") {
+    return random_clifford(width, 4 * width, seed);
+  }
+  if (family == "random_clifford_t") {
+    return random_clifford_t(width, 4 * width, 0.25, seed);
+  }
+  if (family == "random_phase") {
+    return random_phase_circuit(width, 3 * width, seed);
+  }
+  throw Error::bad_input("make_family: unknown family \"" + family + "\"");
 }
 
 }  // namespace qdt::ir

@@ -81,4 +81,21 @@ Circuit random_clifford_t(std::size_t n, std::size_t num_gates,
 Circuit random_phase_circuit(std::size_t n, std::size_t num_gates,
                              std::uint64_t seed);
 
+// ---------------------------------------------------------------------------
+// Generator registry (the qdt::chaos fuzzer's seed families)
+// ---------------------------------------------------------------------------
+
+/// Names of every generator family reachable through make_family(), in a
+/// fixed order (the fuzzer indexes into this list deterministically).
+const std::vector<std::string>& library_families();
+
+/// Instantiate a family by name at a width derived from `n` (each family
+/// clamps `n` to its own requirements — e.g. bell is always 2 qubits,
+/// hidden_shift rounds down to an even width, grover caps at 3 so the
+/// multi-controlled oracle stays QASM-expressible). `seed` parameterizes
+/// the randomized families and the secret/shift/marked inputs of the
+/// deterministic ones. Throws qdt::Error(BadInput) on unknown names.
+Circuit make_family(const std::string& family, std::size_t n,
+                    std::uint64_t seed);
+
 }  // namespace qdt::ir

@@ -1,10 +1,13 @@
 #include "ir/qasm.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <numbers>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_map>
 
 #include "guard/error.hpp"
@@ -46,6 +49,61 @@ std::string strip(std::string s) {
   }
   const auto last = s.find_last_not_of(" \t\r\n");
   return s.substr(first, last - first + 1);
+}
+
+/// Exact-rational fast path for angles shaped like the ones to_qasm emits:
+/// "0", "[-]pi[/D]", "[-]N*pi[/D]". Routing these through the double-valued
+/// AngleParser and Phase::from_radians is lossy — the rational
+/// reconstruction of an already-rational angle may settle on a *different*
+/// fraction, so parse(to_qasm(c)) no longer equaled c (found by parser
+/// fuzzing). Returns nullopt for any other shape (general expressions fall
+/// back to the numeric parser).
+std::optional<Phase> parse_exact_phase(const std::string& text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(text[b]) != 0) {
+    ++b;
+  }
+  while (e > b && std::isspace(text[e - 1]) != 0) {
+    --e;
+  }
+  const std::string_view s(text.data() + b, e - b);
+  if (s == "0") {
+    return Phase::zero();
+  }
+  std::size_t pos = 0;
+  bool neg = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    neg = s[0] == '-';
+    pos = 1;
+  }
+  const auto parse_i64 = [](std::string_view digits, std::int64_t& out) {
+    if (digits.empty()) {
+      return false;
+    }
+    const auto [ptr, ec] =
+        std::from_chars(digits.begin(), digits.end(), out);
+    return ec == std::errc{} && ptr == digits.end();
+  };
+  std::int64_t num = 1;
+  std::string_view rest;
+  if (const auto star = s.find("*pi", pos); star != std::string_view::npos) {
+    if (!parse_i64(s.substr(pos, star - pos), num)) {
+      return std::nullopt;
+    }
+    rest = s.substr(star + 3);
+  } else if (s.compare(pos, 2, "pi") == 0) {
+    rest = s.substr(pos + 2);
+  } else {
+    return std::nullopt;
+  }
+  std::int64_t den = 1;
+  if (!rest.empty()) {
+    if (rest[0] != '/' || !parse_i64(rest.substr(1), den) || den == 0) {
+      return std::nullopt;
+    }
+  }
+  return Phase{neg ? -num : num, den};
 }
 
 /// Minimal recursive-descent evaluator for angle expressions:
@@ -329,8 +387,12 @@ Circuit parse_qasm(const std::string& source) {
       }
       for (const auto& expr :
            split_args(stmt.substr(lp + 1, rp - lp - 1))) {
-        params.push_back(
-            Phase::from_radians(AngleParser(expr, line).parse()));
+        if (const auto exact = parse_exact_phase(expr)) {
+          params.push_back(*exact);
+        } else {
+          params.push_back(
+              Phase::from_radians(AngleParser(expr, line).parse()));
+        }
       }
       if (static_cast<int>(params.size()) != g.num_params) {
         fail(line, "wrong parameter count for gate " + name);
@@ -351,8 +413,17 @@ Circuit parse_qasm(const std::string& source) {
     for (int i = g.num_controls; i < g.num_controls + arity; ++i) {
       targets.push_back(parse_qubit(refs[i], line));
     }
-    circuit.append(Operation{g.kind, std::move(targets), std::move(controls),
-                             std::move(params)});
+    // Operation's constructor validates the operand list (duplicates,
+    // control/target overlap) with std::invalid_argument; on parsed text
+    // that is a user input error and must surface as a typed BadInput
+    // with the line number, not escape raw (found by parser fuzzing:
+    // "cx q[0],q[0]").
+    try {
+      circuit.append(Operation{g.kind, std::move(targets),
+                               std::move(controls), std::move(params)});
+    } catch (const std::invalid_argument& e) {
+      fail(line, e.what());
+    }
   }
   if (!have_circuit) {
     throw Error::bad_input("qasm: no qreg declaration found");

@@ -202,6 +202,9 @@ ContractionPlan TensorNetwork::greedy_plan() const {
   };
 
   while (live.size() > 1) {
+    // Planning is O(E) per merge; on degenerate networks (e.g. a stalled
+    // ZX diagram) that adds up — honor the wall-clock budget while here.
+    guard::check_deadline();
     // Adjacency: label -> node ids carrying it.
     std::map<Label, std::vector<std::size_t>> by_label;
     for (const auto& [id, meta] : live) {

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "guard/budget.hpp"
+
 namespace qdt::tn {
 
 namespace {
@@ -124,6 +126,9 @@ Tensor Tensor::permuted(const std::vector<Label>& new_labels) const {
   // Walk output positions in order, computing the source offset.
   std::vector<std::size_t> idx(new_labels.size(), 0);
   for (std::size_t out_off = 0; out_off < total; ++out_off) {
+    if ((out_off & 0xFFFFF) == 0) {
+      guard::check_deadline();
+    }
     std::size_t in_off = 0;
     for (std::size_t i = 0; i < idx.size(); ++i) {
       in_off += idx[i] * old_strides[src[i]];
@@ -208,9 +213,15 @@ Tensor Tensor::contract(const Tensor& a, const Tensor& b) {
   std::vector<Label> out_labels = a_only;
   out_labels.insert(out_labels.end(), b_only.begin(), b_only.end());
   Tensor out(out_labels, out_dims);
-  // C[m x n] = A[m x k] * B[k x n].
+  // C[m x n] = A[m x k] * B[k x n]. The result-size budget caps m * n but
+  // not the k-fold work; checkpoint the deadline on a stride so a single
+  // high-rank contraction cannot run unbounded.
+  std::size_t steps = 0;
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t kk = 0; kk < k; ++kk) {
+      if ((steps++ & 0xFFF) == 0) {
+        guard::check_deadline();
+      }
       const Complex av = ap.data_[i * k + kk];
       if (av == Complex{}) {
         continue;

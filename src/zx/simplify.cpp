@@ -47,6 +47,7 @@ std::size_t spider_fusion(ZXDiagram& d) {
   std::size_t count = 0;
   bool changed = true;
   while (changed) {
+    guard::check_deadline();
     changed = false;
     for (const V v : d.vertices()) {
       if (!d.alive(v) || d.kind(v) != VertexKind::Z) {
@@ -71,6 +72,7 @@ std::size_t remove_identities(ZXDiagram& d) {
   std::size_t count = 0;
   bool changed = true;
   while (changed) {
+    guard::check_deadline();
     changed = false;
     for (const V v : d.vertices()) {
       if (!d.alive(v) || d.kind(v) != VertexKind::Z ||
@@ -184,6 +186,7 @@ std::size_t local_complementation(ZXDiagram& d) {
   std::size_t count = 0;
   bool changed = true;
   while (changed) {
+    guard::check_deadline();
     changed = false;
     for (const V v : d.vertices()) {
       if (!d.alive(v) || !interior_h_spider(d, v) ||
@@ -217,6 +220,7 @@ std::size_t pivoting(ZXDiagram& d) {
   std::size_t count = 0;
   bool changed = true;
   while (changed) {
+    guard::check_deadline();
     changed = false;
     for (const V v : d.vertices()) {
       if (!d.alive(v) || !interior_h_spider(d, v) ||

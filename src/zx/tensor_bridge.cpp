@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <map>
-#include <stdexcept>
 
 #include "common/bitops.hpp"
+#include "guard/budget.hpp"
 #include "tn/network.hpp"
 
 namespace qdt::zx {
@@ -21,23 +21,29 @@ tn::Tensor spider_tensor(VertexKind kind, const Phase& phase,
   const Complex eip{std::cos(phase.radians()), std::sin(phase.radians())};
   const std::size_t total = std::size_t{1} << deg;
   std::vector<std::size_t> idx(deg);
+  if (kind == VertexKind::Z) {
+    // Only the all-zeros and all-ones entries are nonzero — fill them
+    // directly instead of scanning all 2^deg words (a stalled ZX diagram
+    // can leave spiders of degree 20+, where the scan dominates).
+    if (deg == 0) {
+      t.at(idx) = Complex{1.0} + eip;  // isolated spider: scalar 1+e^{ip}
+    } else {
+      t.at(idx) = 1.0;
+      idx.assign(deg, 1);
+      t.at(idx) = eip;
+    }
+    return t;
+  }
   for (std::size_t word = 0; word < total; ++word) {
+    if ((word & 0xFFFF) == 0) {
+      guard::check_deadline();
+    }
     for (std::size_t i = 0; i < deg; ++i) {
       idx[i] = (word >> i) & 1;
     }
-    if (kind == VertexKind::Z) {
-      if (deg == 0) {
-        t.at(idx) = Complex{1.0} + eip;  // isolated spider: scalar 1+e^{ip}
-      } else if (word == 0) {
-        t.at(idx) = 1.0;
-      } else if (word == total - 1) {
-        t.at(idx) = eip;
-      }
-    } else {
-      const int pc = popcount64(word);
-      t.at(idx) = Complex{1.0} +
-                  eip * ((pc % 2 == 0) ? Complex{1.0} : Complex{-1.0});
-    }
+    const int pc = popcount64(word);
+    t.at(idx) = Complex{1.0} +
+                eip * ((pc % 2 == 0) ? Complex{1.0} : Complex{-1.0});
   }
   return t;
 }
@@ -62,7 +68,7 @@ ZXMatrix to_matrix(const ZXDiagram& d, std::size_t max_intermediate) {
   const std::size_t n_in = d.inputs().size();
   const std::size_t n_out = d.outputs().size();
   if (n_in + n_out > 24) {
-    throw std::invalid_argument("zx::to_matrix: too many open wires");
+    throw Error::unsupported("zx::to_matrix: too many open wires");
   }
   tn::TensorNetwork net;
   // Two labels per edge plus a connector tensor; per-vertex label lists.
@@ -83,10 +89,24 @@ ZXMatrix to_matrix(const ZXDiagram& d, std::size_t max_intermediate) {
   for (const V v : d.vertices()) {
     if (d.is_boundary(v)) {
       if (d.degree(v) != 1) {
-        throw std::logic_error("zx::to_matrix: boundary degree != 1");
+        throw Error::internal("zx::to_matrix: boundary degree != 1");
       }
       continue;  // boundary legs stay open
     }
+    // A rank-k spider materializes 2^k elements. A stalled simplification
+    // can leave spiders of huge degree; refuse before allocating.
+    guard::check_deadline();
+    const std::size_t deg = legs[v].size();
+    if (deg >= 63 ||
+        (max_intermediate != 0 && (std::size_t{1} << deg) > max_intermediate)) {
+      throw Error::exhausted(
+          Resource::TnElements,
+          "zx::to_matrix: spider of degree " + std::to_string(deg) +
+              " exceeds the intermediate budget");
+    }
+    guard::check_tn_elements(std::size_t{1} << deg);
+    guard::check_memory((std::size_t{1} << deg) * sizeof(Complex),
+                        "zx spider tensor");
     net.add(spider_tensor(d.kind(v), d.phase(v), legs[v]));
   }
   for (const V b : d.inputs()) {

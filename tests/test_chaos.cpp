@@ -1,0 +1,298 @@
+// qdt::chaos — fuzzing/self-check subsystem tests: seed determinism,
+// oracle agreement on the library families, planted-bug triage (find +
+// shrink), the chaos-mode robustness invariant, and corpus persistence.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "chaos/chaos.hpp"
+#include "chaos/corpus.hpp"
+#include "chaos/fuzzer.hpp"
+#include "chaos/generator.hpp"
+#include "chaos/oracle.hpp"
+#include "chaos/shrink.hpp"
+#include "common/rng.hpp"
+#include "guard/budget.hpp"
+#include "ir/library.hpp"
+#include "ir/qasm.hpp"
+
+namespace qdt::chaos {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("qdt_chaos_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+// -- Seed derivation / generator determinism --------------------------------
+
+TEST(CaseSeed, IsStableAndSpreads) {
+  const std::uint64_t s0 = case_seed(1, 0);
+  EXPECT_EQ(s0, case_seed(1, 0));  // pure function
+  EXPECT_NE(case_seed(1, 0), case_seed(1, 1));
+  EXPECT_NE(case_seed(1, 0), case_seed(2, 0));
+}
+
+TEST(Generator, SameSeedBitIdenticalCircuit) {
+  for (std::size_t i = 0; i < 20; ++i) {
+    Rng r1(case_seed(7, i));
+    Rng r2(case_seed(7, i));
+    const GeneratedCase a = generate_case(r1);
+    const GeneratedCase b = generate_case(r2);
+    EXPECT_EQ(a.family, b.family);
+    EXPECT_EQ(a.mutations, b.mutations);
+    ASSERT_TRUE(a.circuit == b.circuit) << "case " << i;
+    // Bit-identical also at the QASM text level (the replay contract) —
+    // unless the case is not QASM-expressible (e.g. a controlled-sdg from
+    // the promote-control mutation), which to_qasm refuses with a typed
+    // error.
+    try {
+      EXPECT_EQ(ir::to_qasm(a.circuit), ir::to_qasm(b.circuit));
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Generator, RespectsConfiguredCaps) {
+  GeneratorConfig cfg;
+  cfg.max_qubits = 5;
+  cfg.max_ops = 48;
+  for (std::size_t i = 0; i < 50; ++i) {
+    Rng rng(case_seed(3, i));
+    const GeneratedCase g = generate_case(rng, cfg);
+    EXPECT_GE(g.circuit.num_qubits(), 1u);
+    EXPECT_LE(g.circuit.num_qubits(), cfg.max_qubits);
+    EXPECT_LE(g.circuit.size(), cfg.max_ops);
+  }
+}
+
+// -- Differential oracle ----------------------------------------------------
+
+TEST(Oracle, BackendsAgreeOnEveryLibraryFamily) {
+  for (const std::string& family : ir::library_families()) {
+    const ir::Circuit c = ir::make_family(family, 4, 11);
+    const OracleReport rep = run_oracle(c, {});
+    EXPECT_FALSE(rep.is_finding())
+        << family << ": " << outcome_name(rep.outcome) << " " << rep.detail;
+  }
+}
+
+TEST(Oracle, PlantedTflipIsFoundAndShrinksToAFewOps) {
+  OracleOptions opts;
+  opts.adapters = default_state_adapters();
+  opts.adapters.push_back(planted_adapter("tflip"));
+  opts.equivalence_checks = false;  // the plant lives in the state adapter
+
+  const ir::Circuit c = ir::random_clifford_t(3, 24, 0.4, 5);
+  const OracleReport rep = run_oracle(c, opts);
+  ASSERT_EQ(rep.outcome, Outcome::Mismatch) << rep.detail;
+
+  const FailPredicate still_fails = [&opts](const ir::Circuit& cand) {
+    return run_oracle(cand, opts).outcome == Outcome::Mismatch;
+  };
+  const ShrinkResult shrunk = shrink(c, still_fails);
+  EXPECT_LE(shrunk.minimal.size(), 5u)
+      << "shrunk repro:\n" << ir::to_qasm(shrunk.minimal);
+  EXPECT_TRUE(still_fails(shrunk.minimal));
+}
+
+TEST(Oracle, PlantedAdapterRejectsUnknownBug) {
+  try {
+    planted_adapter("no-such-bug");
+    FAIL() << "expected BadInput";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::BadInput);
+  }
+}
+
+TEST(Oracle, ParserOracleNeverEscapes) {
+  const char* garbage[] = {
+      "", "OPENQASM 2.0;", "qreg q[2]; h q[9];",
+      "OPENQASM 2.0;\nqreg q[1];\nh q[0]\x01;\n",
+      "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];\n",
+  };
+  for (const char* text : garbage) {
+    const CheckResult r = run_parser_oracle(text);
+    EXPECT_NE(r.outcome, Outcome::Escape) << text << " -> " << r.detail;
+    EXPECT_NE(r.outcome, Outcome::Mismatch) << text << " -> " << r.detail;
+  }
+}
+
+TEST(Oracle, OutcomeFoldIsSeverityOrdered) {
+  EXPECT_EQ(worse(Outcome::Agree, Outcome::TypedError), Outcome::TypedError);
+  EXPECT_EQ(worse(Outcome::TypedError, Outcome::Mismatch), Outcome::Mismatch);
+  EXPECT_EQ(worse(Outcome::Mismatch, Outcome::Escape), Outcome::Escape);
+  EXPECT_EQ(worse(Outcome::Escape, Outcome::Agree), Outcome::Escape);
+}
+
+// -- Chaos mode -------------------------------------------------------------
+
+TEST(Chaos, FaultScheduleMayDegradeButNeverLies) {
+  for (std::size_t i = 0; i < 10; ++i) {
+    Rng rng(case_seed(21, i));
+    const ir::Circuit c = ir::random_clifford_t(4, 20, 0.3, 100 + i);
+    const std::vector<FaultSpec> schedule = random_fault_schedule(rng, {});
+    const ChaosResult res = run_chaos_case(c, schedule, {});
+    // The robustness invariant: degrade or fail typed, never a wrong
+    // answer (Mismatch) and never an untyped crash (Escape).
+    EXPECT_EQ(res.outcome, Outcome::Agree)
+        << "schedule " << i << ": " << outcome_name(res.outcome) << " "
+        << res.detail;
+  }
+}
+
+TEST(Chaos, ClearsArmedFaultsOnExit) {
+  Rng rng(case_seed(22, 0));
+  ChaosOptions opts;
+  opts.max_nth = 1u << 30;  // so most armed faults never fire
+  const std::vector<FaultSpec> schedule = random_fault_schedule(rng, opts);
+  ASSERT_FALSE(schedule.empty());
+  (void)run_chaos_case(ir::ghz(3), schedule, opts);
+  // No stale armed fault may leak into the next case.
+  EXPECT_EQ(guard::faults_armed(), 0u);
+  EXPECT_NO_THROW(guard::check_dd_nodes(1));
+}
+
+// -- Fuzz driver ------------------------------------------------------------
+
+TEST(Fuzz, SameSeedSameClassification) {
+  FuzzOptions opts;
+  opts.seed = 5;
+  opts.cases = 8;
+  const FuzzReport a = run_fuzz(opts);
+  const FuzzReport b = run_fuzz(opts);
+  EXPECT_EQ(a.agree, b.agree);
+  EXPECT_EQ(a.mismatch, b.mismatch);
+  EXPECT_EQ(a.typed_errors, b.typed_errors);
+  EXPECT_EQ(a.escapes, b.escapes);
+  EXPECT_EQ(a.parser_rejected, b.parser_rejected);
+  EXPECT_EQ(a.findings.size(), b.findings.size());
+}
+
+TEST(Fuzz, SmokeRunIsClean) {
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.cases = 10;
+  const FuzzReport rep = run_fuzz(opts);
+  EXPECT_EQ(rep.cases, 10u);
+  EXPECT_TRUE(rep.clean())
+      << rep.mismatch << " mismatches, " << rep.escapes << " escapes";
+}
+
+TEST(Fuzz, PlantedBugLandsInCorpusShrunk) {
+  TempDir dir;
+  FuzzOptions opts;
+  opts.seed = 9;
+  opts.cases = 40;
+  opts.parser_fuzz = false;
+  opts.corpus_dir = dir.str();
+  opts.oracle.adapters = default_state_adapters();
+  opts.oracle.adapters.push_back(planted_adapter("tflip"));
+  opts.oracle.equivalence_checks = false;
+  const FuzzReport rep = run_fuzz(opts);
+  ASSERT_GT(rep.mismatch, 0u) << "40 cases never drew a T gate";
+  ASSERT_FALSE(rep.findings.empty());
+  for (const Finding& f : rep.findings) {
+    EXPECT_EQ(f.classification, "mismatch");
+    EXPECT_LE(f.shrunk.size(), f.circuit.size());
+    ASSERT_FALSE(f.corpus_json.empty());
+    EXPECT_TRUE(fs::exists(f.corpus_json));
+    // The .qasm repro sits next to the metadata and re-parses.
+    std::ifstream meta(f.corpus_json);
+    std::stringstream ss;
+    ss << meta.rdbuf();
+    EXPECT_NE(ss.str().find("\"replay\""), std::string::npos);
+    EXPECT_NE(ss.str().find("mismatch"), std::string::npos);
+  }
+}
+
+// -- Shrinker ---------------------------------------------------------------
+
+TEST(Shrink, DeletesIrrelevantOperations) {
+  // Failure: "contains a T on qubit 0". Everything else must go.
+  ir::Circuit c(3);
+  for (int i = 0; i < 10; ++i) {
+    c.h(0);
+    c.cx(0, 1);
+    c.h(2);
+  }
+  c.t(0);
+  for (int i = 0; i < 5; ++i) {
+    c.sx(1);
+  }
+  const FailPredicate has_t = [](const ir::Circuit& cand) {
+    for (const auto& op : cand.ops()) {
+      if (op.kind() == ir::GateKind::T) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const ShrinkResult res = shrink(c, has_t);
+  EXPECT_EQ(res.minimal.size(), 1u);
+  EXPECT_EQ(res.minimal.num_qubits(), 1u);  // idle qubits compacted away
+  EXPECT_GT(res.ops_removed, 0u);
+}
+
+TEST(Shrink, CompactQubitsRenumbers) {
+  ir::Circuit c(5);
+  c.h(1);
+  c.cx(1, 4);
+  std::size_t removed = 0;
+  const ir::Circuit compact = compact_qubits(c, &removed);
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(compact.num_qubits(), 2u);
+  EXPECT_EQ(compact.size(), 2u);
+}
+
+// -- Corpus -----------------------------------------------------------------
+
+TEST(Corpus, WriteFindingEmitsReproArtifacts) {
+  TempDir dir;
+  CorpusEntry entry;
+  entry.master_seed = 1;
+  entry.case_seed = case_seed(1, 4);
+  entry.case_index = 4;
+  entry.classification = "mismatch";
+  entry.detail = "state:array~mps: max amplitude deviation 0.5";
+  entry.family = "ghz";
+  entry.mutations = {"dup_adjacent"};
+  const ir::Circuit c = ir::ghz(3);
+  const std::string json_path = write_finding(dir.str(), entry, c, nullptr);
+  ASSERT_TRUE(fs::exists(json_path));
+  const std::string qasm_path =
+      json_path.substr(0, json_path.size() - 5) + ".qasm";
+  ASSERT_TRUE(fs::exists(qasm_path));
+  std::ifstream qasm(qasm_path);
+  std::stringstream ss;
+  ss << qasm.rdbuf();
+  const ir::Circuit back = ir::parse_qasm(ss.str());
+  EXPECT_EQ(back.num_qubits(), 3u);
+}
+
+TEST(Corpus, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+}  // namespace
+}  // namespace qdt::chaos

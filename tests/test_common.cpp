@@ -7,6 +7,7 @@
 #include "common/eps.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
+#include "guard/error.hpp"
 
 namespace qdt {
 namespace {
@@ -74,6 +75,18 @@ TEST(Rng, IndexRange) {
   Rng rng(2);
   for (int i = 0; i < 1000; ++i) {
     EXPECT_LT(rng.index(7), 7U);
+  }
+}
+
+TEST(Rng, IndexOfEmptyRangeIsTypedError) {
+  // uniform_int_distribution{0, n - 1} with n == 0 underflows to the full
+  // uint64 range (UB); the guard must be a typed BadInput, not a wild index.
+  Rng rng(3);
+  try {
+    rng.index(0);
+    FAIL() << "expected BadInput";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::BadInput);
   }
 }
 

@@ -261,6 +261,31 @@ TEST_F(Guard, InjectedFaultFiresOnNthCheckpoint) {
   EXPECT_NO_THROW(guard::check_dd_nodes(1));
 }
 
+TEST_F(Guard, ClearFaultsDisarmsStaleFaults) {
+  // The fuzzer runs many cases on one thread; a fault armed (but never
+  // fired) in case k must not survive into case k+1.
+  guard::inject_fault(Resource::DdNodes, 5);
+  guard::inject_fault(Resource::Memory, 7);
+  EXPECT_EQ(guard::faults_armed(), 2U);
+  guard::clear_faults();
+  EXPECT_EQ(guard::faults_armed(), 0U);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NO_THROW(guard::check_dd_nodes(1));
+    EXPECT_NO_THROW(guard::check_memory(1, "x"));
+  }
+}
+
+TEST_F(Guard, ClearFaultsResetsCheckpointCounters) {
+  // Counters restart from zero after a clear: a fresh nth=2 fault fires on
+  // the second checkpoint *after* the clear, not relative to earlier ones.
+  guard::check_dd_nodes(1);
+  guard::check_dd_nodes(1);
+  guard::clear_faults();
+  guard::inject_fault(Resource::DdNodes, 2);
+  EXPECT_NO_THROW(guard::check_dd_nodes(1));
+  EXPECT_THROW(guard::check_dd_nodes(1), Error);
+}
+
 TEST_F(Guard, FaultsAreIndependentPerResource) {
   guard::inject_fault(Resource::Memory, 1);
   EXPECT_NO_THROW(guard::check_deadline());  // different resource

@@ -7,6 +7,16 @@
 //   qdt compile  <file.qasm> --target line|ring|grid|star|full|heavyhex
 //                [--qubits N] [--gateset cx|cz] [--router sp|lookahead]
 //                [--no-opt] [--out <file.qasm>] [--verify]
+//   qdt fuzz     [--seed S] [--cases N] [--chaos] [--corpus DIR]
+//                [--max-qubits N] [--max-ops N] [--no-shrink] [--no-parser]
+//                [--plant tflip|cxdrop|phasedrift] [--replay file.qasm]
+//
+// `fuzz` drives the qdt::chaos differential fuzzer: generated circuits run
+// through every applicable backend pair plus metamorphic equivalence
+// checks; --chaos re-runs each case under randomized guard fault
+// schedules; findings are shrunk to minimal repros and written to the
+// corpus directory with JSON metadata and a one-command replay line.
+// --replay runs the oracle on a single .qasm repro instead of generating.
 //
 // Every subcommand additionally accepts --metrics[=file.json]: after the
 // run, the full qdt::obs registry snapshot (unique/compute-table hit
@@ -45,6 +55,9 @@ using namespace qdt;
   qdt compile  <file.qasm> --target line|ring|grid|star|full|heavyhex
                [--qubits N] [--gateset cx|cz] [--router sp|lookahead]
                [--no-opt] [--out <file.qasm>] [--verify]
+  qdt fuzz     [--seed S] [--cases N] [--chaos] [--corpus DIR]
+               [--max-qubits N] [--max-ops N] [--no-shrink] [--no-parser]
+               [--plant tflip|cxdrop|phasedrift] [--replay file.qasm]
 
 any subcommand:
   --metrics[=file.json]  dump the qdt::obs registry snapshot
@@ -77,7 +90,9 @@ std::map<std::string, std::string> parse_flags(
         // --key=value form (used by --metrics=file.json).
         flags[key.substr(0, eq)] = key.substr(eq + 1);
       } else if (key == "state" || key == "no-opt" || key == "verify" ||
-                 key == "metrics" || key == "robust") {
+                 key == "metrics" || key == "robust" || key == "chaos" ||
+                 key == "no-shrink" || key == "no-parser" ||
+                 key == "trace") {
         flags[key] = "";
       } else if (i + 1 < args.size()) {
         flags[key] = args[++i];
@@ -357,6 +372,85 @@ int cmd_compile(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_fuzz(const std::vector<std::string>& args) {
+  std::vector<std::string> pos;
+  auto flags = parse_flags(args, pos);
+  if (!pos.empty()) {
+    usage();
+  }
+
+  // --replay: classify one persisted repro instead of generating cases.
+  if (flags.contains("replay")) {
+    const ir::Circuit c = load(flags["replay"]);
+    chaos::OracleOptions opts;
+    if (flags.contains("plant")) {
+      opts.adapters = chaos::default_state_adapters();
+      opts.adapters.push_back(chaos::planted_adapter(flags["plant"]));
+    }
+    const auto report = chaos::run_oracle(c, opts);
+    for (const auto& check : report.checks) {
+      std::cout << "  " << check.check << ": "
+                << chaos::outcome_name(check.outcome)
+                << (check.detail.empty() ? "" : " (" + check.detail + ")")
+                << "\n";
+    }
+    std::cout << chaos::outcome_name(report.outcome)
+              << (report.detail.empty() ? "" : "  [" + report.detail + "]")
+              << "\n";
+    emit_metrics(flags);
+    return report.is_finding() ? 1 : 0;
+  }
+
+  chaos::FuzzOptions opts;
+  opts.seed = flags.contains("seed") ? std::stoull(flags["seed"]) : 1;
+  opts.cases = flags.contains("cases") ? std::stoul(flags["cases"]) : 100;
+  opts.chaos = flags.contains("chaos");
+  opts.parser_fuzz = !flags.contains("no-parser");
+  opts.shrink_findings = !flags.contains("no-shrink");
+  opts.trace = flags.contains("trace");
+  if (flags.contains("corpus")) {
+    opts.corpus_dir = flags["corpus"];
+  }
+  if (flags.contains("max-qubits")) {
+    opts.generator.max_qubits = std::stoul(flags["max-qubits"]);
+  }
+  if (flags.contains("max-ops")) {
+    opts.generator.max_ops = std::stoul(flags["max-ops"]);
+  }
+  if (flags.contains("plant")) {
+    opts.oracle.adapters = chaos::default_state_adapters();
+    opts.oracle.adapters.push_back(chaos::planted_adapter(flags["plant"]));
+  }
+  opts.log = &std::cout;
+
+  const auto report = chaos::run_fuzz(opts);
+  std::cout << "cases:          " << report.cases << "\n";
+  std::cout << "  agree:        " << report.agree << "\n";
+  std::cout << "  typed errors: " << report.typed_errors << "\n";
+  std::cout << "  mismatches:   " << report.mismatch << "\n";
+  std::cout << "  escapes:      " << report.escapes << "\n";
+  if (report.parser_cases > 0) {
+    std::cout << "parser cases:   " << report.parser_cases << " ("
+              << report.parser_rejected << " rejected with typed errors)\n";
+  }
+  if (report.chaos_cases > 0) {
+    std::cout << "chaos cases:    " << report.chaos_cases << " ("
+              << report.chaos_degraded << " degraded, "
+              << report.chaos_faults_fired << " faults fired)\n";
+  }
+  std::cout << "findings:       " << report.findings.size() << "\n";
+  for (const auto& f : report.findings) {
+    std::cout << "  case " << f.case_index << " (seed " << f.case_seed
+              << "): " << f.classification << " — " << f.detail;
+    if (f.shrunk.size() < f.circuit.size()) {
+      std::cout << "  [shrunk to " << f.shrunk.size() << " ops]";
+    }
+    std::cout << "\n";
+  }
+  emit_metrics(flags);
+  return report.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -377,6 +471,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "compile") {
       return cmd_compile(args);
+    }
+    if (cmd == "fuzz") {
+      return cmd_fuzz(args);
     }
     usage();
   } catch (const qdt::Error& e) {
