@@ -61,6 +61,9 @@ ChaosResult run_chaos_case(const ir::Circuit& circuit,
     core::SimulateOptions opts;
     opts.want_state = true;
     auto res = core::simulate(unitary, core::SimBackend::Array, opts);
+    if (!res.state.has_value()) {
+      throw Error::internal("chaos: array backend produced no state");
+    }
     reference = std::move(*res.state);
   } catch (const Error&) {
     // No reference (width/budget) — the invariant degenerates to "no

@@ -107,11 +107,26 @@ std::string write_finding(const std::string& dir, const CorpusEntry& entry,
     out << serialize(*shrunk);
   }
 
-  // The one-command repro: re-running this exact case through the fuzzer.
-  std::string replay = "qdt fuzz --seed " + std::to_string(entry.case_seed) +
-                       " --cases 1";
+  // The one-command repro: --case-seed feeds the stored per-case seed
+  // straight into the case Rng (run_fuzz would otherwise re-derive
+  // case_seed(--seed, 0) and generate a different circuit), and the
+  // remaining flags restore every option reproduction depends on.
+  std::string replay =
+      "qdt fuzz --case-seed " + std::to_string(entry.case_seed);
+  if (!entry.plant.empty()) {
+    replay += " --plant " + entry.plant;
+  }
+  if (!entry.parser_fuzz) {
+    replay += " --no-parser";
+  }
   if (entry.chaos) {
     replay += " --chaos";
+  }
+  if (entry.max_qubits != 0) {
+    replay += " --max-qubits " + std::to_string(entry.max_qubits);
+  }
+  if (entry.max_ops != 0) {
+    replay += " --max-ops " + std::to_string(entry.max_ops);
   }
 
   std::ofstream out(json_path);
@@ -127,6 +142,11 @@ std::string write_finding(const std::string& dir, const CorpusEntry& entry,
   out << "  \"detail\": \"" << json_escape(entry.detail) << "\",\n";
   out << "  \"family\": \"" << json_escape(entry.family) << "\",\n";
   out << "  \"chaos\": " << (entry.chaos ? "true" : "false") << ",\n";
+  out << "  \"plant\": \"" << json_escape(entry.plant) << "\",\n";
+  out << "  \"parser_fuzz\": " << (entry.parser_fuzz ? "true" : "false")
+      << ",\n";
+  out << "  \"max_qubits\": " << entry.max_qubits << ",\n";
+  out << "  \"max_ops\": " << entry.max_ops << ",\n";
   write_string_array(out, "mutations", entry.mutations);
   write_string_array(out, "checks", entry.checks);
   write_string_array(out, "fault_schedule", entry.fault_schedule);

@@ -29,6 +29,13 @@ struct CorpusEntry {
   std::vector<std::string> checks;       // per-check "name: outcome"
   std::vector<std::string> fault_schedule;  // chaos mode only
   bool chaos = false;
+  // The full option set reproduction depends on: the planted adapter must
+  // be re-armed, parser fuzzing consumes RNG draws before the chaos
+  // schedule is drawn, and the generator caps shape the circuit.
+  std::string plant;        // planted adapter name, empty when none
+  bool parser_fuzz = true;
+  std::size_t max_qubits = 0;  // generator caps (0: leave unset on replay)
+  std::size_t max_ops = 0;
   /// Parser findings: the raw mutated QASM text that triggered the failure
   /// (persisted verbatim as the .qasm artifact instead of the circuit).
   std::string raw_text;

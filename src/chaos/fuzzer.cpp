@@ -82,11 +82,18 @@ std::uint64_t case_seed(std::uint64_t master_seed, std::size_t index) {
 FuzzReport run_fuzz(const FuzzOptions& options) {
   FuzzReport report;
 
+  OracleOptions oracle_options = options.oracle;
+  if (!options.plant.empty()) {
+    oracle_options.adapters = default_state_adapters();
+    oracle_options.adapters.push_back(planted_adapter(options.plant));
+  }
+
   for (std::size_t i = 0; i < options.cases; ++i) {
     // A stale armed fault from case k must never fire in case k+1.
     guard::clear_faults();
 
-    const std::uint64_t seed = case_seed(options.seed, i);
+    const std::uint64_t seed =
+        options.seed_is_case_seed ? options.seed : case_seed(options.seed, i);
     Rng rng(seed);
     GeneratedCase gen = generate_case(rng, options.generator);
     ++report.cases;
@@ -99,7 +106,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     }
 
     // -- Differential + metamorphic oracle -----------------------------------
-    const OracleReport oracle = run_oracle(gen.circuit, options.oracle);
+    const OracleReport oracle = run_oracle(gen.circuit, oracle_options);
     Outcome case_outcome = oracle.outcome;
     std::string case_detail = oracle.detail;
     bool from_chaos = false;
@@ -181,7 +188,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
           };
         } else {
           const OracleOptions narrowed =
-              narrowed_options(options.oracle, oracle);
+              narrowed_options(oracle_options, oracle);
           predicate = [narrowed,
                        target = case_outcome](const ir::Circuit& cand) {
             return run_oracle(cand, narrowed).outcome == target;
@@ -204,6 +211,13 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
         entry.family = gen.family;
         entry.mutations = gen.mutations;
         entry.chaos = from_chaos;
+        // Everything the replay command needs: the planted adapter and
+        // parser fuzzing consume RNG draws / change the oracle, and the
+        // generator caps shape the circuit itself.
+        entry.plant = options.plant;
+        entry.parser_fuzz = options.parser_fuzz;
+        entry.max_qubits = options.generator.max_qubits;
+        entry.max_ops = options.generator.max_ops;
         for (const auto& c : oracle.checks) {
           entry.checks.push_back(c.check + ": " + outcome_name(c.outcome));
         }

@@ -22,6 +22,16 @@ namespace qdt::chaos {
 struct FuzzOptions {
   std::uint64_t seed = 1;
   std::size_t cases = 100;
+  /// When true, `seed` is used directly as the per-case Rng seed instead
+  /// of being routed through case_seed(seed, index) — the corpus replay
+  /// path (`qdt fuzz --case-seed <stored case_seed>`). Run with cases = 1:
+  /// every case would be identical otherwise.
+  bool seed_is_case_seed = false;
+  /// Planted-bug adapter name ("tflip", "cxdrop", "phasedrift"; empty:
+  /// none). When set, the oracle runs default_state_adapters() plus
+  /// planted_adapter(plant), overriding oracle.adapters — and the name is
+  /// recorded in the corpus so replay commands re-arm the same plant.
+  std::string plant;
   /// Re-run each case under a randomized guard fault schedule.
   bool chaos = false;
   /// Mutate the QASM text of each case and fuzz the parser with it.

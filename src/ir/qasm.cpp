@@ -61,10 +61,11 @@ std::string strip(std::string s) {
 std::optional<Phase> parse_exact_phase(const std::string& text) {
   std::size_t b = 0;
   std::size_t e = text.size();
-  while (b < e && std::isspace(text[b]) != 0) {
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b])) != 0) {
     ++b;
   }
-  while (e > b && std::isspace(text[e - 1]) != 0) {
+  while (e > b &&
+         std::isspace(static_cast<unsigned char>(text[e - 1])) != 0) {
     --e;
   }
   const std::string_view s(text.data() + b, e - b);
@@ -126,7 +127,8 @@ class AngleParser {
 
  private:
   void skip_ws() {
-    while (pos_ < text_.size() && std::isspace(text_[pos_]) != 0) {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
       ++pos_;
     }
   }
@@ -185,7 +187,8 @@ class AngleParser {
     // Number.
     const std::size_t start = pos_;
     while (pos_ < text_.size() &&
-           (std::isdigit(text_[pos_]) != 0 || text_[pos_] == '.' ||
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' ||
             text_[pos_] == 'e' || text_[pos_] == 'E' ||
             ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
              (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
@@ -367,7 +370,9 @@ Circuit parse_qasm(const std::string& source) {
 
     // Gate statement: name[(params)] args.
     std::size_t p = 0;
-    while (p < stmt.size() && (std::isalnum(stmt[p]) != 0 || stmt[p] == '_')) {
+    while (p < stmt.size() &&
+           (std::isalnum(static_cast<unsigned char>(stmt[p])) != 0 ||
+            stmt[p] == '_')) {
       ++p;
     }
     const std::string name = stmt.substr(0, p);

@@ -206,8 +206,7 @@ TEST(Fuzz, PlantedBugLandsInCorpusShrunk) {
   opts.cases = 40;
   opts.parser_fuzz = false;
   opts.corpus_dir = dir.str();
-  opts.oracle.adapters = default_state_adapters();
-  opts.oracle.adapters.push_back(planted_adapter("tflip"));
+  opts.plant = "tflip";
   opts.oracle.equivalence_checks = false;
   const FuzzReport rep = run_fuzz(opts);
   ASSERT_GT(rep.mismatch, 0u) << "40 cases never drew a T gate";
@@ -221,9 +220,41 @@ TEST(Fuzz, PlantedBugLandsInCorpusShrunk) {
     std::ifstream meta(f.corpus_json);
     std::stringstream ss;
     ss << meta.rdbuf();
-    EXPECT_NE(ss.str().find("\"replay\""), std::string::npos);
     EXPECT_NE(ss.str().find("mismatch"), std::string::npos);
+    // The replay command carries the per-case seed (fed directly into the
+    // case Rng via --case-seed) plus every flag reproduction depends on.
+    const std::string replay =
+        "qdt fuzz --case-seed " + std::to_string(f.case_seed) +
+        " --plant tflip --no-parser";
+    EXPECT_NE(ss.str().find("\"replay\": \"" + replay), std::string::npos)
+        << ss.str();
   }
+}
+
+TEST(Fuzz, CorpusReplaySeedRefiresFinding) {
+  FuzzOptions opts;
+  opts.seed = 9;
+  opts.cases = 40;
+  opts.parser_fuzz = false;
+  opts.plant = "tflip";
+  opts.oracle.equivalence_checks = false;
+  opts.shrink_findings = false;
+  const FuzzReport rep = run_fuzz(opts);
+  ASSERT_FALSE(rep.findings.empty());
+  const Finding& f = rep.findings.front();
+
+  // What `qdt fuzz --case-seed <stored seed> --plant tflip --no-parser`
+  // executes: the stored per-case seed feeds the case Rng directly (no
+  // splitmix64 re-derivation) and must regenerate the identical circuit
+  // and re-fire the identical finding.
+  FuzzOptions replay = opts;
+  replay.seed = f.case_seed;
+  replay.seed_is_case_seed = true;
+  replay.cases = 1;
+  const FuzzReport again = run_fuzz(replay);
+  ASSERT_EQ(again.findings.size(), 1u);
+  EXPECT_EQ(again.findings[0].classification, f.classification);
+  EXPECT_TRUE(again.findings[0].circuit == f.circuit);
 }
 
 // -- Shrinker ---------------------------------------------------------------
@@ -277,9 +308,29 @@ TEST(Corpus, WriteFindingEmitsReproArtifacts) {
   entry.detail = "state:array~mps: max amplitude deviation 0.5";
   entry.family = "ghz";
   entry.mutations = {"dup_adjacent"};
+  entry.plant = "cxdrop";
+  entry.parser_fuzz = false;
+  entry.chaos = true;
+  entry.max_qubits = 5;
+  entry.max_ops = 48;
   const ir::Circuit c = ir::ghz(3);
   const std::string json_path = write_finding(dir.str(), entry, c, nullptr);
   ASSERT_TRUE(fs::exists(json_path));
+  {
+    std::ifstream meta(json_path);
+    std::stringstream ss;
+    ss << meta.rdbuf();
+    // The replay command restores the full option set: per-case seed,
+    // planted adapter, parser setting, chaos mode, generator caps.
+    EXPECT_NE(ss.str().find("\"replay\": \"qdt fuzz --case-seed " +
+                            std::to_string(entry.case_seed) +
+                            " --plant cxdrop --no-parser --chaos"
+                            " --max-qubits 5 --max-ops 48\""),
+              std::string::npos)
+        << ss.str();
+    EXPECT_NE(ss.str().find("\"plant\": \"cxdrop\""), std::string::npos);
+    EXPECT_NE(ss.str().find("\"parser_fuzz\": false"), std::string::npos);
+  }
   const std::string qasm_path =
       json_path.substr(0, json_path.size() - 5) + ".qasm";
   ASSERT_TRUE(fs::exists(qasm_path));

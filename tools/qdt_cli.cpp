@@ -10,6 +10,7 @@
 //   qdt fuzz     [--seed S] [--cases N] [--chaos] [--corpus DIR]
 //                [--max-qubits N] [--max-ops N] [--no-shrink] [--no-parser]
 //                [--plant tflip|cxdrop|phasedrift] [--replay file.qasm]
+//                [--case-seed S]
 //
 // `fuzz` drives the qdt::chaos differential fuzzer: generated circuits run
 // through every applicable backend pair plus metamorphic equivalence
@@ -17,6 +18,9 @@
 // schedules; findings are shrunk to minimal repros and written to the
 // corpus directory with JSON metadata and a one-command replay line.
 // --replay runs the oracle on a single .qasm repro instead of generating.
+// --case-seed re-runs one case from its stored per-case seed (the corpus
+// "replay" command) — combine with the recorded --plant/--no-parser/
+// --chaos/--max-* flags to reproduce the finding exactly.
 //
 // Every subcommand additionally accepts --metrics[=file.json]: after the
 // run, the full qdt::obs registry snapshot (unique/compute-table hit
@@ -58,6 +62,7 @@ using namespace qdt;
   qdt fuzz     [--seed S] [--cases N] [--chaos] [--corpus DIR]
                [--max-qubits N] [--max-ops N] [--no-shrink] [--no-parser]
                [--plant tflip|cxdrop|phasedrift] [--replay file.qasm]
+               [--case-seed S]   (replay one case from its stored seed)
 
 any subcommand:
   --metrics[=file.json]  dump the qdt::obs registry snapshot
@@ -404,6 +409,14 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   chaos::FuzzOptions opts;
   opts.seed = flags.contains("seed") ? std::stoull(flags["seed"]) : 1;
   opts.cases = flags.contains("cases") ? std::stoul(flags["cases"]) : 100;
+  if (flags.contains("case-seed")) {
+    // Corpus replay: the stored value is the per-case seed itself, so it
+    // must feed the case Rng directly — not be re-derived via
+    // case_seed(seed, 0), which would generate a different circuit.
+    opts.seed = std::stoull(flags["case-seed"]);
+    opts.seed_is_case_seed = true;
+    opts.cases = 1;
+  }
   opts.chaos = flags.contains("chaos");
   opts.parser_fuzz = !flags.contains("no-parser");
   opts.shrink_findings = !flags.contains("no-shrink");
@@ -418,8 +431,7 @@ int cmd_fuzz(const std::vector<std::string>& args) {
     opts.generator.max_ops = std::stoul(flags["max-ops"]);
   }
   if (flags.contains("plant")) {
-    opts.oracle.adapters = chaos::default_state_adapters();
-    opts.oracle.adapters.push_back(chaos::planted_adapter(flags["plant"]));
+    opts.plant = flags["plant"];
   }
   opts.log = &std::cout;
 
