@@ -1,0 +1,65 @@
+// Experiment lint-plan — how fast is the static pass, and is its ranking
+// worth trusting? For each ir::library family the benchmark measures
+// lint::analyze + plan_backends wall-clock (the "pay once before choosing"
+// overhead) and reports the predicted-cheapest backend alongside the cost
+// spread, so drift in the cost model is visible in the bench series.
+//
+// Expected shape: analysis stays microseconds-to-milliseconds while the
+// simulations it arbitrates between span orders of magnitude — i.e. the
+// plan pays for itself the first time it avoids one wasted ladder rung.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_json.hpp"
+#include "ir/library.hpp"
+#include "lint/lint.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using qdt::lint::PlanConstraints;
+
+void lint_plan(benchmark::State& state, const std::string& name,
+               const qdt::ir::Circuit& c, bool want_state) {
+  PlanConstraints pc;
+  pc.want_state = want_state;
+  qdt::lint::BackendPlan plan;
+  for (auto _ : state) {
+    plan = qdt::lint::plan_backends(qdt::lint::analyze(c), pc);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["qubits"] = static_cast<double>(c.num_qubits());
+  state.counters["gates"] = static_cast<double>(c.size());
+  state.counters["best_cost_log2"] =
+      plan.estimates.empty() ? 0.0 : plan.estimates.front().cost_log2;
+  // One fresh instrumented run for the machine-readable line; the "size"
+  // column carries the analyzed gate count.
+  qdt::obs::reset();
+  const qdt::obs::Stopwatch sw;
+  const auto fresh = qdt::lint::plan_backends(qdt::lint::analyze(c), pc);
+  qdt::bench::emit_json_line(
+      "lint_plan", name,
+      fresh.preferred_order.empty()
+          ? "none"
+          : qdt::lint::backend_label(fresh.preferred_order.front()),
+      sw.seconds(), c.size());
+}
+
+#define QDT_LINT_BENCH(name, circuit, want_state)         \
+  void BM_##name(benchmark::State& state) {               \
+    lint_plan(state, #name, circuit, want_state);         \
+  }                                                       \
+  BENCHMARK(BM_##name);
+
+QDT_LINT_BENCH(Ghz24_Sample, qdt::ir::ghz(24), false)
+QDT_LINT_BENCH(Qft12_State, qdt::ir::qft(12), true)
+QDT_LINT_BENCH(Clifford24_Sample, qdt::ir::random_clifford(24, 200, 3),
+               false)
+QDT_LINT_BENCH(CliffordT24_Sample,
+               qdt::ir::random_clifford_t(24, 200, 0.2, 3), false)
+QDT_LINT_BENCH(Random10_State, qdt::ir::random_circuit(10, 40, 7), true)
+
+}  // namespace
+
+BENCHMARK_MAIN();

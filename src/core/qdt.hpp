@@ -34,6 +34,9 @@
 #include "ir/circuit.hpp"              // IWYU pragma: export
 #include "ir/library.hpp"              // IWYU pragma: export
 #include "ir/qasm.hpp"                 // IWYU pragma: export
+#include "lint/cost.hpp"               // IWYU pragma: export
+#include "lint/facts.hpp"              // IWYU pragma: export
+#include "lint/lint.hpp"               // IWYU pragma: export
 #include "obs/obs.hpp"                 // IWYU pragma: export
 #include "stab/tableau.hpp"            // IWYU pragma: export
 #include "tn/mps.hpp"                  // IWYU pragma: export

@@ -12,6 +12,7 @@
 #include "dd/equivalence.hpp"
 #include "dd/simulator.hpp"
 #include "guard/budget.hpp"
+#include "lint/lint.hpp"
 #include "obs/obs.hpp"
 #include "tn/mps.hpp"
 #include "tn/network.hpp"
@@ -25,6 +26,46 @@ namespace {
 obs::Counter& g_fallback_steps = obs::counter("qdt.guard.fallback.steps");
 obs::Counter& g_fallback_sim = obs::counter("qdt.guard.fallback.simulate");
 obs::Counter& g_fallback_verify = obs::counter("qdt.guard.fallback.verify");
+
+// Static-plan bookkeeping: how often the lint cost model picked the ladder,
+// and whether its first choice actually carried the task (hit) or the run
+// had to degrade past it (miss).
+obs::Counter& g_lint_plan_sim = obs::counter("qdt.lint.plan.simulate");
+obs::Counter& g_lint_plan_verify = obs::counter("qdt.lint.plan.verify");
+obs::Counter& g_lint_predict_hit = obs::counter("qdt.lint.predict.hit");
+obs::Counter& g_lint_predict_miss = obs::counter("qdt.lint.predict.miss");
+
+SimBackend to_sim_backend(lint::Backend b) {
+  switch (b) {
+    case lint::Backend::Array:
+      return SimBackend::Array;
+    case lint::Backend::DecisionDiagram:
+      return SimBackend::DecisionDiagram;
+    case lint::Backend::TensorNetwork:
+      return SimBackend::TensorNetwork;
+    case lint::Backend::Mps:
+      return SimBackend::Mps;
+    case lint::Backend::Stabilizer:
+      return SimBackend::Stabilizer;
+  }
+  return SimBackend::Array;
+}
+
+EcMethod to_ec_method(lint::VerifyMethod m) {
+  switch (m) {
+    case lint::VerifyMethod::Array:
+      return EcMethod::Array;
+    case lint::VerifyMethod::DdAlternating:
+      return EcMethod::DdAlternating;
+    case lint::VerifyMethod::DdSequential:
+      return EcMethod::DdSequential;
+    case lint::VerifyMethod::DdSimulative:
+      return EcMethod::DdSimulative;
+    case lint::VerifyMethod::Zx:
+      return EcMethod::Zx;
+  }
+  return EcMethod::DdAlternating;
+}
 
 }  // namespace
 
@@ -349,6 +390,33 @@ std::vector<SimBackend> simulate_ladder(SimBackend start) {
   return {start};
 }
 
+/// Statically planned ladder: lint ranks the feasible backends by its cost
+/// model, then the guaranteed degradation rungs are appended so the chain
+/// never ends on a backend that might refuse the request.
+std::vector<SimBackend> planned_simulate_ladder(const ir::Circuit& circuit,
+                                                const SimulateOptions& options) {
+  lint::PlanConstraints pc;
+  pc.want_state = options.want_state;
+  pc.has_noise = !options.noise.empty();
+  const lint::BackendPlan plan =
+      lint::plan_backends(lint::analyze(circuit), pc);
+  std::vector<SimBackend> ladder;
+  const auto push = [&ladder](SimBackend b) {
+    if (std::find(ladder.begin(), ladder.end(), b) == ladder.end()) {
+      ladder.push_back(b);
+    }
+  };
+  for (const auto b : plan.preferred_order) {
+    push(to_sim_backend(b));
+  }
+  push(SimBackend::DecisionDiagram);
+  if (!pc.has_noise) {
+    push(SimBackend::Mps);
+    push(SimBackend::TensorNetwork);
+  }
+  return ladder;
+}
+
 std::vector<EcMethod> verify_ladder(EcMethod start) {
   switch (start) {
     case EcMethod::Array:
@@ -407,16 +475,22 @@ RobustSimulateResult simulate_robust(const ir::Circuit& circuit,
   // One scope across the whole ladder: the deadline covers every attempt
   // combined, and nested per-simulate scopes can only tighten it.
   const guard::BudgetScope scope(options.budget);
-  const SimBackend first = start.value_or(recommend_backend(circuit));
-  const auto ladder = simulate_ladder(first);
+  const bool planned = !start.has_value();
+  const auto ladder = planned ? planned_simulate_ladder(circuit, options)
+                              : simulate_ladder(*start);
+  if (planned) {
+    g_lint_plan_sim.add();
+  }
 
   for (std::size_t rung = 0; rung < ladder.size(); ++rung) {
     const SimBackend backend = ladder[rung];
     SimulateOptions opts = options;
+    // The single-amplitude degradation only applies when TN is reached as
+    // the terminal rung of a longer chain; TN chosen first (explicitly or
+    // by the plan) performs the full simulation.
     const bool last_resort = backend == SimBackend::TensorNetwork &&
-                             backend != first;
-    if (backend == SimBackend::Mps && backend != first &&
-        opts.mps_max_bond == 0) {
+                             rung > 0 && rung + 1 == ladder.size();
+    if (backend == SimBackend::Mps && rung > 0 && opts.mps_max_bond == 0) {
       opts.mps_max_bond = degraded_mps_bond(circuit, options.budget);
     }
     try {
@@ -447,6 +521,9 @@ RobustSimulateResult simulate_robust(const ir::Circuit& circuit,
         }
         robust.attempts.push_back({std::move(stage), ""});
       }
+      if (planned) {
+        (rung == 0 ? g_lint_predict_hit : g_lint_predict_miss).add();
+      }
       return robust;
     } catch (const Error& e) {
       if (!should_degrade(e) || rung + 1 == ladder.size()) {
@@ -463,11 +540,22 @@ RobustSimulateResult simulate_robust(const ir::Circuit& circuit,
 }
 
 RobustVerifyResult verify_robust(const ir::Circuit& c1, const ir::Circuit& c2,
-                                 EcMethod start, const guard::Budget& budget) {
+                                 std::optional<EcMethod> start,
+                                 const guard::Budget& budget) {
   RobustVerifyResult robust;
   const obs::Span span("qdt.core.task.verify_robust");
   const guard::BudgetScope scope(budget);
-  const auto ladder = verify_ladder(start);
+  const bool planned = !start.has_value();
+  std::vector<EcMethod> ladder;
+  if (planned) {
+    g_lint_plan_verify.add();
+    for (const auto m :
+         lint::plan_verify(lint::analyze(c1), lint::analyze(c2))) {
+      ladder.push_back(to_ec_method(m));
+    }
+  } else {
+    ladder = verify_ladder(*start);
+  }
 
   for (std::size_t rung = 0; rung < ladder.size(); ++rung) {
     const EcMethod method = ladder[rung];
@@ -486,6 +574,9 @@ RobustVerifyResult verify_robust(const ir::Circuit& c1, const ir::Circuit& c2,
       }
       robust.result = std::move(res);
       robust.attempts.push_back({method_name(method), ""});
+      if (planned) {
+        (rung == 0 ? g_lint_predict_hit : g_lint_predict_miss).add();
+      }
       return robust;
     } catch (const Error& e) {
       if (!should_degrade(e) || last) {

@@ -14,6 +14,7 @@
 #include "common/eps.hpp"
 #include "guard/budget.hpp"
 #include "ir/circuit.hpp"
+#include "lint/lint.hpp"
 #include "transpile/transpiler.hpp"
 
 namespace qdt::core {
@@ -140,12 +141,19 @@ struct RobustSimulateResult {
   bool degraded() const { return attempts.size() > 1; }
 };
 
-/// simulate() with graceful degradation: starts from `start` (or
-/// recommend_backend() when unset) and, whenever a backend throws
-/// ResourceExhausted or Unsupported, falls to the next viable rung:
+/// simulate() with graceful degradation. With an explicit `start` the
+/// ladder is the classic fixed chain; whenever a backend throws
+/// ResourceExhausted or Unsupported, execution falls to the next rung:
 ///
 ///   Stabilizer -> DecisionDiagram -> Mps (truncated) -> TN amplitude
 ///   Array      -> DecisionDiagram -> Mps (truncated) -> TN amplitude
+///
+/// When `start` is unset the ladder is *planned statically*: qdt::lint
+/// analyzes the circuit without simulating it and the rungs are tried in
+/// lint::BackendPlan::preferred_order (stabilizer first for Clifford
+/// circuits, MPS first when the entanglement-cut bound is small, ...),
+/// with the guaranteed degradation rungs appended. Prediction quality is
+/// recorded in qdt.lint.predict.{hit,miss}.
 ///
 /// The Mps rung truncates (bond derived from the byte budget) and the
 /// final TensorNetwork rung degrades to a single <0...0| amplitude rather
@@ -167,8 +175,12 @@ struct RobustVerifyResult {
 /// rewriting stalled on a non-Clifford miter — the ladder then retries
 /// with DdAlternating). The simulative check is the last rung: it always
 /// completes, at the price of conclusive == false on "equivalent".
+///
+/// When `start` is unset the method order comes from lint::plan_verify —
+/// ZX rewriting leads on Clifford/Clifford pairs (where it terminates in
+/// polynomial time), the DD miter leads otherwise.
 RobustVerifyResult verify_robust(const ir::Circuit& c1, const ir::Circuit& c2,
-                                 EcMethod start = EcMethod::DdAlternating,
+                                 std::optional<EcMethod> start = std::nullopt,
                                  const guard::Budget& budget = {});
 
 }  // namespace qdt::core

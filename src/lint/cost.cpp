@@ -1,0 +1,177 @@
+#include "lint/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace qdt::lint {
+
+namespace {
+
+double log2_gates(const CircuitFacts& f) {
+  return std::log2(static_cast<double>(f.unitary_gates) + 1.0);
+}
+
+double log2_qubits(const CircuitFacts& f) {
+  return std::log2(static_cast<double>(f.num_qubits) + 1.0);
+}
+
+std::string fmt1(double v) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << v;
+  return os.str();
+}
+
+CostEstimate estimate_stabilizer(const CircuitFacts& f,
+                                 const PlanConstraints& c) {
+  CostEstimate e;
+  e.backend = Backend::Stabilizer;
+  // 2n Pauli rows, O(n) bits touched per gate; +4: tableau bit-fiddling
+  // constants keep arrays ahead on small widths.
+  e.cost_log2 = log2_gates(f) + 2.0 * log2_qubits(f) + 4.0;
+  if (!f.is_clifford) {
+    e.feasible = false;
+    e.rationale = "circuit has non-Clifford gates";
+  } else if (c.want_state) {
+    e.feasible = false;
+    e.rationale = "tableau cannot produce a dense state";
+  } else if (c.has_noise) {
+    e.feasible = false;
+    e.rationale = "tableau is noise-free";
+  } else {
+    e.rationale = "Clifford circuit: polynomial tableau";
+  }
+  return e;
+}
+
+CostEstimate estimate_array(const CircuitFacts& f) {
+  CostEstimate e;
+  e.backend = Backend::Array;
+  // g gate sweeps over 2^n amplitudes.
+  e.cost_log2 = static_cast<double>(f.num_qubits) + log2_gates(f);
+  e.rationale = "dense sweep over 2^" + std::to_string(f.num_qubits) +
+                " amplitudes";
+  return e;
+}
+
+CostEstimate estimate_dd(const CircuitFacts& f) {
+  CostEstimate e;
+  e.backend = Backend::DecisionDiagram;
+  // Work per gate scales with the node count the redundancy heuristic
+  // predicts; +2: unique/compute-table constants per node.
+  e.cost_log2 = log2_gates(f) + f.dd_nodes_log2 + 2.0;
+  e.rationale = "growth score " + fmt1(f.dd_growth_score) +
+                ", ~2^" + fmt1(f.dd_nodes_log2) + " nodes";
+  return e;
+}
+
+CostEstimate estimate_mps(const CircuitFacts& f, const PlanConstraints& c) {
+  CostEstimate e;
+  e.backend = Backend::Mps;
+  const double bond = static_cast<double>(f.mps_bond_log2);
+  // Per-gate SVD at bond D costs O(D^3); +7: dense SVD constants.
+  e.cost_log2 = log2_gates(f) + 3.0 * bond + 7.0;
+  if (c.has_noise) {
+    e.feasible = false;
+    e.rationale = "MPS backend is noise-free";
+  } else {
+    e.rationale = "entanglement-cut bound 2^" +
+                  std::to_string(f.mps_bond_log2);
+  }
+  return e;
+}
+
+CostEstimate estimate_tn(const CircuitFacts& f, const PlanConstraints& c) {
+  CostEstimate e;
+  e.backend = Backend::TensorNetwork;
+  // Greedy single-amplitude contraction estimate; a dense-state request
+  // re-opens every output wire, so it can never beat the 2^n sweep.
+  double cost = f.tn_cost_log2 + 4.0;
+  if (c.want_state) {
+    cost = std::max(cost, static_cast<double>(f.num_qubits) + log2_gates(f) +
+                              4.0);
+  }
+  e.cost_log2 = cost;
+  if (c.has_noise) {
+    e.feasible = false;
+    e.rationale = "tensor-network backend is noise-free";
+  } else {
+    e.rationale = "greedy contraction ~2^" + fmt1(f.tn_cost_log2) +
+                  " flops, peak 2^" + fmt1(f.tn_peak_log2);
+  }
+  return e;
+}
+
+}  // namespace
+
+const char* backend_label(Backend b) {
+  switch (b) {
+    case Backend::Array:
+      return "array";
+    case Backend::DecisionDiagram:
+      return "decision-diagram";
+    case Backend::TensorNetwork:
+      return "tensor-network";
+    case Backend::Mps:
+      return "mps";
+    case Backend::Stabilizer:
+      return "stabilizer";
+  }
+  return "?";
+}
+
+const char* verify_method_label(VerifyMethod m) {
+  switch (m) {
+    case VerifyMethod::Array:
+      return "array";
+    case VerifyMethod::DdAlternating:
+      return "dd-alternating";
+    case VerifyMethod::DdSequential:
+      return "dd-sequential";
+    case VerifyMethod::DdSimulative:
+      return "dd-simulative";
+    case VerifyMethod::Zx:
+      return "zx";
+  }
+  return "?";
+}
+
+BackendPlan plan_backends(const CircuitFacts& facts,
+                          const PlanConstraints& constraints) {
+  BackendPlan plan;
+  plan.estimates = {
+      estimate_stabilizer(facts, constraints),
+      estimate_array(facts),
+      estimate_dd(facts),
+      estimate_mps(facts, constraints),
+      estimate_tn(facts, constraints),
+  };
+  std::stable_sort(plan.estimates.begin(), plan.estimates.end(),
+                   [](const CostEstimate& a, const CostEstimate& b) {
+                     if (a.feasible != b.feasible) {
+                       return a.feasible;
+                     }
+                     return a.cost_log2 < b.cost_log2;
+                   });
+  for (const auto& e : plan.estimates) {
+    if (e.feasible) {
+      plan.preferred_order.push_back(e.backend);
+    }
+  }
+  return plan;
+}
+
+std::vector<VerifyMethod> plan_verify(const CircuitFacts& a,
+                                      const CircuitFacts& b) {
+  if (a.is_clifford && b.is_clifford) {
+    // Graph-like ZX reduction is complete on Clifford diagrams — the
+    // rewriting cannot stall, so it leads the ladder.
+    return {VerifyMethod::Zx, VerifyMethod::DdAlternating,
+            VerifyMethod::DdSimulative};
+  }
+  return {VerifyMethod::DdAlternating, VerifyMethod::Zx,
+          VerifyMethod::DdSimulative};
+}
+
+}  // namespace qdt::lint

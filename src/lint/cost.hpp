@@ -1,0 +1,79 @@
+// qdt::lint — static backend-cost prediction.
+//
+// Given the CircuitFacts, predict how much work each of the five simulation
+// backends would spend *without running any of them*, and rank them. The
+// result is a BackendPlan that core::simulate_robust consumes to reorder
+// the guard fallback ladder statically: stabilizer first when the circuit
+// is Clifford, MPS first when the entanglement-cut bound is small, and so
+// on — instead of discovering the right backend by paying for failures at
+// runtime.
+//
+// The lint layer cannot name core::SimBackend (core sits above lint), so
+// the plan speaks its own Backend enum; core::tasks maps it 1:1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/facts.hpp"
+
+namespace qdt::lint {
+
+/// Mirror of core::SimBackend (kept in this order; core maps by switch).
+enum class Backend {
+  Array,
+  DecisionDiagram,
+  TensorNetwork,
+  Mps,
+  Stabilizer,
+};
+
+const char* backend_label(Backend b);
+
+/// Mirror of core::EcMethod for the verification ladder.
+enum class VerifyMethod {
+  Array,
+  DdAlternating,
+  DdSequential,
+  DdSimulative,
+  Zx,
+};
+
+const char* verify_method_label(VerifyMethod m);
+
+/// What the caller needs from the simulation — some backends cannot serve
+/// some requests at all (the tableau has no dense state; only arrays and
+/// decision diagrams carry noise), and the ranking must know.
+struct PlanConstraints {
+  bool want_state = false;
+  bool has_noise = false;
+};
+
+struct CostEstimate {
+  Backend backend = Backend::Array;
+  bool feasible = true;
+  /// Predicted work on a log2 scale (comparable across backends; the
+  /// absolute value is a model, the *ordering* is the contract).
+  double cost_log2 = 0.0;
+  std::string rationale;
+};
+
+struct BackendPlan {
+  /// All five backends with their estimates, feasible-and-cheapest first.
+  std::vector<CostEstimate> estimates;
+  /// Feasible backends only, cheapest first — the ladder order.
+  std::vector<Backend> preferred_order;
+};
+
+/// Rank the backends for simulating a circuit with these facts.
+BackendPlan plan_backends(const CircuitFacts& facts,
+                          const PlanConstraints& constraints = {});
+
+/// Rank the equivalence-checking methods for a pair of circuits: ZX
+/// rewriting leads when both sides are Clifford (graph-like reduction is
+/// complete there), the alternating DD miter otherwise; the simulative
+/// check always anchors the ladder as evidence-only last resort.
+std::vector<VerifyMethod> plan_verify(const CircuitFacts& a,
+                                      const CircuitFacts& b);
+
+}  // namespace qdt::lint

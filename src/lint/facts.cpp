@@ -1,0 +1,561 @@
+#include "lint/facts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "ir/gate.hpp"
+
+namespace qdt::lint {
+
+namespace {
+
+using ir::GateKind;
+using ir::Operation;
+using ir::Qubit;
+
+/// Clifford classification of a Z-rotation-like phase: 0 = identity,
+/// 1 = S, 2 = Z, 3 = Sdg; -1 = non-Clifford. (Same classes as the
+/// stabilizer backend's dispatcher.)
+int z_phase_class(const Phase& p) {
+  if (p.is_zero()) {
+    return 0;
+  }
+  if (p == Phase::pi_2()) {
+    return 1;
+  }
+  if (p == Phase::pi()) {
+    return 2;
+  }
+  if (p == Phase::minus_pi_2()) {
+    return 3;
+  }
+  return -1;
+}
+
+bool touches_any(const std::vector<Qubit>& qs, const std::vector<char>& mask) {
+  return std::any_of(qs.begin(), qs.end(),
+                     [&](Qubit q) { return mask[q] != 0; });
+}
+
+/// log2-space accumulation: log2(2^a + 2^b) without leaving log space.
+double log2_add(double a, double b) {
+  if (a < b) {
+    std::swap(a, b);
+  }
+  return a + std::log2(1.0 + std::exp2(b - a));
+}
+
+// -- Peephole redundancy -----------------------------------------------------
+
+bool is_rotation_kind(GateKind k) {
+  switch (k) {
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::RZZ:
+    case GateKind::RXX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Parameter-free gates that fold with an identical neighbor into another
+/// catalogue gate (t t -> s, s s -> z, sx sx -> x, ...). Self-inverse kinds
+/// are excluded — an identical neighbor there is a cancelling pair instead.
+bool is_foldable_kind(GateKind k) {
+  switch (k) {
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::SX:
+    case GateKind::SXdg:
+    case GateKind::ISwap:
+    case GateKind::ISwapDg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void scan_redundancy(const ir::Circuit& circuit, CircuitFacts& facts) {
+  // Bounded forward window: peephole passes don't look further either, and
+  // it keeps the scan O(gates * window).
+  constexpr std::size_t kWindow = 64;
+  const auto& ops = circuit.ops();
+  std::vector<char> consumed(ops.size(), 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (consumed[i] != 0 || !ops[i].is_unitary()) {
+      continue;
+    }
+    const Operation& a = ops[i];
+    const Operation inverse = a.adjoint();
+    const auto aq = a.qubits();
+    for (std::size_t j = i + 1; j < ops.size() && j - i <= kWindow; ++j) {
+      const Operation& b = ops[j];
+      if (b.is_barrier()) {
+        break;  // barriers exist to block exactly this kind of motion
+      }
+      const auto bq = b.qubits();
+      const bool shares = std::any_of(aq.begin(), aq.end(), [&](Qubit q) {
+        return std::find(bq.begin(), bq.end(), q) != bq.end();
+      });
+      if (!shares) {
+        continue;  // disjoint supports always commute
+      }
+      if (consumed[j] == 0 && b.is_unitary()) {
+        if (b == inverse) {
+          facts.cancelling_pairs.push_back({i, j});
+          consumed[i] = consumed[j] = 1;
+          break;
+        }
+        const bool same_wires =
+            b.kind() == a.kind() && b.targets() == a.targets() &&
+            b.controls() == a.controls();
+        if (same_wires &&
+            (is_rotation_kind(a.kind()) || is_foldable_kind(a.kind()))) {
+          facts.mergeable_pairs.push_back({i, j});
+          consumed[i] = consumed[j] = 1;
+          break;
+        }
+      }
+      if (a.is_diagonal() && b.is_diagonal()) {
+        continue;  // both diagonal in the computational basis: they commute
+      }
+      break;  // blocked by a non-commuting gate on a shared wire
+    }
+  }
+}
+
+// -- Lightcones and liveness -------------------------------------------------
+
+void scan_lightcones(const ir::Circuit& circuit, CircuitFacts& facts) {
+  const std::size_t n = circuit.num_qubits();
+  const auto& ops = circuit.ops();
+  facts.lightcone.assign(n, 1);
+  for (std::size_t q = 0; q < n; ++q) {
+    std::vector<char> cone(n, 0);
+    cone[q] = 1;
+    std::size_t size = 1;
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+      if (it->is_barrier()) {
+        continue;
+      }
+      const auto qs = it->qubits();
+      if (!touches_any(qs, cone)) {
+        continue;
+      }
+      for (const Qubit p : qs) {
+        if (cone[p] == 0) {
+          cone[p] = 1;
+          ++size;
+        }
+      }
+    }
+    facts.lightcone[q] = size;
+    facts.max_lightcone = std::max(facts.max_lightcone, size);
+  }
+  double sum = 0.0;
+  for (const auto s : facts.lightcone) {
+    sum += static_cast<double>(s);
+  }
+  facts.mean_lightcone = n == 0 ? 0.0 : sum / static_cast<double>(n);
+
+  // Dead qubits: untouched by any non-barrier operation.
+  std::vector<char> touched(n, 0);
+  for (const auto& op : ops) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    for (const Qubit q : op.qubits()) {
+      touched[q] = 1;
+    }
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    if (touched[q] == 0) {
+      facts.dead_qubits.push_back(static_cast<Qubit>(q));
+    }
+  }
+
+  // Unused ancillas: qubits with gates outside every measurement's backward
+  // cone. Only meaningful when something is measured; the cone is an
+  // over-approximation (resets kept as influence carriers), so a reported
+  // ancilla really is dead code.
+  if (facts.measurements == 0) {
+    return;
+  }
+  std::vector<char> cone(n, 0);
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    if (it->is_barrier()) {
+      continue;
+    }
+    const auto qs = it->qubits();
+    if (it->is_measurement()) {
+      for (const Qubit q : qs) {
+        cone[q] = 1;
+      }
+      continue;
+    }
+    if (touches_any(qs, cone)) {
+      for (const Qubit q : qs) {
+        cone[q] = 1;
+      }
+    }
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    if (touched[q] != 0 && cone[q] == 0) {
+      facts.unused_ancillas.push_back(static_cast<Qubit>(q));
+    }
+  }
+}
+
+// -- MPS entanglement-cut bound ----------------------------------------------
+
+void scan_cut_bounds(const ir::Circuit& circuit, CircuitFacts& facts) {
+  const std::size_t n = circuit.num_qubits();
+  if (n < 2) {
+    facts.mps_bond_log2 = 0;
+    facts.mps_bond_bound = 1;
+    return;
+  }
+  facts.cuts.assign(n - 1, {});
+  // d[c]: running log2 upper bound on the bond at cut c (between sites
+  // c - 1 and c), replaying the TEBD procedure the MPS backend runs: every
+  // adjacent two-site update's SVD rank is at most min(2 * left bond,
+  // 2 * right bond, old bond * operator Schmidt rank, 2^min(c, n-c)).
+  std::vector<std::size_t> d(n + 1, 0);
+  std::vector<std::size_t> peak(n + 1, 0);
+  const auto dim_cap = [n](std::size_t c) { return std::min(c, n - c); };
+  const auto apply_adjacent = [&](std::size_t left, std::size_t rank_log2) {
+    const std::size_t c = left + 1;
+    const std::size_t nd =
+        std::min({d[c - 1] + 1, d[c + 1] + 1, d[c] + rank_log2, dim_cap(c)});
+    d[c] = nd;
+    peak[c] = std::max(peak[c], nd);
+  };
+  for (const auto& op : circuit.ops()) {
+    if (!op.is_unitary()) {
+      continue;  // measurement/reset can only shrink entanglement
+    }
+    auto qs = op.qubits();
+    if (qs.size() < 2) {
+      continue;
+    }
+    const auto [lo_it, hi_it] = std::minmax_element(qs.begin(), qs.end());
+    const std::size_t lo = *lo_it;
+    const std::size_t hi = *hi_it;
+    for (std::size_t c = lo + 1; c <= hi; ++c) {
+      ++facts.cuts[c - 1].crossing_ops;
+    }
+    if (qs.size() == 2) {
+      const std::size_t r = op_schmidt_rank_log2(op);
+      // Route the far site down with temporary swaps (rank-4 operators),
+      // apply at (lo, lo+1), route back — exactly MPS::apply's walk.
+      for (std::size_t k = hi; k > lo + 1; --k) {
+        apply_adjacent(k - 1, 2);
+      }
+      apply_adjacent(lo, r);
+      for (std::size_t k = lo + 1; k < hi; ++k) {
+        apply_adjacent(k, 2);
+      }
+    } else {
+      // 3+ qubits reach the MPS only after decomposition into an unknown
+      // two-qubit sequence over these wires — saturate the crossed cuts.
+      for (std::size_t c = lo + 1; c <= hi; ++c) {
+        d[c] = dim_cap(c);
+        peak[c] = std::max(peak[c], d[c]);
+      }
+    }
+  }
+  for (std::size_t c = 1; c < n; ++c) {
+    facts.cuts[c - 1].bond_log2 = peak[c];
+    facts.mps_bond_log2 = std::max(facts.mps_bond_log2, peak[c]);
+  }
+  const std::size_t capped = std::min<std::size_t>(facts.mps_bond_log2, 62);
+  facts.mps_bond_bound = std::size_t{1} << capped;
+}
+
+// -- Static greedy contraction replay ----------------------------------------
+
+using LabelSet = std::vector<std::int64_t>;  // sorted, unique
+
+std::size_t shared_count(const LabelSet& a, const LabelSet& b) {
+  std::size_t shared = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++shared;
+      ++ia;
+      ++ib;
+    }
+  }
+  return shared;
+}
+
+LabelSet symmetric_difference(const LabelSet& a, const LabelSet& b) {
+  LabelSet out;
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(out));
+  return out;
+}
+
+void scan_tn_cost(const ir::Circuit& circuit, CircuitFacts& facts) {
+  // Replay tn::circuit_network + the greedy planner over bare label sets
+  // (every bond has dimension 2, so a tensor is just its label set): the
+  // flop count and peak size of a plan depend on nothing else. Large
+  // circuits are estimated from a prefix and scaled — this is a cost
+  // *model*, not an execution.
+  constexpr std::size_t kMaxGates = 384;
+  const std::size_t n = circuit.num_qubits();
+  std::int64_t next_label = 0;
+  std::vector<std::int64_t> wire(n);
+  std::vector<LabelSet> nodes;
+  for (std::size_t q = 0; q < n; ++q) {
+    wire[q] = next_label++;
+    nodes.push_back({wire[q]});  // |0> ket
+  }
+  std::size_t modeled = 0;
+  std::size_t total = 0;
+  for (const auto& op : circuit.ops()) {
+    if (!op.is_unitary()) {
+      continue;
+    }
+    ++total;
+    if (modeled >= kMaxGates) {
+      continue;
+    }
+    ++modeled;
+    LabelSet labels;
+    for (const ir::Qubit q : op.qubits()) {
+      labels.push_back(wire[q]);
+      wire[q] = next_label++;
+      labels.push_back(wire[q]);
+    }
+    std::sort(labels.begin(), labels.end());
+    nodes.push_back(std::move(labels));
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    nodes.push_back({wire[q]});  // <basis| cap: single-amplitude network
+  }
+
+  double flops_log2 = -1e300;  // log2(0)
+  double peak_log2 = 0.0;
+  while (nodes.size() > 1) {
+    // Greedy: among pairs sharing at least one label, contract the pair
+    // with the smallest result; break ties by flop cost.
+    std::size_t best_a = 0;
+    std::size_t best_b = 0;
+    std::size_t best_size = static_cast<std::size_t>(-1);
+    std::size_t best_flops = static_cast<std::size_t>(-1);
+    for (std::size_t a = 0; a < nodes.size(); ++a) {
+      for (std::size_t b = a + 1; b < nodes.size(); ++b) {
+        const std::size_t shared = shared_count(nodes[a], nodes[b]);
+        if (shared == 0) {
+          continue;
+        }
+        const std::size_t union_size =
+            nodes[a].size() + nodes[b].size() - shared;
+        const std::size_t result_size = union_size - shared;
+        if (result_size < best_size ||
+            (result_size == best_size && union_size < best_flops)) {
+          best_size = result_size;
+          best_flops = union_size;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_size == static_cast<std::size_t>(-1)) {
+      break;  // disconnected components: outer products are free-ish
+    }
+    flops_log2 = log2_add(flops_log2, static_cast<double>(best_flops));
+    peak_log2 = std::max(peak_log2, static_cast<double>(best_size));
+    LabelSet merged = symmetric_difference(nodes[best_a], nodes[best_b]);
+    nodes.erase(nodes.begin() + static_cast<std::ptrdiff_t>(best_b));
+    nodes[best_a] = std::move(merged);
+  }
+  if (flops_log2 < 0.0) {
+    flops_log2 = 0.0;
+  }
+  if (total > modeled && modeled > 0) {
+    // Extrapolate the unmodeled tail linearly in gate count.
+    flops_log2 += std::log2(static_cast<double>(total) /
+                            static_cast<double>(modeled));
+  }
+  facts.tn_cost_log2 = flops_log2;
+  facts.tn_peak_log2 = peak_log2;
+}
+
+// -- Decision-diagram growth heuristic ----------------------------------------
+
+void scan_dd_heuristic(const ir::Circuit& circuit, CircuitFacts& facts) {
+  const std::size_t n = circuit.num_qubits();
+  // Signature = kind + params + qubit *offsets*: a CX ladder is one
+  // signature no matter where it sits, which is exactly the redundancy the
+  // unique table exploits.
+  const auto signature = [](const Operation& op) {
+    std::ostringstream os;
+    os << ir::gate_name(op.kind());
+    for (const auto& p : op.params()) {
+      os << ',' << p.str();
+    }
+    const auto qs = op.qubits();
+    for (const auto q : qs) {
+      os << ';' << (static_cast<std::int64_t>(q) -
+                    static_cast<std::int64_t>(qs[0]));
+    }
+    return os.str();
+  };
+  std::set<std::string> gate_sigs;
+  std::map<std::size_t, std::multiset<std::string>> layers;
+  std::vector<std::size_t> qubit_layer(n, 0);
+  std::size_t unitary = 0;
+  for (const auto& op : circuit.ops()) {
+    if (!op.is_unitary()) {
+      continue;
+    }
+    ++unitary;
+    const std::string sig = signature(op);
+    gate_sigs.insert(sig);
+    std::size_t layer = 0;
+    for (const auto q : op.qubits()) {
+      layer = std::max(layer, qubit_layer[q]);
+    }
+    layers[layer].insert(sig);
+    for (const auto q : op.qubits()) {
+      qubit_layer[q] = layer + 1;
+    }
+  }
+  if (unitary == 0) {
+    facts.gate_diversity = 0.0;
+    facts.layer_diversity = 0.0;
+    facts.dd_growth_score = 0.0;
+    facts.dd_nodes_log2 = std::log2(static_cast<double>(n) + 1.0);
+    return;
+  }
+  facts.gate_diversity = static_cast<double>(gate_sigs.size()) /
+                         static_cast<double>(unitary);
+  std::set<std::string> layer_sigs;
+  for (const auto& [layer, sigs] : layers) {
+    std::string joined;
+    for (const auto& s : sigs) {
+      joined += s;
+      joined += '|';
+    }
+    layer_sigs.insert(std::move(joined));
+  }
+  facts.layer_diversity = static_cast<double>(layer_sigs.size()) /
+                          static_cast<double>(layers.size());
+  // Redundancy-poor, T-heavy circuits are where decision diagrams blow up
+  // (Section III); weights are calibrated on the ir::library families —
+  // see DESIGN.md "Static backend-cost prediction".
+  const double t_pressure =
+      std::min(1.0, static_cast<double>(facts.t_count) /
+                        std::max(1.0, static_cast<double>(n)));
+  facts.dd_growth_score =
+      std::clamp(0.45 * facts.gate_diversity + 0.25 * facts.layer_diversity +
+                     0.30 * t_pressure,
+                 0.0, 1.0);
+  facts.dd_nodes_log2 =
+      std::min(static_cast<double>(n),
+               1.0 + std::log2(static_cast<double>(n) + 1.0) +
+                   facts.dd_growth_score * 0.75 * static_cast<double>(n));
+}
+
+}  // namespace
+
+bool is_clifford_op(const Operation& op) {
+  if (!op.is_unitary()) {
+    return true;  // measure / reset / barrier run fine on a tableau
+  }
+  const std::size_t nc = op.controls().size();
+  switch (op.kind()) {
+    case GateKind::I:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+      return nc <= 1;
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::SX:
+    case GateKind::SXdg:
+    case GateKind::Swap:
+    case GateKind::ISwap:
+    case GateKind::ISwapDg:
+      return nc == 0;
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::RX:
+    case GateKind::RY:
+      return nc == 0 && z_phase_class(op.params()[0]) >= 0;
+    default:
+      return false;
+  }
+}
+
+std::size_t op_schmidt_rank_log2(const Operation& op) {
+  if (op.num_qubits() < 2) {
+    return 0;
+  }
+  if (!op.controls().empty()) {
+    return 1;  // P (x) U + (1-P) (x) I: two terms
+  }
+  switch (op.kind()) {
+    case GateKind::RZZ:
+    case GateKind::RXX:
+      return 1;  // cos * II - i sin * PP: two terms
+    case GateKind::Swap:
+    case GateKind::ISwap:
+    case GateKind::ISwapDg:
+    default:
+      return 2;
+  }
+}
+
+CircuitFacts analyze(const ir::Circuit& circuit) {
+  CircuitFacts facts;
+  const auto stats = circuit.stats();
+  facts.num_qubits = stats.num_qubits;
+  facts.unitary_gates = stats.total_gates;
+  facts.measurements = stats.measurements;
+  facts.depth = stats.depth;
+  facts.t_count = stats.t_count;
+
+  facts.clifford_gates = 0;
+  bool all_clifford = true;
+  for (const auto& op : circuit.ops()) {
+    if (!op.is_unitary()) {
+      continue;
+    }
+    if (is_clifford_op(op)) {
+      ++facts.clifford_gates;
+    } else {
+      all_clifford = false;
+    }
+  }
+  facts.is_clifford = all_clifford;
+  facts.clifford_fraction =
+      static_cast<double>(facts.clifford_gates) /
+      static_cast<double>(std::max<std::size_t>(facts.unitary_gates, 1));
+
+  scan_lightcones(circuit, facts);
+  scan_redundancy(circuit, facts);
+  scan_cut_bounds(circuit, facts);
+  scan_tn_cost(circuit, facts);
+  scan_dd_heuristic(circuit, facts);
+  return facts;
+}
+
+}  // namespace qdt::lint

@@ -1,0 +1,115 @@
+// qdt::lint — static circuit analysis (no simulation anywhere).
+//
+// The paper's four data structures each exploit a different *structural*
+// property of a circuit: arrays win on small widths, decision diagrams on
+// redundancy, tensor networks on contraction topology, the stabilizer
+// tableau on Clifford-ness, and MPS on bounded entanglement across linear
+// cuts. Every one of those properties is computable from the circuit
+// description alone — this header computes them all in one pass-collection
+// over an ir::Circuit, without ever materializing a state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "ir/operation.hpp"
+
+namespace qdt::lint {
+
+/// Upper-bound bookkeeping for one linear cut (between qubit `cut - 1` and
+/// qubit `cut`, cut in [1, n-1]).
+struct CutBound {
+  /// Unitary operations whose qubit span crosses this cut.
+  std::size_t crossing_ops = 0;
+  /// log2 of the peak Schmidt-rank upper bound across this cut, tracking
+  /// the TEBD procedure the MPS backend actually executes (including its
+  /// temporary routing swaps). Saturates at min(left, right) qubits.
+  std::size_t bond_log2 = 0;
+};
+
+/// A pair of operation indices found to be redundant.
+struct RedundantPair {
+  std::size_t first = 0;   // op index of the earlier gate
+  std::size_t second = 0;  // op index of the later gate
+};
+
+/// Everything the lint pass knows about a circuit, statically.
+struct CircuitFacts {
+  // -- Shape ---------------------------------------------------------------
+  std::size_t num_qubits = 0;
+  std::size_t unitary_gates = 0;
+  std::size_t measurements = 0;
+  std::size_t depth = 0;
+
+  // -- Clifford structure (Section "stabilizer") ---------------------------
+  std::size_t t_count = 0;
+  std::size_t clifford_gates = 0;  // unitary ops the tableau can execute
+  bool is_clifford = false;        // every unitary op is Clifford
+  double clifford_fraction = 1.0;  // clifford_gates / max(unitary_gates, 1)
+
+  // -- Qubit liveness ------------------------------------------------------
+  /// Qubits no non-barrier operation ever touches.
+  std::vector<ir::Qubit> dead_qubits;
+  /// Qubits that carry gates but lie outside the backward lightcone of
+  /// every measurement (only populated when the circuit measures at all):
+  /// their gates cannot influence any observed outcome.
+  std::vector<ir::Qubit> unused_ancillas;
+
+  // -- Lightcones ----------------------------------------------------------
+  /// Per qubit q: size of the backward cone of influence — how many input
+  /// qubits can affect q's final state. dead qubits report 1 (themselves).
+  std::vector<std::size_t> lightcone;
+  std::size_t max_lightcone = 0;
+  double mean_lightcone = 0.0;
+
+  // -- Peephole redundancy -------------------------------------------------
+  /// Adjacent (modulo commuting diagonals) gate pairs where the second is
+  /// the exact inverse of the first on the same wires: both can be deleted.
+  std::vector<RedundantPair> cancelling_pairs;
+  /// Adjacent same-axis rotation pairs on the same wires that fold into a
+  /// single gate (rz(a) rz(b) -> rz(a+b), t t -> s, s s -> z, ...).
+  std::vector<RedundantPair> mergeable_pairs;
+
+  // -- MPS entanglement-cut bound (Section IV) -----------------------------
+  std::vector<CutBound> cuts;     // size max(n, 1) - 1
+  std::size_t mps_bond_log2 = 0;  // max over cuts of bond_log2
+  /// 2^mps_bond_log2, saturated at 2^62 to stay in range.
+  std::size_t mps_bond_bound = 1;
+
+  // -- Tensor-network contraction estimate (Section IV) --------------------
+  /// log2 of the multiply-add count a greedy contraction of the circuit's
+  /// single-amplitude network would spend (static replay of the greedy
+  /// planner over label sets — no tensor data is ever allocated).
+  double tn_cost_log2 = 0.0;
+  /// log2 elements of the largest intermediate tensor under that plan.
+  double tn_peak_log2 = 0.0;
+
+  // -- Decision-diagram growth heuristic (Section III) ---------------------
+  /// Distinct gate signatures (kind + params + qubit offsets) / gates.
+  double gate_diversity = 0.0;
+  /// Distinct layer signatures / depth.
+  double layer_diversity = 0.0;
+  /// [0, 1]: low = redundancy-rich, DD-friendly; high = DD-hostile.
+  double dd_growth_score = 0.0;
+  /// Heuristic log2 estimate of the peak DD node count.
+  double dd_nodes_log2 = 0.0;
+};
+
+/// Clifford classification of a single operation. Mirrors
+/// stab::is_clifford_operation exactly (same gate kinds, same phase
+/// classes) but is recomputed here so the lint layer depends only on ir —
+/// tests cross-validate the two against the fuzzer's generator.
+bool is_clifford_op(const ir::Operation& op);
+
+/// Operator Schmidt-rank upper bound (log2) of a unitary operation across
+/// any cut separating its qubits: 1 for controlled gates and ZZ/XX
+/// rotations, 2 for swap-like and generic two-qubit gates.
+std::size_t op_schmidt_rank_log2(const ir::Operation& op);
+
+/// One static pass over the circuit; never simulates, never allocates
+/// state. Cost: O(gates * qubits) worst case (lightcones dominate).
+CircuitFacts analyze(const ir::Circuit& circuit);
+
+}  // namespace qdt::lint

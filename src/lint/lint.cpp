@@ -1,0 +1,230 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "obs/obs.hpp"
+
+namespace qdt::lint {
+
+namespace {
+
+obs::Counter& g_runs = obs::counter("qdt.lint.pass.runs");
+obs::Counter& g_warnings = obs::counter("qdt.lint.pass.warnings");
+
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_json_double(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no Infinity/NaN
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(6);
+  tmp << v;
+  os << tmp.str();
+}
+
+void diagnose(const ir::Circuit& circuit, Report& report) {
+  const CircuitFacts& f = report.facts;
+  auto& out = report.diagnostics;
+  for (const auto q : f.dead_qubits) {
+    Diagnostic d;
+    d.severity = Severity::Warning;
+    d.code = "dead-qubit";
+    d.message = "qubit " + std::to_string(q) +
+                " is never touched by any operation";
+    d.qubit = q;
+    out.push_back(std::move(d));
+  }
+  for (const auto q : f.unused_ancillas) {
+    Diagnostic d;
+    d.severity = Severity::Warning;
+    d.code = "unused-ancilla";
+    d.message = "qubit " + std::to_string(q) +
+                " carries gates but cannot influence any measurement";
+    d.qubit = q;
+    out.push_back(std::move(d));
+  }
+  for (const auto& pair : f.cancelling_pairs) {
+    Diagnostic d;
+    d.severity = Severity::Warning;
+    d.code = "cancelling-pair";
+    d.message = "ops " + std::to_string(pair.first) + " and " +
+                std::to_string(pair.second) + " cancel (" +
+                circuit[pair.first].str() + " ; " +
+                circuit[pair.second].str() + ")";
+    d.op_index = pair.first;
+    out.push_back(std::move(d));
+  }
+  for (const auto& pair : f.mergeable_pairs) {
+    Diagnostic d;
+    d.severity = Severity::Warning;
+    d.code = "mergeable-rotation";
+    d.message = "ops " + std::to_string(pair.first) + " and " +
+                std::to_string(pair.second) + " fold into one gate (" +
+                circuit[pair.first].str() + " ; " +
+                circuit[pair.second].str() + ")";
+    d.op_index = pair.first;
+    out.push_back(std::move(d));
+  }
+  if (f.is_clifford && f.unitary_gates > 0) {
+    Diagnostic d;
+    d.code = "clifford-circuit";
+    d.message = "every gate is Clifford: the stabilizer tableau simulates "
+                "this in polynomial time";
+    out.push_back(std::move(d));
+  }
+  if (f.num_qubits >= 2 && f.mps_bond_log2 <= 4 && f.unitary_gates > 0) {
+    Diagnostic d;
+    d.code = "low-entanglement";
+    d.message = "entanglement-cut bound is 2^" +
+                std::to_string(f.mps_bond_log2) +
+                ": MPS memory stays linear in qubits";
+    out.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Info:
+      return "info";
+    case Severity::Warning:
+      return "warning";
+  }
+  return "?";
+}
+
+std::size_t Report::warnings() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::Warning;
+                    }));
+}
+
+Report run(const ir::Circuit& circuit, const PlanConstraints& constraints) {
+  const obs::Span span("qdt.lint.pass.run");
+  Report report;
+  report.facts = analyze(circuit);
+  report.plan = plan_backends(report.facts, constraints);
+  diagnose(circuit, report);
+  g_runs.add();
+  g_warnings.add(report.warnings());
+  return report;
+}
+
+std::string to_json(const Report& report) {
+  const CircuitFacts& f = report.facts;
+  std::ostringstream os;
+  os << "{\"facts\":{";
+  os << "\"qubits\":" << f.num_qubits;
+  os << ",\"gates\":" << f.unitary_gates;
+  os << ",\"measurements\":" << f.measurements;
+  os << ",\"depth\":" << f.depth;
+  os << ",\"t_count\":" << f.t_count;
+  os << ",\"clifford\":" << (f.is_clifford ? "true" : "false");
+  os << ",\"clifford_fraction\":";
+  append_json_double(os, f.clifford_fraction);
+  os << ",\"dead_qubits\":[";
+  for (std::size_t i = 0; i < f.dead_qubits.size(); ++i) {
+    os << (i > 0 ? "," : "") << f.dead_qubits[i];
+  }
+  os << "],\"unused_ancillas\":[";
+  for (std::size_t i = 0; i < f.unused_ancillas.size(); ++i) {
+    os << (i > 0 ? "," : "") << f.unused_ancillas[i];
+  }
+  os << "],\"lightcone\":[";
+  for (std::size_t i = 0; i < f.lightcone.size(); ++i) {
+    os << (i > 0 ? "," : "") << f.lightcone[i];
+  }
+  os << "],\"max_lightcone\":" << f.max_lightcone;
+  os << ",\"cancelling_pairs\":" << f.cancelling_pairs.size();
+  os << ",\"mergeable_pairs\":" << f.mergeable_pairs.size();
+  os << ",\"mps_bond_log2\":" << f.mps_bond_log2;
+  os << ",\"mps_bond_bound\":" << f.mps_bond_bound;
+  os << ",\"tn_cost_log2\":";
+  append_json_double(os, f.tn_cost_log2);
+  os << ",\"tn_peak_log2\":";
+  append_json_double(os, f.tn_peak_log2);
+  os << ",\"gate_diversity\":";
+  append_json_double(os, f.gate_diversity);
+  os << ",\"layer_diversity\":";
+  append_json_double(os, f.layer_diversity);
+  os << ",\"dd_growth_score\":";
+  append_json_double(os, f.dd_growth_score);
+  os << ",\"dd_nodes_log2\":";
+  append_json_double(os, f.dd_nodes_log2);
+  os << "},\"plan\":[";
+  for (std::size_t i = 0; i < report.plan.estimates.size(); ++i) {
+    const auto& e = report.plan.estimates[i];
+    if (i > 0) {
+      os << ',';
+    }
+    os << "{\"backend\":";
+    append_json_string(os, backend_label(e.backend));
+    os << ",\"feasible\":" << (e.feasible ? "true" : "false");
+    os << ",\"cost_log2\":";
+    append_json_double(os, e.cost_log2);
+    os << ",\"rationale\":";
+    append_json_string(os, e.rationale);
+    os << '}';
+  }
+  os << "],\"diagnostics\":[";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const auto& d = report.diagnostics[i];
+    if (i > 0) {
+      os << ',';
+    }
+    os << "{\"severity\":";
+    append_json_string(os, severity_name(d.severity));
+    os << ",\"code\":";
+    append_json_string(os, d.code);
+    os << ",\"message\":";
+    append_json_string(os, d.message);
+    if (d.qubit.has_value()) {
+      os << ",\"qubit\":" << *d.qubit;
+    }
+    if (d.op_index.has_value()) {
+      os << ",\"op\":" << *d.op_index;
+    }
+    os << '}';
+  }
+  os << "],\"warnings\":" << report.warnings();
+  os << ",\"clean\":" << (report.clean() ? "true" : "false") << '}';
+  return os.str();
+}
+
+}  // namespace qdt::lint

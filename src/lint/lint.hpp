@@ -1,0 +1,50 @@
+// qdt::lint — diagnostics and the lint report.
+//
+// run() bundles the static facts, the backend plan, and a list of
+// compiler-style diagnostics (dead qubits, unused ancillas, trivially
+// cancelling pairs, foldable rotations) into one Report; to_json() renders
+// it for the `qdt lint` CLI subcommand.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "lint/cost.hpp"
+#include "lint/facts.hpp"
+
+namespace qdt::lint {
+
+enum class Severity { Info, Warning };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Info;
+  /// Stable machine-readable code: "dead-qubit", "unused-ancilla",
+  /// "cancelling-pair", "mergeable-rotation", "clifford-circuit",
+  /// "low-entanglement".
+  std::string code;
+  std::string message;
+  std::optional<ir::Qubit> qubit;
+  std::optional<std::size_t> op_index;
+};
+
+struct Report {
+  CircuitFacts facts;
+  BackendPlan plan;
+  std::vector<Diagnostic> diagnostics;
+
+  std::size_t warnings() const;
+  /// True when no Warning-severity diagnostic was emitted.
+  bool clean() const { return warnings() == 0; }
+};
+
+/// Analyze, plan, and diagnose — the whole pass. Never simulates.
+Report run(const ir::Circuit& circuit, const PlanConstraints& constraints = {});
+
+/// The full report as a JSON object (facts, plan, diagnostics).
+std::string to_json(const Report& report);
+
+}  // namespace qdt::lint

@@ -1,0 +1,342 @@
+// qdt::lint — static analysis against hand-checked fixtures, and the
+// acceptance contract: the BackendPlan reorders the robust fallback ladder
+// without a single wasted simulation attempt.
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/tasks.hpp"
+#include "ir/library.hpp"
+#include "obs/obs.hpp"
+#include "stab/tableau.hpp"
+#include "tn/mps.hpp"
+#include "transpile/decompose.hpp"
+
+namespace qdt::lint {
+namespace {
+
+// -- Facts: shape, Clifford structure ---------------------------------------
+
+TEST(LintFacts, CountsTGatesAndCliffordFraction) {
+  ir::Circuit c(2);
+  c.h(0).t(0).cx(0, 1).tdg(1).rz(Phase::pi_4(), 0).s(1);
+  const auto f = analyze(c);
+  EXPECT_EQ(f.unitary_gates, 6U);
+  EXPECT_EQ(f.t_count, 3U);  // t, tdg, rz(pi/4)
+  EXPECT_EQ(f.clifford_gates, 3U);
+  EXPECT_FALSE(f.is_clifford);
+  EXPECT_DOUBLE_EQ(f.clifford_fraction, 0.5);
+}
+
+TEST(LintFacts, RecognizesCliffordCircuits) {
+  const auto f = analyze(ir::random_clifford(8, 40, /*seed=*/3));
+  EXPECT_TRUE(f.is_clifford);
+  EXPECT_EQ(f.t_count, 0U);
+  EXPECT_DOUBLE_EQ(f.clifford_fraction, 1.0);
+}
+
+TEST(LintFacts, IsCliffordOpMatchesStabilizerBackend) {
+  // The lint-side mirror must agree with the tableau's own gate dispatch
+  // on every op of a mixed circuit.
+  const auto c = ir::random_circuit(5, 60, /*seed=*/17);
+  for (const auto& op : c.ops()) {
+    EXPECT_EQ(is_clifford_op(op), stab::is_clifford_operation(op)) << op.str();
+  }
+}
+
+// -- Facts: liveness and lightcones -----------------------------------------
+
+TEST(LintFacts, FindsDeadQubits) {
+  ir::Circuit c(4);
+  c.h(0).cx(0, 2);  // qubits 1 and 3 never touched
+  const auto f = analyze(c);
+  EXPECT_EQ(f.dead_qubits, (std::vector<ir::Qubit>{1, 3}));
+}
+
+TEST(LintFacts, FindsUnusedAncillas) {
+  ir::Circuit c(3);
+  // Qubit 2 carries a gate but no measurement can see it.
+  c.h(0).cx(0, 1).h(2).measure(0).measure(1);
+  const auto f = analyze(c);
+  EXPECT_TRUE(f.dead_qubits.empty());
+  EXPECT_EQ(f.unused_ancillas, (std::vector<ir::Qubit>{2}));
+}
+
+TEST(LintFacts, NoAncillaReportWithoutMeasurements) {
+  ir::Circuit c(2);
+  c.h(0).h(1);
+  EXPECT_TRUE(analyze(c).unused_ancillas.empty());
+}
+
+TEST(LintFacts, LightconesOnGhz) {
+  // ghz(3) = h(2), cx(2,1), cx(1,0). Walking backwards from the outputs:
+  // qubit 2's last coupling is cx(2,1), which in reverse order comes before
+  // nothing else that reaches it, so its cone is {1,2}; qubits 0 and 1 sit
+  // downstream of the whole chain and see all three inputs.
+  const auto f = analyze(ir::ghz(3));
+  EXPECT_EQ(f.lightcone, (std::vector<std::size_t>{3, 3, 2}));
+  EXPECT_EQ(f.max_lightcone, 3U);
+}
+
+TEST(LintFacts, DisconnectedBlocksHaveDisjointCones) {
+  ir::Circuit c(4);
+  c.h(0).cx(0, 1).h(2).cx(2, 3);
+  const auto f = analyze(c);
+  EXPECT_EQ(f.lightcone, (std::vector<std::size_t>{2, 2, 2, 2}));
+  EXPECT_EQ(f.max_lightcone, 2U);
+}
+
+// -- Facts: peephole redundancy ---------------------------------------------
+
+TEST(LintFacts, FindsAdjacentCancellingPair) {
+  ir::Circuit c(2);
+  c.h(0).t(1).tdg(1).cx(0, 1);
+  const auto f = analyze(c);
+  ASSERT_EQ(f.cancelling_pairs.size(), 1U);
+  EXPECT_EQ(f.cancelling_pairs[0].first, 1U);
+  EXPECT_EQ(f.cancelling_pairs[0].second, 2U);
+}
+
+TEST(LintFacts, CancellationSeesThroughCommutingDiagonals) {
+  ir::Circuit c(1);
+  c.t(0).s(0).tdg(0);  // s is diagonal: t...tdg still cancels
+  const auto f = analyze(c);
+  ASSERT_EQ(f.cancelling_pairs.size(), 1U);
+  EXPECT_EQ(f.cancelling_pairs[0].first, 0U);
+  EXPECT_EQ(f.cancelling_pairs[0].second, 2U);
+}
+
+TEST(LintFacts, BarrierBlocksCancellation) {
+  ir::Circuit c(1);
+  c.t(0).barrier().tdg(0);
+  EXPECT_TRUE(analyze(c).cancelling_pairs.empty());
+}
+
+TEST(LintFacts, NonCommutingGateBlocksCancellation) {
+  ir::Circuit c(1);
+  c.t(0).h(0).tdg(0);  // h is not diagonal: nothing cancels
+  EXPECT_TRUE(analyze(c).cancelling_pairs.empty());
+}
+
+TEST(LintFacts, FindsMergeableRotations) {
+  ir::Circuit c(2);
+  c.rz(Phase::pi_4(), 0).rz(Phase::pi_2(), 0).t(1).t(1);
+  const auto f = analyze(c);
+  ASSERT_EQ(f.mergeable_pairs.size(), 2U);
+  EXPECT_EQ(f.mergeable_pairs[0].first, 0U);
+  EXPECT_EQ(f.mergeable_pairs[0].second, 1U);
+  EXPECT_EQ(f.mergeable_pairs[1].first, 2U);
+  EXPECT_EQ(f.mergeable_pairs[1].second, 3U);
+}
+
+TEST(LintFacts, SelfInverseIdenticalNeighborIsCancellingNotMergeable) {
+  ir::Circuit c(1);
+  c.h(0).h(0);
+  const auto f = analyze(c);
+  EXPECT_EQ(f.cancelling_pairs.size(), 1U);
+  EXPECT_TRUE(f.mergeable_pairs.empty());
+}
+
+// -- Facts: entanglement-cut bound -------------------------------------------
+
+TEST(LintFacts, CutBoundOnNearestNeighborChain) {
+  // A single pass of nearest-neighbor CX gates entangles each cut once.
+  const auto f = analyze(ir::ghz(6));
+  EXPECT_EQ(f.mps_bond_log2, 1U);
+  EXPECT_EQ(f.mps_bond_bound, 2U);
+  for (const auto& cut : f.cuts) {
+    EXPECT_LE(cut.bond_log2, 1U);
+  }
+}
+
+TEST(LintFacts, CutBoundSaturatesAtHalfChain) {
+  const auto f = analyze(ir::random_circuit(6, 200, /*seed=*/5));
+  // min(c, n-c) caps every cut: the middle of 6 qubits is at most 2^3.
+  EXPECT_LE(f.mps_bond_log2, 3U);
+}
+
+TEST(LintFacts, CutBoundIsSoundOnActualMps) {
+  // The static bound must dominate the bond the MPS backend really reaches
+  // on the same lowered circuit it would execute.
+  const ir::Circuit circuits[] = {ir::ghz(6), ir::qft(5),
+                                  ir::random_circuit(6, 40, /*seed=*/9)};
+  for (const auto& c : circuits) {
+    const auto f = analyze(transpile::decompose_two_qubit(
+        transpile::decompose_multi_controlled(c.unitary_part())));
+    tn::MPS mps(c.num_qubits());
+    mps.run(transpile::decompose_two_qubit(
+        transpile::decompose_multi_controlled(c.unitary_part())));
+    EXPECT_LE(mps.max_bond_dimension(), f.mps_bond_bound) << c.name();
+  }
+}
+
+// -- Facts: TN and DD estimates ----------------------------------------------
+
+TEST(LintFacts, TnCostGrowsWithEntanglingDepth) {
+  const auto shallow = analyze(ir::ghz(8));
+  const auto deep = analyze(ir::qft(8));
+  EXPECT_GT(shallow.tn_cost_log2, 0.0);
+  EXPECT_GT(deep.tn_cost_log2, shallow.tn_cost_log2);
+  EXPECT_GE(deep.tn_peak_log2, 1.0);
+}
+
+TEST(LintFacts, DdScoreSeparatesStructuredFromRandom) {
+  const auto ghz = analyze(ir::ghz(10));
+  const auto random = analyze(ir::random_circuit(10, 80, /*seed=*/21));
+  EXPECT_LT(ghz.dd_growth_score, random.dd_growth_score);
+  EXPECT_LT(ghz.dd_nodes_log2, random.dd_nodes_log2);
+  EXPECT_LE(random.dd_nodes_log2, 10.0);  // never above the 2^n ceiling
+}
+
+// -- The backend plan ---------------------------------------------------------
+
+TEST(LintPlan, CliffordCircuitRanksStabilizerFirst) {
+  const auto f = analyze(ir::random_clifford(24, 200, /*seed=*/3));
+  PlanConstraints pc;
+  pc.want_state = false;
+  const auto plan = plan_backends(f, pc);
+  ASSERT_FALSE(plan.preferred_order.empty());
+  EXPECT_EQ(plan.preferred_order[0], Backend::Stabilizer);
+}
+
+TEST(LintPlan, WantStateMakesStabilizerInfeasible) {
+  const auto f = analyze(ir::bell());
+  PlanConstraints pc;
+  pc.want_state = true;
+  const auto plan = plan_backends(f, pc);
+  EXPECT_EQ(plan.preferred_order[0], Backend::Array);
+  EXPECT_EQ(std::count(plan.preferred_order.begin(),
+                       plan.preferred_order.end(), Backend::Stabilizer),
+            0);
+  for (const auto& e : plan.estimates) {
+    if (e.backend == Backend::Stabilizer) {
+      EXPECT_FALSE(e.feasible);
+    }
+  }
+}
+
+TEST(LintPlan, LowEntanglementWideCircuitRanksMpsFirst) {
+  // The 24-qubit nearest-neighbor chain from the recommend_backend tests:
+  // cut bound stays tiny, so MPS must beat the 2^24 array sweep and the DD.
+  ir::Circuit c(24);
+  for (std::size_t q = 0; q < 24; ++q) {
+    c.h(q).t(q);
+    if (q + 1 < 24) {
+      c.cx(q, q + 1);
+    }
+  }
+  PlanConstraints pc;
+  pc.want_state = true;  // knocks the tableau out regardless
+  const auto plan = plan_backends(analyze(c), pc);
+  EXPECT_EQ(plan.preferred_order[0], Backend::Mps);
+}
+
+TEST(LintPlan, NoiseLeavesOnlyDensityCapableBackends) {
+  PlanConstraints pc;
+  pc.has_noise = true;
+  const auto plan = plan_backends(analyze(ir::ghz(4)), pc);
+  for (const auto b : plan.preferred_order) {
+    EXPECT_TRUE(b == Backend::Array || b == Backend::DecisionDiagram);
+  }
+  EXPECT_EQ(plan.preferred_order.size(), 2U);
+}
+
+TEST(LintPlan, VerifyPlanLeadsWithZxOnCliffordPairs) {
+  const auto cf = analyze(ir::ghz(5));
+  const auto nf = analyze(ir::qft(4));
+  const auto clifford = plan_verify(cf, cf);
+  ASSERT_FALSE(clifford.empty());
+  EXPECT_EQ(clifford.front(), VerifyMethod::Zx);
+  EXPECT_EQ(clifford.back(), VerifyMethod::DdSimulative);
+  const auto mixed = plan_verify(cf, nf);
+  EXPECT_EQ(mixed.front(), VerifyMethod::DdAlternating);
+  EXPECT_EQ(mixed.back(), VerifyMethod::DdSimulative);
+}
+
+// -- Diagnostics and JSON -----------------------------------------------------
+
+TEST(LintReport, EmitsExpectedDiagnostics) {
+  ir::Circuit c(3);
+  c.h(0).t(1).tdg(1);  // qubit 2 dead, t/tdg cancels
+  const auto report = run(c);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.warnings(), 2U);
+  const auto has_code = [&](const char* code) {
+    return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                       [&](const Diagnostic& d) { return d.code == code; });
+  };
+  EXPECT_TRUE(has_code("dead-qubit"));
+  EXPECT_TRUE(has_code("cancelling-pair"));
+}
+
+TEST(LintReport, CleanCircuitHasNoWarnings) {
+  const auto report = run(ir::ghz(4));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.warnings(), 0U);
+}
+
+TEST(LintReport, JsonCarriesFactsPlanAndDiagnostics) {
+  ir::Circuit c(3);
+  c.h(0).t(1).tdg(1);
+  const std::string json = to_json(run(c));
+  EXPECT_NE(json.find("\"facts\""), std::string::npos);
+  EXPECT_NE(json.find("\"t_count\":2"), std::string::npos);  // t and tdg
+  EXPECT_NE(json.find("\"dead_qubits\":[2]"), std::string::npos);
+  EXPECT_NE(json.find("\"plan\""), std::string::npos);
+  EXPECT_NE(json.find("\"backend\":\"array\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"cancelling-pair\""), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+}
+
+// -- Acceptance: the plan drives the robust ladder ----------------------------
+
+TEST(LintLadder, CliffordCircuitPicksStabilizerFirstWithZeroDegradation) {
+  const auto c = ir::random_clifford(24, 200, /*seed=*/3);
+  core::SimulateOptions opts;
+  opts.want_state = false;
+  opts.shots = 16;
+  const std::uint64_t steps_before =
+      obs::counter("qdt.guard.fallback.steps").value();
+  const std::uint64_t hits_before =
+      obs::counter("qdt.lint.predict.hit").value();
+  const auto robust = core::simulate_robust(c, opts);  // no explicit start
+  ASSERT_EQ(robust.attempts.size(), 1U);
+  EXPECT_EQ(robust.attempts[0].stage, "stabilizer");
+  EXPECT_TRUE(robust.attempts[0].error.empty());
+  EXPECT_FALSE(robust.degraded());
+  EXPECT_EQ(robust.result.backend, core::SimBackend::Stabilizer);
+  EXPECT_EQ(obs::counter("qdt.guard.fallback.steps").value(), steps_before);
+#if QDT_OBS_ENABLED
+  EXPECT_EQ(obs::counter("qdt.lint.predict.hit").value(), hits_before + 1);
+#else
+  (void)hits_before;
+#endif
+}
+
+TEST(LintLadder, WantStateOnCliffordFallsToDenseBackendWithoutDegrading) {
+  // want_state makes the tableau infeasible *statically* — the plan must
+  // route around it instead of paying for an Unsupported throw.
+  const auto robust = core::simulate_robust(ir::bell(), {});
+  ASSERT_EQ(robust.attempts.size(), 1U);
+  EXPECT_EQ(robust.attempts[0].stage, "array");
+  ASSERT_TRUE(robust.result.state.has_value());
+}
+
+TEST(LintLadder, PlannedVerifyLeadsWithZxOnCliffordPair) {
+  const auto robust = core::verify_robust(ir::ghz(4), ir::ghz(4));
+  EXPECT_TRUE(robust.result.equivalent);
+  ASSERT_FALSE(robust.attempts.empty());
+  EXPECT_EQ(robust.attempts[0].stage, "zx");
+}
+
+TEST(LintLadder, PlannedVerifyLeadsWithDdOnNonCliffordPair) {
+  const auto robust = core::verify_robust(ir::qft(3), ir::qft(3));
+  EXPECT_TRUE(robust.result.equivalent);
+  ASSERT_FALSE(robust.attempts.empty());
+  EXPECT_EQ(robust.attempts[0].stage, "dd-alternating");
+}
+
+}  // namespace
+}  // namespace qdt::lint

@@ -1,0 +1,90 @@
+// Cross-validation of the lint cost model against actual backend runs on
+// fuzzer-generated circuits: the static predictions must be *sound* —
+// predicted-Clifford circuits really run on the tableau and agree with the
+// dense oracle, and the entanglement-cut bound really dominates the bond
+// dimension the MPS backend reaches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arrays/svsim.hpp"
+#include "chaos/generator.hpp"
+#include "common/rng.hpp"
+#include "lint/facts.hpp"
+#include "stab/tableau.hpp"
+#include "tn/mps.hpp"
+#include "transpile/decompose.hpp"
+
+namespace qdt::lint {
+namespace {
+
+constexpr std::size_t kCases = 200;
+constexpr std::uint64_t kSeed = 20260806;
+
+/// The exact circuit the core MPS rung executes: unitary part, lowered to
+/// one- and two-qubit gates. The cut bound is stated against this form.
+ir::Circuit mps_lowered(const ir::Circuit& c) {
+  return transpile::decompose_two_qubit(
+      transpile::decompose_multi_controlled(c.unitary_part()));
+}
+
+TEST(LintChaos, CliffordPredictionMatchesStabilizerBackend) {
+  Rng rng(kSeed);
+  std::size_t clifford_cases = 0;
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const auto generated = chaos::generate_case(rng);
+    const ir::Circuit c = generated.circuit.unitary_part();
+    const auto facts = analyze(c);
+    // The static classifier and the tableau's own dispatcher must agree on
+    // every generated circuit — else the planned ladder would start on a
+    // backend that instantly throws Unsupported.
+    ASSERT_EQ(facts.is_clifford, stab::is_clifford_circuit(c))
+        << "case " << i << " (" << generated.family << ")";
+    if (!facts.is_clifford || c.num_qubits() == 0) {
+      continue;
+    }
+    ++clifford_cases;
+    // Predicted Clifford: the tableau must run it and agree with the dense
+    // statevector on every single-qubit marginal.
+    stab::StabilizerSimulator stab_sim(c.num_qubits());
+    ASSERT_NO_THROW(stab_sim.run(c)) << "case " << i;
+    arrays::StatevectorSimulator dense;
+    const auto state = dense.run(c).state;
+    for (std::size_t q = 0; q < c.num_qubits(); ++q) {
+      double p1 = 0.0;
+      for (std::uint64_t b = 0; b < state.dim(); ++b) {
+        if ((b >> q) & 1U) {
+          p1 += std::norm(state.amplitudes()[b]);
+        }
+      }
+      EXPECT_NEAR(stab_sim.tableau().prob_one(q), p1, 1e-9)
+          << "case " << i << " qubit " << q;
+    }
+  }
+  // The generator leans on Clifford-rich families; the sweep must actually
+  // exercise the property, not vacuously pass.
+  EXPECT_GE(clifford_cases, 20U);
+}
+
+TEST(LintChaos, CutBoundDominatesActualMpsBond) {
+  Rng rng(kSeed + 1);
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const auto generated = chaos::generate_case(rng);
+    const ir::Circuit lowered = mps_lowered(generated.circuit);
+    if (lowered.num_qubits() < 2) {
+      continue;
+    }
+    const auto facts = analyze(lowered);
+    tn::MPS mps(lowered.num_qubits());  // exact: no truncation
+    mps.run(lowered);
+    EXPECT_LE(mps.max_bond_dimension(), facts.mps_bond_bound)
+        << "case " << i << " (" << generated.family << "): static bound 2^"
+        << facts.mps_bond_log2 << " violated";
+    ++checked;
+  }
+  EXPECT_GE(checked, 100U);
+}
+
+}  // namespace
+}  // namespace qdt::lint

@@ -11,9 +11,13 @@ Contract (see qdt_cli.cpp):
 Structured failures must print `<code-name>: <message>` on stderr and must
 never crash (no signal deaths, no uncaught exceptions).
 
+`qdt lint` additionally exits 1 when warnings fired on an otherwise valid
+circuit, mirroring compiler-style linters.
+
 Usage: check_cli_exit_codes.py <path-to-qdt-binary>
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -95,6 +99,37 @@ def main() -> int:
             0,
         )
         expect("verify equivalent", run(binary, ["verify", good, good]), 0)
+
+        # The lint contract: clean circuit -> 0, warnings -> 1, bad input
+        # -> 2, and --json emits a machine-parseable report either way.
+        dirty = os.path.join(tmp, "dirty.qasm")
+        with open(dirty, "w", encoding="utf-8") as f:
+            f.write("OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0], q[1];\n")
+        expect("lint clean", run(binary, ["lint", good]), 0)
+        expect("lint warnings", run(binary, ["lint", dirty]), 1)
+        expect(
+            "lint missing file",
+            run(binary, ["lint", os.path.join(tmp, "nope.qasm")]),
+            2,
+            stderr_contains="bad-input",
+        )
+        expect("lint malformed qasm", run(binary, ["lint", bad]), 2)
+        lint_json = run(binary, ["lint", dirty, "--json"])
+        expect("lint json warnings", lint_json, 1)
+        try:
+            report = json.loads(lint_json.stdout)
+            if report.get("warnings") != 1 or report.get("clean") is not False:
+                failures.append(
+                    f"lint json: unexpected report summary: "
+                    f"{lint_json.stdout.strip()!r}"
+                )
+            if report["facts"].get("dead_qubits") != [2]:
+                failures.append(
+                    f"lint json: expected dead qubit 2: "
+                    f"{report['facts'].get('dead_qubits')!r}"
+                )
+        except (json.JSONDecodeError, KeyError) as exc:
+            failures.append(f"lint json: unparseable output ({exc})")
 
     if failures:
         print("qdt CLI exit-code contract violations:")

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Enforce the src/ layering DAG via include statements.
+
+The library is a stack: foundational layers (obs, guard, common) under the
+IR, backends over the IR, the lint pass over the IR only, core over every
+backend, and chaos over core. An include that points *up* the stack is a
+layering violation — it either creates a dependency cycle outright or
+quietly couples a backend to orchestration code it must not know about.
+
+Allowed dependencies (a layer may always include itself):
+
+  obs       -> (nothing else: the metrics layer is the foundation)
+  guard     -> obs
+  common    -> guard, obs
+  ir        -> common, guard, obs
+  arrays    -> ir + below
+  stab      -> ir + below
+  transpile -> ir + below
+  dd        -> arrays, ir + below
+  tn        -> arrays, ir + below
+  zx        -> tn, transpile, arrays, ir + below
+  lint      -> ir + below        (static analysis must never simulate)
+  core      -> every backend     (but not chaos, except the umbrella header)
+  chaos     -> core + everything (it orchestrates the whole library)
+
+Nobody may include tools/. The single exemption: src/core/qdt.hpp is the
+umbrella header and re-exports chaos for library users.
+
+Usage: check_layering.py <repo-root>
+"""
+
+import os
+import re
+import sys
+
+FOUNDATION = {"obs", "guard", "common"}
+IR_AND_BELOW = FOUNDATION | {"ir"}
+
+ALLOWED = {
+    "obs": set(),
+    "guard": {"obs"},
+    "common": {"guard", "obs"},
+    "ir": FOUNDATION,
+    "arrays": IR_AND_BELOW,
+    "stab": IR_AND_BELOW,
+    "transpile": IR_AND_BELOW,
+    "dd": IR_AND_BELOW | {"arrays"},
+    "tn": IR_AND_BELOW | {"arrays"},
+    "zx": IR_AND_BELOW | {"arrays", "tn", "transpile"},
+    "lint": IR_AND_BELOW,
+    "core": IR_AND_BELOW
+    | {"arrays", "stab", "transpile", "dd", "tn", "zx", "lint"},
+    "chaos": IR_AND_BELOW
+    | {"arrays", "stab", "transpile", "dd", "tn", "zx", "lint", "core"},
+}
+
+# (relative file, included layer) pairs that are deliberately legal.
+EXEMPT = {
+    ("src/core/qdt.hpp", "chaos"),  # umbrella header re-exports everything
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([a-z_]+)/')
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: check_layering.py <repo-root>")
+        return 1
+    root = sys.argv[1]
+    src = os.path.join(root, "src")
+    violations = []
+    layers_seen = set()
+
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for filename in sorted(filenames):
+            if not filename.endswith((".hpp", ".cpp")):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            layer = rel.split("/")[1]
+            layers_seen.add(layer)
+            if layer not in ALLOWED:
+                violations.append(f"{rel}: unknown layer {layer!r} — add it "
+                                  "to the DAG in tools/check_layering.py")
+                continue
+            allowed = ALLOWED[layer] | {layer}
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, 1):
+                    m = INCLUDE_RE.match(line)
+                    if not m:
+                        continue
+                    target = m.group(1)
+                    if target == "tools":
+                        violations.append(
+                            f"{rel}:{lineno}: includes tools/ — the CLI is "
+                            "not a library layer"
+                        )
+                        continue
+                    if target not in ALLOWED:
+                        continue  # system-ish or generated header
+                    if target in allowed or (rel, target) in EXEMPT:
+                        continue
+                    violations.append(
+                        f"{rel}:{lineno}: layer {layer!r} must not include "
+                        f"{target!r} (allowed: "
+                        f"{', '.join(sorted(allowed)) or 'only itself'})"
+                    )
+
+    missing = set(ALLOWED) - layers_seen
+    if missing:
+        violations.append(
+            f"layers named in the DAG but absent from src/: "
+            f"{', '.join(sorted(missing))} — keep the checker in sync"
+        )
+
+    if violations:
+        print("layering violations:")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print(f"layering OK across {len(layers_seen)} layers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 // qdt — command-line front end for the library's three design tasks.
 //
 //   qdt stats    <file.qasm>
+//   qdt lint     <file.qasm> [--json] [--state] [--noise P]
 //   qdt simulate <file.qasm> [--backend array|dd|tn|mps|stab|auto]
 //                [--shots N] [--seed S] [--noise P] [--state]
 //   qdt verify   <a.qasm> <b.qasm> [--method array|dd|dd-seq|dd-sim|zx]
@@ -11,6 +12,16 @@
 //                [--max-qubits N] [--max-ops N] [--no-shrink] [--no-parser]
 //                [--plant tflip|cxdrop|phasedrift] [--replay file.qasm]
 //                [--case-seed S]
+//
+// `lint` runs the qdt::lint static-analysis pass — no simulation: Clifford
+// fraction and T-count, dead/idle qubits, trivially cancelling or foldable
+// gate pairs, per-qubit lightcones, the entanglement-cut bound on the MPS
+// bond dimension, a greedy tensor-network contraction-cost estimate, a
+// DD-size growth heuristic, and the ranked backend plan the robust ladder
+// would use. --json emits the full structured report; --state/--noise
+// declare what the eventual simulation will need so the plan ranks only
+// backends that can serve it. Exit 0 when clean, 1 when warnings fired,
+// 2 on bad input.
 //
 // `fuzz` drives the qdt::chaos differential fuzzer: generated circuits run
 // through every applicable backend pair plus metamorphic equivalence
@@ -52,6 +63,7 @@ using namespace qdt;
   std::cerr <<
       R"(usage:
   qdt stats    <file.qasm>
+  qdt lint     <file.qasm> [--json] [--state] [--noise P]
   qdt simulate <file.qasm> [--backend array|dd|tn|mps|stab|auto]
                [--shots N] [--seed S] [--noise P] [--state] [--robust]
   qdt verify   <a.qasm> <b.qasm> [--method array|dd|dd-seq|dd-sim|zx]
@@ -97,7 +109,7 @@ std::map<std::string, std::string> parse_flags(
       } else if (key == "state" || key == "no-opt" || key == "verify" ||
                  key == "metrics" || key == "robust" || key == "chaos" ||
                  key == "no-shrink" || key == "no-parser" ||
-                 key == "trace") {
+                 key == "trace" || key == "json") {
         flags[key] = "";
       } else if (i + 1 < args.size()) {
         flags[key] = args[++i];
@@ -168,6 +180,59 @@ int cmd_stats(const std::vector<std::string>& args) {
   }
   emit_metrics(flags);
   return 0;
+}
+
+int cmd_lint(const std::vector<std::string>& args) {
+  std::vector<std::string> pos;
+  auto flags = parse_flags(args, pos);
+  if (pos.size() != 1) {
+    usage();
+  }
+  const ir::Circuit c = load(pos[0]);
+  lint::PlanConstraints constraints;
+  constraints.want_state = flags.contains("state");
+  constraints.has_noise = flags.contains("noise");
+  const lint::Report report = lint::run(c, constraints);
+  if (flags.contains("json")) {
+    std::cout << lint::to_json(report) << "\n";
+    emit_metrics(flags);
+    return report.clean() ? 0 : 1;
+  }
+  const lint::CircuitFacts& f = report.facts;
+  std::cout << "qubits:            " << f.num_qubits << "\n";
+  std::cout << "gates:             " << f.unitary_gates << " (depth "
+            << f.depth << ", " << f.measurements << " measurements)\n";
+  std::cout << "t-count:           " << f.t_count << "\n";
+  std::cout << "clifford:          " << (f.is_clifford ? "yes" : "no")
+            << " (fraction " << f.clifford_fraction << ")\n";
+  std::cout << "max lightcone:     " << f.max_lightcone << " of "
+            << f.num_qubits << " qubits (mean " << f.mean_lightcone << ")\n";
+  std::cout << "mps bond bound:    2^" << f.mps_bond_log2 << "\n";
+  std::cout << "tn contraction:    ~2^" << f.tn_cost_log2 << " flops (peak 2^"
+            << f.tn_peak_log2 << " elements)\n";
+  std::cout << "dd growth score:   " << f.dd_growth_score << " (~2^"
+            << f.dd_nodes_log2 << " nodes)\n";
+  std::cout << "plan:\n";
+  for (const auto& e : report.plan.estimates) {
+    std::cout << "  " << lint::backend_label(e.backend) << ": ";
+    if (e.feasible) {
+      std::cout << "cost ~2^" << e.cost_log2;
+    } else {
+      std::cout << "infeasible";
+    }
+    std::cout << " — " << e.rationale << "\n";
+  }
+  for (const auto& d : report.diagnostics) {
+    std::cout << lint::severity_name(d.severity) << ": [" << d.code << "] "
+              << d.message << "\n";
+  }
+  if (report.clean()) {
+    std::cout << "clean\n";
+  } else {
+    std::cout << "warnings: " << report.warnings() << "\n";
+  }
+  emit_metrics(flags);
+  return report.clean() ? 0 : 1;
 }
 
 core::SimBackend backend_from(const std::string& name,
@@ -280,9 +345,11 @@ int cmd_verify(const std::vector<std::string>& args) {
   core::VerifyResult res;
   std::string used = core::method_name(method);
   if (flags.contains("robust")) {
-    const auto robust =
-        core::verify_robust(a.unitary_part(), b.unitary_part(), method,
-                            budget);
+    const auto robust = core::verify_robust(
+        a.unitary_part(), b.unitary_part(),
+        flags.contains("method") ? std::optional<core::EcMethod>{method}
+                                 : std::nullopt,
+        budget);
     for (const auto& step : robust.attempts) {
       if (!step.error.empty()) {
         std::cout << "fallback: " << step.stage << " failed (" << step.error
@@ -474,6 +541,9 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "stats") {
       return cmd_stats(args);
+    }
+    if (cmd == "lint") {
+      return cmd_lint(args);
     }
     if (cmd == "simulate") {
       return cmd_simulate(args);
