@@ -1,0 +1,59 @@
+// Thread-scaling sweep for the qdt::par execution layer.
+//
+// The same array-backend workloads (GHZ-20, QFT-20, and a 20-qubit random
+// circuit) run with the in-process thread cap swept over 1/2/4/8. Because
+// the chunk decomposition is thread-count independent, every configuration
+// computes bitwise-identical states — the only thing that may change with
+// the Arg is wall-clock time. The BENCH_par_scaling.json lines carry the
+// per-configuration timing plus the qdt.par.* pool counters (tasks, chunks,
+// stolen chunks, idle time) that explain it.
+#include <benchmark/benchmark.h>
+
+#include "bench_json.hpp"
+#include "core/tasks.hpp"
+#include "ir/library.hpp"
+#include "par/pool.hpp"
+
+namespace {
+
+using qdt::core::SimBackend;
+
+void sim_at_threads(benchmark::State& state, const std::string& name,
+                    const qdt::ir::Circuit& c) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  qdt::par::set_max_threads(threads);
+  qdt::core::SimulateOptions opts;
+  opts.want_state = false;
+  opts.shots = 16;
+  opts.seed = 3;
+  for (auto _ : state) {
+    const auto res = qdt::core::simulate(c, SimBackend::Array, opts);
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["qubits"] = static_cast<double>(c.num_qubits());
+  // One fresh instrumented run for the machine-readable line.
+  qdt::obs::reset();
+  const auto res = qdt::core::simulate(c, SimBackend::Array, opts);
+  qdt::bench::emit_json_line("par_scaling",
+                             name + "_t" + std::to_string(threads), "array",
+                             res.seconds, res.representation_size);
+  qdt::par::set_max_threads(1);
+}
+
+#define QDT_PAR_BENCH(name, circuit)                        \
+  void BM_##name(benchmark::State& state) {                 \
+    static const qdt::ir::Circuit c = circuit;              \
+    sim_at_threads(state, #name, c);                        \
+  }                                                         \
+  BENCHMARK(BM_##name)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+
+QDT_PAR_BENCH(ParGhz20, qdt::ir::ghz(20));
+QDT_PAR_BENCH(ParQft20, qdt::ir::qft(20));
+QDT_PAR_BENCH(ParRandom20, qdt::ir::random_circuit(20, 24, 7));
+
+#undef QDT_PAR_BENCH
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -66,6 +66,18 @@ QDT_SIM_BENCH(Random10, qdt::ir::random_circuit(10, 8, 7));
 
 #undef QDT_SIM_BENCH
 
+// 20-qubit array-backend entries (the other backends' stories at this size
+// belong to their own claim benches): the workloads the thread-scaling
+// sweep in bench_par_scaling.cpp compares against --threads N.
+void BM_Ghz20_Array(benchmark::State& state) {
+  sim(state, "Ghz20_Array", qdt::ir::ghz(20), SimBackend::Array);
+}
+BENCHMARK(BM_Ghz20_Array);
+void BM_Qft20_Array(benchmark::State& state) {
+  sim(state, "Qft20_Array", qdt::ir::qft(20), SimBackend::Array);
+}
+BENCHMARK(BM_Qft20_Array);
+
 // Single-amplitude queries: the tensor-network specialty.
 void BM_AmplitudeQuery(benchmark::State& state) {
   const auto c = qdt::ir::hidden_shift(16, 0xAAAA);

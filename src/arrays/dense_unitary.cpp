@@ -1,14 +1,22 @@
 #include "arrays/dense_unitary.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "arrays/statevector.hpp"
 #include "guard/budget.hpp"
+#include "par/pool.hpp"
 
 namespace qdt::arrays {
 
 namespace {
+
+/// Rows/columns per parallel chunk, scaled so a chunk carries roughly a
+/// kernel-grain worth of O(dim)-cost lines (small matrices run inline).
+std::size_t line_grain(std::size_t dim) {
+  return std::max<std::size_t>(1, par::kKernelGrain / dim);
+}
 
 /// See checked_density_width in density_matrix.cpp: validate before the
 /// member-initializer shift, with a structured ResourceExhausted error.
@@ -51,18 +59,22 @@ void DenseUnitary::apply(const ir::Operation& op) {
   }
   // G * U: apply the gate kernel to each column of U. Columns of a row-major
   // matrix are strided; reuse the statevector kernel on copied columns for
-  // clarity (oracle code — correctness over speed).
-  std::vector<Complex> column(dim_);
-  for (std::size_t c = 0; c < dim_; ++c) {
-    for (std::size_t r = 0; r < dim_; ++r) {
-      column[r] = at(r, c);
-    }
-    Statevector sv(column);
-    sv.apply(op);
-    for (std::size_t r = 0; r < dim_; ++r) {
-      at(r, c) = sv.amplitudes()[r];
-    }
-  }
+  // clarity (oracle code — correctness over speed). Columns are independent,
+  // so chunks write disjoint entries.
+  par::parallel_for(
+      0, dim_, line_grain(dim_), [&](std::size_t lo, std::size_t hi) {
+        std::vector<Complex> column(dim_);
+        for (std::size_t c = lo; c < hi; ++c) {
+          for (std::size_t r = 0; r < dim_; ++r) {
+            column[r] = at(r, c);
+          }
+          Statevector sv(column);
+          sv.apply(op);
+          for (std::size_t r = 0; r < dim_; ++r) {
+            at(r, c) = sv.amplitudes()[r];
+          }
+        }
+      });
 }
 
 DenseUnitary DenseUnitary::operator*(const DenseUnitary& rhs) const {
@@ -70,15 +82,20 @@ DenseUnitary DenseUnitary::operator*(const DenseUnitary& rhs) const {
     throw std::invalid_argument("DenseUnitary: dimension mismatch");
   }
   DenseUnitary r(num_qubits_);
-  for (std::size_t i = 0; i < dim_; ++i) {
-    for (std::size_t j = 0; j < dim_; ++j) {
-      Complex s = 0.0;
-      for (std::size_t k = 0; k < dim_; ++k) {
-        s += at(i, k) * rhs.at(k, j);
-      }
-      r.at(i, j) = s;
-    }
-  }
+  // Rows of the product are independent.
+  par::parallel_for(0, dim_,
+                    std::max<std::size_t>(1, par::kKernelGrain / (dim_ * dim_)),
+                    [&](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        for (std::size_t j = 0; j < dim_; ++j) {
+                          Complex s = 0.0;
+                          for (std::size_t k = 0; k < dim_; ++k) {
+                            s += at(i, k) * rhs.at(k, j);
+                          }
+                          r.at(i, j) = s;
+                        }
+                      }
+                    });
   return r;
 }
 

@@ -1,13 +1,22 @@
 #include "arrays/density_matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "guard/budget.hpp"
+#include "par/pool.hpp"
 
 namespace qdt::arrays {
 
 namespace {
+
+/// Rows/columns per parallel chunk: one column costs O(dim) flops, so scale
+/// the grain to keep roughly a kernel-grain worth of elements per chunk
+/// (small matrices stay on one chunk and run inline).
+std::size_t line_grain(std::size_t dim) {
+  return std::max<std::size_t>(1, par::kKernelGrain / dim);
+}
 
 /// Width check *before* the member-initializer shift: 1 << n for n >= 64
 /// is UB, and a 4^n matrix past the wall must die with a structured error.
@@ -43,32 +52,39 @@ DensityMatrix::DensityMatrix(const Statevector& psi)
 }
 
 void DensityMatrix::apply_left(const ir::Operation& op) {
-  std::vector<Complex> column(dim_);
-  for (std::size_t c = 0; c < dim_; ++c) {
-    for (std::size_t r = 0; r < dim_; ++r) {
-      column[r] = at(r, c);
-    }
-    Statevector sv(column);
-    sv.apply(op);
-    for (std::size_t r = 0; r < dim_; ++r) {
-      at(r, c) = sv.amplitudes()[r];
-    }
-  }
+  // Columns are independent (each chunk writes its own columns only).
+  par::parallel_for(
+      0, dim_, line_grain(dim_), [&](std::size_t lo, std::size_t hi) {
+        std::vector<Complex> column(dim_);
+        for (std::size_t c = lo; c < hi; ++c) {
+          for (std::size_t r = 0; r < dim_; ++r) {
+            column[r] = at(r, c);
+          }
+          Statevector sv(column);
+          sv.apply(op);
+          for (std::size_t r = 0; r < dim_; ++r) {
+            at(r, c) = sv.amplitudes()[r];
+          }
+        }
+      });
 }
 
 void DensityMatrix::apply_right_dagger(const ir::Operation& op) {
   // rho U^dagger: conjugate each row, apply U as a kernel, conjugate back.
-  std::vector<Complex> row(dim_);
-  for (std::size_t r = 0; r < dim_; ++r) {
-    for (std::size_t c = 0; c < dim_; ++c) {
-      row[c] = std::conj(at(r, c));
-    }
-    Statevector sv(row);
-    sv.apply(op);
-    for (std::size_t c = 0; c < dim_; ++c) {
-      at(r, c) = std::conj(sv.amplitudes()[c]);
-    }
-  }
+  par::parallel_for(
+      0, dim_, line_grain(dim_), [&](std::size_t lo, std::size_t hi) {
+        std::vector<Complex> row(dim_);
+        for (std::size_t r = lo; r < hi; ++r) {
+          for (std::size_t c = 0; c < dim_; ++c) {
+            row[c] = std::conj(at(r, c));
+          }
+          Statevector sv(row);
+          sv.apply(op);
+          for (std::size_t c = 0; c < dim_; ++c) {
+            at(r, c) = std::conj(sv.amplitudes()[c]);
+          }
+        }
+      });
 }
 
 void DensityMatrix::apply(const ir::Operation& op) {
@@ -82,35 +98,45 @@ void DensityMatrix::apply(const ir::Operation& op) {
 
 void DensityMatrix::apply_channel(const KrausChannel& channel, ir::Qubit q) {
   std::vector<Complex> acc(dim_ * dim_, Complex{});
-  std::vector<Complex> work(dim_);
   for (const auto& k : channel.ops) {
     // term = K rho K^dagger, built with the raw-matrix statevector kernels.
     std::vector<Complex> term = data_;
     // Left: per column.
-    for (std::size_t c = 0; c < dim_; ++c) {
-      for (std::size_t r = 0; r < dim_; ++r) {
-        work[r] = term[r * dim_ + c];
-      }
-      Statevector sv(work);
-      sv.apply_matrix2(q, k);
-      for (std::size_t r = 0; r < dim_; ++r) {
-        term[r * dim_ + c] = sv.amplitudes()[r];
-      }
-    }
+    par::parallel_for(
+        0, dim_, line_grain(dim_), [&](std::size_t lo, std::size_t hi) {
+          std::vector<Complex> work(dim_);
+          for (std::size_t c = lo; c < hi; ++c) {
+            for (std::size_t r = 0; r < dim_; ++r) {
+              work[r] = term[r * dim_ + c];
+            }
+            Statevector sv(work);
+            sv.apply_matrix2(q, k);
+            for (std::size_t r = 0; r < dim_; ++r) {
+              term[r * dim_ + c] = sv.amplitudes()[r];
+            }
+          }
+        });
     // Right-dagger: per conjugated row.
-    for (std::size_t r = 0; r < dim_; ++r) {
-      for (std::size_t c = 0; c < dim_; ++c) {
-        work[c] = std::conj(term[r * dim_ + c]);
-      }
-      Statevector sv(work);
-      sv.apply_matrix2(q, k);
-      for (std::size_t c = 0; c < dim_; ++c) {
-        term[r * dim_ + c] = std::conj(sv.amplitudes()[c]);
-      }
-    }
-    for (std::size_t i = 0; i < acc.size(); ++i) {
-      acc[i] += term[i];
-    }
+    par::parallel_for(
+        0, dim_, line_grain(dim_), [&](std::size_t lo, std::size_t hi) {
+          std::vector<Complex> work(dim_);
+          for (std::size_t r = lo; r < hi; ++r) {
+            for (std::size_t c = 0; c < dim_; ++c) {
+              work[c] = std::conj(term[r * dim_ + c]);
+            }
+            Statevector sv(work);
+            sv.apply_matrix2(q, k);
+            for (std::size_t c = 0; c < dim_; ++c) {
+              term[r * dim_ + c] = std::conj(sv.amplitudes()[c]);
+            }
+          }
+        });
+    par::parallel_for(0, acc.size(), par::kReduceGrain,
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          acc[i] += term[i];
+                        }
+                      });
   }
   data_ = std::move(acc);
 }

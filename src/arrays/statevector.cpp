@@ -6,6 +6,7 @@
 
 #include "common/bitops.hpp"
 #include "guard/budget.hpp"
+#include "par/pool.hpp"
 
 namespace qdt::arrays {
 
@@ -29,6 +30,8 @@ std::uint64_t control_mask_of(const ir::Operation& op) {
   }
   return mask;
 }
+
+double add(double a, double b) { return a + b; }
 
 }  // namespace
 
@@ -70,90 +73,170 @@ void Statevector::apply(const ir::Operation& op) {
 
 void Statevector::apply_matrix2(ir::Qubit target, const Mat2& m,
                                 std::uint64_t control_mask) {
+  // Every i addresses the disjoint pair (i0, i1), so chunks write disjoint
+  // amplitudes and the result is bitwise identical at any thread count.
+  // Matrix entries are hoisted into locals: stores through data_ cannot
+  // alias them, so the compiler keeps them in registers across the loop.
   const std::size_t half = data_.size() >> 1;
-  for (std::size_t i = 0; i < half; ++i) {
-    const std::uint64_t i0 = insert_zero_bit(i, target);
-    if ((i0 & control_mask) != control_mask) {
-      continue;
-    }
-    const std::uint64_t i1 = i0 | (1ULL << target);
-    const Complex a0 = data_[i0];
-    const Complex a1 = data_[i1];
-    data_[i0] = m(0, 0) * a0 + m(0, 1) * a1;
-    data_[i1] = m(1, 0) * a0 + m(1, 1) * a1;
-  }
+  const Complex m00 = m(0, 0);
+  const Complex m01 = m(0, 1);
+  const Complex m10 = m(1, 0);
+  const Complex m11 = m(1, 1);
+  Complex* const d = data_.data();
+  par::parallel_for(
+      0, half, par::kKernelGrain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::uint64_t i0 = insert_zero_bit(i, target);
+          if ((i0 & control_mask) != control_mask) {
+            continue;
+          }
+          const std::uint64_t i1 = i0 | (1ULL << target);
+          const Complex a0 = d[i0];
+          const Complex a1 = d[i1];
+          d[i0] = m00 * a0 + m01 * a1;
+          d[i1] = m10 * a0 + m11 * a1;
+        }
+      });
 }
 
 void Statevector::apply_matrix4(ir::Qubit t0, ir::Qubit t1, const Mat4& m,
                                 std::uint64_t control_mask) {
   const std::size_t quarter = data_.size() >> 2;
-  const ir::Qubit lo = std::min(t0, t1);
-  const ir::Qubit hi = std::max(t0, t1);
-  for (std::size_t i = 0; i < quarter; ++i) {
-    const std::uint64_t base = insert_two_zero_bits(i, lo, hi);
-    if ((base & control_mask) != control_mask) {
-      continue;
-    }
-    // Matrix index bit 0 corresponds to t0, bit 1 to t1.
-    std::uint64_t idx[4];
-    for (std::uint64_t r = 0; r < 4; ++r) {
-      std::uint64_t v = base;
-      v = set_bit(v, t0, (r & 1) != 0);
-      v = set_bit(v, t1, (r & 2) != 0);
-      idx[r] = v;
-    }
-    const Complex a[4] = {data_[idx[0]], data_[idx[1]], data_[idx[2]],
-                          data_[idx[3]]};
-    for (std::uint64_t r = 0; r < 4; ++r) {
-      Complex s = 0.0;
-      for (std::uint64_t c = 0; c < 4; ++c) {
-        s += m(r, c) * a[c];
-      }
-      data_[idx[r]] = s;
+  const ir::Qubit lo_q = std::min(t0, t1);
+  const ir::Qubit hi_q = std::max(t0, t1);
+  // Hoisted copy for the same aliasing reason as apply_matrix2.
+  Complex mm[4][4];
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    for (std::uint64_t c = 0; c < 4; ++c) {
+      mm[r][c] = m(r, c);
     }
   }
+  Complex* const d = data_.data();
+  par::parallel_for(
+      0, quarter, par::kKernelGrain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::uint64_t base = insert_two_zero_bits(i, lo_q, hi_q);
+          if ((base & control_mask) != control_mask) {
+            continue;
+          }
+          // Matrix index bit 0 corresponds to t0, bit 1 to t1.
+          std::uint64_t idx[4];
+          for (std::uint64_t r = 0; r < 4; ++r) {
+            std::uint64_t v = base;
+            v = set_bit(v, t0, (r & 1) != 0);
+            v = set_bit(v, t1, (r & 2) != 0);
+            idx[r] = v;
+          }
+          const Complex a[4] = {d[idx[0]], d[idx[1]], d[idx[2]], d[idx[3]]};
+          for (std::uint64_t r = 0; r < 4; ++r) {
+            Complex s = 0.0;
+            for (std::uint64_t c = 0; c < 4; ++c) {
+              s += mm[r][c] * a[c];
+            }
+            d[idx[r]] = s;
+          }
+        }
+      });
 }
 
 double Statevector::prob_one(ir::Qubit q) const {
-  double p = 0.0;
   const std::size_t half = data_.size() >> 1;
-  for (std::size_t i = 0; i < half; ++i) {
-    const std::uint64_t i1 = insert_zero_bit(i, q) | (1ULL << q);
-    p += std::norm(data_[i1]);
-  }
-  return p;
+  return par::parallel_reduce(
+      0, half, par::kReduceGrain, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double p = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::uint64_t i1 = insert_zero_bit(i, q) | (1ULL << q);
+          p += std::norm(data_[i1]);
+        }
+        return p;
+      },
+      add);
 }
 
 bool Statevector::measure(ir::Qubit q, Rng& rng) {
-  const double p1 = prob_one(q);
+  // prob_one accumulates 2^(n-1) squared magnitudes; rounding can land a
+  // hair above 1.0, and 1.0 - p1 would then be negative — the unselected
+  // branch's scale would collapse to 0 and silently zero the whole state.
+  const double p1 = std::clamp(prob_one(q), 0.0, 1.0);
   const bool outcome = rng.uniform() < p1;
   const double keep_prob = outcome ? p1 : 1.0 - p1;
-  const double scale =
-      keep_prob > 0.0 ? 1.0 / std::sqrt(keep_prob) : 0.0;
-  const std::size_t half = data_.size() >> 1;
-  for (std::size_t i = 0; i < half; ++i) {
-    const std::uint64_t i0 = insert_zero_bit(i, q);
-    const std::uint64_t i1 = i0 | (1ULL << q);
-    if (outcome) {
-      data_[i0] = 0.0;
-      data_[i1] *= scale;
-    } else {
-      data_[i0] *= scale;
-      data_[i1] = 0.0;
-    }
+  if (!(keep_prob > 0.0)) {
+    // Possible only on a degenerate draw (e.g. uniform() == 1.0 against
+    // p1 == 1.0) or a corrupted state; zeroing the state silently is never
+    // acceptable, so fail loudly instead.
+    throw Error::internal(
+        "Statevector::measure: selected outcome " +
+        std::to_string(static_cast<int>(outcome)) + " on qubit " +
+        std::to_string(q) + " has non-positive probability " +
+        std::to_string(keep_prob));
   }
+  const double scale = 1.0 / std::sqrt(keep_prob);
+  const std::size_t half = data_.size() >> 1;
+  par::parallel_for(
+      0, half, par::kKernelGrain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::uint64_t i0 = insert_zero_bit(i, q);
+          const std::uint64_t i1 = i0 | (1ULL << q);
+          if (outcome) {
+            data_[i0] = 0.0;
+            data_[i1] *= scale;
+          } else {
+            data_[i0] *= scale;
+            data_[i1] = 0.0;
+          }
+        }
+      });
   return outcome;
 }
 
-std::uint64_t Statevector::sample(Rng& rng) const {
-  double r = rng.uniform();
+std::vector<double> Statevector::cumulative_probabilities() const {
+  // Sequential prefix sum on purpose: the partial sums are exactly those
+  // of the historical per-shot linear scan, so binary-searching this
+  // vector reproduces its draws bit for bit.
+  std::vector<double> cdf(data_.size());
+  double acc = 0.0;
   for (std::size_t i = 0; i < data_.size(); ++i) {
-    r -= std::norm(data_[i]);
-    if (r <= 0.0) {
-      return i;
-    }
+    acc += std::norm(data_[i]);
+    cdf[i] = acc;
   }
-  return data_.size() - 1;  // numerical remainder lands on the last state
+  return cdf;
+}
+
+std::uint64_t Statevector::sample_from_cdf(const std::vector<double>& cdf,
+                                           Rng& rng) {
+  const double r = rng.uniform();
+  // First index with cdf[i] >= r — the same state the linear scan
+  // (r - sum <= 0) selects. The numerical remainder (r beyond the final
+  // partial sum) lands on the last state, as before.
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+  if (it == cdf.end()) {
+    return cdf.size() - 1;
+  }
+  return static_cast<std::uint64_t>(it - cdf.begin());
+}
+
+std::uint64_t Statevector::sample(Rng& rng) const {
+  return sample_from_cdf(cumulative_probabilities(), rng);
+}
+
+double Statevector::branch_weight(ir::Qubit q, const Mat2& k) const {
+  const std::size_t half = data_.size() >> 1;
+  return par::parallel_reduce(
+      0, half, par::kReduceGrain, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double w = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::uint64_t i0 = insert_zero_bit(i, q);
+          const std::uint64_t i1 = i0 | (1ULL << q);
+          const Complex a0 = data_[i0];
+          const Complex a1 = data_[i1];
+          w += std::norm(k(0, 0) * a0 + k(0, 1) * a1) +
+               std::norm(k(1, 0) * a0 + k(1, 1) * a1);
+        }
+        return w;
+      },
+      add);
 }
 
 void Statevector::reset(ir::Qubit q, Rng& rng) {
@@ -169,11 +252,16 @@ Complex Statevector::inner_product(const Statevector& other) const {
   if (other.dim() != dim()) {
     throw std::invalid_argument("inner_product: dimension mismatch");
   }
-  Complex s = 0.0;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    s += std::conj(data_[i]) * other.data_[i];
-  }
-  return s;
+  return par::parallel_reduce(
+      0, data_.size(), par::kReduceGrain, Complex{},
+      [&](std::size_t lo, std::size_t hi) {
+        Complex s = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          s += std::conj(data_[i]) * other.data_[i];
+        }
+        return s;
+      },
+      [](Complex a, Complex b) { return a + b; });
 }
 
 double Statevector::fidelity(const Statevector& other) const {
@@ -181,10 +269,16 @@ double Statevector::fidelity(const Statevector& other) const {
 }
 
 double Statevector::norm() const {
-  double s = 0.0;
-  for (const auto& a : data_) {
-    s += std::norm(a);
-  }
+  const double s = par::parallel_reduce(
+      0, data_.size(), par::kReduceGrain, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double p = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          p += std::norm(data_[i]);
+        }
+        return p;
+      },
+      add);
   return std::sqrt(s);
 }
 
@@ -194,16 +288,22 @@ void Statevector::normalize() {
     throw std::logic_error("normalize: zero state");
   }
   const double inv = 1.0 / n;
-  for (auto& a : data_) {
-    a *= inv;
-  }
+  par::parallel_for(0, data_.size(), par::kReduceGrain,
+                    [&](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        data_[i] *= inv;
+                      }
+                    });
 }
 
 std::vector<double> Statevector::probabilities() const {
   std::vector<double> p(data_.size());
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    p[i] = std::norm(data_[i]);
-  }
+  par::parallel_for(0, data_.size(), par::kReduceGrain,
+                    [&](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        p[i] = std::norm(data_[i]);
+                      }
+                    });
   return p;
 }
 

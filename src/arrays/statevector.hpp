@@ -47,10 +47,32 @@ class Statevector {
   double prob_one(ir::Qubit q) const;
 
   /// Measure a single qubit: collapses the state, returns the outcome.
+  /// The branch probability is clamped into [0, 1] before the draw —
+  /// prob_one sums 2^(n-1) terms and rounding can push it past 1.0, which
+  /// would otherwise make the unselected branch's renormalization factor
+  /// degenerate. Throws Error(Internal) if the selected branch has
+  /// non-positive probability (the state would be silently zeroed).
   bool measure(ir::Qubit q, Rng& rng);
 
-  /// Non-destructive sampling of a full basis-state readout.
+  /// Non-destructive sampling of a full basis-state readout. One uniform
+  /// draw per call; equivalent to sample_from_cdf(cumulative_probabilities()).
   std::uint64_t sample(Rng& rng) const;
+
+  /// Running sum of |a_i|^2, accumulated sequentially (index order), so a
+  /// binary search over it selects exactly the basis state the historical
+  /// linear scan would have selected for the same uniform draw. Build this
+  /// once per state, then draw shots in O(log 2^n) each.
+  std::vector<double> cumulative_probabilities() const;
+
+  /// One basis-state draw from a prebuilt cumulative distribution (one
+  /// rng.uniform() per call, binary search). `cdf` must come from
+  /// cumulative_probabilities() on a state of the same dimension.
+  static std::uint64_t sample_from_cdf(const std::vector<double>& cdf,
+                                       Rng& rng);
+
+  /// || K |psi> ||^2 for a single-qubit operator K on `q`, computed in
+  /// place over the (i0, i1) index pairs — no state copy is materialized.
+  double branch_weight(ir::Qubit q, const Mat2& k) const;
 
   /// Force qubit q to |0> (measure and, on outcome 1, apply X).
   void reset(ir::Qubit q, Rng& rng);

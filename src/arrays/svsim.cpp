@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <vector>
 
 #include "common/bitops.hpp"
 #include "guard/budget.hpp"
 #include "obs/obs.hpp"
+#include "par/pool.hpp"
 
 namespace qdt::arrays {
 
@@ -17,9 +20,34 @@ obs::Gauge& g_bytes_peak = obs::gauge("qdt.arrays.svsim.bytes_peak");
 obs::Histogram& g_gate_seconds =
     obs::histogram("qdt.arrays.svsim.gate_seconds");
 
+/// Shots per chunk when drawing from a prebuilt CDF (a draw is one binary
+/// search, so batch generously); trajectory shots re-run the whole circuit
+/// and get a chunk each.
+constexpr std::size_t kCdfShotGrain = 256;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void merge_counts(std::map<std::uint64_t, std::size_t>& into,
+                  const std::map<std::uint64_t, std::size_t>& from,
+                  std::mutex& mu) {
+  const std::lock_guard<std::mutex> lock(mu);
+  for (const auto& [word, n] : from) {
+    into[word] += n;
+  }
+}
+
 }  // namespace
 
 SvResult StatevectorSimulator::run(const ir::Circuit& circuit) {
+  return run_with(circuit, rng_);
+}
+
+SvResult StatevectorSimulator::run_with(const ir::Circuit& circuit, Rng& rng) {
   SvResult res{Statevector(circuit.num_qubits()), {}};
   const std::size_t state_bytes = res.state.dim() * sizeof(Complex);
   g_bytes.add(state_bytes);
@@ -31,9 +59,9 @@ SvResult StatevectorSimulator::run(const ir::Circuit& circuit) {
     }
     if (op.is_measurement()) {
       for (const auto q : op.targets()) {
-        bool outcome = res.state.measure(q, rng_);
+        bool outcome = res.state.measure(q, rng);
         if (noise_.readout_error > 0.0 &&
-            rng_.uniform() < noise_.readout_error) {
+            rng.uniform() < noise_.readout_error) {
           outcome = !outcome;  // classical readout flip (state unchanged)
         }
         res.measurements.emplace_back(q, outcome);
@@ -42,7 +70,7 @@ SvResult StatevectorSimulator::run(const ir::Circuit& circuit) {
     }
     if (op.is_reset()) {
       for (const auto q : op.targets()) {
-        res.state.reset(q, rng_);
+        res.state.reset(q, rng);
       }
       continue;
     }
@@ -53,52 +81,74 @@ SvResult StatevectorSimulator::run(const ir::Circuit& circuit) {
     }
     for (const auto& ch : noise_.gate_noise) {
       for (const auto q : op.qubits()) {
-        apply_channel_trajectory(res.state, ch, q);
+        apply_channel_trajectory(res.state, ch, q, rng);
       }
     }
   }
   return res;
 }
 
+std::uint64_t StatevectorSimulator::shot_seed(std::uint64_t base,
+                                              std::size_t shot) {
+  return splitmix64(base ^ splitmix64(static_cast<std::uint64_t>(shot)));
+}
+
 std::map<std::uint64_t, std::size_t> StatevectorSimulator::sample_counts(
     const ir::Circuit& circuit, std::size_t shots) {
   std::map<std::uint64_t, std::size_t> counts;
+  // One engine draw anchors all per-shot streams: the histogram depends only
+  // on (seed, prior draws, shots), never on the thread count or the order in
+  // which shot chunks finish.
+  const std::uint64_t base = rng_.engine()();
+  std::mutex mu;
   const bool single_pass = circuit.is_unitary() && noise_.empty();
   if (single_pass) {
     const SvResult res = run(circuit);
-    for (std::size_t s = 0; s < shots; ++s) {
-      ++counts[res.state.sample(rng_)];
-    }
+    const std::vector<double> cdf = res.state.cumulative_probabilities();
+    par::parallel_for(
+        0, shots, kCdfShotGrain, [&](std::size_t lo, std::size_t hi) {
+          std::map<std::uint64_t, std::size_t> local;
+          for (std::size_t s = lo; s < hi; ++s) {
+            Rng shot_rng(shot_seed(base, s));
+            ++local[Statevector::sample_from_cdf(cdf, shot_rng)];
+          }
+          merge_counts(counts, local, mu);
+        });
     return counts;
   }
-  for (std::size_t s = 0; s < shots; ++s) {
-    const SvResult res = run(circuit);
-    std::uint64_t word = res.state.sample(rng_);
-    // Mid-circuit measurement records overwrite the sampled bits so that
-    // recorded readout errors are reflected.
-    for (const auto& [q, bit] : res.measurements) {
-      word = set_bit(word, q, bit);
+  par::parallel_for(0, shots, 1, [&](std::size_t lo, std::size_t hi) {
+    std::map<std::uint64_t, std::size_t> local;
+    for (std::size_t s = lo; s < hi; ++s) {
+      Rng shot_rng(shot_seed(base, s));
+      const SvResult res = run_with(circuit, shot_rng);
+      const std::vector<double> cdf = res.state.cumulative_probabilities();
+      std::uint64_t word = Statevector::sample_from_cdf(cdf, shot_rng);
+      // Mid-circuit measurement records overwrite the sampled bits so that
+      // recorded readout errors are reflected.
+      for (const auto& [q, bit] : res.measurements) {
+        word = set_bit(word, q, bit);
+      }
+      ++local[word];
     }
-    ++counts[word];
-  }
+    merge_counts(counts, local, mu);
+  });
   return counts;
 }
 
 void StatevectorSimulator::apply_channel_trajectory(Statevector& sv,
                                                     const KrausChannel& ch,
-                                                    ir::Qubit q) {
-  // Compute the branch weights || K_i |psi> ||^2 and pick one.
-  std::vector<Statevector> branches;
+                                                    ir::Qubit q, Rng& rng) {
+  // Branch weights || K_i |psi> ||^2 are computed in place over the
+  // (i0, i1) index pairs; only the selected operator touches the state.
+  // (The previous implementation materialized a full Statevector copy per
+  // Kraus operator — K * 2^n transient complex doubles that never showed
+  // up in bytes_peak or guard::check_memory.)
   std::vector<double> weights;
-  branches.reserve(ch.ops.size());
+  weights.reserve(ch.ops.size());
   for (const auto& k : ch.ops) {
-    Statevector branch = sv;
-    branch.apply_matrix2(q, k);
-    const double w = branch.norm();
-    branches.push_back(std::move(branch));
-    weights.push_back(w * w);
+    weights.push_back(sv.branch_weight(q, k));
   }
-  double r = rng_.uniform();
+  double r = rng.uniform();
   std::size_t pick = weights.size() - 1;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     r -= weights[i];
@@ -107,10 +157,21 @@ void StatevectorSimulator::apply_channel_trajectory(Statevector& sv,
       break;
     }
   }
-  sv = std::move(branches[pick]);
-  if (weights[pick] > 0.0) {
-    sv.normalize();
+  if (!(weights[pick] > 0.0)) {
+    // The draw overshot the summed weights (rounding) and landed on a
+    // zero-weight branch; applying it would zero the state. Fall back to
+    // the heaviest branch instead.
+    pick = static_cast<std::size_t>(
+        std::max_element(weights.begin(), weights.end()) - weights.begin());
+    if (!(weights[pick] > 0.0)) {
+      throw Error::internal(
+          "apply_channel_trajectory: all Kraus branch weights are "
+          "non-positive on qubit " +
+          std::to_string(q));
+    }
   }
+  sv.apply_matrix2(q, ch.ops[pick]);
+  sv.normalize();
 }
 
 }  // namespace qdt::arrays

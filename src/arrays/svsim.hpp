@@ -33,16 +33,29 @@ class StatevectorSimulator {
   SvResult run(const ir::Circuit& circuit);
 
   /// Sampled readout of all qubits over `shots` executions. For purely
-  /// unitary, noise-free circuits the state is computed once and sampled
-  /// `shots` times; otherwise each shot is an independent trajectory.
+  /// unitary, noise-free circuits the state is computed once (sampled from
+  /// a cumulative distribution built once); otherwise each shot is an
+  /// independent trajectory. Shots draw from independent per-shot RNG
+  /// streams derived from one engine draw of the simulator's seed, so the
+  /// histogram is identical at any qdt::par thread count (shot-level
+  /// fan-out) — and, consequently, differs from the pre-parallel sequential
+  /// draw sequence (see CHANGES.md for the seed-contract bump).
   std::map<std::uint64_t, std::size_t> sample_counts(
       const ir::Circuit& circuit, std::size_t shots);
 
  private:
+  /// run() against an explicit RNG stream (the member rng_ for the public
+  /// entry point, a derived per-shot stream inside sample_counts).
+  SvResult run_with(const ir::Circuit& circuit, Rng& rng);
+
   /// Apply one Kraus channel stochastically: pick branch i with probability
-  /// ||K_i |psi>||^2 and renormalize.
+  /// ||K_i |psi>||^2 (computed in place over the (i0, i1) index pairs — no
+  /// per-operator state copy) and apply only the selected operator.
   void apply_channel_trajectory(Statevector& sv, const KrausChannel& ch,
-                                ir::Qubit q);
+                                ir::Qubit q, Rng& rng);
+
+  /// splitmix64 over (base ^ f(shot)): the per-shot RNG stream seeds.
+  static std::uint64_t shot_seed(std::uint64_t base, std::size_t shot);
 
   Rng rng_;
   NoiseModel noise_;

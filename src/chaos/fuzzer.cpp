@@ -1,6 +1,12 @@
 #include "chaos/fuzzer.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <optional>
 #include <ostream>
+#include <thread>
 #include <utility>
 
 #include "chaos/corpus.hpp"
@@ -88,18 +94,26 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     oracle_options.adapters.push_back(planted_adapter(options.plant));
   }
 
-  for (std::size_t i = 0; i < options.cases; ++i) {
-    // A stale armed fault from case k must never fire in case k+1.
+  // Guards the report, the findings list, the log stream, and corpus
+  // writes when cases run on worker threads. Every case is a pure function
+  // of its case_seed, so only the merge into this shared state needs
+  // serializing — the simulation, oracle, and shrink work run unlocked.
+  std::mutex mu;
+  std::atomic<std::size_t> completed{0};
+
+  const auto run_case = [&](std::size_t i) {
+    // A stale armed fault from case k must never fire in case k+1 (fault
+    // state is thread-local, so this resets only the current worker).
     guard::clear_faults();
 
     const std::uint64_t seed =
         options.seed_is_case_seed ? options.seed : case_seed(options.seed, i);
     Rng rng(seed);
     GeneratedCase gen = generate_case(rng, options.generator);
-    ++report.cases;
     g_cases.add();
 
     if (options.trace && options.log != nullptr) {
+      const std::lock_guard<std::mutex> lock(mu);
       *options.log << "case " << i << " seed " << seed << " family "
                    << gen.family << " n=" << gen.circuit.num_qubits()
                    << " ops=" << gen.circuit.size() << std::endl;
@@ -114,6 +128,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     // -- Parser fuzzing on the serialized case -------------------------------
     std::string parser_text;
     CheckResult parser;
+    bool parser_rejected = false;
     if (options.parser_fuzz) {
       try {
         parser_text = mutate_qasm_text(ir::to_qasm(gen.circuit), rng);
@@ -126,10 +141,9 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
             rng);
       }
       parser = run_parser_oracle(parser_text);
-      ++report.parser_cases;
       g_parser_cases.add();
       if (parser.outcome == Outcome::TypedError) {
-        ++report.parser_rejected;
+        parser_rejected = true;
         g_parser_rejected.add();
       }
       if (worse(parser.outcome, case_outcome) != case_outcome &&
@@ -144,12 +158,9 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     if (options.chaos) {
       const auto schedule = random_fault_schedule(rng, options.chaos_options);
       chaos = run_chaos_case(gen.circuit, schedule, options.chaos_options);
-      ++report.chaos_cases;
       g_fault_schedules.add();
-      report.chaos_faults_fired += chaos.faults_fired;
       g_fault_fired.add(chaos.faults_fired);
       if (chaos.degraded) {
-        ++report.chaos_degraded;
         g_fault_degraded.add();
       }
       if (chaos.outcome != Outcome::Agree &&
@@ -160,22 +171,21 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
       }
     }
 
-    count_outcome(case_outcome, report);
-
-    // -- Triage: shrink and persist findings ---------------------------------
+    // -- Triage: shrink findings (unlocked — the predicate re-simulates) -----
+    std::optional<Finding> finding;
+    bool parser_finding = false;
     if (case_outcome == Outcome::Mismatch || case_outcome == Outcome::Escape) {
-      Finding finding;
-      finding.case_index = i;
-      finding.case_seed = seed;
-      finding.classification = outcome_name(case_outcome);
-      finding.detail = case_detail;
-      finding.chaos = from_chaos;
-      finding.circuit = gen.circuit;
-      finding.shrunk = gen.circuit;
+      finding.emplace();
+      finding->case_index = i;
+      finding->case_seed = seed;
+      finding->classification = outcome_name(case_outcome);
+      finding->detail = case_detail;
+      finding->chaos = from_chaos;
+      finding->circuit = gen.circuit;
+      finding->shrunk = gen.circuit;
 
-      const bool parser_finding =
-          options.parser_fuzz && parser.outcome == case_outcome &&
-          !oracle.is_finding() && !from_chaos;
+      parser_finding = options.parser_fuzz && parser.outcome == case_outcome &&
+                       !oracle.is_finding() && !from_chaos;
 
       if (options.shrink_findings && !parser_finding) {
         FailPredicate predicate;
@@ -195,19 +205,39 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
           };
         }
         const ShrinkResult shrunk = shrink(gen.circuit, predicate);
-        finding.shrunk = shrunk.minimal;
+        finding->shrunk = shrunk.minimal;
         g_shrink_calls.add(shrunk.predicate_calls);
         g_shrink_removed.add(shrunk.ops_removed);
         guard::clear_faults();  // chaos predicates arm faults
       }
+    }
 
+    // -- Merge into the shared report (and persist) --------------------------
+    const std::lock_guard<std::mutex> lock(mu);
+    ++report.cases;
+    if (options.parser_fuzz) {
+      ++report.parser_cases;
+      if (parser_rejected) {
+        ++report.parser_rejected;
+      }
+    }
+    if (options.chaos) {
+      ++report.chaos_cases;
+      report.chaos_faults_fired += chaos.faults_fired;
+      if (chaos.degraded) {
+        ++report.chaos_degraded;
+      }
+    }
+    count_outcome(case_outcome, report);
+
+    if (finding) {
       if (!options.corpus_dir.empty()) {
         CorpusEntry entry;
         entry.master_seed = options.seed;
         entry.case_seed = seed;
         entry.case_index = i;
-        entry.classification = finding.classification;
-        entry.detail = finding.detail;
+        entry.classification = finding->classification;
+        entry.detail = finding->detail;
         entry.family = gen.family;
         entry.mutations = gen.mutations;
         entry.chaos = from_chaos;
@@ -229,31 +259,86 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
         if (parser_finding) {
           entry.raw_text = parser_text;
         }
-        finding.corpus_json = write_finding(
-            options.corpus_dir, entry, finding.circuit,
-            finding.shrunk.size() < finding.circuit.size() ? &finding.shrunk
-                                                           : nullptr);
+        finding->corpus_json = write_finding(
+            options.corpus_dir, entry, finding->circuit,
+            finding->shrunk.size() < finding->circuit.size() ? &finding->shrunk
+                                                             : nullptr);
       }
 
       if (options.log != nullptr) {
         *options.log << "FINDING case " << i << " (seed " << seed << "): "
-                     << finding.classification << " — " << finding.detail
+                     << finding->classification << " — " << finding->detail
                      << "\n";
-        if (finding.shrunk.size() < finding.circuit.size()) {
-          *options.log << "  shrunk " << finding.circuit.size() << " -> "
-                       << finding.shrunk.size() << " ops\n";
+        if (finding->shrunk.size() < finding->circuit.size()) {
+          *options.log << "  shrunk " << finding->circuit.size() << " -> "
+                       << finding->shrunk.size() << " ops\n";
         }
-        if (!finding.corpus_json.empty()) {
-          *options.log << "  corpus: " << finding.corpus_json << "\n";
+        if (!finding->corpus_json.empty()) {
+          *options.log << "  corpus: " << finding->corpus_json << "\n";
         }
       }
-      report.findings.push_back(std::move(finding));
+      report.findings.push_back(std::move(*finding));
     }
 
-    if (options.log != nullptr && (i + 1) % 100 == 0) {
-      *options.log << "fuzz: " << (i + 1) << "/" << options.cases
-                   << " cases, " << report.findings.size() << " findings\n";
+    const std::size_t done = completed.fetch_add(1) + 1;
+    if (options.log != nullptr && done % 100 == 0) {
+      *options.log << "fuzz: " << done << "/" << options.cases << " cases, "
+                   << report.findings.size() << " findings\n";
     }
+  };
+
+  const std::size_t jobs =
+      std::min(std::max<std::size_t>(1, options.jobs), options.cases);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < options.cases; ++i) {
+      run_case(i);
+    }
+  } else {
+    // Workers pull case indices from a shared cursor. Budgets are
+    // thread-local, so each worker adopts the caller's resolved limits;
+    // fault schedules armed by chaos cases stay on the arming worker.
+    std::atomic<std::size_t> next_case{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    const guard::Limits* parent_limits = guard::current_limits();
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      workers.emplace_back([&, parent_limits] {
+        std::optional<guard::BudgetScope> scope;
+        if (parent_limits != nullptr) {
+          scope.emplace(*parent_limits);
+        }
+        for (;;) {
+          const std::size_t i = next_case.fetch_add(1);
+          if (i >= options.cases) {
+            break;
+          }
+          try {
+            run_case(i);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) {
+              first_error = std::current_exception();
+            }
+            next_case.store(options.cases);  // cancel remaining cases
+            break;
+          }
+        }
+        guard::clear_faults();
+      });
+    }
+    for (auto& t : workers) {
+      t.join();
+    }
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+    // Completion order is nondeterministic; the findings list is not.
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                return a.case_index < b.case_index;
+              });
   }
 
   guard::clear_faults();

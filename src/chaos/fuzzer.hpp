@@ -47,6 +47,13 @@ struct FuzzOptions {
   std::ostream* log = nullptr;
   /// Log every case (family, width, size) before running it.
   bool trace = false;
+  /// Worker threads pulling cases (`qdt fuzz --jobs N`). Each case is a
+  /// pure function of its case_seed, so the set of findings is identical at
+  /// any job count (findings are reported sorted by case index); only log
+  /// interleaving differs. 0 or 1 runs on the calling thread. Fault
+  /// injection and budgets are thread-local: workers adopt the caller's
+  /// budget, and chaos fault schedules arm only the worker's own thread.
+  std::size_t jobs = 1;
 };
 
 struct Finding {

@@ -38,6 +38,7 @@
 #include "lint/facts.hpp"              // IWYU pragma: export
 #include "lint/lint.hpp"               // IWYU pragma: export
 #include "obs/obs.hpp"                 // IWYU pragma: export
+#include "par/pool.hpp"                // IWYU pragma: export
 #include "stab/tableau.hpp"            // IWYU pragma: export
 #include "tn/mps.hpp"                  // IWYU pragma: export
 #include "tn/network.hpp"              // IWYU pragma: export

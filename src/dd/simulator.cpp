@@ -1,7 +1,9 @@
 #include "dd/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "guard/budget.hpp"
 
@@ -79,13 +81,22 @@ void DDSimulator::apply(const ir::Operation& op) {
 }
 
 bool DDSimulator::measure(ir::Qubit q) {
-  const double p1 = pkg_.prob_one(state_, q);
+  // Same clamp as Statevector::measure: prob_one is a big floating-point
+  // sum, and a value a hair above 1.0 would make the |0> branch's keep
+  // probability negative — the state would be silently left unnormalized
+  // (or zeroed by the projection).
+  const double p1 = std::clamp(pkg_.prob_one(state_, q), 0.0, 1.0);
   const bool outcome = rng_.uniform() < p1;
-  state_ = pkg_.project(state_, q, outcome);
   const double keep = outcome ? p1 : 1.0 - p1;
-  if (keep > 0.0) {
-    scale_state(1.0 / std::sqrt(keep));
+  if (!(keep > 0.0)) {
+    throw Error::internal(
+        "DDSimulator::measure: selected outcome " +
+        std::to_string(static_cast<int>(outcome)) + " on qubit " +
+        std::to_string(q) + " has non-positive probability " +
+        std::to_string(keep));
   }
+  state_ = pkg_.project(state_, q, outcome);
+  scale_state(1.0 / std::sqrt(keep));
   return outcome;
 }
 

@@ -169,6 +169,30 @@ BudgetScope::BudgetScope(const Budget& budget) : prev_(state().top) {
   state().top = this;
 }
 
+BudgetScope::BudgetScope(const Limits& resolved) : prev_(state().top) {
+  const Limits* parent = prev_ != nullptr ? &prev_->limits() : nullptr;
+  limits_.max_memory_bytes =
+      tighten(parent != nullptr ? parent->max_memory_bytes : 0,
+              resolved.max_memory_bytes);
+  limits_.max_dd_nodes = tighten(
+      parent != nullptr ? parent->max_dd_nodes : 0, resolved.max_dd_nodes);
+  limits_.max_tn_elements =
+      tighten(parent != nullptr ? parent->max_tn_elements : 0,
+              resolved.max_tn_elements);
+  limits_.max_mps_bond = tighten(
+      parent != nullptr ? parent->max_mps_bond : 0, resolved.max_mps_bond);
+  // Both deadlines are already absolute; the earlier one wins.
+  const double parent_at = parent != nullptr ? parent->deadline_at : 0.0;
+  if (resolved.deadline_at == 0.0) {
+    limits_.deadline_at = parent_at;
+  } else if (parent_at == 0.0) {
+    limits_.deadline_at = resolved.deadline_at;
+  } else {
+    limits_.deadline_at = std::min(resolved.deadline_at, parent_at);
+  }
+  state().top = this;
+}
+
 BudgetScope::~BudgetScope() { state().top = prev_; }
 
 bool active() { return state().top != nullptr; }

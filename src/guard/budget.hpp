@@ -65,6 +65,12 @@ struct Limits {
 class BudgetScope {
  public:
   explicit BudgetScope(const Budget& budget);
+  /// Install already-resolved limits (deadline_at is absolute). This is how
+  /// qdt::par worker threads adopt the submitting thread's effective budget:
+  /// limits are thread-local, so without re-installation a kernel chunk
+  /// running on a pool thread would see no budget at all. Tightens against
+  /// any scope already active on this thread.
+  explicit BudgetScope(const Limits& resolved);
   ~BudgetScope();
   BudgetScope(const BudgetScope&) = delete;
   BudgetScope& operator=(const BudgetScope&) = delete;

@@ -1,0 +1,237 @@
+#include "par/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace qdt::par {
+
+namespace {
+
+obs::Gauge& g_pool_size = obs::gauge("qdt.par.pool.size");
+obs::Counter& g_spawned = obs::counter("qdt.par.pool.spawned");
+obs::Counter& g_tasks = obs::counter("qdt.par.task.total");
+obs::Counter& g_chunks = obs::counter("qdt.par.task.chunks");
+obs::Counter& g_stolen = obs::counter("qdt.par.task.stolen_chunks");
+obs::Counter& g_inline = obs::counter("qdt.par.task.sequential");
+obs::Counter& g_idle_ns = obs::counter("qdt.par.worker.idle_ns");
+
+thread_local bool t_in_worker = false;
+
+/// One in-flight task: a shared chunk cursor plus the submitting thread's
+/// resolved budget limits. Workers race on `next`; whichever thread claims
+/// a chunk runs it under an adopted BudgetScope and a per-chunk deadline
+/// checkpoint. The first exception cancels the remaining chunks.
+struct Task {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t chunks = 0;
+  const detail::ChunkBody* body = nullptr;
+  guard::Limits limits;
+  bool has_limits = false;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void run_chunks(bool stolen) {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) {
+        return;
+      }
+      const std::size_t b = begin + c * grain;
+      const std::size_t e = std::min(end, b + grain);
+      try {
+        guard::check_deadline();
+        (*body)(b, e);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (error == nullptr) {
+            error = std::current_exception();
+          }
+        }
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+      g_chunks.add();
+      if (stolen) {
+        g_stolen.add();
+      }
+    }
+  }
+};
+
+/// Lazily started worker pool. One task runs at a time; a submission that
+/// finds the pool occupied (`submit_mutex` held) runs inline instead, so
+/// concurrent submitters and nested parallel calls can never deadlock.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool* pool = new Pool();  // leaked: workers may outlive statics
+    return *pool;
+  }
+
+  /// Serializes task execution; try-locked by submitters.
+  std::mutex submit_mutex;
+
+  void ensure_workers(std::size_t want) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    while (workers_.size() < want) {
+      workers_.emplace_back([this] { worker_loop(); });
+      g_spawned.add();
+    }
+    g_pool_size.set(static_cast<std::int64_t>(workers_.size() + 1));
+  }
+
+  void run(Task& task) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      task_ = &task;
+      ++epoch_;
+      running_ = 0;
+    }
+    cv_work_.notify_all();
+    task.run_chunks(/*stolen=*/false);
+    // All chunks are claimed; wait for workers still finishing theirs.
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return running_ == 0; });
+    task_ = nullptr;
+  }
+
+ private:
+  Pool() = default;
+
+  void worker_loop() {
+    t_in_worker = true;
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      Task* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const double idle_start = obs::monotonic_seconds();
+        cv_work_.wait(lock, [&] {
+          return task_ != nullptr && epoch_ != seen_epoch;
+        });
+        g_idle_ns.add(static_cast<std::uint64_t>(
+            (obs::monotonic_seconds() - idle_start) * 1e9));
+        seen_epoch = epoch_;
+        task = task_;
+        ++running_;
+      }
+      {
+        // Adopt the submitter's budget: limits are thread-local, and a
+        // kernel chunk must see the same deadline/memory ceilings it would
+        // have seen on the submitting thread.
+        if (task->has_limits) {
+          const guard::BudgetScope adopt(task->limits);
+          task->run_chunks(/*stolen=*/true);
+        } else {
+          task->run_chunks(/*stolen=*/true);
+        }
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --running_;
+      }
+      cv_done_.notify_one();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  Task* task_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::size_t running_ = 0;
+};
+
+/// QDT_THREADS, parsed once. Unset, empty, or unparsable means 1; 0 means
+/// all hardware threads.
+std::size_t threads_from_env() {
+  const char* env = std::getenv("QDT_THREADS");
+  if (env == nullptr || *env == '\0') {
+    return 1;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env) {
+    return 1;
+  }
+  return v == 0 ? hardware_threads() : static_cast<std::size_t>(v);
+}
+
+std::atomic<std::size_t>& thread_cap() {
+  static std::atomic<std::size_t> cap{threads_from_env()};
+  return cap;
+}
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t max_threads() {
+  return thread_cap().load(std::memory_order_relaxed);
+}
+
+void set_max_threads(std::size_t n) {
+  thread_cap().store(n == 0 ? hardware_threads() : n,
+                     std::memory_order_relaxed);
+}
+
+namespace detail {
+
+bool in_worker() { return t_in_worker; }
+
+void run_parallel(std::size_t begin, std::size_t end, std::size_t grain,
+                  const ChunkBody& body) {
+  Pool& pool = Pool::instance();
+  std::unique_lock<std::mutex> submit(pool.submit_mutex, std::try_to_lock);
+  if (!submit.owns_lock()) {
+    // Another thread is mid-task (or we raced one): run inline rather than
+    // queueing. Chunk boundaries are preserved so reductions keep the same
+    // fixed reduction tree they would have had on the pool.
+    g_inline.add();
+    for (std::size_t b = begin; b < end; b += grain) {
+      guard::check_deadline();
+      body(b, std::min(end, b + grain));
+    }
+    return;
+  }
+
+  Task task;
+  task.begin = begin;
+  task.end = end;
+  task.grain = grain;
+  task.chunks = chunk_count(end - begin, grain);
+  task.body = &body;
+  if (const guard::Limits* limits = guard::current_limits()) {
+    task.limits = *limits;
+    task.has_limits = true;
+  }
+
+  const std::size_t helpers =
+      std::min(max_threads(), task.chunks) - 1;  // submitter participates
+  pool.ensure_workers(helpers);
+  g_tasks.add();
+  pool.run(task);
+  if (task.error != nullptr) {
+    std::rethrow_exception(task.error);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace qdt::par

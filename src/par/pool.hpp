@@ -1,0 +1,144 @@
+// qdt::par — the parallel execution layer under the four backends.
+//
+// The paper's Section II sales pitch for the array representation is that a
+// flat amplitude vector "exploits concurrency": every gate kernel is a loop
+// over disjoint (i0, i1) index pairs, and every probability is a big
+// reduction. This layer supplies the two primitives those loops need —
+// parallel_for and parallel_reduce — on top of a dependency-free, lazily
+// started std::thread pool, with three hard guarantees:
+//
+//  * Determinism. The chunk decomposition of a range depends only on the
+//    range and the grain, never on the thread count. parallel_for bodies
+//    write disjoint elements, so their output is bitwise identical at any
+//    thread count; parallel_reduce folds per-chunk partials in chunk order
+//    (a fixed reduction tree), so `--threads 8` produces the same double,
+//    bit for bit, as `--threads 1`.
+//  * Budget propagation. guard limits are thread-local; each worker adopts
+//    the submitting thread's resolved limits for the duration of a task and
+//    checkpoints the deadline once per chunk, so a `--timeout-ms` budget
+//    still fires inside a parallelized kernel and cancels the remaining
+//    chunks cooperatively.
+//  * Zero cost when off. The default is 1 thread (QDT_THREADS or
+//    `--threads N` raise it); at 1 thread parallel_for invokes the body
+//    directly on the whole range — no pool, no std::function, no atomics —
+//    so single-threaded behavior and wall-clock match the unparallelized
+//    kernels.
+//
+// Nested parallelism runs inline: a parallel_for issued from inside a pool
+// worker (or while another thread holds the pool) executes sequentially on
+// the calling thread, so composed parallel code cannot deadlock the pool.
+//
+// Counters land under qdt.par.* (pool size, tasks, chunks, stolen chunks,
+// worker idle time).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "guard/budget.hpp"
+
+namespace qdt::par {
+
+/// std::thread::hardware_concurrency with a floor of 1.
+std::size_t hardware_threads();
+
+/// Effective thread cap for parallel primitives. Defaults to QDT_THREADS
+/// (parsed once, lazily; 0 or unset means 1) unless set_max_threads() has
+/// been called. Always >= 1.
+std::size_t max_threads();
+
+/// Set the thread cap. 0 means "all hardware threads". Workers are started
+/// lazily on the first parallel call that needs them; shrinking the cap
+/// leaves already-started workers idle but unused.
+void set_max_threads(std::size_t n);
+
+namespace detail {
+
+/// Executes [chunk_begin, chunk_end) of the submitted range.
+using ChunkBody = std::function<void(std::size_t, std::size_t)>;
+
+/// True while the calling thread is a pool worker executing a chunk —
+/// nested parallel calls must run inline.
+bool in_worker();
+
+/// Dispatch chunks of [begin, end) with the given grain across the pool
+/// (the calling thread participates). Rethrows the first chunk exception
+/// after all chunks have completed or been cancelled. Falls back to inline
+/// sequential execution when the pool is busy with another task.
+void run_parallel(std::size_t begin, std::size_t end, std::size_t grain,
+                  const ChunkBody& body);
+
+/// Number of grain-sized chunks covering n elements.
+inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  return (n + grain - 1) / grain;
+}
+
+}  // namespace detail
+
+/// Default grain for gate-kernel loops (a few flops per element).
+inline constexpr std::size_t kKernelGrain = 1u << 13;
+/// Default grain for cheap elementwise reductions.
+inline constexpr std::size_t kReduceGrain = 1u << 14;
+
+/// Run body(chunk_begin, chunk_end) over [begin, end), split into
+/// grain-sized chunks. The body must only write elements inside its chunk
+/// (disjoint writes), which makes the result independent of the thread
+/// count and the chunk schedule. At max_threads() == 1, or for ranges of
+/// at most one chunk, the body runs inline on the whole range.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Body&& body) {
+  if (end <= begin) {
+    return;
+  }
+  const std::size_t g = grain == 0 ? 1 : grain;
+  if (max_threads() <= 1 || detail::in_worker() ||
+      detail::chunk_count(end - begin, g) <= 1) {
+    body(begin, end);
+    return;
+  }
+  const detail::ChunkBody chunk = std::cref(body);
+  detail::run_parallel(begin, end, g, chunk);
+}
+
+/// Deterministic parallel reduction: partials[c] = map(chunk_begin,
+/// chunk_end) for each grain-sized chunk, folded in chunk order as
+/// combine(acc, partials[c]) starting from `identity`. The chunk
+/// decomposition — and therefore the floating-point result — depends only
+/// on (end - begin, grain): one thread and N threads produce bitwise
+/// identical values.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T identity, Map&& map, Combine&& combine) {
+  if (end <= begin) {
+    return identity;
+  }
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t chunks = detail::chunk_count(end - begin, g);
+  if (max_threads() <= 1 || detail::in_worker() || chunks <= 1) {
+    // Same fixed reduction tree, executed sequentially.
+    T acc = identity;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t b = begin + c * g;
+      const std::size_t e = b + g < end ? b + g : end;
+      acc = combine(std::move(acc), map(b, e));
+    }
+    return acc;
+  }
+  std::vector<T> partials(chunks, identity);
+  const auto body = [&](std::size_t b, std::size_t e) {
+    partials[(b - begin) / g] = map(b, e);
+  };
+  const detail::ChunkBody chunk = std::cref(body);
+  detail::run_parallel(begin, end, g, chunk);
+  T acc = identity;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partials[c]));
+  }
+  return acc;
+}
+
+}  // namespace qdt::par

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "guard/budget.hpp"
+#include "par/pool.hpp"
 
 namespace qdt::tn {
 
@@ -215,24 +216,31 @@ Tensor Tensor::contract(const Tensor& a, const Tensor& b) {
   Tensor out(out_labels, out_dims);
   // C[m x n] = A[m x k] * B[k x n]. The result-size budget caps m * n but
   // not the k-fold work; checkpoint the deadline on a stride so a single
-  // high-rank contraction cannot run unbounded.
-  std::size_t steps = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      if ((steps++ & 0xFFF) == 0) {
-        guard::check_deadline();
-      }
-      const Complex av = ap.data_[i * k + kk];
-      if (av == Complex{}) {
-        continue;
-      }
-      const Complex* brow = bp.data_.data() + kk * n;
-      Complex* crow = out.data_.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
+  // high-rank contraction cannot run unbounded. Output rows are disjoint, so
+  // the row loop parallelizes; each chunk keeps its own checkpoint counter
+  // (cost per row is k * n flops, hence the cost-scaled grain).
+  const std::size_t row_cost = k * n > 0 ? k * n : 1;
+  const std::size_t row_grain =
+      std::max<std::size_t>(1, par::kKernelGrain / row_cost);
+  par::parallel_for(0, m, row_grain, [&](std::size_t lo, std::size_t hi) {
+    std::size_t steps = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        if ((steps++ & 0xFFF) == 0) {
+          guard::check_deadline();
+        }
+        const Complex av = ap.data_[i * k + kk];
+        if (av == Complex{}) {
+          continue;
+        }
+        const Complex* brow = bp.data_.data() + kk * n;
+        Complex* crow = out.data_.data() + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
       }
     }
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,265 @@
+// qdt::par — the deterministic thread pool under the array kernels.
+//
+// The load-bearing contract is bitwise reproducibility: every primitive
+// must produce the same bytes at --threads 1 and --threads 8, because the
+// chunk decomposition and the reduction tree depend only on (range, grain).
+// The TSan build of this binary (cmake -DQDT_SANITIZE=thread) additionally
+// checks the "no data races" half of the contract.
+#include "par/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "arrays/statevector.hpp"
+#include "arrays/svsim.hpp"
+#include "guard/budget.hpp"
+#include "guard/error.hpp"
+#include "ir/library.hpp"
+
+namespace qdt {
+namespace {
+
+/// RAII thread-cap override so a failing assertion can't leak a cap into
+/// the next test.
+class ThreadCap {
+ public:
+  explicit ThreadCap(std::size_t n) : prev_(par::max_threads()) {
+    par::set_max_threads(n);
+  }
+  ~ThreadCap() { par::set_max_threads(prev_); }
+
+ private:
+  std::size_t prev_;
+};
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const ThreadCap cap(8);
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  par::parallel_for(0, kN, 1024, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingleChunkRangesRunInline) {
+  const ThreadCap cap(8);
+  std::size_t calls = 0;
+  par::parallel_for(5, 5, 16, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0U);
+  par::parallel_for(0, 10, 16, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0U);
+    EXPECT_EQ(hi, 10U);
+  });
+  EXPECT_EQ(calls, 1U);
+}
+
+TEST(ParallelReduce, SumIsBitwiseIdenticalAcrossThreadCounts) {
+  // Ill-conditioned sum: magnitudes spanning ~12 orders, so any change in
+  // association order would change the rounded result.
+  constexpr std::size_t kN = 1 << 18;
+  std::vector<double> v(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    v[i] = std::sin(static_cast<double>(i)) *
+           std::pow(10.0, static_cast<double>(i % 13) - 6.0);
+  }
+  const auto sum = [&] {
+    return par::parallel_reduce(
+        0, kN, par::kReduceGrain, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double s = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            s += v[i];
+          }
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  double r1 = 0.0;
+  {
+    const ThreadCap cap(1);
+    r1 = sum();
+  }
+  for (const std::size_t threads : {2, 3, 8}) {
+    const ThreadCap cap(threads);
+    const double rn = sum();
+    EXPECT_EQ(std::memcmp(&r1, &rn, sizeof r1), 0)
+        << "threads=" << threads << " " << r1 << " vs " << rn;
+  }
+}
+
+TEST(ParallelFor, ExceptionsPropagateToTheSubmitter) {
+  const ThreadCap cap(4);
+  EXPECT_THROW(
+      par::parallel_for(0, 1 << 16, 1 << 10,
+                        [&](std::size_t lo, std::size_t) {
+                          if (lo >= (1 << 15)) {
+                            throw Error::internal("boom");
+                          }
+                        }),
+      Error);
+  // The pool must stay usable after a failed task.
+  std::atomic<std::size_t> total{0};
+  par::parallel_for(0, 1 << 16, 1 << 10, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), static_cast<std::size_t>(1 << 16));
+}
+
+TEST(ParallelFor, DeadlineBudgetFiresInsideWorkers) {
+  const ThreadCap cap(4);
+  guard::Budget b;
+  b.deadline_seconds = 1e-6;
+  const guard::BudgetScope scope(b);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Many chunks of nontrivial work: the per-chunk checkpoint (which workers
+  // run under the submitter's adopted limits) must observe the expired
+  // deadline and unwind with a typed error.
+  EXPECT_THROW(par::parallel_for(0, 1 << 20, 1 << 10,
+                                 [&](std::size_t lo, std::size_t hi) {
+                                   volatile double x = 0.0;
+                                   for (std::size_t i = lo; i < hi; ++i) {
+                                     x = x + static_cast<double>(i);
+                                   }
+                                 }),
+               Error);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  const ThreadCap cap(4);
+  std::vector<std::atomic<int>> hits(1 << 14);
+  par::parallel_for(0, hits.size(), 1 << 10,
+                    [&](std::size_t lo, std::size_t hi) {
+                      par::parallel_for(
+                          lo, hi, 64, [&](std::size_t l2, std::size_t h2) {
+                            for (std::size_t i = l2; i < h2; ++i) {
+                              hits[i].fetch_add(1, std::memory_order_relaxed);
+                            }
+                          });
+                    });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ConcurrentSubmittersAllComplete) {
+  // Several threads race to submit tasks; whoever loses the pool runs
+  // inline. Under TSan this is the central pool stress test.
+  const ThreadCap cap(4);
+  constexpr std::size_t kSubmitters = 6;
+  constexpr std::size_t kN = 1 << 16;
+  std::vector<std::thread> submitters;
+  std::vector<std::size_t> totals(kSubmitters, 0);
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int round = 0; round < 20; ++round) {
+        std::atomic<std::size_t> total{0};
+        par::parallel_for(0, kN, 1 << 10,
+                          [&](std::size_t lo, std::size_t hi) {
+                            total.fetch_add(hi - lo,
+                                            std::memory_order_relaxed);
+                          });
+        totals[t] = total.load();
+      }
+    });
+  }
+  for (auto& s : submitters) {
+    s.join();
+  }
+  for (const auto total : totals) {
+    EXPECT_EQ(total, kN);
+  }
+}
+
+TEST(ParConfig, CapIsAlwaysAtLeastOne) {
+  const std::size_t prev = par::max_threads();
+  par::set_max_threads(0);  // 0 = all hardware threads
+  EXPECT_GE(par::max_threads(), 1U);
+  EXPECT_EQ(par::max_threads(), par::hardware_threads());
+  par::set_max_threads(prev);
+}
+
+// -- End-to-end determinism over the circuit library --------------------------
+
+arrays::Statevector run_family(const ir::Circuit& c) {
+  arrays::Statevector sv(c.num_qubits());
+  for (const auto& op : c.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    sv.apply(op);
+  }
+  return sv;
+}
+
+TEST(ParDeterminism, LibraryStatesAreBitwiseIdenticalAcrossThreadCounts) {
+  // 15+ qubits: the kernel half-range (2^14+) spans multiple grain-sized
+  // chunks, so these actually cross the pool instead of running inline.
+  const std::vector<std::pair<const char*, ir::Circuit>> families = {
+      {"ghz", ir::ghz(16)},
+      {"w_state", ir::w_state(15)},
+      {"qft", ir::qft(15)},
+      {"grover", ir::grover(12, 5)},
+      {"hidden_shift", ir::hidden_shift(16, 0x2D)},
+      {"random", ir::random_circuit(15, 40, 123)},
+  };
+  for (const auto& [name, circuit] : families) {
+    std::vector<Complex> base;
+    {
+      const ThreadCap cap(1);
+      base = run_family(circuit).amplitudes();
+    }
+    const ThreadCap cap(8);
+    const auto par8 = run_family(circuit).amplitudes();
+    ASSERT_EQ(base.size(), par8.size()) << name;
+    EXPECT_EQ(std::memcmp(base.data(), par8.data(),
+                          base.size() * sizeof(Complex)),
+              0)
+        << "family " << name << " diverged between 1 and 8 threads";
+  }
+}
+
+TEST(ParDeterminism, SampleCountsHistogramIsThreadCountInvariant) {
+  const ir::Circuit c = ir::random_circuit(8, 30, 7);
+  std::map<std::uint64_t, std::size_t> base;
+  {
+    const ThreadCap cap(1);
+    arrays::StatevectorSimulator sim(42);
+    base = sim.sample_counts(c, 2000);
+  }
+  for (const std::size_t threads : {2, 8}) {
+    const ThreadCap cap(threads);
+    arrays::StatevectorSimulator sim(42);
+    EXPECT_EQ(sim.sample_counts(c, 2000), base) << "threads=" << threads;
+  }
+}
+
+TEST(ParDeterminism, NoisyTrajectoryCountsAreThreadCountInvariant) {
+  const ir::Circuit c = ir::ghz(5);
+  std::map<std::uint64_t, std::size_t> base;
+  {
+    const ThreadCap cap(1);
+    arrays::StatevectorSimulator sim(7);
+    sim.set_noise(arrays::NoiseModel::depolarizing_model(0.02));
+    base = sim.sample_counts(c, 300);
+  }
+  const ThreadCap cap(8);
+  arrays::StatevectorSimulator sim(7);
+  sim.set_noise(arrays::NoiseModel::depolarizing_model(0.02));
+  EXPECT_EQ(sim.sample_counts(c, 300), base);
+}
+
+}  // namespace
+}  // namespace qdt

@@ -5,6 +5,7 @@
 #include "guard/error.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "ir/library.hpp"
 #include "testutil.hpp"
@@ -168,6 +169,47 @@ TEST(Statevector, EqualUpToGlobalPhase) {
   b.apply_matrix2(0, Mat2::identity() * Complex{0.0, 1.0});
   EXPECT_FALSE(a.approx_equal(b));
   EXPECT_TRUE(a.equal_up_to_global_phase(b));
+}
+
+TEST(Statevector, MeasureClampsProbabilityAboveOne) {
+  // Adversarially rounded state: |a|^2 a hair above 1.0 on the |1> branch.
+  // Unclamped, keep_prob = p1 > 1 gives scale = 1/sqrt(p1) < 1 and the
+  // surviving amplitude shrinks; clamped, the scale is exactly 1.0 and the
+  // amplitude must come back bit-for-bit.
+  const double a1 = 1.0000000000000002;  // 1.0 + 1 ulp
+  ASSERT_GT(a1 * a1, 1.0);
+  Statevector sv{std::vector<Complex>{Complex{0.0}, Complex{a1}}};
+  ASSERT_GT(sv.prob_one(0), 1.0);
+  Rng rng(3);
+  EXPECT_TRUE(sv.measure(0, rng));
+  EXPECT_EQ(sv.amplitude(1).real(), a1);
+  EXPECT_EQ(sv.amplitude(1).imag(), 0.0);
+  EXPECT_EQ(sv.amplitude(0), Complex{});
+}
+
+TEST(Statevector, MeasureThrowsOnCorruptedState) {
+  // A NaN amplitude poisons prob_one, so neither branch has a positive
+  // keep probability. The old code silently skipped renormalization and
+  // returned a bogus outcome on the NaN state; it must now fail loudly
+  // with a typed internal error.
+  Statevector sv{std::vector<Complex>{
+      Complex{0.0}, Complex{std::numeric_limits<double>::quiet_NaN()}}};
+  Rng rng(3);
+  EXPECT_THROW(sv.measure(0, rng), qdt::Error);
+}
+
+TEST(Statevector, CdfSamplingMatchesProbabilities) {
+  Rng rng(11);
+  const Statevector sv{rng.random_state(16)};
+  const auto cdf = sv.cumulative_probabilities();
+  ASSERT_EQ(cdf.size(), sv.dim());
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-9);
+  // The CDF draw agrees with the non-static sample() for the same stream.
+  Rng draw_a(5);
+  Rng draw_b(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(Statevector::sample_from_cdf(cdf, draw_a), sv.sample(draw_b));
+  }
 }
 
 TEST(Statevector, ControlledGateViaMaskMatchesOperation) {

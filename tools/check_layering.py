@@ -11,8 +11,10 @@ Allowed dependencies (a layer may always include itself):
 
   obs       -> (nothing else: the metrics layer is the foundation)
   guard     -> obs
+  par       -> guard, obs    (the thread pool propagates budgets, so it
+                              sits right above guard)
   common    -> guard, obs
-  ir        -> common, guard, obs
+  ir        -> common, guard, obs, par
   arrays    -> ir + below
   stab      -> ir + below
   transpile -> ir + below
@@ -33,12 +35,13 @@ import os
 import re
 import sys
 
-FOUNDATION = {"obs", "guard", "common"}
+FOUNDATION = {"obs", "guard", "common", "par"}
 IR_AND_BELOW = FOUNDATION | {"ir"}
 
 ALLOWED = {
     "obs": set(),
     "guard": {"obs"},
+    "par": {"guard", "obs"},
     "common": {"guard", "obs"},
     "ir": FOUNDATION,
     "arrays": IR_AND_BELOW,

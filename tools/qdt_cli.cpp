@@ -11,7 +11,14 @@
 //   qdt fuzz     [--seed S] [--cases N] [--chaos] [--corpus DIR]
 //                [--max-qubits N] [--max-ops N] [--no-shrink] [--no-parser]
 //                [--plant tflip|cxdrop|phasedrift] [--replay file.qasm]
-//                [--case-seed S]
+//                [--case-seed S] [--jobs N]
+//
+// Every subcommand accepts --threads N: the qdt::par worker-pool cap for
+// parallelized kernels (statevector gate strides, reductions, density-
+// matrix superoperators, TN contractions, shot fan-out). The default is 1
+// (or QDT_THREADS when set); results are bitwise identical at any thread
+// count. `fuzz --jobs N` additionally fans whole fuzz cases out across N
+// case-worker threads.
 //
 // `lint` runs the qdt::lint static-analysis pass — no simulation: Clifford
 // fraction and T-count, dead/idle qubits, trivially cancelling or foldable
@@ -75,11 +82,15 @@ using namespace qdt;
                [--max-qubits N] [--max-ops N] [--no-shrink] [--no-parser]
                [--plant tflip|cxdrop|phasedrift] [--replay file.qasm]
                [--case-seed S]   (replay one case from its stored seed)
+               [--jobs N]        (fan cases out over N worker threads)
 
 any subcommand:
   --metrics[=file.json]  dump the qdt::obs registry snapshot
   --timeout-ms N         wall-clock budget (exit 3 when exceeded)
   --max-memory-mb N      data-structure memory budget (exit 3 when exceeded)
+  --threads N            qdt::par kernel thread cap (default 1 or
+                         QDT_THREADS; 0 = all hardware threads; results
+                         are bitwise identical at any thread count)
 )";
   std::exit(2);
 }
@@ -142,6 +153,14 @@ void emit_metrics(const std::map<std::string, std::string>& flags) {
   std::cout << "wrote metrics to " << it->second << "\n";
 }
 
+/// Honor --threads N on any subcommand: cap the qdt::par worker pool.
+/// QDT_THREADS supplies the default when the flag is absent.
+void apply_threads(const std::map<std::string, std::string>& flags) {
+  if (const auto it = flags.find("threads"); it != flags.end()) {
+    par::set_max_threads(std::stoul(it->second));
+  }
+}
+
 /// Budget from --timeout-ms / --max-memory-mb, both optional.
 guard::Budget budget_from(const std::map<std::string, std::string>& flags) {
   guard::Budget b;
@@ -160,6 +179,7 @@ int cmd_stats(const std::vector<std::string>& args) {
   if (pos.size() != 1) {
     usage();
   }
+  apply_threads(flags);
   const ir::Circuit c = load(pos[0]);
   const auto s = c.stats();
   std::cout << "qubits:       " << s.num_qubits << "\n";
@@ -188,6 +208,7 @@ int cmd_lint(const std::vector<std::string>& args) {
   if (pos.size() != 1) {
     usage();
   }
+  apply_threads(flags);
   const ir::Circuit c = load(pos[0]);
   lint::PlanConstraints constraints;
   constraints.want_state = flags.contains("state");
@@ -264,6 +285,7 @@ int cmd_simulate(const std::vector<std::string>& args) {
   if (pos.size() != 1) {
     usage();
   }
+  apply_threads(flags);
   const ir::Circuit c = load(pos[0]);
   const auto backend = backend_from(
       flags.contains("backend") ? flags["backend"] : "auto", c);
@@ -322,6 +344,7 @@ int cmd_verify(const std::vector<std::string>& args) {
   if (pos.size() != 2) {
     usage();
   }
+  apply_threads(flags);
   const ir::Circuit a = load(pos[0]);
   const ir::Circuit b = load(pos[1]);
   core::EcMethod method = core::EcMethod::DdAlternating;
@@ -375,6 +398,7 @@ int cmd_compile(const std::vector<std::string>& args) {
   if (pos.size() != 1 || !flags.contains("target")) {
     usage();
   }
+  apply_threads(flags);
   const guard::BudgetScope scope(budget_from(flags));
   const ir::Circuit c = load(pos[0]);
   const std::size_t n = flags.contains("qubits")
@@ -450,6 +474,7 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   if (!pos.empty()) {
     usage();
   }
+  apply_threads(flags);
 
   // --replay: classify one persisted repro instead of generating cases.
   if (flags.contains("replay")) {
@@ -499,6 +524,9 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   }
   if (flags.contains("plant")) {
     opts.plant = flags["plant"];
+  }
+  if (flags.contains("jobs")) {
+    opts.jobs = std::stoul(flags["jobs"]);
   }
   opts.log = &std::cout;
 
