@@ -53,15 +53,21 @@ class JsonLines {
 
 /// Record one BENCH_<tag>.json line. `seconds` should come from a single
 /// fresh run made after obs::reset(), so the snapshot's counters describe
-/// exactly that run.
+/// exactly that run. `rss_peak_mb` is the process-lifetime getrusage
+/// high-water mark — comparable across lines only as an upper bound, but
+/// exactly what a memory-wall sweep needs.
 inline void emit_json_line(const std::string& tag, const std::string& name,
                            const std::string& backend, double seconds,
                            std::uint64_t representation_size) {
   std::ostringstream os;
   os.precision(std::numeric_limits<double>::max_digits10);
+  obs::sample_process_rss();
+  const std::int64_t rss_peak_mb =
+      obs::gauge("qdt.process.mem.rss_peak_mb").value();
   os << "BENCH_" << tag << ".json {\"name\":\"" << name << "\",\"backend\":\""
      << backend << "\",\"representation_size\":" << representation_size
-     << ",\"seconds\":" << seconds << ",\"counters\":{";
+     << ",\"seconds\":" << seconds << ",\"rss_peak_mb\":" << rss_peak_mb
+     << ",\"counters\":{";
   const obs::Snapshot snap = obs::snapshot();
   bool first = true;
   for (const auto& c : snap.counters) {

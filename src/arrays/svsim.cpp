@@ -9,6 +9,7 @@
 #include "guard/budget.hpp"
 #include "obs/obs.hpp"
 #include "par/pool.hpp"
+#include "trace/trace.hpp"
 
 namespace qdt::arrays {
 
@@ -48,10 +49,15 @@ SvResult StatevectorSimulator::run(const ir::Circuit& circuit) {
 }
 
 SvResult StatevectorSimulator::run_with(const ir::Circuit& circuit, Rng& rng) {
+  trace::Span span("qdt.arrays.svsim.run");
+  span.attr("backend", "array")
+      .attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
+      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()));
   SvResult res{Statevector(circuit.num_qubits()), {}};
   const std::size_t state_bytes = res.state.dim() * sizeof(Complex);
   g_bytes.add(state_bytes);
   g_bytes_peak.update_max(static_cast<std::int64_t>(state_bytes));
+  span.attr("state_bytes", static_cast<std::uint64_t>(state_bytes));
   for (const auto& op : circuit.ops()) {
     guard::check_deadline();
     if (op.is_barrier()) {
@@ -107,6 +113,11 @@ std::map<std::uint64_t, std::size_t> StatevectorSimulator::sample_counts(
     const std::vector<double> cdf = res.state.cumulative_probabilities();
     par::parallel_for(
         0, shots, kCdfShotGrain, [&](std::size_t lo, std::size_t hi) {
+          // Runs on pool workers: the span parents under the submitting
+          // task via the pool's adopted trace context.
+          trace::Span chunk("qdt.arrays.svsim.shot_chunk");
+          chunk.attr("backend", "array")
+              .attr("shots", static_cast<std::uint64_t>(hi - lo));
           std::map<std::uint64_t, std::size_t> local;
           for (std::size_t s = lo; s < hi; ++s) {
             Rng shot_rng(shot_seed(base, s));
@@ -117,6 +128,9 @@ std::map<std::uint64_t, std::size_t> StatevectorSimulator::sample_counts(
     return counts;
   }
   par::parallel_for(0, shots, 1, [&](std::size_t lo, std::size_t hi) {
+    trace::Span chunk("qdt.arrays.svsim.shot_chunk");
+    chunk.attr("backend", "array")
+        .attr("shots", static_cast<std::uint64_t>(hi - lo));
     std::map<std::uint64_t, std::size_t> local;
     for (std::size_t s = lo; s < hi; ++s) {
       Rng shot_rng(shot_seed(base, s));

@@ -14,6 +14,7 @@
 #include "guard/budget.hpp"
 #include "ir/qasm.hpp"
 #include "obs/obs.hpp"
+#include "trace/trace.hpp"
 
 namespace qdt::chaos {
 
@@ -87,6 +88,9 @@ std::uint64_t case_seed(std::uint64_t master_seed, std::size_t index) {
 
 FuzzReport run_fuzz(const FuzzOptions& options) {
   FuzzReport report;
+  trace::Span span("qdt.chaos.fuzz.run");
+  span.attr("cases", static_cast<std::uint64_t>(options.cases))
+      .attr("jobs", static_cast<std::uint64_t>(options.jobs));
 
   OracleOptions oracle_options = options.oracle;
   if (!options.plant.empty()) {
@@ -105,6 +109,9 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     // A stale armed fault from case k must never fire in case k+1 (fault
     // state is thread-local, so this resets only the current worker).
     guard::clear_faults();
+
+    trace::Span case_span("qdt.chaos.case.run");
+    case_span.attr("case", static_cast<std::uint64_t>(i));
 
     const std::uint64_t seed =
         options.seed_is_case_seed ? options.seed : case_seed(options.seed, i);
@@ -301,10 +308,14 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     std::exception_ptr first_error;
     std::mutex error_mu;
     const guard::Limits* parent_limits = guard::current_limits();
+    const std::uint64_t parent_span = trace::current_span();
     std::vector<std::thread> workers;
     workers.reserve(jobs);
     for (std::size_t w = 0; w < jobs; ++w) {
-      workers.emplace_back([&, parent_limits] {
+      workers.emplace_back([&, parent_limits, parent_span] {
+        // Adopt the submitting thread's trace context so per-case spans
+        // parent under the fuzz driver instead of floating as orphans.
+        const trace::ContextScope trace_scope(parent_span);
         std::optional<guard::BudgetScope> scope;
         if (parent_limits != nullptr) {
           scope.emplace(*parent_limits);

@@ -1,0 +1,285 @@
+#include "core/explain.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "lint/lint.hpp"
+#include "obs/obs.hpp"
+#include "trace/trace.hpp"
+
+namespace qdt::core {
+
+namespace {
+
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_json_double(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no Infinity/NaN
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(6);
+  tmp << v;
+  os << tmp.str();
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4fs", s);
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace
+
+ExplainReport explain_simulate(const ir::Circuit& circuit,
+                               const SimulateOptions& options) {
+  ExplainReport rep;
+  trace::Span span("qdt.core.explain.run");
+  span.attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
+      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()));
+  rep.circuit_name = circuit.name();
+  rep.qubits = circuit.num_qubits();
+  rep.gates = circuit.ops().size();
+  rep.want_state = options.want_state;
+  rep.has_noise = !options.noise.empty();
+
+  // Static side: the same cost table and ladder simulate_robust will use.
+  lint::PlanConstraints pc;
+  pc.want_state = rep.want_state;
+  pc.has_noise = rep.has_noise;
+  const lint::BackendPlan plan =
+      lint::plan_backends(lint::analyze(circuit), pc);
+  for (const auto& e : plan.estimates) {
+    rep.estimates.push_back({lint::backend_label(e.backend), e.feasible,
+                             e.cost_log2, e.rationale});
+  }
+  for (const auto b : detail::planned_simulate_ladder(circuit, options)) {
+    rep.planned_ladder.emplace_back(backend_name(b));
+  }
+
+  // Dynamic side: run the planned ladder. Total failure is a reportable
+  // outcome here, not an exception — explain's job is the post-mortem.
+  const obs::Stopwatch sw;
+  try {
+    const RobustSimulateResult robust =
+        simulate_robust(circuit, options, std::nullopt);
+    for (const auto& step : robust.attempts) {
+      rep.attempts.push_back({step.stage, step.error.empty(), step.error,
+                              step.code, step.resource, step.seconds,
+                              step.peak_bytes});
+    }
+    if (!robust.attempts.empty() && robust.attempts.back().error.empty()) {
+      rep.final_stage = robust.attempts.back().stage;
+    }
+    rep.representation_size = robust.result.representation_size;
+  } catch (const Error& e) {
+    rep.fatal_code = e.code_name();
+    rep.fatal_error = e.what();
+  }
+  rep.total_seconds = sw.seconds();
+  for (const auto& a : rep.attempts) {
+    if (!a.succeeded) {
+      ++rep.degradations;
+    }
+  }
+  rep.plan_hit = rep.degradations == 0 && !rep.final_stage.empty();
+  span.attr("degradations", static_cast<std::uint64_t>(rep.degradations))
+      .attr("outcome", rep.fatal_code.empty() ? "ok" : "failed");
+
+  obs::sample_process_rss();
+  rep.rss_peak_mb = static_cast<std::uint64_t>(
+      obs::gauge("qdt.process.mem.rss_peak_mb").value());
+  return rep;
+}
+
+std::string to_text(const ExplainReport& r) {
+  std::ostringstream os;
+  os << "circuit: " << r.circuit_name << "  (" << r.qubits << " qubits, "
+     << r.gates << " gates";
+  if (r.want_state) {
+    os << ", dense state requested";
+  }
+  if (r.has_noise) {
+    os << ", noisy";
+  }
+  os << ")\n";
+
+  os << "plan (lint cost model, cheapest feasible first):\n";
+  for (const auto& e : r.estimates) {
+    os << "  " << e.backend << ": ";
+    if (e.feasible) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "cost ~2^%.1f", e.cost_log2);
+      os << buf;
+    } else {
+      os << "infeasible";
+    }
+    os << " — " << e.rationale << "\n";
+  }
+  os << "planned ladder:";
+  for (const auto& b : r.planned_ladder) {
+    os << " " << b;
+    if (&b != &r.planned_ladder.back()) {
+      os << " ->";
+    }
+  }
+  os << "\n";
+
+  os << "execution:\n";
+  for (std::size_t i = 0; i < r.attempts.size(); ++i) {
+    const ExplainAttempt& a = r.attempts[i];
+    os << "  rung " << i << ": " << a.stage << "  ";
+    if (a.succeeded) {
+      os << "OK";
+    } else {
+      os << "DEGRADED [" << a.code;
+      if (!a.resource.empty()) {
+        os << ": " << a.resource;
+      }
+      os << "]";
+    }
+    os << "  " << format_seconds(a.seconds);
+    if (a.peak_bytes > 0) {
+      os << "  peak " << format_bytes(a.peak_bytes);
+    }
+    if (!a.succeeded) {
+      os << "\n          " << a.error;
+    }
+    os << "\n";
+  }
+  if (!r.fatal_code.empty()) {
+    os << "  FAILED [" << r.fatal_code << "] " << r.fatal_error << "\n";
+  }
+
+  if (!r.final_stage.empty()) {
+    os << "result: " << r.final_stage;
+    if (r.degradations == 0) {
+      os << "  (plan hit: first choice carried the run)\n";
+    } else {
+      os << "  after " << r.degradations
+         << (r.degradations == 1 ? " degradation" : " degradations")
+         << "  (plan miss: first choice was " << r.planned_ladder.front()
+         << ")\n";
+    }
+  } else {
+    os << "result: every rung failed\n";
+  }
+  os << "total: " << format_seconds(r.total_seconds) << "   rss peak: "
+     << r.rss_peak_mb << " MB\n";
+  return os.str();
+}
+
+std::string to_json(const ExplainReport& r) {
+  std::ostringstream os;
+  os << "{\"circuit\":";
+  append_json_string(os, r.circuit_name);
+  os << ",\"qubits\":" << r.qubits << ",\"gates\":" << r.gates
+     << ",\"want_state\":" << (r.want_state ? "true" : "false")
+     << ",\"has_noise\":" << (r.has_noise ? "true" : "false");
+
+  os << ",\"plan\":{\"estimates\":[";
+  for (std::size_t i = 0; i < r.estimates.size(); ++i) {
+    const ExplainEstimate& e = r.estimates[i];
+    os << (i > 0 ? "," : "") << "{\"backend\":";
+    append_json_string(os, e.backend);
+    os << ",\"feasible\":" << (e.feasible ? "true" : "false")
+       << ",\"cost_log2\":";
+    append_json_double(os, e.cost_log2);
+    os << ",\"rationale\":";
+    append_json_string(os, e.rationale);
+    os << "}";
+  }
+  os << "],\"ladder\":[";
+  for (std::size_t i = 0; i < r.planned_ladder.size(); ++i) {
+    os << (i > 0 ? "," : "");
+    append_json_string(os, r.planned_ladder[i]);
+  }
+  os << "]}";
+
+  os << ",\"execution\":{\"attempts\":[";
+  for (std::size_t i = 0; i < r.attempts.size(); ++i) {
+    const ExplainAttempt& a = r.attempts[i];
+    os << (i > 0 ? "," : "") << "{\"stage\":";
+    append_json_string(os, a.stage);
+    os << ",\"succeeded\":" << (a.succeeded ? "true" : "false");
+    if (!a.code.empty()) {
+      os << ",\"code\":";
+      append_json_string(os, a.code);
+    }
+    if (!a.resource.empty()) {
+      os << ",\"resource\":";
+      append_json_string(os, a.resource);
+    }
+    if (!a.error.empty()) {
+      os << ",\"error\":";
+      append_json_string(os, a.error);
+    }
+    os << ",\"seconds\":";
+    append_json_double(os, a.seconds);
+    os << ",\"peak_bytes\":" << a.peak_bytes << "}";
+  }
+  os << "],\"final_stage\":";
+  append_json_string(os, r.final_stage);
+  os << ",\"degradations\":" << r.degradations
+     << ",\"plan_hit\":" << (r.plan_hit ? "true" : "false");
+  if (!r.fatal_code.empty()) {
+    os << ",\"fatal\":{\"code\":";
+    append_json_string(os, r.fatal_code);
+    os << ",\"error\":";
+    append_json_string(os, r.fatal_error);
+    os << "}";
+  }
+  os << "}";
+
+  os << ",\"totals\":{\"seconds\":";
+  append_json_double(os, r.total_seconds);
+  os << ",\"representation_size\":" << r.representation_size
+     << ",\"rss_peak_mb\":" << r.rss_peak_mb << "}}";
+  return os.str();
+}
+
+}  // namespace qdt::core

@@ -1,0 +1,88 @@
+// qdt::core — the explain report: plan vs. actual for one robust run.
+//
+// `qdt explain <file.qasm>` answers the question the paper keeps returning
+// to: *which data structure should have carried this circuit, and which one
+// actually did?* The report staples together
+//
+//   * the static side: lint's full backend cost table (all five backends,
+//     feasibility + log2 cost + rationale) and the planned fallback ladder
+//     derived from it, and
+//   * the dynamic side: the rungs simulate_robust actually executed, each
+//     with its outcome, typed qdt::Error code and exhausted resource on
+//     degradation, per-rung wall time, and the backend memory high-water
+//     gauge at the end of the rung,
+//
+// plus process-level totals (wall time, RSS peak). to_text() renders the
+// human diff the CLI prints; to_json() the machine form for --json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tasks.hpp"
+
+namespace qdt::core {
+
+/// One row of lint's static cost table, in ranked order.
+struct ExplainEstimate {
+  std::string backend;
+  bool feasible = true;
+  double cost_log2 = 0.0;
+  std::string rationale;
+};
+
+/// One rung that simulate_robust actually executed, in execution order.
+struct ExplainAttempt {
+  std::string stage;         // backend name (may carry a degradation suffix)
+  bool succeeded = false;    // this rung produced the result
+  std::string error;         // full message when abandoned
+  std::string code;          // qdt::Error code name when abandoned
+  std::string resource;      // exhausted resource (ResourceExhausted only)
+  double seconds = 0.0;      // wall time inside the rung
+  std::uint64_t peak_bytes = 0;  // backend bytes_peak gauge after the rung
+};
+
+struct ExplainReport {
+  std::string circuit_name;
+  std::size_t qubits = 0;
+  std::size_t gates = 0;
+  bool want_state = false;
+  bool has_noise = false;
+
+  /// Static side: the ranked cost table and the ladder derived from it.
+  std::vector<ExplainEstimate> estimates;
+  std::vector<std::string> planned_ladder;
+
+  /// Dynamic side: what actually ran.
+  std::vector<ExplainAttempt> attempts;
+  /// Stage that produced the result; empty when every rung failed.
+  std::string final_stage;
+  /// Rungs abandoned before the result (== count of attempts with errors).
+  std::size_t degradations = 0;
+  /// True when the plan's first rung carried the run end to end.
+  bool plan_hit = false;
+  /// Set when the whole ladder failed: the terminal error's code and text.
+  std::string fatal_code;
+  std::string fatal_error;
+
+  /// Totals.
+  double total_seconds = 0.0;
+  std::size_t representation_size = 0;
+  std::uint64_t rss_peak_mb = 0;
+};
+
+/// Run the circuit through the statically planned robust ladder (tracing
+/// it like any simulate_robust call) and assemble the plan-vs-actual
+/// report. Never throws on resource exhaustion — a run where every rung
+/// fails is itself a reportable outcome (see fatal_code).
+ExplainReport explain_simulate(const ir::Circuit& circuit,
+                               const SimulateOptions& options = {});
+
+/// Human-readable plan-vs-actual diff (the `qdt explain` default output).
+std::string to_text(const ExplainReport& report);
+
+/// The report as a JSON object (for `qdt explain --json`).
+std::string to_json(const ExplainReport& report);
+
+}  // namespace qdt::core

@@ -22,6 +22,7 @@
 #include "common/matrix.hpp"           // IWYU pragma: export
 #include "common/phase.hpp"            // IWYU pragma: export
 #include "common/rng.hpp"              // IWYU pragma: export
+#include "core/explain.hpp"            // IWYU pragma: export
 #include "core/tasks.hpp"              // IWYU pragma: export
 #include "dd/equivalence.hpp"          // IWYU pragma: export
 #include "dd/approximation.hpp"        // IWYU pragma: export
@@ -41,6 +42,7 @@
 #include "par/pool.hpp"                // IWYU pragma: export
 #include "stab/tableau.hpp"            // IWYU pragma: export
 #include "tn/mps.hpp"                  // IWYU pragma: export
+#include "trace/trace.hpp"             // IWYU pragma: export
 #include "tn/network.hpp"              // IWYU pragma: export
 #include "tn/tensor.hpp"               // IWYU pragma: export
 #include "transpile/decompose.hpp"     // IWYU pragma: export

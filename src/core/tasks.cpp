@@ -14,6 +14,7 @@
 #include "guard/budget.hpp"
 #include "lint/lint.hpp"
 #include "obs/obs.hpp"
+#include "trace/trace.hpp"
 #include "tn/mps.hpp"
 #include "tn/network.hpp"
 #include "transpile/decompose.hpp"
@@ -34,6 +35,46 @@ obs::Counter& g_lint_plan_sim = obs::counter("qdt.lint.plan.simulate");
 obs::Counter& g_lint_plan_verify = obs::counter("qdt.lint.plan.verify");
 obs::Counter& g_lint_predict_hit = obs::counter("qdt.lint.predict.hit");
 obs::Counter& g_lint_predict_miss = obs::counter("qdt.lint.predict.miss");
+obs::Counter& g_lint_predict_degraded =
+    obs::counter("qdt.lint.predict.degradations");
+
+/// The backend's bytes_peak gauge right now — a process-lifetime
+/// high-water mark, so per-rung it reads "memory was at most this high by
+/// the end of the rung".
+std::uint64_t backend_peak_bytes(SimBackend b) {
+  switch (b) {
+    case SimBackend::Array:
+      return static_cast<std::uint64_t>(
+          obs::gauge("qdt.arrays.svsim.bytes_peak").value());
+    case SimBackend::DecisionDiagram:
+      return static_cast<std::uint64_t>(
+          obs::gauge("qdt.dd.package.bytes_peak").value());
+    case SimBackend::TensorNetwork:
+      return static_cast<std::uint64_t>(
+          obs::gauge("qdt.tn.contraction.bytes_peak").value());
+    case SimBackend::Mps:
+      return static_cast<std::uint64_t>(
+          obs::gauge("qdt.tn.mps.bytes_peak").value());
+    case SimBackend::Stabilizer:
+      return static_cast<std::uint64_t>(
+          obs::gauge("qdt.stab.tableau.bytes_peak").value());
+  }
+  return 0;
+}
+
+std::uint64_t method_peak_bytes(EcMethod m) {
+  switch (m) {
+    case EcMethod::DdAlternating:
+    case EcMethod::DdSequential:
+    case EcMethod::DdSimulative:
+      return static_cast<std::uint64_t>(
+          obs::gauge("qdt.dd.package.bytes_peak").value());
+    case EcMethod::Array:
+    case EcMethod::Zx:
+      return 0;  // no bytes_peak gauge for dense unitaries / ZX graphs
+  }
+  return 0;
+}
 
 SimBackend to_sim_backend(lint::Backend b) {
   switch (b) {
@@ -71,7 +112,12 @@ EcMethod to_ec_method(lint::VerifyMethod m) {
 
 const char* version() { return "1.0.0"; }
 
-std::string obs_report() { return obs::to_json(obs::snapshot()); }
+std::string obs_report() {
+  obs::sample_process_rss();
+  obs::Snapshot snap = obs::snapshot();
+  trace::fill_obs_spans(snap);
+  return obs::to_json(snap);
+}
 
 const char* backend_name(SimBackend b) {
   switch (b) {
@@ -93,7 +139,12 @@ SimulateResult simulate(const ir::Circuit& circuit, SimBackend backend,
                         const SimulateOptions& options) {
   SimulateResult res;
   res.backend = backend;
-  const obs::Span span("qdt.core.task.simulate");
+  trace::Span span("qdt.core.task.simulate");
+  span.attr("backend", backend_name(backend))
+      .attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
+      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()))
+      .attr("shots", static_cast<std::uint64_t>(options.shots))
+      .attr("want_state", std::int64_t{options.want_state ? 1 : 0});
   const guard::BudgetScope scope(options.budget);
   const obs::Stopwatch sw;
   switch (backend) {
@@ -218,6 +269,9 @@ SimulateResult simulate(const ir::Circuit& circuit, SimBackend backend,
     }
   }
   res.seconds = sw.seconds();
+  span.attr("representation_size",
+            static_cast<std::uint64_t>(res.representation_size))
+      .attr("bytes_peak", backend_peak_bytes(backend));
   return res;
 }
 
@@ -301,7 +355,11 @@ const char* method_name(EcMethod m) {
 VerifyResult verify(const ir::Circuit& c1, const ir::Circuit& c2,
                     EcMethod method, const guard::Budget& budget) {
   VerifyResult res;
-  const obs::Span span("qdt.core.task.verify");
+  trace::Span span("qdt.core.task.verify");
+  span.attr("method", method_name(method))
+      .attr("qubits", static_cast<std::uint64_t>(c1.num_qubits()))
+      .attr("gates",
+            static_cast<std::uint64_t>(c1.ops().size() + c2.ops().size()));
   const guard::BudgetScope scope(budget);
   const obs::Stopwatch sw;
   switch (method) {
@@ -359,7 +417,10 @@ CompileResult compile_and_verify(const ir::Circuit& circuit,
                                  const transpile::TranspileOptions& opts,
                                  const guard::Budget& budget) {
   CompileResult res;
-  const obs::Span span("qdt.core.task.compile");
+  trace::Span span("qdt.core.task.compile");
+  span.attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
+      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()))
+      .attr("method", method_name(method));
   const guard::BudgetScope scope(budget);
   res.transpiled = transpile::transpile(circuit, target, opts);
   res.verification =
@@ -390,6 +451,10 @@ std::vector<SimBackend> simulate_ladder(SimBackend start) {
   return {start};
 }
 
+}  // namespace
+
+namespace detail {
+
 /// Statically planned ladder: lint ranks the feasible backends by its cost
 /// model, then the guaranteed degradation rungs are appended so the chain
 /// never ends on a backend that might refuse the request.
@@ -416,6 +481,10 @@ std::vector<SimBackend> planned_simulate_ladder(const ir::Circuit& circuit,
   }
   return ladder;
 }
+
+}  // namespace detail
+
+namespace {
 
 std::vector<EcMethod> verify_ladder(EcMethod start) {
   switch (start) {
@@ -471,13 +540,16 @@ RobustSimulateResult simulate_robust(const ir::Circuit& circuit,
                                      const SimulateOptions& options,
                                      std::optional<SimBackend> start) {
   RobustSimulateResult robust;
-  const obs::Span span("qdt.core.task.simulate_robust");
+  trace::Span span("qdt.core.task.simulate_robust");
+  span.attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
+      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()));
   // One scope across the whole ladder: the deadline covers every attempt
   // combined, and nested per-simulate scopes can only tighten it.
   const guard::BudgetScope scope(options.budget);
   const bool planned = !start.has_value();
-  const auto ladder = planned ? planned_simulate_ladder(circuit, options)
-                              : simulate_ladder(*start);
+  const auto ladder = planned
+                          ? detail::planned_simulate_ladder(circuit, options)
+                          : simulate_ladder(*start);
   if (planned) {
     g_lint_plan_sim.add();
   }
@@ -493,6 +565,9 @@ RobustSimulateResult simulate_robust(const ir::Circuit& circuit,
     if (backend == SimBackend::Mps && rung > 0 && opts.mps_max_bond == 0) {
       opts.mps_max_bond = degraded_mps_bond(circuit, options.budget);
     }
+    trace::Span rung_span("qdt.core.robust.rung");
+    rung_span.attr("backend", backend_name(backend))
+        .attr("rung", static_cast<std::uint64_t>(rung));
     try {
       if (last_resort) {
         // Final rung: a single <0...0|C|0...0> amplitude instead of a full
@@ -508,32 +583,51 @@ RobustSimulateResult simulate_robust(const ir::Circuit& circuit,
         res.representation_size = stats.peak_tensor_size;
         res.seconds = sw.seconds();
         robust.result = std::move(res);
-        robust.attempts.push_back(
-            {std::string(backend_name(backend)) + " (single amplitude)",
-             ""});
+        FallbackStep step;
+        step.stage =
+            std::string(backend_name(backend)) + " (single amplitude)";
+        step.seconds = rung_span.seconds();
+        step.peak_bytes = backend_peak_bytes(backend);
+        robust.attempts.push_back(std::move(step));
       } else {
         robust.result = simulate(circuit, backend, opts);
-        std::string stage = backend_name(backend);
+        FallbackStep step;
+        step.stage = backend_name(backend);
         if (backend == SimBackend::Mps && opts.mps_max_bond != 0 &&
             options.mps_max_bond == 0) {
-          stage += " (truncated, bond " +
-                   std::to_string(opts.mps_max_bond) + ")";
+          step.stage += " (truncated, bond " +
+                        std::to_string(opts.mps_max_bond) + ")";
         }
-        robust.attempts.push_back({std::move(stage), ""});
+        step.seconds = rung_span.seconds();
+        step.peak_bytes = backend_peak_bytes(backend);
+        robust.attempts.push_back(std::move(step));
       }
+      rung_span.attr("outcome", "ok");
       if (planned) {
         (rung == 0 ? g_lint_predict_hit : g_lint_predict_miss).add();
       }
       return robust;
     } catch (const Error& e) {
       if (!should_degrade(e) || rung + 1 == ladder.size()) {
+        rung_span.attr("outcome", "error").attr("code", e.code_name());
         throw;
       }
-      robust.attempts.push_back(
-          {backend_name(backend),
-           std::string(e.code_name()) + ": " + e.what()});
+      rung_span.attr("outcome", "degraded").attr("code", e.code_name());
+      FallbackStep step;
+      step.stage = backend_name(backend);
+      step.error = std::string(e.code_name()) + ": " + e.what();
+      step.code = e.code_name();
+      if (e.code() == ErrorCode::ResourceExhausted) {
+        step.resource = resource_name(e.resource());
+      }
+      step.seconds = rung_span.seconds();
+      step.peak_bytes = backend_peak_bytes(backend);
+      robust.attempts.push_back(std::move(step));
       g_fallback_steps.add();
       g_fallback_sim.add();
+      if (planned) {
+        g_lint_predict_degraded.add();
+      }
     }
   }
   throw Error::internal("simulate_robust: empty fallback ladder");
@@ -543,7 +637,10 @@ RobustVerifyResult verify_robust(const ir::Circuit& c1, const ir::Circuit& c2,
                                  std::optional<EcMethod> start,
                                  const guard::Budget& budget) {
   RobustVerifyResult robust;
-  const obs::Span span("qdt.core.task.verify_robust");
+  trace::Span span("qdt.core.task.verify_robust");
+  span.attr("qubits", static_cast<std::uint64_t>(c1.num_qubits()))
+      .attr("gates",
+            static_cast<std::uint64_t>(c1.ops().size() + c2.ops().size()));
   const guard::BudgetScope scope(budget);
   const bool planned = !start.has_value();
   std::vector<EcMethod> ladder;
@@ -560,33 +657,62 @@ RobustVerifyResult verify_robust(const ir::Circuit& c1, const ir::Circuit& c2,
   for (std::size_t rung = 0; rung < ladder.size(); ++rung) {
     const EcMethod method = ladder[rung];
     const bool last = rung + 1 == ladder.size();
+    trace::Span rung_span("qdt.core.robust.rung");
+    rung_span.attr("method", method_name(method))
+        .attr("rung", static_cast<std::uint64_t>(rung));
     try {
       VerifyResult res = verify(c1, c2, method);
       // An inconclusive verdict (ZX rewriting stalled, or a simulative
       // pass without proof) is a reason to degrade — unless this is the
       // last rung, where evidence is all we have left.
       if (!res.conclusive && !last) {
-        robust.attempts.push_back(
-            {method_name(method), "inconclusive: " + res.detail});
+        rung_span.attr("outcome", "inconclusive");
+        FallbackStep step;
+        step.stage = method_name(method);
+        step.error = "inconclusive: " + res.detail;
+        step.code = "Inconclusive";
+        step.seconds = rung_span.seconds();
+        step.peak_bytes = method_peak_bytes(method);
+        robust.attempts.push_back(std::move(step));
         g_fallback_steps.add();
         g_fallback_verify.add();
+        if (planned) {
+          g_lint_predict_degraded.add();
+        }
         continue;
       }
+      rung_span.attr("outcome", "ok");
       robust.result = std::move(res);
-      robust.attempts.push_back({method_name(method), ""});
+      FallbackStep step;
+      step.stage = method_name(method);
+      step.seconds = rung_span.seconds();
+      step.peak_bytes = method_peak_bytes(method);
+      robust.attempts.push_back(std::move(step));
       if (planned) {
         (rung == 0 ? g_lint_predict_hit : g_lint_predict_miss).add();
       }
       return robust;
     } catch (const Error& e) {
       if (!should_degrade(e) || last) {
+        rung_span.attr("outcome", "error").attr("code", e.code_name());
         throw;
       }
-      robust.attempts.push_back(
-          {method_name(method),
-           std::string(e.code_name()) + ": " + e.what()});
+      rung_span.attr("outcome", "degraded").attr("code", e.code_name());
+      FallbackStep step;
+      step.stage = method_name(method);
+      step.error = std::string(e.code_name()) + ": " + e.what();
+      step.code = e.code_name();
+      if (e.code() == ErrorCode::ResourceExhausted) {
+        step.resource = resource_name(e.resource());
+      }
+      step.seconds = rung_span.seconds();
+      step.peak_bytes = method_peak_bytes(method);
+      robust.attempts.push_back(std::move(step));
       g_fallback_steps.add();
       g_fallback_verify.add();
+      if (planned) {
+        g_lint_predict_degraded.add();
+      }
     }
   }
   throw Error::internal("verify_robust: empty fallback ladder");

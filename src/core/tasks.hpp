@@ -128,10 +128,17 @@ CompileResult compile_and_verify(const ir::Circuit& circuit,
 
 /// One rung of a fallback ladder: the backend/method that was attempted
 /// and, if it was abandoned, why. The last step of a successful robust run
-/// has an empty `error`.
+/// has an empty `error`. The typed fields carry what the explain report
+/// needs without re-parsing the message: the qdt::Error code, the
+/// exhausted resource (ResourceExhausted only), the rung's wall time, and
+/// the backend's memory high-water gauge as of the end of the rung.
 struct FallbackStep {
-  std::string stage;  // backend_name(...) or method_name(...)
-  std::string error;  // "" when this stage produced the result
+  std::string stage;     // backend_name(...) or method_name(...)
+  std::string error;     // "" when this stage produced the result
+  std::string code;      // qdt::Error code name; "" on success
+  std::string resource;  // exhausted resource name; "" otherwise
+  double seconds = 0.0;  // wall time spent inside this rung
+  std::uint64_t peak_bytes = 0;  // backend bytes_peak gauge after the rung
 };
 
 struct RobustSimulateResult {
@@ -182,5 +189,15 @@ struct RobustVerifyResult {
 RobustVerifyResult verify_robust(const ir::Circuit& c1, const ir::Circuit& c2,
                                  std::optional<EcMethod> start = std::nullopt,
                                  const guard::Budget& budget = {});
+
+namespace detail {
+
+/// The statically planned fallback ladder that simulate_robust walks when
+/// no explicit start backend is given — exposed so core::explain can diff
+/// the plan against what actually executed.
+std::vector<SimBackend> planned_simulate_ladder(const ir::Circuit& circuit,
+                                                const SimulateOptions& options);
+
+}  // namespace detail
 
 }  // namespace qdt::core

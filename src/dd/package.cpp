@@ -32,8 +32,10 @@ void check_node_budget(std::size_t vec_nodes, std::size_t mat_nodes,
   const std::size_t total = vec_nodes + mat_nodes;
   guard::check_dd_nodes(total);
   if ((total & 0x3F) == 0) {
-    guard::check_memory(total * 96 + complex_values * sizeof(Complex),
-                        "dd package");
+    const std::size_t bytes = total * 96 + complex_values * sizeof(Complex);
+    static obs::Gauge& g_bytes_peak = obs::gauge("qdt.dd.package.bytes_peak");
+    g_bytes_peak.update_max(static_cast<std::int64_t>(bytes));
+    guard::check_memory(bytes, "dd package");
     guard::check_deadline();
   }
 }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "guard/budget.hpp"
+#include "trace/trace.hpp"
 
 namespace qdt::dd {
 
@@ -14,6 +15,10 @@ std::vector<std::pair<ir::Qubit, bool>> DDSimulator::run(
   if (circuit.num_qubits() != pkg_.num_qubits()) {
     throw std::invalid_argument("DDSimulator::run: width mismatch");
   }
+  trace::Span span("qdt.dd.sim.run");
+  span.attr("backend", "decision-diagram")
+      .attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
+      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()));
   std::vector<std::pair<ir::Qubit, bool>> record;
   node_trace_.clear();
   for (const auto& op : circuit.ops()) {
@@ -43,6 +48,17 @@ std::vector<std::pair<ir::Qubit, bool>> DDSimulator::run(
     }
     node_trace_.push_back(state_node_count());
   }
+  const PackageStats stats = pkg_.stats();
+  span.attr("state_nodes", static_cast<std::uint64_t>(state_node_count()))
+      .attr("unique_vec_nodes",
+            static_cast<std::uint64_t>(stats.unique_vec_nodes))
+      .attr("unique_mat_nodes",
+            static_cast<std::uint64_t>(stats.unique_mat_nodes))
+      .attr("complex_values",
+            static_cast<std::uint64_t>(stats.complex_values))
+      .attr("cache_hits", static_cast<std::uint64_t>(stats.cache_hits))
+      .attr("cache_lookups",
+            static_cast<std::uint64_t>(stats.cache_lookups));
   return record;
 }
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "trace/trace.hpp"
 
 namespace qdt::lint {
 
@@ -136,7 +137,9 @@ std::size_t Report::warnings() const {
 }
 
 Report run(const ir::Circuit& circuit, const PlanConstraints& constraints) {
-  const obs::Span span("qdt.lint.pass.run");
+  trace::Span span("qdt.lint.pass.run");
+  span.attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
+      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()));
   Report report;
   report.facts = analyze(circuit);
   report.plan = plan_backends(report.facts, constraints);

@@ -152,6 +152,10 @@ std::string to_prometheus(const Snapshot& snap) {
     os << n << "_sum " << h.sum << '\n';
     os << n << "_count " << h.count << '\n';
   }
+  // Span loss must be visible in scrape output even when the snapshot was
+  // taken without the qdt.trace.span.* counters registered.
+  os << "# TYPE qdt_obs_spans_dropped counter\n";
+  os << "qdt_obs_spans_dropped " << snap.spans_dropped << '\n';
   return os.str();
 }
 

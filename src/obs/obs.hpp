@@ -1,10 +1,13 @@
-// qdt::obs — the process-wide metrics and tracing layer shared by all four
-// backends. Counters, gauges, and histograms live in a named registry;
-// writes go to lock-free per-thread shards and are merged on read, so the
-// DD package can bump a counter per compute-table lookup without cross-core
-// contention. Hierarchical trace spans cover the three design tasks
-// (simulate / verify / compile). Snapshots export as JSON or Prometheus
-// text.
+// qdt::obs — the process-wide metrics layer shared by all four backends.
+// Counters, gauges, and histograms live in a named registry; writes go to
+// lock-free per-thread shards and are merged on read, so the DD package
+// can bump a counter per compute-table lookup without cross-core
+// contention. Snapshots export as JSON or Prometheus text.
+//
+// Execution tracing lives one layer up in qdt::trace (attributed spans
+// with parent/thread ids and Perfetto export); the Snapshot below keeps
+// its flat `spans` view, filled from the trace ring by
+// trace::fill_obs_spans(), so the metrics JSON shape is unchanged.
 //
 // Metric names follow `qdt.<layer>.<component>.<metric>` (enforced by
 // tools/check_metrics_names.py); see the README's Observability section for
@@ -72,9 +75,10 @@ struct HistogramSample {
   double sum = 0.0;
 };
 
+/// Flat span view (filled from qdt::trace by trace::fill_obs_spans).
 struct SpanSample {
   std::string name;
-  std::size_t depth = 0;      // nesting level at record time
+  std::size_t depth = 0;      // nesting level, recovered from parent ids
   double start_seconds = 0.0; // monotonic_seconds() at span entry
   double seconds = 0.0;       // duration
 };
@@ -198,11 +202,17 @@ Gauge& gauge(std::string_view name);
 Histogram& histogram(std::string_view name);
 Histogram& histogram(std::string_view name, std::vector<double> bounds);
 
-/// Consistent point-in-time copy of every registered metric + spans.
+/// Consistent point-in-time copy of every registered metric. The `spans`
+/// field stays empty here — overlay it with trace::fill_obs_spans().
 Snapshot snapshot();
 
-/// Zero every metric (registrations survive) and clear recorded spans.
+/// Zero every metric (registrations survive).
 void reset();
+
+/// Sample the process peak RSS (getrusage) into the
+/// `qdt.process.mem.rss_peak_mb` gauge. Cheap; call it right before any
+/// snapshot that should carry memory data.
+void sample_process_rss();
 
 /// RAII timer: observes the scope's duration into a histogram on exit.
 /// Compiles to nothing (no clock calls) in no-op builds.
@@ -216,28 +226,6 @@ class ScopedTimer {
  private:
   Histogram& h_;
   double start_;
-};
-
-// ---------------------------------------------------------------------------
-// Trace spans
-// ---------------------------------------------------------------------------
-
-/// RAII hierarchical trace span: records {name, depth, start, duration}
-/// into the registry on destruction. Depth tracks per-thread nesting.
-class Span {
- public:
-  explicit Span(std::string_view name);
-  ~Span();
-  Span(const Span&) = delete;
-  Span& operator=(const Span&) = delete;
-
-  /// Elapsed time so far.
-  double seconds() const { return monotonic_seconds() - start_; }
-
- private:
-  std::string name_;
-  double start_;
-  std::size_t depth_;
 };
 
 #else  // !QDT_OBS_ENABLED
@@ -295,23 +283,13 @@ inline Histogram& histogram(std::string_view, std::vector<double>) {
 
 inline Snapshot snapshot() { return Snapshot{}; }
 inline void reset() {}
+inline void sample_process_rss() {}
 
 class ScopedTimer {
  public:
   explicit ScopedTimer(Histogram&) {}
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
-};
-
-class Span {
- public:
-  explicit Span(std::string_view) : start_(monotonic_seconds()) {}
-  Span(const Span&) = delete;
-  Span& operator=(const Span&) = delete;
-  double seconds() const { return monotonic_seconds() - start_; }
-
- private:
-  double start_;
 };
 
 #endif  // QDT_OBS_ENABLED

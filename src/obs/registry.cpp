@@ -5,6 +5,10 @@
 #include <map>
 #include <mutex>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace qdt::obs {
 
 double monotonic_seconds() {
@@ -152,15 +156,6 @@ class Registry {
     return *it->second;
   }
 
-  void record_span(SpanSample s) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (spans_.size() >= kMaxSpans) {
-      ++spans_dropped_;
-      return;
-    }
-    spans_.push_back(std::move(s));
-  }
-
   Snapshot snapshot() const {
     const std::lock_guard<std::mutex> lock(mu_);
     Snapshot snap;
@@ -175,8 +170,6 @@ class Registry {
       snap.histograms.push_back(
           {name, h->bounds(), h->bucket_counts(), h->count(), h->sum()});
     }
-    snap.spans = spans_;
-    snap.spans_dropped = spans_dropped_;
     return snap;
   }
 
@@ -191,21 +184,15 @@ class Registry {
     for (auto& [name, h] : histograms_) {
       h->reset();
     }
-    spans_.clear();
-    spans_dropped_ = 0;
   }
 
  private:
-  static constexpr std::size_t kMaxSpans = 4096;
-
   mutable std::mutex mu_;
   // Node-based maps: metric addresses are stable for the process lifetime,
   // so call sites may cache the references.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::vector<SpanSample> spans_;
-  std::uint64_t spans_dropped_ = 0;
 };
 
 }  // namespace
@@ -231,20 +218,24 @@ Snapshot snapshot() { return Registry::instance().snapshot(); }
 void reset() { Registry::instance().reset(); }
 
 // ---------------------------------------------------------------------------
-// Spans
+// Process memory
 // ---------------------------------------------------------------------------
 
-namespace {
-thread_local std::size_t t_span_depth = 0;
-}  // namespace
-
-Span::Span(std::string_view name)
-    : name_(name), start_(monotonic_seconds()), depth_(t_span_depth++) {}
-
-Span::~Span() {
-  --t_span_depth;
-  Registry::instance().record_span(
-      {std::move(name_), depth_, start_, monotonic_seconds() - start_});
+void sample_process_rss() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return;
+  }
+  // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+  const std::int64_t mb = usage.ru_maxrss / (1024 * 1024);
+#else
+  const std::int64_t mb = usage.ru_maxrss / 1024;
+#endif
+  static Gauge& g_rss = gauge("qdt.process.mem.rss_peak_mb");
+  g_rss.update_max(mb);
+#endif
 }
 
 #endif  // QDT_OBS_ENABLED

@@ -24,6 +24,11 @@ obs::Counter& g_idle_ns = obs::counter("qdt.par.worker.idle_ns");
 
 thread_local bool t_in_worker = false;
 
+// Constant-initialized (all nullptr), so installing hooks from another
+// TU's static initializer is order-safe. Written once before main, read
+// by workers only after they are spawned at runtime.
+detail::ContextHooks g_context_hooks;
+
 /// One in-flight task: a shared chunk cursor plus the submitting thread's
 /// resolved budget limits. Workers race on `next`; whichever thread claims
 /// a chunk runs it under an adopted BudgetScope and a per-chunk deadline
@@ -36,6 +41,7 @@ struct Task {
   const detail::ChunkBody* body = nullptr;
   guard::Limits limits;
   bool has_limits = false;
+  std::uint64_t context = 0;  // opaque token from ContextHooks::capture
   std::atomic<std::size_t> next{0};
   std::atomic<bool> cancelled{false};
   std::mutex error_mutex;
@@ -128,6 +134,14 @@ class Pool {
         ++running_;
       }
       {
+        // Adopt the submitter's trace context so spans opened inside the
+        // chunk body parent under the submitting task instead of becoming
+        // depth-0 orphans. run_chunks never throws (chunk exceptions are
+        // captured into the task), so plain restore is exception-safe.
+        std::uint64_t saved_context = 0;
+        if (g_context_hooks.adopt != nullptr) {
+          saved_context = g_context_hooks.adopt(task->context);
+        }
         // Adopt the submitter's budget: limits are thread-local, and a
         // kernel chunk must see the same deadline/memory ceilings it would
         // have seen on the submitting thread.
@@ -136,6 +150,9 @@ class Pool {
           task->run_chunks(/*stolen=*/true);
         } else {
           task->run_chunks(/*stolen=*/true);
+        }
+        if (g_context_hooks.restore != nullptr) {
+          g_context_hooks.restore(saved_context);
         }
       }
       {
@@ -195,6 +212,10 @@ namespace detail {
 
 bool in_worker() { return t_in_worker; }
 
+void set_context_hooks(const ContextHooks& hooks) {
+  g_context_hooks = hooks;
+}
+
 void run_parallel(std::size_t begin, std::size_t end, std::size_t grain,
                   const ChunkBody& body) {
   Pool& pool = Pool::instance();
@@ -220,6 +241,9 @@ void run_parallel(std::size_t begin, std::size_t end, std::size_t grain,
   if (const guard::Limits* limits = guard::current_limits()) {
     task.limits = *limits;
     task.has_limits = true;
+  }
+  if (g_context_hooks.capture != nullptr) {
+    task.context = g_context_hooks.capture();
   }
 
   const std::size_t helpers =

@@ -76,6 +76,24 @@ inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
   return (n + grain - 1) / grain;
 }
 
+/// Opaque per-thread context propagation for layers above par. The trace
+/// layer sits above this one in the DAG, so the pool cannot name its
+/// types; instead a higher layer installs three raw function pointers and
+/// the pool threads an opaque token through task submission: `capture` on
+/// the submitting thread at submit time, `adopt` (returning the worker's
+/// previous token) before a worker runs chunks, `restore` after. This is
+/// the same adoption pattern the pool already applies to guard::Limits.
+struct ContextHooks {
+  std::uint64_t (*capture)() = nullptr;
+  std::uint64_t (*adopt)(std::uint64_t ctx) = nullptr;
+  void (*restore)(std::uint64_t saved) = nullptr;
+};
+
+/// Install the hooks (all three or none). Must happen before the first
+/// parallel call spawns workers; the trace layer does it during static
+/// initialization.
+void set_context_hooks(const ContextHooks& hooks);
+
 }  // namespace detail
 
 /// Default grain for gate-kernel loops (a few flops per element).

@@ -7,6 +7,7 @@
 #include "guard/budget.hpp"
 #include "guard/error.hpp"
 #include "obs/obs.hpp"
+#include "trace/trace.hpp"
 
 namespace qdt::stab {
 
@@ -531,6 +532,10 @@ std::vector<std::pair<ir::Qubit, bool>> StabilizerSimulator::run(
   if (circuit.num_qubits() != tableau_.num_qubits()) {
     throw std::invalid_argument("StabilizerSimulator: width mismatch");
   }
+  trace::Span span("qdt.stab.tableau.run");
+  span.attr("backend", "stabilizer")
+      .attr("qubits", static_cast<std::uint64_t>(tableau_.num_qubits()))
+      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()));
   std::vector<std::pair<ir::Qubit, bool>> record;
   // 2n Pauli rows of 2n + 1 bits each, packed.
   const std::size_t n = tableau_.num_qubits();

@@ -7,6 +7,8 @@
 #include "common/bitops.hpp"
 #include "guard/budget.hpp"
 #include "guard/error.hpp"
+#include "obs/obs.hpp"
+#include "trace/trace.hpp"
 
 namespace qdt::tn {
 
@@ -235,14 +237,24 @@ void MPS::run(const ir::Circuit& circuit) {
   if (circuit.num_qubits() != sites_.size()) {
     throw std::invalid_argument("MPS::run: width mismatch");
   }
+  trace::Span span("qdt.tn.mps.run");
+  span.attr("backend", "mps")
+      .attr("qubits", static_cast<std::uint64_t>(sites_.size()))
+      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()))
+      .attr("max_bond", static_cast<std::uint64_t>(max_bond_));
+  static obs::Gauge& g_bytes_peak = obs::gauge("qdt.tn.mps.bytes_peak");
   for (const auto& op : circuit.ops()) {
     guard::check_deadline();
     if (op.is_barrier()) {
       continue;
     }
     apply(op);
-    guard::check_memory(total_elements() * sizeof(Complex), "mps state");
+    const std::size_t bytes = total_elements() * sizeof(Complex);
+    g_bytes_peak.update_max(static_cast<std::int64_t>(bytes));
+    guard::check_memory(bytes, "mps state");
   }
+  span.attr("bond", static_cast<std::uint64_t>(max_bond_dimension()))
+      .attr("elements", static_cast<std::uint64_t>(total_elements()));
 }
 
 Complex MPS::amplitude(std::uint64_t basis) const {

@@ -9,6 +9,7 @@
 #include "common/bitops.hpp"
 #include "guard/budget.hpp"
 #include "obs/obs.hpp"
+#include "trace/trace.hpp"
 
 namespace qdt::tn {
 
@@ -18,6 +19,7 @@ obs::Counter& g_contractions = obs::counter("qdt.tn.contraction.count");
 obs::Counter& g_flops = obs::counter("qdt.tn.contraction.flops");
 obs::Gauge& g_peak_size = obs::gauge("qdt.tn.contraction.peak_size");
 obs::Gauge& g_peak_rank = obs::gauge("qdt.tn.contraction.peak_rank");
+obs::Gauge& g_bytes_peak = obs::gauge("qdt.tn.contraction.bytes_peak");
 
 }  // namespace
 
@@ -56,6 +58,10 @@ std::size_t TensorNetwork::total_elements() const {
 Tensor TensorNetwork::contract_all(const ContractionPlan& plan,
                                    ContractionStats* stats,
                                    std::size_t max_intermediate) {
+  trace::Span span("qdt.tn.contraction.run");
+  span.attr("backend", "tensor-network")
+      .attr("nodes", static_cast<std::uint64_t>(num_nodes()))
+      .attr("plan_steps", static_cast<std::uint64_t>(plan.size()));
   std::vector<std::optional<Tensor>> nodes = nodes_;
   ContractionStats local;
   const auto record = [&](const Tensor& t, double cost) {
@@ -135,6 +141,13 @@ Tensor TensorNetwork::contract_all(const ContractionPlan& plan,
   g_flops.add(static_cast<std::uint64_t>(local.flops));
   g_peak_size.update_max(static_cast<std::int64_t>(local.peak_tensor_size));
   g_peak_rank.update_max(static_cast<std::int64_t>(local.peak_rank));
+  g_bytes_peak.update_max(
+      static_cast<std::int64_t>(local.peak_tensor_size * sizeof(Complex)));
+  span.attr("contractions", static_cast<std::uint64_t>(local.contractions))
+      .attr("peak_tensor_size",
+            static_cast<std::uint64_t>(local.peak_tensor_size))
+      .attr("peak_rank", static_cast<std::uint64_t>(local.peak_rank))
+      .attr("flops", local.flops);
   if (stats != nullptr) {
     *stats = local;
   }

@@ -1,0 +1,197 @@
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace qdt::trace {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+/// Microseconds with nanosecond resolution — enough for trace viewers,
+/// and fixed-width so exported files are diff-friendly.
+void append_us(std::string& out, double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_attrs(std::string& out, const std::vector<Attr>& attrs) {
+  for (const Attr& a : attrs) {
+    out += ",\"";
+    append_escaped(out, a.key);
+    out += "\":";
+    switch (a.kind) {
+      case Attr::Kind::Int: {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%" PRId64, a.i);
+        out += buf;
+        break;
+      }
+      case Attr::Kind::Float:
+        append_double(out, a.f);
+        break;
+      case Attr::Kind::Str:
+        out += '"';
+        append_escaped(out, a.s);
+        out += '"';
+        break;
+    }
+  }
+}
+
+double earliest_start(const TraceSnapshot& snap) {
+  double t0 = 0.0;
+  bool first = true;
+  for (const SpanRecord& r : snap.spans) {
+    if (first || r.start_seconds < t0) {
+      t0 = r.start_seconds;
+      first = false;
+    }
+  }
+  return t0;
+}
+
+}  // namespace
+
+std::string to_chrome_json(const TraceSnapshot& snap) {
+  const double t0 = earliest_start(snap);
+  std::string out;
+  out.reserve(256 + snap.spans.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"qdt\"}}";
+
+  std::set<std::uint32_t> threads;
+  for (const SpanRecord& r : snap.spans) {
+    threads.insert(r.thread);
+  }
+  for (const std::uint32_t tid : threads) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    append_u64(out, tid);
+    out += ",\"args\":{\"name\":\"qdt-thread-";
+    append_u64(out, tid);
+    out += "\"}}";
+  }
+
+  // Emit in start order: viewers do not require it, but it makes the raw
+  // file readable top-to-bottom and the golden test deterministic once
+  // timestamps are normalized.
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(snap.spans.size());
+  for (const SpanRecord& r : snap.spans) {
+    ordered.push_back(&r);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     if (a->start_seconds != b->start_seconds) {
+                       return a->start_seconds < b->start_seconds;
+                     }
+                     return a->id < b->id;
+                   });
+
+  for (const SpanRecord* r : ordered) {
+    out += ",\n{\"name\":\"";
+    append_escaped(out, r->name);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    append_u64(out, r->thread);
+    out += ",\"ts\":";
+    append_us(out, (r->start_seconds - t0) * 1e6);
+    out += ",\"dur\":";
+    append_us(out, r->seconds * 1e6);
+    out += ",\"args\":{\"span_id\":";
+    append_u64(out, r->id);
+    out += ",\"parent\":";
+    append_u64(out, r->parent);
+    append_attrs(out, r->attrs);
+    out += "}}";
+  }
+  out += "\n],\"otherData\":{\"spans_dropped\":";
+  append_u64(out, snap.dropped);
+  out += "}}\n";
+  return out;
+}
+
+std::string to_jsonl(const TraceSnapshot& snap) {
+  std::string out;
+  out.reserve(128 + snap.spans.size() * 160);
+  out += "{\"type\":\"header\",\"version\":1,\"capacity\":";
+  append_u64(out, snap.capacity);
+  out += ",\"enabled\":";
+  out += snap.enabled ? "true" : "false";
+  out += "}\n";
+  for (const SpanRecord& r : snap.spans) {
+    out += "{\"type\":\"span\",\"id\":";
+    append_u64(out, r.id);
+    out += ",\"parent\":";
+    append_u64(out, r.parent);
+    out += ",\"thread\":";
+    append_u64(out, r.thread);
+    out += ",\"name\":\"";
+    append_escaped(out, r.name);
+    out += "\",\"start_us\":";
+    append_us(out, r.start_seconds * 1e6);
+    out += ",\"dur_us\":";
+    append_us(out, r.seconds * 1e6);
+    out += ",\"attrs\":{";
+    std::string attrs;
+    append_attrs(attrs, r.attrs);
+    if (!attrs.empty()) {
+      out += attrs.substr(1);  // drop the leading comma
+    }
+    out += "}}\n";
+  }
+  out += "{\"type\":\"summary\",\"spans\":";
+  append_u64(out, static_cast<std::uint64_t>(snap.spans.size()));
+  out += ",\"dropped\":";
+  append_u64(out, snap.dropped);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace qdt::trace

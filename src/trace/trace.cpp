@@ -1,0 +1,248 @@
+#include "trace/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "par/pool.hpp"
+
+namespace qdt::trace {
+
+#if QDT_OBS_ENABLED
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 4096;
+
+/// QDT_OBS_SPAN_CAP, parsed once. Unset/empty/unparsable means the default;
+/// an explicit 0 disables span recording.
+std::size_t capacity_from_env() {
+  const char* env = std::getenv("QDT_OBS_SPAN_CAP");
+  if (env == nullptr || *env == '\0') {
+    return kDefaultCapacity;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env) {
+    return kDefaultCapacity;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Bounded span sink. One mutex-protected vector: spans are small, arrive
+/// at task/phase granularity (not per gate application), and snapshots
+/// need a consistent copy anyway, so sharding would buy nothing here.
+class Collector {
+ public:
+  static Collector& instance() {
+    static Collector* c = new Collector();  // leaked: workers may outlive statics
+    return *c;
+  }
+
+  void record(SpanRecord&& rec) {
+    static obs::Counter& recorded = obs::counter("qdt.trace.span.recorded");
+    static obs::Counter& dropped = obs::counter("qdt.trace.span.dropped");
+    recorded.add();
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= cap_) {
+      ++dropped_;
+      dropped.add();
+      warn_once_on_drop();
+      return;
+    }
+    spans_.push_back(std::move(rec));
+  }
+
+  TraceSnapshot snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    TraceSnapshot snap;
+    snap.enabled = true;
+    snap.spans = spans_;
+    snap.dropped = dropped_;
+    snap.capacity = cap_;
+    return snap;
+  }
+
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+    dropped_ = 0;
+  }
+
+  std::size_t capacity() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return cap_;
+  }
+
+  void set_capacity(std::size_t cap) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    cap_ = cap;
+  }
+
+ private:
+  Collector() = default;
+
+  static void warn_once_on_drop() {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "qdt: span ring full, dropping trace spans (raise "
+                   "QDT_OBS_SPAN_CAP to keep more)\n");
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::uint64_t dropped_ = 0;
+  std::size_t cap_ = capacity_from_env();
+};
+
+/// Process-unique span ids, 1-based so 0 can mean "no parent". reset()
+/// restarts the sequence to keep golden-file traces reproducible.
+std::atomic<std::uint64_t> g_next_id{1};
+
+/// Innermost open (or adopted) span id on this thread.
+thread_local std::uint64_t t_current_span = 0;
+
+/// Compact per-thread id in arrival order; stable for the thread lifetime
+/// (deliberately not reset — ids must stay unique while workers live).
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// -------------------------------------------------------------------------
+// par context hooks
+//
+// par sits below trace in the layering DAG, so the pool cannot include
+// this header. Instead par exposes three raw function-pointer hooks and
+// this TU installs them during static initialization — before main, and
+// therefore before any pool worker can exist. Workers adopt the
+// submitting thread's innermost span for the duration of a task, exactly
+// parallel to how they adopt its guard::Limits.
+// -------------------------------------------------------------------------
+
+std::uint64_t hook_capture() { return t_current_span; }
+
+std::uint64_t hook_adopt(std::uint64_t ctx) {
+  return std::exchange(t_current_span, ctx);
+}
+
+void hook_restore(std::uint64_t saved) { t_current_span = saved; }
+
+const bool g_hooks_installed = [] {
+  par::detail::set_context_hooks(
+      {&hook_capture, &hook_adopt, &hook_restore});
+  return true;
+}();
+
+}  // namespace
+
+TraceSnapshot snapshot() { return Collector::instance().snapshot(); }
+
+void reset() {
+  Collector::instance().reset();
+  g_next_id.store(1, std::memory_order_relaxed);
+}
+
+std::size_t capacity() { return Collector::instance().capacity(); }
+
+void set_capacity(std::size_t cap) { Collector::instance().set_capacity(cap); }
+
+std::uint64_t current_span() { return t_current_span; }
+
+Span::Span(std::string_view name) {
+  record_.id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  record_.parent = t_current_span;
+  record_.thread = this_thread_id();
+  record_.name = name;
+  record_.start_seconds = obs::monotonic_seconds();
+  t_current_span = record_.id;
+}
+
+Span::~Span() {
+  t_current_span = record_.parent;
+  record_.seconds = obs::monotonic_seconds() - record_.start_seconds;
+  Collector::instance().record(std::move(record_));
+}
+
+Span& Span::attr(std::string_view key, std::int64_t v) {
+  Attr a;
+  a.key = key;
+  a.kind = Attr::Kind::Int;
+  a.i = v;
+  record_.attrs.push_back(std::move(a));
+  return *this;
+}
+
+Span& Span::attr(std::string_view key, std::uint64_t v) {
+  return attr(key, static_cast<std::int64_t>(v));
+}
+
+Span& Span::attr(std::string_view key, double v) {
+  Attr a;
+  a.key = key;
+  a.kind = Attr::Kind::Float;
+  a.f = v;
+  record_.attrs.push_back(std::move(a));
+  return *this;
+}
+
+Span& Span::attr(std::string_view key, std::string_view v) {
+  Attr a;
+  a.key = key;
+  a.kind = Attr::Kind::Str;
+  a.s = v;
+  record_.attrs.push_back(std::move(a));
+  return *this;
+}
+
+ContextScope::ContextScope(std::uint64_t parent)
+    : saved_(std::exchange(t_current_span, parent)) {}
+
+ContextScope::~ContextScope() { t_current_span = saved_; }
+
+#else  // !QDT_OBS_ENABLED
+
+TraceSnapshot snapshot() { return TraceSnapshot{}; }
+void reset() {}
+std::size_t capacity() { return 0; }
+void set_capacity(std::size_t) {}
+std::uint64_t current_span() { return 0; }
+
+#endif  // QDT_OBS_ENABLED
+
+void fill_obs_spans(obs::Snapshot& snap) {
+  const TraceSnapshot tr = snapshot();
+  snap.spans_dropped = tr.dropped;
+  snap.spans.clear();
+  snap.spans.reserve(tr.spans.size());
+  // Depth is recovered by walking parent chains; a parent that was itself
+  // dropped (or adopted from a span recorded before a reset) terminates
+  // the walk where the chain breaks.
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_of;
+  parent_of.reserve(tr.spans.size());
+  for (const SpanRecord& r : tr.spans) {
+    parent_of.emplace(r.id, r.parent);
+  }
+  for (const SpanRecord& r : tr.spans) {
+    std::size_t depth = 0;
+    std::uint64_t p = r.parent;
+    while (p != 0) {
+      const auto it = parent_of.find(p);
+      if (it == parent_of.end()) {
+        break;
+      }
+      ++depth;
+      p = it->second;
+    }
+    snap.spans.push_back({r.name, depth, r.start_seconds, r.seconds});
+  }
+}
+
+}  // namespace qdt::trace

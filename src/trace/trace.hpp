@@ -1,0 +1,199 @@
+// qdt::trace — attributed execution tracing for the four backends.
+//
+// The flat span ring that used to live inside qdt::obs answered "how long
+// did the task take"; it could not answer the questions that decide which
+// data structure wins in practice — *where inside one run* the time and
+// memory went, on which thread, under which backend, at what DD node count
+// or MPS bond. This layer upgrades spans into a proper trace:
+//
+//  * Every span has a process-unique id, a parent id (the innermost span
+//    open on the recording thread at construction), a compact thread id,
+//    and typed key/value attributes (int/float/string) attached at the
+//    call site: backend name, qubit/gate counts, DD node and cache-table
+//    statistics, MPS bond, peak bytes, budget headroom.
+//  * Trace context propagates across thread hops: qdt::par pool workers
+//    (and the chaos fuzzer's case workers) adopt the submitting thread's
+//    innermost span, so spans opened inside parallel_for chunks or
+//    fanned-out fuzz cases are parented under the submitting task instead
+//    of appearing as depth-0 orphans on anonymous threads.
+//  * Completed spans land in a bounded in-memory ring (capacity from the
+//    QDT_OBS_SPAN_CAP environment variable, default 4096). Overflow drops
+//    the new span, bumps qdt.trace.span.dropped (visible in both the JSON
+//    and Prometheus metric exports), and warns once on stderr — span loss
+//    is never silent.
+//  * Two exporters: Chrome trace-event JSON (load the file in Perfetto or
+//    chrome://tracing) and a line-delimited JSONL event log suitable for
+//    streaming from a long-running daemon.
+//
+// Layering: trace sits directly above obs/guard/par and below ir, so every
+// backend (and lint, core, chaos) can open attributed spans. The layer
+// compiles to no-ops alongside qdt::obs when QDT_OBS_ENABLED is OFF;
+// Span::seconds() stays real (it feeds result timing fields).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace qdt::trace {
+
+// ---------------------------------------------------------------------------
+// Records (always defined; empty snapshots when the layer is compiled out)
+// ---------------------------------------------------------------------------
+
+/// One typed span attribute. Exactly one of the value fields is meaningful,
+/// selected by `kind`.
+struct Attr {
+  enum class Kind { Int, Float, Str };
+  std::string key;
+  Kind kind = Kind::Int;
+  std::int64_t i = 0;
+  double f = 0.0;
+  std::string s;
+};
+
+struct SpanRecord {
+  std::uint64_t id = 0;      // process-unique, 1-based, reset() restarts
+  std::uint64_t parent = 0;  // 0 = root (no span open at construction)
+  std::uint32_t thread = 0;  // compact per-thread id (arrival order)
+  std::string name;          // qdt.<layer>.<component>.<metric> scheme
+  double start_seconds = 0.0;  // obs::monotonic_seconds() at entry
+  double seconds = 0.0;        // duration
+  std::vector<Attr> attrs;
+};
+
+struct TraceSnapshot {
+  bool enabled = false;
+  std::vector<SpanRecord> spans;  // completion order
+  std::uint64_t dropped = 0;      // spans lost to the ring cap since reset
+  std::size_t capacity = 0;       // ring capacity in effect
+};
+
+/// Point-in-time copy of the span ring.
+TraceSnapshot snapshot();
+
+/// Clear recorded spans, the dropped counter, and restart span ids at 1.
+/// (Does not touch the qdt.trace.* obs counters — obs::reset() owns those.)
+void reset();
+
+/// Ring capacity: QDT_OBS_SPAN_CAP (parsed once, lazily) or 4096. A value
+/// of 0 in the environment disables span recording entirely.
+std::size_t capacity();
+
+/// Override the ring capacity (tests). Does not drop already-held spans.
+void set_capacity(std::size_t cap);
+
+/// Innermost open span id on the calling thread; 0 when none.
+std::uint64_t current_span();
+
+// ---------------------------------------------------------------------------
+// Exporters (work on a snapshot; usable in both builds)
+// ---------------------------------------------------------------------------
+
+/// Chrome trace-event JSON: {"traceEvents": [...]} with one "X" (complete)
+/// event per span — `ts`/`dur` in microseconds relative to the earliest
+/// span — plus one "M" thread_name metadata event per thread. Span id,
+/// parent id, and every attribute are carried in `args`. Loadable in
+/// Perfetto (ui.perfetto.dev) and chrome://tracing.
+std::string to_chrome_json(const TraceSnapshot& snap);
+
+/// Streaming JSONL event log: one JSON object per line. First line is a
+/// {"type":"header"} record (capacity, dropped count), then one
+/// {"type":"span"} record per span in completion order, then a
+/// {"type":"summary"} trailer. The framing is what a `qdt serve` daemon
+/// can emit incrementally per request.
+std::string to_jsonl(const TraceSnapshot& snap);
+
+/// Back-compat flat view: fills `snap.spans` (name/depth/start/seconds,
+/// depth recomputed from parent chains) and `snap.spans_dropped` so
+/// core::obs_report() keeps its JSON shape from the pre-trace era.
+void fill_obs_spans(obs::Snapshot& snap);
+
+#if QDT_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Recording (enabled build)
+// ---------------------------------------------------------------------------
+
+/// RAII attributed span. Construction assigns the id and parents the span
+/// under the thread's innermost open span; destruction records it into the
+/// ring. Attach attributes any time before destruction:
+///
+///   trace::Span span("qdt.dd.sim.run");
+///   span.attr("qubits", std::int64_t{n}).attr("backend", "dd");
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  Span& attr(std::string_view key, std::int64_t v);
+  Span& attr(std::string_view key, std::uint64_t v);
+  Span& attr(std::string_view key, double v);
+  Span& attr(std::string_view key, std::string_view v);
+  /// Avoid const char* silently converting to bool.
+  Span& attr(std::string_view key, const char* v) {
+    return attr(key, std::string_view(v));
+  }
+
+  std::uint64_t id() const { return record_.id; }
+  /// Elapsed time so far (real in both builds).
+  double seconds() const {
+    return obs::monotonic_seconds() - record_.start_seconds;
+  }
+
+ private:
+  SpanRecord record_;
+};
+
+/// RAII context adoption for thread hops: installs `parent` as the calling
+/// thread's innermost span id, so spans opened by pool-worker chunks or
+/// fuzz-case workers attach under the submitting task. Restores the
+/// previous context (usually none — workers are context-free between
+/// tasks) on destruction.
+class ContextScope {
+ public:
+  explicit ContextScope(std::uint64_t parent);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+#else  // !QDT_OBS_ENABLED
+
+class Span {
+ public:
+  explicit Span(std::string_view) : start_(obs::monotonic_seconds()) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  Span& attr(std::string_view, std::int64_t) { return *this; }
+  Span& attr(std::string_view, std::uint64_t) { return *this; }
+  Span& attr(std::string_view, double) { return *this; }
+  Span& attr(std::string_view, std::string_view) { return *this; }
+  Span& attr(std::string_view, const char*) { return *this; }
+
+  std::uint64_t id() const { return 0; }
+  double seconds() const { return obs::monotonic_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+class ContextScope {
+ public:
+  explicit ContextScope(std::uint64_t) {}
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+};
+
+#endif  // QDT_OBS_ENABLED
+
+}  // namespace qdt::trace

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "trace/trace.hpp"
 #include "transpile/decompose.hpp"
 
 namespace qdt::transpile {
@@ -49,6 +50,9 @@ TranspileResult transpile(const Circuit& circuit, const Target& target,
         "measurements first)");
   }
   TranspileResult res;
+  trace::Span span("qdt.transpile.pass.run");
+  span.attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
+      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()));
   res.before = circuit.stats();
   const bool keep_cz = target.gate_set == NativeGateSet::CzRzSxX;
 
@@ -77,6 +81,9 @@ TranspileResult transpile(const Circuit& circuit, const Target& target,
   native.set_name(circuit.name() + "@" + target.coupling.name());
   res.circuit = std::move(native);
   res.after = res.circuit.stats();
+  span.attr("swaps_inserted",
+            static_cast<std::uint64_t>(res.swaps_inserted))
+      .attr("gates_out", static_cast<std::uint64_t>(res.after.total_gates));
   return res;
 }
 

@@ -4,6 +4,7 @@
 
 #include "guard/budget.hpp"
 #include "obs/obs.hpp"
+#include "trace/trace.hpp"
 #include "zx/circuit_to_zx.hpp"
 
 namespace qdt::zx {
@@ -388,6 +389,9 @@ SimplifyStats to_graph_like(ZXDiagram& d) {
 }
 
 SimplifyStats clifford_simp(ZXDiagram& d) {
+  trace::Span span("qdt.zx.simplify.run");
+  span.attr("backend", "zx")
+      .attr("spiders", static_cast<std::uint64_t>(d.num_spiders()));
   SimplifyStats s = to_graph_like(d);
   // Boundary rules are not strictly decreasing (splices add spiders), so
   // termination is enforced by a hard cap plus a stall detector: stop once
@@ -436,6 +440,8 @@ SimplifyStats clifford_simp(ZXDiagram& d) {
     fix_boundaries(d);
     changed = n > 0;
   }
+  span.attr("rounds", static_cast<std::uint64_t>(s.rounds))
+      .attr("reduced_spiders", static_cast<std::uint64_t>(d.num_spiders()));
   return s;
 }
 

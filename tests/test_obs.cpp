@@ -15,6 +15,7 @@
 #include "core/tasks.hpp"
 #include "ir/library.hpp"
 #include "obs/obs.hpp"
+#include "trace/trace.hpp"
 
 namespace qdt {
 namespace {
@@ -197,7 +198,7 @@ TEST(Obs, NoOpBuildLinksAndRuns) {
   h.observe(0.5);
   {
     const obs::ScopedTimer t(h);
-    const obs::Span span("qdt.test.linkage.span");
+    const trace::Span span("qdt.test.linkage.span");
     EXPECT_GE(span.seconds(), 0.0);
   }
   const obs::Snapshot snap = obs::snapshot();
@@ -279,12 +280,14 @@ TEST(Obs, HistogramBucketBoundaries) {
 
 TEST(Obs, SnapshotAndResetSemantics) {
   obs::reset();
+  trace::reset();
   obs::counter("qdt.test.snapshot.counter").add(3);
   obs::gauge("qdt.test.snapshot.gauge").set(-4);
   obs::histogram("qdt.test.snapshot.histogram").observe(0.25);
-  { const obs::Span span("qdt.test.snapshot.span"); }
+  { const trace::Span span("qdt.test.snapshot.span"); }
 
-  const obs::Snapshot snap = obs::snapshot();
+  obs::Snapshot snap = obs::snapshot();
+  trace::fill_obs_spans(snap);
   EXPECT_TRUE(snap.enabled);
   const auto* cs = snap.find_counter("qdt.test.snapshot.counter");
   ASSERT_NE(cs, nullptr);
@@ -303,9 +306,12 @@ TEST(Obs, SnapshotAndResetSemantics) {
     EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
   }
 
-  // reset() zeroes values and clears spans but keeps registrations.
+  // obs::reset() zeroes metric values; trace::reset() clears spans. Both
+  // keep registrations.
   obs::reset();
-  const obs::Snapshot after = obs::snapshot();
+  trace::reset();
+  obs::Snapshot after = obs::snapshot();
+  trace::fill_obs_spans(after);
   const auto* cs2 = after.find_counter("qdt.test.snapshot.counter");
   ASSERT_NE(cs2, nullptr);
   EXPECT_EQ(cs2->value, 0u);
@@ -315,11 +321,13 @@ TEST(Obs, SnapshotAndResetSemantics) {
 
 TEST(Obs, SpanNestingDepth) {
   obs::reset();
+  trace::reset();
   {
-    const obs::Span outer("qdt.test.span.outer");
-    { const obs::Span inner("qdt.test.span.inner"); }
+    const trace::Span outer("qdt.test.span.outer");
+    { const trace::Span inner("qdt.test.span.inner"); }
   }
-  const obs::Snapshot snap = obs::snapshot();
+  obs::Snapshot snap = obs::snapshot();
+  trace::fill_obs_spans(snap);
   ASSERT_EQ(snap.spans.size(), 2u);
   // Inner completes (and records) first, at depth 1.
   EXPECT_EQ(snap.spans[0].name, "qdt.test.span.inner");
@@ -331,6 +339,7 @@ TEST(Obs, SpanNestingDepth) {
 
 TEST(Obs, EndToEndBackendCounters) {
   obs::reset();
+  trace::reset();
   const ir::Circuit ghz = ir::ghz(4);
 
   core::SimulateOptions opts;
@@ -361,6 +370,7 @@ TEST(Obs, EndToEndBackendCounters) {
   EXPECT_GT(zx_fires, 0u);
 
   // Task spans were recorded for both top-level entry points.
+  trace::fill_obs_spans(snap);
   bool saw_simulate = false;
   bool saw_verify = false;
   for (const auto& s : snap.spans) {
@@ -370,6 +380,7 @@ TEST(Obs, EndToEndBackendCounters) {
   EXPECT_TRUE(saw_simulate);
   EXPECT_TRUE(saw_verify);
   obs::reset();
+  trace::reset();
 }
 
 #endif  // QDT_OBS_ENABLED
@@ -380,7 +391,7 @@ TEST(Obs, JsonExportIsValid) {
   obs::counter("qdt.test.json.counter").add(7);
   obs::gauge("qdt.test.json.gauge").set(-1);
   obs::histogram("qdt.test.json.histogram").observe(1.5);
-  { const obs::Span span("qdt.test.json.span"); }
+  { const trace::Span span("qdt.test.json.span"); }
 #endif
   const std::string json = obs::to_json(obs::snapshot());
   JsonValidator v(json);

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "trace/trace.hpp"
+
 namespace qdt::obs {
 namespace {
 
@@ -105,7 +107,7 @@ TEST(ObsThreads, SpansFromManyThreadsAllAggregate) {
   for (std::size_t t = 0; t < kThreads; ++t) {
     workers.emplace_back([] {
       for (std::size_t i = 0; i < 500; ++i) {
-        const Span span("qdt.test.threads.span");
+        const trace::Span span("qdt.test.threads.span");
       }
     });
   }
@@ -113,9 +115,10 @@ TEST(ObsThreads, SpansFromManyThreadsAllAggregate) {
     w.join();
   }
 #if QDT_OBS_ENABLED
-  // The span buffer is bounded (spans_dropped accounts for the overflow),
+  // The span ring is bounded (spans_dropped accounts for the overflow),
   // so the assertion is presence, not an exact count.
-  const Snapshot snap = snapshot();
+  Snapshot snap = snapshot();
+  trace::fill_obs_spans(snap);
   std::size_t seen = 0;
   for (const auto& s : snap.spans) {
     if (s.name == "qdt.test.threads.span") {

@@ -1,0 +1,378 @@
+// Tests for qdt::trace — span identity (id/parent/thread), attribute
+// typing, context propagation across qdt::par pool workers at several
+// thread counts, the bounded ring with visible drops, both exporters
+// (golden Chrome trace-event JSON, JSONL framing), and the plan-vs-actual
+// explain report built on top of the trace layer.
+//
+// The file compiles under both QDT_OBS_ENABLED settings: recording
+// assertions are guarded, exporter/report structure assertions are not.
+// The multi-thread stress test is the designated ThreadSanitizer target
+// (cmake -DQDT_SANITIZE=thread builds this same binary).
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/explain.hpp"
+#include "guard/budget.hpp"
+#include "ir/circuit.hpp"
+#include "par/pool.hpp"
+
+namespace qdt {
+namespace {
+
+/// Replace every volatile field of a Chrome trace export — timestamps,
+/// durations, and thread ids (compact but process-global, so dependent on
+/// which tests ran before this one) — with '#' so the remainder is
+/// bit-stable and comparable against a golden literal.
+std::string normalize_chrome(const std::string& json) {
+  std::string out;
+  out.reserve(json.size());
+  std::size_t i = 0;
+  const auto skip_number = [&]() {
+    while (i < json.size() &&
+           (std::isdigit(static_cast<unsigned char>(json[i])) != 0 ||
+            json[i] == '.' || json[i] == '-' || json[i] == 'e' ||
+            json[i] == '+')) {
+      ++i;
+    }
+  };
+  while (i < json.size()) {
+    for (const char* key : {"\"ts\":", "\"dur\":", "\"tid\":"}) {
+      const std::size_t len = std::string_view(key).size();
+      if (json.compare(i, len, key) == 0) {
+        out += key;
+        i += len;
+        skip_number();
+        out += '#';
+      }
+    }
+    const std::string_view tname = "qdt-thread-";
+    if (json.compare(i, tname.size(), tname) == 0) {
+      out += tname;
+      i += tname.size();
+      skip_number();
+      out += '#';
+    }
+    if (i < json.size()) {
+      out += json[i++];
+    }
+  }
+  return out;
+}
+
+#if QDT_OBS_ENABLED
+
+TEST(Trace, SpanIdsParentsAndTypedAttrs) {
+  trace::reset();
+  std::uint64_t outer_id = 0;
+  {
+    trace::Span outer("qdt.test.trace.outer");
+    outer_id = outer.id();
+    EXPECT_EQ(trace::current_span(), outer_id);
+    outer.attr("backend", "dd")
+        .attr("qubits", std::int64_t{8})
+        .attr("fidelity", 0.75);
+    { const trace::Span inner("qdt.test.trace.inner"); }
+  }
+  EXPECT_EQ(trace::current_span(), 0U);
+
+  const trace::TraceSnapshot snap = trace::snapshot();
+  ASSERT_TRUE(snap.enabled);
+  ASSERT_EQ(snap.spans.size(), 2U);
+  // Completion order: inner first. Ids are 1-based after reset().
+  const trace::SpanRecord& inner = snap.spans[0];
+  const trace::SpanRecord& outer = snap.spans[1];
+  EXPECT_EQ(outer.id, 1U);
+  EXPECT_EQ(outer.id, outer_id);
+  EXPECT_EQ(outer.parent, 0U);
+  EXPECT_EQ(inner.id, 2U);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(inner.thread, outer.thread);
+  EXPECT_GE(outer.seconds, inner.seconds);
+
+  ASSERT_EQ(outer.attrs.size(), 3U);
+  EXPECT_EQ(outer.attrs[0].key, "backend");
+  EXPECT_EQ(outer.attrs[0].kind, trace::Attr::Kind::Str);
+  EXPECT_EQ(outer.attrs[0].s, "dd");
+  EXPECT_EQ(outer.attrs[1].key, "qubits");
+  EXPECT_EQ(outer.attrs[1].kind, trace::Attr::Kind::Int);
+  EXPECT_EQ(outer.attrs[1].i, 8);
+  EXPECT_EQ(outer.attrs[2].key, "fidelity");
+  EXPECT_EQ(outer.attrs[2].kind, trace::Attr::Kind::Float);
+  EXPECT_DOUBLE_EQ(outer.attrs[2].f, 0.75);
+}
+
+TEST(Trace, ChromeExportMatchesGolden) {
+  trace::reset();
+  {
+    trace::Span parent("qdt.test.golden.parent");
+    parent.attr("backend", "dd")
+        .attr("qubits", std::int64_t{8})
+        .attr("fidelity", 0.5);
+    { const trace::Span child("qdt.test.golden.child"); }
+  }
+  const std::string got = normalize_chrome(trace::to_chrome_json(trace::snapshot()));
+  const std::string want =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":#,"
+      "\"args\":{\"name\":\"qdt\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":#,"
+      "\"args\":{\"name\":\"qdt-thread-#\"}},\n"
+      "{\"name\":\"qdt.test.golden.parent\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":#,\"ts\":#,\"dur\":#,\"args\":{\"span_id\":1,\"parent\":0,"
+      "\"backend\":\"dd\",\"qubits\":8,\"fidelity\":0.5}},\n"
+      "{\"name\":\"qdt.test.golden.child\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":#,\"ts\":#,\"dur\":#,\"args\":{\"span_id\":2,\"parent\":1}}\n"
+      "],\"otherData\":{\"spans_dropped\":0}}\n";
+  EXPECT_EQ(got, want);
+}
+
+/// The acceptance invariant for cross-thread tracing: spans opened inside
+/// parallel_for chunk bodies are parented under the submitting span at any
+/// thread count, and the span tree does not depend on how many workers
+/// served the chunks (the chunk schedule depends only on range and grain).
+TEST(Trace, ParallelForChunksParentUnderSubmitter) {
+  const std::size_t saved_threads = par::max_threads();
+  std::vector<std::size_t> chunk_counts;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    par::set_max_threads(threads);
+    trace::reset();
+    std::uint64_t outer_id = 0;
+    {
+      trace::Span outer("qdt.test.trace.submit");
+      outer_id = outer.id();
+      par::parallel_for(0, 1 << 16, 1 << 10,
+                        [](std::size_t begin, std::size_t end) {
+                          trace::Span chunk("qdt.test.trace.chunk");
+                          chunk.attr("len",
+                                     static_cast<std::uint64_t>(end - begin));
+                        });
+    }
+    const trace::TraceSnapshot snap = trace::snapshot();
+    std::size_t chunks = 0;
+    std::set<std::uint32_t> chunk_threads;
+    for (const auto& s : snap.spans) {
+      if (s.name != "qdt.test.trace.chunk") {
+        continue;
+      }
+      ++chunks;
+      chunk_threads.insert(s.thread);
+      // Never a depth-0 orphan: every chunk hangs under the submitter.
+      EXPECT_EQ(s.parent, outer_id)
+          << "orphan chunk span at threads=" << threads;
+    }
+    EXPECT_GE(chunks, 1U);
+    chunk_counts.push_back(chunks);
+    if (threads >= 2) {
+      // 64 chunks of 1024 over 2^16 items, regardless of worker count.
+      EXPECT_EQ(chunks, 64U) << "threads=" << threads;
+    }
+  }
+  // Identical tree shape at 2 and 8 threads.
+  ASSERT_EQ(chunk_counts.size(), 3U);
+  EXPECT_EQ(chunk_counts[1], chunk_counts[2]);
+  par::set_max_threads(saved_threads);
+}
+
+TEST(Trace, ContextScopeAdoptsParentAcrossManualThreads) {
+  trace::reset();
+  std::uint64_t outer_id = 0;
+  {
+    trace::Span outer("qdt.test.trace.manual");
+    outer_id = outer.id();
+    const std::uint64_t parent = trace::current_span();
+    std::thread worker([parent] {
+      const trace::ContextScope scope(parent);
+      const trace::Span inside("qdt.test.trace.adopted");
+      (void)inside;
+    });
+    worker.join();
+  }
+  const trace::TraceSnapshot snap = trace::snapshot();
+  ASSERT_EQ(snap.spans.size(), 2U);
+  const trace::SpanRecord& adopted = snap.spans[0];
+  const trace::SpanRecord& outer = snap.spans[1];
+  EXPECT_EQ(adopted.name, "qdt.test.trace.adopted");
+  EXPECT_EQ(adopted.parent, outer_id);
+  EXPECT_NE(adopted.thread, outer.thread);
+}
+
+TEST(Trace, RingCapDropsNewestAndCountsDrops) {
+  const std::size_t saved_cap = trace::capacity();
+  trace::set_capacity(4);
+  trace::reset();
+  for (int i = 0; i < 10; ++i) {
+    trace::Span span("qdt.test.trace.cap");
+    span.attr("i", std::int64_t{i});
+  }
+  const trace::TraceSnapshot snap = trace::snapshot();
+  EXPECT_EQ(snap.capacity, 4U);
+  ASSERT_EQ(snap.spans.size(), 4U);
+  EXPECT_EQ(snap.dropped, 6U);
+  // Drop-newest: the earliest four completions are the ones kept.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(snap.spans[i].attrs.size(), 1U);
+    EXPECT_EQ(snap.spans[i].attrs[0].i, i);
+  }
+  // The Chrome export surfaces the loss.
+  EXPECT_NE(trace::to_chrome_json(snap).find("\"spans_dropped\":6"),
+            std::string::npos);
+  trace::set_capacity(saved_cap);
+  trace::reset();
+}
+
+TEST(Trace, JsonlFraming) {
+  trace::reset();
+  {
+    trace::Span a("qdt.test.trace.jsonl");
+    a.attr("k", "v");
+  }
+  { const trace::Span b("qdt.test.trace.jsonl"); }
+  const std::string jsonl = trace::to_jsonl(trace::snapshot());
+  std::istringstream in(jsonl);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4U);
+  EXPECT_EQ(lines[0].rfind("{\"type\":\"header\"", 0), 0U);
+  EXPECT_NE(lines[0].find("\"enabled\":true"), std::string::npos);
+  EXPECT_EQ(lines[1].rfind("{\"type\":\"span\"", 0), 0U);
+  EXPECT_NE(lines[1].find("\"attrs\":{\"k\":\"v\"}"), std::string::npos);
+  EXPECT_EQ(lines[2].rfind("{\"type\":\"span\"", 0), 0U);
+  EXPECT_EQ(lines[3], "{\"type\":\"summary\",\"spans\":2,\"dropped\":0}");
+}
+
+/// ThreadSanitizer target: concurrent recording, snapshotting, exporting,
+/// and a reset, all racing. Correctness assertion is just conservation
+/// (recorded spans + drops == spans created); the deeper contract is "no
+/// data race", which the -DQDT_SANITIZE=thread build of this binary checks.
+TEST(Trace, StressManyThreadsRecordSnapshotExport) {
+  trace::reset();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        trace::Span span("qdt.test.trace.stress");
+        span.attr("t", static_cast<std::uint64_t>(t));
+        if (i % 64 == 0) {
+          (void)trace::to_chrome_json(trace::snapshot());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  const trace::TraceSnapshot snap = trace::snapshot();
+  std::size_t stress = 0;
+  for (const auto& s : snap.spans) {
+    stress += s.name == "qdt.test.trace.stress" ? 1 : 0;
+  }
+  EXPECT_EQ(stress + snap.dropped, kThreads * kPerThread);
+  trace::reset();
+}
+
+#endif  // QDT_OBS_ENABLED
+
+TEST(Trace, SnapshotAndExportersLinkInBothBuilds) {
+  const trace::TraceSnapshot snap = trace::snapshot();
+#if QDT_OBS_ENABLED
+  EXPECT_TRUE(snap.enabled);
+#else
+  EXPECT_FALSE(snap.enabled);
+  EXPECT_TRUE(snap.spans.empty());
+#endif
+  // Exporters produce well-formed framing even on an empty snapshot.
+  EXPECT_NE(trace::to_chrome_json(snap).find("\"traceEvents\""),
+            std::string::npos);
+  EXPECT_NE(trace::to_jsonl(snap).find("\"type\":\"summary\""),
+            std::string::npos);
+  const trace::Span span("qdt.test.trace.linkage");
+  EXPECT_GE(span.seconds(), 0.0);
+}
+
+/// 24-qubit nearest-neighbour T chain: too wide for the array backend,
+/// non-Clifford (no tableau), low entanglement — the planner leads with a
+/// cheap backend, and an injected memory fault on the first rung forces
+/// one typed degradation the explain report must narrate.
+ir::Circuit chain_circuit() {
+  ir::Circuit c(24, "chain24");
+  for (std::size_t q = 0; q < 24; ++q) {
+    c.h(static_cast<ir::Qubit>(q));
+  }
+  for (std::size_t q = 0; q + 1 < 24; ++q) {
+    c.cx(static_cast<ir::Qubit>(q), static_cast<ir::Qubit>(q + 1));
+    c.t(static_cast<ir::Qubit>(q + 1));
+  }
+  return c;
+}
+
+TEST(Trace, ExplainReportsPlanVsActualOnDegradation) {
+  guard::clear_faults();
+  guard::inject_fault(Resource::Memory, 1);
+  core::SimulateOptions opts;
+  opts.shots = 0;
+  opts.want_state = false;
+  const core::ExplainReport rep = core::explain_simulate(chain_circuit(), opts);
+  guard::clear_faults();
+
+  // Static side: all five backends costed, a non-empty planned ladder.
+  EXPECT_EQ(rep.qubits, 24U);
+  EXPECT_EQ(rep.estimates.size(), 5U);
+  ASSERT_FALSE(rep.planned_ladder.empty());
+
+  // Dynamic side: the first rung degraded with a typed reason, a later
+  // rung carried the run.
+  ASSERT_GE(rep.attempts.size(), 2U);
+  EXPECT_FALSE(rep.attempts[0].succeeded);
+  EXPECT_EQ(rep.attempts[0].code, "resource-exhausted");
+  EXPECT_EQ(rep.attempts[0].resource, "memory");
+  EXPECT_GE(rep.attempts[0].seconds, 0.0);
+  EXPECT_TRUE(rep.attempts.back().succeeded);
+  EXPECT_EQ(rep.final_stage, rep.attempts.back().stage);
+  EXPECT_EQ(rep.degradations, 1U);
+  EXPECT_FALSE(rep.plan_hit);
+  EXPECT_TRUE(rep.fatal_code.empty());
+  EXPECT_GE(rep.total_seconds, 0.0);
+
+  // Both renderings narrate the degradation.
+  const std::string text = core::to_text(rep);
+  EXPECT_NE(text.find("DEGRADED [resource-exhausted: memory]"),
+            std::string::npos);
+  EXPECT_NE(text.find("plan miss"), std::string::npos);
+  const std::string json = core::to_json(rep);
+  EXPECT_NE(json.find("\"code\":\"resource-exhausted\""), std::string::npos);
+  EXPECT_NE(json.find("\"resource\":\"memory\""), std::string::npos);
+  EXPECT_NE(json.find("\"plan_hit\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"degradations\":1"), std::string::npos);
+}
+
+TEST(Trace, ExplainCleanRunIsAPlanHit) {
+  guard::clear_faults();
+  core::SimulateOptions opts;
+  opts.shots = 0;
+  opts.want_state = false;
+  const core::ExplainReport rep = core::explain_simulate(chain_circuit(), opts);
+  EXPECT_TRUE(rep.fatal_code.empty());
+  EXPECT_EQ(rep.degradations, 0U);
+  EXPECT_TRUE(rep.plan_hit);
+  ASSERT_EQ(rep.attempts.size(), 1U);
+  EXPECT_EQ(rep.attempts[0].stage, rep.planned_ladder.front());
+  EXPECT_NE(core::to_text(rep).find("plan hit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qdt

@@ -13,8 +13,12 @@ Allowed dependencies (a layer may always include itself):
   guard     -> obs
   par       -> guard, obs    (the thread pool propagates budgets, so it
                               sits right above guard)
+  trace     -> par, guard, obs  (attributed spans; installs par's opaque
+                              context hooks, so it sits directly above the
+                              pool — par reaches it only through function
+                              pointers, never an include)
   common    -> guard, obs
-  ir        -> common, guard, obs, par
+  ir        -> common, guard, obs, par, trace
   arrays    -> ir + below
   stab      -> ir + below
   transpile -> ir + below
@@ -35,13 +39,14 @@ import os
 import re
 import sys
 
-FOUNDATION = {"obs", "guard", "common", "par"}
+FOUNDATION = {"obs", "guard", "common", "par", "trace"}
 IR_AND_BELOW = FOUNDATION | {"ir"}
 
 ALLOWED = {
     "obs": set(),
     "guard": {"obs"},
     "par": {"guard", "obs"},
+    "trace": {"par", "guard", "obs"},
     "common": {"guard", "obs"},
     "ir": FOUNDATION,
     "arrays": IR_AND_BELOW,

@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Enforce the qdt::obs metric naming scheme.
+"""Enforce the qdt::obs metric naming scheme and README catalogue coverage.
 
-Every metric or span name registered from C++ sources under src/ and
-tools/ must match `qdt.<layer>.<component>.<metric>` — exactly four
-dot-separated segments of [a-z0-9_]+. The registry itself does not
-validate names (hot-path cost), so this script is wired up as a ctest.
+Two checks, both wired up as one ctest:
+
+1. Every metric or span name registered from C++ sources under src/ and
+   tools/ must match `qdt.<layer>.<component>.<metric>` — exactly four
+   dot-separated segments of [a-z0-9_]+. The registry itself does not
+   validate names (hot-path cost).
+
+2. Every registered name must appear in README.md's catalogue table, so
+   the table stays exhaustive as metrics are added. Table rows may list
+   full names, comma lists, or `.suffix` shorthand that replaces the
+   trailing segments of the last full name on the same line
+   (`qdt.dd.unique_table.hits` / `.misses`).
 
 Usage: check_metrics_names.py [repo_root]
-Exit code 0 when all names conform, 1 with a list of offenders otherwise.
+Exit code 0 when all names conform and are documented, 1 otherwise.
 """
 
 import re
@@ -15,16 +23,23 @@ import sys
 from pathlib import Path
 
 # obs::counter("..."), obs::gauge("..."), obs::histogram("...", ...),
-# obs::Span("..."), obs::ScopedTimer takes a Histogram& so it needs no rule.
+# obs::Span("..."), trace::Span("...").
+# obs::ScopedTimer takes a Histogram& so it needs no rule.
 REGISTRATION = re.compile(
-    r'obs::(?:counter|gauge|histogram|Span)\s*\(\s*"([^"]*)"'
+    r'(?:obs|trace)::(?:counter|gauge|histogram|Span)\s*\(\s*"([^"]*)"'
 )
 VALID_NAME = re.compile(r"^qdt\.[a-z0-9_]+\.[a-z0-9_]+\.[a-z0-9_]+$")
 SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
 
+# Backticked tokens in README table rows: full names, `.suffix` shorthand,
+# or `qdt.x.*` prefix wildcards.
+DOC_TOKEN = re.compile(r"`([^`]+)`")
 
-def scan(root: Path) -> list[tuple[Path, int, str]]:
+
+def scan(root: Path) -> tuple[list[tuple[Path, int, str]], set[str]]:
+    """Return (naming offenders, all registered names)."""
     offenders = []
+    registered = set()
     for subdir in ("src", "tools"):
         base = root / subdir
         if not base.is_dir():
@@ -35,22 +50,73 @@ def scan(root: Path) -> list[tuple[Path, int, str]]:
             text = path.read_text(encoding="utf-8", errors="replace")
             for match in REGISTRATION.finditer(text):
                 name = match.group(1)
-                if not VALID_NAME.match(name):
+                if VALID_NAME.match(name):
+                    registered.add(name)
+                else:
                     line = text.count("\n", 0, match.start()) + 1
                     offenders.append((path.relative_to(root), line, name))
-    return offenders
+    return offenders, registered
+
+
+def documented_names(readme: Path) -> tuple[set[str], list[str]]:
+    """Parse catalogue table rows into (full names, prefix wildcards)."""
+    names: set[str] = set()
+    wildcards: list[str] = []
+    if not readme.is_file():
+        return names, wildcards
+    for line in readme.read_text(encoding="utf-8").splitlines():
+        if not line.lstrip().startswith("|"):
+            continue
+        last_full = None
+        for token in DOC_TOKEN.findall(line):
+            token = token.strip().rstrip(",")
+            if token.endswith(".*") and token.startswith("qdt."):
+                wildcards.append(token[:-1])  # keep trailing dot
+            elif token.startswith("qdt."):
+                names.add(token)
+                last_full = token
+            elif token.startswith(".") and last_full is not None:
+                # `.misses` after `qdt.dd.unique_table.hits`: replace as
+                # many trailing segments of last_full as the suffix has.
+                suffix_parts = token[1:].split(".")
+                base_parts = last_full.split(".")
+                if len(suffix_parts) < len(base_parts):
+                    expanded = ".".join(
+                        base_parts[: len(base_parts) - len(suffix_parts)]
+                        + suffix_parts
+                    )
+                    names.add(expanded)
+    return names, wildcards
 
 
 def main() -> int:
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
-    offenders = scan(root)
+    offenders, registered = scan(root)
+    failed = False
     if offenders:
         print("metric names must match qdt.<layer>.<component>.<metric> "
               "([a-z0-9_] segments):", file=sys.stderr)
         for path, line, name in offenders:
             print(f"  {path}:{line}: {name!r}", file=sys.stderr)
+        failed = True
+
+    names, wildcards = documented_names(root / "README.md")
+    undocumented = sorted(
+        name
+        for name in registered
+        if name not in names
+        and not any(name.startswith(prefix) for prefix in wildcards)
+    )
+    if undocumented:
+        print("metric names registered in code but missing from the "
+              "README.md catalogue table:", file=sys.stderr)
+        for name in undocumented:
+            print(f"  {name}", file=sys.stderr)
+        failed = True
+
+    if failed:
         return 1
-    print("all qdt::obs metric names conform")
+    print(f"all {len(registered)} qdt metric names conform and are documented")
     return 0
 
 

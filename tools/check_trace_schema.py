@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate the qdt CLI's trace exports end to end.
+
+Runs `qdt run <example> --trace-out t.json --trace-jsonl t.jsonl` and
+checks both files against the formats documented in src/trace/export.cpp:
+
+Chrome trace-event JSON (Perfetto-loadable):
+  - top-level object with displayTimeUnit, traceEvents list, otherData
+  - process_name / thread_name metadata ("M") events
+  - every "X" event has name/ts/dur/pid/tid and args.span_id / args.parent
+  - parents reference a span_id present in the file, or 0 (root)
+  - otherData.spans_dropped is a non-negative integer
+
+JSONL stream:
+  - first line is a header record, last line a summary record
+  - span lines carry id/parent/thread/name/start_us/dur_us
+  - summary.spans matches the number of span lines
+
+In QDT_OBS_ENABLED=OFF builds the exporters still emit valid framing with
+zero spans, so an empty traceEvents list (metadata only) is accepted.
+
+Usage: check_trace_schema.py <qdt-binary> <repo_root>
+Exit code 0 on success, 1 with a diagnostic otherwise.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace_schema: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_chrome(path: Path) -> int:
+    """Validate the Chrome trace file; return the number of X events."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as e:
+        fail(f"{path.name}: not valid JSON: {e}")
+    if doc.get("displayTimeUnit") != "ms":
+        fail(f"{path.name}: displayTimeUnit must be 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path.name}: traceEvents must be a list")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or not isinstance(
+        other.get("spans_dropped"), int
+    ) or other["spans_dropped"] < 0:
+        fail(f"{path.name}: otherData.spans_dropped must be a non-negative int")
+
+    span_ids = set()
+    xs = []
+    saw_process_name = False
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                saw_process_name = True
+            continue
+        if ph != "X":
+            fail(f"{path.name}: unexpected event phase {ph!r}")
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in ev:
+                fail(f"{path.name}: X event missing {key!r}: {ev}")
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            fail(f"{path.name}: X event missing args: {ev}")
+        for key in ("span_id", "parent"):
+            if not isinstance(args.get(key), int):
+                fail(f"{path.name}: args.{key} must be an int: {ev}")
+        span_ids.add(args["span_id"])
+        xs.append(ev)
+    if events and not saw_process_name:
+        fail(f"{path.name}: missing process_name metadata event")
+    for ev in xs:
+        parent = ev["args"]["parent"]
+        if parent != 0 and parent not in span_ids:
+            fail(f"{path.name}: parent {parent} references no span in file")
+    return len(xs)
+
+
+def check_jsonl(path: Path) -> int:
+    """Validate the JSONL file; return the number of span records."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if len(lines) < 2:
+        fail(f"{path.name}: needs at least header and summary lines")
+    records = []
+    for i, line in enumerate(lines, 1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail(f"{path.name}:{i}: not valid JSON: {e}")
+    header, spans, summary = records[0], records[1:-1], records[-1]
+    if header.get("type") != "header" or "capacity" not in header:
+        fail(f"{path.name}: first line must be a header record")
+    if summary.get("type") != "summary":
+        fail(f"{path.name}: last line must be a summary record")
+    for rec in spans:
+        for key in ("id", "parent", "thread", "name", "start_us", "dur_us"):
+            if key not in rec:
+                fail(f"{path.name}: span record missing {key!r}: {rec}")
+    if summary.get("spans") != len(spans):
+        fail(f"{path.name}: summary.spans={summary.get('spans')} but "
+             f"{len(spans)} span lines present")
+    return len(spans)
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        fail("usage: check_trace_schema.py <qdt-binary> <repo_root>")
+    qdt = Path(sys.argv[1])
+    root = Path(sys.argv[2])
+    example = root / "examples" / "ghz20.qasm"
+    if not example.is_file():
+        fail(f"missing example circuit {example}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        chrome = Path(tmp) / "t.json"
+        jsonl = Path(tmp) / "t.jsonl"
+        cmd = [str(qdt), "run", str(example), "--shots", "32",
+               "--threads", "2", "--trace-out", str(chrome),
+               "--trace-jsonl", str(jsonl)]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+        if not chrome.is_file():
+            fail("--trace-out produced no file")
+        if not jsonl.is_file():
+            fail("--trace-jsonl produced no file")
+        n_chrome = check_chrome(chrome)
+        n_jsonl = check_jsonl(jsonl)
+
+    if (n_chrome == 0) != (n_jsonl == 0):
+        fail(f"exporters disagree: {n_chrome} Chrome spans vs "
+             f"{n_jsonl} JSONL spans")
+    mode = "OBS-off framing only" if n_chrome == 0 else f"{n_chrome} spans"
+    print(f"trace schema OK ({mode})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

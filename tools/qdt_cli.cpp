@@ -4,6 +4,9 @@
 //   qdt lint     <file.qasm> [--json] [--state] [--noise P]
 //   qdt simulate <file.qasm> [--backend array|dd|tn|mps|stab|auto]
 //                [--shots N] [--seed S] [--noise P] [--state]
+//     (`qdt run` is an alias for `qdt simulate`)
+//   qdt explain  <file.qasm> [--json] [--shots N] [--seed S] [--noise P]
+//                [--state]
 //   qdt verify   <a.qasm> <b.qasm> [--method array|dd|dd-seq|dd-sim|zx]
 //   qdt compile  <file.qasm> --target line|ring|grid|star|full|heavyhex
 //                [--qubits N] [--gateset cx|cz] [--router sp|lookahead]
@@ -12,6 +15,14 @@
 //                [--max-qubits N] [--max-ops N] [--no-shrink] [--no-parser]
 //                [--plant tflip|cxdrop|phasedrift] [--replay file.qasm]
 //                [--case-seed S] [--jobs N]
+//
+// `explain` runs the statically planned robust ladder (same path as
+// `simulate --robust` without --backend) and prints a plan-vs-actual
+// report: lint's ranked cost table and predicted ladder on one side, the
+// rungs that actually executed on the other — each with its outcome, typed
+// qdt::Error code and exhausted resource on degradation, per-rung wall
+// time, and the backend's memory high-water mark. Exit 0 when a rung
+// carried the run, 3 when every rung exhausted its resources.
 //
 // Every subcommand accepts --threads N: the qdt::par worker-pool cap for
 // parallelized kernels (statevector gate strides, reductions, density-
@@ -45,6 +56,12 @@
 // rates, contraction FLOPs, rewrite-rule fire counts, task spans, ...) is
 // printed as JSON to stdout, or written to the given file.
 //
+// Every subcommand also accepts --trace-out <file.json> and/or
+// --trace-jsonl <file.jsonl>: after the run (even a failing one) the
+// qdt::trace span ring is exported as Chrome trace-event JSON — load it in
+// Perfetto (ui.perfetto.dev) or chrome://tracing — or as a line-delimited
+// JSONL event log. Span capacity comes from QDT_OBS_SPAN_CAP.
+//
 // Resource budgets: --timeout-ms N caps wall-clock time, --max-memory-mb N
 // caps the dominant data-structure footprint (cooperatively checked).
 // simulate/verify accept --robust: on resource exhaustion the task degrades
@@ -73,6 +90,9 @@ using namespace qdt;
   qdt lint     <file.qasm> [--json] [--state] [--noise P]
   qdt simulate <file.qasm> [--backend array|dd|tn|mps|stab|auto]
                [--shots N] [--seed S] [--noise P] [--state] [--robust]
+               (`qdt run` is an alias for `qdt simulate`)
+  qdt explain  <file.qasm> [--json] [--shots N] [--seed S] [--noise P]
+               [--state]   (plan-vs-actual report for the robust ladder)
   qdt verify   <a.qasm> <b.qasm> [--method array|dd|dd-seq|dd-sim|zx]
                [--robust]
   qdt compile  <file.qasm> --target line|ring|grid|star|full|heavyhex
@@ -86,6 +106,9 @@ using namespace qdt;
 
 any subcommand:
   --metrics[=file.json]  dump the qdt::obs registry snapshot
+  --trace-out FILE       write the span ring as Chrome trace-event JSON
+                         (open in Perfetto / chrome://tracing)
+  --trace-jsonl FILE     write the span ring as a JSONL event log
   --timeout-ms N         wall-clock budget (exit 3 when exceeded)
   --max-memory-mb N      data-structure memory budget (exit 3 when exceeded)
   --threads N            qdt::par kernel thread cap (default 1 or
@@ -338,6 +361,36 @@ int cmd_simulate(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_explain(const std::vector<std::string>& args) {
+  std::vector<std::string> pos;
+  auto flags = parse_flags(args, pos);
+  if (pos.size() != 1) {
+    usage();
+  }
+  apply_threads(flags);
+  const ir::Circuit c = load(pos[0]);
+  core::SimulateOptions opts;
+  opts.shots = flags.contains("shots") ? std::stoul(flags["shots"]) : 0;
+  opts.seed = flags.contains("seed") ? std::stoull(flags["seed"]) : 1;
+  opts.want_state = flags.contains("state");
+  opts.budget = budget_from(flags);
+  if (flags.contains("noise")) {
+    opts.noise =
+        arrays::NoiseModel::depolarizing_model(std::stod(flags["noise"]));
+  }
+  const core::ExplainReport report = core::explain_simulate(c, opts);
+  if (flags.contains("json")) {
+    std::cout << core::to_json(report) << "\n";
+  } else {
+    std::cout << core::to_text(report);
+  }
+  emit_metrics(flags);
+  if (!report.fatal_code.empty()) {
+    return report.fatal_code == std::string("resource-exhausted") ? 3 : 4;
+  }
+  return 0;
+}
+
 int cmd_verify(const std::vector<std::string>& args) {
   std::vector<std::string> pos;
   auto flags = parse_flags(args, pos);
@@ -558,6 +611,70 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   return report.clean() ? 0 : 1;
 }
 
+/// Honor --trace-out / --trace-jsonl from the raw argument list. Runs after
+/// dispatch — including failing runs, where the trace is most valuable —
+/// so the flags are re-scanned here rather than inside each subcommand.
+void emit_traces(const std::vector<std::string>& args) {
+  const auto value_of = [&args](const std::string& flag) -> std::string {
+    const std::string prefix = flag + "=";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == flag && i + 1 < args.size()) {
+        return args[i + 1];
+      }
+      if (args[i].rfind(prefix, 0) == 0) {
+        return args[i].substr(prefix.size());
+      }
+    }
+    return {};
+  };
+  const std::string chrome = value_of("--trace-out");
+  const std::string jsonl = value_of("--trace-jsonl");
+  if (chrome.empty() && jsonl.empty()) {
+    return;
+  }
+  const trace::TraceSnapshot snap = trace::snapshot();
+  const auto write = [](const std::string& path, const std::string& body) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write trace to " << path << "\n";
+      return;
+    }
+    out << body;
+    std::cout << "wrote trace to " << path << "\n";
+  };
+  if (!chrome.empty()) {
+    write(chrome, trace::to_chrome_json(snap));
+  }
+  if (!jsonl.empty()) {
+    write(jsonl, trace::to_jsonl(snap));
+  }
+}
+
+int dispatch(const std::string& cmd, const std::vector<std::string>& args) {
+  if (cmd == "stats") {
+    return cmd_stats(args);
+  }
+  if (cmd == "lint") {
+    return cmd_lint(args);
+  }
+  if (cmd == "simulate" || cmd == "run") {
+    return cmd_simulate(args);
+  }
+  if (cmd == "explain") {
+    return cmd_explain(args);
+  }
+  if (cmd == "verify") {
+    return cmd_verify(args);
+  }
+  if (cmd == "compile") {
+    return cmd_compile(args);
+  }
+  if (cmd == "fuzz") {
+    return cmd_fuzz(args);
+  }
+  usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -565,41 +682,33 @@ int main(int argc, char** argv) {
     usage();
   }
   const std::string cmd = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  int rc = 0;
   try {
-    if (cmd == "stats") {
-      return cmd_stats(args);
-    }
-    if (cmd == "lint") {
-      return cmd_lint(args);
-    }
-    if (cmd == "simulate") {
-      return cmd_simulate(args);
-    }
-    if (cmd == "verify") {
-      return cmd_verify(args);
-    }
-    if (cmd == "compile") {
-      return cmd_compile(args);
-    }
-    if (cmd == "fuzz") {
-      return cmd_fuzz(args);
-    }
-    usage();
+    rc = dispatch(cmd, args);
   } catch (const qdt::Error& e) {
     std::cerr << e.code_name() << ": " << e.what() << "\n";
+    rc = 4;
     switch (e.code()) {
       case qdt::ErrorCode::BadInput:
       case qdt::ErrorCode::Unsupported:
-        return 2;
+        rc = 2;
+        break;
       case qdt::ErrorCode::ResourceExhausted:
-        return 3;
+        rc = 3;
+        break;
       case qdt::ErrorCode::Internal:
-        return 4;
+        rc = 4;
+        break;
     }
-    return 4;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 2;
+    rc = 2;
   }
+  try {
+    emit_traces(args);
+  } catch (const std::exception& e) {
+    std::cerr << "trace export failed: " << e.what() << "\n";
+  }
+  return rc;
 }
