@@ -294,10 +294,19 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     }
   };
 
+  const auto stop_requested = [&options] {
+    return options.stop != nullptr &&
+           options.stop->load(std::memory_order_relaxed);
+  };
+
   const std::size_t jobs =
       std::min(std::max<std::size_t>(1, options.jobs), options.cases);
   if (jobs <= 1) {
     for (std::size_t i = 0; i < options.cases; ++i) {
+      if (stop_requested()) {
+        report.interrupted = true;
+        break;
+      }
       run_case(i);
     }
   } else {
@@ -321,6 +330,9 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
           scope.emplace(*parent_limits);
         }
         for (;;) {
+          if (stop_requested()) {
+            break;  // drain: finish nothing new, keep what already ran
+          }
           const std::size_t i = next_case.fetch_add(1);
           if (i >= options.cases) {
             break;
@@ -345,6 +357,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     if (first_error) {
       std::rethrow_exception(first_error);
     }
+    report.interrupted = stop_requested() && report.cases < options.cases;
     // Completion order is nondeterministic; the findings list is not.
     std::sort(report.findings.begin(), report.findings.end(),
               [](const Finding& a, const Finding& b) {

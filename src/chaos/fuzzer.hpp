@@ -8,6 +8,7 @@
 // obs registry.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -54,6 +55,12 @@ struct FuzzOptions {
   /// injection and budgets are thread-local: workers adopt the caller's
   /// budget, and chaos fault schedules arm only the worker's own thread.
   std::size_t jobs = 1;
+  /// Cooperative interrupt (the CLI points this at its SIGINT/SIGTERM
+  /// flag). Checked between cases on every worker: in-flight cases run to
+  /// completion (their findings are shrunk and persisted like any other),
+  /// no new case starts, and the report comes back with interrupted = true
+  /// and `cases` = how many actually ran. nullptr: never interrupted.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct Finding {
@@ -78,6 +85,9 @@ struct FuzzReport {
   std::size_t chaos_cases = 0;
   std::size_t chaos_degraded = 0;
   std::size_t chaos_faults_fired = 0;
+  /// True when options.stop flipped before every case had run. The
+  /// findings gathered so far are complete (shrunk + persisted).
+  bool interrupted = false;
   std::vector<Finding> findings;
 
   /// The acceptance gate: no cross-backend mismatch, no untyped escape.

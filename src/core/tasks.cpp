@@ -453,18 +453,8 @@ std::vector<SimBackend> simulate_ladder(SimBackend start) {
 
 }  // namespace
 
-namespace detail {
-
-/// Statically planned ladder: lint ranks the feasible backends by its cost
-/// model, then the guaranteed degradation rungs are appended so the chain
-/// never ends on a backend that might refuse the request.
-std::vector<SimBackend> planned_simulate_ladder(const ir::Circuit& circuit,
-                                                const SimulateOptions& options) {
-  lint::PlanConstraints pc;
-  pc.want_state = options.want_state;
-  pc.has_noise = !options.noise.empty();
-  const lint::BackendPlan plan =
-      lint::plan_backends(lint::analyze(circuit), pc);
+std::vector<SimBackend> ladder_from_plan(const lint::BackendPlan& plan,
+                                         bool has_noise) {
   std::vector<SimBackend> ladder;
   const auto push = [&ladder](SimBackend b) {
     if (std::find(ladder.begin(), ladder.end(), b) == ladder.end()) {
@@ -475,11 +465,25 @@ std::vector<SimBackend> planned_simulate_ladder(const ir::Circuit& circuit,
     push(to_sim_backend(b));
   }
   push(SimBackend::DecisionDiagram);
-  if (!pc.has_noise) {
+  if (!has_noise) {
     push(SimBackend::Mps);
     push(SimBackend::TensorNetwork);
   }
   return ladder;
+}
+
+namespace detail {
+
+/// Statically planned ladder: lint ranks the feasible backends by its cost
+/// model, then the guaranteed degradation rungs are appended so the chain
+/// never ends on a backend that might refuse the request.
+std::vector<SimBackend> planned_simulate_ladder(const ir::Circuit& circuit,
+                                                const SimulateOptions& options) {
+  lint::PlanConstraints pc;
+  pc.want_state = options.want_state;
+  pc.has_noise = !options.noise.empty();
+  return ladder_from_plan(lint::plan_backends(lint::analyze(circuit), pc),
+                          pc.has_noise);
 }
 
 }  // namespace detail
@@ -536,23 +540,17 @@ std::size_t degraded_mps_bond(const ir::Circuit& circuit,
 
 }  // namespace
 
-RobustSimulateResult simulate_robust(const ir::Circuit& circuit,
-                                     const SimulateOptions& options,
-                                     std::optional<SimBackend> start) {
+namespace {
+
+/// The shared ladder walk behind simulate_robust and
+/// simulate_robust_with_ladder. Assumes the caller installed the budget
+/// scope (one scope across the whole ladder: the deadline covers every
+/// attempt combined). `planned` controls the lint-prediction counters.
+RobustSimulateResult run_simulate_ladder(const ir::Circuit& circuit,
+                                         const SimulateOptions& options,
+                                         const std::vector<SimBackend>& ladder,
+                                         bool planned) {
   RobustSimulateResult robust;
-  trace::Span span("qdt.core.task.simulate_robust");
-  span.attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
-      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()));
-  // One scope across the whole ladder: the deadline covers every attempt
-  // combined, and nested per-simulate scopes can only tighten it.
-  const guard::BudgetScope scope(options.budget);
-  const bool planned = !start.has_value();
-  const auto ladder = planned
-                          ? detail::planned_simulate_ladder(circuit, options)
-                          : simulate_ladder(*start);
-  if (planned) {
-    g_lint_plan_sim.add();
-  }
 
   for (std::size_t rung = 0; rung < ladder.size(); ++rung) {
     const SimBackend backend = ladder[rung];
@@ -631,6 +629,42 @@ RobustSimulateResult simulate_robust(const ir::Circuit& circuit,
     }
   }
   throw Error::internal("simulate_robust: empty fallback ladder");
+}
+
+}  // namespace
+
+RobustSimulateResult simulate_robust(const ir::Circuit& circuit,
+                                     const SimulateOptions& options,
+                                     std::optional<SimBackend> start) {
+  trace::Span span("qdt.core.task.simulate_robust");
+  span.attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
+      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()));
+  const guard::BudgetScope scope(options.budget);
+  const bool planned = !start.has_value();
+  const auto ladder = planned
+                          ? detail::planned_simulate_ladder(circuit, options)
+                          : simulate_ladder(*start);
+  if (planned) {
+    g_lint_plan_sim.add();
+  }
+  return run_simulate_ladder(circuit, options, ladder, planned);
+}
+
+RobustSimulateResult simulate_robust_with_ladder(
+    const ir::Circuit& circuit, const SimulateOptions& options,
+    const std::vector<SimBackend>& ladder) {
+  if (ladder.empty()) {
+    throw Error::bad_input("simulate_robust_with_ladder: empty ladder");
+  }
+  trace::Span span("qdt.core.task.simulate_robust");
+  span.attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
+      .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()))
+      .attr("ladder", "caller");
+  const guard::BudgetScope scope(options.budget);
+  // A caller-supplied ladder is a plan (serve's cached lint plan), so the
+  // prediction-quality counters stay meaningful.
+  g_lint_plan_sim.add();
+  return run_simulate_ladder(circuit, options, ladder, /*planned=*/true);
 }
 
 RobustVerifyResult verify_robust(const ir::Circuit& c1, const ir::Circuit& c2,

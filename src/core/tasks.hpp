@@ -171,6 +171,23 @@ RobustSimulateResult simulate_robust(
     const ir::Circuit& circuit, const SimulateOptions& options = {},
     std::optional<SimBackend> start = std::nullopt);
 
+/// simulate_robust with a caller-supplied ladder — the entry point for
+/// callers that already hold a lint plan (qdt::serve caches plans by
+/// circuit hash so a hot circuit is planned once and simulated many
+/// times). Rungs are walked with the same degradation rules as
+/// simulate_robust; prediction quality still lands in
+/// qdt.lint.predict.{hit,miss}. Throws BadInput on an empty ladder.
+RobustSimulateResult simulate_robust_with_ladder(
+    const ir::Circuit& circuit, const SimulateOptions& options,
+    const std::vector<SimBackend>& ladder);
+
+/// Map a lint::BackendPlan to the robust ladder simulate_robust would walk:
+/// the plan's feasible backends in preferred order, then the guaranteed
+/// degradation rungs (DD always; MPS + TN only for noise-free requests)
+/// appended so the chain never ends on a backend that might refuse.
+std::vector<SimBackend> ladder_from_plan(const lint::BackendPlan& plan,
+                                         bool has_noise);
+
 struct RobustVerifyResult {
   VerifyResult result;
   std::vector<FallbackStep> attempts;

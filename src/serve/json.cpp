@@ -1,0 +1,492 @@
+#include "serve/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "guard/error.hpp"
+
+namespace qdt::serve::json {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw Error::bad_input("json: " + what + " at byte " + std::to_string(pos));
+}
+
+/// Recursive-descent parser over a bounded view. All methods advance pos_.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value v = value(0);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail(pos_, "trailing content after document");
+    }
+    return v;
+  }
+
+ private:
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail(pos_, "unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value value(std::size_t depth) {
+    if (depth > kMaxDepth) {
+      fail(pos_, "nesting deeper than " + std::to_string(kMaxDepth));
+    }
+    skip_ws();
+    Value v;
+    switch (peek()) {
+      case '{': {
+        v.kind = Value::Kind::Object;
+        ++pos_;
+        skip_ws();
+        if (peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        for (;;) {
+          skip_ws();
+          if (peek() != '"') {
+            fail(pos_, "expected object key");
+          }
+          std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          v.object.emplace_back(std::move(key), value(depth + 1));
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.kind = Value::Kind::Array;
+        ++pos_;
+        skip_ws();
+        if (peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        for (;;) {
+          v.array.push_back(value(depth + 1));
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.kind = Value::Kind::String;
+        v.string = parse_string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) {
+          fail(pos_, "bad literal");
+        }
+        v.kind = Value::Kind::Bool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) {
+          fail(pos_, "bad literal");
+        }
+        v.kind = Value::Kind::Bool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) {
+          fail(pos_, "bad literal");
+        }
+        return v;
+      default:
+        return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        fail(pos_, "unterminated string");
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) {
+        fail(pos_, "raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume the backslash
+      switch (peek()) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          ++pos_;
+          std::uint32_t cp = parse_hex4();
+          // Surrogate pair: a high surrogate must be followed by \uDC00..
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const std::uint32_t lo = parse_hex4();
+              if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              } else {
+                fail(pos_, "invalid low surrogate");
+              }
+            } else {
+              fail(pos_, "lone high surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail(pos_, "lone low surrogate");
+          }
+          append_utf8(out, cp);
+          continue;  // parse_hex4 already advanced pos_
+        }
+        default:
+          fail(pos_, "bad escape");
+      }
+      ++pos_;
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail(pos_, "bad \\u escape");
+      }
+      ++pos_;
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      fail(start, "expected value");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // RFC 8259: a leading zero stands alone ("01" is invalid)
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail(pos_, "bad fraction");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail(pos_, "bad exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    Value v;
+    v.kind = Value::Kind::Number;
+    // The slice is a valid JSON number by construction; strtod cannot fail
+    // on it, but an overflow comes back as +-inf, which we reject (no
+    // backend accepts an infinite shot count gracefully).
+    const std::string slice(text_.substr(start, pos_ - start));
+    v.number = std::strtod(slice.c_str(), nullptr);
+    if (!std::isfinite(v.number)) {
+      fail(start, "number out of range");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::Object) {
+    return nullptr;
+  }
+  const Value* found = nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      found = &v;  // last duplicate wins, like most parsers
+    }
+  }
+  return found;
+}
+
+std::string Value::get_string(std::string_view key,
+                              const std::string& fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->kind == Kind::String ? v->string : fallback;
+}
+
+double Value::get_number(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->kind == Kind::Number ? v->number : fallback;
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->kind == Kind::Bool ? v->boolean : fallback;
+}
+
+std::uint64_t Value::get_uint(std::string_view key,
+                              std::uint64_t fallback) const {
+  const Value* v = find(key);
+  if (v == nullptr || v->kind != Kind::Number || v->number < 0.0) {
+    return fallback;
+  }
+  if (v->number >= 9.2e18) {  // past the uint64 range we care to clamp
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(v->number);
+}
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::comma() {
+  if (need_comma_) {
+    out_.push_back(',');
+  }
+  need_comma_ = false;
+}
+
+Writer& Writer::begin_object() {
+  comma();
+  out_.push_back('{');
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  out_.push_back('}');
+  need_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  comma();
+  out_.push_back('[');
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  out_.push_back(']');
+  need_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  comma();
+  out_.push_back('"');
+  out_ += escape(k);
+  out_ += "\":";
+  need_comma_ = false;
+  return *this;
+}
+
+Writer& Writer::string(std::string_view v) {
+  comma();
+  out_.push_back('"');
+  out_ += escape(v);
+  out_.push_back('"');
+  need_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::boolean(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::number(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no inf/nan; null is the honest encoding
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::number(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::number(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::raw(std::string_view v) {
+  comma();
+  out_ += v;
+  need_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::null() {
+  comma();
+  out_ += "null";
+  need_comma_ = true;
+  return *this;
+}
+
+}  // namespace qdt::serve::json

@@ -1,0 +1,101 @@
+// qdt::serve::json — the minimal JSON DOM behind the serve wire protocol.
+//
+// The daemon's line-delimited protocol has to survive hostile input: a
+// request line is attacker-controlled bytes, and a parse failure must come
+// back as a typed BadInput response, never as a crash or an unbounded
+// allocation. This parser is therefore deliberately small and defensive:
+// recursive descent with an explicit nesting-depth cap, a single pass, no
+// exceptions other than qdt::Error, and no dependency above the guard
+// layer. It accepts strict JSON (RFC 8259) plus nothing else — no
+// comments, no trailing commas, no NaN/Infinity literals.
+//
+// Writing goes the other way through small helpers (escape(), Writer):
+// responses are composed key by key so the serve layer never builds a DOM
+// just to serialize it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qdt::serve::json {
+
+/// One parsed JSON value. A tagged struct rather than std::variant so the
+/// accessors below can be forgiving (return defaults) without template
+/// noise at every call site in the request handler.
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /// Insertion-ordered; duplicate keys keep the last occurrence on lookup.
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_number() const { return kind == Kind::Number; }
+
+  /// Member lookup on an object; nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const;
+
+  // -- Forgiving typed accessors (protocol fields with defaults) -----------
+  std::string get_string(std::string_view key,
+                         const std::string& fallback = {}) const;
+  double get_number(std::string_view key, double fallback = 0.0) const;
+  bool get_bool(std::string_view key, bool fallback = false) const;
+  /// Number clamped into [0, 2^63) and truncated; fallback when absent,
+  /// negative, or not a number.
+  std::uint64_t get_uint(std::string_view key, std::uint64_t fallback = 0) const;
+};
+
+/// Parse one JSON document (the whole string must be consumed, modulo
+/// trailing whitespace). Throws qdt::Error(BadInput) with a byte offset on
+/// malformed input; never crashes, never recurses deeper than kMaxDepth.
+Value parse(std::string_view text);
+
+/// Nesting-depth cap enforced by parse().
+inline constexpr std::size_t kMaxDepth = 64;
+
+/// `s` with JSON string escaping applied (quotes not included).
+std::string escape(std::string_view s);
+
+/// Tiny append-only object/array composer:
+///
+///   Writer w;
+///   w.begin_object().key("id").raw(id_json).key("ok").boolean(true);
+///   w.key("error").begin_object()...end_object();
+///   w.end_object();  -> w.str()
+///
+/// The writer does not validate shape (that's the caller's job); it only
+/// handles commas, quoting, and escaping.
+class Writer {
+ public:
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+  Writer& key(std::string_view k);
+  Writer& string(std::string_view v);
+  Writer& boolean(bool v);
+  Writer& number(double v);
+  Writer& number(std::uint64_t v);
+  Writer& number(std::int64_t v);
+  /// Verbatim pre-serialized JSON (e.g. an echoed request id).
+  Writer& raw(std::string_view v);
+  Writer& null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace qdt::serve::json

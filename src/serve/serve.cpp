@@ -1,0 +1,953 @@
+#include "serve/serve.hpp"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "guard/budget.hpp"
+#include "ir/qasm.hpp"
+#include "obs/obs.hpp"
+#include "serve/json.hpp"
+#include "trace/trace.hpp"
+
+namespace qdt::serve {
+
+namespace {
+
+obs::Counter& g_admitted = obs::counter("qdt.serve.request.admitted");
+obs::Counter& g_completed = obs::counter("qdt.serve.request.completed");
+obs::Counter& g_failed = obs::counter("qdt.serve.request.failed");
+obs::Counter& g_rejected = obs::counter("qdt.serve.request.rejected");
+obs::Counter& g_shed = obs::counter("qdt.serve.request.shed");
+obs::Counter& g_degraded = obs::counter("qdt.serve.request.degraded");
+obs::Counter& g_panics = obs::counter("qdt.serve.request.panics");
+obs::Counter& g_drain_cancelled = obs::counter("qdt.serve.drain.cancelled");
+obs::Counter& g_cache_hit = obs::counter("qdt.serve.cache.hit");
+obs::Counter& g_cache_miss = obs::counter("qdt.serve.cache.miss");
+obs::Gauge& g_queue_depth = obs::gauge("qdt.serve.queue.depth");
+obs::Gauge& g_cache_entries = obs::gauge("qdt.serve.cache.entries");
+obs::Histogram& g_queue_wait = obs::histogram("qdt.serve.queue.wait_seconds");
+obs::Histogram& g_service = obs::histogram("qdt.serve.request.seconds");
+
+/// Process peak RSS in MB straight from getrusage — status must stay real
+/// even in QDT_OBS_ENABLED=OFF builds.
+std::int64_t rss_peak_mb() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return 0;
+  }
+  return static_cast<std::int64_t>(ru.ru_maxrss / 1024);  // Linux: KB
+}
+
+/// FNV-1a over the request's circuit text + constraint bits — the plan
+/// cache key. Byte-identical hot circuits collide on purpose; anything
+/// else does not (collisions would only cost a wrong plan, but 64-bit FNV
+/// over short texts is plenty).
+std::uint64_t cache_key(const std::string& qasm, bool want_state,
+                        bool has_noise) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  };
+  for (const char c : qasm) {
+    mix(static_cast<unsigned char>(c));
+  }
+  mix(want_state ? 1 : 0);
+  mix(has_noise ? 3 : 2);
+  return h;
+}
+
+/// Re-serialize a parsed JSON value (used to echo request ids verbatim).
+void serialize(const json::Value& v, json::Writer& w) {
+  switch (v.kind) {
+    case json::Value::Kind::Null:
+      w.null();
+      return;
+    case json::Value::Kind::Bool:
+      w.boolean(v.boolean);
+      return;
+    case json::Value::Kind::Number:
+      w.number(v.number);
+      return;
+    case json::Value::Kind::String:
+      w.string(v.string);
+      return;
+    case json::Value::Kind::Array:
+      w.begin_array();
+      for (const auto& e : v.array) {
+        serialize(e, w);
+      }
+      w.end_array();
+      return;
+    case json::Value::Kind::Object:
+      w.begin_object();
+      for (const auto& [k, e] : v.object) {
+        w.key(k);
+        serialize(e, w);
+      }
+      w.end_object();
+      return;
+  }
+}
+
+std::string serialize(const json::Value& v) {
+  json::Writer w;
+  serialize(v, w);
+  return w.str();
+}
+
+/// Parse a "resource:n[,resource:n]" fault spec (the QDT_FAULT syntax) and
+/// arm the faults on the calling thread. Unknown tokens are ignored, like
+/// guard's own env parser: fault injection is a test hook, never a reason
+/// to fail a request.
+void arm_request_faults(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    const std::string token = entry.substr(0, colon);
+    Resource r = Resource::None;
+    if (token == "memory") {
+      r = Resource::Memory;
+    } else if (token == "dd_nodes") {
+      r = Resource::DdNodes;
+    } else if (token == "tn_elements") {
+      r = Resource::TnElements;
+    } else if (token == "mps_bond") {
+      r = Resource::MpsBond;
+    } else if (token == "deadline") {
+      r = Resource::Deadline;
+    }
+    if (r == Resource::None) {
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long long nth = std::strtoull(entry.c_str() + colon + 1,
+                                                 &end, 10);
+    if (nth > 0) {
+      guard::inject_fault(r, nth);
+    }
+  }
+}
+
+std::optional<core::SimBackend> backend_from_token(const std::string& name) {
+  if (name == "array") {
+    return core::SimBackend::Array;
+  }
+  if (name == "dd") {
+    return core::SimBackend::DecisionDiagram;
+  }
+  if (name == "tn") {
+    return core::SimBackend::TensorNetwork;
+  }
+  if (name == "mps") {
+    return core::SimBackend::Mps;
+  }
+  if (name == "stab") {
+    return core::SimBackend::Stabilizer;
+  }
+  return std::nullopt;
+}
+
+/// A parsed, admitted simulate request waiting for a worker.
+struct Job {
+  std::string id_json = "null";  // echoed verbatim in the response
+  std::string tenant;
+  std::string qasm;
+  std::string backend;  // explicit backend token, empty = planned
+  std::string fault;    // per-request fault spec (test hook)
+  bool robust = true;
+  bool want_state = false;
+  std::uint64_t seed = 1;
+  std::uint64_t shots = 0;
+  double noise = 0.0;
+  std::uint64_t mps_max_bond = 0;
+  guard::Budget budget;
+  double enqueued_at = 0.0;
+  std::function<void(std::string)> done;
+};
+
+/// One cached parse + lint pass, shared by every identical request.
+struct PlanEntry {
+  ir::Circuit circuit;
+  lint::CircuitFacts facts;
+  lint::BackendPlan plan;
+  std::vector<core::SimBackend> ladder;
+};
+
+struct TenantState {
+  std::deque<Job> queue;
+  std::size_t inflight = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+};
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServeOptions o) : options(std::move(o)) {
+    started_at = obs::monotonic_seconds();
+    const std::size_t n = std::max<std::size_t>(1, options.workers);
+    workers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Impl() {
+    begin_drain();
+    // Bounded: every in-flight job runs against a deadline no later than
+    // max_timeout_ms.
+    drain(options.max_timeout_ms / 1000.0 + 1.0);
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      stopping = true;
+    }
+    work_cv.notify_all();
+    for (auto& t : workers) {
+      t.join();
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Response builders
+  // ---------------------------------------------------------------------
+
+  static std::string error_response(const std::string& id_json,
+                                    const std::string& code,
+                                    const std::string& message,
+                                    const std::string& resource = {},
+                                    const std::string& reason = {},
+                                    double retry_after_ms = -1.0) {
+    json::Writer w;
+    w.begin_object();
+    w.key("id").raw(id_json);
+    w.key("ok").boolean(false);
+    w.key("error").begin_object();
+    w.key("code").string(code);
+    if (!resource.empty()) {
+      w.key("resource").string(resource);
+    }
+    if (!reason.empty()) {
+      w.key("reason").string(reason);
+    }
+    w.key("message").string(message);
+    if (retry_after_ms >= 0.0) {
+      w.key("retry_after_ms").number(retry_after_ms);
+    }
+    w.end_object();
+    w.end_object();
+    return w.str();
+  }
+
+  /// Shed with a typed resource-exhausted payload and a retry hint from
+  /// the observed service rate — the contract that distinguishes overload
+  /// from failure.
+  std::string shed_response(const std::string& id_json,
+                            const std::string& reason,
+                            const std::string& message) {
+    g_shed.add();
+    ++shed_total;
+    return error_response(id_json, "resource-exhausted", message, "queue",
+                          reason, retry_after_ms_locked());
+  }
+
+  /// Must hold mu. Expected time until a queue slot frees up.
+  double retry_after_ms_locked() const {
+    const double per_request =
+        ema_service_seconds > 0.0 ? ema_service_seconds : 0.05;
+    const double wave = static_cast<double>(total_queued + inflight) /
+                        static_cast<double>(workers.size());
+    return std::max(10.0, wave * per_request * 1000.0);
+  }
+
+  // ---------------------------------------------------------------------
+  // Admission (called on the submitting thread)
+  // ---------------------------------------------------------------------
+
+  void submit(std::string line, std::function<void(std::string)> done) {
+    if (!done) {
+      done = [](std::string) {};
+    }
+    if (line.size() > options.max_request_bytes) {
+      g_rejected.add();
+      ++rejected_total;
+      done(error_response(
+          "null", "bad-input",
+          "request line of " + std::to_string(line.size()) +
+              " bytes exceeds the " +
+              std::to_string(options.max_request_bytes) + "-byte cap"));
+      return;
+    }
+
+    json::Value req;
+    try {
+      req = json::parse(line);
+    } catch (const Error& e) {
+      g_rejected.add();
+      ++rejected_total;
+      done(error_response("null", "bad-input", e.what()));
+      return;
+    }
+    if (!req.is_object()) {
+      g_rejected.add();
+      ++rejected_total;
+      done(error_response("null", "bad-input",
+                          "request must be a JSON object"));
+      return;
+    }
+
+    const json::Value* id = req.find("id");
+    const std::string id_json = id != nullptr ? serialize(*id) : "null";
+    const std::string op = req.get_string("op", "simulate");
+
+    if (op == "status") {
+      done(status_response(id_json));
+      return;
+    }
+    if (op == "ping") {
+      json::Writer w;
+      w.begin_object();
+      w.key("id").raw(id_json);
+      w.key("ok").boolean(true);
+      w.key("op").string("ping");
+      w.end_object();
+      done(w.str());
+      return;
+    }
+    if (op == "shutdown") {
+      // Admin request: flip into draining; the transport notices via
+      // Server::draining() and winds the session down.
+      begin_drain();
+      json::Writer w;
+      w.begin_object();
+      w.key("id").raw(id_json);
+      w.key("ok").boolean(true);
+      w.key("op").string("shutdown");
+      w.key("draining").boolean(true);
+      w.end_object();
+      done(w.str());
+      return;
+    }
+    if (op != "simulate") {
+      g_rejected.add();
+      ++rejected_total;
+      done(error_response(id_json, "bad-input", "unknown op '" + op + "'"));
+      return;
+    }
+
+    Job job;
+    job.id_json = id_json;
+    job.done = std::move(done);
+    const json::Value* qasm = req.find("qasm");
+    if (qasm == nullptr || !qasm->is_string() || qasm->string.empty()) {
+      g_rejected.add();
+      ++rejected_total;
+      job.done(error_response(id_json, "bad-input",
+                              "simulate requires a string 'qasm' field"));
+      return;
+    }
+    job.qasm = qasm->string;
+    job.tenant = req.get_string("tenant", "anonymous");
+    job.backend = req.get_string("backend");
+    if (!job.backend.empty() && !backend_from_token(job.backend)) {
+      g_rejected.add();
+      ++rejected_total;
+      job.done(error_response(
+          id_json, "bad-input",
+          "unknown backend '" + job.backend +
+              "' (expected array|dd|tn|mps|stab)"));
+      return;
+    }
+    job.robust = req.get_bool("robust", true);
+    job.want_state = req.get_bool("want_state", false);
+    job.seed = req.get_uint("seed", 1);
+    job.shots = std::min<std::uint64_t>(req.get_uint("shots", 0), 1u << 20);
+    job.noise = std::clamp(req.get_number("noise", 0.0), 0.0, 1.0);
+    job.mps_max_bond = req.get_uint("mps_max_bond", 0);
+    if (options.allow_fault_injection) {
+      job.fault = req.get_string("fault");
+    }
+
+    // Budget: the request can tighten the server defaults, never escape
+    // them — in particular every job ends up with a deadline.
+    const double req_timeout = req.get_number("timeout_ms", 0.0);
+    double timeout_ms = options.default_timeout_ms;
+    if (req_timeout > 0.0) {
+      timeout_ms = std::min(req_timeout, options.max_timeout_ms);
+    }
+    job.budget.deadline_seconds = timeout_ms / 1000.0;
+    const std::uint64_t req_mem = req.get_uint("max_memory_mb", 0);
+    std::size_t mem_mb = options.default_max_memory_mb;
+    if (req_mem > 0) {
+      mem_mb = options.default_max_memory_mb > 0
+                   ? std::min<std::size_t>(req_mem, options.default_max_memory_mb)
+                   : static_cast<std::size_t>(req_mem);
+    }
+    job.budget.max_memory_bytes = mem_mb * std::size_t{1024 * 1024};
+    job.budget.max_dd_nodes = req.get_uint("max_dd_nodes", 0);
+    job.budget.max_tn_elements = req.get_uint("max_tn_elements", 0);
+    job.budget.max_mps_bond = req.get_uint("max_mps_bond", 0);
+    job.enqueued_at = obs::monotonic_seconds();
+
+    // -- Queue admission (the shedding gate) -------------------------------
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      if (draining_flag) {
+        auto done_cb = std::move(job.done);
+        const std::string shed = shed_response(
+            job.id_json, "draining", "server is draining; not admitting");
+        lock.unlock();
+        done_cb(shed);
+        return;
+      }
+      if (total_queued >= options.max_queue) {
+        auto done_cb = std::move(job.done);
+        const std::string shed = shed_response(
+            job.id_json, "queue-full",
+            "run queue is full (" + std::to_string(total_queued) +
+                " queued); retry after the hint");
+        lock.unlock();
+        done_cb(shed);
+        return;
+      }
+      TenantState& tenant = tenants[job.tenant];
+      if (tenant.queue.size() >= options.max_tenant_queue) {
+        ++tenant.shed;
+        auto done_cb = std::move(job.done);
+        const std::string shed = shed_response(
+            job.id_json, "tenant-quota",
+            "tenant '" + job.tenant + "' already has " +
+                std::to_string(tenant.queue.size()) + " queued requests");
+        lock.unlock();
+        done_cb(shed);
+        return;
+      }
+      ++tenant.admitted;
+      if (tenant.queue.empty()) {
+        rr_order.push_back(job.tenant);
+      }
+      tenant.queue.push_back(std::move(job));
+      ++total_queued;
+      ++admitted_total;
+      g_admitted.add();
+      g_queue_depth.set(static_cast<std::int64_t>(total_queued));
+    }
+    work_cv.notify_one();
+  }
+
+  // ---------------------------------------------------------------------
+  // Worker side
+  // ---------------------------------------------------------------------
+
+  void worker_loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [this] { return stopping || total_queued > 0; });
+        if (stopping && total_queued == 0) {
+          return;
+        }
+        job = pop_next_locked();
+        ++inflight;
+        ++tenants[job.tenant].inflight;
+        g_queue_depth.set(static_cast<std::int64_t>(total_queued));
+      }
+      const std::string response = execute(job);
+      job.done(response);
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        --inflight;
+        TenantState& tenant = tenants[job.tenant];
+        --tenant.inflight;
+        ++tenant.completed;
+      }
+      drain_cv.notify_all();
+    }
+  }
+
+  /// Must hold mu with total_queued > 0: per-tenant round robin — pop the
+  /// head of the front tenant's queue, then rotate that tenant to the back
+  /// if it still has work.
+  Job pop_next_locked() {
+    const std::string name = std::move(rr_order.front());
+    rr_order.pop_front();
+    TenantState& tenant = tenants[name];
+    Job job = std::move(tenant.queue.front());
+    tenant.queue.pop_front();
+    if (!tenant.queue.empty()) {
+      rr_order.push_back(name);
+    }
+    --total_queued;
+    return job;
+  }
+
+  /// Look up (or compute) the cached parse + lint plan for this request.
+  /// Throws qdt::Error(BadInput) on malformed QASM.
+  std::shared_ptr<const PlanEntry> resolve_plan(const Job& job) {
+    const bool has_noise = job.noise > 0.0;
+    const std::uint64_t key = cache_key(job.qasm, job.want_state, has_noise);
+    {
+      const std::lock_guard<std::mutex> lock(cache_mu);
+      const auto it = cache.find(key);
+      if (it != cache.end()) {
+        // LRU touch.
+        lru.splice(lru.begin(), lru, it->second.second);
+        g_cache_hit.add();
+        ++cache_hit_total;
+        tls_cache_hit() = true;
+        return it->second.first;
+      }
+    }
+    g_cache_miss.add();
+    {
+      const std::lock_guard<std::mutex> lock(cache_mu);
+      ++cache_miss_total;
+    }
+    tls_cache_hit() = false;
+    auto entry = std::make_shared<PlanEntry>();
+    entry->circuit = ir::parse_qasm(job.qasm);
+    entry->circuit.set_name("request");
+    entry->facts = lint::analyze(entry->circuit);
+    lint::PlanConstraints pc;
+    pc.want_state = job.want_state;
+    pc.has_noise = has_noise;
+    entry->plan = lint::plan_backends(entry->facts, pc);
+    entry->ladder = core::ladder_from_plan(entry->plan, has_noise);
+    {
+      const std::lock_guard<std::mutex> lock(cache_mu);
+      if (cache.find(key) == cache.end()) {
+        lru.push_front(key);
+        cache.emplace(key, std::make_pair(entry, lru.begin()));
+        while (cache.size() > options.plan_cache_entries && !lru.empty()) {
+          cache.erase(lru.back());
+          lru.pop_back();
+        }
+        g_cache_entries.set(static_cast<std::int64_t>(cache.size()));
+      }
+    }
+    return entry;
+  }
+
+  /// Run one admitted job start to finish and build its response line.
+  /// Never throws: every failure mode folds into a typed response — the
+  /// crash-only contract that keeps one poisoned request from taking the
+  /// daemon down.
+  std::string execute(Job& job) {
+    const double wait_seconds = obs::monotonic_seconds() - job.enqueued_at;
+    g_queue_wait.observe(wait_seconds);
+    trace::Span span("qdt.serve.request.run");
+    span.attr("tenant", job.tenant)
+        .attr("robust", std::int64_t{job.robust ? 1 : 0});
+    const obs::Stopwatch sw;
+
+    bool armed = false;
+    std::string response;
+    try {
+      // Everything below — parse, lint, simulate — runs under the job's
+      // budget, so even a pathological circuit text is deadline-bounded.
+      const guard::BudgetScope scope(job.budget);
+
+      const std::shared_ptr<const PlanEntry> plan = resolve_plan(job);
+
+      // -- Static admission gates (reject before any simulation) ---------
+      const ir::Circuit& circuit = plan->circuit;
+      span.attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
+          .attr("gates", static_cast<std::uint64_t>(circuit.size()));
+      if (job.want_state && circuit.num_qubits() > options.max_state_qubits) {
+        g_rejected.add();
+        ++rejected_total;
+        return error_response(
+            job.id_json, "unsupported",
+            "dense state over the wire is capped at " +
+                std::to_string(options.max_state_qubits) + " qubits (got " +
+                std::to_string(circuit.num_qubits()) + ")");
+      }
+      double cheapest = 0.0;
+      bool feasible = false;
+      std::string cheapest_backend;
+      for (const auto& est : plan->plan.estimates) {
+        if (est.feasible) {
+          cheapest = est.cost_log2;
+          cheapest_backend = lint::backend_label(est.backend);
+          feasible = true;
+          break;  // estimates are sorted cheapest-feasible first
+        }
+      }
+      if (!feasible) {
+        g_rejected.add();
+        ++rejected_total;
+        return error_response(job.id_json, "unsupported",
+                              "no backend can serve this request (see "
+                              "`qdt lint` for the per-backend reasons)");
+      }
+      if (cheapest > options.admission_max_cost_log2) {
+        g_rejected.add();
+        ++rejected_total;
+        json::Writer w;
+        w.begin_object();
+        w.key("id").raw(job.id_json);
+        w.key("ok").boolean(false);
+        w.key("error").begin_object();
+        w.key("code").string("resource-exhausted");
+        w.key("resource").string("cost");
+        w.key("reason").string("admission-cost-gate");
+        w.key("message").string(
+            "static cost gate: cheapest feasible backend (" +
+            cheapest_backend + ") predicts ~2^" + std::to_string(cheapest) +
+            " work, over the 2^" +
+            std::to_string(options.admission_max_cost_log2) + " ceiling");
+        w.key("cost_log2").number(cheapest);
+        w.key("ceiling_log2").number(options.admission_max_cost_log2);
+        w.end_object();
+        w.end_object();
+        return w.str();
+      }
+
+      // -- Execute -------------------------------------------------------
+      if (!job.fault.empty()) {
+        arm_request_faults(job.fault);
+        armed = true;
+      }
+      core::SimulateOptions sopts;
+      sopts.seed = job.seed;
+      sopts.shots = static_cast<std::size_t>(job.shots);
+      sopts.want_state = job.want_state;
+      sopts.mps_max_bond = static_cast<std::size_t>(job.mps_max_bond);
+      sopts.budget = job.budget;
+      if (job.noise > 0.0) {
+        sopts.noise = arrays::NoiseModel::depolarizing_model(job.noise);
+      }
+      const std::optional<core::SimBackend> explicit_backend =
+          backend_from_token(job.backend);
+
+      core::RobustSimulateResult robust;
+      if (job.robust) {
+        robust = explicit_backend
+                     ? core::simulate_robust(circuit, sopts, explicit_backend)
+                     : core::simulate_robust_with_ladder(circuit, sopts,
+                                                         plan->ladder);
+      } else {
+        const core::SimBackend backend =
+            explicit_backend ? *explicit_backend : plan->ladder.front();
+        robust.result = core::simulate(circuit, backend, sopts);
+        core::FallbackStep step;
+        step.stage = core::backend_name(backend);
+        robust.attempts.push_back(std::move(step));
+      }
+      response = ok_response(job, robust, wait_seconds);
+    } catch (const Error& e) {
+      g_failed.add();
+      ++failed_total;
+      span.attr("outcome", "error").attr("code", e.code_name());
+      const std::string resource = e.code() == ErrorCode::ResourceExhausted
+                                       ? resource_name(e.resource())
+                                       : std::string();
+      response =
+          error_response(job.id_json, e.code_name(), e.what(), resource);
+    } catch (const std::exception& e) {
+      // A non-Error escaping a backend is a bug, but the daemon's contract
+      // is to answer and survive; the panic counter is the pager signal.
+      g_panics.add();
+      ++panic_total;
+      g_failed.add();
+      ++failed_total;
+      span.attr("outcome", "panic");
+      response = error_response(job.id_json, "internal",
+                                std::string("unhandled exception: ") +
+                                    e.what());
+    } catch (...) {
+      g_panics.add();
+      ++panic_total;
+      g_failed.add();
+      ++failed_total;
+      span.attr("outcome", "panic");
+      response =
+          error_response(job.id_json, "internal", "unhandled non-exception");
+    }
+    if (armed) {
+      guard::clear_faults();  // request isolation: no fault leaks forward
+    }
+    const double seconds = sw.seconds();
+    g_service.observe(seconds);
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      ema_service_seconds = ema_service_seconds == 0.0
+                                ? seconds
+                                : 0.9 * ema_service_seconds + 0.1 * seconds;
+    }
+    return response;
+  }
+
+  std::string ok_response(const Job& job,
+                          const core::RobustSimulateResult& robust,
+                          double wait_seconds) {
+    g_completed.add();
+    ++completed_total;
+    if (robust.degraded()) {
+      g_degraded.add();
+      ++degraded_total;
+    }
+    const core::SimulateResult& res = robust.result;
+    json::Writer w;
+    w.begin_object();
+    w.key("id").raw(job.id_json);
+    w.key("ok").boolean(true);
+    w.key("backend").string(robust.attempts.empty()
+                                ? core::backend_name(res.backend)
+                                : robust.attempts.back().stage);
+    w.key("degraded").boolean(robust.degraded());
+    if (robust.degraded()) {
+      w.key("attempts").begin_array();
+      for (const auto& step : robust.attempts) {
+        w.begin_object();
+        w.key("stage").string(step.stage);
+        w.key("ok").boolean(step.error.empty());
+        if (!step.code.empty()) {
+          w.key("code").string(step.code);
+        }
+        if (!step.resource.empty()) {
+          w.key("resource").string(step.resource);
+        }
+        if (!step.error.empty()) {
+          w.key("error").string(step.error);
+        }
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.key("representation_size")
+        .number(static_cast<std::uint64_t>(res.representation_size));
+    if (!res.counts.empty()) {
+      w.key("counts").begin_object();
+      for (const auto& [word, count] : res.counts) {
+        w.key(std::to_string(word)).number(static_cast<std::uint64_t>(count));
+      }
+      w.end_object();
+    }
+    if (job.want_state && res.state.has_value()) {
+      w.key("state").begin_array();
+      for (const Complex& a : *res.state) {
+        w.begin_array().number(a.real()).number(a.imag()).end_array();
+      }
+      w.end_array();
+    }
+    w.key("cache_hit").boolean(last_resolve_was_hit());
+    w.key("seconds").number(res.seconds);
+    w.key("queue_ms").number(wait_seconds * 1000.0);
+    w.end_object();
+    return w.str();
+  }
+
+  /// Whether the most recent resolve_plan() on this thread hit the cache.
+  /// Thread-local because workers resolve concurrently.
+  static bool& tls_cache_hit() {
+    thread_local bool hit = false;
+    return hit;
+  }
+  bool last_resolve_was_hit() const { return tls_cache_hit(); }
+
+  // ---------------------------------------------------------------------
+  // Status + drain
+  // ---------------------------------------------------------------------
+
+  std::string status_response(const std::string& id_json) {
+    const ServerStatus s = snapshot();
+    json::Writer w;
+    w.begin_object();
+    w.key("id").raw(id_json);
+    w.key("ok").boolean(true);
+    w.key("op").string("status");
+    w.key("draining").boolean(s.draining);
+    w.key("queue_depth").number(static_cast<std::uint64_t>(s.queue_depth));
+    w.key("inflight").number(static_cast<std::uint64_t>(s.inflight));
+    w.key("workers").number(static_cast<std::uint64_t>(workers.size()));
+    w.key("admitted").number(s.admitted);
+    w.key("completed").number(s.completed);
+    w.key("failed").number(s.failed);
+    w.key("rejected").number(s.rejected);
+    w.key("shed").number(s.shed);
+    w.key("degraded").number(s.degraded);
+    w.key("panics").number(s.panics);
+    w.key("cancelled").number(s.cancelled);
+    w.key("cache_hits").number(s.cache_hits);
+    w.key("cache_misses").number(s.cache_misses);
+    w.key("cache_entries").number(static_cast<std::uint64_t>(s.cache_entries));
+    w.key("uptime_seconds").number(s.uptime_seconds);
+    w.key("rss_peak_mb").number(static_cast<std::int64_t>(s.rss_peak_mb));
+    w.key("tenants").begin_object();
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      for (const auto& [name, t] : tenants) {
+        w.key(name).begin_object();
+        w.key("queued").number(static_cast<std::uint64_t>(t.queue.size()));
+        w.key("inflight").number(static_cast<std::uint64_t>(t.inflight));
+        w.key("admitted").number(t.admitted);
+        w.key("completed").number(t.completed);
+        w.key("shed").number(t.shed);
+        w.end_object();
+      }
+    }
+    w.end_object();
+    w.end_object();
+    return w.str();
+  }
+
+  ServerStatus snapshot() const {
+    ServerStatus s;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      s.draining = draining_flag;
+      s.queue_depth = total_queued;
+      s.inflight = inflight;
+      s.tenants = tenants.size();
+      s.admitted = admitted_total;
+      s.completed = completed_total;
+      s.failed = failed_total;
+      s.rejected = rejected_total;
+      s.shed = shed_total;
+      s.degraded = degraded_total;
+      s.panics = panic_total;
+      s.cancelled = cancelled_total;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(cache_mu);
+      s.cache_hits = cache_hit_total;
+      s.cache_misses = cache_miss_total;
+      s.cache_entries = cache.size();
+    }
+    s.uptime_seconds = obs::monotonic_seconds() - started_at;
+    s.rss_peak_mb = rss_peak_mb();
+    return s;
+  }
+
+  void begin_drain() {
+    const std::lock_guard<std::mutex> lock(mu);
+    draining_flag = true;
+  }
+
+  std::size_t drain(double timeout_seconds) {
+    std::unique_lock<std::mutex> lock(mu);
+    draining_flag = true;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(std::max(0.0, timeout_seconds));
+    drain_cv.wait_until(lock, deadline, [this] {
+      return total_queued == 0 && inflight == 0;
+    });
+    // Cancel whatever is still queued with typed responses; in-flight work
+    // is left to finish against its own deadline (the worker answers it).
+    std::vector<Job> cancelled;
+    for (auto& [name, tenant] : tenants) {
+      while (!tenant.queue.empty()) {
+        cancelled.push_back(std::move(tenant.queue.front()));
+        tenant.queue.pop_front();
+        --total_queued;
+      }
+    }
+    rr_order.clear();
+    cancelled_total += cancelled.size();
+    g_drain_cancelled.add(cancelled.size());
+    g_queue_depth.set(0);
+    lock.unlock();
+    for (Job& job : cancelled) {
+      job.done(error_response(job.id_json, "resource-exhausted",
+                              "cancelled: server drained before this "
+                              "request was scheduled",
+                              "queue", "cancelled"));
+    }
+    return cancelled.size();
+  }
+
+  // ---------------------------------------------------------------------
+
+  ServeOptions options;
+  double started_at = 0.0;
+
+  mutable std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable drain_cv;
+  bool draining_flag = false;
+  bool stopping = false;
+  std::size_t total_queued = 0;
+  std::size_t inflight = 0;
+  std::deque<std::string> rr_order;
+  std::unordered_map<std::string, TenantState> tenants;
+  double ema_service_seconds = 0.0;
+  std::uint64_t admitted_total = 0;
+  std::uint64_t completed_total = 0;
+  std::uint64_t failed_total = 0;
+  std::uint64_t rejected_total = 0;
+  std::uint64_t shed_total = 0;
+  std::uint64_t degraded_total = 0;
+  std::uint64_t panic_total = 0;
+  std::uint64_t cancelled_total = 0;
+
+  mutable std::mutex cache_mu;
+  std::list<std::uint64_t> lru;  // most recent first
+  std::unordered_map<std::uint64_t,
+                     std::pair<std::shared_ptr<const PlanEntry>,
+                               std::list<std::uint64_t>::iterator>>
+      cache;
+  std::uint64_t cache_hit_total = 0;
+  std::uint64_t cache_miss_total = 0;
+
+  std::vector<std::thread> workers;
+};
+
+Server::Server(ServeOptions options) : impl_(new Impl(std::move(options))) {}
+
+Server::~Server() { delete impl_; }
+
+void Server::submit(std::string line, std::function<void(std::string)> done) {
+  impl_->submit(std::move(line), std::move(done));
+}
+
+std::string Server::serve_line(const std::string& line) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  impl_->submit(line, [&promise](std::string response) {
+    promise.set_value(std::move(response));
+  });
+  return future.get();
+}
+
+void Server::begin_drain() { impl_->begin_drain(); }
+
+bool Server::draining() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->draining_flag;
+}
+
+std::size_t Server::drain(double timeout_seconds) {
+  return impl_->drain(timeout_seconds);
+}
+
+ServerStatus Server::status() const { return impl_->snapshot(); }
+
+const ServeOptions& Server::options() const { return impl_->options; }
+
+}  // namespace qdt::serve

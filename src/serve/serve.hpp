@@ -1,0 +1,156 @@
+// qdt::serve — the hardened multi-tenant simulation daemon behind
+// `qdt serve`.
+//
+// The paper frames arrays, decision diagrams, tensor networks, and the
+// ZX-calculus as the computational core of quantum design *tools* — and a
+// real tool is a long-running service with many concurrent users, not one
+// CLI invocation. This layer composes everything built below it into that
+// service, with robustness under hostile load as the design headline:
+//
+//  * Admission control. Every request passes a static gate before any
+//    simulation: a request-size cap, a dense-state width cap, and the
+//    qdt::lint cost model — when the cheapest feasible backend's predicted
+//    cost exceeds the admission ceiling, the request is rejected with the
+//    reason and the full ranked estimate table, having cost the daemon
+//    only a lint pass.
+//  * Typed load shedding, never queue collapse. The run queue is bounded
+//    globally and per tenant; overflow sheds the *new* request with a
+//    typed `resource-exhausted` response carrying a retry_after_ms hint
+//    derived from the observed service rate. Every submitted request gets
+//    exactly one response.
+//  * Fair share across tenants. Workers pull from per-tenant FIFO queues
+//    in round-robin order, so a tenant flooding the daemon delays its own
+//    requests, not everyone's.
+//  * Per-request budgets + graceful degradation. Each job runs under a
+//    guard::Budget (deadline always set — the server default caps any
+//    request that doesn't name one) and the robust fallback ladder, seeded
+//    from the cached lint plan; the degradation path comes back in the
+//    response as typed per-rung steps.
+//  * Crash-only request isolation. A request that throws — typed error,
+//    std::exception, anything — produces an error response and a counter
+//    bump; the worker and the daemon keep serving. Fault injection
+//    (QDT_FAULT, or the per-request "fault" field) makes every one of
+//    those paths deterministically testable.
+//  * Plan/parse cache. Identical hot circuits (the realistic shape of
+//    heavy traffic) hash to one cached parse + lint plan, so they are
+//    planned once and simulated many times; hits/misses are observable.
+//  * Graceful drain. begin_drain() stops admission (new requests shed with
+//    reason "draining"); drain() waits for in-flight work — every request
+//    has a deadline, so the wait is bounded — then cancels whatever is
+//    still queued with typed responses. SIGINT/SIGTERM in the CLI map to
+//    exactly this sequence, followed by the metrics/trace flush.
+//
+// Counters land under qdt.serve.*; the `status` request is the /healthz
+// endpoint (queue depth, shed counts, RSS, per-tenant stats).
+//
+// Layering: serve sits above core (it orchestrates robust simulation) and
+// below nothing but the CLI; chaos and serve are siblings.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/tasks.hpp"
+
+namespace qdt::serve {
+
+/// Server tuning knobs. Defaults are sized for a local daemon on a small
+/// container; every ceiling exists so a hostile client meets a typed
+/// response instead of an OOM kill.
+struct ServeOptions {
+  /// Executor threads pulling admitted requests. (Kernel-level parallelism
+  /// inside a request is qdt::par's job and stays deterministic; these
+  /// workers only add request-level concurrency.)
+  std::size_t workers = 2;
+  /// Global cap on admitted-but-not-yet-running requests.
+  std::size_t max_queue = 64;
+  /// Per-tenant cap on queued requests (fair-share backpressure).
+  std::size_t max_tenant_queue = 16;
+  /// Deadline applied to any request that does not set timeout_ms; also
+  /// the ceiling a request cannot raise its own deadline past. Every job
+  /// therefore runs with a deadline — the property that makes drain() and
+  /// a stalled-client recovery bounded in time.
+  double default_timeout_ms = 10000.0;
+  double max_timeout_ms = 60000.0;
+  /// Memory budget applied when the request names none (0 = unlimited —
+  /// not recommended for a shared daemon).
+  std::size_t default_max_memory_mb = 512;
+  /// Admission ceiling on lint's cheapest feasible backend cost (log2).
+  double admission_max_cost_log2 = 46.0;
+  /// Widest circuit whose dense state may be returned over the wire.
+  std::size_t max_state_qubits = 10;
+  /// Hard cap on one request line's size in bytes.
+  std::size_t max_request_bytes = 4u << 20;
+  /// Plan/parse cache entries (LRU beyond this).
+  std::size_t plan_cache_entries = 256;
+  /// Honor the per-request "fault" test hook (QDT_FAULT syntax). On by
+  /// default: the daemon is a local tool and the hook is what makes the
+  /// soak tests' failure paths deterministic.
+  bool allow_fault_injection = true;
+};
+
+/// Point-in-time health snapshot — the payload of the `status` request.
+struct ServerStatus {
+  bool draining = false;
+  std::size_t queue_depth = 0;
+  std::size_t inflight = 0;
+  std::size_t tenants = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;     // typed error responses (request's fault)
+  std::uint64_t rejected = 0;   // admission gate (bad input / cost gate)
+  std::uint64_t shed = 0;       // queue overflow / tenant quota / draining
+  std::uint64_t degraded = 0;   // served, but below the first rung
+  std::uint64_t panics = 0;     // non-Error exceptions swallowed by workers
+  std::uint64_t cancelled = 0;  // queued jobs cancelled by drain()
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t cache_entries = 0;
+  double uptime_seconds = 0.0;
+  std::int64_t rss_peak_mb = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options = {});
+  /// Drains (begin_drain + bounded wait), cancels the stragglers, stops
+  /// the workers.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submit one raw request line. `done` is invoked exactly once with the
+  /// response line (no trailing newline) — inline on the calling thread
+  /// for rejections, sheds, and status requests; on a worker thread for
+  /// executed simulations. `done` must be thread-safe against other
+  /// completions and must not block for long (it runs on the serving
+  /// path).
+  void submit(std::string line, std::function<void(std::string)> done);
+
+  /// Synchronous convenience wrapper around submit() — the in-process
+  /// test/client API.
+  std::string serve_line(const std::string& line);
+
+  /// Stop admitting; subsequent submissions shed with reason "draining".
+  void begin_drain();
+  bool draining() const;
+
+  /// Wait up to `timeout_seconds` for queued + in-flight work to finish,
+  /// then cancel still-queued jobs with typed shed responses. Returns the
+  /// number cancelled. In-flight jobs always finish (each runs against its
+  /// own deadline); only never-started jobs are cancelled.
+  std::size_t drain(double timeout_seconds);
+
+  ServerStatus status() const;
+
+  const ServeOptions& options() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace qdt::serve

@@ -1,0 +1,242 @@
+#include "serve/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "guard/error.hpp"
+
+namespace qdt::serve {
+
+namespace {
+
+constexpr int kPollTickMs = 100;
+
+/// One response sink shared between the transport thread and the worker
+/// threads completing requests. Writes are whole-line and serialized; a
+/// failed write (client went away) flags the sink dead and later writes
+/// become no-ops.
+struct Sink {
+  explicit Sink(int fd) : fd(fd) {}
+  int fd;
+  std::mutex mu;
+  bool dead = false;
+
+  void write_line(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (dead) {
+      return;
+    }
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+      // MSG_NOSIGNAL: a disconnected socket peer must not SIGPIPE the
+      // daemon. Plain pipes can still deliver it; the CLI ignores SIGPIPE.
+      const ssize_t n = ::send(fd, out.data() + off, out.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        if (n < 0 && (errno == ENOTSOCK || errno == EOPNOTSUPP)) {
+          const ssize_t w = ::write(fd, out.data() + off, out.size() - off);
+          if (w > 0) {
+            off += static_cast<std::size_t>(w);
+            continue;
+          }
+          if (w < 0 && errno == EINTR) {
+            continue;
+          }
+        }
+        dead = true;
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+};
+
+/// Split complete lines out of `buffer` and submit each. Returns how many
+/// were submitted.
+std::uint64_t submit_lines(Server& server, std::string& buffer,
+                           const std::shared_ptr<Sink>& sink) {
+  std::uint64_t submitted = 0;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = buffer.find('\n', start);
+    if (nl == std::string::npos) {
+      break;
+    }
+    std::string line = buffer.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    ++submitted;
+    server.submit(std::move(line),
+                  [sink](std::string response) { sink->write_line(response); });
+  }
+  buffer.erase(0, start);
+  return submitted;
+}
+
+bool should_stop(const Server& server, const TransportOptions& options) {
+  return server.draining() ||
+         (options.stop != nullptr &&
+          options.stop->load(std::memory_order_relaxed));
+}
+
+}  // namespace
+
+std::uint64_t run_stdio(Server& server, const TransportOptions& options) {
+  const auto sink = std::make_shared<Sink>(STDOUT_FILENO);
+  std::string buffer;
+  std::uint64_t submitted = 0;
+  bool eof = false;
+  while (!eof && !should_stop(server, options)) {
+    struct pollfd pfd {};
+    pfd.fd = STDIN_FILENO;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollTickMs);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;  // signal: loop re-checks the stop flag
+      }
+      break;
+    }
+    if (ready == 0) {
+      continue;  // tick: re-check stop/draining
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    submitted += submit_lines(server, buffer, sink);
+  }
+  // A final partial line without the trailing newline still counts at EOF.
+  if (eof && !buffer.empty()) {
+    buffer.push_back('\n');
+    submitted += submit_lines(server, buffer, sink);
+  }
+  server.begin_drain();
+  server.drain(options.drain_timeout_seconds);
+  return submitted;
+}
+
+std::uint64_t run_unix_socket(Server& server, const TransportOptions& options) {
+  struct sockaddr_un addr {};
+  if (options.socket_path.size() >= sizeof addr.sun_path) {
+    throw Error::bad_input("socket path too long: " + options.socket_path);
+  }
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    throw Error::bad_input(std::string("socket(): ") + std::strerror(errno));
+  }
+  ::unlink(options.socket_path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options.socket_path.c_str(),
+              options.socket_path.size() + 1);
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof addr) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd);
+    throw Error::bad_input("cannot listen on " + options.socket_path + ": " +
+                           why);
+  }
+
+  struct Conn {
+    std::shared_ptr<Sink> sink;
+    std::string buffer;
+  };
+  std::vector<Conn> conns;
+  std::uint64_t submitted = 0;
+
+  while (!should_stop(server, options)) {
+    std::vector<struct pollfd> pfds;
+    pfds.reserve(conns.size() + 1);
+    pfds.push_back({listen_fd, POLLIN, 0});
+    for (const Conn& c : conns) {
+      pfds.push_back({c.sink->fd, POLLIN, 0});
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), kPollTickMs);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (ready == 0) {
+      continue;
+    }
+    if ((pfds[0].revents & POLLIN) != 0) {
+      const int client = ::accept(listen_fd, nullptr, nullptr);
+      if (client >= 0) {
+        conns.push_back(Conn{std::make_shared<Sink>(client), {}});
+      }
+    }
+    for (std::size_t i = 0; i < conns.size();) {
+      const short revents = pfds[i + 1].revents;
+      bool drop = false;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char chunk[4096];
+        const ssize_t n = ::read(conns[i].sink->fd, chunk, sizeof chunk);
+        if (n > 0) {
+          conns[i].buffer.append(chunk, static_cast<std::size_t>(n));
+          submitted += submit_lines(server, conns[i].buffer, conns[i].sink);
+        } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
+          drop = true;
+        }
+      }
+      if (drop) {
+        // In-flight responses for this client hit the dead sink and are
+        // discarded; the fd closes once the last worker drops its ref.
+        {
+          const std::lock_guard<std::mutex> lock(conns[i].sink->mu);
+          conns[i].sink->dead = true;
+        }
+        ::close(conns[i].sink->fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+        // pfds is stale past this point; rebuild on the next loop turn.
+        break;
+      }
+      ++i;
+    }
+  }
+
+  server.begin_drain();
+  server.drain(options.drain_timeout_seconds);
+  for (Conn& c : conns) {
+    const std::lock_guard<std::mutex> lock(c.sink->mu);
+    if (!c.sink->dead) {
+      c.sink->dead = true;
+      ::close(c.sink->fd);
+    }
+  }
+  ::close(listen_fd);
+  ::unlink(options.socket_path.c_str());
+  return submitted;
+}
+
+}  // namespace qdt::serve

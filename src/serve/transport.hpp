@@ -1,0 +1,52 @@
+// Line-delimited transports for qdt::serve::Server.
+//
+// Two ways to reach the daemon, both speaking one JSON request per line,
+// one JSON response per line:
+//
+//  * stdio — the pipe mode `qdt serve` uses by default. Reading is
+//    poll()-based so a pending SIGINT/SIGTERM (surfaced via the stop flag)
+//    interrupts an idle read within one poll tick instead of hanging on a
+//    blocking read.
+//  * unix socket — multiple concurrent local clients; each connection gets
+//    its own line buffer and responses are interleaved per connection
+//    under a write lock (a slow simulation never blocks another client's
+//    response).
+//
+// Responses complete on worker threads, so writes go through a per-sink
+// mutex; a request is never dropped — clients that disconnect early just
+// discard their in-flight responses.
+//
+// Both loops end the same way: EOF / stop flag / a `shutdown` request flips
+// the server into draining, the transport stops reading, drains with the
+// configured timeout (bounded — every job has a deadline), and returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/serve.hpp"
+
+namespace qdt::serve {
+
+struct TransportOptions {
+  /// Empty: serve stdin/stdout. Otherwise: path of the unix listening
+  /// socket (unlinked and re-bound on start).
+  std::string socket_path;
+  /// Set by the CLI's signal handler; polled between reads. When it flips,
+  /// the transport begins a graceful drain.
+  const std::atomic<bool>* stop = nullptr;
+  /// Bound on the final drain wait.
+  double drain_timeout_seconds = 75.0;
+};
+
+/// Serve requests from stdin, responses to stdout, until EOF / stop /
+/// shutdown. Returns the number of request lines submitted.
+std::uint64_t run_stdio(Server& server, const TransportOptions& options);
+
+/// Accept and serve local clients on a unix stream socket until stop /
+/// shutdown. Returns the number of request lines submitted. Throws
+/// qdt::Error(BadInput) when the socket cannot be bound.
+std::uint64_t run_unix_socket(Server& server, const TransportOptions& options);
+
+}  // namespace qdt::serve

@@ -5,9 +5,12 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "chaos/chaos.hpp"
 #include "chaos/corpus.hpp"
@@ -343,6 +346,37 @@ TEST(Corpus, WriteFindingEmitsReproArtifacts) {
 
 TEST(Corpus, JsonEscapeHandlesSpecials) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(Fuzz, StopFlagInterruptsBeforeAnyCase) {
+  std::atomic<bool> stop{true};  // already requested: nothing may start
+  FuzzOptions opts;
+  opts.cases = 50;
+  opts.stop = &stop;
+  const FuzzReport report = run_fuzz(opts);
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_EQ(report.cases, 0u);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(Fuzz, StopFlagDrainsMidRunAcrossJobs) {
+  // A run long enough that the flag flips while workers are pulling cases;
+  // in-flight cases must finish (report.cases counts them) and the rest
+  // must never start.
+  std::atomic<bool> stop{false};
+  FuzzOptions opts;
+  opts.cases = 100000;
+  opts.jobs = 4;
+  opts.generator.max_qubits = 6;
+  opts.stop = &stop;
+  FuzzReport report;
+  std::thread runner([&] { report = run_fuzz(opts); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  runner.join();
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_GT(report.cases, 0u);
+  EXPECT_LT(report.cases, opts.cases);
 }
 
 }  // namespace

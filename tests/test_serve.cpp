@@ -1,0 +1,582 @@
+// qdt::serve — daemon robustness tests: the JSON wire format, typed error
+// responses for every failure mode (malformed input, budget exhaustion,
+// injected faults), admission control and typed overload shedding with
+// retry hints, per-tenant fair share, the plan cache, graceful drain with
+// exactly-one-response accounting, and a multi-client soak in which the
+// daemon must answer every request and never die. The soak also runs in
+// the TSan CI lane, which is where the scheduler/cache locking earns its
+// keep.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "guard/error.hpp"
+#include "par/pool.hpp"
+#include "serve/json.hpp"
+#include "serve/serve.hpp"
+
+namespace qdt::serve {
+namespace {
+
+std::string bell_qasm() {
+  return "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];";
+}
+
+std::string ghz_qasm(int n) {
+  std::string s = "OPENQASM 2.0;\nqreg q[" + std::to_string(n) + "];\nh q[0];\n";
+  for (int i = 1; i < n; ++i) {
+    s += "cx q[" + std::to_string(i - 1) + "],q[" + std::to_string(i) + "];\n";
+  }
+  return s;
+}
+
+/// Escape a QASM text for embedding in a request line.
+std::string q(const std::string& s) { return json::escape(s); }
+
+std::string simulate_request(int id, const std::string& qasm,
+                             const std::string& extra = {}) {
+  return R"({"id":)" + std::to_string(id) + R"(,"op":"simulate","qasm":")" +
+         q(qasm) + "\"" + extra + "}";
+}
+
+const json::Value* field(const json::Value& v, const char* key) {
+  const json::Value* f = v.find(key);
+  EXPECT_NE(f, nullptr) << "missing field " << key;
+  return f;
+}
+
+/// Collects submit() completions across worker threads.
+struct Collector {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::string> responses;
+
+  std::function<void(std::string)> sink() {
+    return [this](std::string r) {
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        responses.push_back(std::move(r));
+      }
+      cv.notify_all();
+    };
+  }
+
+  bool wait_for(std::size_t n, double seconds = 30.0) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                       [&] { return responses.size() >= n; });
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+TEST(ServeJson, ParsesScalarsContainersAndEscapes) {
+  const json::Value v = json::parse(
+      R"({"a":1.5,"b":"x\ny\u0041","c":[true,false,null],"d":{"e":-2}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.get_number("a"), 1.5);
+  EXPECT_EQ(v.get_string("b"), "x\nyA");
+  const json::Value* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->array.size(), 3u);
+  EXPECT_TRUE(c->array[0].boolean);
+  EXPECT_EQ(c->array[2].kind, json::Value::Kind::Null);
+  EXPECT_DOUBLE_EQ(v.find("d")->get_number("e"), -2.0);
+}
+
+TEST(ServeJson, RejectsMalformedInputWithTypedErrors) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"\\q\"", "{\"a\":1,}",
+        "01", "1e", "{\"a\" 1}", "\"unterminated"}) {
+    EXPECT_THROW(json::parse(bad), Error) << bad;
+  }
+  // Depth bomb: typed error, not a stack overflow.
+  std::string deep(200, '[');
+  EXPECT_THROW(json::parse(deep), Error);
+}
+
+TEST(ServeJson, WriterRoundTripsThroughParser) {
+  json::Writer w;
+  w.begin_object();
+  w.key("s").string("line1\n\"line2\"");
+  w.key("n").number(std::uint64_t{1234567890123});
+  w.key("f").number(0.25);
+  w.key("b").boolean(true);
+  w.key("a").begin_array().number(std::int64_t{-1}).null().end_array();
+  w.end_object();
+  const json::Value v = json::parse(w.str());
+  EXPECT_EQ(v.get_string("s"), "line1\n\"line2\"");
+  EXPECT_EQ(v.get_uint("n"), 1234567890123u);
+  EXPECT_DOUBLE_EQ(v.get_number("f"), 0.25);
+  EXPECT_TRUE(v.get_bool("b"));
+  ASSERT_EQ(v.find("a")->array.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Request basics
+// ---------------------------------------------------------------------------
+
+TEST(Serve, AnswersSimulateWithCountsAndEchoesId) {
+  Server server;
+  const json::Value v = json::parse(server.serve_line(
+      simulate_request(7, bell_qasm(), R"(,"shots":200,"seed":3)")));
+  EXPECT_TRUE(v.get_bool("ok"));
+  EXPECT_DOUBLE_EQ(field(v, "id")->number, 7.0);
+  const json::Value* counts = field(v, "counts");
+  ASSERT_TRUE(counts->is_object());
+  std::size_t total = 0;
+  for (const auto& [word, n] : counts->object) {
+    EXPECT_TRUE(word == "0" || word == "3") << word;  // Bell: |00> or |11>
+    total += static_cast<std::size_t>(n.number);
+  }
+  EXPECT_EQ(total, 200u);
+  EXPECT_FALSE(v.get_bool("degraded"));
+  EXPECT_GE(v.get_number("queue_ms"), 0.0);
+}
+
+TEST(Serve, TypedErrorsForGarbageProtocolAndQasm) {
+  Server server;
+  // Not JSON at all.
+  json::Value v = json::parse(server.serve_line("this is not json"));
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_EQ(field(v, "error")->get_string("code"), "bad-input");
+  // JSON, but not an object.
+  v = json::parse(server.serve_line("[1,2,3]"));
+  EXPECT_EQ(field(v, "error")->get_string("code"), "bad-input");
+  // Unknown op / missing qasm / unknown backend.
+  v = json::parse(server.serve_line(R"({"id":1,"op":"launch"})"));
+  EXPECT_EQ(field(v, "error")->get_string("code"), "bad-input");
+  v = json::parse(server.serve_line(R"({"id":2,"op":"simulate"})"));
+  EXPECT_EQ(field(v, "error")->get_string("code"), "bad-input");
+  v = json::parse(server.serve_line(
+      simulate_request(3, bell_qasm(), R"(,"backend":"quantum")")));
+  EXPECT_EQ(field(v, "error")->get_string("code"), "bad-input");
+  // Malformed QASM inside well-formed JSON.
+  v = json::parse(server.serve_line(
+      simulate_request(4, "OPENQASM 2.0;\nqreg q[")));
+  EXPECT_EQ(field(v, "error")->get_string("code"), "bad-input");
+  // The daemon survived all of it.
+  v = json::parse(server.serve_line(simulate_request(5, bell_qasm())));
+  EXPECT_TRUE(v.get_bool("ok"));
+  EXPECT_EQ(server.status().panics, 0u);
+}
+
+TEST(Serve, StatusReportsHealthAndPerTenantAccounting) {
+  Server server;
+  EXPECT_TRUE(json::parse(server.serve_line(
+                  simulate_request(1, bell_qasm(), R"(,"tenant":"alice")")))
+                  .get_bool("ok"));
+  const json::Value v =
+      json::parse(server.serve_line(R"({"id":9,"op":"status"})"));
+  EXPECT_TRUE(v.get_bool("ok"));
+  EXPECT_EQ(v.get_string("op"), "status");
+  EXPECT_FALSE(v.get_bool("draining", true));
+  EXPECT_EQ(v.get_uint("admitted"), 1u);
+  EXPECT_EQ(v.get_uint("completed"), 1u);
+  EXPECT_EQ(v.get_uint("panics", 99), 0u);
+  EXPECT_GE(v.get_number("uptime_seconds"), 0.0);
+  EXPECT_GT(v.get_number("rss_peak_mb"), 0.0);
+  const json::Value* tenants = field(v, "tenants");
+  ASSERT_NE(tenants->find("alice"), nullptr);
+  EXPECT_EQ(tenants->find("alice")->get_uint("completed"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Budgets, faults, degradation
+// ---------------------------------------------------------------------------
+
+TEST(Serve, MidRequestBudgetExhaustionIsTypedAndDaemonSurvives) {
+  Server server;
+  // robust=false + injected fault: the typed ResourceExhausted escapes the
+  // backend mid-request and must come back as a protocol error...
+  const json::Value v = json::parse(server.serve_line(simulate_request(
+      1, bell_qasm(), R"(,"shots":100,"robust":false,"fault":"memory:1")")));
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_EQ(field(v, "error")->get_string("code"), "resource-exhausted");
+  EXPECT_EQ(field(v, "error")->get_string("resource"), "memory");
+  // ...without poisoning the worker: same circuit, no fault, still served.
+  const json::Value ok = json::parse(server.serve_line(
+      simulate_request(2, bell_qasm(), R"(,"shots":100)")));
+  EXPECT_TRUE(ok.get_bool("ok"));
+  const ServerStatus s = server.status();
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.panics, 0u);
+}
+
+TEST(Serve, RobustRequestDegradesDownTheLadderWithTypedAttempts) {
+  Server server;
+  const json::Value v = json::parse(server.serve_line(simulate_request(
+      1, bell_qasm(), R"(,"shots":50,"backend":"array","fault":"memory:1")")));
+  ASSERT_TRUE(v.get_bool("ok")) << "robust ladder should absorb the fault";
+  EXPECT_TRUE(v.get_bool("degraded"));
+  const json::Value* attempts = field(v, "attempts");
+  ASSERT_GE(attempts->array.size(), 2u);
+  EXPECT_EQ(attempts->array[0].get_string("stage"), "array");
+  EXPECT_FALSE(attempts->array[0].get_bool("ok", true));
+  EXPECT_EQ(attempts->array[0].get_string("code"), "resource-exhausted");
+  EXPECT_EQ(attempts->array[0].get_string("resource"), "memory");
+  EXPECT_TRUE(attempts->array.back().get_bool("ok"));
+  EXPECT_EQ(server.status().degraded, 1u);
+}
+
+TEST(Serve, EnvFaultInjectionReachesWorkerThreads) {
+  // QDT_FAULT is parsed lazily per worker thread at its first budget
+  // checkpoint — the soak harness relies on that to hit daemon workers.
+  ::setenv("QDT_FAULT", "memory:1", 1);
+  Server server(ServeOptions{.workers = 1});
+  const json::Value v = json::parse(server.serve_line(simulate_request(
+      1, bell_qasm(), R"(,"shots":50,"backend":"array")")));
+  ::unsetenv("QDT_FAULT");
+  ASSERT_TRUE(v.get_bool("ok"));
+  EXPECT_TRUE(v.get_bool("degraded"));
+  // One-shot: the next request on the same worker runs clean.
+  const json::Value clean = json::parse(server.serve_line(
+      simulate_request(2, bell_qasm(), R"(,"shots":50)")));
+  EXPECT_TRUE(clean.get_bool("ok"));
+  EXPECT_FALSE(clean.get_bool("degraded"));
+}
+
+TEST(Serve, DeadlineBudgetBoundsARequest) {
+  Server server;
+  // An absurd deadline (0.0001ms) trips the first deadline checkpoint.
+  const json::Value v = json::parse(server.serve_line(simulate_request(
+      1, ghz_qasm(12), R"(,"shots":100,"robust":false,"timeout_ms":0.0001)")));
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_EQ(field(v, "error")->get_string("code"), "resource-exhausted");
+  EXPECT_EQ(field(v, "error")->get_string("resource"), "deadline");
+}
+
+// ---------------------------------------------------------------------------
+// Admission control + shedding
+// ---------------------------------------------------------------------------
+
+TEST(Serve, StaticCostGateRejectsBeforeSimulating) {
+  ServeOptions opts;
+  opts.admission_max_cost_log2 = 0.5;  // nothing real fits under 2^0.5
+  Server server(opts);
+  const json::Value v = json::parse(
+      server.serve_line(simulate_request(1, ghz_qasm(20), R"(,"shots":10)")));
+  EXPECT_FALSE(v.get_bool("ok", true));
+  const json::Value* err = field(v, "error");
+  EXPECT_EQ(err->get_string("code"), "resource-exhausted");
+  EXPECT_EQ(err->get_string("reason"), "admission-cost-gate");
+  EXPECT_GT(err->get_number("cost_log2"), 0.5);
+  const ServerStatus s = server.status();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.completed, 0u);
+}
+
+TEST(Serve, WireStateWidthCapIsTyped) {
+  Server server;  // default max_state_qubits = 10
+  const json::Value v = json::parse(server.serve_line(
+      simulate_request(1, ghz_qasm(12), R"(,"want_state":true)")));
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_EQ(field(v, "error")->get_string("code"), "unsupported");
+}
+
+TEST(Serve, OversizedRequestLineIsRejectedNotBuffered) {
+  ServeOptions opts;
+  opts.max_request_bytes = 512;
+  Server server(opts);
+  const json::Value v = json::parse(
+      server.serve_line(simulate_request(1, ghz_qasm(64))));
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_EQ(field(v, "error")->get_string("code"), "bad-input");
+}
+
+TEST(Serve, QueueOverflowShedsWithRetryHint) {
+  ServeOptions opts;
+  opts.max_queue = 0;  // degenerate on purpose: every simulate sheds
+  Server server(opts);
+  const json::Value v =
+      json::parse(server.serve_line(simulate_request(1, bell_qasm())));
+  EXPECT_FALSE(v.get_bool("ok", true));
+  const json::Value* err = field(v, "error");
+  EXPECT_EQ(err->get_string("code"), "resource-exhausted");
+  EXPECT_EQ(err->get_string("resource"), "queue");
+  EXPECT_EQ(err->get_string("reason"), "queue-full");
+  EXPECT_GE(err->get_number("retry_after_ms"), 10.0);
+  // status still answers while the run queue sheds — that's the /healthz
+  // property.
+  EXPECT_TRUE(json::parse(server.serve_line(R"({"op":"status"})"))
+                  .get_bool("ok"));
+  EXPECT_EQ(server.status().shed, 1u);
+}
+
+TEST(Serve, TenantQuotaShedsTheFloodingTenantOnly) {
+  ServeOptions opts;
+  opts.max_tenant_queue = 0;
+  Server server(opts);
+  const json::Value v = json::parse(server.serve_line(
+      simulate_request(1, bell_qasm(), R"(,"tenant":"noisy")")));
+  EXPECT_EQ(field(v, "error")->get_string("reason"), "tenant-quota");
+  EXPECT_EQ(server.status().shed, 1u);
+}
+
+TEST(Serve, FairShareServesTheLightTenantAmidAFlood) {
+  ServeOptions opts;
+  opts.workers = 1;  // serialize execution so queue order is observable
+  Server server(opts);
+  std::mutex mu;
+  std::vector<std::string> completion_order;
+  std::condition_variable cv;
+  const auto sink_for = [&](std::string tag) {
+    return [&, tag](std::string) {
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        completion_order.push_back(tag);
+      }
+      cv.notify_all();
+    };
+  };
+  const std::string heavy = ghz_qasm(14);
+  for (int i = 0; i < 8; ++i) {
+    server.submit(simulate_request(i, heavy,
+                                   R"(,"shots":64,"tenant":"flooder")"),
+                  sink_for("flooder"));
+  }
+  server.submit(
+      simulate_request(100, bell_qasm(), R"(,"shots":16,"tenant":"light")"),
+      sink_for("light"));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(60),
+                            [&] { return completion_order.size() == 9u; }));
+  }
+  const auto light_pos =
+      std::find(completion_order.begin(), completion_order.end(), "light") -
+      completion_order.begin();
+  // Round-robin: the light tenant's single request must not sit behind the
+  // flooder's whole backlog. (Worst case: one flooder job in flight plus
+  // a couple admitted before the light one arrived.)
+  EXPECT_LT(light_pos, 5) << "fair share failed: light tenant finished "
+                          << light_pos + 1 << "/9";
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+TEST(Serve, HotCircuitHitsThePlanCache) {
+  Server server;
+  const std::string req = simulate_request(1, bell_qasm(), R"(,"shots":32)");
+  EXPECT_FALSE(json::parse(server.serve_line(req)).get_bool("cache_hit"));
+  EXPECT_TRUE(json::parse(server.serve_line(req)).get_bool("cache_hit"));
+  EXPECT_TRUE(json::parse(server.serve_line(req)).get_bool("cache_hit"));
+  const ServerStatus s = server.status();
+  EXPECT_EQ(s.cache_hits, 2u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.cache_entries, 1u);
+}
+
+TEST(Serve, CacheKeySeparatesConstraints) {
+  Server server;
+  const std::string base = simulate_request(1, bell_qasm(), R"(,"shots":8)");
+  EXPECT_FALSE(json::parse(server.serve_line(base)).get_bool("cache_hit"));
+  // Same circuit, different constraint set -> different plan, not a hit.
+  const json::Value v = json::parse(server.serve_line(
+      simulate_request(2, bell_qasm(), R"(,"shots":8,"want_state":true)")));
+  EXPECT_FALSE(v.get_bool("cache_hit"));
+  EXPECT_EQ(server.status().cache_entries, 2u);
+}
+
+TEST(Serve, CacheEvictsLru) {
+  ServeOptions opts;
+  opts.plan_cache_entries = 2;
+  Server server(opts);
+  for (int n = 2; n <= 5; ++n) {
+    EXPECT_TRUE(json::parse(server.serve_line(simulate_request(n, ghz_qasm(n))))
+                    .get_bool("ok"));
+  }
+  EXPECT_LE(server.status().cache_entries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+TEST(Serve, IdenticalRequestsAreBitwiseIdenticalAtAnyThreadCount) {
+  const std::string req = simulate_request(
+      1, ghz_qasm(10), R"(,"shots":256,"seed":99,"want_state":true)");
+  const auto canonical = [](const json::Value& v) {
+    std::string s;
+    for (const auto& [word, n] : v.find("counts")->object) {
+      s += word + ":" + std::to_string(n.number) + ";";
+    }
+    for (const auto& amp : v.find("state")->array) {
+      s += std::to_string(amp.array[0].number) + "," +
+           std::to_string(amp.array[1].number) + ";";
+    }
+    return s;
+  };
+  par::set_max_threads(1);
+  std::string at1;
+  {
+    Server server;
+    at1 = canonical(json::parse(server.serve_line(req)));
+  }
+  par::set_max_threads(4);
+  std::string at4;
+  {
+    Server server(ServeOptions{.workers = 3});
+    const json::Value v = json::parse(server.serve_line(req));
+    at4 = canonical(v);
+  }
+  par::set_max_threads(1);
+  EXPECT_EQ(at1, at4);
+  ASSERT_FALSE(at1.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Drain
+// ---------------------------------------------------------------------------
+
+TEST(Serve, DrainShedsNewCancelsQueuedAnswersEverything) {
+  ServeOptions opts;
+  opts.workers = 1;
+  Server server(opts);
+  Collector done;
+  const std::string heavy =
+      simulate_request(1, ghz_qasm(14), R"(,"shots":256)");
+  for (int i = 0; i < 6; ++i) {
+    server.submit(heavy, done.sink());
+  }
+  server.begin_drain();
+  // New submissions shed with the draining reason...
+  const json::Value shed =
+      json::parse(server.serve_line(simulate_request(9, bell_qasm())));
+  EXPECT_EQ(field(shed, "error")->get_string("reason"), "draining");
+  // ...and drain answers everything already submitted: in-flight jobs
+  // finish, still-queued jobs come back typed-cancelled.
+  server.drain(0.05);
+  ASSERT_TRUE(done.wait_for(6));
+  std::size_t ok = 0;
+  std::size_t cancelled = 0;
+  for (const auto& line : done.responses) {
+    const json::Value v = json::parse(line);
+    if (v.get_bool("ok")) {
+      ++ok;
+    } else {
+      EXPECT_EQ(field(v, "error")->get_string("reason"), "cancelled");
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(ok + cancelled, 6u);
+  EXPECT_EQ(server.status().cancelled, cancelled);
+  EXPECT_TRUE(server.draining());
+}
+
+TEST(Serve, ShutdownOpFlipsTheServerIntoDraining) {
+  Server server;
+  const json::Value v =
+      json::parse(server.serve_line(R"({"id":1,"op":"shutdown"})"));
+  EXPECT_TRUE(v.get_bool("ok"));
+  EXPECT_TRUE(v.get_bool("draining"));
+  EXPECT_TRUE(server.draining());
+  const json::Value after =
+      json::parse(server.serve_line(simulate_request(2, bell_qasm())));
+  EXPECT_EQ(field(after, "error")->get_string("reason"), "draining");
+}
+
+// ---------------------------------------------------------------------------
+// Multi-client soak (also exercised under TSan in CI)
+// ---------------------------------------------------------------------------
+
+TEST(Serve, SoakFourClientsMixedTrafficEveryRequestAnsweredExactlyOnce) {
+  ServeOptions opts;
+  opts.workers = 3;
+  opts.max_queue = 16;  // small enough that the burst genuinely sheds
+  opts.max_tenant_queue = 8;
+  Server server(opts);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 100;
+  std::mutex mu;
+  std::map<std::string, int> answers_by_id;
+  std::atomic<int> answered{0};
+
+  const auto client = [&](int c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      const int id = c * kPerClient + i;
+      std::string req;
+      switch (i % 5) {
+        case 0:  // healthy, hot circuit (cache + determinism path)
+          req = simulate_request(id, bell_qasm(),
+                                 R"(,"shots":64,"seed":5,"tenant":"t)" +
+                                     std::to_string(c) + "\"");
+          break;
+        case 1:  // malformed QASM
+          req = simulate_request(id, "OPENQASM 2.0;\nqreg q[&];");
+          break;
+        case 2:  // malformed protocol line
+          req = "{\"id\":" + std::to_string(id) + ",\"op\":";
+          break;
+        case 3:  // injected mid-request fault, non-robust -> typed failure
+          req = simulate_request(
+              id, bell_qasm(),
+              R"(,"shots":32,"robust":false,"fault":"memory:1","tenant":"t)" +
+                  std::to_string(c) + "\"");
+          break;
+        default:  // over-deadline request
+          req = simulate_request(
+              id, ghz_qasm(12),
+              R"(,"shots":64,"robust":false,"timeout_ms":0.0001)");
+          break;
+      }
+      server.submit(req, [&, id](std::string line) {
+        const json::Value v = json::parse(line);  // every answer parses
+        EXPECT_NE(v.find("ok"), nullptr);
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          // Malformed-protocol answers echo id null; count those under
+          // their own key to keep exactly-once accounting for the rest.
+          const json::Value* idf = v.find("id");
+          const std::string key =
+              (idf != nullptr && idf->kind == json::Value::Kind::Number)
+                  ? std::to_string(static_cast<int>(idf->number))
+                  : "null";
+          ++answers_by_id[key];
+        }
+        answered.fetch_add(1);
+      });
+    }
+  };
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back(client, c);
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  server.begin_drain();
+  server.drain(120.0);
+
+  EXPECT_EQ(answered.load(), kClients * kPerClient)
+      << "every request must be answered";
+  for (const auto& [id, n] : answers_by_id) {
+    if (id != "null") {
+      EXPECT_EQ(n, 1) << "request " << id << " answered " << n << " times";
+    }
+  }
+  const ServerStatus s = server.status();
+  EXPECT_EQ(s.panics, 0u) << "the daemon must survive hostile traffic";
+  // Accounting closes: everything submitted is exactly one of these.
+  EXPECT_EQ(s.completed + s.failed + s.rejected + s.shed + s.cancelled,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_GT(s.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace qdt::serve

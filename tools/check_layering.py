@@ -28,6 +28,8 @@ Allowed dependencies (a layer may always include itself):
   lint      -> ir + below        (static analysis must never simulate)
   core      -> every backend     (but not chaos, except the umbrella header)
   chaos     -> core + everything (it orchestrates the whole library)
+  serve     -> core + everything (the daemon; sibling of chaos — the two
+                              never include each other)
 
 Nobody may include tools/. The single exemption: src/core/qdt.hpp is the
 umbrella header and re-exports chaos for library users.
@@ -59,6 +61,8 @@ ALLOWED = {
     "core": IR_AND_BELOW
     | {"arrays", "stab", "transpile", "dd", "tn", "zx", "lint"},
     "chaos": IR_AND_BELOW
+    | {"arrays", "stab", "transpile", "dd", "tn", "zx", "lint", "core"},
+    "serve": IR_AND_BELOW
     | {"arrays", "stab", "transpile", "dd", "tn", "zx", "lint", "core"},
 }
 

@@ -14,6 +14,11 @@ Two checks, both wired up as one ctest:
    trailing segments of the last full name on the same line
    (`qdt.dd.unique_table.hits` / `.misses`).
 
+3. The REQUIRED set below must actually be registered in code. These are
+   the serving-health metrics external dashboards key on; renaming or
+   dropping one is a breaking change and must fail CI, not be discovered
+   by an operator staring at a flatlined graph.
+
 Usage: check_metrics_names.py [repo_root]
 Exit code 0 when all names conform and are documented, 1 otherwise.
 """
@@ -34,6 +39,16 @@ SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
 # Backticked tokens in README table rows: full names, `.suffix` shorthand,
 # or `qdt.x.*` prefix wildcards.
 DOC_TOKEN = re.compile(r"`([^`]+)`")
+
+# Names that must exist in the registry (and therefore, via check 2, in the
+# README catalogue): the qdt serve daemon's operational surface.
+REQUIRED_METRICS = {
+    "qdt.serve.request.admitted",
+    "qdt.serve.request.shed",
+    "qdt.serve.request.degraded",
+    "qdt.serve.queue.depth",
+    "qdt.serve.cache.hit",
+}
 
 
 def scan(root: Path) -> tuple[list[tuple[Path, int, str]], set[str]]:
@@ -111,6 +126,14 @@ def main() -> int:
         print("metric names registered in code but missing from the "
               "README.md catalogue table:", file=sys.stderr)
         for name in undocumented:
+            print(f"  {name}", file=sys.stderr)
+        failed = True
+
+    missing_required = sorted(REQUIRED_METRICS - registered)
+    if missing_required:
+        print("required serving metrics missing from the registry "
+              "(dashboards depend on these exact names):", file=sys.stderr)
+        for name in missing_required:
             print(f"  {name}", file=sys.stderr)
         failed = True
 

@@ -15,6 +15,28 @@
 //                [--max-qubits N] [--max-ops N] [--no-shrink] [--no-parser]
 //                [--plant tflip|cxdrop|phasedrift] [--replay file.qasm]
 //                [--case-seed S] [--jobs N]
+//   qdt serve    [--socket PATH] [--workers N] [--max-queue N]
+//                [--max-tenant-queue N] [--timeout-ms N] [--max-timeout-ms N]
+//                [--max-memory-mb N] [--admission-cost LOG2] [--cache N]
+//                [--drain-timeout-ms N] [--no-fault-injection]
+//
+// `serve` runs the qdt::serve daemon: line-delimited JSON requests on
+// stdin (responses on stdout) or, with --socket, on a unix socket serving
+// multiple concurrent clients. Every request is admission-checked against
+// the lint cost model, queued per tenant with fair-share scheduling, run
+// under a per-request budget on the robust fallback ladder (plans cached
+// by circuit hash), and answered with a typed response — including typed
+// overload sheds carrying retry_after_ms. SIGINT/SIGTERM drain gracefully:
+// admission stops, in-flight work finishes against its deadlines, queued
+// jobs are cancelled with typed responses, then metrics/traces flush.
+// Diagnostics go to stderr; stdout carries only protocol lines in stdio
+// mode. Exit 0 after a clean drain, 2 on bad flags/socket.
+//
+// SIGINT/SIGTERM also interrupt `qdt fuzz` cooperatively: in-flight cases
+// finish (findings still shrink + persist to the corpus), no new case
+// starts, and the summary reports `interrupted after K/N cases`. The exit
+// code keeps the normal contract — 0 when what ran was clean, 1 when any
+// finding was recorded before the interrupt.
 //
 // `explain` runs the statically planned robust ladder (same path as
 // `simulate --robust` without --backend) and prints a plan-vs-actual
@@ -69,6 +91,10 @@
 //
 // Exit code 0 on success (and on "equivalent"); 1 on "not equivalent";
 // 2 on usage or bad input; 3 on resource exhaustion; 4 on internal errors.
+#include <csignal>
+
+#include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -78,6 +104,8 @@
 #include <vector>
 
 #include "core/qdt.hpp"
+#include "serve/serve.hpp"
+#include "serve/transport.hpp"
 
 namespace {
 
@@ -103,6 +131,14 @@ using namespace qdt;
                [--plant tflip|cxdrop|phasedrift] [--replay file.qasm]
                [--case-seed S]   (replay one case from its stored seed)
                [--jobs N]        (fan cases out over N worker threads)
+               SIGINT/SIGTERM drain: in-flight cases finish + persist
+  qdt serve    [--socket PATH]        (default: stdin/stdout pipe mode)
+               [--workers N] [--max-queue N] [--max-tenant-queue N]
+               [--timeout-ms N]       (default per-request deadline)
+               [--max-timeout-ms N] [--max-memory-mb N]
+               [--admission-cost LOG2] [--cache ENTRIES]
+               [--drain-timeout-ms N] [--no-fault-injection]
+               line-delimited JSON requests; SIGINT/SIGTERM drain gracefully
 
 any subcommand:
   --metrics[=file.json]  dump the qdt::obs registry snapshot
@@ -116,6 +152,27 @@ any subcommand:
                          are bitwise identical at any thread count)
 )";
   std::exit(2);
+}
+
+/// Set by the SIGINT/SIGTERM handler; polled by `serve` (between poll()
+/// ticks) and `fuzz` (between cases) to drain gracefully.
+std::atomic<bool> g_stop{false};
+
+extern "C" void on_stop_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+/// Route SIGINT/SIGTERM to the stop flag. Deliberately no SA_RESTART:
+/// a blocked poll()/read() must come back with EINTR so the transport
+/// re-checks the flag instead of sleeping through the shutdown request.
+void install_stop_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = on_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
 }
 
 ir::Circuit load(const std::string& path) {
@@ -143,7 +200,8 @@ std::map<std::string, std::string> parse_flags(
       } else if (key == "state" || key == "no-opt" || key == "verify" ||
                  key == "metrics" || key == "robust" || key == "chaos" ||
                  key == "no-shrink" || key == "no-parser" ||
-                 key == "trace" || key == "json") {
+                 key == "trace" || key == "json" ||
+                 key == "no-fault-injection") {
         flags[key] = "";
       } else if (i + 1 < args.size()) {
         flags[key] = args[++i];
@@ -173,7 +231,9 @@ void emit_metrics(const std::map<std::string, std::string>& flags) {
     throw Error::bad_input("cannot write " + it->second);
   }
   out << report << "\n";
-  std::cout << "wrote metrics to " << it->second << "\n";
+  // stderr: `serve` owns stdout for protocol lines, and confirmations are
+  // diagnostics everywhere else too.
+  std::cerr << "wrote metrics to " << it->second << "\n";
 }
 
 /// Honor --threads N on any subcommand: cap the qdt::par worker pool.
@@ -582,8 +642,14 @@ int cmd_fuzz(const std::vector<std::string>& args) {
     opts.jobs = std::stoul(flags["jobs"]);
   }
   opts.log = &std::cout;
+  opts.stop = &g_stop;
+  install_stop_handlers();
 
   const auto report = chaos::run_fuzz(opts);
+  if (report.interrupted) {
+    std::cout << "interrupted after " << report.cases << "/" << opts.cases
+              << " cases (findings persisted; exit code reflects what ran)\n";
+  }
   std::cout << "cases:          " << report.cases << "\n";
   std::cout << "  agree:        " << report.agree << "\n";
   std::cout << "  typed errors: " << report.typed_errors << "\n";
@@ -609,6 +675,78 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   }
   emit_metrics(flags);
   return report.clean() ? 0 : 1;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  std::vector<std::string> pos;
+  auto flags = parse_flags(args, pos);
+  if (!pos.empty()) {
+    usage();
+  }
+  apply_threads(flags);
+
+  serve::ServeOptions opts;
+  if (flags.contains("workers")) {
+    opts.workers = std::stoul(flags["workers"]);
+  }
+  if (flags.contains("max-queue")) {
+    opts.max_queue = std::stoul(flags["max-queue"]);
+  }
+  if (flags.contains("max-tenant-queue")) {
+    opts.max_tenant_queue = std::stoul(flags["max-tenant-queue"]);
+  }
+  if (flags.contains("timeout-ms")) {
+    opts.default_timeout_ms = std::stod(flags["timeout-ms"]);
+  }
+  if (flags.contains("max-timeout-ms")) {
+    opts.max_timeout_ms = std::stod(flags["max-timeout-ms"]);
+  }
+  opts.max_timeout_ms = std::max(opts.max_timeout_ms, opts.default_timeout_ms);
+  if (flags.contains("max-memory-mb")) {
+    opts.default_max_memory_mb = std::stoul(flags["max-memory-mb"]);
+  }
+  if (flags.contains("admission-cost")) {
+    opts.admission_max_cost_log2 = std::stod(flags["admission-cost"]);
+  }
+  if (flags.contains("cache")) {
+    opts.plan_cache_entries = std::stoul(flags["cache"]);
+  }
+  opts.allow_fault_injection = !flags.contains("no-fault-injection");
+
+  serve::TransportOptions topts;
+  if (flags.contains("socket")) {
+    topts.socket_path = flags["socket"];
+  }
+  topts.stop = &g_stop;
+  if (flags.contains("drain-timeout-ms")) {
+    topts.drain_timeout_seconds =
+        std::stod(flags["drain-timeout-ms"]) / 1000.0;
+  }
+
+  install_stop_handlers();
+  // Protocol owns stdout in pipe mode — diagnostics go to stderr.
+  std::cerr << "qdt serve: " << opts.workers << " workers, queue "
+            << opts.max_queue << " (tenant " << opts.max_tenant_queue
+            << "), deadline " << opts.default_timeout_ms << "ms, on "
+            << (topts.socket_path.empty() ? std::string("stdio")
+                                          : topts.socket_path)
+            << "\n";
+
+  serve::Server server(opts);
+  const std::uint64_t submitted =
+      topts.socket_path.empty() ? serve::run_stdio(server, topts)
+                                : serve::run_unix_socket(server, topts);
+
+  const serve::ServerStatus s = server.status();
+  std::cerr << "qdt serve: drained after " << submitted << " requests ("
+            << s.completed << " completed, " << s.failed << " failed, "
+            << s.rejected << " rejected, " << s.shed << " shed, "
+            << s.cancelled << " cancelled, " << s.degraded << " degraded, "
+            << s.panics << " panics; cache " << s.cache_hits << " hits / "
+            << s.cache_misses << " misses; peak rss " << s.rss_peak_mb
+            << " MB)\n";
+  emit_metrics(flags);
+  return 0;
 }
 
 /// Honor --trace-out / --trace-jsonl from the raw argument list. Runs after
@@ -640,7 +778,7 @@ void emit_traces(const std::vector<std::string>& args) {
       return;
     }
     out << body;
-    std::cout << "wrote trace to " << path << "\n";
+    std::cerr << "wrote trace to " << path << "\n";
   };
   if (!chrome.empty()) {
     write(chrome, trace::to_chrome_json(snap));
@@ -671,6 +809,9 @@ int dispatch(const std::string& cmd, const std::vector<std::string>& args) {
   }
   if (cmd == "fuzz") {
     return cmd_fuzz(args);
+  }
+  if (cmd == "serve") {
+    return cmd_serve(args);
   }
   usage();
 }

@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for `qdt serve`: the robustness contract under one roof.
+
+Drives a real daemon process over its stdio transport with ~50 mixed
+requests — healthy hot circuits (plan-cache path), malformed protocol
+lines, malformed QASM, injected mid-request faults, over-deadline budgets,
+status probes — then SIGTERMs it and checks the whole contract:
+
+  * every request line is answered with exactly one parseable JSON line,
+    ids echoed, errors typed (code + message, retry_after_ms on sheds);
+  * the daemon survives all of it: zero panics, exit code 0 after the
+    SIGTERM graceful drain;
+  * the observability artifacts flush on shutdown: the --metrics snapshot
+    contains the qdt.serve.* counters with sane values, and the
+    --trace-jsonl log contains qdt.serve.request.run spans;
+  * a machine-readable summary is published as a `BENCH_serve.json ...`
+    line on stdout (same convention as the bench binaries) for the CI
+    artifact trend line.
+
+Usage: serve_smoke.py <path-to-qdt-binary> [artifact-dir]
+Exit 0 on success, 1 with a failure list otherwise.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+BELL = "OPENQASM 2.0;\\nqreg q[2];\\nh q[0];\\ncx q[0],q[1];"
+GHZ6 = (
+    "OPENQASM 2.0;\\nqreg q[6];\\nh q[0];\\ncx q[0],q[1];\\ncx q[1],q[2];"
+    "\\ncx q[2],q[3];\\ncx q[3],q[4];\\ncx q[4],q[5];"
+)
+
+
+def build_requests():
+    """~50 mixed requests; returns (lines, ids_expecting_echo)."""
+    lines = []
+    rid = 0
+
+    def add(line):
+        lines.append(line)
+
+    for i in range(10):  # hot circuit: one miss then nine cache hits
+        rid += 1
+        add(
+            '{"id":%d,"op":"simulate","qasm":"%s","shots":64,"seed":7,'
+            '"tenant":"hot"}' % (rid, BELL)
+        )
+    for i in range(14):  # healthy heavier traffic, second tenant
+        rid += 1
+        add(
+            '{"id":%d,"op":"simulate","qasm":"%s","shots":128,"seed":%d,'
+            '"tenant":"batch"}' % (rid, GHZ6, i)
+        )
+    for i in range(8):  # malformed protocol + malformed QASM
+        rid += 1
+        if i % 2 == 0:
+            add('{"id":%d,"op":' % rid)  # truncated JSON (id not echoed)
+        else:
+            add(
+                '{"id":%d,"op":"simulate","qasm":"OPENQASM 2.0;\\nqreg q[&];"}'
+                % rid
+            )
+    for i in range(8):  # injected mid-request faults, robust and not
+        rid += 1
+        robust = "true" if i % 2 == 0 else "false"
+        add(
+            '{"id":%d,"op":"simulate","qasm":"%s","shots":32,"robust":%s,'
+            '"fault":"memory:1","tenant":"chaos"}' % (rid, BELL, robust)
+        )
+    for i in range(8):  # over-deadline budgets -> typed resource-exhausted
+        rid += 1
+        add(
+            '{"id":%d,"op":"simulate","qasm":"%s","shots":64,"robust":false,'
+            '"timeout_ms":0.0001}' % (rid, GHZ6)
+        )
+    for i in range(4):  # health probes interleaved with the hostile load
+        rid += 1
+        add('{"id":%d,"op":"status"}' % rid)
+    return lines, rid
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print("usage: serve_smoke.py <qdt-binary> [artifact-dir]")
+        return 1
+    binary = sys.argv[1]
+    artifact_dir = sys.argv[2] if len(sys.argv) > 2 else tempfile.mkdtemp(
+        prefix="qdt_serve_smoke_"
+    )
+    os.makedirs(artifact_dir, exist_ok=True)
+    metrics_path = os.path.join(artifact_dir, "serve_metrics.json")
+    trace_path = os.path.join(artifact_dir, "serve_trace.jsonl")
+    failures = []
+
+    env = dict(os.environ)
+    env.pop("QDT_FAULT", None)
+    daemon = subprocess.Popen(
+        [
+            binary, "serve", "--workers", "2",
+            "--metrics=" + metrics_path,
+            "--trace-jsonl", trace_path,
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+    responses = []
+    def reader():
+        for line in daemon.stdout:
+            line = line.strip()
+            if line:
+                responses.append(line)
+    t = threading.Thread(target=reader, daemon=True)
+    t.start()
+
+    requests, _ = build_requests()
+    start = time.monotonic()
+    for line in requests:
+        daemon.stdin.write(line + "\n")
+    daemon.stdin.flush()
+
+    deadline = time.monotonic() + 120
+    while len(responses) < len(requests) and time.monotonic() < deadline:
+        time.sleep(0.05)
+    wall = time.monotonic() - start
+    if len(responses) < len(requests):
+        failures.append(
+            f"answered {len(responses)}/{len(requests)} requests within 120s"
+        )
+
+    # Graceful SIGTERM drain; artifacts must flush on the way out.
+    daemon.send_signal(signal.SIGTERM)
+    try:
+        daemon.stdin.close()
+        daemon.wait(timeout=120)
+        t.join(timeout=10)
+    except subprocess.TimeoutExpired:
+        daemon.kill()
+        failures.append("SIGTERM did not drain the daemon within 120s")
+    if daemon.returncode != 0:
+        failures.append(
+            f"daemon exit code {daemon.returncode} after SIGTERM (want 0)"
+        )
+
+    # ---- response contract ------------------------------------------------
+    seen_ids = {}
+    ok_count = typed_errors = cache_hits = degraded = sheds = 0
+    final_status = None
+    for line in responses:
+        try:
+            r = json.loads(line)
+        except json.JSONDecodeError:
+            failures.append(f"unparseable response line: {line!r}")
+            continue
+        if "ok" not in r:
+            failures.append(f"response without ok field: {line!r}")
+            continue
+        rid = r.get("id")
+        if rid is not None:
+            seen_ids[rid] = seen_ids.get(rid, 0) + 1
+        if r["ok"]:
+            if r.get("op") == "status":
+                final_status = r
+            else:
+                ok_count += 1
+                if r.get("cache_hit"):
+                    cache_hits += 1
+                if r.get("degraded"):
+                    degraded += 1
+        else:
+            err = r.get("error", {})
+            if not err.get("code") or not err.get("message"):
+                failures.append(f"untyped error response: {line!r}")
+            typed_errors += 1
+            if err.get("resource") == "queue":
+                sheds += 1
+                if "retry_after_ms" not in err:
+                    failures.append(f"shed without retry hint: {line!r}")
+    for rid, n in seen_ids.items():
+        if n != 1:
+            failures.append(f"request id {rid} answered {n} times")
+    if ok_count == 0:
+        failures.append("no successful simulations in the mix")
+    if typed_errors == 0:
+        failures.append("hostile requests produced no typed errors")
+    if cache_hits < 5:
+        failures.append(f"hot circuit produced only {cache_hits} cache hits")
+    if degraded == 0:
+        failures.append("robust fault requests never degraded")
+    if final_status is not None and final_status.get("panics", 0) != 0:
+        failures.append(f"daemon recorded panics: {final_status['panics']}")
+
+    # ---- artifact checks --------------------------------------------------
+    metrics = {}
+    try:
+        with open(metrics_path, encoding="utf-8") as f:
+            metrics = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        failures.append(f"metrics artifact unusable: {exc}")
+    counters = metrics.get("counters", {}) if metrics else {}
+    for required in (
+        "qdt.serve.request.admitted",
+        "qdt.serve.request.shed",
+        "qdt.serve.request.degraded",
+        "qdt.serve.cache.hit",
+    ):
+        if required not in counters:
+            failures.append(f"metrics artifact missing {required}")
+    if counters.get("qdt.serve.request.admitted", 0) == 0:
+        failures.append("qdt.serve.request.admitted stayed 0")
+    if counters.get("qdt.serve.request.panics", 0) != 0:
+        failures.append("qdt.serve.request.panics fired")
+
+    spans = 0
+    try:
+        with open(trace_path, encoding="utf-8") as f:
+            for line in f:
+                if '"qdt.serve.request.run"' in line:
+                    spans += 1
+    except OSError as exc:
+        failures.append(f"trace artifact unusable: {exc}")
+    if spans == 0:
+        failures.append("trace artifact has no qdt.serve.request.run spans")
+
+    # ---- machine-readable summary ----------------------------------------
+    bench = {
+        "name": "serve_smoke",
+        "requests": len(requests),
+        "answered": len(responses),
+        "ok": ok_count,
+        "typed_errors": typed_errors,
+        "cache_hits": cache_hits,
+        "degraded": degraded,
+        "sheds": sheds,
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(len(responses) / wall, 2) if wall > 0 else 0,
+        "admitted": counters.get("qdt.serve.request.admitted", 0),
+        "completed": counters.get("qdt.serve.request.completed", 0),
+    }
+    print("BENCH_serve.json " + json.dumps(bench))
+
+    if failures:
+        print("serve smoke failures:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(
+        f"serve smoke OK: {len(responses)} answered "
+        f"({ok_count} ok, {typed_errors} typed errors, {cache_hits} cache "
+        f"hits, {degraded} degraded) in {wall:.2f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
