@@ -49,7 +49,12 @@ std::int64_t rss_peak_mb() {
   if (getrusage(RUSAGE_SELF, &ru) != 0) {
     return 0;
   }
-  return static_cast<std::int64_t>(ru.ru_maxrss / 1024);  // Linux: KB
+  // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss / (1024 * 1024));
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss / 1024);
+#endif
 }
 
 /// FNV-1a over the request's circuit text + constraint bits — the plan
@@ -204,6 +209,12 @@ struct TenantState {
   std::uint64_t completed = 0;
 };
 
+/// Shared bucket for tenants arriving past the max_tenants cap: a flood
+/// of unique names lands here and contends for one queue and one
+/// round-robin slot instead of growing the map. (A client naming itself
+/// "!overflow" merely opts into the shared bucket.)
+constexpr const char* kOverflowTenant = "!overflow";
+
 }  // namespace
 
 struct Server::Impl {
@@ -281,6 +292,32 @@ struct Server::Impl {
     const double wave = static_cast<double>(total_queued + inflight) /
                         static_cast<double>(workers.size());
     return std::max(10.0, wave * per_request * 1000.0);
+  }
+
+  /// Must hold mu. Resolve the tenant's bucket without letting the map
+  /// grow past max_tenants: an unseen tenant at the cap first evicts an
+  /// idle entry (empty queue, nothing in flight — so no rr_order slot and
+  /// no worker still accounting against it), else is folded into the
+  /// shared overflow bucket. `name` is the job's tenant field and is
+  /// rewritten on fold so worker-side accounting stays consistent.
+  TenantState& tenant_state_locked(std::string& name) {
+    const auto it = tenants.find(name);
+    if (it != tenants.end()) {
+      return it->second;
+    }
+    if (tenants.size() >= options.max_tenants) {
+      for (auto ev = tenants.begin(); ev != tenants.end(); ++ev) {
+        if (ev->second.queue.empty() && ev->second.inflight == 0 &&
+            ev->first != kOverflowTenant) {
+          tenants.erase(ev);
+          break;
+        }
+      }
+      if (tenants.size() >= options.max_tenants) {
+        name = kOverflowTenant;
+      }
+    }
+    return tenants[name];
   }
 
   // ---------------------------------------------------------------------
@@ -371,6 +408,16 @@ struct Server::Impl {
     }
     job.qasm = qasm->string;
     job.tenant = req.get_string("tenant", "anonymous");
+    if (job.tenant.size() > options.max_tenant_name_bytes) {
+      g_rejected.add();
+      ++rejected_total;
+      job.done(error_response(
+          id_json, "bad-input",
+          "tenant name of " + std::to_string(job.tenant.size()) +
+              " bytes exceeds the " +
+              std::to_string(options.max_tenant_name_bytes) + "-byte cap"));
+      return;
+    }
     job.backend = req.get_string("backend");
     if (!job.backend.empty() && !backend_from_token(job.backend)) {
       g_rejected.add();
@@ -433,7 +480,7 @@ struct Server::Impl {
         done_cb(shed);
         return;
       }
-      TenantState& tenant = tenants[job.tenant];
+      TenantState& tenant = tenant_state_locked(job.tenant);
       if (tenant.queue.size() >= options.max_tenant_queue) {
         ++tenant.shed;
         auto done_cb = std::move(job.done);

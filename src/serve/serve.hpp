@@ -69,6 +69,15 @@ struct ServeOptions {
   std::size_t max_queue = 64;
   /// Per-tenant cap on queued requests (fair-share backpressure).
   std::size_t max_tenant_queue = 16;
+  /// Longest accepted tenant name; anything longer is a typed bad-input
+  /// rejection (the name is echoed in status payloads, so it must not be
+  /// a free amplification vector).
+  std::size_t max_tenant_name_bytes = 64;
+  /// Distinct tenants tracked at once. At the cap a previously unseen
+  /// tenant first evicts an idle entry (nothing queued or in flight),
+  /// else shares the "!overflow" bucket — keeping the map and the status
+  /// payload bounded against a unique-tenant-per-request flood.
+  std::size_t max_tenants = 256;
   /// Deadline applied to any request that does not set timeout_ms; also
   /// the ceiling a request cannot raise its own deadline past. Every job
   /// therefore runs with a deadline — the property that makes drain() and

@@ -190,13 +190,17 @@ std::uint64_t run_unix_socket(Server& server, const TransportOptions& options) {
     if (ready == 0) {
       continue;
     }
+    // pfds mirrors conns as it stood when poll() was called; a connection
+    // accepted below has no pfds entry yet, so the revents scan must stay
+    // bounded by the pre-accept count (the newcomer is polled next turn).
+    const std::size_t polled = conns.size();
     if ((pfds[0].revents & POLLIN) != 0) {
       const int client = ::accept(listen_fd, nullptr, nullptr);
       if (client >= 0) {
         conns.push_back(Conn{std::make_shared<Sink>(client), {}});
       }
     }
-    for (std::size_t i = 0; i < conns.size();) {
+    for (std::size_t i = 0; i < polled;) {
       const short revents = pfds[i + 1].revents;
       bool drop = false;
       if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {

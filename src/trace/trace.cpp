@@ -224,7 +224,10 @@ void fill_obs_spans(obs::Snapshot& snap) {
   snap.spans.reserve(tr.spans.size());
   // Depth is recovered by walking parent chains; a parent that was itself
   // dropped (or adopted from a span recorded before a reset) terminates
-  // the walk where the chain breaks.
+  // the walk where the chain breaks. A reset() while spans were still
+  // open can reissue an id already recorded as someone's parent, forming
+  // a cycle in the links — so the walk is hard-bounded by the number of
+  // recorded spans (any longer chain must be revisiting an id).
   std::unordered_map<std::uint64_t, std::uint64_t> parent_of;
   parent_of.reserve(tr.spans.size());
   for (const SpanRecord& r : tr.spans) {
@@ -233,7 +236,7 @@ void fill_obs_spans(obs::Snapshot& snap) {
   for (const SpanRecord& r : tr.spans) {
     std::size_t depth = 0;
     std::uint64_t p = r.parent;
-    while (p != 0) {
+    while (p != 0 && depth < tr.spans.size()) {
       const auto it = parent_of.find(p);
       if (it == parent_of.end()) {
         break;

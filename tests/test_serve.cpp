@@ -324,6 +324,43 @@ TEST(Serve, TenantQuotaShedsTheFloodingTenantOnly) {
   EXPECT_EQ(server.status().shed, 1u);
 }
 
+TEST(Serve, OversizedTenantNameIsRejected) {
+  ServeOptions opts;
+  opts.max_tenant_name_bytes = 8;
+  Server server(opts);
+  const json::Value v = json::parse(server.serve_line(simulate_request(
+      1, bell_qasm(), R"(,"tenant":"way-too-long-tenant-name")")));
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_EQ(field(v, "error")->get_string("code"), "bad-input");
+  EXPECT_EQ(server.status().tenants, 0u);
+}
+
+TEST(Serve, UniqueTenantFloodStaysBoundedByMaxTenants) {
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.max_tenants = 1;
+  Server server(opts);
+  Collector collector;
+  // Unique tenant per request — the hostile shape. Whether the previous
+  // tenant is idle (evicted) or busy (folded into the overflow bucket),
+  // the tracked-tenant map must stay bounded and every request answered.
+  server.submit(simulate_request(0, ghz_qasm(14),
+                                 R"(,"shots":64,"tenant":"t0")"),
+                collector.sink());
+  for (int i = 1; i <= 8; ++i) {
+    server.submit(simulate_request(
+                      i, bell_qasm(),
+                      R"(,"tenant":"u)" + std::to_string(i) + "\""),
+                  collector.sink());
+  }
+  ASSERT_TRUE(collector.wait_for(9));
+  for (const std::string& r : collector.responses) {
+    EXPECT_TRUE(json::parse(r).get_bool("ok", false)) << r;
+  }
+  // max_tenants real entries plus at most the shared "!overflow" bucket.
+  EXPECT_LE(server.status().tenants, 2u);
+}
+
 TEST(Serve, FairShareServesTheLightTenantAmidAFlood) {
   ServeOptions opts;
   opts.workers = 1;  // serialize execution so queue order is observable
