@@ -1,9 +1,13 @@
 #include "chaos/chaos.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <optional>
+#include <sstream>
 #include <utility>
 
 #include "core/tasks.hpp"
+#include "dd/package.hpp"
 #include "guard/budget.hpp"
 
 namespace qdt::chaos {
@@ -53,6 +57,17 @@ ChaosResult run_chaos_case(const ir::Circuit& circuit,
   ChaosResult out;
   out.schedule = schedule;
   const ir::Circuit unitary = circuit.unitary_part();
+
+  // GC-stress lane: shrink the collection threshold so the DD rungs hit
+  // garbage-collection safe points mid-circuit, on top of the injected
+  // faults. The scope covers the whole case including the reference run —
+  // GC must be semantically invisible everywhere.
+  std::optional<dd::ScopedPackageConfig> gc_stress;
+  if (options.dd_gc_threshold != 0) {
+    dd::PackageConfig cfg = dd::current_package_config();
+    cfg.gc_threshold = options.dd_gc_threshold;
+    gc_stress.emplace(cfg);
+  }
 
   // Fault-free reference, computed before anything is armed.
   guard::clear_faults();
@@ -144,6 +159,60 @@ ChaosResult run_chaos_case(const ir::Circuit& circuit,
       out.detail = "verify_robust escape: non-standard exception";
     }
     out.faults_fired += guard::faults_fired();
+  }
+
+  // -- GC bitwise differential (fault-free) ---------------------------------
+  // Garbage collection may only reclaim memory, never perturb amplitudes:
+  // a DD run with GC forced at the stress threshold must produce output
+  // bitwise identical to one where collection never triggers. Weights are
+  // interned, so even a one-ulp drift from a rebuilt node would show here.
+  if (options.dd_gc_threshold != 0 && out.outcome == Outcome::Agree &&
+      !unitary.empty()) {
+    guard::clear_faults();
+    const auto run_dd = [&](std::size_t gc_threshold) {
+      dd::PackageConfig cfg = dd::current_package_config();
+      cfg.gc_threshold = gc_threshold;
+      const dd::ScopedPackageConfig scope(cfg);
+      core::SimulateOptions opts;
+      opts.want_state = true;
+      return core::simulate(unitary, core::SimBackend::DecisionDiagram,
+                            opts);
+    };
+    try {
+      const auto gc_on = run_dd(options.dd_gc_threshold);
+      const auto gc_off = run_dd(0);  // 0 = the count trigger never arms
+      if (gc_on.state.has_value() && gc_off.state.has_value()) {
+        const auto& a = *gc_on.state;
+        const auto& b = *gc_off.state;
+        const bool identical =
+            a.size() == b.size() &&
+            (a.empty() ||
+             std::memcmp(a.data(), b.data(), a.size() * sizeof(Complex)) ==
+                 0);
+        if (!identical) {
+          double max_dev = 0.0;
+          for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+            max_dev = std::max(max_dev, std::abs(a[i] - b[i]));
+          }
+          std::ostringstream dev;
+          dev.precision(3);
+          dev << std::scientific << max_dev;
+          out.outcome = Outcome::Mismatch;
+          out.detail = "dd state with gc_threshold=" +
+                       std::to_string(options.dd_gc_threshold) +
+                       " differs bitwise from the gc-disabled run " +
+                       "(max deviation " + dev.str() + ")";
+        }
+      }
+    } catch (const Error&) {
+      // Typed failure (width/budget) is within contract for both runs.
+    } catch (const std::exception& e) {
+      out.outcome = Outcome::Escape;
+      out.detail = std::string("gc differential escape: ") + e.what();
+    } catch (...) {
+      out.outcome = Outcome::Escape;
+      out.detail = "gc differential escape: non-standard exception";
+    }
   }
 
   // Never leak an armed fault into the next case.

@@ -40,6 +40,12 @@ struct ChaosOptions {
   /// Checkpoint index range for each armed fault.
   std::uint64_t max_nth = 64;
   double tolerance = 1e-6;
+  /// When nonzero, run the case under a thread-local dd::PackageConfig
+  /// with this gc_threshold — forcing DD garbage collections at
+  /// randomized points mid-circuit — and additionally check that a
+  /// fault-free DD run with GC forced on is *bitwise* identical to one
+  /// with GC disabled. 0 leaves the package defaults untouched.
+  std::size_t dd_gc_threshold = 0;
 };
 
 struct ChaosResult {

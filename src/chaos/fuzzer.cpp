@@ -162,9 +162,17 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
 
     // -- Chaos mode: the same case under randomized fault schedules ----------
     ChaosResult chaos;
+    ChaosOptions chaos_opts = options.chaos_options;
     if (options.chaos) {
-      const auto schedule = random_fault_schedule(rng, options.chaos_options);
-      chaos = run_chaos_case(gen.circuit, schedule, options.chaos_options);
+      // GC stress rides along: unless the caller pinned a threshold, force
+      // DD collections at a per-case randomized node count so safe points
+      // land at different gate boundaries every case, and the bitwise
+      // GC-on/GC-off differential inside run_chaos_case stays armed.
+      if (chaos_opts.dd_gc_threshold == 0) {
+        chaos_opts.dd_gc_threshold = 1 + rng.index(64);
+      }
+      const auto schedule = random_fault_schedule(rng, chaos_opts);
+      chaos = run_chaos_case(gen.circuit, schedule, chaos_opts);
       g_fault_schedules.add();
       g_fault_fired.add(chaos.faults_fired);
       if (chaos.degraded) {
@@ -198,7 +206,8 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
         FailPredicate predicate;
         if (from_chaos) {
           const auto schedule = chaos.schedule;
-          const auto chaos_opts = options.chaos_options;
+          // Capture the case's resolved options (including the randomized
+          // dd_gc_threshold) so the shrinker reproduces the same GC stress.
           predicate = [=, target = case_outcome](const ir::Circuit& cand) {
             return run_chaos_case(cand, schedule, chaos_opts).outcome ==
                    target;

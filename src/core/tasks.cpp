@@ -10,6 +10,7 @@
 #include "arrays/svsim.hpp"
 #include "stab/tableau.hpp"
 #include "dd/equivalence.hpp"
+#include "dd/pool.hpp"
 #include "dd/simulator.hpp"
 #include "guard/budget.hpp"
 #include "lint/lint.hpp"
@@ -166,7 +167,11 @@ SimulateResult simulate(const ir::Circuit& circuit, SimBackend backend,
       break;
     }
     case SimBackend::DecisionDiagram: {
-      dd::DDSimulator sim(circuit.num_qubits(), options.seed);
+      // Pooled per-request package: repeated simulate calls on one thread
+      // (serve workers, the fuzzer, the robust ladder) reuse grown storage
+      // instead of re-growing it, keeping long-run RSS flat.
+      dd::PackageLease lease(circuit.num_qubits());
+      dd::DDSimulator sim(lease.get(), options.seed);
       if (!options.noise.empty()) {
         sim.set_noise(options.noise);
       }
@@ -283,7 +288,8 @@ Complex amplitude(const ir::Circuit& circuit, std::uint64_t basis,
       return sim.run(circuit.unitary_part()).state.amplitude(basis);
     }
     case SimBackend::DecisionDiagram: {
-      dd::DDSimulator sim(circuit.num_qubits());
+      dd::PackageLease lease(circuit.num_qubits());
+      dd::DDSimulator sim(lease.get());
       sim.run(circuit.unitary_part());
       return sim.amplitude(basis);
     }

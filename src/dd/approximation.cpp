@@ -47,6 +47,19 @@ double subtree_norm(const ComplexTable& ctab, const VecNode* n,
 }  // namespace
 
 ApproxResult approximate(Package& pkg, VecEdge state, double budget) {
+  // The memos below hold raw node pointers and no collection safe point is
+  // reached inside this function (make_vec_node only *arms* GC) — but the
+  // input root is protected for the duration anyway, so an armed
+  // collection at the caller's next safe point cannot sweep the original
+  // state out from under a caller comparing it against the approximation.
+  struct RootGuard {
+    Package& p;
+    VecEdge e;
+    ~RootGuard() { p.dec_ref(e); }
+  };
+  pkg.inc_ref(state);
+  const RootGuard guard{pkg, state};
+
   ApproxResult res;
   res.state = state;
   res.nodes_before = pkg.node_count(state);

@@ -1,6 +1,10 @@
 #include "dd/complex_table.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "guard/error.hpp"
 
 namespace qdt::dd {
 
@@ -13,6 +17,8 @@ constexpr double kBucket = 2.0 * kEps;
 ComplexTable::ComplexTable() {
   values_.push_back(Complex{0.0, 0.0});  // kZero
   values_.push_back(Complex{1.0, 0.0});  // kOne
+  pins_.assign(2, 0);
+  dead_.assign(2, 0);
   buckets_[key_of(values_[0])].push_back(0);
   buckets_[key_of(values_[1])].push_back(1);
 }
@@ -38,8 +44,21 @@ ComplexTable::Index ComplexTable::lookup(const Complex& c) {
       }
     }
   }
-  const auto idx = static_cast<Index>(values_.size());
-  values_.push_back(c);
+  Index idx;
+  if (!free_.empty()) {
+    // Recycle a swept slot: indices stay dense and the values_ vector stops
+    // growing once the working set stabilizes.
+    idx = free_.back();
+    free_.pop_back();
+    values_[idx] = c;
+    dead_[idx] = 0;
+    pins_[idx] = 0;
+  } else {
+    idx = static_cast<Index>(values_.size());
+    values_.push_back(c);
+    pins_.push_back(0);
+    dead_.push_back(0);
+  }
   buckets_[base].push_back(idx);
   return idx;
 }
@@ -95,6 +114,66 @@ double ComplexTable::norm2(Index a) const { return std::norm(values_[a]); }
 
 bool ComplexTable::equal_modulus(Index a, Index b) const {
   return approx_equal(std::abs(values_[a]), std::abs(values_[b]));
+}
+
+void ComplexTable::pin(Index i) {
+  if (i <= kOne) {
+    return;
+  }
+  if (pins_[i] == std::numeric_limits<std::uint32_t>::max()) {
+    return;
+  }
+  ++pins_[i];
+}
+
+void ComplexTable::unpin(Index i) {
+  if (i <= kOne) {
+    return;
+  }
+  if (pins_[i] == std::numeric_limits<std::uint32_t>::max()) {
+    return;
+  }
+  if (pins_[i] == 0) {
+    throw Error::internal("ComplexTable::unpin: pin count underflow at index " +
+                          std::to_string(i));
+  }
+  --pins_[i];
+}
+
+void ComplexTable::mark_pinned(std::vector<char>& keep) const {
+  for (std::size_t i = 0; i < pins_.size(); ++i) {
+    if (pins_[i] > 0) {
+      keep[i] = 1;
+    }
+  }
+}
+
+std::size_t ComplexTable::sweep(const std::vector<char>& keep) {
+  std::size_t freed = 0;
+  for (Index i = kOne + 1; i < values_.size(); ++i) {
+    if (keep[i] != 0 || dead_[i] != 0) {
+      continue;
+    }
+    // Values never mutate in place (reuse re-inserts under the new value's
+    // key), so key_of(values_[i]) is the bucket the slot was filed under.
+    auto& bucket = buckets_[key_of(values_[i])];
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), i), bucket.end());
+    dead_[i] = 1;
+    pins_[i] = 0;
+    free_.push_back(i);
+    ++freed;
+  }
+  return freed;
+}
+
+void ComplexTable::reset() {
+  values_.resize(2);
+  pins_.assign(2, 0);
+  dead_.assign(2, 0);
+  free_.clear();
+  buckets_.clear();
+  buckets_[key_of(values_[0])].push_back(0);
+  buckets_[key_of(values_[1])].push_back(1);
 }
 
 }  // namespace qdt::dd

@@ -8,6 +8,14 @@
 // bucketed: each component is keyed by round(v / bucket) and the 3x3
 // neighborhood of buckets is searched, so values straddling a bucket border
 // still unify.
+//
+// Garbage collection: entries referenced only by freed DD nodes would be
+// immortal otherwise, so the table participates in Package::collect_garbage.
+// Root-edge weights are pinned (pin/unpin refcounts) while a DD is
+// ref-protected; sweep(keep) recycles every unpinned index the package no
+// longer mentions. The sweep is non-compacting — indices are stable, dead
+// slots go on a free list and are reused by the next lookup — so live
+// indices held anywhere (nodes, root edges) never dangle or get remapped.
 #pragma once
 
 #include <cstdint>
@@ -28,12 +36,16 @@ class ComplexTable {
 
   ComplexTable();
 
-  /// Index of `c`, creating an entry if no value within tolerance exists.
+  /// Index of `c`, creating an entry (or recycling a swept slot) if no value
+  /// within tolerance exists.
   Index lookup(const Complex& c);
 
   Complex get(Index i) const { return values_[i]; }
 
+  /// Total slots, live and dead (the valid index range).
   std::size_t size() const { return values_.size(); }
+  /// Slots currently holding an interned value.
+  std::size_t live_size() const { return values_.size() - free_.size(); }
 
   // -- Index-level arithmetic (results re-interned) -------------------------
   Index mul(Index a, Index b);
@@ -52,6 +64,31 @@ class ComplexTable {
   /// the global-phase-insensitive comparison used by equivalence checking.
   bool equal_modulus(Index a, Index b) const;
 
+  // -- Garbage-collection protocol ------------------------------------------
+  /// Pin/unpin an index against sweeping (root-edge weights). kZero/kOne are
+  /// permanent and ignore pins; counts saturate at UINT32_MAX (pinned
+  /// forever). unpin below zero throws Error(Internal) — it means a
+  /// dec_ref without a matching inc_ref.
+  void pin(Index i);
+  void unpin(Index i);
+  std::uint32_t pin_count(Index i) const { return pins_[i]; }
+
+  /// True when the slot has been swept and not yet recycled.
+  bool is_dead(Index i) const { return dead_[i] != 0; }
+
+  /// Set keep[i] = 1 for every pinned index (keep must be sized size()).
+  void mark_pinned(std::vector<char>& keep) const;
+
+  /// Recycle every index with keep[i] == 0 (kZero/kOne are always kept):
+  /// the slot leaves its bucket, joins the free list, and will be reused by
+  /// a future lookup. Indices are stable — no compaction, no remapping.
+  /// Returns the number of slots freed.
+  std::size_t sweep(const std::vector<char>& keep);
+
+  /// Back to the freshly-constructed two-entry state, keeping allocated
+  /// capacity (pooled-package reuse: the daemon's RSS must stay flat).
+  void reset();
+
  private:
   struct Key {
     std::int64_t re;
@@ -68,6 +105,9 @@ class ComplexTable {
   Key key_of(const Complex& c) const;
 
   std::vector<Complex> values_;
+  std::vector<std::uint32_t> pins_;  // parallel to values_
+  std::vector<char> dead_;           // parallel to values_
+  std::vector<Index> free_;          // swept slots awaiting reuse
   std::unordered_map<Key, std::vector<Index>, KeyHash> buckets_;
 };
 

@@ -13,11 +13,13 @@ DDDensitySimulator::DDDensitySimulator(std::size_t num_qubits)
         var, {e, MatEdge::zero(), MatEdge::zero(), MatEdge::zero()});
   }
   rho_ = e;
+  pkg_.inc_ref(rho_);
 }
 
 void DDDensitySimulator::apply(const ir::Operation& op) {
   const MatEdge u = pkg_.gate_dd(op);
-  rho_ = pkg_.multiply(u, pkg_.multiply(rho_, pkg_.conjugate_transpose(u)));
+  set_rho(
+      pkg_.multiply(u, pkg_.multiply(rho_, pkg_.conjugate_transpose(u))));
 }
 
 void DDDensitySimulator::apply_channel(const arrays::KrausChannel& channel,
@@ -29,7 +31,7 @@ void DDDensitySimulator::apply_channel(const arrays::KrausChannel& channel,
         pkg_.multiply(kdd, pkg_.multiply(rho_, pkg_.conjugate_transpose(kdd)));
     acc = pkg_.add(acc, term);
   }
-  rho_ = acc;
+  set_rho(acc);
 }
 
 void DDDensitySimulator::run(const ir::Circuit& circuit,
@@ -38,6 +40,9 @@ void DDDensitySimulator::run(const ir::Circuit& circuit,
     throw std::invalid_argument("DDDensitySimulator::run: width mismatch");
   }
   for (const auto& op : circuit.ops()) {
+    // Safe point between operations: rho_ is the only root and it is
+    // ref-protected.
+    pkg_.maybe_collect_garbage();
     if (op.is_barrier()) {
       continue;
     }

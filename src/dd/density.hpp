@@ -20,6 +20,9 @@ namespace qdt::dd {
 class DDDensitySimulator {
  public:
   explicit DDDensitySimulator(std::size_t num_qubits);
+  ~DDDensitySimulator() { pkg_.dec_ref(rho_); }
+  DDDensitySimulator(const DDDensitySimulator&) = delete;
+  DDDensitySimulator& operator=(const DDDensitySimulator&) = delete;
 
   Package& package() { return pkg_; }
   MatEdge rho() const { return rho_; }
@@ -55,6 +58,14 @@ class DDDensitySimulator {
   std::size_t node_count() const { return pkg_.node_count(rho_); }
 
  private:
+  /// The only way rho_ changes: protect the new root before releasing the
+  /// old one, keeping the density DD safe across garbage collections.
+  void set_rho(MatEdge next) {
+    pkg_.inc_ref(next);
+    pkg_.dec_ref(rho_);
+    rho_ = next;
+  }
+
   Package pkg_;
   MatEdge rho_;
 };

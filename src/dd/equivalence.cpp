@@ -39,21 +39,32 @@ EcResult check_equivalence_dd(const ir::Circuit& c1, const ir::Circuit& c2,
 
   Package pkg(c1.num_qubits());
   MatEdge miter = pkg.identity();
+  pkg.inc_ref(miter);
   EcResult res;
   res.peak_nodes = pkg.node_count(miter);
+
+  // The miter is the one root that must survive collections; every update
+  // protects the new DD before releasing the old one, and the gate
+  // boundary right after an update is the collection safe point.
+  const auto step_miter = [&](MatEdge next) {
+    pkg.inc_ref(next);
+    pkg.dec_ref(miter);
+    miter = next;
+    pkg.maybe_collect_garbage();
+  };
 
   std::size_t i = 0;  // next gate of c1 (applied from the left)
   std::size_t j = 0;  // next gate of c2^dagger (applied from the right)
   const auto apply_left = [&] {
     guard::check_deadline();
-    miter = pkg.multiply(pkg.gate_dd(ops1[i]), miter);
+    step_miter(pkg.multiply(pkg.gate_dd(ops1[i]), miter));
     ++i;
     ++res.gates_applied;
     res.peak_nodes = std::max(res.peak_nodes, pkg.node_count(miter));
   };
   const auto apply_right = [&] {
     guard::check_deadline();
-    miter = pkg.multiply(miter, pkg.gate_dd(ops2[j].adjoint()));
+    step_miter(pkg.multiply(miter, pkg.gate_dd(ops2[j].adjoint())));
     ++j;
     ++res.gates_applied;
     res.peak_nodes = std::max(res.peak_nodes, pkg.node_count(miter));
@@ -85,6 +96,7 @@ EcResult check_equivalence_dd(const ir::Circuit& c1, const ir::Circuit& c2,
     }
   }
   res.equivalent = pkg.is_identity_up_to_global_phase(miter);
+  pkg.dec_ref(miter);
   return res;
 }
 
@@ -112,17 +124,32 @@ EcResult check_equivalence_dd_simulative(const ir::Circuit& c1,
                : (rng.index(~std::uint64_t{0}) & dim_mask);
     VecEdge v1 = pkg.basis_state(stimulus);
     VecEdge v2 = v1;
+    // Both runs' roots stay protected for the whole stimulus (they share
+    // the basis-state node initially, and v2 must survive the gates-of-c1
+    // loop's collections).
+    pkg.inc_ref(v1);
+    pkg.inc_ref(v2);
+    const auto step = [&](VecEdge& root, VecEdge next) {
+      pkg.inc_ref(next);
+      pkg.dec_ref(root);
+      root = next;
+      pkg.maybe_collect_garbage();
+    };
     for (const auto& op : ops1) {
-      v1 = pkg.multiply(pkg.gate_dd(op), v1);
+      guard::check_deadline();
+      step(v1, pkg.multiply(pkg.gate_dd(op), v1));
       res.peak_nodes = std::max(res.peak_nodes, pkg.node_count(v1));
       ++res.gates_applied;
     }
     for (const auto& op : ops2) {
-      v2 = pkg.multiply(pkg.gate_dd(op), v2);
+      guard::check_deadline();
+      step(v2, pkg.multiply(pkg.gate_dd(op), v2));
       res.peak_nodes = std::max(res.peak_nodes, pkg.node_count(v2));
       ++res.gates_applied;
     }
     const double fidelity = std::norm(pkg.inner_product(v1, v2));
+    pkg.dec_ref(v1);
+    pkg.dec_ref(v2);
     if (fidelity < 1.0 - 1e-9) {
       res.equivalent = false;
       res.note = "counterexample stimulus " + std::to_string(stimulus);

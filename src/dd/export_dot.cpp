@@ -30,7 +30,10 @@ void emit(const Package& pkg, const Node<N>* node, std::ostringstream& os,
   }
   const std::size_t id = ids.size();
   ids.emplace(node, id);
-  os << "  n" << id << " [label=\"q" << node->var << "\", shape=circle];\n";
+  // The refcount in the label makes GC liveness visible in the rendered
+  // diagram (ref=0 means the node is collectable at the next safe point).
+  os << "  n" << id << " [label=\"q" << node->var << " ref=" << node->ref
+     << "\", shape=circle];\n";
   for (std::size_t i = 0; i < N; ++i) {
     const auto& e = node->succ[i];
     if (e.is_zero()) {

@@ -45,6 +45,17 @@ struct Edge {
 template <std::size_t N>
 struct Node {
   std::uint32_t var = 0;  // qubit level; 0 is the bottom-most
+  /// Reference count for mark-free garbage collection (arXiv:2108.07027):
+  /// the number of root edges and referenced parents pointing here. Mutable
+  /// because nodes live as unique-table keys and canonical storage entries —
+  /// identity (var + succ) never changes after interning, but the count
+  /// does. Saturates at UINT32_MAX, which pins the node forever. Excluded
+  /// from operator== and NodeHash: two structurally equal nodes are the
+  /// same node regardless of how many roots hold them. Placed in the
+  /// alignment hole after `var` so carrying it is size-free (40/72-byte
+  /// nodes, same as without refcounts — they are unique-table keys, so
+  /// their size is a cache-locality lever).
+  mutable std::uint32_t ref = 0;
   std::array<Edge<N>, N> succ{};
 
   bool operator==(const Node& o) const {

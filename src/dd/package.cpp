@@ -1,12 +1,17 @@
 #include "dd/package.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "common/bitops.hpp"
 #include "guard/budget.hpp"
 #include "obs/obs.hpp"
+#include "trace/trace.hpp"
 
 namespace qdt::dd {
 
@@ -21,30 +26,546 @@ obs::Counter& g_ct_hits = obs::counter("qdt.dd.compute_table.hits");
 obs::Counter& g_ct_misses = obs::counter("qdt.dd.compute_table.misses");
 obs::Counter& g_node_allocs = obs::counter("qdt.dd.package.node_allocs");
 obs::Counter& g_cache_clears = obs::counter("qdt.dd.package.cache_clears");
+obs::Counter& g_gc_runs = obs::counter("qdt.dd.gc.runs");
+obs::Counter& g_gc_freed_nodes = obs::counter("qdt.dd.gc.freed_nodes");
+obs::Counter& g_gc_freed_weights = obs::counter("qdt.dd.gc.freed_weights");
+obs::Gauge& g_gc_live = obs::gauge("qdt.dd.gc.live_nodes");
+obs::Counter& g_cache_evictions = obs::counter("qdt.dd.cache.evictions");
+obs::Gauge& g_bytes_peak = obs::gauge("qdt.dd.package.bytes_peak");
 
-/// Budget checkpoint after every node allocation. The node cap is exact;
-/// the byte/deadline checks are sampled (every 64 allocations) because
-/// they cost a clock read / a multiply and allocations are the DD hot
-/// path. ~96 bytes/node covers the node itself plus its unique-table and
-/// complex-table footprint.
-void check_node_budget(std::size_t vec_nodes, std::size_t mat_nodes,
-                       std::size_t complex_values) {
-  const std::size_t total = vec_nodes + mat_nodes;
-  guard::check_dd_nodes(total);
-  if ((total & 0x3F) == 0) {
-    const std::size_t bytes = total * 96 + complex_values * sizeof(Complex);
-    static obs::Gauge& g_bytes_peak = obs::gauge("qdt.dd.package.bytes_peak");
-    g_bytes_peak.update_max(static_cast<std::int64_t>(bytes));
-    guard::check_memory(bytes, "dd package");
-    guard::check_deadline();
-  }
-}
+constexpr std::uint32_t kRefSaturated =
+    std::numeric_limits<std::uint32_t>::max();
+
+// Approximate per-entry byte costs, monotone in the real footprint (which
+// is all a bound or a peak gauge needs): a live node pays for its storage
+// slab slot plus its unique-table entry (key copy, pointer, bucket); an
+// interned value pays for its slot, its bucket index, and the parallel
+// pin/dead bookkeeping; a cache entry for key + value + bucket.
+constexpr std::size_t kVecNodeBytes = 2 * sizeof(VecNode) + 32;
+constexpr std::size_t kMatNodeBytes = 2 * sizeof(MatNode) + 32;
+constexpr std::size_t kWeightBytes = sizeof(Complex) + 24;
+constexpr std::size_t kCacheEntryBytes = 48;
+
+// Process-wide default config. QDT_DD_TABLE_MB is folded in exactly once,
+// on the first read that nothing has explicitly overridden.
+std::mutex g_cfg_mutex;
+PackageConfig g_default_cfg;
+bool g_cfg_env_folded = false;
+
+thread_local const PackageConfig* t_cfg_override = nullptr;
 
 }  // namespace
 
-Package::Package(std::size_t num_qubits) : num_qubits_(num_qubits) {
+PackageConfig default_package_config() {
+  std::lock_guard<std::mutex> lock(g_cfg_mutex);
+  if (!g_cfg_env_folded) {
+    g_cfg_env_folded = true;
+    if (const char* env = std::getenv("QDT_DD_TABLE_MB")) {
+      char* end = nullptr;
+      const unsigned long long mb = std::strtoull(env, &end, 10);
+      if (end != env) {
+        g_default_cfg.unique_table_mb = static_cast<std::size_t>(mb);
+      }
+    }
+  }
+  return g_default_cfg;
+}
+
+void set_default_package_config(const PackageConfig& cfg) {
+  std::lock_guard<std::mutex> lock(g_cfg_mutex);
+  g_default_cfg = cfg;
+  g_cfg_env_folded = true;  // an explicit setting beats the env hook
+}
+
+PackageConfig current_package_config() {
+  return t_cfg_override != nullptr ? *t_cfg_override
+                                   : default_package_config();
+}
+
+ScopedPackageConfig::ScopedPackageConfig(const PackageConfig& cfg)
+    : cfg_(cfg), prev_(t_cfg_override) {
+  t_cfg_override = &cfg_;
+}
+
+ScopedPackageConfig::~ScopedPackageConfig() { t_cfg_override = prev_; }
+
+Package::Package(std::size_t num_qubits)
+    : Package(num_qubits, current_package_config()) {}
+
+Package::Package(std::size_t num_qubits, const PackageConfig& cfg)
+    : num_qubits_(num_qubits), cfg_(cfg) {
   if (num_qubits == 0 || num_qubits > 128) {
     throw std::invalid_argument("Package: unsupported qubit count");
+  }
+  gc_live_trigger_ = cfg_.gc_threshold;
+}
+
+Package::~Package() {
+#ifdef NDEBUG
+  const bool audit = std::getenv("QDT_DD_AUDIT") != nullptr;
+#else
+  const bool audit = true;
+#endif
+  if (!audit) {
+    return;
+  }
+  try {
+    check_refs();
+  } catch (const std::exception& e) {
+    // A dtor must not throw; a refcount invariant broken at end of life is
+    // a bug no test should be able to shrug off.
+    std::fprintf(stderr, "qdt: dd package teardown audit failed: %s\n",
+                 e.what());
+    std::abort();
+  }
+}
+
+void Package::reset(std::size_t num_qubits) {
+  if (num_qubits == 0 || num_qubits > 128) {
+    throw std::invalid_argument("Package: unsupported qubit count");
+  }
+  num_qubits_ = num_qubits;
+  cfg_ = current_package_config();
+  vec_unique_.clear();
+  mat_unique_.clear();
+  vec_add_cache_.clear();
+  mat_add_cache_.clear();
+  mv_cache_.clear();
+  mm_cache_.clear();
+  ip_cache_.clear();
+  ct_cache_.clear();
+  // Every node slot goes back on its free list; the deques (and the hash
+  // tables' bucket arrays) keep their capacity, so a pooled package's RSS
+  // stays flat across requests.
+  vec_free_.clear();
+  vec_free_.reserve(vec_storage_.size());
+  for (auto& n : vec_storage_) {
+    n.ref = 0;
+    vec_free_.push_back(&n);
+  }
+  mat_free_.clear();
+  mat_free_.reserve(mat_storage_.size());
+  for (auto& n : mat_storage_) {
+    n.ref = 0;
+    mat_free_.push_back(&n);
+  }
+  ctab_.reset();
+  gc_pending_ = false;
+  gc_arm_full_ = false;
+  gc_live_trigger_ = cfg_.gc_threshold;
+  gc_pressure_floor_ = 1024;  // back to the initial small-diagram floor
+  gc_runs_ = 0;
+  gc_freed_nodes_ = 0;
+  alloc_tick_ = 0;
+  cache_hits_ = 0;
+  cache_lookups_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Reference counting and garbage collection
+// ---------------------------------------------------------------------------
+
+void Package::inc_node_ref(const VecNode* n) {
+  if (n == nullptr || n->ref == kRefSaturated) {
+    return;
+  }
+  if (++n->ref == 1) {
+    for (const auto& e : n->succ) {
+      inc_node_ref(e.node);
+    }
+  }
+}
+
+void Package::inc_node_ref(const MatNode* n) {
+  if (n == nullptr || n->ref == kRefSaturated) {
+    return;
+  }
+  if (++n->ref == 1) {
+    for (const auto& e : n->succ) {
+      inc_node_ref(e.node);
+    }
+  }
+}
+
+void Package::dec_node_ref(const VecNode* n) {
+  if (n == nullptr || n->ref == kRefSaturated) {
+    return;
+  }
+  if (n->ref == 0) {
+    throw Error::internal("Package::dec_ref: vec node refcount underflow");
+  }
+  if (--n->ref == 0) {
+    for (const auto& e : n->succ) {
+      dec_node_ref(e.node);
+    }
+  }
+}
+
+void Package::dec_node_ref(const MatNode* n) {
+  if (n == nullptr || n->ref == kRefSaturated) {
+    return;
+  }
+  if (n->ref == 0) {
+    throw Error::internal("Package::dec_ref: mat node refcount underflow");
+  }
+  if (--n->ref == 0) {
+    for (const auto& e : n->succ) {
+      dec_node_ref(e.node);
+    }
+  }
+}
+
+void Package::inc_ref(VecEdge e) {
+  ctab_.pin(e.weight);
+  inc_node_ref(e.node);
+}
+
+void Package::inc_ref(MatEdge e) {
+  ctab_.pin(e.weight);
+  inc_node_ref(e.node);
+}
+
+void Package::dec_ref(VecEdge e) {
+  ctab_.unpin(e.weight);
+  dec_node_ref(e.node);
+}
+
+void Package::dec_ref(MatEdge e) {
+  ctab_.unpin(e.weight);
+  dec_node_ref(e.node);
+}
+
+std::size_t Package::live_bytes() const {
+  return vec_unique_.size() * kVecNodeBytes +
+         mat_unique_.size() * kMatNodeBytes +
+         ctab_.live_size() * kWeightBytes;
+}
+
+std::size_t Package::footprint_bytes() const {
+  const std::size_t cache_entries = vec_add_cache_.size() +
+                                    mat_add_cache_.size() + mv_cache_.size() +
+                                    mm_cache_.size() + ip_cache_.size() +
+                                    ct_cache_.size();
+  return vec_storage_.size() * kVecNodeBytes +
+         mat_storage_.size() * kMatNodeBytes + ctab_.size() * kWeightBytes +
+         cache_entries * kCacheEntryBytes;
+}
+
+void Package::note_allocation() {
+  const std::size_t live = live_nodes();
+  guard::check_dd_nodes(live);
+  // gc_pressure_floor_ is hysteresis: right after a collection the live set
+  // is as small as it gets, so consulting guard::pressure again before it
+  // regrows ~25% would re-arm a zero-yield collection on every allocation.
+  if (live >= gc_pressure_floor_ &&
+      guard::pressure(Resource::DdNodes, live)) {
+    gc_pending_ = true;
+    gc_arm_full_ = true;
+  }
+  if (cfg_.gc_threshold != 0 && live >= gc_live_trigger_) {
+    gc_pending_ = true;
+  }
+  if (cfg_.unique_table_mb != 0 &&
+      live_bytes() >= cfg_.unique_table_mb * (std::size_t{1} << 20)) {
+    gc_pending_ = true;
+    gc_arm_full_ = true;
+  }
+  if ((++alloc_tick_ & 0x3F) == 0) {
+    // Byte/deadline checks are sampled (every 64 allocations): they cost a
+    // clock read / several multiplies and allocation is the DD hot path.
+    const std::size_t bytes = footprint_bytes();
+    g_bytes_peak.update_max(static_cast<std::int64_t>(bytes));
+    guard::check_memory(bytes, "dd package");
+    guard::check_deadline();
+    if (live >= gc_pressure_floor_ &&
+        guard::pressure(Resource::Memory, bytes)) {
+      gc_pending_ = true;
+      gc_arm_full_ = true;
+    }
+  }
+}
+
+std::size_t Package::collect_garbage(bool reclaim_weights) {
+  trace::Span span("qdt.dd.gc.collect");
+  const std::size_t live_before = live_nodes();
+
+  // 1. Sweep: every node with ref == 0 leaves its unique table and joins
+  // the free list. Dead parents never contributed to their children's
+  // counts (that happens only on the 0 -> 1 transition), so a single pass
+  // suffices — no cascade.
+  std::size_t freed = 0;
+  for (auto it = vec_unique_.begin(); it != vec_unique_.end();) {
+    if (it->second->ref == 0) {
+      vec_free_.push_back(const_cast<VecNode*>(it->second));
+      it = vec_unique_.erase(it);
+      ++freed;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = mat_unique_.begin(); it != mat_unique_.end();) {
+    if (it->second->ref == 0) {
+      mat_free_.push_back(const_cast<MatNode*>(it->second));
+      it = mat_unique_.erase(it);
+      ++freed;
+    } else {
+      ++it;
+    }
+  }
+
+  // 2. Prune exactly the cache lines that mention a freed node (key or
+  // value side). This must complete before any slot can be reused: a stale
+  // pointer surviving here would later alias a recycled slot and produce a
+  // false cache hit (the classic ABA bug of pointer-keyed compute tables).
+  const auto vec_dead = [](const VecNode* n) {
+    return n != nullptr && n->ref == 0;
+  };
+  const auto mat_dead = [](const MatNode* n) {
+    return n != nullptr && n->ref == 0;
+  };
+  std::erase_if(vec_add_cache_, [&](const auto& kv) {
+    return vec_dead(static_cast<const VecNode*>(kv.first.a)) ||
+           vec_dead(static_cast<const VecNode*>(kv.first.b)) ||
+           vec_dead(kv.second.node);
+  });
+  std::erase_if(mat_add_cache_, [&](const auto& kv) {
+    return mat_dead(static_cast<const MatNode*>(kv.first.a)) ||
+           mat_dead(static_cast<const MatNode*>(kv.first.b)) ||
+           mat_dead(kv.second.node);
+  });
+  std::erase_if(mv_cache_, [&](const auto& kv) {
+    return mat_dead(static_cast<const MatNode*>(kv.first.a)) ||
+           vec_dead(static_cast<const VecNode*>(kv.first.b)) ||
+           vec_dead(kv.second.node);
+  });
+  std::erase_if(mm_cache_, [&](const auto& kv) {
+    return mat_dead(static_cast<const MatNode*>(kv.first.a)) ||
+           mat_dead(static_cast<const MatNode*>(kv.first.b)) ||
+           mat_dead(kv.second.node);
+  });
+  std::erase_if(ip_cache_, [&](const auto& kv) {
+    return vec_dead(static_cast<const VecNode*>(kv.first.a)) ||
+           vec_dead(static_cast<const VecNode*>(kv.first.b));
+  });
+  std::erase_if(ct_cache_, [&](const auto& kv) {
+    return mat_dead(kv.first) || mat_dead(kv.second.node);
+  });
+
+  // 3. Weight liveness — full collections only (routine ones keep dead
+  // weights as interning representatives; see the header): kZero/kOne,
+  // every successor weight of a surviving table node, every pinned root
+  // weight, and every weight a surviving cache line still mentions
+  // (add-key ratios and cached unit-edge weights are interned values
+  // nothing else may reference).
+  std::size_t freed_weights = 0;
+  if (reclaim_weights) {
+    std::vector<char> keep(ctab_.size(), 0);
+    keep[ComplexTable::kZero] = 1;
+    keep[ComplexTable::kOne] = 1;
+    for (const auto& [key, n] : vec_unique_) {
+      for (const auto& e : n->succ) {
+        keep[e.weight] = 1;
+      }
+    }
+    for (const auto& [key, n] : mat_unique_) {
+      for (const auto& e : n->succ) {
+        keep[e.weight] = 1;
+      }
+    }
+    ctab_.mark_pinned(keep);
+    for (const auto& kv : vec_add_cache_) {
+      keep[kv.first.ratio] = 1;
+      keep[kv.second.weight] = 1;
+    }
+    for (const auto& kv : mat_add_cache_) {
+      keep[kv.first.ratio] = 1;
+      keep[kv.second.weight] = 1;
+    }
+    for (const auto& kv : mv_cache_) {
+      keep[kv.second.weight] = 1;
+    }
+    for (const auto& kv : mm_cache_) {
+      keep[kv.second.weight] = 1;
+    }
+    for (const auto& kv : ct_cache_) {
+      keep[kv.second.weight] = 1;
+    }
+    freed_weights = ctab_.sweep(keep);
+  }
+
+  // 4. Bookkeeping and the adaptive re-arm: the next count-based trigger
+  // sits at twice the surviving live set (floored at the configured
+  // threshold), so a workload whose live state legitimately dwarfs the
+  // threshold is not collected on every gate for zero yield.
+  gc_pending_ = false;
+  ++gc_runs_;
+  gc_freed_nodes_ += freed;
+  const std::size_t live_after = live_nodes();
+  if (cfg_.gc_threshold != 0) {
+    gc_live_trigger_ = std::max(cfg_.gc_threshold, live_after * 2);
+  }
+  gc_pressure_floor_ = live_after + live_after / 4 + 1024;
+  g_gc_runs.add();
+  g_gc_freed_nodes.add(freed);
+  g_gc_freed_weights.add(freed_weights);
+  g_gc_live.set(static_cast<std::int64_t>(live_after));
+  span.attr("live_before", static_cast<std::uint64_t>(live_before))
+      .attr("live_after", static_cast<std::uint64_t>(live_after))
+      .attr("freed_nodes", static_cast<std::uint64_t>(freed))
+      .attr("freed_weights", static_cast<std::uint64_t>(freed_weights));
+  return freed;
+}
+
+bool Package::maybe_collect_garbage() {
+  if (!gc_pending_) {
+    return false;
+  }
+  const bool full = gc_arm_full_;
+  gc_arm_full_ = false;
+  collect_garbage(/*reclaim_weights=*/full);
+  if (cfg_.unique_table_mb != 0) {
+    const std::size_t bound = cfg_.unique_table_mb * (std::size_t{1} << 20);
+    if (live_bytes() >= bound && !full) {
+      // The node-only sweep left dead weights behind; reclaim them before
+      // concluding the live set genuinely does not fit.
+      collect_garbage(/*reclaim_weights=*/true);
+    }
+    if (live_bytes() >= bound) {
+      // Collection was not enough: the *live* set itself no longer fits
+      // the configured table bound. Only now degrade with the typed error
+      // the robust ladder dispatches on.
+      throw Error::exhausted(
+          Resource::DdNodes,
+          "dd unique tables: live set of " + std::to_string(live_bytes()) +
+              " bytes still exceeds the " +
+              std::to_string(cfg_.unique_table_mb) +
+              " MiB table bound after garbage collection");
+    }
+  }
+  return true;
+}
+
+void Package::check_refs() const {
+  const auto fail = [](const std::string& msg) {
+    throw Error::internal("Package::check_refs: " + msg);
+  };
+
+  // 1. Storage partition: every slot is either in its unique table or on
+  // its free list, never both, never twice.
+  std::unordered_set<const VecNode*> vec_free_set(vec_free_.begin(),
+                                                  vec_free_.end());
+  std::unordered_set<const MatNode*> mat_free_set(mat_free_.begin(),
+                                                  mat_free_.end());
+  if (vec_free_set.size() != vec_free_.size()) {
+    fail("duplicate pointer on the vec free list");
+  }
+  if (mat_free_set.size() != mat_free_.size()) {
+    fail("duplicate pointer on the mat free list");
+  }
+  if (vec_unique_.size() + vec_free_.size() != vec_storage_.size()) {
+    fail("vec storage is not partitioned into table + free list");
+  }
+  if (mat_unique_.size() + mat_free_.size() != mat_storage_.size()) {
+    fail("mat storage is not partitioned into table + free list");
+  }
+  std::unordered_set<const VecNode*> vec_live;
+  for (const auto& [key, n] : vec_unique_) {
+    if (vec_free_set.contains(n)) {
+      fail("vec node is both in the unique table and on the free list");
+    }
+    vec_live.insert(n);
+  }
+  std::unordered_set<const MatNode*> mat_live;
+  for (const auto& [key, n] : mat_unique_) {
+    if (mat_free_set.contains(n)) {
+      fail("mat node is both in the unique table and on the free list");
+    }
+    mat_live.insert(n);
+  }
+
+  // 2. In-degree induced by referenced parents: only a parent with ref > 0
+  // contributes to its children's counts (the 0 -> 1 / 1 -> 0 recursion),
+  // counted once per edge.
+  std::unordered_map<const VecNode*, std::uint64_t> vec_indeg;
+  for (const auto& [key, n] : vec_unique_) {
+    if (n->ref == 0) {
+      continue;
+    }
+    for (const auto& e : n->succ) {
+      if (e.node != nullptr) {
+        ++vec_indeg[e.node];
+      }
+    }
+  }
+  std::unordered_map<const MatNode*, std::uint64_t> mat_indeg;
+  for (const auto& [key, n] : mat_unique_) {
+    if (n->ref == 0) {
+      continue;
+    }
+    for (const auto& e : n->succ) {
+      if (e.node != nullptr) {
+        ++mat_indeg[e.node];
+      }
+    }
+  }
+
+  // 3. Per-node invariants.
+  for (const auto& [key, n] : vec_unique_) {
+    const auto it = vec_indeg.find(n);
+    const std::uint64_t indeg = it != vec_indeg.end() ? it->second : 0;
+    if (n->ref != kRefSaturated && n->ref < indeg) {
+      fail("vec node refcount " + std::to_string(n->ref) +
+           " below its live-parent in-degree " + std::to_string(indeg));
+    }
+    for (const auto& e : n->succ) {
+      if (e.node != nullptr && !vec_live.contains(e.node)) {
+        fail("vec table node points at a freed child");
+      }
+      if (n->ref > 0 && e.node != nullptr && e.node->ref == 0) {
+        fail("referenced vec node has an unreferenced child");
+      }
+      if (ctab_.is_dead(e.weight)) {
+        fail("vec table node carries a swept complex-table weight");
+      }
+    }
+  }
+  for (const auto& [key, n] : mat_unique_) {
+    const auto it = mat_indeg.find(n);
+    const std::uint64_t indeg = it != mat_indeg.end() ? it->second : 0;
+    if (n->ref != kRefSaturated && n->ref < indeg) {
+      fail("mat node refcount " + std::to_string(n->ref) +
+           " below its live-parent in-degree " + std::to_string(indeg));
+    }
+    for (const auto& e : n->succ) {
+      if (e.node != nullptr && !mat_live.contains(e.node)) {
+        fail("mat table node points at a freed child");
+      }
+      if (n->ref > 0 && e.node != nullptr && e.node->ref == 0) {
+        fail("referenced mat node has an unreferenced child");
+      }
+      if (ctab_.is_dead(e.weight)) {
+        fail("mat table node carries a swept complex-table weight");
+      }
+    }
+  }
+
+  // 4. Complex-table sanity: a pinned index must be live.
+  for (ComplexTable::Index i = 0;
+       i < static_cast<ComplexTable::Index>(ctab_.size()); ++i) {
+    if (ctab_.pin_count(i) > 0 && ctab_.is_dead(i)) {
+      fail("complex-table pin on a swept index " + std::to_string(i));
+    }
+  }
+}
+
+template <typename Cache>
+void Package::bound_cache(Cache& cache) {
+  if (cfg_.cache_entries != 0 && cache.size() >= cfg_.cache_entries) {
+    // Wholesale clear: pointer-keyed entries cannot be aged individually
+    // without per-entry clocks, and a full cache at this size has already
+    // amortized its build cost.
+    cache.clear();
+    g_cache_evictions.add();
   }
 }
 
@@ -84,10 +605,20 @@ VecEdge Package::make_vec_node(std::uint32_t var, VecEdge e0, VecEdge e1) {
   }
   g_ut_misses.add();
   g_node_allocs.add();
-  vec_storage_.push_back(node);
-  const VecNode* stored = &vec_storage_.back();
+  VecNode* stored;
+  if (!vec_free_.empty()) {
+    // Reuse a swept slot. Safe against stale aliases: nodes only reach the
+    // free list inside collect_garbage(), which has already pruned every
+    // cache line mentioning them.
+    stored = vec_free_.back();
+    vec_free_.pop_back();
+    *stored = node;  // node.ref is 0
+  } else {
+    vec_storage_.push_back(node);
+    stored = &vec_storage_.back();
+  }
   vec_unique_.emplace(node, stored);
-  check_node_budget(vec_storage_.size(), mat_storage_.size(), ctab_.size());
+  note_allocation();
   return VecEdge{stored, norm};
 }
 
@@ -133,10 +664,17 @@ MatEdge Package::make_mat_node(std::uint32_t var,
   }
   g_ut_misses.add();
   g_node_allocs.add();
-  mat_storage_.push_back(node);
-  const MatNode* stored = &mat_storage_.back();
+  MatNode* stored;
+  if (!mat_free_.empty()) {
+    stored = mat_free_.back();
+    mat_free_.pop_back();
+    *stored = node;  // node.ref is 0
+  } else {
+    mat_storage_.push_back(node);
+    stored = &mat_storage_.back();
+  }
   mat_unique_.emplace(node, stored);
-  check_node_budget(vec_storage_.size(), mat_storage_.size(), ctab_.size());
+  note_allocation();
   return MatEdge{stored, norm};
 }
 
@@ -255,11 +793,13 @@ VecEdge Package::add_rec(VecEdge a, VecEdge b, std::int64_t level) {
     // Proportional operands collapse immediately.
     return VecEdge{a.node, ctab_.add(a.weight, b.weight)};
   }
-  // Commutative: canonicalize operand order, then factor the first weight
-  // out so the cache key depends only on the weight *ratio*.
-  if (static_cast<const void*>(a.node) > static_cast<const void*>(b.node)) {
-    std::swap(a, b);
-  }
+  // Factor the first weight out so the cache key depends only on the
+  // weight *ratio*. Addition is commutative, but the operands are NOT
+  // canonicalized by pointer order here: node addresses depend on free-
+  // list reuse, so a pointer-ordered swap would make the floating-point
+  // evaluation order — and hence the low bits of the result — depend on
+  // garbage-collection history. Caller argument order is run-independent;
+  // the cache merely stores commutative pairs in both orientations.
   const ComplexTable::Index ratio = ctab_.div(b.weight, a.weight);
   const AddKey<VecEdge> key{a.node, b.node, ratio};
   ++cache_lookups_;
@@ -279,6 +819,7 @@ VecEdge Package::add_rec(VecEdge a, VecEdge b, std::int64_t level) {
   }
   const VecEdge unit =
       make_vec_node(static_cast<std::uint32_t>(level), r[0], r[1]);
+  bound_cache(vec_add_cache_);
   vec_add_cache_.emplace(key, unit);
   return VecEdge{unit.node, ctab_.mul(a.weight, unit.weight)};
 }
@@ -300,9 +841,7 @@ MatEdge Package::add_rec(MatEdge a, MatEdge b, std::int64_t level) {
   if (a.node == b.node) {
     return MatEdge{a.node, ctab_.add(a.weight, b.weight)};
   }
-  if (static_cast<const void*>(a.node) > static_cast<const void*>(b.node)) {
-    std::swap(a, b);
-  }
+  // No pointer-ordered canonicalization — see the vector add_rec.
   const ComplexTable::Index ratio = ctab_.div(b.weight, a.weight);
   const AddKey<MatEdge> key{a.node, b.node, ratio};
   ++cache_lookups_;
@@ -321,6 +860,7 @@ MatEdge Package::add_rec(MatEdge a, MatEdge b, std::int64_t level) {
     r[i] = add_rec(ai, bi, level - 1);
   }
   const MatEdge unit = make_mat_node(static_cast<std::uint32_t>(level), r);
+  bound_cache(mat_add_cache_);
   mat_add_cache_.emplace(key, unit);
   return MatEdge{unit.node, ctab_.mul(a.weight, unit.weight)};
 }
@@ -357,6 +897,7 @@ VecEdge Package::mul_rec(MatEdge a, VecEdge b, std::int64_t level) {
       r[i] = sum;
     }
     unit = make_vec_node(static_cast<std::uint32_t>(level), r[0], r[1]);
+    bound_cache(mv_cache_);
     mv_cache_.emplace(key, unit);
   }
   return VecEdge{unit.node,
@@ -396,6 +937,7 @@ MatEdge Package::mul_rec(MatEdge a, MatEdge b, std::int64_t level) {
       }
     }
     unit = make_mat_node(static_cast<std::uint32_t>(level), r);
+    bound_cache(mm_cache_);
     mm_cache_.emplace(key, unit);
   }
   return MatEdge{unit.node,
@@ -427,6 +969,7 @@ Complex Package::ip_rec(VecEdge a, VecEdge b, std::int64_t level) {
   for (std::size_t i = 0; i < 2; ++i) {
     sum += ip_rec(a.node->succ[i], b.node->succ[i], level - 1);
   }
+  bound_cache(ip_cache_);
   ip_cache_.emplace(key, sum);
   return scale * sum;
 }
@@ -728,6 +1271,7 @@ MatEdge Package::ct_rec(MatEdge e) {
   succ[2] = ct_rec(n->succ[1]);
   succ[3] = ct_rec(n->succ[3]);
   const MatEdge unit = make_mat_node(n->var, succ);
+  bound_cache(ct_cache_);
   ct_cache_.emplace(n, unit);
   return MatEdge{unit.node, ctab_.mul(ctab_.conj(e.weight), unit.weight)};
 }
@@ -801,11 +1345,15 @@ std::size_t Package::node_count(MatEdge e) const {
 
 PackageStats Package::stats() const {
   PackageStats s;
-  s.unique_vec_nodes = vec_storage_.size();
-  s.unique_mat_nodes = mat_storage_.size();
-  s.complex_values = ctab_.size();
+  s.unique_vec_nodes = vec_unique_.size();
+  s.unique_mat_nodes = mat_unique_.size();
+  s.free_vec_nodes = vec_free_.size();
+  s.free_mat_nodes = mat_free_.size();
+  s.complex_values = ctab_.live_size();
   s.cache_hits = cache_hits_;
   s.cache_lookups = cache_lookups_;
+  s.gc_runs = gc_runs_;
+  s.gc_freed_nodes = gc_freed_nodes_;
   return s;
 }
 

@@ -6,6 +6,19 @@
 // Follows the QMDD line of work [28], [29]: nodes are normalized so the
 // largest-magnitude outgoing weight is 1, equal subtrees are shared through
 // a unique table, and edge weights are interned complex numbers.
+//
+// Memory governance (arXiv:2108.07027 package design): nodes carry reference
+// counts maintained at the *root-edge* level — inc_ref(edge) pins the root
+// weight and bumps the target node, recursing into children on the 0 -> 1
+// transition; dec_ref is the exact mirror. collect_garbage() sweeps every
+// node with ref == 0 out of the unique tables onto per-type free lists that
+// make_vec_node / make_mat_node reuse, prunes exactly the compute-cache
+// lines that mention a freed node (so no stale pointer survives to be
+// falsely hit after slot reuse), and sweeps the complex table. Collection
+// never happens inside an operation — make_* only *arms* it (table fill,
+// gc_threshold, guard memory pressure); drivers call maybe_collect_garbage()
+// between gates, where every live root is ref-protected, so at a safe point
+// ref == 0 is exactly "garbage".
 #pragma once
 
 #include <array>
@@ -22,22 +35,143 @@
 
 namespace qdt::dd {
 
+/// Tunable bounds on a package's tables and caches. Settable per package,
+/// per thread (ScopedPackageConfig), or process-wide (QDT_DD_TABLE_MB /
+/// --dd-table-mb fold into the global default).
+struct PackageConfig {
+  /// Hard ceiling on the *live* table footprint in MiB; 0 = unbounded.
+  /// Crossing it arms a collection; if the live set still exceeds it at the
+  /// next safe point the package throws Error(ResourceExhausted, DdNodes).
+  std::size_t unique_table_mb = 0;
+  /// Per-compute-cache entry cap; a full cache is cleared wholesale
+  /// (counted by qdt.dd.cache.evictions). 0 = unbounded.
+  std::size_t cache_entries = std::size_t{1} << 18;
+  /// Live-node count that arms garbage collection. 0 disables the
+  /// count-based trigger entirely (the "gc_threshold = infinity" mode the
+  /// bitwise-identity tests compare against); pressure and table-fill
+  /// triggers are still armed when their own bounds are set.
+  std::size_t gc_threshold = std::size_t{1} << 16;
+};
+
+/// Process-wide default config (mutex-protected; QDT_DD_TABLE_MB is folded
+/// in once on first read).
+PackageConfig default_package_config();
+void set_default_package_config(const PackageConfig& cfg);
+
+/// The config a new Package (or Package::reset) picks up on this thread:
+/// the innermost ScopedPackageConfig override, else the global default.
+PackageConfig current_package_config();
+
+/// RAII thread-local override of current_package_config() — how the chaos
+/// fuzzer forces tiny gc thresholds per case without touching the global
+/// default other threads read.
+class ScopedPackageConfig {
+ public:
+  explicit ScopedPackageConfig(const PackageConfig& cfg);
+  ~ScopedPackageConfig();
+  ScopedPackageConfig(const ScopedPackageConfig&) = delete;
+  ScopedPackageConfig& operator=(const ScopedPackageConfig&) = delete;
+
+ private:
+  PackageConfig cfg_;
+  const PackageConfig* prev_;
+};
+
 /// Aggregate size statistics (see Package::stats).
 struct PackageStats {
-  std::size_t unique_vec_nodes = 0;
+  std::size_t unique_vec_nodes = 0;  // live (in the unique table)
   std::size_t unique_mat_nodes = 0;
-  std::size_t complex_values = 0;
+  std::size_t free_vec_nodes = 0;  // swept, awaiting reuse
+  std::size_t free_mat_nodes = 0;
+  std::size_t complex_values = 0;  // live interned weights
   std::size_t cache_hits = 0;
   std::size_t cache_lookups = 0;
+  std::size_t gc_runs = 0;
+  std::size_t gc_freed_nodes = 0;
 };
 
 class Package {
  public:
+  /// Uses current_package_config().
   explicit Package(std::size_t num_qubits);
+  Package(std::size_t num_qubits, const PackageConfig& cfg);
+  /// Debug-build (or QDT_DD_AUDIT=1) teardown audit: check_refs() must pass
+  /// on every package at end of life; a violation prints to stderr and
+  /// aborts, so no test scenario can leak a refcount bug silently.
+  ~Package();
+  Package(const Package&) = delete;
+  Package& operator=(const Package&) = delete;
 
   std::size_t num_qubits() const { return num_qubits_; }
+  const PackageConfig& config() const { return cfg_; }
   ComplexTable& ctab() { return ctab_; }
   const ComplexTable& ctab() const { return ctab_; }
+
+  /// Back to a freshly-constructed package for `num_qubits`, keeping every
+  /// allocation: tables/caches empty, all node slots on the free lists, the
+  /// complex table reset in place, config re-read from
+  /// current_package_config(). This is what keeps a pooled per-request
+  /// package's RSS flat across a long-running daemon's lifetime.
+  void reset(std::size_t num_qubits);
+
+  // -- Reference counting / garbage collection -------------------------------
+  /// Protect a root edge across collections: pins the root weight in the
+  /// complex table and increments the target node (recursively incrementing
+  /// children on the 0 -> 1 transition). Safe on terminal/zero edges.
+  void inc_ref(VecEdge e);
+  void inc_ref(MatEdge e);
+  /// Exact mirror of inc_ref. Underflow throws Error(Internal) — it means a
+  /// dec_ref without a matching inc_ref.
+  void dec_ref(VecEdge e);
+  void dec_ref(MatEdge e);
+
+  /// Sweep every ref == 0 node out of the unique tables onto the free
+  /// lists, drop exactly the cache lines that mention a freed node, then
+  /// (when `reclaim_weights`) sweep complex-table entries no surviving
+  /// node, cache line, or pin mentions. Returns the number of nodes freed.
+  /// Callers must hold inc_ref on every root they intend to keep (the
+  /// operation drivers do — see maybe_collect_garbage).
+  ///
+  /// Routine (count-triggered) collections pass reclaim_weights = false:
+  /// interned weights double as the tolerance-interning *representatives*,
+  /// and evicting a dead one lets a later value within kEps intern as
+  /// itself instead of snapping to the historical representative — an
+  /// ulp-level drift that breaks the bitwise GC-on == GC-off guarantee
+  /// (caught by the chaos fuzzer's differential oracle). Node-only sweeps
+  /// are drift-free: recomputed products of the same interned operands are
+  /// bitwise equal to what the pruned cache lines held. Weights are
+  /// reclaimed when memory actually matters — pressure- or table-bound-
+  /// driven collections, explicit calls, and reset().
+  std::size_t collect_garbage(bool reclaim_weights = true);
+
+  /// Collect if a trigger armed gc_pending() — the safe-point entry the
+  /// simulation drivers call between gates, where all live roots are
+  /// ref-protected. After collecting, enforces the unique_table_mb hard
+  /// bound: still over means the *live* set does not fit, and the package
+  /// throws Error(ResourceExhausted, DdNodes) — collect-then-continue,
+  /// degrade only when collection was not enough. Returns true if a
+  /// collection ran.
+  bool maybe_collect_garbage();
+
+  /// True when a trigger (table fill, gc_threshold, guard pressure, or an
+  /// explicit request_gc) has armed a collection for the next safe point.
+  bool gc_pending() const { return gc_pending_; }
+  void request_gc() { gc_pending_ = true; }
+
+  /// Nodes currently in the unique tables (the live set).
+  std::size_t live_nodes() const {
+    return vec_unique_.size() + mat_unique_.size();
+  }
+
+  /// Approximate bytes held by storage, tables, and caches (capacity, not
+  /// live footprint — pooled packages keep this flat after warm-up).
+  std::size_t footprint_bytes() const;
+
+  /// Refcount audit: verifies storage = table + free lists, per-node
+  /// refcounts against the in-degree induced by live parents, that live
+  /// nodes never point at freed nodes or swept weights, and complex-table
+  /// pin sanity. Throws Error(Internal) naming the first violation.
+  void check_refs() const;
 
   // -- Vector DDs ------------------------------------------------------------
   /// Normalized, hash-consed node; returns the canonical edge.
@@ -130,13 +264,57 @@ class Package {
                           std::size_t row, std::size_t col,
                           std::int64_t level);
 
+  void inc_node_ref(const VecNode* n);
+  void inc_node_ref(const MatNode* n);
+  void dec_node_ref(const VecNode* n);
+  void dec_node_ref(const MatNode* n);
+
+  /// Post-allocation bookkeeping: guard checkpoints on the live counts and
+  /// (sampled) byte footprint, and arming of gc_pending_ when a bound or
+  /// the guard pressure line is crossed. Never collects — that would sweep
+  /// the caller's unprotected locals mid-operation.
+  void note_allocation();
+
+  /// Live-set footprint (tables + live weights only) — the quantity the
+  /// unique_table_mb hard bound is checked against, because storage
+  /// capacity never shrinks while free-listed nodes await reuse.
+  std::size_t live_bytes() const;
+
+  /// Clear a compute cache when it hits cfg_.cache_entries.
+  template <typename Cache>
+  void bound_cache(Cache& cache);
+
   std::size_t num_qubits_;
+  PackageConfig cfg_;
   ComplexTable ctab_;
 
   std::deque<VecNode> vec_storage_;
   std::deque<MatNode> mat_storage_;
   std::unordered_map<VecNode, const VecNode*, NodeHash<2>> vec_unique_;
   std::unordered_map<MatNode, const MatNode*, NodeHash<4>> mat_unique_;
+  // Swept node slots awaiting reuse by make_*_node. Nodes only move here
+  // inside collect_garbage(), which first prunes every cache line that
+  // mentions them — so a recycled slot can never be hit through a stale
+  // cached pointer.
+  std::vector<VecNode*> vec_free_;
+  std::vector<MatNode*> mat_free_;
+
+  bool gc_pending_ = false;
+  // Armed alongside gc_pending_ when the trigger was memory pressure or
+  // the table-byte bound: those collections also reclaim dead weights
+  // (see collect_garbage on why routine collections must not).
+  bool gc_arm_full_ = false;
+  std::size_t gc_live_trigger_ = 0;  // live-node count arming the next gc
+  // Hysteresis for the guard-pressure trigger: do not consult pressure
+  // again until the live set regrows past this (raised after each
+  // collection). The initial floor keeps guard::pressure's thread-local
+  // walk off the allocation hot path for small diagrams — a package under
+  // 1k nodes cannot meaningfully relieve memory pressure, and the hard
+  // check_dd_nodes() ceiling still applies from the first allocation.
+  std::size_t gc_pressure_floor_ = 1024;
+  std::size_t gc_runs_ = 0;
+  std::size_t gc_freed_nodes_ = 0;
+  std::uint64_t alloc_tick_ = 0;  // drives the sampled byte/deadline checks
 
   // Operation caches. Keys hold canonical node pointers + interned weights,
   // so equality is exact. Addition keys use the *ratio* of the operand

@@ -1,0 +1,54 @@
+#include "dd/pool.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace qdt::dd {
+
+namespace {
+
+obs::Counter& g_pool_hits = obs::counter("qdt.dd.pool.hits");
+obs::Counter& g_pool_misses = obs::counter("qdt.dd.pool.misses");
+
+// At most two idle packages per thread (a worker's request loop plus one
+// nested use, e.g. amplitude queries inside a simulate), and never one
+// whose retained storage tops 64 MiB.
+constexpr std::size_t kPoolMax = 2;
+constexpr std::size_t kPoolMaxBytes = std::size_t{64} << 20;
+
+std::vector<std::unique_ptr<Package>>& pool() {
+  thread_local std::vector<std::unique_ptr<Package>> p;
+  return p;
+}
+
+}  // namespace
+
+PackageLease::PackageLease(std::size_t num_qubits) {
+  auto& p = pool();
+  if (!p.empty()) {
+    g_pool_hits.add();
+    std::unique_ptr<Package> pkg = std::move(p.back());
+    p.pop_back();
+    pkg->reset(num_qubits);
+    pkg_ = pkg.release();
+  } else {
+    g_pool_misses.add();
+    pkg_ = new Package(num_qubits);
+  }
+}
+
+PackageLease::~PackageLease() {
+  std::unique_ptr<Package> pkg(pkg_);
+  auto& p = pool();
+  if (p.size() < kPoolMax && pkg->footprint_bytes() <= kPoolMaxBytes) {
+    p.push_back(std::move(pkg));
+  }
+}
+
+std::size_t pool_size() { return pool().size(); }
+
+void trim_pool() { pool().clear(); }
+
+}  // namespace qdt::dd

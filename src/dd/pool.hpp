@@ -1,0 +1,48 @@
+// Thread-local pool of dd::Package instances for per-request reuse.
+//
+// A long-running driver (qdt serve worker, the fuzzer's case loop, the
+// robust ladder) creates one Package per request; construction is cheap but
+// the *storage* a request grows — node deques, unique-table buckets, the
+// complex table — is exactly what the next request would grow again.
+// PackageLease hands out a pooled package reset() to the requested width
+// instead: tables come back empty, every node slot sits on the free lists,
+// and the underlying capacity is reused, so a daemon's RSS plateaus after
+// warm-up instead of climbing with every request.
+//
+// The pool is thread-local (packages are single-threaded objects; a worker
+// thread reuses its own), holds at most kPoolMax idle packages, and drops
+// any package whose retained footprint exceeds kPoolMaxBytes — one
+// pathological request must not pin its peak forever.
+#pragma once
+
+#include <cstddef>
+
+#include "dd/package.hpp"
+
+namespace qdt::dd {
+
+/// RAII lease on a pooled Package, reset to `num_qubits` (and to this
+/// thread's current_package_config()). Returns the package to the pool on
+/// destruction unless the pool is full or the package grew too large.
+class PackageLease {
+ public:
+  explicit PackageLease(std::size_t num_qubits);
+  ~PackageLease();
+  PackageLease(const PackageLease&) = delete;
+  PackageLease& operator=(const PackageLease&) = delete;
+
+  Package& get() { return *pkg_; }
+  Package* operator->() { return pkg_; }
+  Package& operator*() { return *pkg_; }
+
+ private:
+  Package* pkg_;
+};
+
+/// Idle packages currently pooled on this thread.
+std::size_t pool_size();
+
+/// Destroy this thread's idle pooled packages (worker shutdown; tests).
+void trim_pool();
+
+}  // namespace qdt::dd

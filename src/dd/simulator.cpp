@@ -12,7 +12,7 @@ namespace qdt::dd {
 
 std::vector<std::pair<ir::Qubit, bool>> DDSimulator::run(
     const ir::Circuit& circuit) {
-  if (circuit.num_qubits() != pkg_.num_qubits()) {
+  if (circuit.num_qubits() != pkg_->num_qubits()) {
     throw std::invalid_argument("DDSimulator::run: width mismatch");
   }
   trace::Span span("qdt.dd.sim.run");
@@ -23,6 +23,9 @@ std::vector<std::pair<ir::Qubit, bool>> DDSimulator::run(
   node_trace_.clear();
   for (const auto& op : circuit.ops()) {
     guard::check_deadline();
+    // Safe point: state_ is the only root and it is ref-protected, so an
+    // armed collection (table fill / pressure) can run between gates.
+    pkg_->maybe_collect_garbage();
     if (op.is_barrier()) {
       continue;
     }
@@ -48,7 +51,7 @@ std::vector<std::pair<ir::Qubit, bool>> DDSimulator::run(
     }
     node_trace_.push_back(state_node_count());
   }
-  const PackageStats stats = pkg_.stats();
+  const PackageStats stats = pkg_->stats();
   span.attr("state_nodes", static_cast<std::uint64_t>(state_node_count()))
       .attr("unique_vec_nodes",
             static_cast<std::uint64_t>(stats.unique_vec_nodes))
@@ -58,7 +61,10 @@ std::vector<std::pair<ir::Qubit, bool>> DDSimulator::run(
             static_cast<std::uint64_t>(stats.complex_values))
       .attr("cache_hits", static_cast<std::uint64_t>(stats.cache_hits))
       .attr("cache_lookups",
-            static_cast<std::uint64_t>(stats.cache_lookups));
+            static_cast<std::uint64_t>(stats.cache_lookups))
+      .attr("gc_runs", static_cast<std::uint64_t>(stats.gc_runs))
+      .attr("gc_freed_nodes",
+            static_cast<std::uint64_t>(stats.gc_freed_nodes));
   return record;
 }
 
@@ -93,7 +99,7 @@ void DDSimulator::apply(const ir::Operation& op) {
         break;
     }
   }
-  state_ = pkg_.multiply(pkg_.gate_dd(op), state_);
+  set_state(pkg_->multiply(pkg_->gate_dd(op), state_));
 }
 
 bool DDSimulator::measure(ir::Qubit q) {
@@ -101,7 +107,7 @@ bool DDSimulator::measure(ir::Qubit q) {
   // sum, and a value a hair above 1.0 would make the |0> branch's keep
   // probability negative — the state would be silently left unnormalized
   // (or zeroed by the projection).
-  const double p1 = std::clamp(pkg_.prob_one(state_, q), 0.0, 1.0);
+  const double p1 = std::clamp(pkg_->prob_one(state_, q), 0.0, 1.0);
   const bool outcome = rng_.uniform() < p1;
   const double keep = outcome ? p1 : 1.0 - p1;
   if (!(keep > 0.0)) {
@@ -111,7 +117,7 @@ bool DDSimulator::measure(ir::Qubit q) {
         std::to_string(q) + " has non-positive probability " +
         std::to_string(keep));
   }
-  state_ = pkg_.project(state_, q, outcome);
+  set_state(pkg_->project(state_, q, outcome));
   scale_state(1.0 / std::sqrt(keep));
   return outcome;
 }
@@ -120,7 +126,7 @@ std::map<std::uint64_t, std::size_t> DDSimulator::sample_counts(
     std::size_t shots) {
   std::map<std::uint64_t, std::size_t> counts;
   for (std::size_t s = 0; s < shots; ++s) {
-    ++counts[pkg_.sample(state_, rng_)];
+    ++counts[pkg_->sample(state_, rng_)];
   }
   return counts;
 }
@@ -131,9 +137,9 @@ void DDSimulator::apply_noise_trajectory(ir::Qubit q,
   std::vector<double> weights;
   branches.reserve(ch.ops.size());
   for (const auto& k : ch.ops) {
-    const MatEdge kdd = pkg_.single_qubit_dd(k, q);
-    VecEdge branch = pkg_.multiply(kdd, state_);
-    weights.push_back(pkg_.norm2(branch));
+    const MatEdge kdd = pkg_->single_qubit_dd(k, q);
+    VecEdge branch = pkg_->multiply(kdd, state_);
+    weights.push_back(pkg_->norm2(branch));
     branches.push_back(branch);
   }
   double r = rng_.uniform();
@@ -145,15 +151,16 @@ void DDSimulator::apply_noise_trajectory(ir::Qubit q,
       break;
     }
   }
-  state_ = branches[pick];
+  set_state(branches[pick]);
   if (weights[pick] > 0.0) {
     scale_state(1.0 / std::sqrt(weights[pick]));
   }
 }
 
 void DDSimulator::scale_state(double factor) {
-  state_.weight = pkg_.ctab().mul(
-      state_.weight, pkg_.ctab().lookup(Complex{factor, 0.0}));
+  set_state(VecEdge{
+      state_.node, pkg_->ctab().mul(state_.weight, pkg_->ctab().lookup(
+                                                       Complex{factor, 0.0}))});
 }
 
 }  // namespace qdt::dd

@@ -7,10 +7,16 @@
 // are applied as (non-unitary) matrix DDs and one branch is sampled per
 // application, giving quantum-trajectory semantics identical to the array
 // backend's.
+//
+// The simulator is a GC-cooperating driver: the current state edge is the
+// one root it holds, kept ref-protected from construction to destruction
+// (every state transition goes through set_state, inc-before-dec), and
+// run() offers the package a collection safe point between gates.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "arrays/noise.hpp"
@@ -23,17 +29,34 @@ namespace qdt::dd {
 class DDSimulator {
  public:
   explicit DDSimulator(std::size_t num_qubits, std::uint64_t seed = 1)
-      : pkg_(num_qubits), rng_(seed), state_(pkg_.zero_state()) {}
+      : owned_(std::make_unique<Package>(num_qubits)),
+        pkg_(owned_.get()),
+        rng_(seed),
+        state_(pkg_->zero_state()) {
+    pkg_->inc_ref(state_);
+  }
 
-  Package& package() { return pkg_; }
+  /// Simulate on an external package (a pooled one, or one shared with
+  /// other DDs the caller keeps ref-protected). The package must outlive
+  /// the simulator.
+  explicit DDSimulator(Package& pkg, std::uint64_t seed = 1)
+      : pkg_(&pkg), rng_(seed), state_(pkg_->zero_state()) {
+    pkg_->inc_ref(state_);
+  }
+
+  ~DDSimulator() { pkg_->dec_ref(state_); }
+  DDSimulator(const DDSimulator&) = delete;
+  DDSimulator& operator=(const DDSimulator&) = delete;
+
+  Package& package() { return *pkg_; }
   VecEdge state() const { return state_; }
-  std::size_t num_qubits() const { return pkg_.num_qubits(); }
+  std::size_t num_qubits() const { return pkg_->num_qubits(); }
 
   /// Stochastic (trajectory) noise applied after every gate.
   void set_noise(arrays::NoiseModel noise) { noise_ = std::move(noise); }
 
   /// Reset to |0...0>.
-  void reset_state() { state_ = pkg_.zero_state(); }
+  void reset_state() { set_state(pkg_->zero_state()); }
 
   /// Execute the whole circuit (measurements collapse the state); returns
   /// the measurement record.
@@ -47,11 +70,13 @@ class DDSimulator {
 
   /// Single amplitude of the current state.
   Complex amplitude(std::uint64_t basis_state) const {
-    return pkg_.amplitude(state_, basis_state);
+    return pkg_->amplitude(state_, basis_state);
   }
 
   /// Dense readout (exponential; small n only).
-  std::vector<Complex> state_vector() const { return pkg_.to_vector(state_); }
+  std::vector<Complex> state_vector() const {
+    return pkg_->to_vector(state_);
+  }
 
   /// Weak simulation: sample full readouts without computing the dense
   /// vector.
@@ -59,7 +84,7 @@ class DDSimulator {
 
   /// Number of DD nodes in the current state — the paper's compactness
   /// metric.
-  std::size_t state_node_count() const { return pkg_.node_count(state_); }
+  std::size_t state_node_count() const { return pkg_->node_count(state_); }
 
   /// Node count of the state after each applied operation (filled by run).
   const std::vector<std::size_t>& node_count_trace() const {
@@ -70,8 +95,16 @@ class DDSimulator {
   void apply_noise_trajectory(ir::Qubit q, const arrays::KrausChannel& ch);
   /// Rescale the state edge weight by a real factor.
   void scale_state(double factor);
+  /// The only way state_ changes: protect the new root before releasing
+  /// the old one, so a shared node never transiently hits ref 0.
+  void set_state(VecEdge next) {
+    pkg_->inc_ref(next);
+    pkg_->dec_ref(state_);
+    state_ = next;
+  }
 
-  Package pkg_;
+  std::unique_ptr<Package> owned_;  // null when running on an external package
+  Package* pkg_;
   Rng rng_;
   VecEdge state_;
   arrays::NoiseModel noise_;

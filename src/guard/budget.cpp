@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "obs/obs.hpp"
 
@@ -17,6 +18,7 @@ obs::Counter& g_ex_dd_nodes = obs::counter("qdt.guard.exhausted.dd_nodes");
 obs::Counter& g_ex_tn = obs::counter("qdt.guard.exhausted.tn_elements");
 obs::Counter& g_ex_mps = obs::counter("qdt.guard.exhausted.mps_bond");
 obs::Counter& g_ex_deadline = obs::counter("qdt.guard.exhausted.deadline");
+obs::Counter& g_pressure = obs::counter("qdt.guard.pressure.events");
 
 obs::Counter& exhausted_counter(Resource r) {
   switch (r) {
@@ -40,6 +42,7 @@ std::size_t slot(Resource r) { return static_cast<std::size_t>(r); }
 
 struct ThreadState {
   const BudgetScope* top = nullptr;
+  PressureWatch* watch_top = nullptr;
   // Fault injection: 0 = disarmed, otherwise throw when the countdown for
   // that resource reaches zero.
   std::uint64_t fault_countdown[kNumResources] = {};
@@ -264,6 +267,46 @@ void check_mps_bond(std::size_t bond) {
                       " exceeds the budget of " +
                       std::to_string(limits->max_mps_bond));
 }
+
+bool pressure(Resource r, std::size_t used) {
+  // Deliberately not a checkpoint(): pressure reports never consume fault
+  // countdowns or throw — they only warn, so a backend can collect at its
+  // next safe point before the hard check_*() ceiling trips.
+  const Limits* limits = current_limits();
+  if (limits == nullptr) {
+    return false;
+  }
+  std::size_t limit = 0;
+  switch (r) {
+    case Resource::DdNodes:
+      limit = limits->max_dd_nodes;
+      break;
+    case Resource::Memory:
+      limit = limits->max_memory_bytes;
+      break;
+    default:
+      break;
+  }
+  // Warning line at 7/8 of the ceiling (multiply-through form avoids
+  // division and is exact for the sizes involved).
+  if (limit == 0 || used * 8 < limit * 7) {
+    return false;
+  }
+  g_pressure.add();
+  for (PressureWatch* w = state().watch_top; w != nullptr; w = w->prev_) {
+    if (w->cb_) {
+      w->cb_(r, used, limit);
+    }
+  }
+  return true;
+}
+
+PressureWatch::PressureWatch(Callback cb)
+    : cb_(std::move(cb)), prev_(state().watch_top) {
+  state().watch_top = this;
+}
+
+PressureWatch::~PressureWatch() { state().watch_top = prev_; }
 
 void inject_fault(Resource resource, std::uint64_t nth) {
   ThreadState& s = state();

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "guard/error.hpp"
 
@@ -104,6 +105,40 @@ void check_dd_nodes(std::size_t nodes);
 void check_tn_elements(std::size_t elements);
 /// Throws Error(MpsBond) if `bond` exceeds the bond cap.
 void check_mps_bond(std::size_t bond);
+
+// -- Memory-pressure callbacks ------------------------------------------------
+// check_* throws only once a ceiling is *exceeded* — too late for a backend
+// that could shed internal garbage instead. pressure() is the early-warning
+// half of the contract: backends report their current usage, and when it
+// crosses 7/8 of the effective ceiling every registered PressureWatch on the
+// thread is notified (and the call returns true) so the caller can schedule
+// a collection at its next safe point — collect-then-continue instead of
+// fail-then-fallback. With no budget installed (or no ceiling for that
+// resource) this is a thread-local pointer load and a branch.
+
+/// Report current usage of `r` (DdNodes -> live node count, Memory -> bytes).
+/// Returns true when usage is within 1/8 of the effective ceiling; also
+/// notifies every PressureWatch registered on this thread. Never throws.
+bool pressure(Resource r, std::size_t used);
+
+/// RAII: registers a callback invoked by pressure() on this thread whenever
+/// a resource crosses the 7/8 warning line. Watches nest (all registered
+/// watches fire, innermost first). Destruction must happen on the
+/// registering thread, in reverse registration order.
+class PressureWatch {
+ public:
+  using Callback =
+      std::function<void(Resource r, std::size_t used, std::size_t limit)>;
+  explicit PressureWatch(Callback cb);
+  ~PressureWatch();
+  PressureWatch(const PressureWatch&) = delete;
+  PressureWatch& operator=(const PressureWatch&) = delete;
+
+ private:
+  friend bool pressure(Resource, std::size_t);
+  Callback cb_;
+  PressureWatch* prev_;
+};
 
 // -- Fault injection ---------------------------------------------------------
 

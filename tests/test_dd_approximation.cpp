@@ -7,6 +7,7 @@
 #include "dd/simulator.hpp"
 #include "ir/library.hpp"
 #include "testutil.hpp"
+#include "testutil_dd.hpp"
 
 namespace qdt::dd {
 namespace {
@@ -40,6 +41,7 @@ TEST(Approximation, FidelityIsTrackedAndBounded) {
     // The result must be normalized.
     EXPECT_NEAR(pkg.norm2(res.state), 1.0, 1e-9);
   }
+  test::expect_dd_refs_ok(pkg);
 }
 
 TEST(Approximation, ReportedFidelityMatchesDenseOverlap) {
@@ -87,6 +89,7 @@ TEST(Approximation, GroverStateApproximatesToMarkedState) {
   EXPECT_LE(res.nodes_after, res.nodes_before);
   // The surviving state still peaks at the marked item.
   EXPECT_GT(std::norm(pkg.amplitude(res.state, marked)), 0.9);
+  test::expect_dd_refs_ok(pkg);
 }
 
 TEST(Approximation, UniformStateResistsApproximation) {

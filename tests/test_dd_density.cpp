@@ -7,6 +7,7 @@
 #include "arrays/density_matrix.hpp"
 #include "ir/library.hpp"
 #include "testutil.hpp"
+#include "testutil_dd.hpp"
 
 namespace qdt::dd {
 namespace {
@@ -23,6 +24,7 @@ void expect_matches_dense(DDDensitySimulator& dd_sim,
           << "(" << r << ", " << c << ")";
     }
   }
+  test::expect_dd_refs_ok(dd_sim.package());
 }
 
 TEST(DdDensity, InitialStateIsZeroProjector) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dd/package.hpp"
 #include "ir/library.hpp"
 
 namespace qdt::dd {
@@ -79,6 +80,22 @@ TEST(DDEquivalence, AlternatingKeepsMiterSmallForEquivalentCircuits) {
   EXPECT_TRUE(seq.equivalent);
   EXPECT_TRUE(alt.equivalent);
   EXPECT_LE(alt.peak_nodes, seq.peak_nodes);
+}
+
+TEST(DDEquivalence, VerdictSurvivesForcedGarbageCollection) {
+  // Equivalence checking builds and tears down miter DDs constantly —
+  // exactly the workload where an over-eager collection could free a node
+  // the miter still references. Force a collection every few allocations
+  // and require the same verdicts as the default configuration.
+  const ScopedPackageConfig scope([] {
+    PackageConfig cfg;
+    cfg.gc_threshold = 8;
+    return cfg;
+  }());
+  EXPECT_TRUE(check_equivalence_dd(ir::qft(4), qft_recomposed(4)).equivalent);
+  ir::Circuit bad = ir::qft(4);
+  bad.x(2);
+  EXPECT_FALSE(check_equivalence_dd(ir::qft(4), bad).equivalent);
 }
 
 TEST(DDEquivalence, WidthMismatchIsNotEquivalent) {

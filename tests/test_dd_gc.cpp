@@ -1,0 +1,259 @@
+// Memory governance of dd::Package: reference counting, garbage
+// collection, bounded tables, pooled reuse, and the bitwise GC-on ==
+// GC-off guarantee.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dd/package.hpp"
+#include "dd/pool.hpp"
+#include "dd/simulator.hpp"
+#include "guard/budget.hpp"
+#include "guard/error.hpp"
+#include "ir/library.hpp"
+#include "testutil_dd.hpp"
+
+namespace qdt::dd {
+namespace {
+
+using test::expect_dd_refs_ok;
+
+PackageConfig config_with(std::size_t gc_threshold,
+                          std::size_t unique_table_mb = 0) {
+  PackageConfig cfg;
+  cfg.gc_threshold = gc_threshold;
+  cfg.unique_table_mb = unique_table_mb;
+  return cfg;
+}
+
+TEST(DdGc, IncRefProtectsRecursivelyAndDecReleases) {
+  Package pkg(3);
+  const VecEdge ghz = [&] {
+    DDSimulator sim(pkg);
+    sim.run(ir::ghz(3));
+    const VecEdge e = sim.state();
+    pkg.inc_ref(e);  // keep it alive past the simulator's dec_ref
+    return e;
+  }();
+  ASSERT_NE(ghz.node, nullptr);
+  EXPECT_GE(ghz.node->ref, 1u);
+
+  // A full collection must keep the protected root and its cone intact.
+  pkg.collect_garbage();
+  const auto before = pkg.to_vector(ghz);
+  EXPECT_NEAR(std::abs(before[0]), 1.0 / std::sqrt(2.0), 1e-9);
+  expect_dd_refs_ok(pkg);
+
+  // Releasing the root makes the whole cone collectable.
+  pkg.dec_ref(ghz);
+  pkg.collect_garbage();
+  EXPECT_EQ(pkg.live_nodes(), 0u);
+  EXPECT_GT(pkg.stats().free_vec_nodes, 0u);
+  expect_dd_refs_ok(pkg);
+}
+
+TEST(DdGc, DecRefUnderflowThrows) {
+  Package pkg(2);
+  VecEdge e = pkg.basis_state(1);
+  pkg.inc_ref(e);
+  pkg.dec_ref(e);
+  EXPECT_THROW(pkg.dec_ref(e), Error);
+}
+
+TEST(DdGc, CollectReusesFreedSlots) {
+  Package pkg(4, config_with(0));  // no automatic GC — explicit only
+  {
+    DDSimulator sim(pkg);
+    sim.run(ir::qft(4));
+  }
+  const std::size_t storage_before = pkg.stats().unique_vec_nodes +
+                                     pkg.stats().free_vec_nodes;
+  pkg.collect_garbage();
+  ASSERT_GT(pkg.stats().free_vec_nodes, 0u);
+  {
+    DDSimulator sim(pkg);
+    sim.run(ir::qft(4));
+  }
+  // The second run fed on the free lists: vec storage did not grow.
+  EXPECT_EQ(pkg.stats().unique_vec_nodes + pkg.stats().free_vec_nodes,
+            storage_before);
+  expect_dd_refs_ok(pkg);
+}
+
+TEST(DdGc, EnduranceLoopStaysFlat) {
+  // The acceptance workload: many circuits through ONE package. GC keeps
+  // the live set bounded and the (capacity-based) footprint plateaus.
+  Package pkg(8, config_with(512));
+  std::size_t warm_footprint = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    DDSimulator sim(pkg, /*seed=*/1 + iter);
+    switch (iter % 3) {
+      case 0: sim.run(ir::ghz(8)); break;
+      case 1: sim.run(ir::qft(8)); break;
+      default: sim.run(ir::random_circuit(8, 20, 7 + iter % 5)); break;
+    }
+    ASSERT_LE(pkg.live_nodes(), 8192u) << "live set unbounded at iteration "
+                                       << iter;
+    if (iter == 49) {
+      warm_footprint = pkg.footprint_bytes();
+    }
+  }
+  EXPECT_GT(pkg.stats().gc_runs, 0u);
+  EXPECT_GT(pkg.stats().gc_freed_nodes, 0u);
+  // Post-warm-up the capacity plateaus: at most 10% growth over the last
+  // 150 iterations (a per-iteration leak would compound far past that).
+  EXPECT_LE(pkg.footprint_bytes(), warm_footprint + warm_footprint / 10);
+  expect_dd_refs_ok(pkg);
+}
+
+TEST(DdGc, GcStressedRunIsBitwiseIdenticalToGcDisabled) {
+  const ir::Circuit circuit = ir::random_circuit(6, 40, 3).unitary_part();
+  const auto run_with = [&](std::size_t gc_threshold) {
+    const ScopedPackageConfig scope(config_with(gc_threshold));
+    DDSimulator sim(circuit.num_qubits());
+    sim.run(circuit);
+    sim.package().maybe_collect_garbage();
+    expect_dd_refs_ok(sim.package());
+    return sim.state_vector();
+  };
+  const auto stressed = run_with(4);   // collect constantly
+  const auto plain = run_with(0);      // never collect
+  ASSERT_EQ(stressed.size(), plain.size());
+  EXPECT_EQ(std::memcmp(stressed.data(), plain.data(),
+                        stressed.size() * sizeof(Complex)),
+            0)
+      << "garbage collection changed the computed amplitudes";
+}
+
+TEST(DdGc, TableBoundCollectsThenThrowsTyped) {
+  // A bound far below the live set: collection cannot help, so the typed
+  // collect-then-continue error surfaces (robust ladders dispatch on it).
+  const ScopedPackageConfig scope(config_with(1 << 16, /*table_mb=*/1));
+  DDSimulator sim(14);
+  try {
+    sim.run(ir::random_circuit(14, 30, 11));
+    FAIL() << "expected Error(ResourceExhausted, DdNodes)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::ResourceExhausted);
+  }
+  expect_dd_refs_ok(sim.package());
+}
+
+TEST(DdGc, GuardPressureArmsCollection) {
+  // Usage crossing 7/8 of the budget's node cap must arm a collection
+  // instead of waiting for the hard throw: with the count trigger off,
+  // churning out garbage basis states under a 4096-node budget would
+  // blow the cap (every 12-qubit basis state is a fresh ~12-node path)
+  // unless pressure-armed collections reclaim them at the safe points.
+  guard::Budget budget;
+  budget.max_dd_nodes = 4096;
+  const guard::BudgetScope scope(budget);
+  Package pkg(12, config_with(0));  // count trigger off: pressure only
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    (void)pkg.basis_state(i);
+    pkg.maybe_collect_garbage();
+  }
+  EXPECT_GT(pkg.stats().gc_runs, 0u);
+  EXPECT_LE(pkg.live_nodes(), 4096u);
+  expect_dd_refs_ok(pkg);
+}
+
+TEST(DdGc, ComplexTablePinAndSweep) {
+  ComplexTable t;
+  const auto a = t.lookup(Complex{0.25, 0.75});
+  const auto b = t.lookup(Complex{-0.5, 0.125});
+  t.pin(a);
+  std::vector<char> keep(t.size(), 0);
+  t.mark_pinned(keep);
+  const std::size_t freed = t.sweep(keep);
+  EXPECT_GE(freed, 1u);
+  EXPECT_FALSE(t.is_dead(a));
+  EXPECT_TRUE(t.is_dead(b));
+  EXPECT_FALSE(t.is_dead(ComplexTable::kZero));
+  EXPECT_FALSE(t.is_dead(ComplexTable::kOne));
+
+  // Swept slots are recycled by the next lookup, indices stay stable.
+  const std::size_t size_before = t.size();
+  const auto c = t.lookup(Complex{0.1, 0.9});
+  EXPECT_EQ(t.size(), size_before);
+  EXPECT_FALSE(t.is_dead(c));
+
+  t.unpin(a);
+  EXPECT_THROW(t.unpin(a), Error);
+}
+
+TEST(DdGc, ResetKeepsCapacityAndClearsState) {
+  Package pkg(6);
+  {
+    DDSimulator sim(pkg);
+    sim.run(ir::qft(6));
+  }
+  const PackageStats before = pkg.stats();
+  const std::size_t slots_before =
+      before.unique_vec_nodes + before.free_vec_nodes;
+  const std::size_t footprint = pkg.footprint_bytes();
+  ASSERT_GT(slots_before, 0u);
+  pkg.reset(6);
+  EXPECT_EQ(pkg.live_nodes(), 0u);
+  EXPECT_EQ(pkg.stats().gc_runs, 0u);
+  // Node storage is retained (every slot back on the free list); the
+  // footprint can only shrink (caches emptied), never grow.
+  EXPECT_EQ(pkg.stats().free_vec_nodes, slots_before);
+  EXPECT_LE(pkg.footprint_bytes(), footprint);
+  // The reset package is fully usable.
+  DDSimulator sim(pkg);
+  sim.run(ir::ghz(6));
+  EXPECT_NEAR(std::abs(sim.amplitude(0)), 1.0 / std::sqrt(2.0), 1e-9);
+  expect_dd_refs_ok(pkg);
+}
+
+TEST(DdGc, PoolReusesPackages) {
+  trim_pool();
+  const Package* first = nullptr;
+  {
+    PackageLease lease(5);
+    first = &lease.get();
+    DDSimulator sim(lease.get());
+    sim.run(ir::ghz(5));
+  }
+  EXPECT_EQ(pool_size(), 1u);
+  {
+    PackageLease lease(7);  // different width: reset, same storage
+    EXPECT_EQ(&lease.get(), first);
+    EXPECT_EQ(lease->num_qubits(), 7u);
+    EXPECT_EQ(lease->live_nodes(), 0u);
+  }
+  trim_pool();
+  EXPECT_EQ(pool_size(), 0u);
+}
+
+TEST(DdGc, ScopedConfigOverridesAndRestores) {
+  const PackageConfig base = current_package_config();
+  {
+    const ScopedPackageConfig scope(config_with(17, 3));
+    EXPECT_EQ(current_package_config().gc_threshold, 17u);
+    EXPECT_EQ(current_package_config().unique_table_mb, 3u);
+    const Package pkg(2);
+    EXPECT_EQ(pkg.config().gc_threshold, 17u);
+  }
+  EXPECT_EQ(current_package_config().gc_threshold, base.gc_threshold);
+  EXPECT_EQ(current_package_config().unique_table_mb, base.unique_table_mb);
+}
+
+TEST(DdGc, RequestGcCollectsAtNextSafePoint) {
+  Package pkg(3, config_with(0));
+  VecEdge e = pkg.basis_state(5);
+  EXPECT_FALSE(pkg.maybe_collect_garbage());
+  pkg.request_gc();
+  EXPECT_TRUE(pkg.gc_pending());
+  EXPECT_TRUE(pkg.maybe_collect_garbage());
+  EXPECT_FALSE(pkg.gc_pending());
+  // e was never ref-protected, so it was garbage at the safe point.
+  EXPECT_EQ(pkg.live_nodes(), 0u);
+  (void)e;
+  expect_dd_refs_ok(pkg);
+}
+
+}  // namespace
+}  // namespace qdt::dd

@@ -8,6 +8,7 @@
 #include "dd/complex_table.hpp"
 #include "ir/library.hpp"
 #include "testutil.hpp"
+#include "testutil_dd.hpp"
 
 namespace qdt::dd {
 namespace {
@@ -199,6 +200,7 @@ TEST(Package, MatrixVectorMultiplyMatchesDense) {
   const auto got = pkg.to_vector(state);
   const auto expected = test::oracle_state(c);
   test::expect_state_near(got, expected.amplitudes(), 1e-8);
+  test::expect_dd_refs_ok(pkg);
 }
 
 TEST(Package, MatrixMatrixMultiplyMatchesDense) {
@@ -327,6 +329,7 @@ TEST(Package, StatsTrackGrowth) {
   EXPECT_GT(after.complex_values, 2U);
   pkg.clear_caches();  // must not invalidate existing DDs
   EXPECT_NEAR(pkg.norm2(state), 1.0, 1e-9);
+  test::expect_dd_refs_ok(pkg);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "dd/export_dot.hpp"
 #include "ir/library.hpp"
 #include "testutil.hpp"
+#include "testutil_dd.hpp"
 
 namespace qdt::dd {
 namespace {
@@ -41,6 +42,7 @@ TEST(DDSimulator, MatchesArrayBackendOnCircuitFamilies) {
       EXPECT_NEAR(std::abs(got[i] - expected.amplitudes()[i]), 0.0, 1e-8)
           << c.name() << " amplitude " << i;
     }
+    test::expect_dd_refs_ok(sim.package());
   }
 }
 
@@ -74,6 +76,7 @@ TEST(DDSimulator, MeasurementCollapsesGhz) {
     EXPECT_NEAR(sim.package().prob_one(sim.state(), q), first ? 1.0 : 0.0,
                 1e-9);
   }
+  test::expect_dd_refs_ok(sim.package());
 }
 
 TEST(DDSimulator, MeasurementRecordFromRun) {

@@ -1,0 +1,25 @@
+// DD-specific test helpers: refcount auditing after every scenario.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "dd/package.hpp"
+#include "guard/error.hpp"
+
+namespace qdt::test {
+
+/// Assert the package's refcount/GC invariants hold right now: storage is
+/// partitioned between unique tables and free lists, refcounts cover the
+/// live in-degree, no live node points at a freed node or swept weight,
+/// and complex-table pins are sane. Call at the end of every scenario
+/// that touched refs or ran a collection (the ~Package audit catches the
+/// same violations, but only at teardown — this names the failing test).
+inline void expect_dd_refs_ok(const dd::Package& pkg) {
+  try {
+    pkg.check_refs();
+  } catch (const Error& e) {
+    FAIL() << "dd refcount audit failed: " << e.what();
+  }
+}
+
+}  // namespace qdt::test

@@ -48,6 +48,10 @@ REQUIRED_METRICS = {
     "qdt.serve.request.degraded",
     "qdt.serve.queue.depth",
     "qdt.serve.cache.hit",
+    # DD memory governance: long-running deployments alert on GC health.
+    "qdt.dd.gc.runs",
+    "qdt.dd.gc.freed_nodes",
+    "qdt.dd.gc.live_nodes",
 }
 
 

@@ -150,6 +150,9 @@ any subcommand:
   --threads N            qdt::par kernel thread cap (default 1 or
                          QDT_THREADS; 0 = all hardware threads; results
                          are bitwise identical at any thread count)
+  --dd-table-mb N        decision-diagram unique-table bound in MiB
+                         (default unbounded or QDT_DD_TABLE_MB; exceeding
+                         it triggers GC, then a typed dd_nodes error)
 )";
   std::exit(2);
 }
@@ -244,6 +247,17 @@ void apply_threads(const std::map<std::string, std::string>& flags) {
   }
 }
 
+/// Honor --dd-table-mb N on any subcommand: bound the decision-diagram
+/// unique-table footprint (0 = unbounded). QDT_DD_TABLE_MB supplies the
+/// default when the flag is absent; the explicit flag wins over the env.
+void apply_dd_table(const std::map<std::string, std::string>& flags) {
+  if (const auto it = flags.find("dd-table-mb"); it != flags.end()) {
+    dd::PackageConfig cfg = dd::default_package_config();
+    cfg.unique_table_mb = std::stoul(it->second);
+    dd::set_default_package_config(cfg);
+  }
+}
+
 /// Budget from --timeout-ms / --max-memory-mb, both optional.
 guard::Budget budget_from(const std::map<std::string, std::string>& flags) {
   guard::Budget b;
@@ -263,6 +277,7 @@ int cmd_stats(const std::vector<std::string>& args) {
     usage();
   }
   apply_threads(flags);
+  apply_dd_table(flags);
   const ir::Circuit c = load(pos[0]);
   const auto s = c.stats();
   std::cout << "qubits:       " << s.num_qubits << "\n";
@@ -292,6 +307,7 @@ int cmd_lint(const std::vector<std::string>& args) {
     usage();
   }
   apply_threads(flags);
+  apply_dd_table(flags);
   const ir::Circuit c = load(pos[0]);
   lint::PlanConstraints constraints;
   constraints.want_state = flags.contains("state");
@@ -369,6 +385,7 @@ int cmd_simulate(const std::vector<std::string>& args) {
     usage();
   }
   apply_threads(flags);
+  apply_dd_table(flags);
   const ir::Circuit c = load(pos[0]);
   const auto backend = backend_from(
       flags.contains("backend") ? flags["backend"] : "auto", c);
@@ -428,6 +445,7 @@ int cmd_explain(const std::vector<std::string>& args) {
     usage();
   }
   apply_threads(flags);
+  apply_dd_table(flags);
   const ir::Circuit c = load(pos[0]);
   core::SimulateOptions opts;
   opts.shots = flags.contains("shots") ? std::stoul(flags["shots"]) : 0;
@@ -458,6 +476,7 @@ int cmd_verify(const std::vector<std::string>& args) {
     usage();
   }
   apply_threads(flags);
+  apply_dd_table(flags);
   const ir::Circuit a = load(pos[0]);
   const ir::Circuit b = load(pos[1]);
   core::EcMethod method = core::EcMethod::DdAlternating;
@@ -512,6 +531,7 @@ int cmd_compile(const std::vector<std::string>& args) {
     usage();
   }
   apply_threads(flags);
+  apply_dd_table(flags);
   const guard::BudgetScope scope(budget_from(flags));
   const ir::Circuit c = load(pos[0]);
   const std::size_t n = flags.contains("qubits")
@@ -588,6 +608,7 @@ int cmd_fuzz(const std::vector<std::string>& args) {
     usage();
   }
   apply_threads(flags);
+  apply_dd_table(flags);
 
   // --replay: classify one persisted repro instead of generating cases.
   if (flags.contains("replay")) {
@@ -684,6 +705,7 @@ int cmd_serve(const std::vector<std::string>& args) {
     usage();
   }
   apply_threads(flags);
+  apply_dd_table(flags);
 
   serve::ServeOptions opts;
   if (flags.contains("workers")) {

@@ -85,6 +85,137 @@ def build_requests():
     return lines, rid
 
 
+def run_soak(binary, env, failures):
+    """1000-request single-worker endurance phase.
+
+    Every request simulates (the per-request seed defeats the plan cache),
+    so the worker's pooled dd::Package is exercised 1000 times. The pool
+    resets the package between requests and GC bounds the live set inside
+    each one, so ru_maxrss must plateau: the peak after the final request
+    may exceed the peak after warm-up (~300 requests) by at most
+    max(16 MiB, 10%). A leak of even a few KiB per request compounds to
+    tens of MiB over the run and trips the assertion.
+
+    Returns a dict of soak_* keys for the BENCH_serve.json line.
+    """
+    daemon = subprocess.Popen(
+        # Queue limits sized so a full 100-request batch is admitted: the
+        # soak measures steady-state memory, not admission control (the
+        # main phase covers shedding).
+        [
+            binary, "serve", "--workers", "1",
+            "--max-queue", "256", "--max-tenant-queue", "256",
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    responses = []
+
+    def reader():
+        for line in daemon.stdout:
+            line = line.strip()
+            if line:
+                responses.append(line)
+
+    t = threading.Thread(target=reader, daemon=True)
+    t.start()
+
+    total = 1000
+    batch = 100
+    rid = 0
+    rss_warm = None
+    rss_final = None
+    soak_ok = 0
+    start = time.monotonic()
+    try:
+        for base in range(0, total, batch):
+            for i in range(batch):
+                rid += 1
+                daemon.stdin.write(
+                    '{"id":%d,"op":"simulate","qasm":"%s","shots":16,'
+                    '"seed":%d,"tenant":"soak"}\n' % (rid, BELL, rid)
+                )
+            rid += 1
+            daemon.stdin.write('{"id":%d,"op":"status"}\n' % rid)
+            daemon.stdin.flush()
+            deadline = time.monotonic() + 120
+            while len(responses) < rid and time.monotonic() < deadline:
+                time.sleep(0.02)
+            if len(responses) < rid:
+                failures.append(
+                    f"soak: answered {len(responses)}/{rid} within 120s"
+                )
+                break
+            status = None
+            for line in responses[-(batch + 1):]:
+                try:
+                    r = json.loads(line)
+                except json.JSONDecodeError:
+                    failures.append(f"soak: unparseable response: {line!r}")
+                    continue
+                if r.get("op") == "status":
+                    status = r
+            if status is None:
+                failures.append("soak: status probe went unanswered")
+                break
+            rss = status.get("rss_peak_mb")
+            if rss is None:
+                failures.append("soak: status response lacks rss_peak_mb")
+                break
+            if base + batch >= 300 and rss_warm is None:
+                rss_warm = rss
+            rss_final = rss
+    except BrokenPipeError:
+        failures.append("soak: daemon pipe closed mid-run")
+    wall = time.monotonic() - start
+
+    daemon.send_signal(signal.SIGTERM)
+    try:
+        daemon.stdin.close()
+        daemon.wait(timeout=120)
+        t.join(timeout=10)
+    except (subprocess.TimeoutExpired, BrokenPipeError, OSError):
+        daemon.kill()
+        failures.append("soak: SIGTERM did not drain the daemon within 120s")
+    if daemon.returncode != 0:
+        failures.append(f"soak: daemon exit code {daemon.returncode}")
+
+    for line in responses:
+        try:
+            r = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if r.get("ok") and r.get("op") != "status":
+            soak_ok += 1
+    if soak_ok < total:
+        failures.append(f"soak: only {soak_ok}/{total} simulations succeeded")
+
+    growth = None
+    if rss_warm is not None and rss_final is not None:
+        growth = rss_final - rss_warm
+        allowed = max(16, 0.10 * rss_warm)
+        if growth > allowed:
+            failures.append(
+                f"soak: rss_peak_mb grew {growth} MiB after warm-up "
+                f"({rss_warm} -> {rss_final}, allowed {allowed:.0f}) — "
+                "per-request memory is not being reclaimed"
+            )
+    else:
+        failures.append("soak: never captured warm-up/final RSS readings")
+
+    return {
+        "soak_requests": total,
+        "soak_ok": soak_ok,
+        "soak_rss_warm_mb": rss_warm,
+        "soak_rss_final_mb": rss_final,
+        "soak_rss_growth_mb": growth,
+        "soak_wall_seconds": round(wall, 4),
+    }
+
+
 def main() -> int:
     if len(sys.argv) < 2:
         print("usage: serve_smoke.py <qdt-binary> [artifact-dir]")
@@ -231,6 +362,9 @@ def main() -> int:
     if spans == 0:
         failures.append("trace artifact has no qdt.serve.request.run spans")
 
+    # ---- endurance soak: RSS must plateau ---------------------------------
+    soak = run_soak(binary, env, failures)
+
     # ---- machine-readable summary ----------------------------------------
     bench = {
         "name": "serve_smoke",
@@ -246,6 +380,7 @@ def main() -> int:
         "admitted": counters.get("qdt.serve.request.admitted", 0),
         "completed": counters.get("qdt.serve.request.completed", 0),
     }
+    bench.update(soak)
     print("BENCH_serve.json " + json.dumps(bench))
 
     if failures:
@@ -256,7 +391,9 @@ def main() -> int:
     print(
         f"serve smoke OK: {len(responses)} answered "
         f"({ok_count} ok, {typed_errors} typed errors, {cache_hits} cache "
-        f"hits, {degraded} degraded) in {wall:.2f}s"
+        f"hits, {degraded} degraded) in {wall:.2f}s; soak "
+        f"{soak['soak_ok']}/{soak['soak_requests']} ok, rss "
+        f"{soak['soak_rss_warm_mb']} -> {soak['soak_rss_final_mb']} MiB"
     )
     return 0
 
