@@ -1,0 +1,71 @@
+// Syndrome extraction on cold data — dead-round elimination showcase.
+//
+// Eight data qubits and four ancillas. Round 1 extracts Z-stabilizer
+// syndromes before the data has been initialized: every data wire is
+// still provably |0>, so all sixteen data->ancilla CXs are identity and
+// the round measures nothing. qdt::flow proves this from the
+// constant-state lattice and `qdt opt` deletes the round (and its
+// measure/reset bookkeeping stays, still correct). Round 2 runs after
+// the |+>-basis preparation layer and is kept in full.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[12];
+creg c[12];
+
+// round 1: syndrome extraction on uninitialized (all-|0>) data — dead
+cx q[0], q[8];
+cx q[1], q[8];
+cx q[2], q[8];
+cx q[3], q[8];
+cx q[2], q[9];
+cx q[3], q[9];
+cx q[4], q[9];
+cx q[5], q[9];
+cx q[4], q[10];
+cx q[5], q[10];
+cx q[6], q[10];
+cx q[7], q[10];
+cx q[6], q[11];
+cx q[7], q[11];
+cx q[0], q[11];
+cx q[1], q[11];
+measure q[8] -> c[8];
+measure q[9] -> c[9];
+measure q[10] -> c[10];
+measure q[11] -> c[11];
+reset q[8];
+reset q[9];
+reset q[10];
+reset q[11];
+
+// state preparation: put the data block in the |+> basis
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+h q[4];
+h q[5];
+h q[6];
+h q[7];
+
+// round 2: the same extraction against live data — kept in full
+cx q[0], q[8];
+cx q[1], q[8];
+cx q[2], q[8];
+cx q[3], q[8];
+cx q[2], q[9];
+cx q[3], q[9];
+cx q[4], q[9];
+cx q[5], q[9];
+cx q[4], q[10];
+cx q[5], q[10];
+cx q[6], q[10];
+cx q[7], q[10];
+cx q[6], q[11];
+cx q[7], q[11];
+cx q[0], q[11];
+cx q[1], q[11];
+measure q[8] -> c[0];
+measure q[9] -> c[1];
+measure q[10] -> c[2];
+measure q[11] -> c[3];

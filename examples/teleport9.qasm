@@ -1,0 +1,61 @@
+// Teleportation relay with wire recycling — the constant-state showcase.
+//
+// A message state hops along a chain of EPR links; after each Bell
+// measurement the consumed wires are reset and reused. The stale
+// correction layer applied to the freshly reset |0> wires, the leading
+// rz on the untouched message wire, and everything on the never-excited
+// tail wires are all provably identity under qdt::flow's constant-state
+// lattice: `qdt opt examples/teleport9.qasm` removes them with a
+// certificate, leaving only the gates that move the state.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[9];
+creg c[9];
+
+// message: |psi> = T H |0> on q0 — the leading rz is a global phase on |0>
+rz(pi/4) q[0];
+h q[0];
+t q[0];
+
+// hop 1: EPR link q1-q2, Bell measurement of (q0, q1)
+h q[1];
+cx q[1], q[2];
+cx q[0], q[1];
+h q[0];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+
+// the consumed wires come back as fresh |0>
+reset q[0];
+reset q[1];
+
+// stale correction layer on the recycled wires: all identity on |0>
+z q[0];
+s q[1];
+t q[0];
+cx q[0], q[3];
+cx q[1], q[4];
+cz q[0], q[1];
+
+// hop 2: new EPR link q1-q5, Bell measurement of (q2, q1)
+h q[1];
+cx q[1], q[5];
+cx q[2], q[1];
+h q[2];
+measure q[2] -> c[2];
+measure q[1] -> c[3];
+reset q[2];
+reset q[1];
+
+// stale corrections again
+z q[2];
+cx q[2], q[6];
+s q[1];
+
+// tail wires q7, q8 never leave |0>: this block is entirely dead
+cz q[7], q[8];
+z q[7];
+t q[8];
+
+// the message now lives on q5
+measure q[5] -> c[5];

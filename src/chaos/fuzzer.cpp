@@ -68,9 +68,14 @@ OracleOptions narrowed_options(const OracleOptions& base,
   }
   if (failing.rfind("state:", 0) == 0) {
     opts.equivalence_checks = false;
+    opts.opt_check = false;
+  } else if (failing.rfind("opt:", 0) == 0) {
+    opts.equivalence_checks = false;
+    opts.stabilizer_check = false;
   } else if (failing.rfind("ec:", 0) == 0) {
     opts.max_state_qubits = 0;  // skip the state diff entirely
     opts.stabilizer_check = false;
+    opts.opt_check = false;
   }
   return opts;
 }
@@ -123,7 +128,8 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
       const std::lock_guard<std::mutex> lock(mu);
       *options.log << "case " << i << " seed " << seed << " family "
                    << gen.family << " n=" << gen.circuit.num_qubits()
-                   << " ops=" << gen.circuit.size() << std::endl;
+                   << " ops=" << gen.circuit.size() << "\n"
+                   << std::flush;
     }
 
     // -- Differential + metamorphic oracle -----------------------------------

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/tasks.hpp"
+#include "flow/opt.hpp"
 #include "guard/budget.hpp"
 #include "guard/error.hpp"
 #include "ir/qasm.hpp"
@@ -288,6 +289,78 @@ OracleReport run_oracle(const ir::Circuit& circuit,
         r.outcome = classify_exception("stabilizer", r.detail);
       }
       record(std::move(r));
+    }
+  }
+
+  // -- Optimizer soundness: opt(c) ~ c ---------------------------------------
+  if (options.opt_check && !unitary.empty()) {
+    CheckResult r;
+    r.check = "opt:rewrites";
+    bool optimized = false;
+    flow::OptResult opt;
+    try {
+      guard::BudgetScope scope(
+          {.deadline_seconds = options.check_deadline_seconds});
+      flow::OptOptions oo;
+      oo.compact_wires = false;  // keep widths comparable for the diff
+      opt = flow::optimize(unitary, oo);
+      optimized = true;
+      r.detail = std::to_string(opt.rewrites.size()) + " rewrites, " +
+                 std::to_string(opt.gates_before) + " -> " +
+                 std::to_string(opt.gates_after) + " gates, certified";
+    } catch (const Error& e) {
+      if (e.code() == ErrorCode::Internal) {
+        // The certificate checker refused a rewrite the optimizer emitted.
+        // That is never an acceptable refusal — it means the optimizer
+        // produced an unjustified transformation.
+        r.outcome = Outcome::Mismatch;
+        r.detail = std::string("certificate checker rejected: ") + e.what();
+      } else {
+        r.outcome = Outcome::TypedError;
+        r.detail = std::string(e.code_name()) + ": " + e.what();
+      }
+    } catch (...) {
+      r.outcome = classify_exception("optimizer", r.detail);
+    }
+    record(std::move(r));
+
+    if (optimized && !opt.rewrites.empty()) {
+      // Dense diff from |0..0> — the semantics every rewrite (including
+      // the initial-state-dependent dead-gate/phase-fold ones) promises to
+      // preserve, up to the global phase the optimizer folds and reports.
+      if (n <= options.max_state_qubits) {
+        CheckResult s;
+        s.check = "opt:state";
+        try {
+          guard::BudgetScope scope(
+              {.deadline_seconds = options.check_deadline_seconds});
+          const auto before = simulate_state(unitary, core::SimBackend::Array);
+          const auto after =
+              simulate_state(opt.circuit, core::SimBackend::Array);
+          const double dist = state_distance_up_to_phase(before, after);
+          if (!(dist <= options.tolerance)) {  // catches NaN too
+            s.outcome = Outcome::Mismatch;
+          }
+          s.detail = "max amplitude deviation " + std::to_string(dist);
+        } catch (...) {
+          s.outcome = classify_exception("opt-state", s.detail);
+        }
+        record(std::move(s));
+      }
+      // When only unitary-level rewrites fired (pair cancellation and
+      // rotation merging are matrix identities, not initial-state facts),
+      // the stronger claim holds: full unitary equivalence via the DD
+      // miter, up to global phase.
+      const bool unitary_level = std::all_of(
+          opt.rewrites.begin(), opt.rewrites.end(), [](const auto& rw) {
+            return rw.kind == flow::Rewrite::Kind::CancelPair ||
+                   rw.kind == flow::Rewrite::Kind::MergeRotation;
+          });
+      if (unitary_level) {
+        record(expect_equivalent("opt:ec:dd", unitary, opt.circuit,
+                                 core::EcMethod::DdAlternating,
+                                 options.check_deadline_seconds));
+      }
     }
   }
 

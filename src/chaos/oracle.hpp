@@ -74,6 +74,13 @@ struct OracleOptions {
   bool equivalence_checks = true;
   /// Compare stabilizer-tableau marginals for Clifford circuits.
   bool stabilizer_check = true;
+  /// Metamorphic optimizer check: opt(c) ~ c. Runs flow::optimize (wire
+  /// compaction off so widths stay comparable) and, when any rewrite
+  /// fired, proves the optimized circuit equivalent to the original via
+  /// the DD miter and a dense-state diff. A certificate-checker rejection
+  /// (Error(Internal)) is a Mismatch finding, not a typed refusal — the
+  /// optimizer must never emit an unjustified rewrite.
+  bool opt_check = true;
   /// Width cap for the dense state diff (2^n amplitudes per backend).
   std::size_t max_state_qubits = 10;
   /// Wall-clock budget per individual check (guard::BudgetScope). Fuzzing

@@ -30,6 +30,11 @@
 #include "dd/export_dot.hpp"           // IWYU pragma: export
 #include "dd/package.hpp"              // IWYU pragma: export
 #include "dd/simulator.hpp"            // IWYU pragma: export
+#include "flow/cert.hpp"               // IWYU pragma: export
+#include "flow/clifford.hpp"           // IWYU pragma: export
+#include "flow/domain.hpp"             // IWYU pragma: export
+#include "flow/opt.hpp"                // IWYU pragma: export
+#include "flow/unitary.hpp"            // IWYU pragma: export
 #include "guard/budget.hpp"            // IWYU pragma: export
 #include "guard/error.hpp"             // IWYU pragma: export
 #include "ir/circuit.hpp"              // IWYU pragma: export

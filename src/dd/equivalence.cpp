@@ -64,7 +64,11 @@ EcResult check_equivalence_dd(const ir::Circuit& c1, const ir::Circuit& c2,
   };
   const auto apply_right = [&] {
     guard::check_deadline();
-    step_miter(pkg.multiply(miter, pkg.gate_dd(ops2[j].adjoint())));
+    // conjugate_transpose, not Operation::adjoint(): the structural
+    // adjoint of a half-turn rotation wraps -pi back to +pi (a sign the
+    // controlled block observes), while the DD adjoint is always exact.
+    step_miter(
+        pkg.multiply(miter, pkg.conjugate_transpose(pkg.gate_dd(ops2[j]))));
     ++j;
     ++res.gates_applied;
     res.peak_nodes = std::max(res.peak_nodes, pkg.node_count(miter));

@@ -1,0 +1,520 @@
+#include "flow/cert.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "flow/domain.hpp"
+#include "flow/unitary.hpp"
+#include "guard/error.hpp"
+#include "ir/gate.hpp"
+#include "obs/obs.hpp"
+
+namespace qdt::flow::cert {
+
+namespace {
+
+using ir::GateKind;
+using ir::Operation;
+using ir::Qubit;
+
+obs::Counter& g_checked = obs::counter("qdt.flow.cert.checked");
+obs::Counter& g_rejected = obs::counter("qdt.flow.cert.rejected");
+
+/// Checker tolerance for matrix products and phase sums: deliberately
+/// looser than the optimizer's 1e-9 so a certificate is only rejected for
+/// real violations, never rounding.
+constexpr double kTol = 1e-6;
+
+/// Tolerance for state-identity claims. Tighter than kTol: every legal
+/// claim is exact up to machine rounding (~1e-15), while an unsound
+/// near-identity removal — a rotation by epsilon deviates by O(epsilon)
+/// entrywise — must be rejected below the 1e-7 the fuzz oracles observe.
+constexpr double kStateTol = 1e-8;
+
+[[noreturn]] void fail(const std::string& what) {
+  g_rejected.add();
+  throw Error::internal("flow: certificate rejected: " + what);
+}
+
+bool phase_is_zero(double r) {
+  return std::abs(Complex{std::cos(r) - 1.0, std::sin(r)}) < kTol;
+}
+
+/// Concrete per-qubit state: exact amplitudes, or nullopt once the qubit
+/// is possibly entangled / unknown. Strictly more precise than the
+/// abstract lattice, so every lattice fact must be confirmable here.
+using QubitVec = std::optional<std::array<Complex, 2>>;
+
+bool is_zero_vec(const std::array<Complex, 2>& v) {
+  return std::abs(v[1]) < kTol;
+}
+
+bool is_one_vec(const std::array<Complex, 2>& v) {
+  return std::abs(v[0]) < kTol;
+}
+
+/// Concrete mirror of the abstract transfer, over exact amplitudes.
+void concrete_transfer(const Operation& op, std::vector<QubitVec>& vecs) {
+  if (op.is_barrier()) {
+    return;
+  }
+  if (op.is_reset()) {
+    for (const Qubit q : op.targets()) {
+      vecs[q] = std::array<Complex, 2>{Complex{1.0, 0.0}, Complex{0.0, 0.0}};
+    }
+    return;
+  }
+  if (op.is_measurement()) {
+    for (const Qubit q : op.targets()) {
+      if (vecs[q].has_value() && is_zero_vec(*vecs[q])) {
+        vecs[q] = std::array<Complex, 2>{Complex{1.0, 0.0}, Complex{0.0, 0.0}};
+      } else if (vecs[q].has_value() && is_one_vec(*vecs[q])) {
+        vecs[q] = std::array<Complex, 2>{Complex{0.0, 0.0}, Complex{1.0, 0.0}};
+      } else {
+        vecs[q] = std::nullopt;
+      }
+    }
+    return;
+  }
+  if (op.kind() == GateKind::I && op.controls().empty()) {
+    return;
+  }
+  for (const Qubit c : op.controls()) {
+    if (vecs[c].has_value() && is_zero_vec(*vecs[c])) {
+      return;  // the gate never fires
+    }
+  }
+  const std::vector<Qubit> qs = op.qubits();
+  const bool all_known = std::all_of(qs.begin(), qs.end(), [&](Qubit q) {
+    return vecs[q].has_value();
+  });
+  if (all_known && qs.size() <= kDenseCap) {
+    const std::size_t k = qs.size();
+    const std::size_t dim = std::size_t{1} << k;
+    std::vector<Complex> in(dim, Complex{0.0, 0.0});
+    for (std::size_t j = 0; j < dim; ++j) {
+      Complex amp{1.0, 0.0};
+      for (std::size_t i = 0; i < k; ++i) {
+        amp *= (*vecs[qs[i]])[(j >> i) & 1U];
+      }
+      in[j] = amp;
+    }
+    const std::vector<Complex> u = op_unitary(op);
+    std::vector<Complex> out(dim, Complex{0.0, 0.0});
+    for (std::size_t r = 0; r < dim; ++r) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        out[r] += u[r * dim + c] * in[c];
+      }
+    }
+    Complex inner{0.0, 0.0};
+    for (std::size_t j = 0; j < dim; ++j) {
+      inner += std::conj(in[j]) * out[j];
+    }
+    if (std::abs(std::abs(inner) - 1.0) < 1e-9) {
+      // Entrywise confirmation — fidelity is quadratically blind to the
+      // O(eps) drift of a near-identity gate, and "nothing moves" here
+      // would let later claims be confirmed against stale amplitudes.
+      const Complex phase = inner / std::abs(inner);
+      bool entrywise = true;
+      for (std::size_t j = 0; j < dim; ++j) {
+        if (std::abs(out[j] - phase * in[j]) >= 1e-9) {
+          entrywise = false;
+          break;
+        }
+      }
+      if (entrywise) {
+        return;  // identity up to phase: nothing moves
+      }
+    }
+    const auto factors = factor_product(out, k);
+    if (!factors.has_value()) {
+      for (const Qubit q : qs) {
+        vecs[q] = std::nullopt;
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      vecs[qs[i]] = (*factors)[i];
+    }
+    return;
+  }
+  if (op.is_diagonal()) {
+    const bool targets_basis =
+        std::all_of(op.targets().begin(), op.targets().end(), [&](Qubit q) {
+          return vecs[q].has_value() &&
+                 (is_zero_vec(*vecs[q]) || is_one_vec(*vecs[q]));
+        });
+    if (targets_basis) {
+      // Basis targets pass through a diagonal gate untouched; superposed
+      // controls may pick up correlated phases.
+      for (const Qubit c : op.controls()) {
+        if (!vecs[c].has_value() ||
+            !(is_zero_vec(*vecs[c]) || is_one_vec(*vecs[c]))) {
+          vecs[c] = std::nullopt;
+        }
+      }
+      return;
+    }
+  }
+  for (const Qubit q : qs) {
+    vecs[q] = std::nullopt;
+  }
+}
+
+/// Re-derive a DeadGate/FoldPhase claim from the fact states alone: the
+/// operation must act as e^{i phase} * identity on every product vector
+/// whose known qubits sit in their claimed states and whose unknown
+/// qubits range over the computational basis (linearity extends that to
+/// the whole reachable subspace, entanglement with the environment
+/// included).
+bool removal_justified(const Operation& op,
+                       const std::vector<StateValue>& facts, double phase) {
+  if (!op.is_unitary()) {
+    return false;
+  }
+  const std::vector<Qubit> qs = op.qubits();
+  if (facts.size() != qs.size() || qs.size() > kDenseCap) {
+    return false;
+  }
+  const std::vector<Complex> u = op_unitary(op);
+  const std::size_t k = qs.size();
+  const std::size_t dim = std::size_t{1} << k;
+  std::vector<std::size_t> unknown;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!is_known(facts[i])) {
+      unknown.push_back(i);
+    }
+  }
+  const Complex want{std::cos(phase), std::sin(phase)};
+  for (std::size_t asn = 0; asn < (std::size_t{1} << unknown.size()); ++asn) {
+    std::vector<Complex> v(dim, Complex{0.0, 0.0});
+    for (std::size_t j = 0; j < dim; ++j) {
+      Complex amp{1.0, 0.0};
+      bool live = true;
+      for (std::size_t i = 0; i < k && live; ++i) {
+        const std::size_t bit = (j >> i) & 1U;
+        if (is_known(facts[i])) {
+          amp *= state_vector(facts[i])[bit];
+        } else {
+          const std::size_t u_pos = static_cast<std::size_t>(
+              std::find(unknown.begin(), unknown.end(), i) - unknown.begin());
+          live = bit == ((asn >> u_pos) & 1U);
+        }
+      }
+      v[j] = live ? amp : Complex{0.0, 0.0};
+    }
+    for (std::size_t r = 0; r < dim; ++r) {
+      Complex acc{0.0, 0.0};
+      for (std::size_t c = 0; c < dim; ++c) {
+        acc += u[r * dim + c] * v[c];
+      }
+      if (std::abs(acc - want * v[r]) > kStateTol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Verify U_b * U_a == e^{i phase} * target (identity when null).
+bool product_matches(const Operation& a, const Operation& b,
+                     const Operation* merged, double phase) {
+  if (a.num_qubits() > kDenseCap || b.qubits() != a.qubits()) {
+    return false;
+  }
+  if (merged != nullptr && merged->qubits() != a.qubits()) {
+    return false;
+  }
+  const std::vector<Complex> ua = op_unitary(a);
+  const std::vector<Complex> ub = op_unitary(b);
+  const std::size_t dim = std::size_t{1} << a.num_qubits();
+  std::vector<Complex> target;
+  if (merged != nullptr) {
+    target = op_unitary(*merged);
+  } else {
+    target.assign(dim * dim, Complex{0.0, 0.0});
+    for (std::size_t d = 0; d < dim; ++d) {
+      target[d * dim + d] = Complex{1.0, 0.0};
+    }
+  }
+  const Complex scale{std::cos(phase), std::sin(phase)};
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      Complex acc{0.0, 0.0};
+      for (std::size_t t = 0; t < dim; ++t) {
+        acc += ub[r * dim + t] * ua[t * dim + c];
+      }
+      if (std::abs(acc - scale * target[r * dim + c]) > kTol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Every op strictly between i and j sharing a wire with `a` must be a
+/// unitary that provably commutes with `a`; barriers block the span.
+void check_commute_path(const ir::Circuit& cur, std::size_t i, std::size_t j,
+                        const Operation& a) {
+  const auto aq = a.qubits();
+  for (std::size_t m = i + 1; m < j; ++m) {
+    const Operation& mid = cur[m];
+    if (mid.is_barrier()) {
+      fail("barrier inside a commutation path");
+    }
+    const auto mq = mid.qubits();
+    const bool shares = std::any_of(aq.begin(), aq.end(), [&](Qubit q) {
+      return std::find(mq.begin(), mq.end(), q) != mq.end();
+    });
+    if (!shares) {
+      continue;
+    }
+    if (!mid.is_unitary()) {
+      fail("non-unitary op inside a commutation path");
+    }
+    if (!ops_commute(a, mid)) {
+      fail("non-commuting op inside a commutation path: " + mid.str());
+    }
+  }
+}
+
+void replay_state_group(ir::Circuit& cur,
+                        const std::vector<const Rewrite*>& group,
+                        double& phase_acc) {
+  std::vector<const Rewrite*> removal(cur.size(), nullptr);
+  for (const Rewrite* r : group) {
+    if (r->op >= cur.size() || removal[r->op] != nullptr) {
+      fail("dataflow rewrite index out of range or duplicated");
+    }
+    removal[r->op] = r;
+  }
+  std::vector<QubitVec> vecs(
+      cur.num_qubits(),
+      std::array<Complex, 2>{Complex{1.0, 0.0}, Complex{0.0, 0.0}});
+  ir::Circuit next(cur.num_qubits(), cur.name());
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    const Operation& op = cur[i];
+    const Rewrite* r = removal[i];
+    if (r == nullptr) {
+      concrete_transfer(op, vecs);
+      next.append(op);
+      continue;
+    }
+    const std::vector<Qubit> qs = op.qubits();
+    if (r->fact_states.size() != qs.size()) {
+      fail("fact-state arity mismatch for " + op.str());
+    }
+    for (std::size_t t = 0; t < qs.size(); ++t) {
+      const StateValue claim = r->fact_states[t];
+      if (claim == StateValue::Bottom) {
+        fail("bottom fact claimed for " + op.str());
+      }
+      if (!is_known(claim)) {
+        continue;  // Top claims nothing
+      }
+      const QubitVec& v = vecs[qs[t]];
+      if (!v.has_value()) {
+        fail("claimed state not concretely known for " + op.str());
+      }
+      const auto ref = state_vector(claim);
+      const Complex inner =
+          std::conj(ref[0]) * (*v)[0] + std::conj(ref[1]) * (*v)[1];
+      const Complex phase =
+          std::abs(inner) > 0.0 ? inner / std::abs(inner) : Complex{1.0, 0.0};
+      // Entrywise, not fidelity: a concrete state drifted O(eps) off the
+      // claimed one still has fidelity 1 - O(eps^2).
+      if (std::abs((*v)[0] - phase * ref[0]) > kStateTol ||
+          std::abs((*v)[1] - phase * ref[1]) > kStateTol) {
+        fail("claimed state contradicts the concrete state for " + op.str());
+      }
+    }
+    const double phase =
+        r->kind == Rewrite::Kind::DeadGate ? 0.0 : r->phase_radians;
+    if (r->kind == Rewrite::Kind::DeadGate &&
+        !phase_is_zero(r->phase_radians)) {
+      fail("dead-gate rewrite carries a phase");
+    }
+    if (!removal_justified(op, r->fact_states, phase)) {
+      fail("identity claim not derivable from the facts for " + op.str());
+    }
+    phase_acc += phase;
+  }
+  cur = std::move(next);
+}
+
+void replay_commute_group(ir::Circuit& cur,
+                          const std::vector<const Rewrite*>& group,
+                          double& phase_acc) {
+  std::vector<char> deleted(cur.size(), 0);
+  std::vector<const Operation*> replacement(cur.size(), nullptr);
+  for (const Rewrite* r : group) {
+    if (r->op >= cur.size() || r->partner >= cur.size() ||
+        r->partner <= r->op) {
+      fail("commutation rewrite indices out of range");
+    }
+    if (deleted[r->op] != 0 || deleted[r->partner] != 0 ||
+        replacement[r->op] != nullptr || replacement[r->partner] != nullptr) {
+      fail("commutation rewrites collide on an operation");
+    }
+    const Operation& a = cur[r->op];
+    const Operation& b = cur[r->partner];
+    if (!a.is_unitary() || !b.is_unitary()) {
+      fail("commutation rewrite on a non-unitary op");
+    }
+    check_commute_path(cur, r->op, r->partner, a);
+    if (r->kind == Rewrite::Kind::CancelPair) {
+      if (b != a.adjoint()) {
+        fail("cancel pair is not an adjoint pair: " + a.str());
+      }
+      if (!product_matches(a, b, nullptr, r->phase_radians)) {
+        fail("cancel pair product is not the claimed phased identity");
+      }
+      deleted[r->op] = deleted[r->partner] = 1;
+    } else if (r->kind == Rewrite::Kind::MergeRotation) {
+      if (b.kind() != a.kind() || b.targets() != a.targets() ||
+          b.controls() != a.controls()) {
+        fail("merge partners disagree on kind or wires");
+      }
+      const Operation& m = r->merged;
+      if (m.kind() != a.kind() || m.targets() != a.targets() ||
+          m.controls() != a.controls() || m.params().size() != 1 ||
+          a.params().size() != 1 || b.params().size() != 1 ||
+          !(m.params()[0] == a.params()[0] + b.params()[0])) {
+        fail("merged rotation is not the exact parameter sum");
+      }
+      if (!product_matches(a, b, &m, r->phase_radians)) {
+        fail("merged rotation matrix mismatch");
+      }
+      deleted[r->partner] = 1;
+      replacement[r->op] = &m;
+    } else {
+      fail("unexpected rewrite kind in a commutation group");
+    }
+    phase_acc += r->phase_radians;
+  }
+  ir::Circuit next(cur.num_qubits(), cur.name());
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    if (deleted[i] != 0) {
+      continue;
+    }
+    next.append(replacement[i] != nullptr ? *replacement[i] : cur[i]);
+  }
+  cur = std::move(next);
+}
+
+void replay_compaction(ir::Circuit& cur, const Rewrite& r) {
+  const std::size_t n = cur.num_qubits();
+  if (r.wire_map.size() != n) {
+    fail("compaction wire map has the wrong width");
+  }
+  std::vector<char> used(n, 0);
+  for (const Operation& op : cur.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    for (const Qubit q : op.qubits()) {
+      used[q] = 1;
+    }
+  }
+  std::vector<Qubit> images;
+  for (std::size_t q = 0; q < n; ++q) {
+    if (r.wire_map[q] == kInvalidWire) {
+      if (used[q] != 0) {
+        fail("compaction drops a wire that still carries operations");
+      }
+      continue;
+    }
+    images.push_back(r.wire_map[q]);
+  }
+  std::vector<Qubit> sorted = images;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t v = 0; v < sorted.size(); ++v) {
+    if (sorted[v] != static_cast<Qubit>(v)) {
+      fail("compaction wire map is not a bijection onto [0, live)");
+    }
+  }
+  ir::Circuit next(std::max<std::size_t>(images.size(), 1), cur.name());
+  for (const Operation& op : cur.ops()) {
+    if (op.is_barrier()) {
+      next.barrier();
+      continue;
+    }
+    std::vector<Qubit> targets;
+    std::vector<Qubit> controls;
+    for (const Qubit q : op.targets()) {
+      if (r.wire_map[q] == kInvalidWire) {
+        fail("compaction remaps through a dropped wire");
+      }
+      targets.push_back(r.wire_map[q]);
+    }
+    for (const Qubit q : op.controls()) {
+      if (r.wire_map[q] == kInvalidWire) {
+        fail("compaction remaps through a dropped wire");
+      }
+      controls.push_back(r.wire_map[q]);
+    }
+    next.append(Operation(op.kind(), std::move(targets), std::move(controls),
+                          op.params()));
+  }
+  cur = std::move(next);
+}
+
+}  // namespace
+
+void check_rewrites(const ir::Circuit& original,
+                    const std::vector<Rewrite>& rewrites,
+                    const ir::Circuit& optimized,
+                    double expected_phase_radians) {
+  ir::Circuit cur = original;
+  double phase_acc = 0.0;
+  std::size_t i = 0;
+  while (i < rewrites.size()) {
+    if (i > 0 && rewrites[i].pass < rewrites[i - 1].pass) {
+      fail("rewrite passes out of order");
+    }
+    std::vector<const Rewrite*> group;
+    const std::uint32_t pass = rewrites[i].pass;
+    while (i < rewrites.size() && rewrites[i].pass == pass) {
+      group.push_back(&rewrites[i]);
+      ++i;
+    }
+    const Rewrite::Kind k0 = group.front()->kind;
+    const bool state_group = k0 == Rewrite::Kind::DeadGate ||
+                             k0 == Rewrite::Kind::FoldPhase;
+    const bool commute_group = k0 == Rewrite::Kind::CancelPair ||
+                               k0 == Rewrite::Kind::MergeRotation;
+    for (const Rewrite* r : group) {
+      const bool rs = r->kind == Rewrite::Kind::DeadGate ||
+                      r->kind == Rewrite::Kind::FoldPhase;
+      const bool rc = r->kind == Rewrite::Kind::CancelPair ||
+                      r->kind == Rewrite::Kind::MergeRotation;
+      if (rs != state_group || rc != commute_group) {
+        fail("mixed rewrite kinds in one pass");
+      }
+    }
+    if (state_group) {
+      replay_state_group(cur, group, phase_acc);
+    } else if (commute_group) {
+      replay_commute_group(cur, group, phase_acc);
+    } else {
+      if (group.size() != 1) {
+        fail("compaction must be the sole rewrite of its pass");
+      }
+      replay_compaction(cur, *group.front());
+    }
+  }
+  if (!(cur == optimized)) {
+    fail("replayed circuit differs from the emitted circuit");
+  }
+  if (!phase_is_zero(phase_acc - expected_phase_radians)) {
+    fail("global phase does not match the rewrite list");
+  }
+  g_checked.add(rewrites.size());
+}
+
+}  // namespace qdt::flow::cert

@@ -1,0 +1,30 @@
+// qdt::flow — the independent certificate checker.
+//
+// check_rewrites replays an optimizer run from the original circuit using
+// nothing but the rewrite list's justifications: lattice fact claims are
+// re-verified against a concrete per-qubit amplitude interpreter (strictly
+// more precise than the abstract domain), identity claims are re-derived
+// by eigen-checking the dense operation matrix, commutation paths are
+// re-walked gate by gate with exact matrix commutation, and the replayed
+// circuit must reproduce the optimizer's output structurally, phase
+// included. Any discrepancy is a hard Error(Internal) — counted under
+// qdt.flow.cert.rejected — because it means the optimizer emitted a
+// rewrite its own certificate does not support.
+#pragma once
+
+#include <vector>
+
+#include "flow/opt.hpp"
+#include "ir/circuit.hpp"
+
+namespace qdt::flow::cert {
+
+/// Verify that `rewrites` soundly transform `original` into `optimized`
+/// with total global phase `expected_phase_radians`. Throws
+/// Error(Internal) on the first certificate violation.
+void check_rewrites(const ir::Circuit& original,
+                    const std::vector<Rewrite>& rewrites,
+                    const ir::Circuit& optimized,
+                    double expected_phase_radians);
+
+}  // namespace qdt::flow::cert

@@ -1,0 +1,129 @@
+#include "flow/clifford.hpp"
+
+#include <algorithm>
+
+#include "flow/unitary.hpp"
+#include "ir/gate.hpp"
+
+namespace qdt::flow {
+
+using ir::GateKind;
+using ir::Operation;
+using ir::Qubit;
+
+int z_phase_class(const Phase& p) {
+  if (p.is_zero()) {
+    return 0;
+  }
+  if (p == Phase::pi_2()) {
+    return 1;
+  }
+  if (p == Phase::pi()) {
+    return 2;
+  }
+  if (p == Phase::minus_pi_2()) {
+    return 3;
+  }
+  return -1;
+}
+
+bool is_clifford_op(const Operation& op) {
+  if (!op.is_unitary()) {
+    return true;  // measure / reset / barrier run fine on a tableau
+  }
+  const std::size_t nc = op.controls().size();
+  switch (op.kind()) {
+    case GateKind::I:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+      return nc <= 1;
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::SX:
+    case GateKind::SXdg:
+    case GateKind::Swap:
+    case GateKind::ISwap:
+    case GateKind::ISwapDg:
+      return nc == 0;
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::RX:
+    case GateKind::RY:
+      return nc == 0 && z_phase_class(op.params()[0]) >= 0;
+    default:
+      return false;
+  }
+}
+
+std::vector<CliffordRegion> clifford_regions(const ir::Circuit& circuit) {
+  std::vector<CliffordRegion> regions;
+  CliffordRegion cur;
+  bool open = false;
+  const auto& ops = circuit.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    if (op.is_unitary() && !is_clifford_op(op)) {
+      if (open) {
+        cur.end = i;
+        regions.push_back(cur);
+        open = false;
+      }
+      continue;
+    }
+    if (!open) {
+      cur = CliffordRegion{.begin = i, .end = i, .unitary_gates = 0};
+      open = true;
+    }
+    if (op.is_unitary()) {
+      ++cur.unitary_gates;
+    }
+  }
+  if (open) {
+    cur.end = ops.size();
+    regions.push_back(cur);
+  }
+  return regions;
+}
+
+CommutationDag build_commutation_dag(const ir::Circuit& circuit) {
+  const auto& ops = circuit.ops();
+  CommutationDag dag;
+  dag.preds.assign(ops.size(), {});
+  // blocker[q]: most recent op that later ops on wire q may fail to commute
+  // with. Walking only the per-wire nearest candidates keeps the scan close
+  // to linear while still catching every true dependency: if j fails to
+  // commute with some earlier i, it also fails against the chain of
+  // blockers linking i to j on their shared wire, or commutes past each of
+  // them — which ops_commute decides exactly.
+  const std::size_t n = circuit.num_qubits();
+  std::vector<std::size_t> blocker(n, static_cast<std::size_t>(-1));
+  for (std::size_t j = 0; j < ops.size(); ++j) {
+    const Operation& b = ops[j];
+    const auto qs = b.qubits();
+    const bool b_hard = !b.is_unitary();  // barrier / measure / reset
+    std::vector<std::size_t> cands;
+    for (const Qubit q : qs) {
+      const std::size_t i = blocker[q];
+      if (i != static_cast<std::size_t>(-1) &&
+          std::find(cands.begin(), cands.end(), i) == cands.end()) {
+        cands.push_back(i);
+      }
+    }
+    for (const std::size_t i : cands) {
+      const Operation& a = ops[i];
+      if (b_hard || !a.is_unitary() || !ops_commute(a, b)) {
+        dag.preds[j].push_back(i);
+        ++dag.edges;
+      }
+    }
+    std::sort(dag.preds[j].begin(), dag.preds[j].end());
+    for (const Qubit q : qs) {
+      blocker[q] = j;
+    }
+  }
+  return dag;
+}
+
+}  // namespace qdt::flow

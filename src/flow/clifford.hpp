@@ -1,0 +1,57 @@
+// qdt::flow — the Clifford propagation domain: classify operations against
+// the Clifford group, segment a circuit into maximal Clifford regions, and
+// build the commutation DAG whose edges exist only where two operations
+// provably fail to commute.
+//
+// The region segmentation is what routes fully-Clifford circuits (and
+// Clifford prefixes) to the stabilizer backend; the DAG is the licence for
+// long-range cancellation the window-bounded peephole scan cannot see.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/phase.hpp"
+#include "ir/circuit.hpp"
+#include "ir/operation.hpp"
+
+namespace qdt::flow {
+
+/// Clifford classification of a Z-rotation-like phase: 0 = identity,
+/// 1 = S, 2 = Z, 3 = Sdg; -1 = non-Clifford. (Same classes as the
+/// stabilizer backend's dispatcher.)
+int z_phase_class(const Phase& p);
+
+/// True when the operation is expressible on a stabilizer tableau:
+/// Clifford unitaries (including singly-controlled Paulis) plus the
+/// non-unitary measure / reset / barrier kinds.
+bool is_clifford_op(const ir::Operation& op);
+
+/// A maximal contiguous run of tableau-expressible operations
+/// [begin, end) in circuit order. Non-Clifford unitaries split regions;
+/// measure / reset / barrier do not.
+struct CliffordRegion {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  /// Unitary gates inside the region (barriers and measurements excluded).
+  std::size_t unitary_gates = 0;
+};
+
+/// Segment the circuit into its maximal Clifford regions, in order.
+/// Empty runs are dropped, so a fully non-Clifford circuit yields {} and a
+/// fully Clifford one yields a single region covering every op.
+std::vector<CliffordRegion> clifford_regions(const ir::Circuit& circuit);
+
+/// Commutation DAG over the circuit's operations. preds[j] lists the
+/// operations i < j that j genuinely fails to commute with — each wire
+/// keeps only the *nearest* blocking predecessor, so the edge set is the
+/// transitive reduction a scheduler or cancellation pass walks. Barriers
+/// and non-unitary operations block every later op sharing a wire.
+struct CommutationDag {
+  std::vector<std::vector<std::size_t>> preds;
+  std::size_t edges = 0;
+};
+
+CommutationDag build_commutation_dag(const ir::Circuit& circuit);
+
+}  // namespace qdt::flow

@@ -1,0 +1,277 @@
+#include "flow/domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "flow/unitary.hpp"
+#include "ir/gate.hpp"
+#include "obs/obs.hpp"
+
+namespace qdt::flow {
+
+namespace {
+
+obs::Counter& g_passes = obs::counter("qdt.flow.dataflow.passes");
+
+constexpr double kTol = 1e-9;
+
+StateValue state_from_index(int s) {
+  switch (s) {
+    case 0:
+      return StateValue::Zero;
+    case 1:
+      return StateValue::One;
+    case 2:
+      return StateValue::Plus;
+    case 3:
+      return StateValue::Minus;
+    case 4:
+      return StateValue::PlusI;
+    default:
+      return StateValue::MinusI;
+  }
+}
+
+/// Diagonal entry of the base gate selected by the targets' basis bits.
+Complex base_diagonal_entry(const ir::Operation& op, std::size_t tindex) {
+  if (op.targets().size() == 1) {
+    return op.matrix2()(tindex, tindex);
+  }
+  return op.matrix4()(tindex, tindex);
+}
+
+/// Dense evolution of an operation whose qubits are all in known states:
+/// returns the identity verdict and the refined per-qubit states.
+OpEffect transfer_dense(const ir::Operation& op, const std::vector<ir::Qubit>& qs,
+                        std::vector<StateValue>& states) {
+  const std::size_t k = qs.size();
+  const std::size_t dim = std::size_t{1} << k;
+  std::vector<Complex> in(dim, Complex{0.0, 0.0});
+  // Product state over op-qubit order: bit i of the index is qs[i].
+  for (std::size_t j = 0; j < dim; ++j) {
+    Complex amp{1.0, 0.0};
+    for (std::size_t i = 0; i < k; ++i) {
+      amp *= state_vector(states[qs[i]])[(j >> i) & 1U];
+    }
+    in[j] = amp;
+  }
+  const std::vector<Complex> u = op_unitary(op);
+  std::vector<Complex> out(dim, Complex{0.0, 0.0});
+  for (std::size_t r = 0; r < dim; ++r) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t c = 0; c < dim; ++c) {
+      acc += u[r * dim + c] * in[c];
+    }
+    out[r] = acc;
+  }
+  // Identity up to phase: out == e^{i phi} * in, verified entrywise.
+  // The inner product alone is too blunt: a near-identity rotation by
+  // epsilon has |<in|out>| = 1 - O(eps^2) but deviates by O(eps) per
+  // amplitude, so a fidelity-only test at 1e-9 would "prove" identities
+  // that observably shift the state by ~1e-4.
+  Complex inner{0.0, 0.0};
+  for (std::size_t j = 0; j < dim; ++j) {
+    inner += std::conj(in[j]) * out[j];
+  }
+  if (std::abs(std::abs(inner) - 1.0) < kTol) {
+    const Complex phase = inner / std::abs(inner);
+    bool entrywise = true;
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (std::abs(out[j] - phase * in[j]) >= kTol) {
+        entrywise = false;
+        break;
+      }
+    }
+    if (entrywise) {
+      return {.identity = true, .phase_radians = std::arg(inner)};
+    }
+  }
+  // Not an identity: refine states from the (possibly entangled) result.
+  const auto factors = factor_product(out, k);
+  if (!factors.has_value()) {
+    for (const ir::Qubit q : qs) {
+      states[q] = StateValue::Top;
+    }
+    return {};
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto cls = classify_state_vector((*factors)[i]);
+    states[qs[i]] =
+        cls.has_value() ? state_from_index(cls->first) : StateValue::Top;
+  }
+  return {};
+}
+
+}  // namespace
+
+const char* state_name(StateValue v) {
+  switch (v) {
+    case StateValue::Bottom:
+      return "bottom";
+    case StateValue::Zero:
+      return "|0>";
+    case StateValue::One:
+      return "|1>";
+    case StateValue::Plus:
+      return "|+>";
+    case StateValue::Minus:
+      return "|->";
+    case StateValue::PlusI:
+      return "|+i>";
+    case StateValue::MinusI:
+      return "|-i>";
+    case StateValue::Top:
+      return "top";
+  }
+  return "?";
+}
+
+StateValue join(StateValue a, StateValue b) {
+  if (a == b) {
+    return a;
+  }
+  if (a == StateValue::Bottom) {
+    return b;
+  }
+  if (b == StateValue::Bottom) {
+    return a;
+  }
+  return StateValue::Top;
+}
+
+std::array<Complex, 2> state_vector(StateValue v) {
+  switch (v) {
+    case StateValue::Zero:
+      return {Complex{1.0, 0.0}, Complex{0.0, 0.0}};
+    case StateValue::One:
+      return {Complex{0.0, 0.0}, Complex{1.0, 0.0}};
+    case StateValue::Plus:
+      return {Complex{kInvSqrt2, 0.0}, Complex{kInvSqrt2, 0.0}};
+    case StateValue::Minus:
+      return {Complex{kInvSqrt2, 0.0}, Complex{-kInvSqrt2, 0.0}};
+    case StateValue::PlusI:
+      return {Complex{kInvSqrt2, 0.0}, Complex{0.0, kInvSqrt2}};
+    case StateValue::MinusI:
+      return {Complex{kInvSqrt2, 0.0}, Complex{0.0, -kInvSqrt2}};
+    case StateValue::Bottom:
+    case StateValue::Top:
+      break;
+  }
+  return {Complex{0.0, 0.0}, Complex{0.0, 0.0}};
+}
+
+OpEffect transfer_op(const ir::Operation& op,
+                     std::vector<StateValue>& states) {
+  if (op.is_barrier()) {
+    return {};  // scheduling hint: the state flows through unchanged
+  }
+  if (op.is_reset()) {
+    for (const ir::Qubit q : op.targets()) {
+      states[q] = StateValue::Zero;
+    }
+    return {};
+  }
+  if (op.is_measurement()) {
+    // A basis state measures deterministically and survives; anything else
+    // collapses to an unknown basis state.
+    for (const ir::Qubit q : op.targets()) {
+      if (!is_basis(states[q])) {
+        states[q] = StateValue::Top;
+      }
+    }
+    return {};
+  }
+
+  // -- Unitary ---------------------------------------------------------------
+  if (op.kind() == ir::GateKind::I && op.controls().empty()) {
+    return {.identity = true, .phase_radians = 0.0};
+  }
+  // A control stuck in |0> never fires: the whole gate is the identity and
+  // no state moves.
+  for (const ir::Qubit c : op.controls()) {
+    if (states[c] == StateValue::Zero) {
+      return {.identity = true, .phase_radians = 0.0};
+    }
+  }
+  const std::vector<ir::Qubit> qs = op.qubits();
+  const bool all_known = std::all_of(qs.begin(), qs.end(), [&](ir::Qubit q) {
+    return is_known(states[q]);
+  });
+  if (all_known && qs.size() <= kDenseCap) {
+    return transfer_dense(op, qs, states);
+  }
+  if (op.is_diagonal()) {
+    const bool targets_basis =
+        std::all_of(op.targets().begin(), op.targets().end(),
+                    [&](ir::Qubit q) { return is_basis(states[q]); });
+    if (targets_basis) {
+      std::size_t tindex = 0;
+      for (std::size_t i = 0; i < op.targets().size(); ++i) {
+        if (states[op.targets()[i]] == StateValue::One) {
+          tindex |= std::size_t{1} << i;
+        }
+      }
+      const Complex d = base_diagonal_entry(op, tindex);
+      if (std::abs(d - Complex{1.0, 0.0}) < kTol) {
+        // diag(..., 1 at the only reachable target entry): exact identity
+        // regardless of the controls.
+        return {.identity = true, .phase_radians = 0.0};
+      }
+      const bool controls_one =
+          std::all_of(op.controls().begin(), op.controls().end(),
+                      [&](ir::Qubit q) { return states[q] == StateValue::One; });
+      if (op.controls().empty() || controls_one) {
+        return {.identity = true, .phase_radians = std::arg(d)};
+      }
+      // The phase fires only on the all-ones control component: basis
+      // targets survive, superposed controls pick up correlated phases.
+      for (const ir::Qubit c : op.controls()) {
+        if (!is_basis(states[c])) {
+          states[c] = StateValue::Top;
+        }
+      }
+      return {};
+    }
+  }
+  for (const ir::Qubit q : qs) {
+    states[q] = StateValue::Top;
+  }
+  return {};
+}
+
+StateAnalysis analyze_states(const ir::Circuit& circuit) {
+  StateAnalysis out;
+  std::vector<StateValue> states(circuit.num_qubits(), StateValue::Zero);
+  // Worklist over op indices. Straight-line circuits drain it in one
+  // in-order sweep; the queue structure is what a branching IR would grow
+  // into (join at merge points, re-enqueue on change).
+  std::deque<std::size_t> worklist;
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    worklist.push_back(i);
+  }
+  while (!worklist.empty()) {
+    const std::size_t i = worklist.front();
+    worklist.pop_front();
+    const ir::Operation& op = circuit[i];
+    if (!op.is_barrier()) {
+      for (const ir::Qubit q : op.qubits()) {
+        ++out.total_incidences;
+        if (is_known(states[q])) {
+          ++out.known_incidences;
+        }
+      }
+    }
+    if (transfer_op(op, states).identity) {
+      ++out.identity_ops;
+    }
+  }
+  out.final_states = std::move(states);
+  out.coverage =
+      static_cast<double>(out.known_incidences) /
+      static_cast<double>(std::max<std::size_t>(out.total_incidences, 1));
+  g_passes.add();
+  return out;
+}
+
+}  // namespace qdt::flow

@@ -1,0 +1,90 @@
+// qdt::flow — abstract interpretation over circuits: the constant-state
+// domain.
+//
+// The lattice tracks, per qubit, whether the wire is *provably* in one of
+// the six single-qubit stabilizer states (|0>, |1>, |+>, |->, |+i>, |-i>)
+// at a given program point. Bottom marks an unreachable/uninitialized
+// value, Top "any state, possibly entangled". The invariant every transfer
+// function preserves: a non-Top value means the qubit is in exactly that
+// pure product state — in particular, it is *not* entangled with anything.
+//
+// The engine is a forward worklist pass: on the straight-line circuits the
+// IR encodes today it converges in one in-order sweep, but the transfer
+// functions are written against an explicit state map so the same engine
+// carries over to branching IRs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/eps.hpp"
+#include "ir/circuit.hpp"
+#include "ir/operation.hpp"
+
+namespace qdt::flow {
+
+/// The per-qubit constant-state lattice: Bottom < {six states} < Top.
+enum class StateValue : std::uint8_t {
+  Bottom,  // unreachable / not yet computed
+  Zero,    // |0>
+  One,     // |1>
+  Plus,    // |+>  = (|0> + |1>)/sqrt(2)
+  Minus,   // |->  = (|0> - |1>)/sqrt(2)
+  PlusI,   // |+i> = (|0> + i|1>)/sqrt(2)
+  MinusI,  // |-i> = (|0> - i|1>)/sqrt(2)
+  Top,     // unknown, possibly entangled
+};
+
+const char* state_name(StateValue v);
+
+/// Least upper bound.
+StateValue join(StateValue a, StateValue b);
+
+/// True for the six concrete states (not Bottom, not Top).
+inline bool is_known(StateValue v) {
+  return v != StateValue::Bottom && v != StateValue::Top;
+}
+
+/// True for the computational-basis states |0> / |1>.
+inline bool is_basis(StateValue v) {
+  return v == StateValue::Zero || v == StateValue::One;
+}
+
+/// Exact amplitudes of a known state. Requires is_known(v).
+std::array<Complex, 2> state_vector(StateValue v);
+
+/// What one transfer step learned about the operation itself.
+struct OpEffect {
+  /// The operation provably acts as e^{i phase} * identity on the global
+  /// state, so deleting it is semantics-preserving up to that phase.
+  bool identity = false;
+  /// The phase (radians) the operation contributes when identity is true.
+  double phase_radians = 0.0;
+};
+
+/// Abstract transfer of one operation: updates `states` in place and
+/// reports whether the op is provably a (phased) identity. Sound under the
+/// product-state invariant above; `states` must have one entry per circuit
+/// qubit.
+OpEffect transfer_op(const ir::Operation& op, std::vector<StateValue>& states);
+
+/// Result of running the dataflow engine over a whole circuit.
+struct StateAnalysis {
+  /// Fixpoint states after the last operation.
+  std::vector<StateValue> final_states;
+  /// (op, qubit) incidences whose in-state was one of the six known
+  /// constants, over all non-barrier incidences.
+  std::size_t known_incidences = 0;
+  std::size_t total_incidences = 0;
+  /// known_incidences / max(total_incidences, 1).
+  double coverage = 0.0;
+  /// Operations the lattice proves act as (phased) identities.
+  std::size_t identity_ops = 0;
+};
+
+/// Run the worklist engine from the all-|0> initial state to fixpoint.
+StateAnalysis analyze_states(const ir::Circuit& circuit);
+
+}  // namespace qdt::flow

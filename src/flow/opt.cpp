@@ -1,0 +1,389 @@
+#include "flow/opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
+#include <utility>
+
+#include "flow/cert.hpp"
+#include "flow/unitary.hpp"
+#include "guard/budget.hpp"
+#include "ir/gate.hpp"
+#include "obs/obs.hpp"
+#include "trace/trace.hpp"
+
+namespace qdt::flow {
+
+namespace {
+
+using ir::GateKind;
+using ir::Operation;
+using ir::Qubit;
+
+obs::Counter& g_runs = obs::counter("qdt.flow.opt.runs");
+obs::Counter& g_removed = obs::counter("qdt.flow.opt.removed_gates");
+obs::Counter& g_merged = obs::counter("qdt.flow.opt.merged_gates");
+obs::Counter& g_folded = obs::counter("qdt.flow.opt.folded_phases");
+obs::Counter& g_compacted = obs::counter("qdt.flow.opt.compacted_wires");
+
+constexpr double kTol = 1e-9;
+
+bool phase_is_zero(double r) {
+  return std::abs(Complex{std::cos(r) - 1.0, std::sin(r)}) < kTol;
+}
+
+bool is_rotation_kind(GateKind k) {
+  switch (k) {
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::RZZ:
+    case GateKind::RXX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Phase phi such that U_b * U_a == e^{i phi} * U_target over the ops'
+/// shared qubit list, where target is `merged` (or the identity when null).
+/// nullopt when the product is not proportional to the target — the
+/// structural match was a mirage (e.g. a relative phase hiding in a
+/// control block), so the rewrite must not fire.
+std::optional<double> pair_phase(const Operation& a, const Operation& b,
+                                 const Operation* merged) {
+  if (a.num_qubits() > kDenseCap || b.qubits() != a.qubits()) {
+    return std::nullopt;
+  }
+  const std::vector<Complex> ua = op_unitary(a);
+  const std::vector<Complex> ub = op_unitary(b);
+  const std::size_t dim = std::size_t{1} << a.num_qubits();
+  std::vector<Complex> target;
+  if (merged != nullptr) {
+    if (merged->qubits() != a.qubits()) {
+      return std::nullopt;
+    }
+    target = op_unitary(*merged);
+  } else {
+    target.assign(dim * dim, Complex{0.0, 0.0});
+    for (std::size_t d = 0; d < dim; ++d) {
+      target[d * dim + d] = Complex{1.0, 0.0};
+    }
+  }
+  std::vector<Complex> prod(dim * dim, Complex{0.0, 0.0});
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      Complex acc{0.0, 0.0};
+      for (std::size_t t = 0; t < dim; ++t) {
+        acc += ub[r * dim + t] * ua[t * dim + c];
+      }
+      prod[r * dim + c] = acc;
+    }
+  }
+  std::size_t best = 0;
+  double best_norm = 0.0;
+  for (std::size_t e = 0; e < target.size(); ++e) {
+    if (std::norm(target[e]) > best_norm) {
+      best_norm = std::norm(target[e]);
+      best = e;
+    }
+  }
+  if (best_norm < kTol) {
+    return std::nullopt;
+  }
+  const Complex scale = prod[best] / target[best];
+  if (std::abs(std::abs(scale) - 1.0) > 1e-8) {
+    return std::nullopt;
+  }
+  for (std::size_t e = 0; e < target.size(); ++e) {
+    if (std::abs(prod[e] - scale * target[e]) > 1e-8) {
+      return std::nullopt;
+    }
+  }
+  return std::arg(scale);
+}
+
+/// Pass A: delete gates the constant-state lattice proves are (phased)
+/// identities, recording the licensing facts.
+bool run_state_pass(ir::Circuit& cur, std::uint32_t pass_no,
+                    const OptOptions& options, std::vector<Rewrite>& out,
+                    double& phase_acc) {
+  guard::check_deadline();
+  std::vector<StateValue> states(cur.num_qubits(), StateValue::Zero);
+  std::vector<Rewrite> batch;
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    const Operation& op = cur[i];
+    std::vector<StateValue> facts;
+    if (op.is_unitary()) {
+      for (const Qubit q : op.qubits()) {
+        facts.push_back(states[q]);
+      }
+    }
+    const OpEffect eff = transfer_op(op, states);
+    if (!eff.identity || !op.is_unitary()) {
+      continue;
+    }
+    const bool zero = phase_is_zero(eff.phase_radians);
+    if (!zero && options.require_zero_phase) {
+      continue;
+    }
+    Rewrite r;
+    r.kind = zero ? Rewrite::Kind::DeadGate : Rewrite::Kind::FoldPhase;
+    r.pass = pass_no;
+    r.op = i;
+    r.phase_radians = zero ? 0.0 : eff.phase_radians;
+    r.fact_states = std::move(facts);
+    r.note = op.str() + (zero ? ": provably identity on the abstract state"
+                              : ": folds into the global phase");
+    batch.push_back(std::move(r));
+  }
+  if (batch.empty()) {
+    return false;
+  }
+  std::vector<char> removed(cur.size(), 0);
+  for (const Rewrite& r : batch) {
+    removed[r.op] = 1;
+    phase_acc += r.phase_radians;
+  }
+  ir::Circuit next(cur.num_qubits(), cur.name());
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    if (removed[i] == 0) {
+      next.append(cur[i]);
+    }
+  }
+  cur = std::move(next);
+  std::move(batch.begin(), batch.end(), std::back_inserter(out));
+  return true;
+}
+
+/// Pass B: cancel adjoint pairs and merge same-axis rotations across any
+/// distance where every intervening shared-wire gate provably commutes.
+bool run_commute_pass(ir::Circuit& cur, std::uint32_t pass_no,
+                      const OptOptions& options, std::vector<Rewrite>& out,
+                      double& phase_acc) {
+  const auto& ops = cur.ops();
+  std::vector<char> consumed(ops.size(), 0);
+  std::vector<std::optional<Operation>> replaced(ops.size());
+  std::vector<Rewrite> batch;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (consumed[i] != 0 || !ops[i].is_unitary()) {
+      continue;
+    }
+    guard::check_deadline();
+    const Operation& a = ops[i];
+    const Operation inverse = a.adjoint();
+    const auto aq = a.qubits();
+    std::size_t steps = 0;
+    for (std::size_t j = i + 1; j < ops.size() && steps < options.commute_window;
+         ++j, ++steps) {
+      const Operation& b = ops[j];
+      if (b.is_barrier()) {
+        break;  // barriers exist to block exactly this kind of motion
+      }
+      const auto bq = b.qubits();
+      const bool shares = std::any_of(aq.begin(), aq.end(), [&](Qubit q) {
+        return std::find(bq.begin(), bq.end(), q) != bq.end();
+      });
+      if (!shares) {
+        continue;
+      }
+      if (!b.is_unitary()) {
+        break;  // measurement / reset pins the wire
+      }
+      if (consumed[j] == 0) {
+        if (b == inverse) {
+          const auto phi = pair_phase(a, b, nullptr);
+          if (phi.has_value() &&
+              (!options.require_zero_phase || phase_is_zero(*phi))) {
+            Rewrite r;
+            r.kind = Rewrite::Kind::CancelPair;
+            r.pass = pass_no;
+            r.op = i;
+            r.partner = j;
+            r.phase_radians = phase_is_zero(*phi) ? 0.0 : *phi;
+            r.note = a.str() + " cancels against its adjoint";
+            batch.push_back(std::move(r));
+            consumed[i] = consumed[j] = 1;
+            break;
+          }
+        } else if (b.kind() == a.kind() && b.targets() == a.targets() &&
+                   b.controls() == a.controls() &&
+                   is_rotation_kind(a.kind())) {
+          Operation merged(a.kind(), a.targets(), a.controls(),
+                           {a.params()[0] + b.params()[0]});
+          const auto phi = pair_phase(a, b, &merged);
+          if (phi.has_value() &&
+              (!options.require_zero_phase || phase_is_zero(*phi))) {
+            Rewrite r;
+            r.kind = Rewrite::Kind::MergeRotation;
+            r.pass = pass_no;
+            r.op = i;
+            r.partner = j;
+            r.phase_radians = phase_is_zero(*phi) ? 0.0 : *phi;
+            r.merged = merged;
+            r.note = a.str() + " absorbs " + b.str();
+            batch.push_back(std::move(r));
+            replaced[i] = std::move(merged);
+            consumed[j] = 1;
+            break;
+          }
+        }
+      }
+      if (ops_commute(a, b)) {
+        continue;
+      }
+      break;
+    }
+  }
+  if (batch.empty()) {
+    return false;
+  }
+  for (const Rewrite& r : batch) {
+    phase_acc += r.phase_radians;
+  }
+  ir::Circuit next(cur.num_qubits(), cur.name());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (consumed[i] != 0) {
+      continue;
+    }
+    next.append(replaced[i].has_value() ? *replaced[i] : ops[i]);
+  }
+  cur = std::move(next);
+  std::move(batch.begin(), batch.end(), std::back_inserter(out));
+  return true;
+}
+
+/// Drop wires no surviving non-barrier operation touches.
+void run_compaction(ir::Circuit& cur, std::uint32_t pass_no,
+                    std::vector<Rewrite>& out,
+                    std::vector<Qubit>& wire_map) {
+  const std::size_t n = cur.num_qubits();
+  std::vector<char> used(n, 0);
+  for (const Operation& op : cur.ops()) {
+    if (op.is_barrier()) {
+      continue;
+    }
+    for (const Qubit q : op.qubits()) {
+      used[q] = 1;
+    }
+  }
+  const std::size_t live = static_cast<std::size_t>(
+      std::count(used.begin(), used.end(), char{1}));
+  if (live == n) {
+    return;  // nothing to drop
+  }
+  std::vector<Qubit> map(n, kInvalidWire);
+  Qubit next_wire = 0;
+  for (std::size_t q = 0; q < n; ++q) {
+    if (used[q] != 0) {
+      map[q] = next_wire++;
+    }
+  }
+  ir::Circuit next(std::max<std::size_t>(live, 1), cur.name());
+  for (const Operation& op : cur.ops()) {
+    if (op.is_barrier()) {
+      next.barrier();
+      continue;
+    }
+    std::vector<Qubit> targets;
+    std::vector<Qubit> controls;
+    for (const Qubit q : op.targets()) {
+      targets.push_back(map[q]);
+    }
+    for (const Qubit q : op.controls()) {
+      controls.push_back(map[q]);
+    }
+    next.append(Operation(op.kind(), std::move(targets), std::move(controls),
+                          op.params()));
+  }
+  Rewrite r;
+  r.kind = Rewrite::Kind::CompactWires;
+  r.pass = pass_no;
+  r.wire_map = map;
+  r.note = "dropped " + std::to_string(n - live) + " untouched wire(s)";
+  out.push_back(std::move(r));
+  wire_map = std::move(map);
+  cur = std::move(next);
+}
+
+}  // namespace
+
+const char* rewrite_kind_name(Rewrite::Kind k) {
+  switch (k) {
+    case Rewrite::Kind::DeadGate:
+      return "dead_gate";
+    case Rewrite::Kind::FoldPhase:
+      return "fold_phase";
+    case Rewrite::Kind::CancelPair:
+      return "cancel_pair";
+    case Rewrite::Kind::MergeRotation:
+      return "merge_rotation";
+    case Rewrite::Kind::CompactWires:
+      return "compact_wires";
+  }
+  return "?";
+}
+
+OptResult optimize(const ir::Circuit& circuit, const OptOptions& options) {
+  trace::Span span("qdt.flow.opt.run");
+  g_runs.add();
+  OptResult res;
+  res.gates_before = circuit.stats().total_gates;
+  res.ops_before = circuit.size();
+  res.wires_before = circuit.num_qubits();
+
+  ir::Circuit cur = circuit;
+  double phase_acc = 0.0;
+  std::uint32_t pass_no = 0;
+  for (std::size_t round = 0; round < options.max_passes; ++round) {
+    const bool changed_a =
+        run_state_pass(cur, pass_no++, options, res.rewrites, phase_acc);
+    const bool changed_b =
+        run_commute_pass(cur, pass_no++, options, res.rewrites, phase_acc);
+    if (!changed_a && !changed_b) {
+      break;
+    }
+  }
+  res.wire_map.resize(cur.num_qubits());
+  std::iota(res.wire_map.begin(), res.wire_map.end(), Qubit{0});
+  if (options.compact_wires) {
+    run_compaction(cur, pass_no++, res.rewrites, res.wire_map);
+  }
+
+  res.global_phase_radians =
+      phase_is_zero(phase_acc) ? 0.0
+                               : std::remainder(phase_acc, 2.0 * std::acos(-1.0));
+  res.global_phase = Phase::from_radians(res.global_phase_radians);
+  res.circuit = std::move(cur);
+  res.gates_after = res.circuit.stats().total_gates;
+  res.ops_after = res.circuit.size();
+  res.wires_after = res.circuit.num_qubits();
+
+  if (options.certify) {
+    cert::check_rewrites(circuit, res.rewrites, res.circuit,
+                         res.global_phase_radians);
+    res.certified = true;
+  }
+
+  if (res.gates_before > res.gates_after) {
+    g_removed.add(res.gates_before - res.gates_after);
+  }
+  if (res.wires_before > res.wires_after) {
+    g_compacted.add(res.wires_before - res.wires_after);
+  }
+  for (const Rewrite& r : res.rewrites) {
+    if (r.kind == Rewrite::Kind::FoldPhase) {
+      g_folded.add();
+    } else if (r.kind == Rewrite::Kind::MergeRotation) {
+      g_merged.add();
+    }
+  }
+  span.attr("gates_before", static_cast<std::int64_t>(res.gates_before))
+      .attr("gates_after", static_cast<std::int64_t>(res.gates_after))
+      .attr("rewrites", static_cast<std::int64_t>(res.rewrites.size()));
+  return res;
+}
+
+}  // namespace qdt::flow

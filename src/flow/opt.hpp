@@ -1,0 +1,107 @@
+// qdt::flow — the certified static optimizer.
+//
+// optimize() alternates two rewrite passes to a fixpoint: (A) a dataflow
+// pass that deletes gates the constant-state lattice proves act as (phased)
+// identities, folding the phases into one tracked global phase; (B) a
+// commutation pass that cancels adjoint pairs and merges same-axis
+// rotations across arbitrary distances, licensed by exact matrix
+// commutation — the long-range rewrites a bounded peephole window cannot
+// see. An optional final step compacts unused qubit wires away.
+//
+// Every rewrite carries a machine-checkable justification (the lattice
+// facts or the commutation path that licensed it). Unless disabled, the
+// whole rewrite list is re-verified by the independent checker in
+// flow/cert.hpp before the optimized circuit is returned; a checker
+// failure is a hard Error(Internal) — the optimizer never emits a circuit
+// its own certificate does not support.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/phase.hpp"
+#include "flow/domain.hpp"
+#include "ir/circuit.hpp"
+#include "ir/operation.hpp"
+
+namespace qdt::flow {
+
+struct OptOptions {
+  /// Drop qubit wires no surviving operation touches, renumbering the rest.
+  bool compact_wires = true;
+  /// Only apply rewrites whose phase contribution is exactly zero, so the
+  /// optimized circuit's state vector matches literally (not just up to
+  /// global phase). What `qdt serve` uses for want_state requests.
+  bool require_zero_phase = false;
+  /// Run the independent certificate checker over the rewrite list.
+  bool certify = true;
+  /// Cap on A/B pass alternations before declaring fixpoint.
+  std::size_t max_passes = 8;
+  /// Forward-scan cap (in operations) for the commutation pass.
+  std::size_t commute_window = 4096;
+};
+
+/// One applied rewrite plus the justification that licensed it. Operation
+/// indices refer to the circuit as it stood at the *start of the rewrite's
+/// pass* (rewrites of one pass are batched; deletions apply descending).
+struct Rewrite {
+  enum class Kind : std::uint8_t {
+    DeadGate,       // provably identity with zero phase; deleted
+    FoldPhase,      // provably e^{i phase} * identity; deleted, phase kept
+    CancelPair,     // op and partner are adjoint across a commuting gap
+    MergeRotation,  // op and partner merged into `merged` at op's slot
+    CompactWires,   // unused wires dropped, survivors renumbered
+  };
+
+  Kind kind = Kind::DeadGate;
+  /// Which A/B alternation emitted this rewrite (0-based).
+  std::uint32_t pass = 0;
+  /// Primary operation index (pass-start coordinates).
+  std::size_t op = 0;
+  /// Second operation for CancelPair / MergeRotation.
+  std::size_t partner = 0;
+  /// Global-phase contribution of applying this rewrite (radians).
+  double phase_radians = 0.0;
+  /// Replacement operation for MergeRotation.
+  ir::Operation merged;
+  /// CompactWires: old wire -> new wire, kInvalidWire for dropped wires.
+  std::vector<ir::Qubit> wire_map;
+  /// DeadGate / FoldPhase: the abstract in-states of op.qubits() — the
+  /// lattice facts the deletion rests on, re-checked by the certifier.
+  std::vector<StateValue> fact_states;
+  /// Human-readable one-liner for --json / logs.
+  std::string note;
+};
+
+inline constexpr ir::Qubit kInvalidWire = static_cast<ir::Qubit>(-1);
+
+const char* rewrite_kind_name(Rewrite::Kind k);
+
+struct OptResult {
+  ir::Circuit circuit;
+  std::vector<Rewrite> rewrites;
+  /// Total phase the deleted/merged gates contributed: the optimized
+  /// circuit equals e^{i phase} times the original on the initial all-|0>
+  /// state. Exact rational form when representable, radians always.
+  Phase global_phase;
+  double global_phase_radians = 0.0;
+  std::size_t gates_before = 0;  // unitary gates (CircuitStats::total_gates)
+  std::size_t gates_after = 0;
+  std::size_t ops_before = 0;    // all operations, barriers included
+  std::size_t ops_after = 0;
+  std::size_t wires_before = 0;
+  std::size_t wires_after = 0;
+  /// Old wire -> new wire (identity when compaction is off or a no-op).
+  std::vector<ir::Qubit> wire_map;
+  /// True when the certificate checker verified every rewrite.
+  bool certified = false;
+};
+
+/// Optimize `circuit` under the all-|0> initial state. Throws
+/// Error(Internal) if certification is enabled and any rewrite fails the
+/// independent checker.
+OptResult optimize(const ir::Circuit& circuit, const OptOptions& options = {});
+
+}  // namespace qdt::flow

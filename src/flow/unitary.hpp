@@ -1,0 +1,58 @@
+// qdt::flow — exact small-matrix utilities shared by the abstract domains
+// and the certificate checker: dense expansion of an operation (controls
+// included), product-state factorization, stabilizer-state classification,
+// and matrix-verified commutation.
+//
+// Everything here is bounded by kDenseCap qubits (64 amplitudes), so the
+// worst case stays microseconds — the dataflow pass and the commutation
+// DAG call these per operation pair.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/eps.hpp"
+#include "ir/operation.hpp"
+
+namespace qdt::flow {
+
+/// Widest operation the dense helpers expand (2^6 = 64 amplitudes).
+inline constexpr std::size_t kDenseCap = 6;
+
+/// Row-major dense 2^k x 2^k matrix of the full operation (base gate plus
+/// controls) over op.qubits() order: qubits()[i] is index bit i, matching
+/// gate_matrix4's target[0]-is-less-significant convention. Requires
+/// op.is_unitary() and op.num_qubits() <= kDenseCap.
+std::vector<Complex> op_unitary(const ir::Operation& op);
+
+/// Embed op_unitary(op) into a 2^m x 2^m matrix over `m` wires, where
+/// positions[i] is the wire index (bit) that op.qubits()[i] occupies.
+std::vector<Complex> embed_unitary(const ir::Operation& op,
+                                   const std::vector<std::size_t>& positions,
+                                   std::size_t m);
+
+/// True when the two operations provably commute: disjoint supports and
+/// diagonal-diagonal pairs structurally, everything else by an exact
+/// AB == BA matrix comparison over the qubit union (conservative false
+/// when the union exceeds kDenseCap).
+bool ops_commute(const ir::Operation& a, const ir::Operation& b);
+
+/// Classify a unit 2-vector as one of the six stabilizer states: returns
+/// (state index into flow::StateValue semantics, phase) such that
+/// v == e^{i phase} * state, or nullopt when v is none of the six.
+/// The int is 0..5 for Zero..MinusI (kept as int to avoid a cyclic
+/// include with domain.hpp).
+std::optional<std::pair<int, double>> classify_state_vector(
+    const std::array<Complex, 2>& v);
+
+/// Factor a 2^k amplitude vector into k unit single-qubit factors (bit i
+/// of the index selects factor i's component), or nullopt when the vector
+/// is entangled. The product of the factors equals `w` up to one overall
+/// unit scalar.
+std::optional<std::vector<std::array<Complex, 2>>> factor_product(
+    const std::vector<Complex>& w, std::size_t k);
+
+}  // namespace qdt::flow

@@ -162,6 +162,19 @@ Circuit Circuit::adjoint() const {
                              it->str());
     }
     inv.append(it->adjoint());
+    if (gate_adjoint_wraps(it->kind(), it->params()) &&
+        !it->controls().empty()) {
+      // Op::adjoint() wrapped the half-turn angle back to +pi, which is
+      // -1 x the true inverse on the controlled block: diag(I, -U) =
+      // Z-on-controls . diag(I, U). Append the (multi-controlled) Z so
+      // the circuit adjoint stays exact; uncontrolled wraps contribute
+      // only a -1 global phase and need no repair.
+      const auto& cs = it->controls();
+      inv.append(Operation{GateKind::Z,
+                           {cs.front()},
+                           {cs.begin() + 1, cs.end()},
+                           {}});
+    }
   }
   return inv;
 }

@@ -120,6 +120,22 @@ std::vector<Phase> gate_inverse_params(GateKind k,
   return inv;
 }
 
+bool gate_adjoint_wraps(GateKind k, const std::vector<Phase>& params) {
+  switch (k) {
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::RZZ:
+    case GateKind::RXX:
+    case GateKind::U:
+      // Only the half-angle parameter (params[0]) wraps; P and U's
+      // phi/lambda enter as e^{i angle} and are 2pi-periodic.
+      return !params.empty() && params[0] == Phase(1, 1);
+    default:
+      return false;
+  }
+}
+
 Mat2 gate_matrix2(GateKind k, const std::vector<Phase>& params) {
   Mat2 m;
   switch (k) {

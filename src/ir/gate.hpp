@@ -83,6 +83,15 @@ GateKind gate_inverse_kind(GateKind k);
 std::vector<Phase> gate_inverse_params(GateKind k,
                                        const std::vector<Phase>& params);
 
+/// True when negating this gate's angle wraps around the Phase range and
+/// flips the matrix sign. Half-angle rotations (RX/RY/RZ/RZZ/RXX, and U's
+/// theta) are 4pi-periodic in their parameter while qdt::Phase normalizes
+/// angles into (-pi, pi]: at theta == pi the negated angle lands back on
+/// +pi, so the representable "adjoint" is -1 times the true inverse. The
+/// -1 is a global phase on an uncontrolled op but sits only on the
+/// controlled block of a controlled one, where it is observable.
+bool gate_adjoint_wraps(GateKind k, const std::vector<Phase>& params);
+
 /// Exact 2x2 matrix of a single-qubit kind. Throws for non-1q kinds.
 Mat2 gate_matrix2(GateKind k, const std::vector<Phase>& params);
 

@@ -30,6 +30,12 @@ CostEstimate estimate_stabilizer(const CircuitFacts& f,
   // 2n Pauli rows, O(n) bits touched per gate; +4: tableau bit-fiddling
   // constants keep arrays ahead on small widths.
   e.cost_log2 = log2_gates(f) + 2.0 * log2_qubits(f) + 4.0;
+  // A single unbroken Clifford region means one uninterrupted tableau run:
+  // no mid-circuit re-dispatch, so the constant factor tightens.
+  const bool one_region = f.is_clifford && f.clifford_regions.size() <= 1;
+  if (one_region) {
+    e.cost_log2 -= 1.0;
+  }
   if (!f.is_clifford) {
     e.feasible = false;
     e.rationale = "circuit has non-Clifford gates";
@@ -39,6 +45,8 @@ CostEstimate estimate_stabilizer(const CircuitFacts& f,
   } else if (c.has_noise) {
     e.feasible = false;
     e.rationale = "tableau is noise-free";
+  } else if (one_region) {
+    e.rationale = "single Clifford region: one uninterrupted tableau run";
   } else {
     e.rationale = "Clifford circuit: polynomial tableau";
   }

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <string>
 
+#include "flow/clifford.hpp"
+#include "flow/domain.hpp"
 #include "ir/gate.hpp"
 
 namespace qdt::lint {
@@ -16,25 +18,6 @@ namespace {
 using ir::GateKind;
 using ir::Operation;
 using ir::Qubit;
-
-/// Clifford classification of a Z-rotation-like phase: 0 = identity,
-/// 1 = S, 2 = Z, 3 = Sdg; -1 = non-Clifford. (Same classes as the
-/// stabilizer backend's dispatcher.)
-int z_phase_class(const Phase& p) {
-  if (p.is_zero()) {
-    return 0;
-  }
-  if (p == Phase::pi_2()) {
-    return 1;
-  }
-  if (p == Phase::pi()) {
-    return 2;
-  }
-  if (p == Phase::minus_pi_2()) {
-    return 3;
-  }
-  return -1;
-}
 
 bool touches_any(const std::vector<Qubit>& qs, const std::vector<char>& mask) {
   return std::any_of(qs.begin(), qs.end(),
@@ -110,7 +93,12 @@ void scan_redundancy(const ir::Circuit& circuit, CircuitFacts& facts) {
         continue;  // disjoint supports always commute
       }
       if (consumed[j] == 0 && b.is_unitary()) {
-        if (b == inverse) {
+        // Skip controlled half-turn rotations: their structural adjoint
+        // is -1 x the true inverse on the controlled block (cry(pi) ;
+        // cry(pi) is Z-on-control, not a cancellation).
+        if (b == inverse &&
+            !(ir::gate_adjoint_wraps(a.kind(), a.params()) &&
+              !a.controls().empty())) {
           facts.cancelling_pairs.push_back({i, j});
           consumed[i] = consumed[j] = 1;
           break;
@@ -118,7 +106,24 @@ void scan_redundancy(const ir::Circuit& circuit, CircuitFacts& facts) {
         const bool same_wires =
             b.kind() == a.kind() && b.targets() == a.targets() &&
             b.controls() == a.controls();
-        if (same_wires &&
+        // Controlled half-angle rotations whose angle sum wraps past the
+        // Phase range pick up a -1 on the controlled block; advising the
+        // merge would advise a miscompile. Only meaningful (and only safe
+        // to evaluate: b must carry a param too) when same_wires holds.
+        const auto merge_wraps = [&] {
+          const bool half_angle =
+              a.kind() == GateKind::RX || a.kind() == GateKind::RY ||
+              a.kind() == GateKind::RZ || a.kind() == GateKind::RZZ ||
+              a.kind() == GateKind::RXX;
+          if (!half_angle || a.controls().empty() || a.params().empty()) {
+            return false;  // P-type gates are 2pi-periodic: wraps are exact
+          }
+          const double exact =
+              a.params()[0].radians() + b.params()[0].radians();
+          return std::abs(exact -
+                          (a.params()[0] + b.params()[0]).radians()) > 1e-9;
+        };
+        if (same_wires && !merge_wraps() &&
             (is_rotation_kind(a.kind()) || is_foldable_kind(a.kind()))) {
           facts.mergeable_pairs.push_back({i, j});
           consumed[i] = consumed[j] = 1;
@@ -475,35 +480,7 @@ void scan_dd_heuristic(const ir::Circuit& circuit, CircuitFacts& facts) {
 
 }  // namespace
 
-bool is_clifford_op(const Operation& op) {
-  if (!op.is_unitary()) {
-    return true;  // measure / reset / barrier run fine on a tableau
-  }
-  const std::size_t nc = op.controls().size();
-  switch (op.kind()) {
-    case GateKind::I:
-    case GateKind::X:
-    case GateKind::Y:
-    case GateKind::Z:
-      return nc <= 1;
-    case GateKind::H:
-    case GateKind::S:
-    case GateKind::Sdg:
-    case GateKind::SX:
-    case GateKind::SXdg:
-    case GateKind::Swap:
-    case GateKind::ISwap:
-    case GateKind::ISwapDg:
-      return nc == 0;
-    case GateKind::RZ:
-    case GateKind::P:
-    case GateKind::RX:
-    case GateKind::RY:
-      return nc == 0 && z_phase_class(op.params()[0]) >= 0;
-    default:
-      return false;
-  }
-}
+bool is_clifford_op(const Operation& op) { return flow::is_clifford_op(op); }
 
 std::size_t op_schmidt_rank_log2(const Operation& op) {
   if (op.num_qubits() < 2) {
@@ -549,6 +526,16 @@ CircuitFacts analyze(const ir::Circuit& circuit) {
   facts.clifford_fraction =
       static_cast<double>(facts.clifford_gates) /
       static_cast<double>(std::max<std::size_t>(facts.unitary_gates, 1));
+
+  for (const auto& region : flow::clifford_regions(circuit)) {
+    facts.clifford_regions.push_back(
+        {region.begin, region.end, region.unitary_gates});
+    facts.max_clifford_region_gates =
+        std::max(facts.max_clifford_region_gates, region.unitary_gates);
+  }
+  const flow::StateAnalysis state_flow = flow::analyze_states(circuit);
+  facts.constant_state_coverage = state_flow.coverage;
+  facts.constant_identity_ops = state_flow.identity_ops;
 
   scan_lightcones(circuit, facts);
   scan_redundancy(circuit, facts);

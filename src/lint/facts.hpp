@@ -35,6 +35,14 @@ struct RedundantPair {
   std::size_t second = 0;  // op index of the later gate
 };
 
+/// One maximal Clifford region (mirror of flow::CliffordRegion, kept as a
+/// plain lint-side struct so facts.hpp stays flow-agnostic for consumers).
+struct CliffordRegionFact {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t unitary_gates = 0;
+};
+
 /// Everything the lint pass knows about a circuit, statically.
 struct CircuitFacts {
   // -- Shape ---------------------------------------------------------------
@@ -48,6 +56,21 @@ struct CircuitFacts {
   std::size_t clifford_gates = 0;  // unitary ops the tableau can execute
   bool is_clifford = false;        // every unitary op is Clifford
   double clifford_fraction = 1.0;  // clifford_gates / max(unitary_gates, 1)
+
+  // -- Clifford regions (qdt::flow segmentation) ---------------------------
+  /// Maximal contiguous tableau-expressible runs [begin, end) in op order;
+  /// non-Clifford unitaries split regions, measure/reset/barrier do not.
+  std::vector<CliffordRegionFact> clifford_regions;
+  /// Unitary gates inside the largest single region.
+  std::size_t max_clifford_region_gates = 0;
+
+  // -- Constant-state dataflow (qdt::flow lattice) -------------------------
+  /// Fraction of (op, qubit) incidences whose in-state the per-qubit
+  /// constant-state lattice proves is one of the six stabilizer states.
+  double constant_state_coverage = 0.0;
+  /// Operations the lattice proves act as (phased) identities — what
+  /// `qdt opt` would delete or fold into the global phase.
+  std::size_t constant_identity_ops = 0;
 
   // -- Qubit liveness ------------------------------------------------------
   /// Qubits no non-barrier operation ever touches.
@@ -97,10 +120,11 @@ struct CircuitFacts {
   double dd_nodes_log2 = 0.0;
 };
 
-/// Clifford classification of a single operation. Mirrors
-/// stab::is_clifford_operation exactly (same gate kinds, same phase
-/// classes) but is recomputed here so the lint layer depends only on ir —
-/// tests cross-validate the two against the fuzzer's generator.
+/// Clifford classification of a single operation. Delegates to
+/// flow::is_clifford_op, which mirrors stab::is_clifford_operation exactly
+/// (same gate kinds, same phase classes) without depending on the
+/// stabilizer backend — tests cross-validate the two against the fuzzer's
+/// generator.
 bool is_clifford_op(const ir::Operation& op);
 
 /// Operator Schmidt-rank upper bound (log2) of a unitary operation across

@@ -161,6 +161,17 @@ std::string to_json(const Report& report) {
   os << ",\"clifford\":" << (f.is_clifford ? "true" : "false");
   os << ",\"clifford_fraction\":";
   append_json_double(os, f.clifford_fraction);
+  os << ",\"clifford_regions\":[";
+  for (std::size_t i = 0; i < f.clifford_regions.size(); ++i) {
+    const auto& region = f.clifford_regions[i];
+    os << (i > 0 ? "," : "") << "{\"begin\":" << region.begin
+       << ",\"end\":" << region.end
+       << ",\"unitary_gates\":" << region.unitary_gates << '}';
+  }
+  os << "],\"max_clifford_region_gates\":" << f.max_clifford_region_gates;
+  os << ",\"constant_state_coverage\":";
+  append_json_double(os, f.constant_state_coverage);
+  os << ",\"constant_identity_ops\":" << f.constant_identity_ops;
   os << ",\"dead_qubits\":[";
   for (std::size_t i = 0; i < f.dead_qubits.size(); ++i) {
     os << (i > 0 ? "," : "") << f.dead_qubits[i];

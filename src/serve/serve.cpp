@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dd/pool.hpp"
+#include "flow/opt.hpp"
 #include "guard/budget.hpp"
 #include "ir/qasm.hpp"
 #include "obs/obs.hpp"
@@ -194,12 +195,16 @@ struct Job {
   std::function<void(std::string)> done;
 };
 
-/// One cached parse + lint pass, shared by every identical request.
+/// One cached parse + optimize + lint pass, shared by every identical
+/// request.
 struct PlanEntry {
   ir::Circuit circuit;
   lint::CircuitFacts facts;
   lint::BackendPlan plan;
   std::vector<core::SimBackend> ladder;
+  /// Operations the static optimizer removed before costing (0 when the
+  /// optimizer was skipped or found nothing).
+  std::size_t opt_removed_ops = 0;
 };
 
 struct TenantState {
@@ -583,6 +588,27 @@ struct Server::Impl {
     auto entry = std::make_shared<PlanEntry>();
     entry->circuit = ir::parse_qasm(job.qasm);
     entry->circuit.set_name("request");
+    if (options.opt_max_ops > 0 &&
+        entry->circuit.size() <= options.opt_max_ops) {
+      // Admission re-costs against the optimized circuit: provably dead
+      // gates should neither inflate the cost gate nor be simulated. Wire
+      // compaction stays off (responses echo the request's qubit indices)
+      // and want_state requests only take phase-exact rewrites, so the
+      // returned amplitudes are untouched. A certificate failure below is
+      // Error(Internal) and folds into execute()'s typed-response path.
+      flow::OptOptions oo;
+      oo.compact_wires = false;
+      oo.require_zero_phase = job.want_state;
+      // Admission latency bound: a shallower scan than the CLI's — the
+      // deadline checkpoint inside optimize() backstops the rest.
+      oo.commute_window = 256;
+      oo.max_passes = 4;
+      flow::OptResult opt = flow::optimize(entry->circuit, oo);
+      if (opt.ops_after < opt.ops_before) {
+        entry->opt_removed_ops = opt.ops_before - opt.ops_after;
+        entry->circuit = std::move(opt.circuit);
+      }
+    }
     entry->facts = lint::analyze(entry->circuit);
     lint::PlanConstraints pc;
     pc.want_state = job.want_state;

@@ -95,6 +95,11 @@ struct ServeOptions {
   std::size_t max_request_bytes = 4u << 20;
   /// Plan/parse cache entries (LRU beyond this).
   std::size_t plan_cache_entries = 256;
+  /// Largest circuit (in operations) the admission path statically
+  /// optimizes before costing; bigger requests are planned as-is. The
+  /// optimized circuit is what gets simulated and cached, so repeated
+  /// requests pay the optimizer once per LRU entry. 0 disables.
+  std::size_t opt_max_ops = 20000;
   /// Honor the per-request "fault" test hook (QDT_FAULT syntax). On by
   /// default: the daemon is a local tool and the hook is what makes the
   /// soak tests' failure paths deterministic.

@@ -1,5 +1,6 @@
 #include "transpile/optimize.hpp"
 
+#include <cmath>
 #include <optional>
 
 #include "guard/budget.hpp"
@@ -36,8 +37,20 @@ bool mergeable_rotation(const Operation& a, const Operation& b) {
     case GateKind::RZ:
     case GateKind::RX:
     case GateKind::RY:
-    case GateKind::P:
+      // Half-angle rotations are 4pi-periodic but Phase sums are reduced
+      // mod 2pi: a wrapped sum is -1 x the true product, which is only a
+      // global phase when there are no controls. crz(pi) ; crz(pi) must
+      // NOT merge to crz(0) — it is Z-on-control.
+      if (!a.controls().empty()) {
+        const double exact = a.params()[0].radians() + b.params()[0].radians();
+        const double merged = (a.params()[0] + b.params()[0]).radians();
+        if (std::abs(exact - merged) > 1e-9) {
+          return false;
+        }
+      }
       return true;
+    case GateKind::P:
+      return true;  // diag(1, e^{i lambda}): genuinely 2pi-periodic
     default:
       return false;
   }
@@ -45,6 +58,14 @@ bool mergeable_rotation(const Operation& a, const Operation& b) {
 
 bool inverse_pair(const Operation& a, const Operation& b) {
   if (!a.is_unitary() || !b.is_unitary()) {
+    return false;
+  }
+  // A controlled half-turn rotation has no representable adjoint: the
+  // wrapped angle is -1 x the inverse on the controlled block, so e.g.
+  // cry(pi) ; cry(pi) is Z-on-control, not a cancelling pair.
+  // Uncontrolled wraps differ only by a global phase, which transpiled
+  // output is allowed to shift.
+  if (ir::gate_adjoint_wraps(a.kind(), a.params()) && !a.controls().empty()) {
     return false;
   }
   return a.adjoint() == b;

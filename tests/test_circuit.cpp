@@ -83,6 +83,33 @@ TEST(Circuit, CircuitTimesAdjointIsIdentity) {
   EXPECT_TRUE(u.is_identity(1e-8));
 }
 
+TEST(Circuit, AdjointRepairsControlledHalfTurnRotations) {
+  // Operation::adjoint() of cry(pi) wraps -pi back to +pi, which is -1 x
+  // the true inverse on the controlled block; Circuit::adjoint() must
+  // append the Z-on-control correction so c . c^dagger is exactly I (not
+  // just I up to a control-conditioned sign).
+  Circuit c(2);
+  c.h(0).append(Operation{GateKind::RY, {1}, {0}, {Phase::pi()}});
+  const Circuit inv = c.adjoint();
+  ASSERT_EQ(inv.size(), 3U);
+  EXPECT_EQ(inv[1].kind(), GateKind::Z);
+  EXPECT_EQ(inv[1].targets(), (std::vector<Qubit>{0}));
+  const auto u =
+      arrays::DenseUnitary::from_circuit(c.composed_with(inv));
+  EXPECT_TRUE(u.is_identity(1e-9));
+
+  // Doubly controlled: the correction is a CZ on the controls.
+  Circuit cc(3);
+  cc.append(Operation{GateKind::RZ, {2}, {0, 1}, {Phase::pi()}});
+  const Circuit cinv = cc.adjoint();
+  ASSERT_EQ(cinv.size(), 2U);
+  EXPECT_EQ(cinv[1].kind(), GateKind::Z);
+  EXPECT_EQ(cinv[1].controls(), (std::vector<Qubit>{1}));
+  const auto ucc =
+      arrays::DenseUnitary::from_circuit(cc.composed_with(cinv));
+  EXPECT_TRUE(ucc.is_identity(1e-9));
+}
+
 TEST(Circuit, ComposedWithWidthMismatchThrows) {
   EXPECT_THROW(Circuit(2).composed_with(Circuit(3)), std::invalid_argument);
 }

@@ -41,6 +41,27 @@ TEST(DDEquivalence, EquivalentUpToGlobalPhase) {
   EXPECT_TRUE(check_equivalence_dd(a, b).equivalent);
 }
 
+TEST(DDEquivalence, ControlledHalfTurnRotationIsSelfEquivalent) {
+  // Regression: the miter used Operation::adjoint(), whose wrapped angle
+  // at theta == pi is -1 x the true inverse on the controlled block, so
+  // cry(pi) refuted its own self-equivalence. The miter now takes the
+  // exact conjugate-transpose of the gate DD instead.
+  ir::Circuit c(2);
+  c.append(ir::Operation{ir::GateKind::RY, {1}, {0}, {Phase::pi()}});
+  for (const auto strategy : {EcStrategy::Alternating, EcStrategy::Sequential}) {
+    const auto res = check_equivalence_dd(c, c, strategy);
+    EXPECT_TRUE(res.equivalent);
+  }
+
+  // The merged form a rotation-merging optimizer produces must also prove
+  // equal: cry(pi/2) ; cry(pi/2) == cry(pi).
+  ir::Circuit halves(2);
+  halves.append(ir::Operation{ir::GateKind::RY, {1}, {0}, {Phase::pi_2()}});
+  halves.append(ir::Operation{ir::GateKind::RY, {1}, {0}, {Phase::pi_2()}});
+  const auto merged = check_equivalence_dd(halves, c);
+  EXPECT_TRUE(merged.equivalent);
+}
+
 TEST(DDEquivalence, DetectsSingleGateError) {
   ir::Circuit good = ir::qft(4);
   ir::Circuit bad = good;

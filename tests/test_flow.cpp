@@ -1,0 +1,361 @@
+// qdt::flow — the dataflow framework and the certified static optimizer.
+//
+// Covers the constant-state lattice transfer functions, Clifford region
+// segmentation, the commutation DAG, every rewrite family of
+// flow::optimize, and the certificate checker — including the negative
+// case where a tampered rewrite list must be rejected.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <vector>
+
+#include "core/qdt.hpp"
+
+namespace qdt {
+namespace {
+
+std::vector<Complex> array_state(const ir::Circuit& c) {
+  core::SimulateOptions opts;
+  opts.shots = 0;
+  opts.want_state = true;
+  auto res = core::simulate(c, core::SimBackend::Array, opts);
+  return std::move(*res.state);
+}
+
+/// Max elementwise deviation after aligning b's global phase onto a's.
+double distance_up_to_phase(const std::vector<Complex>& a,
+                            const std::vector<Complex>& b) {
+  if (a.size() != b.size()) {
+    ADD_FAILURE() << "state sizes differ: " << a.size() << " vs " << b.size();
+    return std::numeric_limits<double>::infinity();
+  }
+  std::size_t anchor = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::norm(a[i]) > best) {
+      best = std::norm(a[i]);
+      anchor = i;
+    }
+  }
+  Complex phase{1.0, 0.0};
+  if (best > 0.0 && std::abs(b[anchor]) > 0.0) {
+    phase =
+        (a[anchor] / std::abs(a[anchor])) / (b[anchor] / std::abs(b[anchor]));
+  }
+  double dist = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dist = std::max(dist, std::abs(a[i] - phase * b[i]));
+  }
+  return dist;
+}
+
+// -- Constant-state lattice -------------------------------------------------
+
+TEST(FlowDomain, JoinIsCommutativeWithTopAbsorbing) {
+  using flow::StateValue;
+  EXPECT_EQ(flow::join(StateValue::Zero, StateValue::Zero), StateValue::Zero);
+  EXPECT_EQ(flow::join(StateValue::Zero, StateValue::One), StateValue::Top);
+  EXPECT_EQ(flow::join(StateValue::Bottom, StateValue::Plus),
+            StateValue::Plus);
+  EXPECT_EQ(flow::join(StateValue::Top, StateValue::Zero), StateValue::Top);
+}
+
+TEST(FlowDomain, SingleQubitTransfersFollowTheStabilizerTable) {
+  using flow::StateValue;
+  ir::Circuit c(1);
+  c.h(0).s(0).h(0);
+  const flow::StateAnalysis a = flow::analyze_states(c);
+  // |0> -H-> |+> -S-> |+i> -H-> ... (no longer a stabilizer axis state
+  // reachable? H|+i> is known: it is e^{i pi/4} |-i> up to phase — the
+  // lattice only tracks exact states, so accept either known or Top).
+  ASSERT_EQ(a.final_states.size(), 1u);
+  // The intermediate facts are what matters: full coverage of incidences.
+  EXPECT_EQ(a.total_incidences, 3u);
+  EXPECT_GE(a.known_incidences, 2u);
+}
+
+TEST(FlowDomain, ResetAndMeasureRefineTheLattice) {
+  using flow::StateValue;
+  ir::Circuit c(2);
+  c.h(0).cx(0, 1);   // entangled: both Top
+  c.reset(0);        // q0 back to |0>
+  c.measure(1);      // q1 stays Top (unknown outcome)
+  const flow::StateAnalysis a = flow::analyze_states(c);
+  EXPECT_EQ(a.final_states[0], StateValue::Zero);
+  EXPECT_EQ(a.final_states[1], StateValue::Top);
+}
+
+TEST(FlowDomain, ControlOnZeroMakesGateIdentity) {
+  ir::Circuit c(2);
+  c.cx(0, 1);  // control still |0>
+  const flow::StateAnalysis a = flow::analyze_states(c);
+  EXPECT_EQ(a.identity_ops, 1u);
+  EXPECT_EQ(a.final_states[1], flow::StateValue::Zero);
+}
+
+TEST(FlowDomain, DiagonalGateOnBasisStateIsPhasedIdentity) {
+  ir::Circuit c(1);
+  c.x(0).t(0);  // T on |1> is e^{i pi/4} identity
+  std::vector<flow::StateValue> states{flow::StateValue::Zero};
+  const flow::OpEffect x_eff = flow::transfer_op(c[0], states);
+  EXPECT_FALSE(x_eff.identity);
+  EXPECT_EQ(states[0], flow::StateValue::One);
+  const flow::OpEffect t_eff = flow::transfer_op(c[1], states);
+  EXPECT_TRUE(t_eff.identity);
+  EXPECT_NEAR(t_eff.phase_radians, std::acos(-1.0) / 4.0, 1e-12);
+}
+
+// -- Clifford regions + commutation DAG ------------------------------------
+
+TEST(FlowClifford, RegionsSplitOnNonCliffordOnly) {
+  ir::Circuit c(2);
+  c.h(0).cx(0, 1);  // Clifford
+  c.t(0);           // splits
+  c.measure(0);     // does not split
+  c.s(1).z(1);      // Clifford again
+  const auto regions = flow::clifford_regions(c);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].begin, 0u);
+  EXPECT_EQ(regions[0].end, 2u);
+  EXPECT_EQ(regions[0].unitary_gates, 2u);
+  EXPECT_EQ(regions[1].begin, 3u);
+  EXPECT_EQ(regions[1].end, 6u);
+  EXPECT_EQ(regions[1].unitary_gates, 2u);
+}
+
+TEST(FlowClifford, FullyCliffordCircuitIsOneRegion) {
+  const auto regions = flow::clifford_regions(ir::ghz(8));
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].unitary_gates, 8u);
+}
+
+TEST(FlowClifford, CommutationDagSeesThroughDiagonalGates) {
+  ir::Circuit c(2);
+  c.z(0).t(0).rz(Phase::pi_4(), 0).x(0);
+  const auto dag = flow::build_commutation_dag(c);
+  ASSERT_EQ(dag.preds.size(), 4u);
+  // The diagonal prefix mutually commutes: no edges among ops 0..2.
+  EXPECT_TRUE(dag.preds[1].empty());
+  EXPECT_TRUE(dag.preds[2].empty());
+  // X does not commute with the diagonal chain: nearest blocker only.
+  ASSERT_EQ(dag.preds[3].size(), 1u);
+  EXPECT_EQ(dag.preds[3][0], 2u);
+}
+
+TEST(FlowClifford, BarriersAndMeasurementsBlock) {
+  ir::Circuit c(1);
+  c.z(0);
+  c.barrier();
+  c.z(0);
+  const auto dag = flow::build_commutation_dag(c);
+  ASSERT_EQ(dag.preds[2].size(), 1u);
+  EXPECT_EQ(dag.preds[2][0], 1u);  // the barrier, not op 0
+}
+
+// -- The optimizer, rewrite family by rewrite family -----------------------
+
+TEST(FlowOpt, DeadGatesOnColdWiresAreRemoved) {
+  ir::Circuit c(3);
+  c.z(0);        // dead: Z|0> = |0>
+  c.cx(1, 2);    // dead: control |0>
+  c.h(0);        // live
+  const flow::OptResult res = flow::optimize(c);
+  EXPECT_EQ(res.gates_after, 1u);
+  EXPECT_TRUE(res.certified);
+  EXPECT_EQ(res.circuit.size(), 1u);
+  EXPECT_EQ(res.circuit[0].kind(), ir::GateKind::H);
+}
+
+TEST(FlowOpt, DiagonalPhaseFoldsIntoGlobalPhase) {
+  ir::Circuit c(1);
+  c.x(0).t(0).tdg(0).x(0);  // t/tdg cancel; x/x cancel via commutation
+  const flow::OptResult res = flow::optimize(c);
+  EXPECT_EQ(res.gates_after, 0u);
+  EXPECT_NEAR(res.global_phase_radians, 0.0, 1e-9);
+}
+
+TEST(FlowOpt, RequireZeroPhaseSkipsPhasedFolds) {
+  ir::Circuit c(1);
+  c.x(0).t(0);  // T on |1>: identity only up to e^{i pi/4}
+  flow::OptOptions strict;
+  strict.require_zero_phase = true;
+  const flow::OptResult res = flow::optimize(c, strict);
+  EXPECT_EQ(res.gates_after, 2u);  // nothing removable at zero phase
+  EXPECT_NEAR(res.global_phase_radians, 0.0, 1e-12);
+  const flow::OptResult loose = flow::optimize(c);
+  EXPECT_EQ(loose.gates_after, 1u);  // x survives, t folds
+  EXPECT_NEAR(loose.global_phase_radians, std::acos(-1.0) / 4.0, 1e-9);
+}
+
+TEST(FlowOpt, CancelsAdjointPairAcrossCommutingGap) {
+  // h q0 ... 70 t q1 ... h q0: far beyond any peephole window, and the
+  // t-chain commutes with nothing on q0.
+  ir::Circuit c(2);
+  c.h(1);  // make q1 non-trivial so the t-chain is not dead code
+  c.h(0);
+  for (int i = 0; i < 70; ++i) {
+    c.t(1);
+  }
+  c.h(0);
+  flow::OptOptions opts;
+  opts.compact_wires = false;  // keep the widths comparable below
+  const flow::OptResult res = flow::optimize(c, opts);
+  // The two h q0 cancel across the 70-op commuting gap.
+  std::size_t h_count = 0;
+  for (const auto& op : res.circuit.ops()) {
+    if (op.kind() == ir::GateKind::H && op.qubits()[0] == 0) {
+      ++h_count;
+    }
+  }
+  EXPECT_EQ(h_count, 0u);
+  EXPECT_TRUE(res.certified);
+  EXPECT_NEAR(distance_up_to_phase(array_state(c), array_state(res.circuit)),
+              0.0, 1e-7);
+}
+
+TEST(FlowOpt, BarrierBlocksCancellation) {
+  ir::Circuit c(1);
+  c.h(0);
+  c.barrier();
+  c.h(0);
+  const flow::OptResult res = flow::optimize(c);
+  EXPECT_EQ(res.gates_after, 2u);  // the barrier is an optimization fence
+}
+
+TEST(FlowOpt, MergesRotationsAndPreservesSemantics) {
+  ir::Circuit c(1);
+  c.h(0).rz(Phase::pi_4(), 0).x(0).rz(Phase::pi_4(), 0);
+  // rz does not commute past x — nothing merges here.
+  const flow::OptResult blocked = flow::optimize(c);
+  EXPECT_EQ(blocked.gates_after, 4u);
+
+  ir::Circuit m(2);
+  m.h(0).rz(Phase::pi_4(), 0).z(1).rz(Phase::pi_4(), 0);
+  flow::OptOptions keep;
+  keep.compact_wires = false;  // z q1 dies, but the width must not change
+  const flow::OptResult res = flow::optimize(m, keep);
+  // The two pi/4 z-rotations merge across the commuting z q1 (itself dead
+  // on |0>): h + merged rz survive.
+  EXPECT_EQ(res.gates_after, 2u);
+  EXPECT_NEAR(distance_up_to_phase(array_state(m), array_state(res.circuit)),
+              0.0, 1e-7);
+}
+
+TEST(FlowOpt, CompactionDropsUntouchedWires) {
+  ir::Circuit c(5);
+  c.h(1).cx(1, 3);
+  const flow::OptResult res = flow::optimize(c);
+  EXPECT_EQ(res.wires_after, 2u);
+  ASSERT_EQ(res.wire_map.size(), 5u);
+  EXPECT_EQ(res.wire_map[1], 0u);
+  EXPECT_EQ(res.wire_map[3], 1u);
+  EXPECT_EQ(res.wire_map[0], flow::kInvalidWire);
+
+  flow::OptOptions keep;
+  keep.compact_wires = false;
+  EXPECT_EQ(flow::optimize(c, keep).wires_after, 5u);
+}
+
+TEST(FlowOpt, OptimizerIsAFixpoint) {
+  ir::Circuit c(3);
+  c.z(0).h(0).t(0).tdg(0).cx(0, 1).cx(2, 1).h(2);
+  const flow::OptResult once = flow::optimize(c);
+  const flow::OptResult twice = flow::optimize(once.circuit);
+  EXPECT_EQ(twice.rewrites.size(), 0u);
+  EXPECT_TRUE(twice.circuit == once.circuit);
+}
+
+// -- The certificate checker ------------------------------------------------
+
+TEST(FlowCert, AcceptsTheOptimizerOwnRewrites) {
+  ir::Circuit c(2);
+  c.z(0).h(0).cx(0, 1).t(1).tdg(1);
+  flow::OptOptions opts;
+  opts.compact_wires = false;
+  const flow::OptResult res = flow::optimize(c, opts);
+  EXPECT_TRUE(res.certified);
+  EXPECT_NO_THROW(flow::cert::check_rewrites(c, res.rewrites, res.circuit,
+                                             res.global_phase_radians));
+}
+
+TEST(FlowCert, RejectsTamperedRewrite) {
+  ir::Circuit c(2);
+  c.z(0).h(0).cx(0, 1);
+  flow::OptOptions opts;
+  opts.compact_wires = false;
+  const flow::OptResult res = flow::optimize(c, opts);
+  ASSERT_FALSE(res.rewrites.empty());
+  // Claim the h (a live gate) was the dead one.
+  std::vector<flow::Rewrite> tampered = res.rewrites;
+  tampered[0].op = 1;
+  EXPECT_THROW(
+      flow::cert::check_rewrites(c, tampered, res.circuit,
+                                 res.global_phase_radians),
+      Error);
+}
+
+TEST(FlowCert, RejectsWrongOutputCircuit) {
+  ir::Circuit c(1);
+  c.z(0).h(0);
+  flow::OptOptions opts;
+  opts.compact_wires = false;
+  const flow::OptResult res = flow::optimize(c, opts);
+  ir::Circuit wrong(1);
+  wrong.x(0);
+  EXPECT_THROW(flow::cert::check_rewrites(c, res.rewrites, wrong,
+                                          res.global_phase_radians),
+               Error);
+}
+
+TEST(FlowCert, RejectsFalseLatticeClaim) {
+  ir::Circuit c(1);
+  c.h(0).z(0);  // z on |+> flips it to |->: NOT an identity
+  flow::Rewrite bogus;
+  bogus.kind = flow::Rewrite::Kind::DeadGate;
+  bogus.op = 1;
+  bogus.fact_states = {flow::StateValue::Zero};  // a lie about the in-state
+  ir::Circuit claimed(1);
+  claimed.h(0);
+  EXPECT_THROW(flow::cert::check_rewrites(c, {bogus}, claimed, 0.0), Error);
+}
+
+// -- End-to-end: examples and the stack integration ------------------------
+
+TEST(FlowOpt, TeleportChainShowcase) {
+  // Mirrors examples/teleport9.qasm's unitary prefix: the leading rz
+  // folds, everything live survives, and the state is preserved.
+  ir::Circuit c(3);
+  c.rz(Phase::pi_4(), 0);  // folds on |0>
+  c.h(0).t(0);
+  c.h(1).cx(1, 2);
+  c.cx(0, 1).h(0);
+  const flow::OptResult res = flow::optimize(c);
+  EXPECT_LT(res.gates_after, res.gates_before);
+  EXPECT_NEAR(distance_up_to_phase(array_state(c), array_state(res.circuit)),
+              0.0, 1e-7);
+}
+
+TEST(FlowLint, FactsCarryRegionsAndCoverage) {
+  ir::Circuit c = ir::ghz(6);
+  const lint::Report report = lint::run(c, {});
+  ASSERT_EQ(report.facts.clifford_regions.size(), 1u);
+  EXPECT_EQ(report.facts.max_clifford_region_gates, 6u);
+  EXPECT_GT(report.facts.constant_state_coverage, 0.0);
+}
+
+TEST(FlowLint, SingleRegionCliffordRoutesStabilizerFirst) {
+  // 24 qubits, fully Clifford, one uninterrupted region: the region-aware
+  // cost model must put the tableau first with zero degradation risk.
+  const ir::Circuit c = ir::random_clifford(24, 200, /*seed=*/3);
+  const lint::Report report = lint::run(c, {});
+  ASSERT_EQ(report.facts.clifford_regions.size(), 1u);
+  ASSERT_FALSE(report.plan.estimates.empty());
+  EXPECT_EQ(report.plan.estimates.front().backend, lint::Backend::Stabilizer);
+  EXPECT_EQ(report.plan.preferred_order.front(), lint::Backend::Stabilizer);
+}
+
+}  // namespace
+}  // namespace qdt

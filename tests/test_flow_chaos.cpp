@@ -1,0 +1,154 @@
+// qdt::flow x qdt::chaos — the opt(c) ~ c metamorphic soak.
+//
+// 500 seeded generator circuits (the same families and adversarial
+// mutations the fuzzer uses) run through flow::optimize; for each case the
+// optimized circuit must (a) pass the certificate checker — a rejection
+// throws Error(Internal) and fails the test on the spot — and (b) produce
+// the same dense state as the original on every exact backend, up to the
+// global phase the optimizer reports. This is the unit-test twin of the
+// `qdt fuzz` opt oracle: deterministic, seed-reproducible, CI-cheap.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/fuzzer.hpp"
+#include "chaos/generator.hpp"
+#include "chaos/oracle.hpp"
+#include "common/rng.hpp"
+#include "core/tasks.hpp"
+#include "flow/opt.hpp"
+#include "ir/qasm.hpp"
+#include "stab/tableau.hpp"
+
+namespace qdt {
+namespace {
+
+constexpr std::size_t kCases = 500;
+constexpr double kTolerance = 1e-7;
+
+/// QASM when expressible, op-by-op dump otherwise (the generator emits
+/// gates — e.g. controlled-s — that the QASM writer refuses).
+std::string describe(const ir::Circuit& c) {
+  try {
+    return ir::to_qasm(c);
+  } catch (...) {
+    std::string s;
+    for (const auto& op : c.ops()) {
+      s += op.str() + "\n";
+    }
+    return s;
+  }
+}
+
+std::vector<Complex> state_of(const ir::Circuit& c, core::SimBackend backend) {
+  core::SimulateOptions opts;
+  opts.shots = 0;
+  opts.want_state = true;
+  auto res = core::simulate(c, backend, opts);
+  return std::move(*res.state);
+}
+
+TEST(FlowChaos, OptimizedCircuitsMatchOriginalsAcrossBackends) {
+  chaos::GeneratorConfig config;
+  config.max_qubits = 5;  // dense cross-backend diffs must stay cheap
+  config.max_ops = 48;
+
+  std::size_t rewritten_cases = 0;
+  std::size_t total_rewrites = 0;
+  for (std::size_t i = 0; i < kCases; ++i) {
+    Rng rng(chaos::case_seed(20260808, i));
+    const chaos::GeneratedCase generated = chaos::generate_case(rng, config);
+    const ir::Circuit original = generated.circuit.unitary_part();
+    if (original.empty()) {
+      continue;
+    }
+    SCOPED_TRACE("case " + std::to_string(i) + " (" + generated.family +
+                 "):\n" + describe(generated.circuit));
+
+    flow::OptOptions opts;
+    opts.compact_wires = false;  // keep widths comparable for the diff
+    flow::OptResult res;
+    // Certification is on: an unjustified rewrite throws Error(Internal)
+    // here and the SCOPED_TRACE above names the offending circuit.
+    ASSERT_NO_THROW(res = flow::optimize(original, opts));
+    EXPECT_TRUE(res.certified);
+    EXPECT_LE(res.gates_after, res.gates_before);
+    if (res.rewrites.empty()) {
+      continue;
+    }
+    ++rewritten_cases;
+    total_rewrites += res.rewrites.size();
+
+    const std::vector<Complex> reference =
+        state_of(original, core::SimBackend::Array);
+    for (const auto backend :
+         {core::SimBackend::Array, core::SimBackend::DecisionDiagram,
+          core::SimBackend::TensorNetwork, core::SimBackend::Mps}) {
+      const std::vector<Complex> opt_state = state_of(res.circuit, backend);
+      const double dist =
+          chaos::state_distance_up_to_phase(reference, opt_state);
+      EXPECT_LE(dist, kTolerance)
+          << core::backend_name(backend) << " diverged after optimization";
+    }
+
+    // Clifford circuits additionally cross-check tableau marginals.
+    if (stab::is_clifford_circuit(original) &&
+        stab::is_clifford_circuit(res.circuit)) {
+      stab::StabilizerSimulator sim(res.circuit.num_qubits());
+      sim.run(res.circuit);
+      for (std::size_t q = 0; q < original.num_qubits(); ++q) {
+        double p_ref = 0.0;
+        for (std::size_t k = 0; k < reference.size(); ++k) {
+          if ((k >> q) & 1U) {
+            p_ref += std::norm(reference[k]);
+          }
+        }
+        EXPECT_NEAR(sim.tableau().prob_one(q), p_ref, kTolerance)
+            << "tableau marginal diverged on qubit " << q;
+      }
+    }
+  }
+  // The soak is only meaningful if the optimizer actually fires on the
+  // generated corpus (adjacent-duplicate mutations guarantee fodder).
+  EXPECT_GT(rewritten_cases, kCases / 10);
+  EXPECT_GT(total_rewrites, 0u);
+}
+
+TEST(FlowChaos, OracleRunsOptCheckAndStaysClean) {
+  // The fuzzer-facing oracle with only the opt check enabled must agree on
+  // generator output — the in-process version of `qdt fuzz`'s opt oracle.
+  chaos::OracleOptions opts;
+  opts.equivalence_checks = false;
+  opts.stabilizer_check = false;
+  opts.max_state_qubits = 5;
+
+  chaos::GeneratorConfig config;
+  config.max_qubits = 5;
+  for (std::size_t i = 0; i < 50; ++i) {
+    Rng rng(chaos::case_seed(4242, i));
+    const chaos::GeneratedCase generated = chaos::generate_case(rng, config);
+    if (generated.circuit.unitary_part().empty()) {
+      continue;  // nothing for the opt oracle to prove
+    }
+    const chaos::OracleReport report =
+        chaos::run_oracle(generated.circuit, opts);
+    EXPECT_FALSE(report.is_finding())
+        << "case " << i << ": " << report.detail << "\n"
+        << describe(generated.circuit);
+    bool saw_opt_check = false;
+    for (const auto& check : report.checks) {
+      if (check.check.rfind("opt:", 0) == 0) {
+        saw_opt_check = true;
+      }
+    }
+    EXPECT_TRUE(saw_opt_check) << "opt oracle did not run on case " << i;
+  }
+}
+
+}  // namespace
+}  // namespace qdt

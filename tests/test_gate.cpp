@@ -35,6 +35,34 @@ TEST(Gate, InverseKindsComposeToIdentity) {
   }
 }
 
+TEST(Gate, AdjointWrapsOnlyAtHalfTurn) {
+  // Half-angle rotations are 4pi-periodic, so negating theta == pi wraps
+  // back to +pi and the structural adjoint picks up a -1.
+  EXPECT_TRUE(gate_adjoint_wraps(GateKind::RX, {Phase::pi()}));
+  EXPECT_TRUE(gate_adjoint_wraps(GateKind::RY, {Phase::pi()}));
+  EXPECT_TRUE(gate_adjoint_wraps(GateKind::RZ, {Phase::pi()}));
+  EXPECT_TRUE(gate_adjoint_wraps(GateKind::RZZ, {Phase::pi()}));
+  EXPECT_TRUE(gate_adjoint_wraps(GateKind::RXX, {Phase::pi()}));
+  EXPECT_TRUE(gate_adjoint_wraps(
+      GateKind::U, {Phase::pi(), Phase::zero(), Phase::zero()}));
+  // Any other angle negates in-range; phase-type gates are 2pi-periodic.
+  EXPECT_FALSE(gate_adjoint_wraps(GateKind::RY, {Phase::pi_2()}));
+  EXPECT_FALSE(gate_adjoint_wraps(GateKind::RZ, {Phase::minus_pi_4()}));
+  EXPECT_FALSE(gate_adjoint_wraps(GateKind::P, {Phase::pi()}));
+  EXPECT_FALSE(gate_adjoint_wraps(GateKind::H, {}));
+}
+
+TEST(Gate, HalfTurnRotationAdjointIsMinusInverse) {
+  // The concrete shape of the wrap: ry(pi)^T ry(pi) = -I, so a structural
+  // adjoint pair is only an inverse up to global phase — observable once
+  // a control is attached (see Circuit::adjoint's correction).
+  const Mat2 ry = gate_matrix2(GateKind::RY, {Phase::pi()});
+  const Mat2 adj = gate_matrix2(
+      gate_inverse_kind(GateKind::RY),
+      gate_inverse_params(GateKind::RY, {Phase::pi()}));
+  EXPECT_TRUE(approx_equal(ry * adj, Mat2::identity() * Complex{-1.0, 0.0}));
+}
+
 TEST(Gate, SSquaredIsZ) {
   const Mat2 s = gate_matrix2(GateKind::S, {});
   const Mat2 z = gate_matrix2(GateKind::Z, {});

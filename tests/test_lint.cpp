@@ -99,6 +99,16 @@ TEST(LintFacts, FindsAdjacentCancellingPair) {
   EXPECT_EQ(f.cancelling_pairs[0].second, 2U);
 }
 
+TEST(LintFacts, ControlledHalfTurnRotationPairIsNotCancelling) {
+  // crz(pi) ; crz(pi) multiplies to Z-on-control, not the identity: the
+  // structural adjoint wraps -pi to +pi. Flagging it as a cancelling pair
+  // would advise a miscompile.
+  ir::Circuit c(2);
+  c.crz(Phase::pi(), 0, 1).crz(Phase::pi(), 0, 1);
+  const auto f = analyze(c);
+  EXPECT_TRUE(f.cancelling_pairs.empty());
+}
+
 TEST(LintFacts, CancellationSeesThroughCommutingDiagonals) {
   ir::Circuit c(1);
   c.t(0).s(0).tdg(0);  // s is diagonal: t...tdg still cancels

@@ -120,6 +120,24 @@ TEST(Optimize, CancelsInversePairs) {
   EXPECT_EQ(stats.cancelled_pairs, 3U);
 }
 
+TEST(Optimize, KeepsControlledHalfTurnRotationPairs) {
+  // cry(pi) ; cry(pi) is Z-on-control (the wrapped "adjoint" is -1 x the
+  // inverse on the controlled block) — cancelling the pair would
+  // miscompile. An uncontrolled ry(pi) pair is -I, a pure global phase,
+  // and may still cancel.
+  Circuit c(2);
+  c.append(ir::Operation{ir::GateKind::RY, {1}, {0}, {Phase::pi()}});
+  c.append(ir::Operation{ir::GateKind::RY, {1}, {0}, {Phase::pi()}});
+  OptimizeStats stats;
+  const Circuit o = peephole_optimize(c, &stats);
+  EXPECT_EQ(o.size(), 2U);
+  EXPECT_EQ(stats.cancelled_pairs, 0U);
+
+  Circuit u(1);
+  u.ry(Phase::pi(), 0).ry(Phase::pi(), 0);
+  EXPECT_TRUE(peephole_optimize(u).empty());
+}
+
 TEST(Optimize, MergesRotations) {
   Circuit c(1);
   c.rz(Phase::pi_4(), 0).rz(Phase::pi_4(), 0);

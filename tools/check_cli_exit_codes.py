@@ -138,6 +138,39 @@ def main() -> int:
         except (json.JSONDecodeError, KeyError) as exc:
             failures.append(f"lint json: unparseable output ({exc})")
 
+        # The opt contract: 0 on success (whether or not anything was
+        # rewritten), 2 on bad input, and --json emits a machine-parseable
+        # report whose counts are internally consistent.
+        foldable = os.path.join(tmp, "foldable.qasm")
+        with open(foldable, "w", encoding="utf-8") as f:
+            f.write(
+                "OPENQASM 2.0;\nqreg q[2];\nz q[0];\nh q[0];\ncx q[0], q[1];\n"
+            )
+        expect("opt ok", run(binary, ["opt", good]), 0)
+        expect(
+            "opt missing file",
+            run(binary, ["opt", os.path.join(tmp, "nope.qasm")]),
+            2,
+            stderr_contains="bad-input",
+        )
+        expect("opt malformed qasm", run(binary, ["opt", bad]), 2)
+        opt_json = run(binary, ["opt", foldable, "--json"])
+        expect("opt json", opt_json, 0)
+        try:
+            report = json.loads(opt_json.stdout)
+            if report.get("certified") is not True:
+                failures.append(
+                    f"opt json: expected certified report: "
+                    f"{opt_json.stdout.strip()!r}"
+                )
+            if report.get("gates_after", 99) >= report.get("gates_before", 0):
+                failures.append(
+                    f"opt json: leading z on |0> should have been removed: "
+                    f"{opt_json.stdout.strip()!r}"
+                )
+        except (json.JSONDecodeError, KeyError) as exc:
+            failures.append(f"opt json: unparseable output ({exc})")
+
         # The serve contract: pipe mode answers every line with one JSON
         # response (typed errors included) and exits 0 after draining on
         # stdin EOF.

@@ -25,7 +25,9 @@ Allowed dependencies (a layer may always include itself):
   dd        -> arrays, ir + below
   tn        -> arrays, ir + below
   zx        -> tn, transpile, arrays, ir + below
-  lint      -> ir + below        (static analysis must never simulate)
+  flow      -> ir + below        (abstract interpretation + certified
+                              rewriting: pure static analysis, no backend)
+  lint      -> flow, ir + below  (static analysis must never simulate)
   core      -> every backend     (but not chaos, except the umbrella header)
   chaos     -> core + everything (it orchestrates the whole library)
   serve     -> core + everything (the daemon; sibling of chaos — the two
@@ -57,13 +59,16 @@ ALLOWED = {
     "dd": IR_AND_BELOW | {"arrays"},
     "tn": IR_AND_BELOW | {"arrays"},
     "zx": IR_AND_BELOW | {"arrays", "tn", "transpile"},
-    "lint": IR_AND_BELOW,
+    "flow": IR_AND_BELOW,
+    "lint": IR_AND_BELOW | {"flow"},
     "core": IR_AND_BELOW
-    | {"arrays", "stab", "transpile", "dd", "tn", "zx", "lint"},
+    | {"arrays", "stab", "transpile", "dd", "tn", "zx", "flow", "lint"},
     "chaos": IR_AND_BELOW
-    | {"arrays", "stab", "transpile", "dd", "tn", "zx", "lint", "core"},
+    | {"arrays", "stab", "transpile", "dd", "tn", "zx", "flow", "lint",
+       "core"},
     "serve": IR_AND_BELOW
-    | {"arrays", "stab", "transpile", "dd", "tn", "zx", "lint", "core"},
+    | {"arrays", "stab", "transpile", "dd", "tn", "zx", "flow", "lint",
+       "core"},
 }
 
 # (relative file, included layer) pairs that are deliberately legal.

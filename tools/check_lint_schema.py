@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Validate the qdt CLI's static-analysis JSON contracts end to end.
+
+Two commands share the machine-readable surface that editor integrations
+and the CI opt-smoke step key on; this ctest pins both:
+
+`qdt lint --json` (every examples/*.qasm):
+  - facts object with the full fact set, including the flow-derived
+    fields: clifford_regions (list of {begin, end, unitary_gates} with
+    0 <= begin < end <= ops, non-overlapping, in order),
+    max_clifford_region_gates, constant_state_coverage in [0, 1], and
+    constant_identity_ops
+  - plan: non-empty ranked list of {backend, feasible, cost_log2,
+    rationale}, feasible entries sorted cheapest-first
+  - diagnostics list of {severity, code, message}; warnings counts the
+    warning-severity entries; clean == (warnings == 0)
+
+`qdt opt --json` (every examples/*.qasm):
+  - gates_after <= gates_before, ops_after <= ops_before,
+    qubits_after <= qubits_before
+  - certified is true (the certificate checker replayed every rewrite)
+  - rewrites list of {kind, pass, op, phase_radians, note} with known
+    kinds; cancel_pair/merge_rotation entries carry a partner
+  - the optimized --out QASM reparses and its opt report is a fixpoint
+    (optimizing again removes nothing)
+  - across the example corpus, at least one circuit must lose >= 10% of
+    its gates — the headline the README advertises; a silent regression
+    of the optimizer to a no-op fails here, not in a dashboard
+
+Usage: check_lint_schema.py <qdt-binary> <repo_root>
+Exit code 0 on success, 1 with a diagnostic otherwise.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REWRITE_KINDS = {
+    "dead_gate",
+    "fold_phase",
+    "cancel_pair",
+    "merge_rotation",
+    "compact_wires",
+}
+
+FACT_KEYS = {
+    "qubits", "gates", "measurements", "depth", "t_count", "clifford",
+    "clifford_fraction", "clifford_regions", "max_clifford_region_gates",
+    "constant_state_coverage", "constant_identity_ops", "dead_qubits",
+    "unused_ancillas", "lightcone", "max_lightcone", "cancelling_pairs",
+    "mergeable_pairs", "mps_bond_log2", "mps_bond_bound", "tn_cost_log2",
+    "tn_peak_log2", "dd_growth_score", "dd_nodes_log2",
+}
+
+
+def fail(msg: str) -> None:
+    print(f"check_lint_schema: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_json(qdt: Path, args: list[str]) -> dict:
+    proc = subprocess.run(
+        [str(qdt)] + args, capture_output=True, text=True, timeout=300
+    )
+    if proc.returncode not in (0, 1):  # lint exits 1 on warnings
+        fail(f"{' '.join(args)} exited {proc.returncode}:\n{proc.stderr}")
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"{' '.join(args)}: output is not JSON ({e}):\n{proc.stdout}")
+
+
+def check_lint(qdt: Path, example: Path) -> None:
+    doc = run_json(qdt, ["lint", str(example), "--json"])
+    name = example.name
+    facts = doc.get("facts")
+    if not isinstance(facts, dict):
+        fail(f"{name}: lint report missing facts object")
+    missing = FACT_KEYS - facts.keys()
+    if missing:
+        fail(f"{name}: facts missing keys {sorted(missing)}")
+
+    regions = facts["clifford_regions"]
+    if not isinstance(regions, list):
+        fail(f"{name}: clifford_regions must be a list")
+    prev_end = 0
+    max_gates = 0
+    for r in regions:
+        if not {"begin", "end", "unitary_gates"} <= r.keys():
+            fail(f"{name}: malformed clifford region {r}")
+        if not (prev_end <= r["begin"] < r["end"]):
+            fail(f"{name}: clifford regions must be ordered, non-overlapping "
+                 f"half-open ranges: {regions}")
+        prev_end = r["end"]
+        max_gates = max(max_gates, r["unitary_gates"])
+    if facts["max_clifford_region_gates"] != max_gates:
+        fail(f"{name}: max_clifford_region_gates="
+             f"{facts['max_clifford_region_gates']} but regions say "
+             f"{max_gates}")
+    cov = facts["constant_state_coverage"]
+    if not (isinstance(cov, (int, float)) and 0.0 <= cov <= 1.0):
+        fail(f"{name}: constant_state_coverage must be in [0,1]: {cov}")
+
+    plan = doc.get("plan")
+    if not isinstance(plan, list) or not plan:
+        fail(f"{name}: plan must be a non-empty list")
+    feasible_costs = []
+    for entry in plan:
+        if not {"backend", "feasible", "cost_log2", "rationale"} <= entry.keys():
+            fail(f"{name}: malformed plan entry {entry}")
+        if entry["feasible"]:
+            feasible_costs.append(entry["cost_log2"])
+    if feasible_costs != sorted(feasible_costs):
+        fail(f"{name}: feasible plan entries must rank cheapest-first: "
+             f"{feasible_costs}")
+
+    diags = doc.get("diagnostics")
+    if not isinstance(diags, list):
+        fail(f"{name}: diagnostics must be a list")
+    warn_count = sum(1 for d in diags if d.get("severity") == "warning")
+    if doc.get("warnings") != warn_count:
+        fail(f"{name}: warnings={doc.get('warnings')} but "
+             f"{warn_count} warning diagnostics present")
+    if doc.get("clean") != (warn_count == 0):
+        fail(f"{name}: clean flag inconsistent with warnings")
+
+
+def check_opt(qdt: Path, example: Path, tmp: Path) -> float:
+    """Validate one opt report; return the fractional gate reduction."""
+    out = tmp / (example.stem + ".opt.qasm")
+    doc = run_json(qdt, ["opt", str(example), "--json", "--out", str(out)])
+    name = example.name
+    for key in ("gates_before", "gates_after", "ops_before", "ops_after",
+                "qubits_before", "qubits_after", "global_phase",
+                "global_phase_radians", "certified", "rewrites"):
+        if key not in doc:
+            fail(f"{name}: opt report missing {key!r}")
+    if doc["certified"] is not True:
+        fail(f"{name}: opt report not certified")
+    if doc["gates_after"] > doc["gates_before"]:
+        fail(f"{name}: optimizer added gates: {doc['gates_before']} -> "
+             f"{doc['gates_after']}")
+    if doc["ops_after"] > doc["ops_before"]:
+        fail(f"{name}: optimizer added ops")
+    if doc["qubits_after"] > doc["qubits_before"]:
+        fail(f"{name}: optimizer added qubits")
+    for rw in doc["rewrites"]:
+        if rw.get("kind") not in REWRITE_KINDS:
+            fail(f"{name}: unknown rewrite kind {rw!r}")
+        for key in ("pass", "op", "phase_radians", "note"):
+            if key not in rw:
+                fail(f"{name}: rewrite missing {key!r}: {rw}")
+        if rw["kind"] in ("cancel_pair", "merge_rotation") and "partner" not in rw:
+            fail(f"{name}: paired rewrite missing partner: {rw}")
+    if not out.is_file():
+        fail(f"{name}: --out produced no file")
+
+    # The emitted circuit must reparse, and optimizing it again must be a
+    # fixpoint — a non-idempotent optimizer is hiding missed or phantom
+    # rewrites.
+    again = run_json(qdt, ["opt", str(out), "--json"])
+    if again["gates_after"] != again["gates_before"]:
+        fail(f"{name}: optimizer is not a fixpoint: second run went "
+             f"{again['gates_before']} -> {again['gates_after']}")
+
+    before = doc["gates_before"]
+    return (before - doc["gates_after"]) / before if before else 0.0
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        fail("usage: check_lint_schema.py <qdt-binary> <repo_root>")
+    qdt = Path(sys.argv[1])
+    root = Path(sys.argv[2])
+    examples = sorted((root / "examples").glob("*.qasm"))
+    if not examples:
+        fail(f"no examples/*.qasm under {root}")
+
+    reductions = {}
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        for example in examples:
+            check_lint(qdt, example)
+            reductions[example.name] = check_opt(qdt, example, tmp)
+
+    big_wins = {n: r for n, r in reductions.items() if r >= 0.10}
+    if not big_wins:
+        fail(f"no example lost >= 10% of its gates under qdt opt: "
+             f"{ {n: round(r, 3) for n, r in reductions.items()} }")
+    summary = ", ".join(
+        f"{n} -{r:.0%}" for n, r in sorted(big_wins.items())
+    )
+    print(f"lint+opt JSON schema OK over {len(examples)} examples "
+          f"({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,11 @@ REQUIRED_METRICS = {
     "qdt.dd.gc.runs",
     "qdt.dd.gc.freed_nodes",
     "qdt.dd.gc.live_nodes",
+    # Certified optimizer: a nonzero cert.rejected means the optimizer
+    # emitted an unjustified rewrite — always a bug, always alert-worthy.
+    "qdt.flow.cert.rejected",
+    "qdt.flow.cert.checked",
+    "qdt.flow.opt.removed_gates",
 }
 
 

@@ -8,6 +8,7 @@
 //   qdt explain  <file.qasm> [--json] [--shots N] [--seed S] [--noise P]
 //                [--state]
 //   qdt verify   <a.qasm> <b.qasm> [--method array|dd|dd-seq|dd-sim|zx]
+//   qdt opt      <file.qasm> [--json] [--out <file.qasm>] [--no-compact]
 //   qdt compile  <file.qasm> --target line|ring|grid|star|full|heavyhex
 //                [--qubits N] [--gateset cx|cz] [--router sp|lookahead]
 //                [--no-opt] [--out <file.qasm>] [--verify]
@@ -89,12 +90,24 @@
 // simulate/verify accept --robust: on resource exhaustion the task degrades
 // along the fallback ladder instead of failing, and the chain is printed.
 //
+// `opt` runs the qdt::flow certified static optimizer — abstract
+// interpretation over a per-qubit constant-state lattice plus a
+// commutation-DAG scan: dead-gate elimination on classically known wires,
+// constant-folding of diagonal gates into a tracked global phase,
+// long-range cancellation/merging of commuting pairs, and qubit-wire
+// compaction. Every rewrite carries a machine-checkable justification that
+// an independent certificate checker replays before anything is emitted;
+// a rejected certificate is a hard internal error (exit 4), never a wrong
+// circuit. --json emits the structured report, --out writes the optimized
+// QASM, --no-compact keeps the original wire count.
+//
 // Exit code 0 on success (and on "equivalent"); 1 on "not equivalent";
 // 2 on usage or bad input; 3 on resource exhaustion; 4 on internal errors.
 #include <csignal>
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -123,6 +136,9 @@ using namespace qdt;
                [--state]   (plan-vs-actual report for the robust ladder)
   qdt verify   <a.qasm> <b.qasm> [--method array|dd|dd-seq|dd-sim|zx]
                [--robust]
+  qdt opt      <file.qasm> [--json] [--out <file.qasm>] [--no-compact]
+               (certified static optimizer: every rewrite is re-verified
+               by an independent certificate checker before emission)
   qdt compile  <file.qasm> --target line|ring|grid|star|full|heavyhex
                [--qubits N] [--gateset cx|cz] [--router sp|lookahead]
                [--no-opt] [--out <file.qasm>] [--verify]
@@ -203,7 +219,7 @@ std::map<std::string, std::string> parse_flags(
       } else if (key == "state" || key == "no-opt" || key == "verify" ||
                  key == "metrics" || key == "robust" || key == "chaos" ||
                  key == "no-shrink" || key == "no-parser" ||
-                 key == "trace" || key == "json" ||
+                 key == "trace" || key == "json" || key == "no-compact" ||
                  key == "no-fault-injection") {
         flags[key] = "";
       } else if (i + 1 < args.size()) {
@@ -524,6 +540,115 @@ int cmd_verify(const std::vector<std::string>& args) {
   return res.equivalent ? 0 : 1;
 }
 
+/// Minimal JSON string escaping for optimizer notes/paths.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+int cmd_opt(const std::vector<std::string>& args) {
+  std::vector<std::string> pos;
+  auto flags = parse_flags(args, pos);
+  if (pos.size() != 1) {
+    usage();
+  }
+  apply_threads(flags);
+  apply_dd_table(flags);
+  const guard::BudgetScope scope(budget_from(flags));
+  const ir::Circuit c = load(pos[0]);
+  flow::OptOptions opts;
+  opts.compact_wires = !flags.contains("no-compact");
+  const flow::OptResult res = flow::optimize(c, opts);
+  if (flags.contains("out")) {
+    std::ofstream out(flags["out"]);
+    if (!out) {
+      throw Error::bad_input("cannot write " + flags["out"]);
+    }
+    out << ir::to_qasm(res.circuit);
+  }
+  if (flags.contains("json")) {
+    std::ostringstream js;
+    js << "{\"file\":\"" << json_escape(pos[0]) << "\""
+       << ",\"gates_before\":" << res.gates_before
+       << ",\"gates_after\":" << res.gates_after
+       << ",\"ops_before\":" << res.ops_before
+       << ",\"ops_after\":" << res.ops_after
+       << ",\"qubits_before\":" << res.wires_before
+       << ",\"qubits_after\":" << res.wires_after
+       << ",\"global_phase\":\"" << json_escape(res.global_phase.str()) << "\""
+       << ",\"global_phase_radians\":" << res.global_phase_radians
+       << ",\"certified\":" << (res.certified ? "true" : "false")
+       << ",\"rewrites\":[";
+    for (std::size_t i = 0; i < res.rewrites.size(); ++i) {
+      const flow::Rewrite& rw = res.rewrites[i];
+      js << (i == 0 ? "" : ",") << "{\"kind\":\""
+         << flow::rewrite_kind_name(rw.kind) << "\",\"pass\":" << rw.pass
+         << ",\"op\":" << rw.op;
+      if (rw.kind == flow::Rewrite::Kind::CancelPair ||
+          rw.kind == flow::Rewrite::Kind::MergeRotation) {
+        js << ",\"partner\":" << rw.partner;
+      }
+      js << ",\"phase_radians\":" << rw.phase_radians << ",\"note\":\""
+         << json_escape(rw.note) << "\"}";
+    }
+    js << "]}";
+    std::cout << js.str() << "\n";
+  } else {
+    std::cout << "gates:        " << res.gates_before << " -> "
+              << res.gates_after << "\n";
+    std::cout << "ops:          " << res.ops_before << " -> " << res.ops_after
+              << "\n";
+    std::cout << "qubits:       " << res.wires_before << " -> "
+              << res.wires_after << "\n";
+    std::cout << "global phase: " << res.global_phase.str() << " ("
+              << res.global_phase_radians << " rad)\n";
+    std::cout << "rewrites:     " << res.rewrites.size()
+              << (res.certified ? " (all certified)" : "") << "\n";
+    for (const auto& rw : res.rewrites) {
+      std::cout << "  pass " << rw.pass << ": "
+                << flow::rewrite_kind_name(rw.kind) << " op " << rw.op;
+      if (rw.kind == flow::Rewrite::Kind::CancelPair ||
+          rw.kind == flow::Rewrite::Kind::MergeRotation) {
+        std::cout << " + " << rw.partner;
+      }
+      if (!rw.note.empty()) {
+        std::cout << " — " << rw.note;
+      }
+      std::cout << "\n";
+    }
+    if (flags.contains("out")) {
+      std::cout << "wrote " << flags["out"] << "\n";
+    }
+  }
+  emit_metrics(flags);
+  return 0;
+}
+
 int cmd_compile(const std::vector<std::string>& args) {
   std::vector<std::string> pos;
   auto flags = parse_flags(args, pos);
@@ -574,7 +699,24 @@ int cmd_compile(const std::vector<std::string>& args) {
   if (flags.contains("router") && flags["router"] == "sp") {
     opts.router = transpile::RouterKind::ShortestPath;
   }
-  const auto res = transpile::transpile(c.unitary_part(), target, opts);
+  // Certified flow pre-pass ahead of transpilation (behind the same
+  // --no-opt switch as the peephole passes). Wire compaction stays off so
+  // the declared width survives; --verify below checks the transpiler
+  // against this pre-optimized input — the pre-pass itself is covered by
+  // its own certificate checker.
+  ir::Circuit input = c.unitary_part();
+  std::size_t pre_removed = 0;
+  if (opts.optimize) {
+    flow::OptOptions oo;
+    oo.compact_wires = false;
+    flow::OptResult pre = flow::optimize(input, oo);
+    pre_removed = pre.ops_before - pre.ops_after;
+    input = std::move(pre.circuit);
+  }
+  const auto res = transpile::transpile(input, target, opts);
+  if (pre_removed > 0) {
+    std::cout << "flow:   removed " << pre_removed << " ops pre-routing\n";
+  }
   std::cout << "gates:  " << res.before.total_gates << " -> "
             << res.after.total_gates << "\n";
   std::cout << "2q:     " << res.before.two_qubit << " -> "
@@ -589,7 +731,7 @@ int cmd_compile(const std::vector<std::string>& args) {
   }
   if (flags.contains("verify")) {
     const auto ec = core::verify(
-        transpile::padded_original(c.unitary_part(), target),
+        transpile::padded_original(input, target),
         transpile::restored_for_verification(res),
         core::EcMethod::DdAlternating);
     std::cout << "verification: "
@@ -825,6 +967,9 @@ int dispatch(const std::string& cmd, const std::vector<std::string>& args) {
   }
   if (cmd == "verify") {
     return cmd_verify(args);
+  }
+  if (cmd == "opt") {
+    return cmd_opt(args);
   }
   if (cmd == "compile") {
     return cmd_compile(args);
