@@ -4,8 +4,14 @@
 // against the DD backend on the same circuits.
 #include <benchmark/benchmark.h>
 
+#include <stdexcept>
+
+#include "bench_json.hpp"
 #include "dd/simulator.hpp"
 #include "ir/library.hpp"
+#include "obs/obs.hpp"
+#include "par/pool.hpp"
+#include "stab/reference.hpp"
 #include "stab/tableau.hpp"
 
 namespace {
@@ -79,6 +85,100 @@ void BM_TableauSameState(benchmark::State& state) {
   state.counters["same"] = same ? 1.0 : 0.0;
 }
 BENCHMARK(BM_TableauSameState)->Arg(8)->Arg(32)->Arg(128);
+
+// The headline packed-vs-element-wise sweep: the same measurement-
+// terminated random Clifford circuit (10n gates, then measure every
+// qubit — the shape every sampling workload runs) through the bit-packed
+// tableau and through the element-wise reference port of the pre-packing
+// implementation, at 64/256/1024 qubits. Unitary column updates touch one
+// bit per row either way, so the word-parallel payoff lands in the rowsum
+// sweeps measurements trigger: O(n/64) popcount words instead of O(n)
+// per-bit phase lookups. Emits one BENCH_stab.json line per
+// (width, backend) so CI can assert the packed speedup from the JSON
+// stream.
+void clifford_sweep(benchmark::State& state, const char* impl) {
+  const std::size_t n = state.range(0);
+  auto c = qdt::ir::random_clifford(n, 10 * n, /*seed=*/13);
+  for (std::size_t q = 0; q < n; ++q) {
+    c.measure(q);
+  }
+  const bool packed = std::string_view(impl) == "packed";
+  for (auto _ : state) {
+    if (packed) {
+      qdt::stab::StabilizerSimulator sim(n, 1);
+      sim.run(c);
+      benchmark::DoNotOptimize(sim);
+    } else {
+      qdt::stab::ReferenceSimulator sim(n, 1);
+      sim.run(c);
+      benchmark::DoNotOptimize(sim);
+    }
+  }
+  state.counters["qubits"] = static_cast<double>(n);
+  state.counters["gates"] = static_cast<double>(c.stats().total_gates);
+  // One fresh instrumented run for the machine-readable line.
+  qdt::obs::reset();
+  const qdt::obs::Stopwatch sw;
+  std::uint64_t repr = 0;
+  if (packed) {
+    qdt::stab::StabilizerSimulator sim(n, 1);
+    sim.run(c);
+    repr = sim.tableau().memory_bytes();
+  } else {
+    qdt::stab::ReferenceSimulator sim(n, 1);
+    sim.run(c);
+    repr = 2 * n * (2 * n + 1) / 8 + 2 * n;  // element-wise bit count
+  }
+  qdt::bench::emit_json_line(
+      "stab", "CliffordSweep_" + std::to_string(n) + "_" + impl, impl,
+      sw.seconds(), repr);
+}
+
+void BM_CliffordSweepPacked(benchmark::State& state) {
+  clifford_sweep(state, "packed");
+}
+BENCHMARK(BM_CliffordSweepPacked)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CliffordSweepReference(benchmark::State& state) {
+  clifford_sweep(state, "reference");
+}
+BENCHMARK(BM_CliffordSweepReference)->Arg(64)->Arg(256)->Arg(1024);
+
+// 1024-qubit 10k-gate acceptance case: the run must be bitwise identical
+// at 1, 2, and 8 threads (the par chunking contract). Aborts the bench if
+// the words diverge so CI cannot publish a green line over broken
+// determinism.
+void BM_ThreadDeterminism1024(benchmark::State& state) {
+  const std::size_t n = 1024;
+  const auto c = qdt::ir::random_clifford(n, 10000, /*seed=*/17);
+  const auto run_at = [&](std::size_t threads) {
+    qdt::par::set_max_threads(threads);
+    qdt::stab::StabilizerSimulator sim(n, 1);
+    sim.run(c);
+    return std::make_pair(sim.tableau().words(), sim.tableau().signs());
+  };
+  const auto base = run_at(1);
+  for (const std::size_t t : {std::size_t{2}, std::size_t{8}}) {
+    if (run_at(t) != base) {
+      throw std::runtime_error("tableau diverged at --threads " +
+                               std::to_string(t));
+    }
+  }
+  qdt::par::set_max_threads(8);
+  for (auto _ : state) {
+    qdt::stab::StabilizerSimulator sim(n, 1);
+    sim.run(c);
+    benchmark::DoNotOptimize(sim);
+  }
+  qdt::par::set_max_threads(1);
+  qdt::obs::reset();
+  const qdt::obs::Stopwatch sw;
+  qdt::stab::StabilizerSimulator sim(n, 1);
+  sim.run(c);
+  qdt::bench::emit_json_line("stab", "ThreadDeterminism_1024_10k", "packed",
+                             sw.seconds(), sim.tableau().memory_bytes());
+}
+BENCHMARK(BM_ThreadDeterminism1024);
 
 }  // namespace
 

@@ -128,6 +128,9 @@ std::string write_finding(const std::string& dir, const CorpusEntry& entry,
   if (entry.max_ops != 0) {
     replay += " --max-ops " + std::to_string(entry.max_ops);
   }
+  if (entry.clifford) {
+    replay += " --clifford";
+  }
 
   std::ofstream out(json_path);
   if (!out) {
@@ -147,6 +150,7 @@ std::string write_finding(const std::string& dir, const CorpusEntry& entry,
       << ",\n";
   out << "  \"max_qubits\": " << entry.max_qubits << ",\n";
   out << "  \"max_ops\": " << entry.max_ops << ",\n";
+  out << "  \"clifford\": " << (entry.clifford ? "true" : "false") << ",\n";
   write_string_array(out, "mutations", entry.mutations);
   write_string_array(out, "checks", entry.checks);
   write_string_array(out, "fault_schedule", entry.fault_schedule);

@@ -36,6 +36,7 @@ struct CorpusEntry {
   bool parser_fuzz = true;
   std::size_t max_qubits = 0;  // generator caps (0: leave unset on replay)
   std::size_t max_ops = 0;
+  bool clifford = false;  // Clifford-only generation lane
   /// Parser findings: the raw mutated QASM text that triggered the failure
   /// (persisted verbatim as the .qasm artifact instead of the circuit).
   std::string raw_text;

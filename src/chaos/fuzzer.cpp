@@ -66,12 +66,18 @@ OracleOptions narrowed_options(const OracleOptions& base,
       break;
     }
   }
-  if (failing.rfind("state:", 0) == 0) {
+  if (failing.rfind("stab:", 0) == 0) {
+    // Packed-vs-reference differential: only the stabilizer lane matters.
+    opts.max_state_qubits = 0;
+    opts.equivalence_checks = false;
+    opts.opt_check = false;
+  } else if (failing.rfind("state:", 0) == 0) {
     opts.equivalence_checks = false;
     opts.opt_check = false;
   } else if (failing.rfind("opt:", 0) == 0) {
     opts.equivalence_checks = false;
     opts.stabilizer_check = false;
+    opts.max_stabilizer_qubits = 0;
   } else if (failing.rfind("ec:", 0) == 0) {
     opts.max_state_qubits = 0;  // skip the state diff entirely
     opts.stabilizer_check = false;
@@ -270,6 +276,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
         entry.parser_fuzz = options.parser_fuzz;
         entry.max_qubits = options.generator.max_qubits;
         entry.max_ops = options.generator.max_ops;
+        entry.clifford = options.generator.clifford_only;
         for (const auto& c : oracle.checks) {
           entry.checks.push_back(c.check + ": " + outcome_name(c.outcome));
         }

@@ -5,6 +5,7 @@
 
 #include "ir/gate.hpp"
 #include "ir/library.hpp"
+#include "stab/tableau.hpp"
 
 namespace qdt::chaos {
 
@@ -139,8 +140,16 @@ std::string mutate_circuit(Circuit& c, Rng& rng) {
 
 GeneratedCase generate_case(Rng& rng, const GeneratorConfig& config) {
   GeneratedCase out;
-  const auto& families = ir::library_families();
-  out.family = families[rng.index(families.size())];
+  if (config.clifford_only) {
+    // The Clifford subset of the library families — everything the
+    // stabilizer differential can check at any width.
+    static const char* kCliffordFamilies[] = {"bell", "ghz", "graph_state",
+                                              "random_clifford"};
+    out.family = kCliffordFamilies[rng.index(std::size(kCliffordFamilies))];
+  } else {
+    const auto& families = ir::library_families();
+    out.family = families[rng.index(families.size())];
+  }
 
   std::size_t width = config.min_qubits +
                       rng.index(config.max_qubits - config.min_qubits + 1);
@@ -152,7 +161,17 @@ GeneratedCase generate_case(Rng& rng, const GeneratorConfig& config) {
 
   const std::size_t num_mutations = rng.index(config.max_mutations + 1);
   for (std::size_t m = 0; m < num_mutations; ++m) {
+    // In clifford_only mode a mutation that smuggles in a T / small-angle
+    // rotation is rolled back — the RNG stream still advances, so seeds
+    // stay comparable across modes.
+    const ir::Circuit snapshot =
+        config.clifford_only ? out.circuit : ir::Circuit{};
     std::string applied = mutate_circuit(out.circuit, rng);
+    if (config.clifford_only && !applied.empty() &&
+        !stab::is_clifford_circuit(out.circuit)) {
+      out.circuit = snapshot;
+      applied.clear();
+    }
     if (!applied.empty()) {
       out.mutations.push_back(std::move(applied));
     }

@@ -31,6 +31,12 @@ struct GeneratorConfig {
   double edge_width_probability = 0.05;
   /// Probability of appending measurements to the tail.
   double measure_probability = 0.15;
+  /// Restrict generation to Clifford circuits: seed families are drawn
+  /// from the Clifford library generators and any mutation that would
+  /// introduce a non-Clifford gate is rolled back. This is the lane that
+  /// feeds the wide packed-vs-reference stabilizer differential, where
+  /// widths go far beyond the dense-state cap.
+  bool clifford_only = false;
 };
 
 struct GeneratedCase {

@@ -10,6 +10,7 @@
 #include "guard/budget.hpp"
 #include "guard/error.hpp"
 #include "ir/qasm.hpp"
+#include "stab/reference.hpp"
 #include "stab/tableau.hpp"
 #include "transpile/target.hpp"
 #include "transpile/transpiler.hpp"
@@ -290,6 +291,35 @@ OracleReport run_oracle(const ir::Circuit& circuit,
       }
       record(std::move(r));
     }
+  }
+
+  // -- Packed-vs-reference stabilizer differential (any Clifford width) ------
+  // Unlike the dense lanes this is polynomial on both sides, so it runs on
+  // Clifford circuits far beyond max_state_qubits: the packed word-parallel
+  // tableau against the element-wise reference, compared bitwise.
+  if (options.stabilizer_check && options.max_stabilizer_qubits > 0 &&
+      n >= 1 && n <= options.max_stabilizer_qubits && !unitary.empty() &&
+      stab::is_clifford_circuit(unitary)) {
+    CheckResult r;
+    r.check = "stab:packed~reference";
+    try {
+      guard::BudgetScope scope(
+          {.deadline_seconds = options.check_deadline_seconds});
+      stab::StabilizerSimulator packed(n, /*seed=*/1);
+      stab::ReferenceSimulator reference_sim(n, /*seed=*/1);
+      packed.run(unitary);
+      reference_sim.run(unitary);
+      if (!stab::tableaus_equal(packed.tableau(), reference_sim.tableau())) {
+        r.outcome = Outcome::Mismatch;
+        r.detail = "packed tableau diverged from element-wise reference";
+      } else {
+        r.detail = "tableaus bitwise equal (" + std::to_string(n) +
+                   " qubits)";
+      }
+    } catch (...) {
+      r.outcome = classify_exception("stabilizer", r.detail);
+    }
+    record(std::move(r));
   }
 
   // -- Optimizer soundness: opt(c) ~ c ---------------------------------------

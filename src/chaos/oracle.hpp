@@ -83,6 +83,11 @@ struct OracleOptions {
   bool opt_check = true;
   /// Width cap for the dense state diff (2^n amplitudes per backend).
   std::size_t max_state_qubits = 10;
+  /// Width cap for the packed-vs-reference stabilizer differential on
+  /// Clifford circuits. Both sides are polynomial, so this runs far past
+  /// max_state_qubits — 1000+-qubit Clifford cases get a bitwise tableau
+  /// comparison even when no dense backend can touch them. 0 disables.
+  std::size_t max_stabilizer_qubits = 4096;
   /// Wall-clock budget per individual check (guard::BudgetScope). Fuzzing
   /// found adversarial cases where ZX rewriting stalls into a dense
   /// diagram whose tensor fallback runs for minutes — a per-check deadline

@@ -246,9 +246,9 @@ SimulateResult simulate(const ir::Circuit& circuit, SimBackend backend,
       } else {
         sim.run(circuit);
       }
-      // 2n Pauli rows of 2n + 1 bits each.
-      res.representation_size =
-          2 * circuit.num_qubits() * (2 * circuit.num_qubits() + 1);
+      // Real packed footprint: 2n rows of bit-packed X/Z words plus sign
+      // bytes, as allocated — not the theoretical 2n(2n+1) bit count.
+      res.representation_size = sim.tableau().memory_bytes();
       break;
     }
     case SimBackend::Mps: {

@@ -1,11 +1,13 @@
 #include "dd/equivalence.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include <cmath>
+#include <cstdint>
 
 #include "common/rng.hpp"
 #include "dd/package.hpp"
 #include "guard/budget.hpp"
+#include "guard/error.hpp"
 
 namespace qdt::dd {
 
@@ -18,7 +20,7 @@ std::vector<ir::Operation> unitary_ops(const ir::Circuit& c) {
       continue;
     }
     if (!op.is_unitary()) {
-      throw std::invalid_argument(
+      throw Error::bad_input(
           "equivalence checking requires unitary circuits (found " +
           op.str() + ")");
     }
@@ -53,11 +55,32 @@ EcResult check_equivalence_dd(const ir::Circuit& c1, const ir::Circuit& c2,
     pkg.maybe_collect_garbage();
   };
 
+  // Keep the root weight's magnitude near 1 by factoring powers of two
+  // into an external exponent (exact in floating point, so this is
+  // lossless). Without it a long one-sided stretch — e.g. the first half
+  // of a wide c.c_dagger miter — drives the global scalar toward the
+  // complex table's absolute tolerance, where distinct small weights
+  // (2^-n/2 vs 2^-(n+1)/2) unify and corrupt the product; that starts at
+  // 63 qubits for Clifford amplitudes.
+  std::int64_t exp2_scale = 0;  // true miter = stored miter * 2^exp2_scale
+  const auto rescale_root = [&] {
+    const Complex w = pkg.ctab().get(miter.weight);
+    const double mag = std::abs(w);
+    if (mag > 0.0 && (mag < 0.25 || mag > 4.0)) {
+      const auto k = static_cast<int>(std::lround(std::log2(mag)));
+      const MatEdge scaled{miter.node,
+                           pkg.ctab().lookup(w * std::ldexp(1.0, -k))};
+      step_miter(scaled);
+      exp2_scale += k;
+    }
+  };
+
   std::size_t i = 0;  // next gate of c1 (applied from the left)
   std::size_t j = 0;  // next gate of c2^dagger (applied from the right)
   const auto apply_left = [&] {
     guard::check_deadline();
     step_miter(pkg.multiply(pkg.gate_dd(ops1[i]), miter));
+    rescale_root();
     ++i;
     ++res.gates_applied;
     res.peak_nodes = std::max(res.peak_nodes, pkg.node_count(miter));
@@ -69,6 +92,7 @@ EcResult check_equivalence_dd(const ir::Circuit& c1, const ir::Circuit& c2,
     // controlled block observes), while the DD adjoint is always exact.
     step_miter(
         pkg.multiply(miter, pkg.conjugate_transpose(pkg.gate_dd(ops2[j]))));
+    rescale_root();
     ++j;
     ++res.gates_applied;
     res.peak_nodes = std::max(res.peak_nodes, pkg.node_count(miter));
@@ -99,7 +123,16 @@ EcResult check_equivalence_dd(const ir::Circuit& c1, const ir::Circuit& c2,
       }
     }
   }
-  res.equivalent = pkg.is_identity_up_to_global_phase(miter);
+  if (exp2_scale == 0) {
+    res.equivalent = pkg.is_identity_up_to_global_phase(miter);
+  } else {
+    // Fold the external exponent back in before the global-phase test:
+    // the true root weight is the stored one times 2^exp2_scale.
+    const double true_mag = std::abs(pkg.ctab().get(miter.weight)) *
+                            std::exp2(static_cast<double>(exp2_scale));
+    res.equivalent = miter.node == pkg.identity().node &&
+                     std::abs(true_mag - 1.0) < 1e-6;
+  }
   pkg.dec_ref(miter);
   return res;
 }

@@ -94,8 +94,13 @@ Package::Package(std::size_t num_qubits)
 
 Package::Package(std::size_t num_qubits, const PackageConfig& cfg)
     : num_qubits_(num_qubits), cfg_(cfg) {
-  if (num_qubits == 0 || num_qubits > 128) {
-    throw std::invalid_argument("Package: unsupported qubit count");
+  if (num_qubits == 0) {
+    throw Error::bad_input("Package: need at least one qubit");
+  }
+  if (num_qubits > 128) {
+    throw Error::unsupported("Package: " + std::to_string(num_qubits) +
+                             " qubits exceeds the 128-qubit DD edge-label "
+                             "encoding");
   }
   gc_live_trigger_ = cfg_.gc_threshold;
 }
@@ -121,8 +126,13 @@ Package::~Package() {
 }
 
 void Package::reset(std::size_t num_qubits) {
-  if (num_qubits == 0 || num_qubits > 128) {
-    throw std::invalid_argument("Package: unsupported qubit count");
+  if (num_qubits == 0) {
+    throw Error::bad_input("Package: need at least one qubit");
+  }
+  if (num_qubits > 128) {
+    throw Error::unsupported("Package: " + std::to_string(num_qubits) +
+                             " qubits exceeds the 128-qubit DD edge-label "
+                             "encoding");
   }
   num_qubits_ = num_qubits;
   cfg_ = current_package_config();

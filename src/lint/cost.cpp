@@ -27,9 +27,10 @@ CostEstimate estimate_stabilizer(const CircuitFacts& f,
                                  const PlanConstraints& c) {
   CostEstimate e;
   e.backend = Backend::Stabilizer;
-  // 2n Pauli rows, O(n) bits touched per gate; +4: tableau bit-fiddling
-  // constants keep arrays ahead on small widths.
-  e.cost_log2 = log2_gates(f) + 2.0 * log2_qubits(f) + 4.0;
+  // 2n Pauli rows, O(n/64) words touched per gate: the packed tableau
+  // processes 64 qubits per word, so the old +4 bit-fiddling constant
+  // drops by log2(64) to -2; arrays still win only at trivial widths.
+  e.cost_log2 = log2_gates(f) + 2.0 * log2_qubits(f) - 2.0;
   // A single unbroken Clifford region means one uninterrupted tableau run:
   // no mid-circuit re-dispatch, so the constant factor tightens.
   const bool one_region = f.is_clifford && f.clifford_regions.size() <= 1;

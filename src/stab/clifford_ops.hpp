@@ -1,0 +1,151 @@
+// Shared lowering of ir::Operation onto the Clifford gate surface.
+//
+// Three consumers need the exact same mapping from IR operations to
+// tableau gate calls: the packed simulator (which records lowered GateOps
+// for the batched sweep), the element-wise reference implementation (the
+// differential oracle), and the per-gate differential tests. Templating
+// the dispatch over the target keeps the mapping single-sourced — a
+// divergence between packed and reference semantics can then only come
+// from the tableau kernels themselves, which is exactly what the
+// differential is supposed to test.
+//
+// Tab needs: h, s, sdg, x, y, z, sx, sxdg (qubit), cx, cz, swap (pairs).
+#pragma once
+
+#include "common/phase.hpp"
+#include "guard/error.hpp"
+#include "ir/circuit.hpp"
+
+namespace qdt::stab {
+
+/// Clifford classification of a Z-rotation-like phase: 0 = identity,
+/// 1 = S, 2 = Z, 3 = Sdg; -1 = non-Clifford.
+inline int z_phase_class(const Phase& p) {
+  if (p.is_zero()) {
+    return 0;
+  }
+  if (p == Phase::pi_2()) {
+    return 1;
+  }
+  if (p == Phase::pi()) {
+    return 2;
+  }
+  if (p == Phase::minus_pi_2()) {
+    return 3;
+  }
+  return -1;
+}
+
+/// Apply one unitary Clifford operation to `t`. Throws
+/// Error(Unsupported) on non-Clifford gates; barriers, measurements, and
+/// resets are the caller's business.
+template <class Tab>
+void apply_unitary_clifford(Tab& t, const ir::Operation& op) {
+  using ir::GateKind;
+  const auto zclass = [&t](int cls, std::size_t q) {
+    switch (cls) {
+      case 1:
+        t.s(q);
+        break;
+      case 2:
+        t.z(q);
+        break;
+      case 3:
+        t.sdg(q);
+        break;
+      default:
+        break;
+    }
+  };
+  if (op.controls().size() == 1) {
+    const std::size_t c = op.controls()[0];
+    const std::size_t tq = op.targets()[0];
+    switch (op.kind()) {
+      case GateKind::X:
+        t.cx(c, tq);
+        return;
+      case GateKind::Z:
+        t.cz(c, tq);
+        return;
+      case GateKind::Y:
+        t.sdg(tq);
+        t.cx(c, tq);
+        t.s(tq);
+        return;
+      case GateKind::I:
+        return;
+      default:
+        throw Error::unsupported(
+            "StabilizerSimulator: unsupported controlled gate " + op.str());
+    }
+  }
+  const std::size_t q = op.targets()[0];
+  switch (op.kind()) {
+    case GateKind::I:
+      return;
+    case GateKind::X:
+      t.x(q);
+      return;
+    case GateKind::Y:
+      t.y(q);
+      return;
+    case GateKind::Z:
+      t.z(q);
+      return;
+    case GateKind::H:
+      t.h(q);
+      return;
+    case GateKind::S:
+      t.s(q);
+      return;
+    case GateKind::Sdg:
+      t.sdg(q);
+      return;
+    case GateKind::SX:
+      t.sx(q);
+      return;
+    case GateKind::SXdg:
+      t.sxdg(q);
+      return;
+    case GateKind::RZ:
+    case GateKind::P:
+      zclass(z_phase_class(op.params()[0]), q);
+      return;
+    case GateKind::RX: {
+      t.h(q);
+      zclass(z_phase_class(op.params()[0]), q);
+      t.h(q);
+      return;
+    }
+    case GateKind::RY: {
+      // RY(t) = S RX(t) Sdg.
+      t.sdg(q);
+      t.h(q);
+      zclass(z_phase_class(op.params()[0]), q);
+      t.h(q);
+      t.s(q);
+      return;
+    }
+    case GateKind::Swap:
+      t.swap(op.targets()[0], op.targets()[1]);
+      return;
+    case GateKind::ISwap:
+      // iSWAP = (S x S) CZ SWAP.
+      t.swap(op.targets()[0], op.targets()[1]);
+      t.cz(op.targets()[0], op.targets()[1]);
+      t.s(op.targets()[0]);
+      t.s(op.targets()[1]);
+      return;
+    case GateKind::ISwapDg:
+      t.sdg(op.targets()[0]);
+      t.sdg(op.targets()[1]);
+      t.cz(op.targets()[0], op.targets()[1]);
+      t.swap(op.targets()[0], op.targets()[1]);
+      return;
+    default:
+      throw Error::unsupported("StabilizerSimulator: unsupported gate " +
+                               op.str());
+  }
+}
+
+}  // namespace qdt::stab

@@ -1,0 +1,391 @@
+#include "stab/reference.hpp"
+
+#include <cstring>
+
+#include "guard/budget.hpp"
+#include "guard/error.hpp"
+#include "stab/clifford_ops.hpp"
+
+namespace qdt::stab {
+
+namespace {
+
+/// The Aaronson-Gottesman phase exponent of multiplying Pauli (x1, z1) onto
+/// (x2, z2): the power of i contributed, in {-1, 0, 1}. The per-bit truth
+/// table the packed kernel's popcount masks were derived from.
+int phase_g(bool x1, bool z1, bool x2, bool z2) {
+  if (!x1 && !z1) {
+    return 0;
+  }
+  if (x1 && z1) {  // Y
+    return (z2 ? 1 : 0) - (x2 ? 1 : 0);
+  }
+  if (x1) {  // X
+    return z2 ? (x2 ? 1 : -1) : 0;
+  }
+  // Z
+  return x2 ? (z2 ? -1 : 1) : 0;
+}
+
+}  // namespace
+
+ReferenceTableau::ReferenceTableau(std::size_t num_qubits) : n_(num_qubits) {
+  if (n_ == 0) {
+    throw Error::bad_input("ReferenceTableau: need at least one qubit");
+  }
+  rows_.assign(2 * n_, Row{std::vector<bool>(n_, false),
+                           std::vector<bool>(n_, false), false});
+  for (std::size_t i = 0; i < n_; ++i) {
+    rows_[i].x[i] = true;       // destabilizer X_i
+    rows_[n_ + i].z[i] = true;  // stabilizer Z_i
+  }
+}
+
+void ReferenceTableau::h(std::size_t q) {
+  for (auto& row : rows_) {
+    row.r = row.r != (row.x[q] && row.z[q]);
+    const bool t = row.x[q];
+    row.x[q] = row.z[q];
+    row.z[q] = t;
+  }
+}
+
+void ReferenceTableau::s(std::size_t q) {
+  for (auto& row : rows_) {
+    row.r = row.r != (row.x[q] && row.z[q]);
+    row.z[q] = row.z[q] != row.x[q];
+  }
+}
+
+void ReferenceTableau::cx(std::size_t control, std::size_t target) {
+  for (auto& row : rows_) {
+    row.r = row.r != (row.x[control] && row.z[target] &&
+                      (row.x[target] == row.z[control]));
+    row.x[target] = row.x[target] != row.x[control];
+    row.z[control] = row.z[control] != row.z[target];
+  }
+}
+
+void ReferenceTableau::z(std::size_t q) {
+  s(q);
+  s(q);
+}
+
+void ReferenceTableau::x(std::size_t q) {
+  h(q);
+  z(q);
+  h(q);
+}
+
+void ReferenceTableau::y(std::size_t q) {
+  z(q);
+  x(q);
+}
+
+void ReferenceTableau::sdg(std::size_t q) {
+  s(q);
+  s(q);
+  s(q);
+}
+
+void ReferenceTableau::sx(std::size_t q) {
+  // SX = H S H, exactly.
+  h(q);
+  s(q);
+  h(q);
+}
+
+void ReferenceTableau::sxdg(std::size_t q) {
+  h(q);
+  sdg(q);
+  h(q);
+}
+
+void ReferenceTableau::cz(std::size_t control, std::size_t target) {
+  h(target);
+  cx(control, target);
+  h(target);
+}
+
+void ReferenceTableau::swap(std::size_t a, std::size_t b) {
+  cx(a, b);
+  cx(b, a);
+  cx(a, b);
+}
+
+void ReferenceTableau::rowsum_into(Row& h, const Row& i) {
+  int phase = (h.r ? 2 : 0) + (i.r ? 2 : 0);
+  for (std::size_t j = 0; j < h.x.size(); ++j) {
+    phase += phase_g(i.x[j], i.z[j], h.x[j], h.z[j]);
+  }
+  phase = ((phase % 4) + 4) % 4;
+  // The product of commuting-track rows is always +/-, never +/-i.
+  h.r = phase == 2;
+  for (std::size_t j = 0; j < h.x.size(); ++j) {
+    h.x[j] = h.x[j] != i.x[j];
+    h.z[j] = h.z[j] != i.z[j];
+  }
+}
+
+void ReferenceTableau::rowsum(std::size_t h, std::size_t i) {
+  rowsum_into(rows_[h], rows_[i]);
+}
+
+bool ReferenceTableau::measure(std::size_t a, Rng& rng) {
+  // Random outcome iff some stabilizer anticommutes with Z_a.
+  std::size_t p = 2 * n_;
+  for (std::size_t i = n_; i < 2 * n_; ++i) {
+    if (rows_[i].x[a]) {
+      p = i;
+      break;
+    }
+  }
+  if (p < 2 * n_) {
+    const bool outcome = rng.coin();
+    for (std::size_t i = 0; i < 2 * n_; ++i) {
+      if (i != p && rows_[i].x[a]) {
+        rowsum(i, p);
+      }
+    }
+    rows_[p - n_] = rows_[p];
+    rows_[p] = Row{std::vector<bool>(n_, false), std::vector<bool>(n_, false),
+                   outcome};
+    rows_[p].z[a] = true;
+    return outcome;
+  }
+  // Deterministic outcome: accumulate the matching destabilizer pattern.
+  Row scratch{std::vector<bool>(n_, false), std::vector<bool>(n_, false),
+              false};
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (rows_[i].x[a]) {
+      rowsum_into(scratch, rows_[n_ + i]);
+    }
+  }
+  return scratch.r;
+}
+
+double ReferenceTableau::prob_one(std::size_t a) const {
+  for (std::size_t i = n_; i < 2 * n_; ++i) {
+    if (rows_[i].x[a]) {
+      return 0.5;
+    }
+  }
+  Row scratch{std::vector<bool>(n_, false), std::vector<bool>(n_, false),
+              false};
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (rows_[i].x[a]) {
+      rowsum_into(scratch, rows_[n_ + i]);
+    }
+  }
+  return scratch.r ? 1.0 : 0.0;
+}
+
+namespace {
+
+using Row = ReferenceTableau::Row;
+
+bool row_is_identity(const Row& row) {
+  for (std::size_t j = 0; j < row.x.size(); ++j) {
+    if (row.x[j] || row.z[j]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool row_bit(const Row& row, std::size_t col, std::size_t n) {
+  return col < n ? row.x[col] : row.z[col - n];
+}
+
+/// phase_g-tracked rowsum for the free-standing Row copies below.
+void free_rowsum_into(Row& h, const Row& i) {
+  int phase = (h.r ? 2 : 0) + (i.r ? 2 : 0);
+  for (std::size_t j = 0; j < h.x.size(); ++j) {
+    phase += phase_g(i.x[j], i.z[j], h.x[j], h.z[j]);
+  }
+  phase = ((phase % 4) + 4) % 4;
+  h.r = phase == 2;
+  for (std::size_t j = 0; j < h.x.size(); ++j) {
+    h.x[j] = h.x[j] != i.x[j];
+    h.z[j] = h.z[j] != i.z[j];
+  }
+}
+
+/// Echelonize `rows` (over the 2n GF(2) columns, x-part then z-part) with
+/// exact sign tracking; returns the pivot (row, column) list.
+std::vector<std::pair<std::size_t, std::size_t>> echelonize(
+    std::vector<Row>& rows, std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> pivots;
+  std::size_t next_row = 0;
+  for (std::size_t col = 0; col < 2 * n && next_row < rows.size(); ++col) {
+    std::size_t pivot = rows.size();
+    for (std::size_t r = next_row; r < rows.size(); ++r) {
+      if (row_bit(rows[r], col, n)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == rows.size()) {
+      continue;
+    }
+    std::swap(rows[next_row], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != next_row && row_bit(rows[r], col, n)) {
+        free_rowsum_into(rows[r], rows[next_row]);
+      }
+    }
+    pivots.emplace_back(next_row, col);
+    ++next_row;
+  }
+  return pivots;
+}
+
+void reduce_query(
+    Row& query, const std::vector<Row>& rows,
+    const std::vector<std::pair<std::size_t, std::size_t>>& pivots,
+    std::size_t n) {
+  for (const auto& [row, col] : pivots) {
+    if (row_bit(query, col, n)) {
+      free_rowsum_into(query, rows[row]);
+    }
+  }
+}
+
+}  // namespace
+
+int ReferenceTableau::pauli_expectation(const std::string& paulis) const {
+  if (paulis.size() != n_) {
+    throw Error::bad_input("pauli_expectation: observable length " +
+                           std::to_string(paulis.size()) +
+                           " does not match qubit count " +
+                           std::to_string(n_));
+  }
+  Row query{std::vector<bool>(n_, false), std::vector<bool>(n_, false),
+            false};
+  for (std::size_t q = 0; q < n_; ++q) {
+    switch (paulis[n_ - 1 - q]) {  // string is MSB-first
+      case 'I':
+        break;
+      case 'X':
+        query.x[q] = true;
+        break;
+      case 'Y':
+        query.x[q] = true;
+        query.z[q] = true;
+        break;
+      case 'Z':
+        query.z[q] = true;
+        break;
+      default:
+        throw Error::bad_input(
+            std::string("pauli_expectation: bad character '") +
+            paulis[n_ - 1 - q] + "' (want I/X/Y/Z)");
+    }
+  }
+  if (row_is_identity(query)) {
+    return 1;
+  }
+  std::vector<Row> stab(rows_.begin() + static_cast<std::ptrdiff_t>(n_),
+                        rows_.end());
+  const auto pivots = echelonize(stab, n_);
+  reduce_query(query, stab, pivots, n_);
+  if (!row_is_identity(query)) {
+    return 0;  // anticommutes with the group: expectation 0
+  }
+  return query.r ? -1 : 1;
+}
+
+bool ReferenceTableau::same_state(const ReferenceTableau& a,
+                                  const ReferenceTableau& b) {
+  if (a.n_ != b.n_) {
+    return false;
+  }
+  std::vector<Row> stab(a.rows_.begin() + static_cast<std::ptrdiff_t>(a.n_),
+                        a.rows_.end());
+  const auto pivots = echelonize(stab, a.n_);
+  for (std::size_t i = 0; i < b.n_; ++i) {
+    Row query = b.rows_[b.n_ + i];
+    reduce_query(query, stab, pivots, a.n_);
+    if (!row_is_identity(query) || query.r) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> ReferenceTableau::packed_bits() const {
+  const std::size_t words = (n_ + 63) / 64;
+  const std::size_t stride = 2 * words;
+  std::vector<std::uint64_t> out(2 * n_ * stride, 0);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    std::uint64_t* px = out.data() + row * stride;
+    std::uint64_t* pz = px + words;
+    for (std::size_t q = 0; q < n_; ++q) {
+      if (rows_[row].x[q]) {
+        px[q >> 6] |= 1ULL << (q & 63);
+      }
+      if (rows_[row].z[q]) {
+        pz[q >> 6] |= 1ULL << (q & 63);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ReferenceTableau::packed_signs() const {
+  std::vector<std::uint8_t> out(2 * n_, 0);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    out[row] = rows_[row].r ? 1 : 0;
+  }
+  return out;
+}
+
+std::vector<std::pair<ir::Qubit, bool>> ReferenceSimulator::run(
+    const ir::Circuit& circuit) {
+  if (circuit.num_qubits() != tableau_.num_qubits()) {
+    throw Error::bad_input(
+        "ReferenceSimulator: circuit width " +
+        std::to_string(circuit.num_qubits()) +
+        " does not match tableau width " +
+        std::to_string(tableau_.num_qubits()));
+  }
+  std::vector<std::pair<ir::Qubit, bool>> record;
+  for (const auto& op : circuit.ops()) {
+    guard::check_deadline();
+    if (op.is_barrier()) {
+      continue;
+    }
+    if (op.is_measurement()) {
+      for (const auto q : op.targets()) {
+        record.emplace_back(q, tableau_.measure(q, rng_));
+      }
+      continue;
+    }
+    if (op.is_reset()) {
+      for (const auto q : op.targets()) {
+        if (tableau_.measure(q, rng_)) {
+          tableau_.x(q);
+        }
+      }
+      continue;
+    }
+    apply_unitary_clifford(tableau_, op);
+  }
+  return record;
+}
+
+bool tableaus_equal(const Tableau& packed, const ReferenceTableau& ref) {
+  if (packed.num_qubits() != ref.num_qubits()) {
+    return false;
+  }
+  const auto ref_bits = ref.packed_bits();
+  const auto ref_signs = ref.packed_signs();
+  const auto& bits = packed.words();
+  const auto& signs = packed.signs();
+  return bits.size() == ref_bits.size() && signs.size() == ref_signs.size() &&
+         std::memcmp(bits.data(), ref_bits.data(),
+                     bits.size() * sizeof(std::uint64_t)) == 0 &&
+         std::memcmp(signs.data(), ref_signs.data(), signs.size()) == 0;
+}
+
+}  // namespace qdt::stab

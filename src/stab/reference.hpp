@@ -1,0 +1,91 @@
+// The element-wise stabilizer tableau the packed implementation replaced
+// (PR 10), kept alive as the differential oracle: one bool per X/Z bit,
+// per-bit phase_g rowsum, no batching, no parallelism. Slow and simple —
+// exactly what you want on the other side of a memcmp differential. Used
+// by the packed-vs-reference tests, the bench baseline, and the chaos
+// oracle's wide-Clifford lane.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "stab/tableau.hpp"
+
+namespace qdt::stab {
+
+/// Element-wise Aaronson-Gottesman tableau (the pre-PR-10 layout): 2n rows
+/// of vector<bool> X/Z bits plus a sign flag each.
+class ReferenceTableau {
+ public:
+  struct Row {
+    std::vector<bool> x, z;
+    bool r = false;
+  };
+
+  /// |0...0>; throws Error(BadInput) on zero qubits, matching Tableau.
+  explicit ReferenceTableau(std::size_t num_qubits);
+
+  std::size_t num_qubits() const { return n_; }
+
+  void h(std::size_t q);
+  void s(std::size_t q);
+  void sdg(std::size_t q);
+  void x(std::size_t q);
+  void y(std::size_t q);
+  void z(std::size_t q);
+  void sx(std::size_t q);
+  void sxdg(std::size_t q);
+  void cx(std::size_t control, std::size_t target);
+  void cz(std::size_t control, std::size_t target);
+  void swap(std::size_t a, std::size_t b);
+
+  bool measure(std::size_t q, Rng& rng);
+  double prob_one(std::size_t q) const;
+  int pauli_expectation(const std::string& paulis) const;
+  static bool same_state(const ReferenceTableau& a, const ReferenceTableau& b);
+
+  const Row& row(std::size_t i) const { return rows_[i]; }
+
+  /// Snapshot in the packed Tableau word layout — row-major, x block then
+  /// z block per row, bit q of word q/64 — so a packed tableau can be
+  /// compared against the reference with a straight memcmp.
+  std::vector<std::uint64_t> packed_bits() const;
+  /// Sign bytes (0/1) per row, in the packed layout.
+  std::vector<std::uint8_t> packed_signs() const;
+
+ private:
+  void rowsum(std::size_t h, std::size_t i);
+  static void rowsum_into(Row& h, const Row& i);
+
+  std::size_t n_ = 0;
+  std::vector<Row> rows_;  // destabilizers 0..n-1, stabilizers n..2n-1
+};
+
+/// Reference circuit driver: per-op dispatch through the same
+/// apply_unitary_clifford mapping as the packed simulator, with the same
+/// RNG consumption order, so seeded runs are comparable outcome for
+/// outcome.
+class ReferenceSimulator {
+ public:
+  explicit ReferenceSimulator(std::size_t num_qubits, std::uint64_t seed = 1)
+      : tableau_(num_qubits), rng_(seed) {}
+
+  ReferenceTableau& tableau() { return tableau_; }
+  const ReferenceTableau& tableau() const { return tableau_; }
+
+  std::vector<std::pair<ir::Qubit, bool>> run(const ir::Circuit& circuit);
+
+ private:
+  ReferenceTableau tableau_;
+  Rng rng_;
+};
+
+/// Bitwise equality of a packed tableau against the reference: word arrays
+/// and sign bytes must match exactly (memcmp over the packed snapshot).
+bool tableaus_equal(const Tableau& packed, const ReferenceTableau& ref);
+
+}  // namespace qdt::stab

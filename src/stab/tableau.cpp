@@ -1,12 +1,16 @@
 #include "stab/tableau.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
-#include <stdexcept>
+#include <utility>
 
+#include "common/bitops.hpp"
 #include "guard/budget.hpp"
 #include "guard/error.hpp"
 #include "obs/obs.hpp"
+#include "par/pool.hpp"
+#include "stab/clifford_ops.hpp"
 #include "trace/trace.hpp"
 
 namespace qdt::stab {
@@ -18,21 +22,199 @@ obs::Gauge& g_bytes_peak = obs::gauge("qdt.stab.tableau.bytes_peak");
 obs::Histogram& g_gate_seconds =
     obs::histogram("qdt.stab.tableau.gate_seconds");
 
+/// Row grain for the parallel sweeps. Rows are cheap (a few word ops
+/// each), so chunks stay coarse; the decomposition depends only on the
+/// row count and this constant, never the thread count — the qdt::par
+/// determinism contract.
+constexpr std::size_t kRowGrain = 256;
+
+/// Gate batch size the circuit driver flushes at: large enough that one
+/// sweep amortizes the row traffic over many gates, small enough that the
+/// op list stays L1-resident and deadlines fire promptly.
+constexpr std::size_t kBatchOps = 256;
+
+/// Word-parallel CHP rowsum kernel: h *= i over one X/Z word pair.
+/// Returns the summed i-exponent of the per-column Pauli products — the
+/// popcount identity replacing the per-bit phase_g table: with x1z2 etc.
+/// the per-column contribution is +1 on Y*(x=0,z=1) / X*(x=1,z=1) /
+/// Z*(x=1,z=0) overlaps and -1 on the mirrored ones, so two popcounts per
+/// word fold 64 columns at a time. Branch-free.
+inline std::int64_t rowsum_phase_word(std::uint64_t& hx, std::uint64_t& hz,
+                                      std::uint64_t x1, std::uint64_t z1) {
+  const std::uint64_t x2 = hx;
+  const std::uint64_t z2 = hz;
+  const std::uint64_t y1 = x1 & z1;        // i-columns carrying Y
+  const std::uint64_t xonly1 = x1 & ~z1;   // i-columns carrying X
+  const std::uint64_t zonly1 = ~x1 & z1;   // i-columns carrying Z
+  const std::uint64_t plus = (y1 & ~x2 & z2) | (xonly1 & x2 & z2) |
+                             (zonly1 & x2 & ~z2);
+  const std::uint64_t minus = (y1 & x2 & ~z2) | (xonly1 & ~x2 & z2) |
+                              (zonly1 & x2 & z2);
+  hx = x2 ^ x1;
+  hz = z2 ^ z1;
+  return popcount64(plus) - popcount64(minus);
+}
+
+/// h(x/z words) *= i(x/z words); returns the i-exponent sum over all
+/// columns.
+inline std::int64_t rowsum_phase_words(std::uint64_t* hx, std::uint64_t* hz,
+                                       const std::uint64_t* ix,
+                                       const std::uint64_t* iz,
+                                       std::size_t words) {
+  std::int64_t phase = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    phase += rowsum_phase_word(hx[w], hz[w], ix[w], iz[w]);
+  }
+  return phase;
+}
+
+/// Fold sign bits and the column phase sum into the product's sign bit.
+/// The product of commuting-track rows is always +/-, never +/-i.
+inline std::uint8_t fold_sign(std::uint8_t rh, std::uint8_t ri,
+                              std::int64_t column_phase) {
+  const std::int64_t phase = 2 * (rh + ri) + column_phase;
+  return ((phase % 4) + 4) % 4 == 2 ? 1 : 0;
+}
+
+/// A standalone packed row matrix for the echelonized group-membership
+/// reductions (pauli_expectation, same_state) — same layout as the
+/// tableau rows (x block then z block, sign bytes).
+struct PackedRows {
+  std::size_t rows = 0;
+  std::size_t words = 0;
+  std::size_t stride = 0;
+  std::vector<std::uint64_t> bits;
+  std::vector<std::uint8_t> sign;
+
+  PackedRows(std::size_t r, std::size_t w)
+      : rows(r), words(w), stride(2 * w), bits(r * stride, 0), sign(r, 0) {}
+
+  std::uint64_t* x(std::size_t r) { return bits.data() + r * stride; }
+  std::uint64_t* z(std::size_t r) { return x(r) + words; }
+  const std::uint64_t* x(std::size_t r) const {
+    return bits.data() + r * stride;
+  }
+  const std::uint64_t* z(std::size_t r) const { return x(r) + words; }
+
+  /// GF(2) bit of column `col` (x-part cols [0, n), z-part cols [n, 2n)).
+  bool bit(std::size_t r, std::size_t col, std::size_t n) const {
+    const std::size_t q = col < n ? col : col - n;
+    const std::uint64_t* block = col < n ? x(r) : z(r);
+    return (block[q >> 6] >> (q & 63)) & 1ULL;
+  }
+
+  void rowsum(std::size_t h, std::size_t i) {
+    const std::int64_t phase =
+        rowsum_phase_words(x(h), z(h), x(i), z(i), words);
+    sign[h] = fold_sign(sign[h], sign[i], phase);
+  }
+
+  void swap_rows(std::size_t a, std::size_t b) {
+    if (a == b) {
+      return;
+    }
+    std::swap_ranges(x(a), x(a) + stride, x(b));
+    std::swap(sign[a], sign[b]);
+  }
+};
+
+/// Echelonize `m` (over the 2n GF(2) columns, x-part then z-part) with
+/// exact sign tracking; returns the pivot (row, column) list. The
+/// elimination inner sweep touches every row independently (all rowsum
+/// against the fixed pivot row), so it runs under par::parallel_for.
+std::vector<std::pair<std::size_t, std::size_t>> echelonize(PackedRows& m,
+                                                            std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> pivots;
+  std::size_t next_row = 0;
+  for (std::size_t col = 0; col < 2 * n && next_row < m.rows; ++col) {
+    std::size_t pivot = m.rows;
+    for (std::size_t r = next_row; r < m.rows; ++r) {
+      if (m.bit(r, col, n)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == m.rows) {
+      continue;
+    }
+    m.swap_rows(next_row, pivot);
+    par::parallel_for(0, m.rows, kRowGrain,
+                      [&m, n, col, next_row](std::size_t b, std::size_t e) {
+                        for (std::size_t r = b; r < e; ++r) {
+                          if (r != next_row && m.bit(r, col, n)) {
+                            m.rowsum(r, next_row);
+                          }
+                        }
+                      });
+    pivots.emplace_back(next_row, col);
+    ++next_row;
+  }
+  return pivots;
+}
+
+/// Reduce the query row (qx/qz/qr) against echelonized rows; afterwards
+/// the query is identity iff +/-query was in the group (sign in qr).
+void reduce_query(
+    std::uint64_t* qx, std::uint64_t* qz, std::uint8_t& qr,
+    const PackedRows& m,
+    const std::vector<std::pair<std::size_t, std::size_t>>& pivots,
+    std::size_t n) {
+  for (const auto& [row, col] : pivots) {
+    const std::size_t q = col < n ? col : col - n;
+    const std::uint64_t* block = col < n ? qx : qz;
+    if ((block[q >> 6] >> (q & 63)) & 1ULL) {
+      const std::int64_t phase =
+          rowsum_phase_words(qx, qz, m.x(row), m.z(row), m.words);
+      qr = fold_sign(qr, m.sign[row], phase);
+    }
+  }
+}
+
+bool words_all_zero(const std::uint64_t* w, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (w[i] != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// PauliRow
+// ---------------------------------------------------------------------------
+
+PauliRow::PauliRow(std::size_t num_qubits)
+    : n(num_qubits),
+      x((num_qubits + 63) / 64, 0),
+      z((num_qubits + 63) / 64, 0) {}
+
+void PauliRow::set_x(std::size_t q, bool v) {
+  const std::uint64_t m = 1ULL << (q & 63);
+  x[q >> 6] = v ? (x[q >> 6] | m) : (x[q >> 6] & ~m);
+}
+
+void PauliRow::set_z(std::size_t q, bool v) {
+  const std::uint64_t m = 1ULL << (q & 63);
+  z[q >> 6] = v ? (z[q >> 6] | m) : (z[q >> 6] & ~m);
+}
+
 bool PauliRow::is_identity() const {
-  return std::none_of(x.begin(), x.end(), [](bool b) { return b; }) &&
-         std::none_of(z.begin(), z.end(), [](bool b) { return b; });
+  return words_all_zero(x.data(), x.size()) &&
+         words_all_zero(z.data(), z.size());
 }
 
 std::string PauliRow::str() const {
   std::string s = r ? "-" : "+";
-  for (std::size_t q = x.size(); q-- > 0;) {
-    if (x[q] && z[q]) {
+  for (std::size_t q = n; q-- > 0;) {
+    const bool xb = x_bit(q);
+    const bool zb = z_bit(q);
+    if (xb && zb) {
       s += 'Y';
-    } else if (x[q]) {
+    } else if (xb) {
       s += 'X';
-    } else if (z[q]) {
+    } else if (zb) {
       s += 'Z';
     } else {
       s += 'I';
@@ -41,278 +223,391 @@ std::string PauliRow::str() const {
   return s;
 }
 
-Tableau::Tableau(std::size_t num_qubits) : n_(num_qubits) {
+void Tableau::rowsum_into(PauliRow& h, const PauliRow& i) {
+  const std::int64_t phase = rowsum_phase_words(
+      h.x.data(), h.z.data(), i.x.data(), i.z.data(), h.x.size());
+  h.r = fold_sign(h.r ? 1 : 0, i.r ? 1 : 0, phase) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Tableau
+// ---------------------------------------------------------------------------
+
+Tableau::Tableau(std::size_t num_qubits)
+    : n_(num_qubits), words_((num_qubits + 63) / 64), stride_(2 * words_) {
   if (n_ == 0) {
-    throw std::invalid_argument("Tableau: need at least one qubit");
+    throw Error::bad_input("Tableau: need at least one qubit");
   }
-  rows_.assign(2 * n_, PauliRow{std::vector<bool>(n_, false),
-                                std::vector<bool>(n_, false), false});
+  guard::check_memory(
+      (2 * n_ + 1) * stride_ * sizeof(std::uint64_t) + 2 * n_,
+      "stabilizer tableau");
+  bits_.assign(2 * n_ * stride_, 0);
+  sign_.assign(2 * n_, 0);
+  scratch_.assign(stride_, 0);
   for (std::size_t i = 0; i < n_; ++i) {
-    rows_[i].x[i] = true;       // destabilizer X_i
-    rows_[n_ + i].z[i] = true;  // stabilizer Z_i
+    row_x(i)[i >> 6] |= 1ULL << (i & 63);       // destabilizer X_i
+    row_z(n_ + i)[i >> 6] |= 1ULL << (i & 63);  // stabilizer Z_i
+  }
+}
+
+PauliRow Tableau::row_view(std::size_t row) const {
+  PauliRow out(n_);
+  std::copy(row_x(row), row_x(row) + words_, out.x.begin());
+  std::copy(row_z(row), row_z(row) + words_, out.z.begin());
+  out.r = sign_[row] != 0;
+  return out;
+}
+
+std::size_t Tableau::memory_bytes() const {
+  return bits_.capacity() * sizeof(std::uint64_t) + sign_.capacity() +
+         scratch_.capacity() * sizeof(std::uint64_t);
+}
+
+/// Single-word fast path (n <= 64): the whole row lives in two registers,
+/// so a batch of k gates is k branch-predicted ALU updates between one
+/// load pair and one store pair — no heap traffic inside the sweep.
+void Tableau::apply_small(const GateOp* ops, std::size_t count,
+                          std::size_t begin, std::size_t end) {
+  for (std::size_t row = begin; row < end; ++row) {
+    std::uint64_t x = bits_[2 * row];
+    std::uint64_t z = bits_[2 * row + 1];
+    std::uint64_t s = sign_[row];
+    for (std::size_t k = 0; k < count; ++k) {
+      const GateOp op = ops[k];
+      const unsigned a = op.a;
+      switch (op.kind) {
+        case GateOp::Kind::H: {
+          s ^= ((x & z) >> a) & 1ULL;
+          const std::uint64_t d = (((x ^ z) >> a) & 1ULL) << a;
+          x ^= d;
+          z ^= d;
+          break;
+        }
+        case GateOp::Kind::S:
+          s ^= ((x & z) >> a) & 1ULL;
+          z ^= x & (1ULL << a);
+          break;
+        case GateOp::Kind::Sdg:
+          s ^= ((x & ~z) >> a) & 1ULL;
+          z ^= x & (1ULL << a);
+          break;
+        case GateOp::Kind::X:
+          s ^= (z >> a) & 1ULL;
+          break;
+        case GateOp::Kind::Y:
+          s ^= ((x ^ z) >> a) & 1ULL;
+          break;
+        case GateOp::Kind::Z:
+          s ^= (x >> a) & 1ULL;
+          break;
+        case GateOp::Kind::CX: {
+          const unsigned b = op.b;
+          const std::uint64_t xc = (x >> a) & 1ULL;
+          const std::uint64_t zc = (z >> a) & 1ULL;
+          const std::uint64_t xt = (x >> b) & 1ULL;
+          const std::uint64_t zt = (z >> b) & 1ULL;
+          s ^= xc & zt & (1ULL ^ xt ^ zc);
+          x ^= xc << b;
+          z ^= zt << a;
+          break;
+        }
+      }
+    }
+    bits_[2 * row] = x;
+    bits_[2 * row + 1] = z;
+    sign_[row] = static_cast<std::uint8_t>(s & 1ULL);
+  }
+}
+
+/// Generic path (n > 64): same micro-ops, word-indexed into the row's
+/// contiguous X/Z blocks. One pass over the rows applies the whole batch,
+/// so each row's cache lines are touched once per k gates, not once per
+/// gate.
+void Tableau::apply_wide(const GateOp* ops, std::size_t count,
+                         std::size_t begin, std::size_t end) {
+  for (std::size_t row = begin; row < end; ++row) {
+    std::uint64_t* px = row_x(row);
+    std::uint64_t* pz = row_z(row);
+    std::uint64_t s = sign_[row];
+    for (std::size_t k = 0; k < count; ++k) {
+      const GateOp op = ops[k];
+      const std::size_t wa = op.a >> 6;
+      const unsigned ba = op.a & 63;
+      switch (op.kind) {
+        case GateOp::Kind::H: {
+          const std::uint64_t xv = px[wa];
+          const std::uint64_t zv = pz[wa];
+          s ^= ((xv & zv) >> ba) & 1ULL;
+          const std::uint64_t d = (((xv ^ zv) >> ba) & 1ULL) << ba;
+          px[wa] = xv ^ d;
+          pz[wa] = zv ^ d;
+          break;
+        }
+        case GateOp::Kind::S:
+          s ^= ((px[wa] & pz[wa]) >> ba) & 1ULL;
+          pz[wa] ^= px[wa] & (1ULL << ba);
+          break;
+        case GateOp::Kind::Sdg:
+          s ^= ((px[wa] & ~pz[wa]) >> ba) & 1ULL;
+          pz[wa] ^= px[wa] & (1ULL << ba);
+          break;
+        case GateOp::Kind::X:
+          s ^= (pz[wa] >> ba) & 1ULL;
+          break;
+        case GateOp::Kind::Y:
+          s ^= ((px[wa] ^ pz[wa]) >> ba) & 1ULL;
+          break;
+        case GateOp::Kind::Z:
+          s ^= (px[wa] >> ba) & 1ULL;
+          break;
+        case GateOp::Kind::CX: {
+          const std::size_t wb = op.b >> 6;
+          const unsigned bb = op.b & 63;
+          const std::uint64_t xc = (px[wa] >> ba) & 1ULL;
+          const std::uint64_t zc = (pz[wa] >> ba) & 1ULL;
+          const std::uint64_t xt = (px[wb] >> bb) & 1ULL;
+          const std::uint64_t zt = (pz[wb] >> bb) & 1ULL;
+          s ^= xc & zt & (1ULL ^ xt ^ zc);
+          px[wb] ^= xc << bb;
+          pz[wa] ^= zt << ba;
+          break;
+        }
+      }
+    }
+    sign_[row] = static_cast<std::uint8_t>(s & 1ULL);
+  }
+}
+
+void Tableau::apply(const GateOp* ops, std::size_t count) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t rows = 2 * n_;
+  if (words_ == 1) {
+    par::parallel_for(0, rows, kRowGrain,
+                      [this, ops, count](std::size_t b, std::size_t e) {
+                        apply_small(ops, count, b, e);
+                      });
+  } else {
+    par::parallel_for(0, rows, kRowGrain,
+                      [this, ops, count](std::size_t b, std::size_t e) {
+                        apply_wide(ops, count, b, e);
+                      });
   }
 }
 
 void Tableau::h(std::size_t q) {
-  for (auto& row : rows_) {
-    row.r = row.r != (row.x[q] && row.z[q]);
-    const bool t = row.x[q];
-    row.x[q] = row.z[q];
-    row.z[q] = t;
-  }
+  const GateOp op{GateOp::Kind::H, static_cast<std::uint32_t>(q)};
+  apply(&op, 1);
 }
 
 void Tableau::s(std::size_t q) {
-  for (auto& row : rows_) {
-    row.r = row.r != (row.x[q] && row.z[q]);
-    row.z[q] = row.z[q] != row.x[q];
-  }
-}
-
-void Tableau::cx(std::size_t control, std::size_t target) {
-  for (auto& row : rows_) {
-    row.r = row.r != (row.x[control] && row.z[target] &&
-                      (row.x[target] == row.z[control]));
-    row.x[target] = row.x[target] != row.x[control];
-    row.z[control] = row.z[control] != row.z[target];
-  }
-}
-
-void Tableau::z(std::size_t q) {
-  s(q);
-  s(q);
-}
-
-void Tableau::x(std::size_t q) {
-  h(q);
-  z(q);
-  h(q);
-}
-
-void Tableau::y(std::size_t q) {
-  z(q);
-  x(q);
+  const GateOp op{GateOp::Kind::S, static_cast<std::uint32_t>(q)};
+  apply(&op, 1);
 }
 
 void Tableau::sdg(std::size_t q) {
-  s(q);
-  s(q);
-  s(q);
+  const GateOp op{GateOp::Kind::Sdg, static_cast<std::uint32_t>(q)};
+  apply(&op, 1);
+}
+
+void Tableau::x(std::size_t q) {
+  const GateOp op{GateOp::Kind::X, static_cast<std::uint32_t>(q)};
+  apply(&op, 1);
+}
+
+void Tableau::y(std::size_t q) {
+  const GateOp op{GateOp::Kind::Y, static_cast<std::uint32_t>(q)};
+  apply(&op, 1);
+}
+
+void Tableau::z(std::size_t q) {
+  const GateOp op{GateOp::Kind::Z, static_cast<std::uint32_t>(q)};
+  apply(&op, 1);
+}
+
+void Tableau::cx(std::size_t control, std::size_t target) {
+  const GateOp op{GateOp::Kind::CX, static_cast<std::uint32_t>(control),
+                  static_cast<std::uint32_t>(target)};
+  apply(&op, 1);
 }
 
 void Tableau::sx(std::size_t q) {
-  // SX = H S H, exactly.
-  h(q);
-  s(q);
-  h(q);
+  std::vector<GateOp> ops;
+  GateRecorder(&ops).sx(q);
+  apply(ops.data(), ops.size());
 }
 
 void Tableau::sxdg(std::size_t q) {
-  h(q);
-  sdg(q);
-  h(q);
+  std::vector<GateOp> ops;
+  GateRecorder(&ops).sxdg(q);
+  apply(ops.data(), ops.size());
 }
 
 void Tableau::cz(std::size_t control, std::size_t target) {
-  h(target);
-  cx(control, target);
-  h(target);
+  std::vector<GateOp> ops;
+  GateRecorder(&ops).cz(control, target);
+  apply(ops.data(), ops.size());
 }
 
 void Tableau::swap(std::size_t a, std::size_t b) {
-  cx(a, b);
-  cx(b, a);
-  cx(a, b);
-}
-
-namespace {
-
-/// The Aaronson-Gottesman phase exponent of multiplying Pauli (x1, z1) onto
-/// (x2, z2): the power of i contributed, in {-1, 0, 1}.
-int phase_g(bool x1, bool z1, bool x2, bool z2) {
-  if (!x1 && !z1) {
-    return 0;
-  }
-  if (x1 && z1) {  // Y
-    return (z2 ? 1 : 0) - (x2 ? 1 : 0);
-  }
-  if (x1) {  // X
-    return z2 ? (x2 ? 1 : -1) : 0;
-  }
-  // Z
-  return x2 ? (z2 ? -1 : 1) : 0;
-}
-
-}  // namespace
-
-void Tableau::rowsum_into(PauliRow& h, const PauliRow& i) {
-  int phase = (h.r ? 2 : 0) + (i.r ? 2 : 0);
-  for (std::size_t j = 0; j < h.x.size(); ++j) {
-    phase += phase_g(i.x[j], i.z[j], h.x[j], h.z[j]);
-  }
-  phase = ((phase % 4) + 4) % 4;
-  // The product of commuting-track rows is always +/-, never +/-i.
-  h.r = phase == 2;
-  for (std::size_t j = 0; j < h.x.size(); ++j) {
-    h.x[j] = h.x[j] != i.x[j];
-    h.z[j] = h.z[j] != i.z[j];
-  }
+  std::vector<GateOp> ops;
+  GateRecorder(&ops).swap(a, b);
+  apply(ops.data(), ops.size());
 }
 
 void Tableau::rowsum(std::size_t h, std::size_t i) {
-  rowsum_into(rows_[h], rows_[i]);
+  const std::int64_t phase =
+      rowsum_phase_words(row_x(h), row_z(h), row_x(i), row_z(i), words_);
+  sign_[h] = fold_sign(sign_[h], sign_[i], phase);
 }
 
 bool Tableau::measure(std::size_t a, Rng& rng) {
+  const std::size_t wa = a >> 6;
+  const std::uint64_t ma = 1ULL << (a & 63);
   // Random outcome iff some stabilizer anticommutes with Z_a.
   std::size_t p = 2 * n_;
   for (std::size_t i = n_; i < 2 * n_; ++i) {
-    if (rows_[i].x[a]) {
+    if (row_x(i)[wa] & ma) {
       p = i;
       break;
     }
   }
   if (p < 2 * n_) {
     const bool outcome = rng.coin();
-    for (std::size_t i = 0; i < 2 * n_; ++i) {
-      if (i != p && rows_[i].x[a]) {
-        rowsum(i, p);
-      }
-    }
-    rows_[p - n_] = rows_[p];
-    rows_[p] = PauliRow{std::vector<bool>(n_, false),
-                        std::vector<bool>(n_, false), outcome};
-    rows_[p].z[a] = true;
+    // Every anticommuting row absorbs row p — disjoint row writes against
+    // a fixed source row, so the sweep parallelizes deterministically.
+    par::parallel_for(0, 2 * n_, kRowGrain,
+                      [this, p, wa, ma](std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i) {
+                          if (i != p && (row_x(i)[wa] & ma)) {
+                            rowsum(i, p);
+                          }
+                        }
+                      });
+    std::copy(row_x(p), row_x(p) + stride_, row_x(p - n_));
+    sign_[p - n_] = sign_[p];
+    std::fill(row_x(p), row_x(p) + stride_, 0ULL);
+    sign_[p] = outcome ? 1 : 0;
+    row_z(p)[wa] |= ma;
     return outcome;
   }
-  // Deterministic outcome: accumulate the matching destabilizer pattern.
-  PauliRow scratch{std::vector<bool>(n_, false),
-                   std::vector<bool>(n_, false), false};
+  // Deterministic outcome: accumulate the matching destabilizer pattern
+  // into the reusable scratch row (no heap traffic).
+  std::fill(scratch_.begin(), scratch_.end(), 0ULL);
+  std::uint64_t* sx = scratch_.data();
+  std::uint64_t* sz = sx + words_;
+  std::uint8_t sr = 0;
   for (std::size_t i = 0; i < n_; ++i) {
-    if (rows_[i].x[a]) {
-      rowsum_into(scratch, rows_[n_ + i]);
+    if (row_x(i)[wa] & ma) {
+      const std::int64_t phase =
+          rowsum_phase_words(sx, sz, row_x(n_ + i), row_z(n_ + i), words_);
+      sr = fold_sign(sr, sign_[n_ + i], phase);
     }
   }
-  return scratch.r;
+  return sr != 0;
 }
 
 double Tableau::prob_one(std::size_t a) const {
+  const std::size_t wa = a >> 6;
+  const std::uint64_t ma = 1ULL << (a & 63);
   for (std::size_t i = n_; i < 2 * n_; ++i) {
-    if (rows_[i].x[a]) {
+    if (row_x(i)[wa] & ma) {
       return 0.5;
     }
   }
-  PauliRow scratch{std::vector<bool>(n_, false),
-                   std::vector<bool>(n_, false), false};
+  // Deterministic: same reduction as measure(), on a local scratch row —
+  // stack words up to 1024 qubits so the const query stays allocation-free
+  // in the regime the packed tableau targets.
+  constexpr std::size_t kStackWords = 16;
+  std::uint64_t stack_buf[2 * kStackWords];
+  std::vector<std::uint64_t> heap_buf;
+  std::uint64_t* sx = nullptr;
+  if (words_ <= kStackWords) {
+    std::fill(stack_buf, stack_buf + 2 * words_, 0ULL);
+    sx = stack_buf;
+  } else {
+    heap_buf.assign(stride_, 0);
+    sx = heap_buf.data();
+  }
+  std::uint64_t* sz = sx + words_;
+  std::uint8_t sr = 0;
   for (std::size_t i = 0; i < n_; ++i) {
-    if (rows_[i].x[a]) {
-      rowsum_into(scratch, rows_[n_ + i]);
+    if (row_x(i)[wa] & ma) {
+      const std::int64_t phase =
+          rowsum_phase_words(sx, sz, row_x(n_ + i), row_z(n_ + i), words_);
+      sr = fold_sign(sr, sign_[n_ + i], phase);
     }
   }
-  return scratch.r ? 1.0 : 0.0;
+  return sr != 0 ? 1.0 : 0.0;
 }
-
-namespace {
-
-/// Echelonize `rows` (over the 2n GF(2) columns, x-part then z-part) with
-/// exact sign tracking; returns the pivot (row, column) list.
-std::vector<std::pair<std::size_t, std::size_t>> echelonize(
-    std::vector<PauliRow>& rows, std::size_t n) {
-  std::vector<std::pair<std::size_t, std::size_t>> pivots;
-  std::size_t next_row = 0;
-  const auto bit = [n](const PauliRow& row, std::size_t col) -> bool {
-    return col < n ? row.x[col] : row.z[col - n];
-  };
-  for (std::size_t col = 0; col < 2 * n && next_row < rows.size(); ++col) {
-    std::size_t pivot = rows.size();
-    for (std::size_t r = next_row; r < rows.size(); ++r) {
-      if (bit(rows[r], col)) {
-        pivot = r;
-        break;
-      }
-    }
-    if (pivot == rows.size()) {
-      continue;
-    }
-    std::swap(rows[next_row], rows[pivot]);
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      if (r != next_row && bit(rows[r], col)) {
-        Tableau::rowsum_into(rows[r], rows[next_row]);
-      }
-    }
-    pivots.emplace_back(next_row, col);
-    ++next_row;
-  }
-  return pivots;
-}
-
-/// Reduce `query` against echelonized stabilizers; afterwards query is
-/// identity iff +/-query was in the group (sign in query.r).
-void reduce_query(
-    PauliRow& query, const std::vector<PauliRow>& rows,
-    const std::vector<std::pair<std::size_t, std::size_t>>& pivots,
-    std::size_t n) {
-  const auto bit = [n](const PauliRow& row, std::size_t col) -> bool {
-    return col < n ? row.x[col] : row.z[col - n];
-  };
-  for (const auto& [row, col] : pivots) {
-    if (bit(query, col)) {
-      Tableau::rowsum_into(query, rows[row]);
-    }
-  }
-}
-
-}  // namespace
 
 int Tableau::pauli_expectation(const std::string& paulis) const {
   if (paulis.size() != n_) {
-    throw std::invalid_argument("pauli_expectation: length mismatch");
+    throw Error::bad_input("pauli_expectation: observable length " +
+                           std::to_string(paulis.size()) +
+                           " does not match qubit count " +
+                           std::to_string(n_));
   }
-  PauliRow query{std::vector<bool>(n_, false), std::vector<bool>(n_, false),
-                 false};
+  std::vector<std::uint64_t> query(stride_, 0);
+  std::uint64_t* qx = query.data();
+  std::uint64_t* qz = qx + words_;
   for (std::size_t q = 0; q < n_; ++q) {
+    const std::uint64_t m = 1ULL << (q & 63);
     switch (paulis[n_ - 1 - q]) {  // string is MSB-first
       case 'I':
         break;
       case 'X':
-        query.x[q] = true;
+        qx[q >> 6] |= m;
         break;
       case 'Y':
-        query.x[q] = true;
-        query.z[q] = true;
+        qx[q >> 6] |= m;
+        qz[q >> 6] |= m;
         break;
       case 'Z':
-        query.z[q] = true;
+        qz[q >> 6] |= m;
         break;
       default:
-        throw std::invalid_argument("pauli_expectation: bad character");
+        throw Error::bad_input(
+            std::string("pauli_expectation: bad character '") +
+            paulis[n_ - 1 - q] + "' (want I/X/Y/Z)");
     }
   }
-  if (query.is_identity()) {
+  if (words_all_zero(query.data(), stride_)) {
     return 1;
   }
-  std::vector<PauliRow> stab(rows_.begin() + static_cast<std::ptrdiff_t>(n_),
-                             rows_.end());
+  PackedRows stab(n_, words_);
+  std::memcpy(stab.bits.data(), bits_.data() + n_ * stride_,
+              n_ * stride_ * sizeof(std::uint64_t));
+  std::copy(sign_.begin() + static_cast<std::ptrdiff_t>(n_), sign_.end(),
+            stab.sign.begin());
   const auto pivots = echelonize(stab, n_);
-  reduce_query(query, stab, pivots, n_);
-  if (!query.is_identity()) {
+  std::uint8_t qr = 0;
+  reduce_query(qx, qz, qr, stab, pivots, n_);
+  if (!words_all_zero(query.data(), stride_)) {
     return 0;  // anticommutes with the group: expectation 0
   }
-  return query.r ? -1 : 1;
+  return qr != 0 ? -1 : 1;
 }
 
 bool Tableau::same_state(const Tableau& a, const Tableau& b) {
   if (a.n_ != b.n_) {
     return false;
   }
-  std::vector<PauliRow> stab(a.rows_.begin() +
-                                 static_cast<std::ptrdiff_t>(a.n_),
-                             a.rows_.end());
+  PackedRows stab(a.n_, a.words_);
+  std::memcpy(stab.bits.data(), a.bits_.data() + a.n_ * a.stride_,
+              a.n_ * a.stride_ * sizeof(std::uint64_t));
+  std::copy(a.sign_.begin() + static_cast<std::ptrdiff_t>(a.n_),
+            a.sign_.end(), stab.sign.begin());
   const auto pivots = echelonize(stab, a.n_);
+  std::vector<std::uint64_t> query(a.stride_, 0);
   for (std::size_t i = 0; i < b.n_; ++i) {
-    PauliRow query = b.stabilizer(i);
-    reduce_query(query, stab, pivots, a.n_);
-    if (!query.is_identity() || query.r) {
+    std::copy(b.row_x(b.n_ + i), b.row_x(b.n_ + i) + b.stride_,
+              query.begin());
+    std::uint8_t qr = b.sign_[b.n_ + i];
+    reduce_query(query.data(), query.data() + a.words_, qr, stab, pivots,
+                 a.n_);
+    if (!words_all_zero(query.data(), a.stride_) || qr != 0) {
       return false;
     }
   }
@@ -322,10 +617,10 @@ bool Tableau::same_state(const Tableau& a, const Tableau& b) {
 std::string Tableau::str() const {
   std::ostringstream os;
   for (std::size_t i = 0; i < n_; ++i) {
-    os << "destab " << i << ": " << rows_[i].str() << "\n";
+    os << "destab " << i << ": " << row_view(i).str() << "\n";
   }
   for (std::size_t i = 0; i < n_; ++i) {
-    os << "stab   " << i << ": " << rows_[n_ + i].str() << "\n";
+    os << "stab   " << i << ": " << row_view(n_ + i).str() << "\n";
   }
   return os.str();
 }
@@ -338,24 +633,6 @@ namespace {
 
 using ir::GateKind;
 using ir::Operation;
-
-/// Clifford classification of a Z-rotation-like phase: 0 = identity,
-/// 1 = S, 2 = Z, 3 = Sdg; -1 = non-Clifford.
-int z_phase_class(const Phase& p) {
-  if (p.is_zero()) {
-    return 0;
-  }
-  if (p == Phase::pi_2()) {
-    return 1;
-  }
-  if (p == Phase::pi()) {
-    return 2;
-  }
-  if (p == Phase::minus_pi_2()) {
-    return 3;
-  }
-  return -1;
-}
 
 }  // namespace
 
@@ -421,137 +698,71 @@ void StabilizerSimulator::apply(
     throw Error::unsupported("StabilizerSimulator: non-Clifford operation " +
                              op.str());
   }
-  const auto zclass = [&](int cls, std::size_t q) {
-    switch (cls) {
-      case 1:
-        tableau_.s(q);
-        break;
-      case 2:
-        tableau_.z(q);
-        break;
-      case 3:
-        tableau_.sdg(q);
-        break;
-      default:
-        break;
-    }
-  };
-  if (op.controls().size() == 1) {
-    const std::size_t c = op.controls()[0];
-    const std::size_t t = op.targets()[0];
-    switch (op.kind()) {
-      case GateKind::X:
-        tableau_.cx(c, t);
-        return;
-      case GateKind::Z:
-        tableau_.cz(c, t);
-        return;
-      case GateKind::Y:
-        tableau_.sdg(t);
-        tableau_.cx(c, t);
-        tableau_.s(t);
-        return;
-      case GateKind::I:
-        return;
-      default:
-        throw Error::unsupported(
-            "StabilizerSimulator: unsupported controlled gate " + op.str());
-    }
-  }
-  const std::size_t q = op.targets()[0];
-  switch (op.kind()) {
-    case GateKind::I:
-      return;
-    case GateKind::X:
-      tableau_.x(q);
-      return;
-    case GateKind::Y:
-      tableau_.y(q);
-      return;
-    case GateKind::Z:
-      tableau_.z(q);
-      return;
-    case GateKind::H:
-      tableau_.h(q);
-      return;
-    case GateKind::S:
-      tableau_.s(q);
-      return;
-    case GateKind::Sdg:
-      tableau_.sdg(q);
-      return;
-    case GateKind::SX:
-      tableau_.sx(q);
-      return;
-    case GateKind::SXdg:
-      tableau_.sxdg(q);
-      return;
-    case GateKind::RZ:
-    case GateKind::P:
-      zclass(z_phase_class(op.params()[0]), q);
-      return;
-    case GateKind::RX: {
-      tableau_.h(q);
-      zclass(z_phase_class(op.params()[0]), q);
-      tableau_.h(q);
-      return;
-    }
-    case GateKind::RY: {
-      // RY(t) = S RX(t) Sdg.
-      tableau_.sdg(q);
-      tableau_.h(q);
-      zclass(z_phase_class(op.params()[0]), q);
-      tableau_.h(q);
-      tableau_.s(q);
-      return;
-    }
-    case GateKind::Swap:
-      tableau_.swap(op.targets()[0], op.targets()[1]);
-      return;
-    case GateKind::ISwap:
-      // iSWAP = (S x S) CZ SWAP.
-      tableau_.swap(op.targets()[0], op.targets()[1]);
-      tableau_.cz(op.targets()[0], op.targets()[1]);
-      tableau_.s(op.targets()[0]);
-      tableau_.s(op.targets()[1]);
-      return;
-    case GateKind::ISwapDg:
-      tableau_.sdg(op.targets()[0]);
-      tableau_.sdg(op.targets()[1]);
-      tableau_.cz(op.targets()[0], op.targets()[1]);
-      tableau_.swap(op.targets()[0], op.targets()[1]);
-      return;
-    default:
-      throw Error::unsupported("StabilizerSimulator: unsupported gate " +
-                               op.str());
-  }
+  apply_unitary_clifford(tableau_, op);
 }
 
 std::vector<std::pair<ir::Qubit, bool>> StabilizerSimulator::run(
     const ir::Circuit& circuit) {
   if (circuit.num_qubits() != tableau_.num_qubits()) {
-    throw std::invalid_argument("StabilizerSimulator: width mismatch");
+    throw Error::bad_input(
+        "StabilizerSimulator: circuit width " +
+        std::to_string(circuit.num_qubits()) +
+        " does not match tableau width " +
+        std::to_string(tableau_.num_qubits()));
   }
   trace::Span span("qdt.stab.tableau.run");
   span.attr("backend", "stabilizer")
       .attr("qubits", static_cast<std::uint64_t>(tableau_.num_qubits()))
       .attr("gates", static_cast<std::uint64_t>(circuit.ops().size()));
-  std::vector<std::pair<ir::Qubit, bool>> record;
-  // 2n Pauli rows of 2n + 1 bits each, packed.
-  const std::size_t n = tableau_.num_qubits();
   g_bytes_peak.update_max(
-      static_cast<std::int64_t>(2 * n * (2 * n + 1) / 8 + 2 * n));
+      static_cast<std::int64_t>(tableau_.memory_bytes()));
+  std::vector<std::pair<ir::Qubit, bool>> record;
+  // Consecutive unitary gates accumulate as lowered GateOps and flush as
+  // one batched row sweep; measurements, resets, and non-Clifford
+  // rejections flush first so ordering is preserved exactly.
+  std::vector<GateOp> pending;
+  pending.reserve(kBatchOps + 8);
+  const auto flush = [this, &pending] {
+    if (!pending.empty()) {
+      const obs::ScopedTimer timer(g_gate_seconds);
+      tableau_.apply(pending.data(), pending.size());
+      pending.clear();
+    }
+  };
+  GateRecorder recorder(&pending);
   for (const auto& op : circuit.ops()) {
     guard::check_deadline();
-    const obs::ScopedTimer timer(g_gate_seconds);
-    apply(op, &record);
+    if (op.is_barrier()) {
+      continue;
+    }
+    if (op.is_measurement() || op.is_reset()) {
+      flush();
+      apply(op, &record);
+      g_gates.add();
+      continue;
+    }
+    if (!is_clifford_operation(op)) {
+      throw Error::unsupported(
+          "StabilizerSimulator: non-Clifford operation " + op.str());
+    }
+    apply_unitary_clifford(recorder, op);
     g_gates.add();
+    if (pending.size() >= kBatchOps) {
+      flush();
+    }
   }
+  flush();
   return record;
 }
 
 std::map<std::uint64_t, std::size_t> StabilizerSimulator::sample_counts(
     const ir::Circuit& circuit, std::size_t shots) {
+  if (tableau_.num_qubits() > 64) {
+    throw Error::unsupported(
+        "sample_counts: " + std::to_string(tableau_.num_qubits()) +
+        "-qubit readouts do not fit the 64-bit histogram key; measure() "
+        "per qubit instead");
+  }
   std::map<std::uint64_t, std::size_t> counts;
   for (std::size_t s = 0; s < shots; ++s) {
     tableau_ = Tableau(tableau_.num_qubits());

@@ -4,6 +4,17 @@
 // is stored as 2n Pauli generators (n destabilizers + n stabilizers) over
 // GF(2), so Clifford gates and measurements cost O(n^2) — no exponential
 // object anywhere.
+//
+// Since PR 10 the tableau is bit-packed: X/Z bits live in uint64_t words
+// (64 qubits per word, qubit q = bit q%64 of word q/64), rows are one
+// contiguous flat array (x block then z block per row, signs one byte per
+// row so parallel chunks never share a write target), and the CHP rowsum
+// runs word-parallel with a popcount phase accumulator. Consecutive
+// unitary gates are batched into one sweep over the 2n rows — each row's
+// update is independent, so the sweep is a par::parallel_for with
+// bitwise-identical results at any --threads N. Circuits of 1000+ qubits
+// are the design point; the element-wise reference implementation this
+// replaced survives in reference.hpp as the differential oracle.
 #pragma once
 
 #include <cstdint>
@@ -16,24 +27,87 @@
 
 namespace qdt::stab {
 
-/// One Pauli row of the tableau: X/Z bit vectors plus a sign bit
-/// (r == true means an overall factor -1).
+/// One Pauli row in packed form: X/Z bits in uint64_t words plus a sign
+/// bit (r == true means an overall factor -1). A value type — the tableau
+/// stores its rows in one flat word array and materializes PauliRow views
+/// on demand.
 struct PauliRow {
-  std::vector<bool> x;
-  std::vector<bool> z;
+  std::size_t n = 0;                // qubit count
+  std::vector<std::uint64_t> x, z;  // packed, bit q of word q/64
   bool r = false;
+
+  PauliRow() = default;
+  explicit PauliRow(std::size_t num_qubits);
+
+  bool x_bit(std::size_t q) const {
+    return (x[q >> 6] >> (q & 63)) & 1ULL;
+  }
+  bool z_bit(std::size_t q) const {
+    return (z[q >> 6] >> (q & 63)) & 1ULL;
+  }
+  void set_x(std::size_t q, bool v);
+  void set_z(std::size_t q, bool v);
 
   bool is_identity() const;
   /// "+XIZ" style rendering.
   std::string str() const;
+
+  friend bool operator==(const PauliRow&, const PauliRow&) = default;
+};
+
+/// One lowered tableau primitive — the per-row conjugation unit of the
+/// batched gate sweep. Derived Cliffords (sx, cz, swap, iswap, Clifford
+/// rotations) lower onto these seven at recording time, so a whole run of
+/// unitary gates becomes a single pass over the 2n rows.
+struct GateOp {
+  enum class Kind : std::uint8_t { H, S, Sdg, X, Y, Z, CX };
+  Kind kind;
+  std::uint32_t a = 0;  // the qubit (control for CX)
+  std::uint32_t b = 0;  // CX target
+};
+
+/// Records the Clifford gate surface as lowered GateOps; plugs into
+/// apply_unitary_clifford (clifford_ops.hpp) so the packed simulator, the
+/// element-wise reference, and the tests all share one ir::Operation
+/// mapping.
+class GateRecorder {
+ public:
+  explicit GateRecorder(std::vector<GateOp>* out) : out_(out) {}
+
+  void h(std::size_t q) { push(GateOp::Kind::H, q); }
+  void s(std::size_t q) { push(GateOp::Kind::S, q); }
+  void sdg(std::size_t q) { push(GateOp::Kind::Sdg, q); }
+  void x(std::size_t q) { push(GateOp::Kind::X, q); }
+  void y(std::size_t q) { push(GateOp::Kind::Y, q); }
+  void z(std::size_t q) { push(GateOp::Kind::Z, q); }
+  void sx(std::size_t q) { h(q); s(q); h(q); }
+  void sxdg(std::size_t q) { h(q); sdg(q); h(q); }
+  void cx(std::size_t c, std::size_t t) { push(GateOp::Kind::CX, c, t); }
+  void cz(std::size_t c, std::size_t t) { h(t); cx(c, t); h(t); }
+  void swap(std::size_t a, std::size_t b) { cx(a, b); cx(b, a); cx(a, b); }
+
+ private:
+  void push(GateOp::Kind k, std::size_t a, std::size_t b = 0) {
+    out_->push_back(GateOp{k, static_cast<std::uint32_t>(a),
+                           static_cast<std::uint32_t>(b)});
+  }
+  std::vector<GateOp>* out_;
 };
 
 class Tableau {
  public:
-  /// |0...0>: destabilizers X_i, stabilizers Z_i.
+  /// |0...0>: destabilizers X_i, stabilizers Z_i. Throws
+  /// Error(BadInput) on zero qubits.
   explicit Tableau(std::size_t num_qubits);
 
   std::size_t num_qubits() const { return n_; }
+  /// uint64_t words per X (or Z) block of a row: ceil(n / 64).
+  std::size_t words_per_row() const { return words_; }
+
+  /// Apply a batch of lowered gate primitives in one sweep over the 2n
+  /// rows (par::parallel_for over rows; every row's update is
+  /// independent, so results are bitwise identical at any thread count).
+  void apply(const GateOp* ops, std::size_t count);
 
   // -- Generators -----------------------------------------------------------
   void h(std::size_t q);
@@ -58,27 +132,71 @@ class Tableau {
   double prob_one(std::size_t q) const;
 
   /// Expectation of a Pauli-string observable (chars I/X/Y/Z, MSB-first
-  /// like zx/tn::expectation): +1, -1, or 0.
+  /// like zx/tn::expectation): +1, -1, or 0. Throws Error(BadInput) on a
+  /// length mismatch or an unknown character.
   int pauli_expectation(const std::string& paulis) const;
 
   /// True if the two tableaus stabilize the same state (their stabilizer
   /// groups coincide, signs included).
   static bool same_state(const Tableau& a, const Tableau& b);
 
-  const PauliRow& stabilizer(std::size_t i) const { return rows_[n_ + i]; }
-  const PauliRow& destabilizer(std::size_t i) const { return rows_[i]; }
+  PauliRow stabilizer(std::size_t i) const { return row_view(n_ + i); }
+  PauliRow destabilizer(std::size_t i) const { return row_view(i); }
 
   std::string str() const;
 
-  /// h *= i with exact sign tracking (the CHP "rowsum"); exposed for the
-  /// group-membership reductions.
+  /// h *= i with exact sign tracking (the word-parallel CHP "rowsum");
+  /// exposed for the group-membership reductions.
   static void rowsum_into(PauliRow& h, const PauliRow& i);
 
+  /// Actual heap footprint of the tableau (flat word array + sign bytes +
+  /// the reusable measurement scratch row) — what the
+  /// qdt.stab.tableau.bytes_peak gauge reports.
+  std::size_t memory_bytes() const;
+
+  /// Raw packed storage (2n rows * 2*words_per_row() words, x block then
+  /// z block per row) — exposed for the memcmp differential against the
+  /// element-wise reference.
+  const std::vector<std::uint64_t>& words() const { return bits_; }
+  /// One sign byte (0/1) per row.
+  const std::vector<std::uint8_t>& signs() const { return sign_; }
+
  private:
+  PauliRow row_view(std::size_t row) const;
+
+  std::uint64_t* row_x(std::size_t row) {
+    return bits_.data() + row * stride_;
+  }
+  std::uint64_t* row_z(std::size_t row) {
+    return bits_.data() + row * stride_ + words_;
+  }
+  const std::uint64_t* row_x(std::size_t row) const {
+    return bits_.data() + row * stride_;
+  }
+  const std::uint64_t* row_z(std::size_t row) const {
+    return bits_.data() + row * stride_ + words_;
+  }
+
+  /// rows_[h] *= rows_[i] (CHP rowsum, word-parallel).
   void rowsum(std::size_t h, std::size_t i);
 
-  std::size_t n_;
-  std::vector<PauliRow> rows_;  // 0..n-1 destabilizers, n..2n-1 stabilizers
+  void apply_small(const GateOp* ops, std::size_t count, std::size_t begin,
+                   std::size_t end);
+  void apply_wide(const GateOp* ops, std::size_t count, std::size_t begin,
+                  std::size_t end);
+
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;   // ceil(n / 64)
+  std::size_t stride_ = 0;  // 2 * words_: x block, then z block
+  /// 2n rows * stride_ words; row-major, destabilizers 0..n-1 then
+  /// stabilizers n..2n-1. Bits >= n of the last word stay zero.
+  std::vector<std::uint64_t> bits_;
+  /// One sign byte (0/1) per row — bytes, not packed bits, so chunked
+  /// parallel row sweeps write disjoint memory at any grain.
+  std::vector<std::uint8_t> sign_;
+  /// Reusable scratch row for the deterministic-measurement reduction
+  /// (x block then z block) — no per-measurement heap traffic.
+  std::vector<std::uint64_t> scratch_;
 };
 
 /// True if the operation can be executed on the tableau (Clifford gates,
@@ -89,7 +207,8 @@ bool is_clifford_operation(const ir::Operation& op);
 bool is_clifford_circuit(const ir::Circuit& circuit);
 
 /// Circuit-level driver: runs Clifford circuits (throws on non-Clifford
-/// gates), measures, samples.
+/// gates), measures, samples. Consecutive unitary gates are batched into
+/// single row sweeps.
 class StabilizerSimulator {
  public:
   explicit StabilizerSimulator(std::size_t num_qubits,
@@ -104,9 +223,14 @@ class StabilizerSimulator {
   void apply(const ir::Operation& op,
              std::vector<std::pair<ir::Qubit, bool>>* record = nullptr);
 
+  /// Throws Error(BadInput) when the circuit width does not match the
+  /// tableau width.
   std::vector<std::pair<ir::Qubit, bool>> run(const ir::Circuit& circuit);
 
-  /// Sampled readouts of all qubits; each shot re-runs the (cheap) circuit.
+  /// Sampled readouts of all qubits; each shot re-runs the (cheap)
+  /// circuit. Histogram keys are 64-bit basis states, so readouts wider
+  /// than 64 qubits throw Error(Unsupported) — measure() per qubit covers
+  /// the wide regime.
   std::map<std::uint64_t, std::size_t> sample_counts(
       const ir::Circuit& circuit, std::size_t shots);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "dd/package.hpp"
+#include "guard/error.hpp"
 #include "ir/library.hpp"
 
 namespace qdt::dd {
@@ -128,7 +129,35 @@ TEST(DDEquivalence, WidthMismatchIsNotEquivalent) {
 TEST(DDEquivalence, RejectsNonUnitary) {
   ir::Circuit c(2);
   c.h(0).measure(0);
-  EXPECT_THROW(check_equivalence_dd(c, c), std::invalid_argument);
+  try {
+    check_equivalence_dd(c, c);
+    FAIL() << "expected Error(BadInput)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::BadInput);
+  }
+}
+
+// A wide, purely one-sided miter (empty rhs) drives the root weight to
+// (1/sqrt2)^n before the daggered half can restore it; the power-of-two
+// rescaling must keep the scalar out of the complex table's absolute
+// tolerance or the 63+-qubit cases falsely refute (the bug the wide
+// Clifford fuzz lane caught).
+TEST(DDEquivalence, WideHadamardMiterSurvivesRootWeightUnderflow) {
+  for (const std::size_t n : {62u, 63u, 64u, 96u}) {
+    ir::Circuit hh(n);
+    for (std::size_t q = 0; q < n; ++q) {
+      hh.h(q);
+    }
+    for (std::size_t q = 0; q < n; ++q) {
+      hh.h(q);
+    }
+    const ir::Circuit id(n);
+    EXPECT_TRUE(check_equivalence_dd(hh, id).equivalent) << n << " qubits";
+    ir::Circuit flipped = hh;
+    flipped.x(0);
+    EXPECT_FALSE(check_equivalence_dd(flipped, id).equivalent)
+        << n << " qubits";
+  }
 }
 
 TEST(DDEquivalenceSimulative, PassesForEquivalent) {

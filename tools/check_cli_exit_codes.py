@@ -107,6 +107,39 @@ def main() -> int:
         )
         expect("verify equivalent", run(binary, ["verify", good, good]), 0)
 
+        # The stabilizer contract: the packed tableau runs far past 64
+        # qubits, but sample_counts keys a 64-bit histogram, so sampling
+        # wider registers must fail typed (exit 2, "unsupported"), never
+        # with a UB shift. Running the same circuit without shots is fine.
+        wide = os.path.join(tmp, "ghz70.qasm")
+        with open(wide, "w", encoding="utf-8") as f:
+            f.write("OPENQASM 2.0;\nqreg q[70];\nh q[0];\n")
+            f.writelines(
+                f"cx q[{i}], q[{i + 1}];\n" for i in range(69)
+            )
+        expect(
+            "stab wide sampling rejected",
+            run(binary, ["simulate", wide, "--backend", "stab", "--shots", "4"]),
+            2,
+            stderr_contains="unsupported",
+        )
+        expect(
+            "stab wide run ok",
+            run(binary, ["simulate", wide, "--backend", "stab", "--shots", "0"]),
+            0,
+        )
+        exact64 = os.path.join(tmp, "ghz64.qasm")
+        with open(exact64, "w", encoding="utf-8") as f:
+            f.write("OPENQASM 2.0;\nqreg q[64];\nh q[0];\n")
+            f.writelines(
+                f"cx q[{i}], q[{i + 1}];\n" for i in range(63)
+            )
+        expect(
+            "stab 64-qubit sampling ok",
+            run(binary, ["simulate", exact64, "--backend", "stab", "--shots", "4"]),
+            0,
+        )
+
         # The lint contract: clean circuit -> 0, warnings -> 1, bad input
         # -> 2, and --json emits a machine-parseable report either way.
         dirty = os.path.join(tmp, "dirty.qasm")

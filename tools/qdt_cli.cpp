@@ -12,7 +12,7 @@
 //   qdt compile  <file.qasm> --target line|ring|grid|star|full|heavyhex
 //                [--qubits N] [--gateset cx|cz] [--router sp|lookahead]
 //                [--no-opt] [--out <file.qasm>] [--verify]
-//   qdt fuzz     [--seed S] [--cases N] [--chaos] [--corpus DIR]
+//   qdt fuzz     [--seed S] [--cases N] [--chaos] [--corpus DIR] [--clifford]
 //                [--max-qubits N] [--max-ops N] [--no-shrink] [--no-parser]
 //                [--plant tflip|cxdrop|phasedrift] [--replay file.qasm]
 //                [--case-seed S] [--jobs N]
@@ -69,6 +69,9 @@
 // checks; --chaos re-runs each case under randomized guard fault
 // schedules; findings are shrunk to minimal repros and written to the
 // corpus directory with JSON metadata and a one-command replay line.
+// --clifford restricts generation to Clifford circuits, so the wide
+// packed-vs-reference stabilizer differential carries the oracle duty at
+// widths the dense backends cannot reach (pair with --max-qubits 256+).
 // --replay runs the oracle on a single .qasm repro instead of generating.
 // --case-seed re-runs one case from its stored per-case seed (the corpus
 // "replay" command) — combine with the recorded --plant/--no-parser/
@@ -142,7 +145,7 @@ using namespace qdt;
   qdt compile  <file.qasm> --target line|ring|grid|star|full|heavyhex
                [--qubits N] [--gateset cx|cz] [--router sp|lookahead]
                [--no-opt] [--out <file.qasm>] [--verify]
-  qdt fuzz     [--seed S] [--cases N] [--chaos] [--corpus DIR]
+  qdt fuzz     [--seed S] [--cases N] [--chaos] [--corpus DIR] [--clifford]
                [--max-qubits N] [--max-ops N] [--no-shrink] [--no-parser]
                [--plant tflip|cxdrop|phasedrift] [--replay file.qasm]
                [--case-seed S]   (replay one case from its stored seed)
@@ -220,7 +223,7 @@ std::map<std::string, std::string> parse_flags(
                  key == "metrics" || key == "robust" || key == "chaos" ||
                  key == "no-shrink" || key == "no-parser" ||
                  key == "trace" || key == "json" || key == "no-compact" ||
-                 key == "no-fault-injection") {
+                 key == "no-fault-injection" || key == "clifford") {
         flags[key] = "";
       } else if (i + 1 < args.size()) {
         flags[key] = args[++i];
@@ -798,6 +801,11 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   if (flags.contains("max-ops")) {
     opts.generator.max_ops = std::stoul(flags["max-ops"]);
   }
+  // Clifford-only lane: generation restricted to Clifford circuits so the
+  // packed-vs-reference stabilizer differential (polynomial on both
+  // sides) carries the oracle duty at widths the dense backends cannot
+  // reach — pair with --max-qubits 256 and beyond.
+  opts.generator.clifford_only = flags.contains("clifford");
   if (flags.contains("plant")) {
     opts.plant = flags["plant"];
   }
